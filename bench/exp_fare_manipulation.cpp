@@ -1,0 +1,158 @@
+// FARE (§II-A): dynamic-pricing manipulation via inventory holds —
+// "attackers strategically hold reservations and items at lower fares
+// without an investment to force price drops before making a legitimate
+// purchase."
+//
+// Three runs of the same week:
+//   baseline   — no attacker; the probe price near departure is normal
+//   attack     — the ring holds ~70% of the cabin for free; everyone else is
+//                quoted inflated prices and stops buying; two days before
+//                departure the holds lapse, revenue management panics, and
+//                the ring buys at the distressed price
+//   mitigated  — biometric enforcement + honeypot: the ring's holds land in
+//                the decoy, the real revenue system never sees them, and the
+//                panic price never materialises
+#include <iostream>
+
+#include "attack/fare_manipulation.hpp"
+#include "core/mitigate/controller.hpp"
+#include "core/scenario/env.hpp"
+#include "util/table.hpp"
+
+using namespace fraudsim;
+
+namespace {
+
+struct RunOutcome {
+  util::Money probe_mid_suppression;  // what a customer sees on day 4
+  util::Money probe_at_buy_time;      // what the ring pays near departure
+  attack::FareManipulationStats bot;
+  std::uint64_t legit_sold_on_target = 0;
+};
+
+RunOutcome run(bool with_attacker, bool mitigated) {
+  scenario::EnvConfig config;
+  config.seed = 808;
+  config.legit.booking_sessions_per_hour = 12;
+  config.legit.browse_sessions_per_hour = 5;
+  config.legit.otp_logins_per_hour = 3;
+  config.application.inventory.hold_duration = sim::hours(4);
+  config.application.honeypot_enabled = mitigated;
+  scenario::Env env(config);
+  env.add_flights("A", scenario::Env::fleet_size_for(12, sim::days(8), 150), 150,
+                  sim::days(30));
+  const auto target = env.app.add_flight("A", 606, 160, sim::days(8));
+
+  std::unique_ptr<attack::FareManipulationBot> bot;
+  std::unique_ptr<mitigate::MitigationController> controller;
+  if (with_attacker) {
+    attack::FareManipulationConfig bot_config;
+    bot_config.target = target;
+    bot_config.suppress_fraction = 0.85;  // choke nearly all sales
+    bot = std::make_unique<attack::FareManipulationBot>(env.app, env.actors, env.residential,
+                                                        env.population, bot_config,
+                                                        env.rng.fork("fare-bot"));
+  }
+  if (mitigated) {
+    env.engine.set_blocklist_action(app::PolicyAction::Honeypot);
+    mitigate::ControllerConfig controller_config;
+    controller_config.block_flagged_fingerprints = false;  // identities are plausible
+    controller_config.block_biometric_flagged = true;      // §V behavioural enforcement
+    controller = std::make_unique<mitigate::MitigationController>(env.app, env.engine,
+                                                                  controller_config);
+  }
+
+  RunOutcome outcome;
+  app::ClientContext probe;  // a neutral customer checking the price
+  probe.actor = env.actors.register_actor(app::ActorKind::Human);
+  probe.session = web::SessionId{999'999};
+  fp::derive_rendering_hashes(probe.fingerprint);
+
+  env.start_background(sim::days(8));
+  env.sim.schedule_at(sim::days(1), [&] {
+    if (bot) bot->start();
+    if (controller) controller->start(sim::days(8));
+  });
+  env.sim.schedule_at(sim::days(4), [&] {
+    outcome.probe_mid_suppression = env.app.quote_fare(probe, target);
+  });
+  // The ring buys at departure-2d + 5h; probe the same moment.
+  env.sim.schedule_at(sim::days(6) + sim::hours(5), [&] {
+    outcome.probe_at_buy_time = env.app.quote_fare(probe, target);
+  });
+  env.run_until(sim::days(8));
+
+  if (bot) outcome.bot = bot->stats();
+  for (const auto& r : env.app.inventory().reservations()) {
+    if (r.flight != target) continue;
+    if (r.state != airline::ReservationState::Ticketed) continue;
+    if (env.actors.abuser(r.actor)) continue;
+    outcome.legit_sold_on_target += static_cast<std::uint64_t>(r.nip());
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Running fare-manipulation study (3 runs x 8 simulated days)...\n";
+  const auto baseline = run(false, false);
+  std::cout << "  done: baseline\n";
+  const auto attacked = run(true, false);
+  std::cout << "  done: attack\n";
+  const auto mitigated = run(true, true);
+  std::cout << "  done: mitigated (biometric enforcement -> honeypot)\n";
+
+  util::AsciiTable table({"Metric", "baseline", "attack", "mitigated"});
+  table.add_row({"price quoted mid-suppression (d4)", baseline.probe_mid_suppression.str(),
+                 attacked.probe_mid_suppression.str(), mitigated.probe_mid_suppression.str()});
+  table.add_row({"price at the ring's buy moment", baseline.probe_at_buy_time.str(),
+                 attacked.probe_at_buy_time.str(), mitigated.probe_at_buy_time.str()});
+  table.add_row({"ring seats held at peak", "-", std::to_string(attacked.bot.peak_seats_held),
+                 std::to_string(mitigated.bot.peak_seats_held)});
+  table.add_row({"ring tickets bought", "-", std::to_string(attacked.bot.tickets_bought),
+                 std::to_string(mitigated.bot.tickets_bought)});
+  table.add_row({"ring paid per ticket", "-",
+                 attacked.bot.tickets_bought > 0
+                     ? (attacked.bot.total_paid *
+                        (1.0 / static_cast<double>(attacked.bot.tickets_bought)))
+                           .str()
+                     : "-",
+                 mitigated.bot.tickets_bought > 0
+                     ? (mitigated.bot.total_paid *
+                        (1.0 / static_cast<double>(mitigated.bot.tickets_bought)))
+                           .str()
+                     : "-"});
+  table.add_row({"legit seats sold on target", std::to_string(baseline.legit_sold_on_target),
+                 std::to_string(attacked.legit_sold_on_target),
+                 std::to_string(mitigated.legit_sold_on_target)});
+  std::cout << "\n=== FARE: dynamic-pricing manipulation (SecII-A) ===\n" << table.render()
+            << "\n";
+
+  bool ok = true;
+  auto expect = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      std::cout << "SHAPE VIOLATION: " << what << "\n";
+      ok = false;
+    }
+  };
+  // During suppression the attacked flight is quoted well above baseline.
+  expect(attacked.probe_mid_suppression > baseline.probe_mid_suppression * 1.2,
+         "suppression inflates the public price");
+  // After release the price crashes below the baseline near-departure price.
+  expect(attacked.probe_at_buy_time < baseline.probe_at_buy_time * 0.85,
+         "release forces a distressed price");
+  expect(attacked.probe_at_buy_time < attacked.probe_mid_suppression * 0.6,
+         "the ring buys far below the price it manufactured");
+  expect(attacked.bot.tickets_bought > 0, "the ring completes its purchase");
+  // Suppression costs legitimate sales.
+  expect(attacked.legit_sold_on_target < baseline.legit_sold_on_target,
+         "suppression displaces legitimate sales");
+  // The honeypot keeps the real price surface intact.
+  expect(mitigated.probe_at_buy_time > attacked.probe_at_buy_time,
+         "mitigation prevents the distressed price");
+  expect(mitigated.legit_sold_on_target > attacked.legit_sold_on_target,
+         "mitigation restores legitimate sales");
+  std::cout << (ok ? "FARE SHAPE: OK\n" : "FARE SHAPE: FAILED\n");
+  return ok ? 0 : 1;
+}

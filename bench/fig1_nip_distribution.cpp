@@ -1,0 +1,93 @@
+// Reproduces Fig. 1: Number-in-Party (NiP) distribution for an average week,
+// the attack week (no NiP limitation), and the week after the cap of 4 was
+// introduced (Airline A, §IV-A).
+//
+// Shape targets from the paper:
+//   * average week: NiP 1-2 dominate, thin tail to 9
+//   * attack week: sharp spike at NiP=6 (high, but below the max of 9)
+//   * capped week: spike at NiP=4 (legit groups AND the attacker adapt), no
+//     reservations above the cap
+#include <cstdio>
+#include <iostream>
+
+#include "analytics/report.hpp"
+#include "core/scenario/seat_spin_scenario.hpp"
+
+using namespace fraudsim;
+
+namespace {
+
+std::vector<double> fractions(const analytics::CategoricalHistogram<int>& hist) {
+  std::vector<double> out;
+  for (int nip = 1; nip <= 9; ++nip) out.push_back(hist.fraction(nip));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  scenario::SeatSpinScenarioConfig config;
+  config.seed = 2022;
+  config.legit.booking_sessions_per_hour = 25;
+  config.legit.browse_sessions_per_hour = 8;
+  config.legit.otp_logins_per_hour = 6;
+
+  std::cout << "Running the Airline A Seat Spinning scenario (3 simulated weeks)...\n";
+  const auto result = scenario::run_seat_spin_scenario(config);
+
+  analytics::DistributionFigure figure(
+      "Fig. 1 — NiP distribution of seat reservations (Airline A)");
+  std::vector<std::string> categories;
+  for (int nip = 1; nip <= 9; ++nip) categories.push_back("NiP=" + std::to_string(nip));
+  figure.set_categories(categories);
+  figure.add_series("average week", fractions(result.nip_average_week));
+  figure.add_series("attack week (no NiP limitation)", fractions(result.nip_attack_week));
+  figure.add_series("week after limitation to NiP <= 4", fractions(result.nip_capped_week));
+  std::cout << figure.render() << "\n";
+
+  util::AsciiTable table({"NiP", "average week", "attack week", "after cap"});
+  for (int nip = 1; nip <= 9; ++nip) {
+    table.add_row({std::to_string(nip),
+                   util::format_percent(result.nip_average_week.fraction(nip), 2),
+                   util::format_percent(result.nip_attack_week.fraction(nip), 2),
+                   util::format_percent(result.nip_capped_week.fraction(nip), 2)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "Scenario facts (paper-reported behaviours):\n"
+            << "  attack-week NiP=6 share:        "
+            << util::format_percent(result.nip_attack_week.fraction(6), 1)
+            << " (baseline " << util::format_percent(result.nip_average_week.fraction(6), 1)
+            << ")\n"
+            << "  capped-week NiP=4 share:        "
+            << util::format_percent(result.nip_capped_week.fraction(4), 1)
+            << " (baseline " << util::format_percent(result.nip_average_week.fraction(4), 1)
+            << ")\n"
+            << "  reservations above cap after d14: "
+            << result.nip_capped_week.count(5) + result.nip_capped_week.count(6) +
+                   result.nip_capped_week.count(7) + result.nip_capped_week.count(8) +
+                   result.nip_capped_week.count(9)
+            << "\n"
+            << "  target flight fully held on " << util::format_percent(
+                   result.target_depletion_days, 0)
+            << " of attack days\n";
+
+  // Shape checks (non-zero exit on violation keeps the harness honest).
+  bool ok = true;
+  auto expect = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      std::cout << "SHAPE VIOLATION: " << what << "\n";
+      ok = false;
+    }
+  };
+  expect(result.nip_average_week.fraction(1) + result.nip_average_week.fraction(2) > 0.75,
+         "average week dominated by NiP 1-2");
+  expect(result.nip_attack_week.fraction(6) > 5 * result.nip_average_week.fraction(6),
+         "attack week shows a NiP=6 spike");
+  expect(result.nip_capped_week.count(5) + result.nip_capped_week.count(6) == 0,
+         "no reservations above the cap after limitation");
+  expect(result.nip_capped_week.fraction(4) > 2 * result.nip_average_week.fraction(4),
+         "capped week shifts to NiP=4");
+  std::cout << (ok ? "FIG1 SHAPE: OK\n" : "FIG1 SHAPE: FAILED\n");
+  return ok ? 0 : 1;
+}

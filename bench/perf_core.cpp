@@ -1,0 +1,146 @@
+// PERF: google-benchmark microbenchmarks of the pipeline's hot paths.
+#include <benchmark/benchmark.h>
+
+#include "core/detect/behavior.hpp"
+#include "core/detect/name_patterns.hpp"
+#include "core/mitigate/rate_limit.hpp"
+#include "core/mitigate/rules.hpp"
+#include "fingerprint/population.hpp"
+#include "util/strings.hpp"
+#include "web/features.hpp"
+#include "web/session.hpp"
+#include "workload/names.hpp"
+
+using namespace fraudsim;
+
+namespace {
+
+void BM_FingerprintHash(benchmark::State& state) {
+  fp::PopulationModel population;
+  sim::Rng rng(1);
+  const auto fingerprint = population.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fingerprint.hash());
+  }
+}
+BENCHMARK(BM_FingerprintHash);
+
+void BM_PopulationSample(benchmark::State& state) {
+  fp::PopulationModel population;
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(population.sample(rng));
+  }
+}
+BENCHMARK(BM_PopulationSample);
+
+std::vector<web::HttpRequest> make_requests(std::size_t sessions, std::size_t per_session) {
+  std::vector<web::HttpRequest> requests;
+  sim::Rng rng(3);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    sim::SimTime t = static_cast<sim::SimTime>(s) * sim::kMinute;
+    for (std::size_t i = 0; i < per_session; ++i) {
+      web::HttpRequest r;
+      r.time = t += rng.uniform_int(1000, 30000);
+      r.session = web::SessionId{s + 1};
+      r.endpoint = static_cast<web::Endpoint>(rng.uniform_int(0, 13));
+      r.method = rng.bernoulli(0.2) ? web::HttpMethod::Post : web::HttpMethod::Get;
+      requests.push_back(r);
+    }
+  }
+  return requests;
+}
+
+void BM_Sessionize(benchmark::State& state) {
+  const auto requests = make_requests(static_cast<std::size_t>(state.range(0)), 12);
+  const web::Sessionizer sessionizer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sessionizer.sessionize(requests));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_Sessionize)->Arg(100)->Arg(1000);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto requests = make_requests(200, 12);
+  const web::Sessionizer sessionizer;
+  const auto sessions = sessionizer.sessionize(requests);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(web::extract_features(sessions));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(sessions.size()));
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_RuleEngineEvaluate(benchmark::State& state) {
+  sim::Simulation sim;
+  mitigate::RuleEngine engine(sim);
+  engine.add_rate_limit({"ip", std::nullopt, mitigate::RateKey::ByIp, 1000, sim::kHour});
+  engine.add_rate_limit({"bp", web::Endpoint::BoardingPassSms, mitigate::RateKey::ByBookingRef,
+                         10, sim::kDay});
+  engine.set_challenge_mode(mitigate::ChallengeMode::SuspiciousOnly);
+  for (std::uint64_t i = 0; i < 500; ++i) engine.blocklist().block(fp::FpHash{i + 1}, 0, "x");
+
+  app::ClientContext ctx;
+  fp::derive_rendering_hashes(ctx.fingerprint);
+  web::HttpRequest request;
+  request.endpoint = web::Endpoint::HoldReservation;
+  request.fp_hash = ctx.fingerprint.hash();
+  request.ip = *net::IpV4::parse("16.0.0.1");
+  std::uint64_t session = 0;
+  for (auto _ : state) {
+    request.session = web::SessionId{++session};
+    benchmark::DoNotOptimize(engine.evaluate(request, ctx));
+  }
+}
+BENCHMARK(BM_RuleEngineEvaluate);
+
+void BM_RateLimiterAllow(benchmark::State& state) {
+  mitigate::SlidingWindowRateLimiter limiter(100, sim::kHour);
+  sim::SimTime now = 0;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    now += 10;
+    benchmark::DoNotOptimize(limiter.allow(now, std::to_string(++key % 1000)));
+  }
+}
+BENCHMARK(BM_RateLimiterAllow);
+
+void BM_GibberishScore(benchmark::State& state) {
+  sim::Rng rng(4);
+  std::vector<std::string> names;
+  for (int i = 0; i < 256; ++i) names.push_back(rng.random_lowercase(8));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::gibberish_score(names[++i % names.size()]));
+  }
+}
+BENCHMARK(BM_GibberishScore);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::levenshtein("martinez", "martinze"));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_NamePatternAnalysis(benchmark::State& state) {
+  sim::Rng rng(5);
+  std::vector<airline::Reservation> reservations;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    airline::Reservation r;
+    r.pnr = "P" + std::to_string(i);
+    r.passengers = workload::random_party(rng, 2);
+    reservations.push_back(std::move(r));
+  }
+  const detect::NamePatternAnalyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(reservations));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NamePatternAnalysis)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Seat-spinning defense walkthrough: the full §IV-A incident-response story.
+//
+// Reproduces the Airline A timeline and narrates it: baseline week, attack
+// wave at NiP=6, NiP cap imposed, attacker adaptation, fingerprint
+// blocking vs ~5.3 h rotation, stop before departure.
+//
+//   $ ./seat_spinning_defense
+#include <iostream>
+#include <algorithm>
+
+#include "util/table.hpp"
+
+#include "core/scenario/seat_spin_scenario.hpp"
+
+using namespace fraudsim;
+
+int main() {
+  scenario::SeatSpinScenarioConfig config;
+  config.seed = 20220501;
+  config.legit.booking_sessions_per_hour = 15;
+
+  std::cout << "Simulating three weeks of Airline A traffic (attack begins week 2,\n"
+            << "NiP cap imposed at the start of week 3)...\n\n";
+  const auto result = scenario::run_seat_spin_scenario(config);
+
+  auto pct = [](double f) { return util::format_percent(f, 1); };
+  std::cout << "WEEK 1 (baseline): NiP=1 " << pct(result.nip_average_week.fraction(1))
+            << ", NiP=2 " << pct(result.nip_average_week.fraction(2)) << ", NiP=6 "
+            << pct(result.nip_average_week.fraction(6)) << "\n";
+  std::cout << "WEEK 2 (attack):   NiP=6 jumps to " << pct(result.nip_attack_week.fraction(6))
+            << " — the fraudulent wave below the airline maximum of 9\n";
+  std::cout << "WEEK 3 (capped):   NiP=4 swells to " << pct(result.nip_capped_week.fraction(4))
+            << "; nothing above the cap ("
+            << result.nip_capped_week.count(5) + result.nip_capped_week.count(6)
+            << " reservations >4)\n\n";
+
+  std::cout << "Attacker adaptation:\n"
+            << "  NiP-cap rejections absorbed: " << result.bot.nip_cap_rejections << "\n"
+            << "  bot NiP after the cap:       " << result.bot.current_nip << "\n"
+            << "  fingerprint rotations:       " << result.rotations << "\n"
+            << "  mean block->rotate latency:  "
+            << util::format_double(result.mean_rotation_reaction_hours, 1)
+            << " h (paper: 5.3 h)\n";
+  if (!result.fp_rule_effectiveness_hours.empty()) {
+    double max_window = 0;
+    for (double w : result.fp_rule_effectiveness_hours) max_window = std::max(max_window, w);
+    std::cout << "  longest-lived blocking rule: " << util::format_double(max_window, 1)
+              << " h before the identity vanished\n";
+  }
+  std::cout << "  attack stopped "
+            << util::format_double(sim::to_days(result.departure - result.bot_stopped_at), 1)
+            << " days before departure (paper: 2)\n\n";
+
+  std::cout << "Collateral on legitimate customers:\n"
+            << "  bookings paid:       " << result.legit.bookings_paid << "\n"
+            << "  blocked by rules:    " << result.legit.blocked << "\n"
+            << "  lost sales (seats):  " << result.legit.seats_lost_no_seats << "\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// SOC weekly report: one simulated week of mixed traffic — humans, a
+// scraper, a seat-spinning bot and an SMS-pumping ring — under an active
+// mitigation controller, summarised the way an operations team reads it.
+//
+//   $ ./soc_weekly_report
+#include <iostream>
+
+#include "attack/scraper.hpp"
+#include "attack/seat_spin.hpp"
+#include "attack/sms_pump.hpp"
+#include "core/detect/pipeline.hpp"
+#include "core/mitigate/controller.hpp"
+#include "core/scenario/env.hpp"
+#include "core/scenario/soc_report.hpp"
+
+using namespace fraudsim;
+
+int main() {
+  scenario::EnvConfig config;
+  config.seed = 1337;
+  config.legit.booking_sessions_per_hour = 15;
+  config.legit.browse_sessions_per_hour = 6;
+  config.legit.otp_logins_per_hour = 5;
+  scenario::Env env(config);
+  env.add_flights("A", scenario::Env::fleet_size_for(15, sim::days(8), 150), 150,
+                  sim::days(30));
+  const auto target = env.app.add_flight("A", 555, 120, sim::days(12));
+
+  attack::ScraperConfig scraper_config;
+  scraper_config.sessions = 6;
+  scraper_config.session_gap = sim::hours(20);
+  attack::ScraperBot scraper(env.app, env.actors, env.datacenter, env.population, scraper_config,
+                             env.rng.fork("scraper"));
+  attack::SeatSpinConfig doi_config;
+  doi_config.target = target;
+  attack::SeatSpinBot doi(env.app, env.actors, env.residential, env.population, doi_config,
+                          env.rng.fork("doi"));
+  attack::SmsPumpConfig pump_config;
+  pump_config.mean_request_gap = sim::minutes(4);
+  pump_config.stop_at = sim::days(8);
+  attack::SmsPumpBot pump(env.app, env.actors, env.residential, env.population, env.tariffs,
+                          pump_config, env.rng.fork("pump"));
+
+  mitigate::ControllerConfig controller_config;
+  controller_config.disable_sms_on_path_trip = true;
+  controller_config.sms.path_daily_limit = 400;
+  mitigate::MitigationController controller(env.app, env.engine, controller_config);
+
+  std::cout << "Simulating one clean day + one week under attack...\n";
+  env.start_background(sim::days(8));
+  env.sim.schedule_at(sim::days(1), [&] {
+    controller.fit_nip_baseline(0, sim::days(1));
+    controller.start(sim::days(8));
+    scraper.start();
+    doi.start();
+    pump.start();
+  });
+  env.run_until(sim::days(8));
+
+  detect::DetectionPipeline pipeline;
+  pipeline.fit_nip_baseline(env.app, 0, sim::days(1));
+  pipeline.fit_navigation(env.app, 0, sim::days(1));
+  pipeline.enable_ip_reputation(env.geo);
+  const auto result = pipeline.run(env.app, env.actors, sim::days(1), sim::days(8));
+
+  scenario::SocReportInputs inputs{env.app, env.actors, result, sim::days(1), sim::days(8),
+                                   controller.actions()};
+  std::cout << scenario::render_soc_report(inputs);
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "airline/date.hpp"
+
+#include <cstdio>
+
+namespace fraudsim::airline {
+
+std::string Date::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return std::string(buf);
+}
+
+int days_in_month(int year, int month) {
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2) {
+    const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+
+bool is_valid_date(const Date& d) {
+  if (d.month < 1 || d.month > 12) return false;
+  if (d.day < 1 || d.day > days_in_month(d.year, d.month)) return false;
+  return true;
+}
+
+Date random_date(sim::Rng& rng, int year_lo, int year_hi) {
+  Date d;
+  d.year = static_cast<int>(rng.uniform_int(year_lo, year_hi));
+  d.month = static_cast<int>(rng.uniform_int(1, 12));
+  d.day = static_cast<int>(rng.uniform_int(1, days_in_month(d.year, d.month)));
+  return d;
+}
+
+Date random_birthdate(sim::Rng& rng) { return random_date(rng, 1949, 2006); }
+
+}  // namespace fraudsim::airline

@@ -1,0 +1,38 @@
+// Calendar dates (birthdates, not simulation time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hpp"
+
+namespace fraudsim::airline {
+
+struct Date {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  [[nodiscard]] std::string str() const;  // ISO "YYYY-MM-DD"
+
+  friend bool operator==(const Date& a, const Date& b) {
+    return a.year == b.year && a.month == b.month && a.day == b.day;
+  }
+  friend bool operator!=(const Date& a, const Date& b) { return !(a == b); }
+  friend bool operator<(const Date& a, const Date& b) {
+    if (a.year != b.year) return a.year < b.year;
+    if (a.month != b.month) return a.month < b.month;
+    return a.day < b.day;
+  }
+};
+
+[[nodiscard]] int days_in_month(int year, int month);
+[[nodiscard]] bool is_valid_date(const Date& d);
+
+// A uniformly random valid date with year in [year_lo, year_hi].
+[[nodiscard]] Date random_date(sim::Rng& rng, int year_lo, int year_hi);
+
+// A plausible adult birthdate (ages roughly 18-75 relative to 2024).
+[[nodiscard]] Date random_birthdate(sim::Rng& rng);
+
+}  // namespace fraudsim::airline

@@ -1,0 +1,38 @@
+#include "airline/fares.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fraudsim::airline {
+
+FareEngine::FareEngine(FareConfig config) : config_(config) {}
+
+double FareEngine::load_multiplier(double load_factor) const {
+  load_factor = std::clamp(load_factor, 0.0, 1.0);
+  return config_.load_floor +
+         (config_.load_ceiling - config_.load_floor) *
+             std::pow(load_factor, config_.load_exponent);
+}
+
+double FareEngine::distress_multiplier(double load_factor,
+                                       sim::SimDuration to_departure) const {
+  if (to_departure >= config_.distress_window || to_departure < 0) return 1.0;
+  load_factor = std::clamp(load_factor, 0.0, 1.0);
+  if (load_factor >= config_.distress_load) return 1.0;
+  // How empty the flight is, scaled by how close departure looms.
+  const double emptiness = (config_.distress_load - load_factor) / config_.distress_load;
+  const double urgency = 1.0 - static_cast<double>(to_departure) /
+                                   static_cast<double>(config_.distress_window);
+  return 1.0 - config_.max_discount * emptiness * urgency;
+}
+
+util::Money FareEngine::quote(const Flight& flight, int held, int sold,
+                              sim::SimTime now) const {
+  const double capacity = std::max(1, flight.capacity);
+  const double load = (static_cast<double>(held) + static_cast<double>(sold)) / capacity;
+  const auto to_departure = flight.departure - now;
+  const double multiplier = load_multiplier(load) * distress_multiplier(load, to_departure);
+  return config_.base_fare * multiplier;
+}
+
+}  // namespace fraudsim::airline

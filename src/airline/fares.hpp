@@ -1,0 +1,49 @@
+// Revenue-management fare engine.
+//
+// Airline pricing reacts to apparent demand: unpaid holds count as booked
+// inventory, so price rises with load; near departure, a flight that still
+// looks empty gets distressed-inventory discounts. This combination is the
+// §II-A dynamic-pricing attack surface: hold seats to suppress sales, release
+// just before departure, and buy at the panic price.
+#pragma once
+
+#include "airline/flight.hpp"
+#include "sim/time.hpp"
+#include "util/money.hpp"
+
+namespace fraudsim::airline {
+
+struct FareConfig {
+  util::Money base_fare = util::Money::from_units(140);
+  // Multiplier span driven by load factor: empty -> floor, full -> ceiling.
+  double load_floor = 0.8;
+  double load_ceiling = 2.2;
+  double load_exponent = 1.5;
+  // Distressed-inventory discount: within this window of departure, flights
+  // whose load is below `distress_load` are discounted up to `max_discount`.
+  sim::SimDuration distress_window = sim::days(7);
+  double distress_load = 0.6;
+  double max_discount = 0.45;
+};
+
+class FareEngine {
+ public:
+  explicit FareEngine(FareConfig config = {});
+
+  // Quote for one seat given the flight's current apparent demand.
+  // `held` + `sold` are what the revenue system sees as booked.
+  [[nodiscard]] util::Money quote(const Flight& flight, int held, int sold,
+                                  sim::SimTime now) const;
+
+  // The two factors, exposed for analysis/tests.
+  [[nodiscard]] double load_multiplier(double load_factor) const;
+  [[nodiscard]] double distress_multiplier(double load_factor, sim::SimDuration to_departure)
+      const;
+
+  [[nodiscard]] const FareConfig& config() const { return config_; }
+
+ private:
+  FareConfig config_;
+};
+
+}  // namespace fraudsim::airline

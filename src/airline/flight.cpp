@@ -1,0 +1,7 @@
+#include "airline/flight.hpp"
+
+namespace fraudsim::airline {
+
+std::string Flight::designator() const { return airline + std::to_string(number); }
+
+}  // namespace fraudsim::airline

@@ -1,0 +1,25 @@
+// PNR record locators.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "sim/rng.hpp"
+
+namespace fraudsim::airline {
+
+// Generates unique 6-character record locators (uppercase letters and digits,
+// first character alphabetic — the GDS convention).
+class PnrGenerator {
+ public:
+  explicit PnrGenerator(sim::Rng rng);
+
+  [[nodiscard]] std::string next();
+  [[nodiscard]] std::size_t issued() const { return issued_.size(); }
+
+ private:
+  sim::Rng rng_;
+  std::unordered_set<std::string> issued_;
+};
+
+}  // namespace fraudsim::airline

@@ -1,0 +1,14 @@
+#include "analytics/compare.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::analytics {
+
+double surge_fraction(double baseline, double current, double cap) {
+  if (baseline <= 0.0) {
+    return current > 0.0 ? cap : 0.0;
+  }
+  return (current - baseline) / baseline;
+}
+
+}  // namespace fraudsim::analytics

@@ -1,0 +1,72 @@
+// Distribution comparison helpers used by anomaly detectors and benches.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace fraudsim::analytics {
+
+// Surge of `current` relative to `baseline` as a fractional increase:
+// (current - baseline) / baseline. Baseline of 0 with current > 0 returns
+// `cap` (a very large but finite sentinel).
+[[nodiscard]] double surge_fraction(double baseline, double current, double cap = 1e6);
+
+struct DistributionTestResult {
+  double chi_square = 0.0;
+  double p_value = 1.0;  // approximate tail probability
+  double js_divergence = 0.0;
+  std::size_t dof = 0;
+  bool anomalous = false;  // p_value below the configured alpha
+};
+
+// Compares an observed categorical histogram against a baseline over the
+// given key order.
+template <typename Key>
+[[nodiscard]] DistributionTestResult compare_distributions(
+    const CategoricalHistogram<Key>& observed, const CategoricalHistogram<Key>& baseline,
+    const std::vector<Key>& keys, double alpha = 0.001) {
+  DistributionTestResult r;
+  const auto obs = observed.aligned_counts(keys);
+  const auto exp = baseline.aligned_counts(keys);
+  r.chi_square = util::chi_square(obs, exp);
+  r.dof = keys.empty() ? 0 : keys.size() - 1;
+  r.p_value = util::chi_square_tail(r.chi_square, r.dof);
+  r.js_divergence = util::js_divergence(obs, exp);
+  r.anomalous = r.p_value < alpha;
+  return r;
+}
+
+// Per-key z-scores of observed counts against baseline proportions (Poisson
+// approximation): z = (obs - exp) / sqrt(exp). Useful for pinpointing which
+// NiP value / country drove an anomaly.
+template <typename Key>
+[[nodiscard]] std::vector<std::pair<Key, double>> per_key_zscores(
+    const CategoricalHistogram<Key>& observed, const CategoricalHistogram<Key>& baseline,
+    const std::vector<Key>& keys) {
+  std::vector<std::pair<Key, double>> out;
+  const auto obs = observed.aligned_counts(keys);
+  const auto exp_raw = baseline.aligned_counts(keys);
+  double obs_total = 0.0;
+  double exp_total = 0.0;
+  for (double v : obs) obs_total += v;
+  for (double v : exp_raw) exp_total += v;
+  const double scale = exp_total > 0.0 ? obs_total / exp_total : 0.0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const double e = exp_raw[i] * scale;
+    double z = 0.0;
+    if (e > 1e-9) {
+      z = (obs[i] - e) / std::sqrt(e);
+    } else if (obs[i] > 0) {
+      z = obs[i];  // count appearing from nothing: huge signal
+    }
+    out.emplace_back(keys[i], z);
+  }
+  return out;
+}
+
+}  // namespace fraudsim::analytics

@@ -1,0 +1,38 @@
+#include "analytics/histogram.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fraudsim::analytics {
+
+NumericHistogram::NumericHistogram(double origin, double width, std::size_t bins)
+    : origin_(origin), width_(width), counts_(bins, 0) {
+  assert(width > 0.0);
+  assert(bins > 0);
+}
+
+void NumericHistogram::add(double value) {
+  double idx = std::floor((value - origin_) / width_);
+  if (idx < 0) idx = 0;
+  std::size_t bin = static_cast<std::size_t>(idx);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+  ++total_;
+}
+
+std::uint64_t NumericHistogram::bin_count(std::size_t bin) const {
+  assert(bin < counts_.size());
+  return counts_[bin];
+}
+
+double NumericHistogram::bin_lower(std::size_t bin) const {
+  return origin_ + width_ * static_cast<double>(bin);
+}
+
+std::vector<double> NumericHistogram::as_doubles() const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = static_cast<double>(counts_[i]);
+  return out;
+}
+
+}  // namespace fraudsim::analytics

@@ -1,0 +1,83 @@
+// Histograms.
+//
+// CategoricalHistogram keys arbitrary ordered labels (NiP values, country
+// codes); NumericHistogram buckets doubles into fixed-width bins. Both feed
+// the distribution-comparison detectors and the bench table renderers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fraudsim::analytics {
+
+template <typename Key>
+class CategoricalHistogram {
+ public:
+  void add(const Key& key, std::uint64_t count = 1) { counts_[key] += count; }
+
+  [[nodiscard]] std::uint64_t count(const Key& key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [k, v] : counts_) t += v;
+    return t;
+  }
+  [[nodiscard]] double fraction(const Key& key) const {
+    const auto t = total();
+    return t == 0 ? 0.0 : static_cast<double>(count(key)) / static_cast<double>(t);
+  }
+  [[nodiscard]] std::size_t distinct() const { return counts_.size(); }
+  [[nodiscard]] bool empty() const { return counts_.empty(); }
+
+  [[nodiscard]] const std::map<Key, std::uint64_t>& entries() const { return counts_; }
+
+  // Counts over a fixed key order (missing keys contribute 0) — used to align
+  // two histograms for chi-square / KL comparison.
+  [[nodiscard]] std::vector<double> aligned_counts(const std::vector<Key>& order) const {
+    std::vector<double> out;
+    out.reserve(order.size());
+    for (const auto& k : order) out.push_back(static_cast<double>(count(k)));
+    return out;
+  }
+
+  // Keys sorted by descending count; ties broken by key order.
+  [[nodiscard]] std::vector<std::pair<Key, std::uint64_t>> top(std::size_t n) const {
+    std::vector<std::pair<Key, std::uint64_t>> items(counts_.begin(), counts_.end());
+    std::stable_sort(items.begin(), items.end(),
+                     [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (items.size() > n) items.resize(n);
+    return items;
+  }
+
+  void clear() { counts_.clear(); }
+
+ private:
+  std::map<Key, std::uint64_t> counts_;
+};
+
+class NumericHistogram {
+ public:
+  // Bins of `width` starting at `origin`; values below origin clamp to bin 0.
+  NumericHistogram(double origin, double width, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  [[nodiscard]] std::vector<double> as_doubles() const;
+
+ private:
+  double origin_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fraudsim::analytics

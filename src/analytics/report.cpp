@@ -1,0 +1,51 @@
+#include "analytics/report.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace fraudsim::analytics {
+
+DistributionFigure::DistributionFigure(std::string title) : title_(std::move(title)) {}
+
+void DistributionFigure::set_categories(std::vector<std::string> categories) {
+  categories_ = std::move(categories);
+}
+
+void DistributionFigure::add_series(std::string name, std::vector<double> fractions) {
+  assert(fractions.size() == categories_.size());
+  series_.emplace_back(std::move(name), std::move(fractions));
+}
+
+std::string DistributionFigure::render(std::size_t bar_width) const {
+  std::ostringstream out;
+  out << "=== " << title_ << " ===\n";
+  for (const auto& [name, fractions] : series_) {
+    out << "\n-- " << name << " --\n";
+    for (std::size_t i = 0; i < categories_.size(); ++i) {
+      out << "  " << categories_[i] << "  |" << util::ascii_bar(fractions[i], bar_width) << "| "
+          << util::format_percent(fractions[i], 1) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string render_surge_table(const std::string& title, const std::vector<SurgeRow>& rows,
+                               bool show_volumes) {
+  std::vector<std::string> headers = {"Country", "Increase"};
+  if (show_volumes) headers = {"Country", "Before", "During", "Increase"};
+  util::AsciiTable table(headers);
+  for (const auto& row : rows) {
+    if (show_volumes) {
+      table.add_row({row.label, util::format_count(static_cast<std::uint64_t>(row.baseline)),
+                     util::format_count(static_cast<std::uint64_t>(row.during)),
+                     util::format_surge_percent(row.surge_fraction)});
+    } else {
+      table.add_row({row.label, util::format_surge_percent(row.surge_fraction)});
+    }
+  }
+  std::ostringstream out;
+  out << "=== " << title << " ===\n" << table.render();
+  return out.str();
+}
+
+}  // namespace fraudsim::analytics

@@ -1,0 +1,44 @@
+// Paper-style report rendering (stacked-bar figures, ranked surge tables).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/histogram.hpp"
+#include "util/table.hpp"
+
+namespace fraudsim::analytics {
+
+// Renders a Fig.1-style grouped distribution view: one column per series
+// (e.g. "average week", "attack week", "after cap"), one row per category
+// (e.g. NiP=1..9), each cell showing percentage + a proportional bar.
+class DistributionFigure {
+ public:
+  explicit DistributionFigure(std::string title);
+
+  // Categories define row order; all series must be added over the same set.
+  void set_categories(std::vector<std::string> categories);
+  void add_series(std::string name, std::vector<double> fractions);
+
+  [[nodiscard]] std::string render(std::size_t bar_width = 24) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> categories_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+// Renders a Table-I-style ranked surge table.
+struct SurgeRow {
+  std::string label;
+  double baseline = 0.0;
+  double during = 0.0;
+  double surge_fraction = 0.0;  // (during-baseline)/baseline
+};
+
+[[nodiscard]] std::string render_surge_table(const std::string& title,
+                                             const std::vector<SurgeRow>& rows,
+                                             bool show_volumes);
+
+}  // namespace fraudsim::analytics

@@ -1,0 +1,325 @@
+#include "app/application.hpp"
+
+namespace fraudsim::app {
+
+Application::Application(sim::Simulation& sim, const sms::CarrierNetwork& carriers,
+                         ApplicationConfig config, sim::Rng rng)
+    : sim_(sim),
+      config_(config),
+      inventory_(config.inventory, rng.fork("pnr")),
+      gateway_(carriers, config.gateway),
+      otp_(gateway_, rng.fork("otp")),
+      boarding_(inventory_, gateway_, config.boarding),
+      fares_(config.fares) {
+  if (config.honeypot_enabled) {
+    decoy_ = std::make_unique<airline::InventoryManager>(config.inventory, rng.fork("decoy-pnr"));
+  }
+}
+
+web::HttpRequest Application::make_request(const ClientContext& ctx, web::Endpoint endpoint,
+                                           web::HttpMethod method) const {
+  web::HttpRequest r;
+  r.time = sim_.now();
+  r.method = method;
+  r.endpoint = endpoint;
+  r.ip = ctx.ip;
+  r.session = ctx.session;
+  r.fp_hash = ctx.fingerprint.hash();
+  r.actor = ctx.actor;
+  return r;
+}
+
+int Application::status_code_for(PolicyAction action) {
+  switch (action) {
+    case PolicyAction::Allow:
+    case PolicyAction::Honeypot:  // indistinguishable from success
+      return 200;
+    case PolicyAction::Block:
+      return 403;
+    case PolicyAction::Challenge:
+      return 401;
+    case PolicyAction::RateLimited:
+      return 429;
+  }
+  return 200;
+}
+
+PolicyDecision Application::admit(const ClientContext& ctx, web::Endpoint endpoint,
+                                  web::HttpMethod method, web::HttpRequest&& extra) {
+  web::HttpRequest request = std::move(extra);
+  request.time = sim_.now();
+  request.method = method;
+  request.endpoint = endpoint;
+  request.ip = ctx.ip;
+  request.session = ctx.session;
+  request.fp_hash = ctx.fingerprint.hash();
+  request.actor = ctx.actor;
+
+  IngressPolicy& policy = policy_ != nullptr ? *policy_ : allow_all_;
+  const PolicyDecision decision = policy.evaluate(request, ctx);
+  request.status_code = status_code_for(decision.action);
+
+  fp_store_.observe(ctx.fingerprint);
+  if (ctx.pointer_biometrics) {
+    biometric_log_.push_back(BiometricRecord{request.time, ctx.session, request.fp_hash,
+                                             ctx.actor, *ctx.pointer_biometrics});
+  }
+  weblog_.append(std::move(request));
+
+  ++stats_.requests;
+  switch (decision.action) {
+    case PolicyAction::Allow:
+      break;
+    case PolicyAction::Block:
+      ++stats_.blocked;
+      break;
+    case PolicyAction::Challenge:
+      ++stats_.challenged;
+      break;
+    case PolicyAction::RateLimited:
+      ++stats_.rate_limited;
+      break;
+    case PolicyAction::Honeypot:
+      ++stats_.honeypotted;
+      break;
+  }
+  if (!decision.rule.empty()) ++rule_hits_[decision.rule];
+  return decision;
+}
+
+CallStatus Application::browse(const ClientContext& ctx, web::Endpoint endpoint,
+                               web::HttpMethod method) {
+  const auto decision = admit(ctx, endpoint, method, web::HttpRequest{});
+  switch (decision.action) {
+    case PolicyAction::Allow:
+    case PolicyAction::Honeypot:
+      return CallStatus::Ok;
+    case PolicyAction::Block:
+      return CallStatus::Blocked;
+    case PolicyAction::Challenge:
+      return CallStatus::Challenged;
+    case PolicyAction::RateLimited:
+      return CallStatus::RateLimited;
+  }
+  return CallStatus::Ok;
+}
+
+HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
+                             std::vector<airline::Passenger> passengers) {
+  web::HttpRequest extra;
+  extra.flight_id = flight.value();
+  extra.nip = static_cast<int>(passengers.size());
+  const auto decision =
+      admit(ctx, web::Endpoint::HoldReservation, web::HttpMethod::Post, std::move(extra));
+
+  HoldResult result;
+  switch (decision.action) {
+    case PolicyAction::Block:
+      result.status = CallStatus::Blocked;
+      return result;
+    case PolicyAction::Challenge:
+      result.status = CallStatus::Challenged;
+      return result;
+    case PolicyAction::RateLimited:
+      result.status = CallStatus::RateLimited;
+      return result;
+    case PolicyAction::Honeypot: {
+      // Serve from the decoy. Mirror the flight lazily; the decoy has its own
+      // seat pool so real availability is untouched.
+      if (decoy_ == nullptr) {
+        // Honeypot requested but not provisioned: fall back to a hard block.
+        result.status = CallStatus::Blocked;
+        return result;
+      }
+      if (decoy_->flight(flight) == nullptr) {
+        const airline::Flight* real = inventory_.flight(flight);
+        if (real != nullptr) {
+          // Decoy mirrors capacity so fill dynamics look authentic.
+          decoy_->add_flight(real->airline, real->number, real->capacity, real->departure);
+        }
+      }
+      auto outcome = decoy_->hold(sim_.now(), flight, std::move(passengers), ctx.actor, ctx.ip,
+                                  ctx.fingerprint.hash());
+      if (outcome.ok) {
+        result.status = CallStatus::Ok;
+        result.pnr = outcome.pnr;
+        result.decoy = true;
+        decoy_pnrs_.insert(outcome.pnr);
+      } else {
+        result.status = CallStatus::BusinessReject;
+        result.rejection = outcome.rejection;
+        result.decoy = true;
+      }
+      return result;
+    }
+    case PolicyAction::Allow:
+      break;
+  }
+
+  auto outcome =
+      inventory_.hold(sim_.now(), flight, std::move(passengers), ctx.actor, ctx.ip,
+                      ctx.fingerprint.hash());
+  if (outcome.ok) {
+    result.status = CallStatus::Ok;
+    result.pnr = outcome.pnr;
+  } else {
+    result.status = CallStatus::BusinessReject;
+    result.rejection = outcome.rejection;
+  }
+  return result;
+}
+
+util::Money Application::quote_fare(const ClientContext& ctx, airline::FlightId flight_id) {
+  web::HttpRequest extra;
+  extra.flight_id = flight_id.value();
+  (void)admit(ctx, web::Endpoint::FlightDetails, web::HttpMethod::Get, std::move(extra));
+  const airline::Flight* flight = inventory_.flight(flight_id);
+  if (flight == nullptr) return util::Money{};
+  inventory_.expire_due(sim_.now());
+  return fares_.quote(*flight, inventory_.held_seats(flight_id),
+                      inventory_.sold_seats(flight_id), sim_.now());
+}
+
+CallStatus Application::pay(const ClientContext& ctx, const std::string& pnr) {
+  web::HttpRequest extra;
+  extra.booking_ref = pnr;
+  const auto decision = admit(ctx, web::Endpoint::Payment, web::HttpMethod::Post, std::move(extra));
+  switch (decision.action) {
+    case PolicyAction::Block:
+      return CallStatus::Blocked;
+    case PolicyAction::Challenge:
+      return CallStatus::Challenged;
+    case PolicyAction::RateLimited:
+      return CallStatus::RateLimited;
+    case PolicyAction::Honeypot:
+    case PolicyAction::Allow:
+      break;
+  }
+  if (decoy_pnrs_.contains(pnr)) {
+    // Paying a decoy hold "succeeds" from the caller's perspective; the decoy
+    // environment simply marks it ticketed.
+    (void)decoy_->ticket(sim_.now(), pnr);
+    return CallStatus::Ok;
+  }
+  const auto status = inventory_.ticket(sim_.now(), pnr);
+  return status ? CallStatus::Ok : CallStatus::BusinessReject;
+}
+
+OtpResult Application::request_otp(const ClientContext& ctx, const std::string& account,
+                                   sms::PhoneNumber number) {
+  web::HttpRequest extra;
+  extra.sms_destination = number.country;
+  const auto decision =
+      admit(ctx, web::Endpoint::RequestOtp, web::HttpMethod::Post, std::move(extra));
+  OtpResult result;
+  switch (decision.action) {
+    case PolicyAction::Block:
+      result.status = CallStatus::Blocked;
+      return result;
+    case PolicyAction::Challenge:
+      result.status = CallStatus::Challenged;
+      return result;
+    case PolicyAction::RateLimited:
+      result.status = CallStatus::RateLimited;
+      return result;
+    case PolicyAction::Honeypot:
+      // Decoy OTP: pretend success without sending anything.
+      result.status = CallStatus::Ok;
+      result.code = "000000";
+      return result;
+    case PolicyAction::Allow:
+      break;
+  }
+  result.code = otp_.request(sim_.now(), account, std::move(number), ctx.actor);
+  return result;
+}
+
+bool Application::verify_otp(const ClientContext& ctx, const std::string& account,
+                             const std::string& code) {
+  (void)admit(ctx, web::Endpoint::VerifyOtp, web::HttpMethod::Post, web::HttpRequest{});
+  return otp_.verify(sim_.now(), account, code);
+}
+
+Application::BookingView Application::retrieve_booking(const ClientContext& ctx,
+                                                       const std::string& pnr) {
+  web::HttpRequest extra;
+  extra.booking_ref = pnr;
+  const auto decision =
+      admit(ctx, web::Endpoint::ManageBooking, web::HttpMethod::Get, std::move(extra));
+  BookingView view;
+  if (decision.action == PolicyAction::Block || decision.action == PolicyAction::RateLimited) {
+    return view;  // nothing disclosed
+  }
+  airline::InventoryManager& source =
+      decoy_ != nullptr && decoy_pnrs_.contains(pnr) ? *decoy_ : inventory_;
+  source.expire_due(sim_.now());
+  const airline::Reservation* r = source.find(pnr);
+  if (r == nullptr) return view;
+  view.found = true;
+  view.held = r->state == airline::ReservationState::Held;
+  view.ticketed = r->state == airline::ReservationState::Ticketed;
+  return view;
+}
+
+BoardingSmsResult Application::request_boarding_sms(const ClientContext& ctx,
+                                                    const std::string& pnr,
+                                                    sms::PhoneNumber number) {
+  web::HttpRequest extra;
+  extra.booking_ref = pnr;
+  extra.sms_destination = number.country;
+  const auto decision =
+      admit(ctx, web::Endpoint::BoardingPassSms, web::HttpMethod::Post, std::move(extra));
+  BoardingSmsResult result;
+  switch (decision.action) {
+    case PolicyAction::Block:
+      result.status = CallStatus::Blocked;
+      return result;
+    case PolicyAction::Challenge:
+      result.status = CallStatus::Challenged;
+      return result;
+    case PolicyAction::RateLimited:
+      result.status = CallStatus::RateLimited;
+      return result;
+    case PolicyAction::Honeypot:
+      // Decoy: pretend the SMS was sent; nothing reaches the gateway, so the
+      // attacker earns nothing while believing the pump works.
+      result.status = CallStatus::Ok;
+      return result;
+    case PolicyAction::Allow:
+      break;
+  }
+  result.detail = boarding_.request_sms(sim_.now(), pnr, std::move(number), ctx.actor);
+  result.status = result.detail == airline::BoardingPassService::SmsResult::Sent
+                      ? CallStatus::Ok
+                      : CallStatus::BusinessReject;
+  return result;
+}
+
+CallStatus Application::request_boarding_email(const ClientContext& ctx, const std::string& pnr) {
+  web::HttpRequest extra;
+  extra.booking_ref = pnr;
+  const auto decision =
+      admit(ctx, web::Endpoint::BoardingPassEmail, web::HttpMethod::Post, std::move(extra));
+  switch (decision.action) {
+    case PolicyAction::Block:
+      return CallStatus::Blocked;
+    case PolicyAction::Challenge:
+      return CallStatus::Challenged;
+    case PolicyAction::RateLimited:
+      return CallStatus::RateLimited;
+    case PolicyAction::Honeypot:
+      return CallStatus::Ok;
+    case PolicyAction::Allow:
+      break;
+  }
+  return boarding_.request_email(sim_.now(), pnr) ? CallStatus::Ok : CallStatus::BusinessReject;
+}
+
+airline::FlightId Application::add_flight(std::string airline_code, int number, int capacity,
+                                          sim::SimTime departure) {
+  return inventory_.add_flight(std::move(airline_code), number, capacity, departure);
+}
+
+void Application::set_policy(IngressPolicy* policy) { policy_ = policy; }
+
+}  // namespace fraudsim::app

@@ -1,0 +1,187 @@
+// The airline web application facade.
+//
+// Every actor — legitimate customer, seat-spinning bot, manual spinner,
+// SMS-pumping ring — interacts with the platform exclusively through this
+// facade. Each call:
+//   1. records an HttpRequest in the web log (what server telemetry sees),
+//   2. consults the IngressPolicy (the mitigation hook),
+//   3. dispatches to the business substrate (inventory / SMS / OTP),
+//   4. returns a result the caller can react to (blocks drive attacker
+//      adaptation; challenges drive CAPTCHA economics).
+//
+// A honeypot decision transparently serves the request from a decoy
+// inventory: the caller receives a normal-looking PNR and cannot tell the
+// difference — the §V economic countermeasure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "airline/boarding.hpp"
+#include "airline/fares.hpp"
+#include "airline/inventory.hpp"
+#include "app/fp_store.hpp"
+#include "app/policy.hpp"
+#include "net/geo.hpp"
+#include "sim/simulation.hpp"
+#include "sms/gateway.hpp"
+#include "sms/otp.hpp"
+#include "web/weblog.hpp"
+
+namespace fraudsim::app {
+
+struct ApplicationConfig {
+  airline::InventoryConfig inventory;
+  airline::BoardingConfig boarding;
+  sms::GatewayConfig gateway;
+  airline::FareConfig fares;
+  // Run the decoy inventory for honeypot decisions.
+  bool honeypot_enabled = false;
+};
+
+enum class CallStatus : std::uint8_t {
+  Ok,
+  Blocked,        // 403 from policy
+  Challenged,     // 401, retry with captcha_solved
+  RateLimited,    // 429 from policy
+  BusinessReject, // valid request rejected by business rules (cap, stock, state)
+};
+
+struct HoldResult {
+  CallStatus status = CallStatus::Ok;
+  std::string pnr;  // set when status == Ok
+  std::optional<airline::HoldRejection> rejection;  // business rejection detail
+  bool decoy = false;  // ground truth: the hold landed in the honeypot
+};
+
+struct OtpResult {
+  CallStatus status = CallStatus::Ok;
+  std::string code;  // set when status == Ok
+};
+
+struct BoardingSmsResult {
+  CallStatus status = CallStatus::Ok;
+  airline::BoardingPassService::SmsResult detail = airline::BoardingPassService::SmsResult::Sent;
+};
+
+class Application {
+ public:
+  Application(sim::Simulation& sim, const sms::CarrierNetwork& carriers, ApplicationConfig config,
+              sim::Rng rng);
+
+  // --- Traffic surface -----------------------------------------------------
+  // Generic page view (search funnel, static assets, trap file...).
+  CallStatus browse(const ClientContext& ctx, web::Endpoint endpoint,
+                    web::HttpMethod method = web::HttpMethod::Get);
+
+  HoldResult hold(const ClientContext& ctx, airline::FlightId flight,
+                  std::vector<airline::Passenger> passengers);
+
+  // Current per-seat fare quote (logs a FlightDetails view). Revenue
+  // management prices on *apparent* demand: unpaid holds count as booked —
+  // the §II-A dynamic-pricing manipulation surface. Holds absorbed by the
+  // honeypot decoy do NOT reach the real revenue system.
+  [[nodiscard]] util::Money quote_fare(const ClientContext& ctx, airline::FlightId flight);
+
+  CallStatus pay(const ClientContext& ctx, const std::string& pnr);
+
+  OtpResult request_otp(const ClientContext& ctx, const std::string& account,
+                        sms::PhoneNumber number);
+  bool verify_otp(const ClientContext& ctx, const std::string& account, const std::string& code);
+
+  // "Manage my booking": what a customer (or a probing attacker) can see
+  // about a PNR. Decoy PNRs report as alive-and-held for as long as the decoy
+  // holds them.
+  struct BookingView {
+    bool found = false;
+    bool held = false;      // the hold is still alive
+    bool ticketed = false;
+  };
+  BookingView retrieve_booking(const ClientContext& ctx, const std::string& pnr);
+
+  BoardingSmsResult request_boarding_sms(const ClientContext& ctx, const std::string& pnr,
+                                         sms::PhoneNumber number);
+  CallStatus request_boarding_email(const ClientContext& ctx, const std::string& pnr);
+
+  // --- Administration ------------------------------------------------------
+  airline::FlightId add_flight(std::string airline_code, int number, int capacity,
+                               sim::SimTime departure);
+  void set_policy(IngressPolicy* policy);  // non-owning; nullptr -> allow all
+
+  // --- Telemetry (what detectors and benches read) --------------------------
+  [[nodiscard]] const web::WebLog& weblog() const { return weblog_; }
+  [[nodiscard]] const FingerprintStore& fingerprints() const { return fp_store_; }
+  [[nodiscard]] airline::InventoryManager& inventory() { return inventory_; }
+  [[nodiscard]] const airline::InventoryManager& inventory() const { return inventory_; }
+  [[nodiscard]] airline::InventoryManager& decoy_inventory() { return *decoy_; }
+  [[nodiscard]] const airline::InventoryManager& decoy_inventory() const { return *decoy_; }
+  [[nodiscard]] bool honeypot_enabled() const { return decoy_ != nullptr; }
+  [[nodiscard]] sms::SmsGateway& sms_gateway() { return gateway_; }
+  [[nodiscard]] const sms::SmsGateway& sms_gateway() const { return gateway_; }
+  [[nodiscard]] sms::OtpService& otp_service() { return otp_; }
+  [[nodiscard]] airline::BoardingPassService& boarding() { return boarding_; }
+  [[nodiscard]] const airline::BoardingPassService& boarding() const { return boarding_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t blocked = 0;
+    std::uint64_t challenged = 0;
+    std::uint64_t rate_limited = 0;
+    std::uint64_t honeypotted = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  // Decisions per rule id (how long each blocking rule stayed effective is
+  // derived from this plus the weblog timestamps).
+  [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>& rule_hits() const {
+    return rule_hits_;
+  }
+
+  // True if the PNR belongs to the decoy environment (scoring only).
+  [[nodiscard]] bool is_decoy_pnr(const std::string& pnr) const {
+    return decoy_pnrs_.contains(pnr);
+  }
+
+  // Biometric telemetry captured alongside requests (when clients supply it).
+  struct BiometricRecord {
+    sim::SimTime time = 0;
+    web::SessionId session;
+    fp::FpHash fingerprint;  // the identity enforcement can act on
+    web::ActorId actor;      // ground truth (scoring only)
+    biometrics::TrajectoryFeatures features;
+  };
+  [[nodiscard]] const std::vector<BiometricRecord>& biometric_log() const {
+    return biometric_log_;
+  }
+
+ private:
+  // Logs the request, runs the policy, updates stats. Returns the decision.
+  PolicyDecision admit(const ClientContext& ctx, web::Endpoint endpoint, web::HttpMethod method,
+                       web::HttpRequest&& extra);
+  web::HttpRequest make_request(const ClientContext& ctx, web::Endpoint endpoint,
+                                web::HttpMethod method) const;
+  static int status_code_for(PolicyAction action);
+
+  sim::Simulation& sim_;
+  ApplicationConfig config_;
+  web::WebLog weblog_;
+  FingerprintStore fp_store_;
+  airline::InventoryManager inventory_;
+  std::unique_ptr<airline::InventoryManager> decoy_;
+  sms::SmsGateway gateway_;
+  sms::OtpService otp_;
+  airline::BoardingPassService boarding_;
+  airline::FareEngine fares_;
+  IngressPolicy* policy_ = nullptr;
+  AllowAllPolicy allow_all_;
+  Stats stats_;
+  std::unordered_map<std::string, std::uint64_t> rule_hits_;
+  std::unordered_set<std::string> decoy_pnrs_;
+  std::vector<BiometricRecord> biometric_log_;
+};
+
+}  // namespace fraudsim::app

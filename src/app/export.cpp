@@ -1,0 +1,63 @@
+#include "app/export.hpp"
+
+namespace fraudsim::app {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_row(std::ostream& out, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out << ',';
+    out << csv_escape(fields[i]);
+  }
+  out << '\n';
+}
+
+void export_weblog_csv(std::ostream& out, std::span<const web::HttpRequest> requests) {
+  write_csv_row(out, {"time_ms", "endpoint", "method", "status", "ip", "session", "fp_hash",
+                      "flight", "booking_ref", "nip"});
+  for (const auto& r : requests) {
+    write_csv_row(out, {std::to_string(r.time), web::endpoint_path(r.endpoint),
+                        web::to_string(r.method), std::to_string(r.status_code), r.ip.str(),
+                        r.session.str(), r.fp_hash.str(),
+                        r.flight_id ? std::to_string(*r.flight_id) : "",
+                        r.booking_ref.value_or(""),
+                        r.nip ? std::to_string(*r.nip) : ""});
+  }
+}
+
+void export_reservations_csv(std::ostream& out,
+                             const std::vector<airline::Reservation>& reservations) {
+  write_csv_row(out, {"pnr", "flight", "nip", "state", "created_ms", "hold_expiry_ms",
+                      "lead_name", "source_ip", "fp_hash"});
+  for (const auto& r : reservations) {
+    write_csv_row(out, {r.pnr, r.flight.str(), std::to_string(r.nip()),
+                        airline::to_string(r.state), std::to_string(r.created),
+                        std::to_string(r.hold_expiry),
+                        r.passengers.empty() ? "" : r.passengers.front().name_key(),
+                        r.source_ip.str(), r.source_fp.str()});
+  }
+}
+
+void export_sms_csv(std::ostream& out, const std::vector<sms::SmsRecord>& records) {
+  write_csv_row(out, {"time_ms", "type", "country", "delivered", "app_cost_micros",
+                      "attacker_revenue_micros", "booking_ref"});
+  for (const auto& r : records) {
+    write_csv_row(out, {std::to_string(r.time), sms::to_string(r.type),
+                        r.destination.country.str(), r.delivered ? "1" : "0",
+                        std::to_string(r.app_cost.micros()),
+                        std::to_string(r.attacker_revenue.micros()),
+                        r.booking_ref.value_or("")});
+  }
+}
+
+}  // namespace fraudsim::app

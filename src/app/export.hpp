@@ -1,0 +1,34 @@
+// CSV export of the platform's telemetry for downstream analysis
+// (spreadsheets, pandas, BI dashboards).
+//
+// All writers escape per RFC 4180 (quotes doubled, fields with separators
+// quoted) and emit a header row.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "airline/inventory.hpp"
+#include "sms/gateway.hpp"
+#include "web/request.hpp"
+
+namespace fraudsim::app {
+
+// Escapes one CSV field.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+// One row; fields escaped and comma-joined, newline-terminated.
+void write_csv_row(std::ostream& out, const std::vector<std::string>& fields);
+
+// Web log: time_ms,endpoint,method,status,ip,session,fp_hash,flight,booking_ref,nip
+void export_weblog_csv(std::ostream& out, std::span<const web::HttpRequest> requests);
+
+// Reservations: pnr,flight,nip,state,created_ms,hold_expiry_ms,lead_name,source_ip,fp_hash
+void export_reservations_csv(std::ostream& out,
+                             const std::vector<airline::Reservation>& reservations);
+
+// SMS ledger: time_ms,type,country,delivered,app_cost_micros,attacker_revenue_micros,booking_ref
+void export_sms_csv(std::ostream& out, const std::vector<sms::SmsRecord>& records);
+
+}  // namespace fraudsim::app

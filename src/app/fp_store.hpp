@@ -1,0 +1,42 @@
+// Observed-fingerprint store.
+//
+// Server-side record of every fingerprint presented to the application:
+// the raw attribute vector (for consistency checks) plus observation counts
+// (for rarity scoring). Keyed by the fingerprint digest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "fingerprint/fingerprint.hpp"
+
+namespace fraudsim::app {
+
+class FingerprintStore {
+ public:
+  void observe(const fp::Fingerprint& fingerprint);
+
+  [[nodiscard]] std::uint64_t observations(fp::FpHash hash) const;
+  [[nodiscard]] std::uint64_t total_observations() const { return total_; }
+  [[nodiscard]] std::size_t distinct() const { return entries_.size(); }
+  [[nodiscard]] const fp::Fingerprint* find(fp::FpHash hash) const;
+
+  // Fraction of all observations carrying this hash (population frequency).
+  [[nodiscard]] double frequency(fp::FpHash hash) const;
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [hash, entry] : entries_) fn(hash, entry.fingerprint, entry.count);
+  }
+
+ private:
+  struct Entry {
+    fp::Fingerprint fingerprint;
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<fp::FpHash, Entry> entries_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fraudsim::app

@@ -1,0 +1,4 @@
+#include "app/policy.hpp"
+
+// Interface-only translation unit; concrete policies live in core/mitigate.
+namespace fraudsim::app {}

@@ -1,0 +1,66 @@
+// Ingress policy hook.
+//
+// The application consults an IngressPolicy before serving each request.
+// The default policy allows everything; the mitigation rule engine in
+// core/mitigate implements this interface. Keeping the interface below the
+// traffic generators lets bots and legitimate users traverse the same
+// mitigations without a dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "biometrics/features.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "net/ip.hpp"
+#include "web/request.hpp"
+
+namespace fraudsim::app {
+
+// Client-side state accompanying a request.
+struct ClientContext {
+  net::IpV4 ip;
+  web::SessionId session;
+  fp::Fingerprint fingerprint;
+  web::ActorId actor;  // ground truth; policies must not read it
+  // Set by the caller when retrying a challenged request after solving the
+  // CAPTCHA (legitimately or via a solving service).
+  bool captcha_solved = false;
+  // Verified loyalty-programme member (used by feature-gating mitigations).
+  bool loyalty_member = false;
+  // Pointer-movement sample captured by the client-side telemetry script on
+  // the interaction leading to this request (when biometric collection is
+  // deployed). Bots synthesise or replay these; the biometric detector tells
+  // the difference.
+  std::optional<biometrics::TrajectoryFeatures> pointer_biometrics;
+};
+
+enum class PolicyAction : std::uint8_t {
+  Allow,
+  Block,          // hard deny (403)
+  Challenge,      // CAPTCHA interstitial (retry with captcha_solved)
+  RateLimited,    // deny due to a rate limit (429)
+  Honeypot,       // serve from the decoy environment, pretend success
+};
+
+struct PolicyDecision {
+  PolicyAction action = PolicyAction::Allow;
+  std::string rule;  // identifier of the rule that fired (empty for Allow)
+};
+
+class IngressPolicy {
+ public:
+  virtual ~IngressPolicy() = default;
+  virtual PolicyDecision evaluate(const web::HttpRequest& request, const ClientContext& ctx) = 0;
+};
+
+// Default: everything is allowed (the unprotected baseline).
+class AllowAllPolicy final : public IngressPolicy {
+ public:
+  PolicyDecision evaluate(const web::HttpRequest&, const ClientContext&) override {
+    return PolicyDecision{};
+  }
+};
+
+}  // namespace fraudsim::app

@@ -1,0 +1,109 @@
+#include "attack/bot_base.hpp"
+
+#include <algorithm>
+
+#include "biometrics/features.hpp"
+
+namespace fraudsim::attack {
+
+void attach_pointer(app::ClientContext& ctx, sim::Rng& rng, PointerMode mode,
+                    const biometrics::MouseTrajectory& recorded) {
+  switch (mode) {
+    case PointerMode::None:
+      ctx.pointer_biometrics.reset();
+      return;
+    case PointerMode::Scripted: {
+      const biometrics::TrajectoryTarget target{rng.uniform(50, 400), rng.uniform(200, 700),
+                                                rng.uniform(500, 1200), rng.uniform(100, 600)};
+      ctx.pointer_biometrics = biometrics::extract(biometrics::scripted_trajectory(rng, target));
+      return;
+    }
+    case PointerMode::ReplayedHuman: {
+      // Small offsets shift the geometry but not its shape; the quantised
+      // digest still collides across replays.
+      const auto replay = biometrics::replay_trajectory(recorded, rng.uniform(-0.4, 0.4),
+                                                        rng.uniform(-0.4, 0.4));
+      ctx.pointer_biometrics = biometrics::extract(replay);
+      return;
+    }
+  }
+}
+
+DestinationPlan build_destination_plan(const sms::TariffTable& tariffs, int country_count,
+                                       double tail_total_weight) {
+  DestinationPlan plan;
+  for (const auto country : tariffs.by_attacker_revenue()) {
+    if (static_cast<int>(plan.countries.size()) >= country_count) break;
+    const double revenue = tariffs.attacker_revenue_per_sms(country).to_double();
+    if (revenue <= 0.0) break;  // ranked list: premium routes come first
+    plan.countries.push_back(country);
+    plan.weights.push_back(revenue);
+  }
+  // Fill the rest with the largest markets by population weight (number
+  // availability scales with market size).
+  std::vector<const net::CountryInfo*> tail;
+  for (const auto& info : net::world_countries()) {
+    if (tariffs.attacker_revenue_per_sms(info.code) > util::Money{}) continue;
+    tail.push_back(&info);
+  }
+  std::stable_sort(tail.begin(), tail.end(),
+                   [](const net::CountryInfo* a, const net::CountryInfo* b) {
+                     return a->population_weight > b->population_weight;
+                   });
+  double tail_pop = 0.0;
+  std::vector<const net::CountryInfo*> chosen;
+  for (const auto* info : tail) {
+    if (static_cast<int>(plan.countries.size() + chosen.size()) >= country_count) break;
+    chosen.push_back(info);
+    tail_pop += info->population_weight;
+  }
+  for (const auto* info : chosen) {
+    plan.countries.push_back(info->code);
+    plan.weights.push_back(
+        tail_pop > 0.0 ? tail_total_weight * info->population_weight / tail_pop
+                       : tail_total_weight);
+  }
+  return plan;
+}
+
+EvasionStack::EvasionStack(const fp::PopulationModel& population, net::ProxyPool& proxies,
+                           fp::RotationConfig rotation, sim::Rng rng, web::ActorId actor,
+                           sim::SimDuration session_lifetime)
+    : proxies_(proxies),
+      identity_(rotation, population, rng.fork("identity")),
+      rng_(std::move(rng)),
+      actor_(actor),
+      session_lifetime_(session_lifetime) {
+  last_fp_ = identity_.current().hash();
+}
+
+app::ClientContext EvasionStack::context(sim::SimTime now,
+                                         std::optional<net::CountryCode> country) {
+  identity_.advance(now);
+  const fp::FpHash fp_hash = identity_.current().hash();
+  if (fp_hash != last_fp_) {
+    // New fingerprint epoch: new session cookie too (a rotated bot does not
+    // reuse the cookie that got it flagged).
+    ++session_epoch_;
+    session_started_ = now;
+    last_fp_ = fp_hash;
+  } else if (session_lifetime_ > 0 && now - session_started_ >= session_lifetime_) {
+    // Routine cookie churn keeps per-session volume unremarkable.
+    ++session_epoch_;
+    session_started_ = now;
+  }
+  app::ClientContext ctx;
+  const auto exit = proxies_.exit(rng_, country);
+  ctx.ip = exit.ip;
+  // Session ids are derived from (actor, epoch) so each rotation epoch looks
+  // like a fresh visitor. High bits keep them from colliding with the legit
+  // generator's small sequential ids.
+  ctx.session = web::SessionId{(actor_.value() << 20) | session_epoch_};
+  ctx.fingerprint = identity_.current();
+  ctx.actor = actor_;
+  return ctx;
+}
+
+sim::SimTime EvasionStack::note_blocked(sim::SimTime now) { return identity_.on_blocked(now); }
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,123 @@
+// Shared bot plumbing: evasion stack (proxies + rotating fingerprints),
+// CAPTCHA-solving economics, and common counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "app/actors.hpp"
+#include "app/application.hpp"
+#include "biometrics/mouse.hpp"
+#include "fingerprint/rotation.hpp"
+#include "net/proxy.hpp"
+#include "sim/rng.hpp"
+#include "sms/tariff.hpp"
+
+namespace fraudsim::attack {
+
+// How a bot fakes the pointer-movement telemetry (when the site collects it).
+enum class PointerMode : std::uint8_t {
+  None,           // telemetry script bypassed (an absence that is itself a tell)
+  Scripted,       // synthetic straight/teleport movement
+  ReplayedHuman,  // a recorded human trajectory replayed with small offsets
+};
+
+// Attaches a pointer sample to the context according to the mode. `recorded`
+// is the bot's captured human trajectory, used by ReplayedHuman.
+void attach_pointer(app::ClientContext& ctx, sim::Rng& rng, PointerMode mode,
+                    const biometrics::MouseTrajectory& recorded);
+
+// A pumping ring's destination plan: premium kickback routes first (weighted
+// by revenue per SMS), padded with the largest ordinary markets where mobile
+// numbers are plentiful (§IV-C).
+struct DestinationPlan {
+  std::vector<net::CountryCode> countries;
+  std::vector<double> weights;
+};
+
+[[nodiscard]] DestinationPlan build_destination_plan(const sms::TariffTable& tariffs,
+                                                     int country_count,
+                                                     double tail_total_weight = 0.06);
+
+// Commercial CAPTCHA-solving service model (§V: challenges "add cost and
+// complexity to automated attacks" even when solvable).
+struct CaptchaSolverConfig {
+  double success_prob = 0.92;
+  sim::SimDuration mean_solve_time = sim::seconds(25);
+  util::Money cost_per_solve = util::Money::from_double(0.003);  // ~$3/1000
+};
+
+struct BotCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t challenged = 0;
+  std::uint64_t captchas_attempted = 0;
+  std::uint64_t captchas_solved = 0;
+  std::uint64_t rate_limited = 0;
+  util::Money captcha_spend;
+  util::Money proxy_spend;
+};
+
+// The client identity a bot presents: a proxy exit IP + a rotating spoofed
+// fingerprint + a fresh session cookie per rotation epoch.
+class EvasionStack {
+ public:
+  // `session_lifetime`: bots discard their cookie jar regularly so no single
+  // session accumulates a telltale request volume (the low-footprint tactic
+  // of §II-A / §III-A).
+  EvasionStack(const fp::PopulationModel& population, net::ProxyPool& proxies,
+               fp::RotationConfig rotation, sim::Rng rng, web::ActorId actor,
+               sim::SimDuration session_lifetime = sim::minutes(20));
+
+  // Context for the next request at `now`, optionally pinning the exit
+  // country (SMS pumping matches proxy country to the destination number).
+  app::ClientContext context(sim::SimTime now,
+                             std::optional<net::CountryCode> country = std::nullopt);
+
+  // The platform refused us; schedule a fingerprint rotation (the ~5.3 h
+  // reaction of §IV-A). Returns when the new fingerprint becomes active.
+  sim::SimTime note_blocked(sim::SimTime now);
+
+  [[nodiscard]] const fp::RotatingIdentity& identity() const { return identity_; }
+  [[nodiscard]] util::Money proxy_spend() const { return proxies_.total_cost(); }
+
+ private:
+  net::ProxyPool& proxies_;
+  fp::RotatingIdentity identity_;
+  sim::Rng rng_;
+  web::ActorId actor_;
+  sim::SimDuration session_lifetime_;
+  sim::SimTime session_started_ = 0;
+  std::uint64_t session_epoch_ = 1;
+  fp::FpHash last_fp_;
+};
+
+// Runs a policy-guarded call with CAPTCHA-solving on challenge. `Action` is
+// retried once after a successful solve. Updates counters; the solve delay is
+// modelled as money+probability only (bots parallelise waiting).
+template <typename Action>
+app::CallStatus with_captcha_solver(Action&& action, const CaptchaSolverConfig& solver,
+                                    sim::Rng& rng, app::ClientContext& ctx,
+                                    BotCounters& counters) {
+  app::CallStatus status = action();
+  ++counters.requests;
+  if (status != app::CallStatus::Challenged) {
+    if (status == app::CallStatus::Blocked) ++counters.blocked;
+    if (status == app::CallStatus::RateLimited) ++counters.rate_limited;
+    return status;
+  }
+  ++counters.challenged;
+  ++counters.captchas_attempted;
+  counters.captcha_spend += solver.cost_per_solve;
+  if (!rng.bernoulli(solver.success_prob)) return status;
+  ++counters.captchas_solved;
+  ctx.captcha_solved = true;
+  status = action();
+  ++counters.requests;
+  ctx.captcha_solved = false;
+  if (status == app::CallStatus::Blocked) ++counters.blocked;
+  if (status == app::CallStatus::RateLimited) ++counters.rate_limited;
+  return status;
+}
+
+}  // namespace fraudsim::attack

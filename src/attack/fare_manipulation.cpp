@@ -1,0 +1,116 @@
+#include "attack/fare_manipulation.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::attack {
+
+FareManipulationBot::FareManipulationBot(app::Application& application,
+                                         app::ActorRegistry& actors, net::ProxyPool& proxies,
+                                         const fp::PopulationModel& population,
+                                         FareManipulationConfig config, sim::Rng rng)
+    : app_(application),
+      config_(config),
+      rng_(std::move(rng)),
+      actor_(actors.register_actor(app::ActorKind::SeatSpinBot)),
+      stack_(population, proxies, config.rotation, rng_.fork("evasion"), actor_),
+      identities_(config.identity, rng_.fork("identities")) {
+  auto capture_rng = rng_.fork("pointer-capture");
+  recorded_ = biometrics::human_trajectory(capture_rng, biometrics::TrajectoryTarget{});
+}
+
+void FareManipulationBot::start() {
+  app_.simulation().schedule_in(0, [this] { suppress_tick(); });
+}
+
+int FareManipulationBot::seats_held(sim::SimTime now) const {
+  int seats = 0;
+  for (const auto& h : holds_) {
+    if (h.expiry > now) seats += h.nip;
+  }
+  return seats;
+}
+
+void FareManipulationBot::suppress_tick() {
+  const sim::SimTime now = app_.simulation().now();
+  const airline::Flight* flight = app_.inventory().flight(config_.target);
+  if (flight == nullptr) return;
+
+  // Phase transition: stop re-holding and let everything lapse.
+  if (now >= flight->departure - config_.release_before_departure) {
+    stats_.released_at = now;
+    app_.simulation().schedule_in(config_.buy_delay_after_release, [this] { buy(); });
+    return;
+  }
+
+  holds_.erase(std::remove_if(holds_.begin(), holds_.end(),
+                              [now](const ActiveHold& h) { return h.expiry <= now; }),
+               holds_.end());
+
+  const int budget =
+      static_cast<int>(config_.suppress_fraction * static_cast<double>(flight->capacity));
+  int attempts = 0;
+  while (seats_held(now) < budget && attempts < 10) {
+    const int available = app_.inventory().available_seats(config_.target);
+    if (available <= 0) break;
+    const int nip = std::min(config_.hold_nip, available);
+    auto ctx = stack_.context(now);
+    attach_pointer(ctx, rng_, PointerMode::Scripted, recorded_);
+    ++attempts;
+    app::HoldResult result;
+    const auto status = with_captcha_solver(
+        [&] {
+          result = app_.hold(ctx, config_.target, identities_.make_party(nip));
+          return result.status;
+        },
+        config_.solver, rng_, ctx, stats_.counters);
+    if (status == app::CallStatus::Ok) {
+      ++stats_.suppression_holds;
+      holds_.push_back(ActiveHold{result.pnr, now + app_.inventory().hold_duration(), nip});
+      stats_.peak_seats_held = std::max(stats_.peak_seats_held, seats_held(now));
+    } else if (status == app::CallStatus::Blocked) {
+      stack_.note_blocked(now);
+      break;
+    } else {
+      break;
+    }
+  }
+
+  // Record what everyone else is being quoted while the cabin looks full.
+  if (!stats_.quote_during_suppression && seats_held(now) >= budget / 2) {
+    auto ctx = stack_.context(now);
+    stats_.quote_during_suppression = app_.quote_fare(ctx, config_.target);
+  }
+
+  app_.simulation().schedule_in(
+      config_.check_interval + static_cast<sim::SimDuration>(
+                                   rng_.uniform(0.0, 60.0) * sim::kSecond),
+      [this] { suppress_tick(); });
+}
+
+void FareManipulationBot::buy() {
+  const sim::SimTime now = app_.simulation().now();
+  auto ctx = stack_.context(now);
+  stats_.quote_at_buy = app_.quote_fare(ctx, config_.target);
+  for (int i = 0; i < config_.tickets_to_buy; ++i) {
+    auto buy_ctx = stack_.context(app_.simulation().now());
+    attach_pointer(buy_ctx, rng_, PointerMode::Scripted, recorded_);
+    app::HoldResult hold;
+    auto status = with_captcha_solver(
+        [&] {
+          hold = app_.hold(buy_ctx, config_.target, identities_.make_party(1));
+          return hold.status;
+        },
+        config_.solver, rng_, buy_ctx, stats_.counters);
+    if (status != app::CallStatus::Ok) continue;
+    status = with_captcha_solver([&] { return app_.pay(buy_ctx, hold.pnr); }, config_.solver,
+                                 rng_, buy_ctx, stats_.counters);
+    if (status != app::CallStatus::Ok) continue;
+    // Pays the going rate at the moment of each purchase.
+    const auto quote = app_.quote_fare(buy_ctx, config_.target);
+    stats_.total_paid += quote;
+    ++stats_.tickets_bought;
+  }
+  stats_.bought_at = app_.simulation().now();
+}
+
+}  // namespace fraudsim::attack

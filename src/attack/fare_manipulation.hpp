@@ -1,0 +1,82 @@
+// Dynamic-pricing manipulation through inventory holds (paper §II-A):
+// "attackers strategically hold reservations and items at lower fares
+// without an investment to force price drops before making a legitimate
+// purchase."
+//
+// Three phases:
+//   1. suppress — hold a large share of the cabin on repeat, for free;
+//      revenue management sees a "booked" flight and nobody else buys
+//   2. release  — stop re-holding shortly before departure; the holds lapse
+//      and the flight suddenly looks empty days before take-off
+//   3. buy      — purchase real tickets at the distressed-inventory price
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/bot_base.hpp"
+#include "attack/identity_gen.hpp"
+
+namespace fraudsim::attack {
+
+struct FareManipulationConfig {
+  airline::FlightId target;
+  // Seats kept held during suppression (fraction of capacity).
+  double suppress_fraction = 0.7;
+  int hold_nip = 2;                       // normal-looking party sizes
+  sim::SimDuration release_before_departure = sim::days(2);
+  // How long after release to wait before buying (own holds must lapse).
+  sim::SimDuration buy_delay_after_release = sim::hours(5);
+  int tickets_to_buy = 10;
+  IdentityGenConfig identity{IdentityRegime::PlausibleRandom, 6, 0.0, 8};
+  fp::RotationConfig rotation;
+  CaptchaSolverConfig solver;
+  sim::SimDuration check_interval = sim::minutes(4);
+};
+
+struct FareManipulationStats {
+  BotCounters counters;
+  std::uint64_t suppression_holds = 0;
+  int peak_seats_held = 0;
+  std::optional<util::Money> quote_during_suppression;  // what others faced
+  std::optional<util::Money> quote_at_buy;              // what the ring paid
+  util::Money total_paid;
+  int tickets_bought = 0;
+  sim::SimTime released_at = -1;
+  sim::SimTime bought_at = -1;
+};
+
+class FareManipulationBot {
+ public:
+  FareManipulationBot(app::Application& application, app::ActorRegistry& actors,
+                      net::ProxyPool& proxies, const fp::PopulationModel& population,
+                      FareManipulationConfig config, sim::Rng rng);
+
+  void start();
+
+  [[nodiscard]] const FareManipulationStats& stats() const { return stats_; }
+  [[nodiscard]] web::ActorId actor() const { return actor_; }
+
+ private:
+  void suppress_tick();
+  void buy();
+  [[nodiscard]] int seats_held(sim::SimTime now) const;
+
+  app::Application& app_;
+  FareManipulationConfig config_;
+  sim::Rng rng_;
+  web::ActorId actor_;
+  EvasionStack stack_;
+  IdentityGenerator identities_;
+  biometrics::MouseTrajectory recorded_;
+  struct ActiveHold {
+    std::string pnr;
+    sim::SimTime expiry;
+    int nip;
+  };
+  std::vector<ActiveHold> holds_;
+  FareManipulationStats stats_;
+};
+
+}  // namespace fraudsim::attack

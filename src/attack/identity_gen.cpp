@@ -1,0 +1,122 @@
+#include "attack/identity_gen.hpp"
+
+#include <algorithm>
+
+#include "workload/names.hpp"
+
+namespace fraudsim::attack {
+
+const char* to_string(IdentityRegime r) {
+  switch (r) {
+    case IdentityRegime::PlausibleRandom:
+      return "plausible-random";
+    case IdentityRegime::Gibberish:
+      return "gibberish";
+    case IdentityRegime::FixedNameRotatingBirthdate:
+      return "fixed-name-rotating-birthdate";
+    case IdentityRegime::PermutedFixedSet:
+      return "permuted-fixed-set";
+  }
+  return "?";
+}
+
+IdentityGenerator::IdentityGenerator(IdentityGenConfig config, sim::Rng rng)
+    : config_(config), rng_(std::move(rng)) {
+  // Pre-build persistent state for the stateful regimes.
+  lead_ = workload::random_passenger(rng_);
+  for (int i = 0; i < config_.companion_pool_size; ++i) {
+    companions_.push_back(workload::random_passenger(rng_));
+  }
+  for (int i = 0; i < config_.fixed_set_size; ++i) {
+    fixed_set_.push_back(workload::random_passenger(rng_));
+  }
+}
+
+namespace {
+
+// Keyboard-mash strings like the paper's "affjgdui"/"ddfjrei": consonant-
+// heavy, occasionally doubled, structurally unlike natural names.
+std::string keyboard_mash(sim::Rng& rng, std::size_t length) {
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwxz";
+  static constexpr char kVowels[] = "aeiou";
+  std::string s;
+  s.reserve(length);
+  while (s.size() < length) {
+    const char c = rng.bernoulli(0.82)
+                       ? kConsonants[static_cast<std::size_t>(rng.uniform_int(0, 19))]
+                       : kVowels[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+    s.push_back(c);
+    if (rng.bernoulli(0.18) && s.size() < length) s.push_back(c);  // "dd", "ff"
+  }
+  return s;
+}
+
+}  // namespace
+
+airline::Passenger IdentityGenerator::gibberish_passenger() {
+  airline::Passenger p;
+  p.first_name = keyboard_mash(rng_, static_cast<std::size_t>(rng_.uniform_int(6, 9)));
+  p.surname = keyboard_mash(rng_, static_cast<std::size_t>(rng_.uniform_int(6, 9)));
+  p.birthdate = airline::random_birthdate(rng_);
+  p.email = p.surname + "@mailbox.example";
+  return p;
+}
+
+std::vector<airline::Passenger> IdentityGenerator::make_party(int nip) {
+  std::vector<airline::Passenger> party;
+  party.reserve(static_cast<std::size_t>(std::max(nip, 0)));
+  switch (config_.regime) {
+    case IdentityRegime::PlausibleRandom: {
+      for (int i = 0; i < nip; ++i) party.push_back(workload::random_passenger(rng_));
+      break;
+    }
+    case IdentityRegime::Gibberish: {
+      for (int i = 0; i < nip; ++i) party.push_back(gibberish_passenger());
+      break;
+    }
+    case IdentityRegime::FixedNameRotatingBirthdate: {
+      // First passenger: fixed name+surname, birthdate stepped systematically
+      // (day advancing by one per reservation — the Airline B signature).
+      airline::Passenger lead = lead_;
+      ++birthdate_step_;
+      lead.birthdate.day = 1 + (lead.birthdate.day - 1 + birthdate_step_) %
+                                   airline::days_in_month(lead.birthdate.year,
+                                                          lead.birthdate.month);
+      party.push_back(lead);
+      // Companions: overlapping name-surname combos, varying birthdates.
+      for (int i = 1; i < nip; ++i) {
+        airline::Passenger c = companions_[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(companions_.size()) - 1))];
+        c.birthdate = airline::random_birthdate(rng_);
+        party.push_back(std::move(c));
+      }
+      break;
+    }
+    case IdentityRegime::PermutedFixedSet: {
+      // Same people, different order; occasional manual typos.
+      std::vector<std::size_t> order(fixed_set_.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      rng_.shuffle(order.begin(), order.end());
+      for (int i = 0; i < nip && i < static_cast<int>(order.size()); ++i) {
+        airline::Passenger p = fixed_set_[order[static_cast<std::size_t>(i)]];
+        if (rng_.bernoulli(config_.misspell_prob)) {
+          p.first_name = workload::misspell(rng_, p.first_name);
+        }
+        if (rng_.bernoulli(config_.misspell_prob)) {
+          p.surname = workload::misspell(rng_, p.surname);
+        }
+        party.push_back(std::move(p));
+      }
+      // A fixed set smaller than the party repeats members (the flaw that
+      // allowed duplicate names in §IV-B).
+      while (static_cast<int>(party.size()) < nip) {
+        party.push_back(fixed_set_[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(fixed_set_.size()) - 1))]);
+      }
+      break;
+    }
+  }
+  return party;
+}
+
+}  // namespace fraudsim::attack

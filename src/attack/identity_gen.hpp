@@ -1,0 +1,65 @@
+// Attacker identity regimes (paper §IV-B).
+//
+// The case studies report four distinct passenger-identity patterns:
+//   * Gibberish            — fully random entries ("affjgdui ddfjrei")
+//   * FixedNameRotatingBirthdate — Airline B (Oct 2024): first passenger's
+//     name fixed, birthdate rotated systematically; companions drawn from a
+//     small overlapping name set with varying birthdates
+//   * PermutedFixedSet     — Airline C (Dec 2024), manual: the same small set
+//     of real names reused in different orders, with occasional misspellings
+//   * PlausibleRandom      — stolen/fabricated but realistic identities
+//     (the SMS-pumping ticket purchases of §IV-C)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "airline/passenger.hpp"
+#include "sim/rng.hpp"
+
+namespace fraudsim::attack {
+
+enum class IdentityRegime : std::uint8_t {
+  PlausibleRandom,
+  Gibberish,
+  FixedNameRotatingBirthdate,
+  PermutedFixedSet,
+};
+
+[[nodiscard]] const char* to_string(IdentityRegime r);
+
+struct IdentityGenConfig {
+  IdentityRegime regime = IdentityRegime::Gibberish;
+  // PermutedFixedSet: size of the fixed name pool.
+  int fixed_set_size = 6;
+  // PermutedFixedSet: per-name probability of a one-character misspelling.
+  double misspell_prob = 0.08;
+  // FixedNameRotatingBirthdate: size of the companion name pool that
+  // overlaps across reservations.
+  int companion_pool_size = 8;
+};
+
+class IdentityGenerator {
+ public:
+  IdentityGenerator(IdentityGenConfig config, sim::Rng rng);
+
+  // A party of `nip` passengers under the configured regime.
+  [[nodiscard]] std::vector<airline::Passenger> make_party(int nip);
+
+  [[nodiscard]] IdentityRegime regime() const { return config_.regime; }
+
+ private:
+  [[nodiscard]] airline::Passenger gibberish_passenger();
+
+  IdentityGenConfig config_;
+  sim::Rng rng_;
+  // FixedNameRotatingBirthdate state.
+  airline::Passenger lead_;           // fixed name, birthdate rotated per party
+  int birthdate_step_ = 0;
+  std::vector<airline::Passenger> companions_;
+  // PermutedFixedSet state.
+  std::vector<airline::Passenger> fixed_set_;
+};
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,84 @@
+#include "attack/manual_spinner.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::attack {
+
+ManualSpinner::ManualSpinner(app::Application& application, app::ActorRegistry& actors,
+                             net::ProxyPool& proxies, const fp::PopulationModel& population,
+                             ManualSpinnerConfig config, sim::Rng rng)
+    : app_(application),
+      proxies_(proxies),
+      config_(config),
+      rng_(std::move(rng)),
+      actor_(actors.register_actor(app::ActorKind::ManualSpinner)),
+      identities_(config.identity, rng_.fork("identities")) {
+  // One or two real devices, sampled from the genuine population.
+  devices_.push_back(population.sample(rng_));
+  if (rng_.bernoulli(0.3)) devices_.push_back(population.sample(rng_));
+}
+
+void ManualSpinner::start() { schedule_next_session(); }
+
+void ManualSpinner::schedule_next_session() {
+  const double gap_hours = rng_.exponential(24.0 / config_.sessions_per_day);
+  const auto delay = static_cast<sim::SimDuration>(gap_hours * sim::kHour);
+  app_.simulation().schedule_in(std::max<sim::SimDuration>(delay, sim::minutes(5)),
+                                [this] { run_session(); });
+}
+
+void ManualSpinner::run_session() {
+  const sim::SimTime now = app_.simulation().now();
+  const airline::Flight* flight = app_.inventory().flight(config_.target);
+  if (flight == nullptr) return;
+  if (now >= flight->departure - config_.stop_before_departure) {
+    stats_.stopped_at = now;
+    return;
+  }
+  ++stats_.sessions;
+
+  app::ClientContext ctx;
+  const auto exit = proxies_.exit(rng_, std::nullopt);  // VPN hop, any country
+  ctx.ip = exit.ip;
+  ctx.session = web::SessionId{(actor_.value() << 20) | session_seq_++};
+  ctx.fingerprint = devices_[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(devices_.size()) - 1))];
+  ctx.actor = actor_;
+
+  // Human browsing trail with human pacing.
+  app_.browse(ctx, web::Endpoint::Home);
+  sim::SimDuration at = static_cast<sim::SimDuration>(rng_.uniform(8.0, 40.0) * sim::kSecond);
+  app_.simulation().schedule_in(at, [this, ctx]() mutable {
+    app_.browse(ctx, web::Endpoint::SearchFlights);
+  });
+  at += static_cast<sim::SimDuration>(rng_.uniform(10.0, 60.0) * sim::kSecond);
+  app_.simulation().schedule_in(at, [this, ctx]() mutable {
+    app_.browse(ctx, web::Endpoint::SeatMap);
+  });
+  at += static_cast<sim::SimDuration>(rng_.uniform(15.0, 90.0) * sim::kSecond);
+  app_.simulation().schedule_in(at, [this, ctx]() mutable {
+    // A human at a real mouse: genuinely human pointer telemetry.
+    ctx.pointer_biometrics = biometrics::extract(
+        biometrics::human_trajectory(rng_, biometrics::TrajectoryTarget{}));
+    const int nip = static_cast<int>(rng_.uniform_int(config_.min_nip, config_.max_nip));
+    auto party = identities_.make_party(nip);
+    ++stats_.holds_attempted;
+    auto result = app_.hold(ctx, config_.target, party);
+    if (result.status == app::CallStatus::Challenged) {
+      ++stats_.challenged;
+      if (rng_.bernoulli(config_.p_solve_captcha)) {
+        ctx.captcha_solved = true;
+        result = app_.hold(ctx, config_.target, std::move(party));
+        ctx.captcha_solved = false;
+      }
+    }
+    if (result.status == app::CallStatus::Ok) {
+      ++stats_.holds_succeeded;
+    } else if (result.status == app::CallStatus::Blocked) {
+      ++stats_.blocked;
+    }
+    schedule_next_session();
+  });
+}
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,70 @@
+// Manual Seat Spinning (paper §IV-B, Airline C, Dec 2024).
+//
+// A human attacker holding seats on an upcoming flight to secure preferred
+// seating: the same small set of real passenger names reused in different
+// orders, occasional hand-typed misspellings, a broad range of (VPN) IP
+// addresses — but a real browser with no automation artifacts, human think
+// times, and low volume. Bot-detection alerts stay silent; only the
+// identity-pattern detectors catch it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/actors.hpp"
+#include "app/application.hpp"
+#include "attack/identity_gen.hpp"
+#include "biometrics/features.hpp"
+#include "fingerprint/population.hpp"
+#include "net/proxy.hpp"
+
+namespace fraudsim::attack {
+
+struct ManualSpinnerConfig {
+  airline::FlightId target;
+  double sessions_per_day = 8.0;   // "unusually high number of seat holdings"
+  int min_nip = 1;
+  int max_nip = 3;
+  IdentityGenConfig identity{IdentityRegime::PermutedFixedSet, 5, 0.10, 8};
+  double p_solve_captcha = 0.97;   // humans pass challenges
+  sim::SimDuration stop_before_departure = sim::hours(6);
+};
+
+struct ManualSpinnerStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t holds_attempted = 0;
+  std::uint64_t holds_succeeded = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t challenged = 0;
+  sim::SimTime stopped_at = -1;
+};
+
+class ManualSpinner {
+ public:
+  ManualSpinner(app::Application& application, app::ActorRegistry& actors,
+                net::ProxyPool& proxies, const fp::PopulationModel& population,
+                ManualSpinnerConfig config, sim::Rng rng);
+
+  void start();
+
+  [[nodiscard]] const ManualSpinnerStats& stats() const { return stats_; }
+  [[nodiscard]] web::ActorId actor() const { return actor_; }
+
+ private:
+  void schedule_next_session();
+  void run_session();
+
+  app::Application& app_;
+  net::ProxyPool& proxies_;
+  ManualSpinnerConfig config_;
+  sim::Rng rng_;
+  web::ActorId actor_;
+  IdentityGenerator identities_;
+  // The attacker's real device: one persistent fingerprint (maybe a second
+  // device), no automation artifacts.
+  std::vector<fp::Fingerprint> devices_;
+  ManualSpinnerStats stats_;
+  std::uint64_t session_seq_ = 1;
+};
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,69 @@
+#include "attack/otp_pump.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::attack {
+
+OtpPumpBot::OtpPumpBot(app::Application& application, app::ActorRegistry& actors,
+                       net::ProxyPool& proxies, const fp::PopulationModel& population,
+                       const sms::TariffTable& tariffs, OtpPumpConfig config, sim::Rng rng)
+    : app_(application),
+      config_(config),
+      rng_(std::move(rng)),
+      actor_(actors.register_actor(app::ActorKind::SmsPumpBot)),
+      stack_(population, proxies, config.rotation, rng_.fork("evasion"), actor_),
+      numbers_(rng_.fork("numbers")),
+      plan_(build_destination_plan(tariffs, config.target_country_count)) {
+  auto capture_rng = rng_.fork("pointer-capture");
+  recorded_ = biometrics::human_trajectory(capture_rng, biometrics::TrajectoryTarget{});
+  for (const auto country : plan_.countries) {
+    pools_[country] = numbers_.build_pool(country, config_.numbers_per_country);
+  }
+}
+
+void OtpPumpBot::start() {
+  app_.simulation().schedule_in(0, [this] { pump(); });
+}
+
+void OtpPumpBot::pump() {
+  const sim::SimTime now = app_.simulation().now();
+  if (config_.stop_at > 0 && now >= config_.stop_at) {
+    stats_.stopped_at = now;
+    return;
+  }
+  if (consecutive_failures_ >= config_.give_up_after_failures) {
+    stats_.gave_up = true;
+    stats_.stopped_at = now;
+    return;
+  }
+
+  const auto country = plan_.countries[rng_.weighted_index(plan_.weights)];
+  const auto& pool = pools_[country];
+  const auto& number = pool[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+
+  auto ctx = stack_.context(now, country);
+  attach_pointer(ctx, rng_, config_.pointer, recorded_);
+  // A fresh "account" per burst: the login page does not verify the account
+  // exists before offering to send the OTP.
+  const std::string account = "ghost" + std::to_string(account_seq_++);
+  ++stats_.requests;
+  const auto status = with_captcha_solver(
+      [&] { return app_.request_otp(ctx, account, number).status; }, config_.solver, rng_, ctx,
+      stats_.counters);
+
+  if (status == app::CallStatus::Ok) {
+    ++stats_.otp_sent;
+    consecutive_failures_ = 0;
+  } else {
+    ++consecutive_failures_;
+    if (status == app::CallStatus::Blocked) stack_.note_blocked(now);
+  }
+
+  const auto gap = std::max<sim::SimDuration>(
+      sim::kSecond, static_cast<sim::SimDuration>(
+                        rng_.exponential(static_cast<double>(config_.mean_request_gap))));
+  app_.simulation().schedule_in(gap, [this] { pump(); });
+}
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,65 @@
+// Classic OTP-based SMS pumping (paper §II-B, §IV-C intro: "SMS Pumping
+// attacks typically target OTP services, which are ... easily accessible,
+// since they are often required during login").
+//
+// Unlike the advanced boarding-pass variant, this needs no account, no
+// payment and no PNR: every login attempt can trigger an OTP send. The
+// natural mitigation is an ad-hoc rate limit on the OTP path plus a
+// challenge layer — both modelled in core/mitigate.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "attack/bot_base.hpp"
+
+namespace fraudsim::attack {
+
+struct OtpPumpConfig {
+  int target_country_count = 42;
+  sim::SimDuration mean_request_gap = sim::seconds(20);
+  std::size_t numbers_per_country = 250;
+  fp::RotationConfig rotation;
+  CaptchaSolverConfig solver;
+  int give_up_after_failures = 40;
+  sim::SimTime stop_at = 0;  // 0 = run until stopped or given up
+  PointerMode pointer = PointerMode::Scripted;
+};
+
+struct OtpPumpStats {
+  BotCounters counters;
+  std::uint64_t requests = 0;
+  std::uint64_t otp_sent = 0;
+  sim::SimTime stopped_at = -1;
+  bool gave_up = false;
+};
+
+class OtpPumpBot {
+ public:
+  OtpPumpBot(app::Application& application, app::ActorRegistry& actors, net::ProxyPool& proxies,
+             const fp::PopulationModel& population, const sms::TariffTable& tariffs,
+             OtpPumpConfig config, sim::Rng rng);
+
+  void start();
+
+  [[nodiscard]] const OtpPumpStats& stats() const { return stats_; }
+  [[nodiscard]] web::ActorId actor() const { return actor_; }
+
+ private:
+  void pump();
+
+  app::Application& app_;
+  OtpPumpConfig config_;
+  sim::Rng rng_;
+  web::ActorId actor_;
+  EvasionStack stack_;
+  sms::NumberGenerator numbers_;
+  DestinationPlan plan_;
+  biometrics::MouseTrajectory recorded_;
+  std::unordered_map<net::CountryCode, std::vector<sms::PhoneNumber>> pools_;
+  int consecutive_failures_ = 0;
+  std::uint64_t account_seq_ = 0;
+  OtpPumpStats stats_;
+};
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,88 @@
+#include "attack/recon.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::attack {
+
+ReconProbe::ReconProbe(app::Application& application, app::ActorRegistry& actors,
+                       net::ProxyPool& proxies, const fp::PopulationModel& population,
+                       ReconConfig config, sim::Rng rng)
+    : app_(application),
+      config_(config),
+      rng_(std::move(rng)),
+      actor_(actors.register_actor(app::ActorKind::SeatSpinBot)),
+      stack_(population, proxies, fp::RotationConfig{}, rng_.fork("evasion"), actor_),
+      identities_(IdentityGenConfig{IdentityRegime::PlausibleRandom, 6, 0.0, 8},
+                  rng_.fork("identities")) {}
+
+void ReconProbe::start(std::function<void(const ReconFindings&)> done) {
+  done_ = std::move(done);
+  probe_nip_cap(1, config_.max_nip_to_probe);
+}
+
+void ReconProbe::probe_nip_cap(int lo, int hi) {
+  // Invariant: a hold of `lo` passengers is known (or assumed) to succeed;
+  // `hi + 1` is known (or assumed) to fail. Binary search with throwaway
+  // holds; each probe is spaced out so the trickle looks like browsing.
+  if (lo >= hi) {
+    findings_.max_nip = lo;
+    plant_canary();
+    return;
+  }
+  const int mid = (lo + hi + 1) / 2;
+  auto ctx = stack_.context(app_.simulation().now());
+  ++findings_.probes_sent;
+  const auto result = app_.hold(ctx, config_.probe_flight, identities_.make_party(mid));
+  int next_lo = lo;
+  int next_hi = hi;
+  if (result.status == app::CallStatus::Ok) {
+    next_lo = mid;
+    // Clean up: no reason to keep blocking inventory during recon. A real
+    // operator can't cancel without logging in, so the hold simply lapses;
+    // we leave it to expire for fidelity.
+  } else if (result.status == app::CallStatus::BusinessReject && result.rejection &&
+             result.rejection->reason == airline::HoldRejection::Reason::NipCapExceeded) {
+    next_hi = mid - 1;
+  } else {
+    // Availability or policy noise: retry the same range later.
+  }
+  const auto gap = static_cast<sim::SimDuration>(rng_.uniform(60.0, 300.0) * sim::kSecond);
+  app_.simulation().schedule_in(gap, [this, next_lo, next_hi] {
+    probe_nip_cap(next_lo, next_hi);
+  });
+}
+
+void ReconProbe::plant_canary() {
+  auto ctx = stack_.context(app_.simulation().now());
+  ++findings_.probes_sent;
+  const auto result = app_.hold(ctx, config_.probe_flight, identities_.make_party(1));
+  if (result.status != app::CallStatus::Ok) {
+    // Couldn't plant; report what we have.
+    if (done_) done_(findings_);
+    return;
+  }
+  const sim::SimTime planted = app_.simulation().now();
+  poll_canary(planted, result.pnr);
+}
+
+void ReconProbe::poll_canary(sim::SimTime planted_at, const std::string& pnr) {
+  const sim::SimTime now = app_.simulation().now();
+  if (now - planted_at > config_.max_wait) {
+    if (done_) done_(findings_);
+    return;
+  }
+  // "Retrieve my booking": once the hold lapses, the public view flips —
+  // the observable signal of the hold window's length.
+  auto ctx = stack_.context(now);
+  const auto view = app_.retrieve_booking(ctx, pnr);
+  if (view.found && !view.held) {
+    findings_.hold_duration = now - planted_at;
+    if (done_) done_(findings_);
+    return;
+  }
+  app_.simulation().schedule_in(config_.poll_interval, [this, planted_at, pnr] {
+    poll_canary(planted_at, pnr);
+  });
+}
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,59 @@
+// Attacker reconnaissance (paper §IV-A): "the attackers conducted preliminary
+// reconnaissance before executing the attack. They carefully studied the
+// airline's reservation system, identifying the seat hold duration and
+// maximum number of passengers per booking."
+//
+// The probe learns both parameters empirically, exactly as a human operator
+// would: binary-search the NiP cap with throwaway hold requests, then place
+// one canary hold and poll the booking until it lapses.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "attack/bot_base.hpp"
+#include "attack/identity_gen.hpp"
+
+namespace fraudsim::attack {
+
+struct ReconConfig {
+  airline::FlightId probe_flight;  // any bookable flight works
+  int max_nip_to_probe = 12;       // upper bound of the cap search
+  // Polling cadence while waiting for the canary hold to lapse.
+  sim::SimDuration poll_interval = sim::minutes(5);
+  sim::SimDuration max_wait = sim::hours(12);
+};
+
+struct ReconFindings {
+  std::optional<int> max_nip;                     // the airline's NiP cap
+  std::optional<sim::SimDuration> hold_duration;  // rounded up to the poll tick
+  std::uint64_t probes_sent = 0;
+};
+
+class ReconProbe {
+ public:
+  ReconProbe(app::Application& application, app::ActorRegistry& actors, net::ProxyPool& proxies,
+             const fp::PopulationModel& population, ReconConfig config, sim::Rng rng);
+
+  // Runs the probe; `done` fires once both parameters are learned (or the
+  // wait budget runs out).
+  void start(std::function<void(const ReconFindings&)> done);
+
+  [[nodiscard]] const ReconFindings& findings() const { return findings_; }
+
+ private:
+  void probe_nip_cap(int lo, int hi);
+  void plant_canary();
+  void poll_canary(sim::SimTime planted_at, const std::string& pnr);
+
+  app::Application& app_;
+  ReconConfig config_;
+  sim::Rng rng_;
+  web::ActorId actor_;
+  EvasionStack stack_;
+  IdentityGenerator identities_;
+  ReconFindings findings_;
+  std::function<void(const ReconFindings&)> done_;
+};
+
+}  // namespace fraudsim::attack

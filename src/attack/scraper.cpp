@@ -1,0 +1,53 @@
+#include "attack/scraper.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace fraudsim::attack {
+
+ScraperBot::ScraperBot(app::Application& application, app::ActorRegistry& actors,
+                       net::ProxyPool& proxies, const fp::PopulationModel& population,
+                       ScraperConfig config, sim::Rng rng)
+    : app_(application),
+      proxies_(proxies),
+      population_(population),
+      config_(config),
+      rng_(std::move(rng)),
+      actor_(actors.register_actor(app::ActorKind::Scraper)) {}
+
+void ScraperBot::start() {
+  app_.simulation().schedule_in(0, [this] { run_session(config_.sessions); });
+}
+
+void ScraperBot::run_session(int remaining_sessions) {
+  if (remaining_sessions <= 0) return;
+  ++stats_.sessions;
+
+  auto ctx = std::make_shared<app::ClientContext>();
+  const auto exit = proxies_.exit(rng_, std::nullopt);
+  ctx->ip = exit.ip;
+  ctx->session = web::SessionId{(actor_.value() << 20) | session_seq_++};
+  ctx->fingerprint = config_.naive ? population_.sample_naive_bot(rng_)
+                                   : population_.sample_spoofed(rng_, fp::SpoofOptions{});
+  ctx->actor = actor_;
+
+  sim::SimDuration at = 0;
+  for (int i = 0; i < config_.requests_per_session; ++i) {
+    at += std::max<sim::SimDuration>(
+        100, static_cast<sim::SimDuration>(rng_.exponential(config_.mean_gap_seconds) *
+                                           sim::kSecond));
+    app_.simulation().schedule_in(at, [this, ctx] {
+      web::Endpoint endpoint = web::Endpoint::SearchFlights;
+      if (rng_.bernoulli(0.35)) endpoint = web::Endpoint::FlightDetails;
+      if (config_.naive && rng_.bernoulli(config_.trap_hit_prob)) endpoint = web::Endpoint::TrapFile;
+      const auto status = app_.browse(*ctx, endpoint);
+      ++stats_.requests;
+      if (status == app::CallStatus::Blocked) ++stats_.blocked;
+    });
+  }
+  app_.simulation().schedule_in(at + config_.session_gap, [this, remaining_sessions] {
+    run_session(remaining_sessions - 1);
+  });
+}
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,54 @@
+// Web scraper bot — the "simple" functional abuse the paper contrasts
+// against (§I, §III-A). High request volume, deep search crawling, machine
+// pacing; naive variants carry automation artifacts and fall into trap URLs.
+// Behaviour-based detectors catch this easily — which is exactly the contrast
+// bench/exp_detection_comparison draws against low-volume DoI bots.
+#pragma once
+
+#include "app/actors.hpp"
+#include "app/application.hpp"
+#include "fingerprint/population.hpp"
+#include "net/proxy.hpp"
+#include "sim/rng.hpp"
+
+namespace fraudsim::attack {
+
+struct ScraperConfig {
+  int requests_per_session = 300;
+  double mean_gap_seconds = 1.5;   // machine pacing
+  bool naive = true;               // webdriver artifacts + trap-file hits
+  double trap_hit_prob = 0.02;     // per request, naive only
+  int sessions = 4;
+  sim::SimDuration session_gap = sim::hours(3);
+};
+
+struct ScraperStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t blocked = 0;
+};
+
+class ScraperBot {
+ public:
+  ScraperBot(app::Application& application, app::ActorRegistry& actors, net::ProxyPool& proxies,
+             const fp::PopulationModel& population, ScraperConfig config, sim::Rng rng);
+
+  void start();
+
+  [[nodiscard]] const ScraperStats& stats() const { return stats_; }
+  [[nodiscard]] web::ActorId actor() const { return actor_; }
+
+ private:
+  void run_session(int remaining_sessions);
+
+  app::Application& app_;
+  net::ProxyPool& proxies_;
+  const fp::PopulationModel& population_;
+  ScraperConfig config_;
+  sim::Rng rng_;
+  web::ActorId actor_;
+  ScraperStats stats_;
+  std::uint64_t session_seq_ = 1;
+};
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,150 @@
+#include "attack/seat_spin.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::attack {
+
+SeatSpinBot::SeatSpinBot(app::Application& application, app::ActorRegistry& actors,
+                         net::ProxyPool& proxies, const fp::PopulationModel& population,
+                         SeatSpinConfig config, sim::Rng rng)
+    : app_(application),
+      config_(config),
+      rng_(std::move(rng)),
+      actor_(actors.register_actor(app::ActorKind::SeatSpinBot)),
+      stack_(population, proxies, config.rotation, rng_.fork("evasion"), actor_),
+      identities_(config.identity, rng_.fork("identities")) {
+  stats_.current_nip = config_.initial_nip;
+  // One captured human session feeds the ReplayedHuman pointer mode.
+  auto capture_rng = rng_.fork("pointer-capture");
+  recorded_ = biometrics::human_trajectory(capture_rng, biometrics::TrajectoryTarget{});
+}
+
+void SeatSpinBot::start() {
+  app_.simulation().schedule_in(0, [this] { tick(); });
+}
+
+int SeatSpinBot::seats_held(sim::SimTime now) const {
+  int seats = 0;
+  for (const auto& h : holds_) {
+    if (h.expiry > now) seats += h.nip;
+  }
+  return seats;
+}
+
+void SeatSpinBot::tick() {
+  const sim::SimTime now = app_.simulation().now();
+  const airline::Flight* flight = app_.inventory().flight(config_.target);
+  if (flight == nullptr) return;
+
+  // Reconnaissance told the operator the departure time; activity stops well
+  // before it (holds past departure earn nothing and risk attention).
+  if (now >= flight->departure - config_.stop_before_departure) {
+    stats_.stopped_at = now;
+    return;
+  }
+
+  // Drop expired holds from our books.
+  const std::size_t before = holds_.size();
+  holds_.erase(std::remove_if(holds_.begin(), holds_.end(),
+                              [now](const ActiveHold& h) { return h.expiry <= now; }),
+               holds_.end());
+  stats_.reholds_after_expiry += before - holds_.size();
+
+  if (app_.inventory().available_seats(config_.target) > 0) {
+    // Open a human-looking trail (a real user checks the seat map, reads it,
+    // then books), then place holds one by one with human-scale gaps.
+    auto ctx = stack_.context(now);
+    app_.browse(ctx, web::Endpoint::SeatMap);
+    const auto read_time = static_cast<sim::SimDuration>(rng_.uniform(6.0, 25.0) * sim::kSecond);
+    const int budget = config_.max_holds_per_tick;
+    app_.simulation().schedule_in(read_time, [this, budget] { attempt_hold(budget); });
+    return;
+  }
+  schedule_tick(/*backoff=*/false);
+}
+
+void SeatSpinBot::schedule_tick(bool backoff) {
+  // Re-check cadence: short enough to re-hold promptly after expiry, with
+  // jitter so the cadence itself is not a trivial signature. After a block,
+  // wait for the rotation to land instead of hammering.
+  sim::SimDuration delay = config_.check_interval +
+                           static_cast<sim::SimDuration>(rng_.uniform(0.0, 1.0) *
+                                                         static_cast<double>(sim::kMinute));
+  if (backoff) delay = std::max<sim::SimDuration>(delay, sim::minutes(10));
+  app_.simulation().schedule_in(delay, [this] { tick(); });
+}
+
+void SeatSpinBot::attempt_hold(int remaining) {
+  const sim::SimTime now = app_.simulation().now();
+  if (remaining <= 0) {
+    schedule_tick(false);
+    return;
+  }
+  const int available = app_.inventory().available_seats(config_.target);
+  if (available <= 0) {
+    schedule_tick(false);  // mission accomplished for this window
+    return;
+  }
+  if (config_.max_concurrent_seats > 0 &&
+      seats_held(now) >= config_.max_concurrent_seats) {
+    schedule_tick(false);  // seat budget reached; stay low
+    return;
+  }
+  int nip = stats_.current_nip;
+  if (config_.fill_remainder) nip = std::min(nip, available);
+  if (nip <= 0) {
+    schedule_tick(false);
+    return;
+  }
+
+  auto ctx = stack_.context(now);
+  attach_pointer(ctx, rng_, config_.pointer, recorded_);
+  auto party = identities_.make_party(nip);
+  ++stats_.holds_attempted;
+
+  app::HoldResult result;
+  const auto status = with_captcha_solver(
+      [&] {
+        result = app_.hold(ctx, config_.target, party);
+        return result.status;
+      },
+      config_.solver, rng_, ctx, stats_.counters);
+
+  // Human-scale pause before the next action (form filling takes time).
+  const auto gap = static_cast<sim::SimDuration>(rng_.uniform(10.0, 45.0) * sim::kSecond);
+
+  switch (status) {
+    case app::CallStatus::Ok:
+      ++stats_.holds_succeeded;
+      holds_.push_back(ActiveHold{result.pnr, now + app_.inventory().hold_duration(), nip});
+      stats_.peak_seats_held = std::max(stats_.peak_seats_held, seats_held(now));
+      app_.simulation().schedule_in(gap, [this, remaining] { attempt_hold(remaining - 1); });
+      return;
+    case app::CallStatus::Blocked:
+      // The anti-bot stack caught this identity; rotate (mean 5.3 h) and
+      // idle until the rotation completes.
+      stack_.note_blocked(now);
+      schedule_tick(/*backoff=*/true);
+      return;
+    case app::CallStatus::RateLimited:
+    case app::CallStatus::Challenged:  // solve failed; try again later
+      schedule_tick(/*backoff=*/true);
+      return;
+    case app::CallStatus::BusinessReject:
+      if (result.rejection &&
+          result.rejection->reason == airline::HoldRejection::Reason::NipCapExceeded) {
+        ++stats_.nip_cap_rejections;
+        if (config_.adapt_to_cap) {
+          // Shift strategy to the newly-imposed cap and keep going (§IV-A:
+          // "attackers adapted their strategy and persisted").
+          stats_.current_nip = std::max(1, app_.inventory().max_nip());
+          app_.simulation().schedule_in(gap, [this, remaining] { attempt_hold(remaining); });
+          return;
+        }
+      }
+      schedule_tick(false);  // no availability or other business rejection
+      return;
+  }
+}
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,89 @@
+// Automated Seat Spinning (Denial of Inventory) bot — paper §IV-A.
+//
+// The bot keeps a target flight's availability at zero by holding seats and
+// re-holding the moment a hold expires. It reproduces the observed attacker
+// behaviours:
+//   * reconnaissance-informed NiP choice (high but below the airline max,
+//     to avoid the statistically-rare maximum)
+//   * adaptation to a NiP cap (shift to the new cap and persist)
+//   * fingerprint rotation ~5.3 h after each blocking rule
+//   * IP rotation through residential proxies
+//   * full stop `stop_before_departure` before the flight leaves
+//   * low per-session request footprint (no crawling, just holds)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/bot_base.hpp"
+#include "attack/identity_gen.hpp"
+
+namespace fraudsim::attack {
+
+struct SeatSpinConfig {
+  airline::FlightId target;
+  int initial_nip = 6;
+  bool adapt_to_cap = true;        // shift NiP when the cap rejects us
+  bool fill_remainder = true;      // hold fewer seats when < NiP remain
+  IdentityGenConfig identity{IdentityRegime::Gibberish, 6, 0.08, 8};
+  fp::RotationConfig rotation;     // defaults: mean 5.3 h reaction
+  CaptchaSolverConfig solver;
+  sim::SimDuration check_interval = sim::minutes(2);
+  sim::SimDuration stop_before_departure = sim::days(2);
+  int max_holds_per_tick = 12;
+  // Seat budget: stop topping up once this many seats are held (0 = pin the
+  // whole flight). The low-and-slow generation holds only part of the cabin
+  // — enough to hoard the valuable seats or skew dynamic pricing — so its
+  // volume blends into normal booking traffic (§IV-A closing paragraph).
+  int max_concurrent_seats = 0;
+  // How the bot fakes pointer telemetry when the site collects it.
+  PointerMode pointer = PointerMode::Scripted;
+};
+
+struct SeatSpinStats {
+  BotCounters counters;
+  std::uint64_t holds_attempted = 0;
+  std::uint64_t holds_succeeded = 0;
+  std::uint64_t reholds_after_expiry = 0;
+  int peak_seats_held = 0;
+  int current_nip = 0;
+  sim::SimTime stopped_at = -1;  // -1 while running
+  std::uint64_t nip_cap_rejections = 0;
+};
+
+class SeatSpinBot {
+ public:
+  SeatSpinBot(app::Application& application, app::ActorRegistry& actors, net::ProxyPool& proxies,
+              const fp::PopulationModel& population, SeatSpinConfig config, sim::Rng rng);
+
+  void start();
+
+  [[nodiscard]] const SeatSpinStats& stats() const { return stats_; }
+  [[nodiscard]] web::ActorId actor() const { return actor_; }
+  [[nodiscard]] const EvasionStack& evasion() const { return stack_; }
+  // Seats currently held by live (unexpired) holds of this bot.
+  [[nodiscard]] int seats_held(sim::SimTime now) const;
+
+ private:
+  void tick();
+  void schedule_tick(bool backoff);
+  void attempt_hold(int remaining);
+
+  app::Application& app_;
+  SeatSpinConfig config_;
+  sim::Rng rng_;
+  web::ActorId actor_;
+  EvasionStack stack_;
+  IdentityGenerator identities_;
+  biometrics::MouseTrajectory recorded_;  // the ReplayedHuman source sample
+  SeatSpinStats stats_;
+
+  struct ActiveHold {
+    std::string pnr;
+    sim::SimTime expiry;
+    int nip;
+  };
+  std::vector<ActiveHold> holds_;
+};
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,127 @@
+#include "attack/sms_pump.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::attack {
+
+SmsPumpBot::SmsPumpBot(app::Application& application, app::ActorRegistry& actors,
+                       net::ProxyPool& proxies, const fp::PopulationModel& population,
+                       const sms::TariffTable& tariffs, SmsPumpConfig config, sim::Rng rng)
+    : app_(application),
+      config_(config),
+      rng_(std::move(rng)),
+      actor_(actors.register_actor(app::ActorKind::SmsPumpBot)),
+      stack_(population, proxies, config.rotation, rng_.fork("evasion"), actor_),
+      identities_(IdentityGenConfig{IdentityRegime::PlausibleRandom, 6, 0.0, 8},
+                  rng_.fork("identities")),
+      numbers_(rng_.fork("numbers")) {
+  auto capture_rng = rng_.fork("pointer-capture");
+  recorded_ = biometrics::human_trajectory(capture_rng, biometrics::TrajectoryTarget{});
+  // Destination list: the ring's number inventory is concentrated where the
+  // kickback per SMS is highest (the colluding premium routes), with a tail
+  // across the biggest ordinary markets — where mobile numbers are simply
+  // plentiful (§IV-C: "destinations based on the larger availability ... of
+  // mobile numbers to exploit and/or the potential for higher revenue").
+  auto plan = build_destination_plan(tariffs, config_.target_country_count);
+  countries_ = std::move(plan.countries);
+  country_weights_ = std::move(plan.weights);
+  for (const auto country : countries_) {
+    pools_[country] = numbers_.build_pool(country, config_.numbers_per_country);
+  }
+}
+
+void SmsPumpBot::start() {
+  app_.simulation().schedule_in(0, [this] { buy_tickets(); });
+}
+
+void SmsPumpBot::buy_tickets() {
+  const sim::SimTime now = app_.simulation().now();
+  const auto flights = app_.inventory().flights();
+  if (flights.empty()) return;
+  for (int i = 0; i < config_.tickets_to_buy; ++i) {
+    auto ctx = stack_.context(now);
+    attach_pointer(ctx, rng_, config_.pointer, recorded_);
+    // Fabricated but plausible passenger; one per ticket.
+    auto party = identities_.make_party(1);
+    const auto flight = flights[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(flights.size()) - 1))];
+    app::HoldResult hold;
+    auto status = with_captcha_solver(
+        [&] {
+          hold = app_.hold(ctx, flight, party);
+          return hold.status;
+        },
+        config_.solver, rng_, ctx, stats_.counters);
+    if (status != app::CallStatus::Ok) continue;
+    // Pay with a stolen card (from the app's perspective the payment clears).
+    status = with_captcha_solver([&] { return app_.pay(ctx, hold.pnr); }, config_.solver, rng_,
+                                 ctx, stats_.counters);
+    if (status == app::CallStatus::Ok) {
+      pnrs_.push_back(hold.pnr);
+      ++stats_.tickets_bought;
+    }
+  }
+  if (pnrs_.empty()) {
+    stats_.gave_up = true;
+    stats_.stopped_at = now;
+    return;
+  }
+  app_.simulation().schedule_in(sim::minutes(5), [this] { pump(); });
+}
+
+net::CountryCode SmsPumpBot::pick_country() {
+  return countries_[rng_.weighted_index(country_weights_)];
+}
+
+void SmsPumpBot::pump() {
+  const sim::SimTime now = app_.simulation().now();
+  if (config_.stop_at > 0 && now >= config_.stop_at) {
+    stats_.stopped_at = now;
+    return;
+  }
+  if (consecutive_failures_ >= config_.give_up_after_failures) {
+    stats_.gave_up = true;
+    stats_.stopped_at = now;
+    return;
+  }
+
+  const auto country = pick_country();
+  const auto& pool = pools_[country];
+  const auto& number = pool[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  const auto& pnr = pnrs_[next_pnr_++ % pnrs_.size()];
+
+  // Exit through a residential proxy in the destination's country so the
+  // request geography matches the number (§IV-C).
+  auto ctx = stack_.context(now, country);
+  attach_pointer(ctx, rng_, config_.pointer, recorded_);
+  ++stats_.pump_requests;
+  app::BoardingSmsResult result;
+  const auto status = with_captcha_solver(
+      [&] {
+        result = app_.request_boarding_sms(ctx, pnr, number);
+        return result.status;
+      },
+      config_.solver, rng_, ctx, stats_.counters);
+
+  if (status == app::CallStatus::Ok) {
+    ++stats_.sms_delivered;
+    consecutive_failures_ = 0;
+  } else {
+    ++consecutive_failures_;
+    if (status == app::CallStatus::Blocked) {
+      stack_.note_blocked(now);
+    }
+    if (status == app::CallStatus::BusinessReject &&
+        result.detail == airline::BoardingPassService::SmsResult::FeatureDisabled) {
+      ++stats_.feature_disabled_hits;
+    }
+  }
+
+  const auto gap = std::max<sim::SimDuration>(
+      sim::kSecond, static_cast<sim::SimDuration>(
+                        rng_.exponential(static_cast<double>(config_.mean_request_gap))));
+  app_.simulation().schedule_in(gap, [this] { pump(); });
+}
+
+}  // namespace fraudsim::attack

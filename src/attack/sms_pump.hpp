@@ -1,0 +1,91 @@
+// Advanced SMS Pumping bot (paper §IV-C, Airline D, Dec 2022).
+//
+// Two phases:
+//   1. Setup: purchase a handful of tickets with fabricated identities and
+//      stolen cards — the "initial financial transaction" that puts the bot
+//      behind the login+payment gateway.
+//   2. Pump: repeatedly request boarding-pass delivery via SMS for those few
+//      PNRs, to mobile numbers across ~42 countries weighted toward premium
+//      high-revenue destinations, with the residential-proxy exit country
+//      matched to each number and continuous fingerprint rotation.
+//
+// The bot stops on its own once the SMS feature is disabled (consecutive
+// feature-disabled responses) — "the SMS option was then temporarily removed
+// and the attack ceased."
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "attack/bot_base.hpp"
+#include "attack/identity_gen.hpp"
+#include "sms/tariff.hpp"
+
+namespace fraudsim::attack {
+
+struct SmsPumpConfig {
+  int tickets_to_buy = 6;
+  int target_country_count = 42;
+  // Mean pause between pump requests (human-mimicking pacing).
+  sim::SimDuration mean_request_gap = sim::seconds(45);
+  // Numbers available to the ring per country (lists from colluding
+  // operators).
+  std::size_t numbers_per_country = 250;
+  fp::RotationConfig rotation;  // periodic + reactive rotation
+  CaptchaSolverConfig solver;
+  // Give up after this many consecutive hard failures (feature disabled).
+  int give_up_after_failures = 25;
+  sim::SimTime stop_at = 0;  // hard stop (0 = run until stopped/failed)
+  // §IV-C: the ring "mimicked human-like behaviors" — it replays captured
+  // human pointer movement rather than synthesising obvious straight lines.
+  PointerMode pointer = PointerMode::ReplayedHuman;
+};
+
+struct SmsPumpStats {
+  BotCounters counters;
+  std::uint64_t tickets_bought = 0;
+  std::uint64_t pump_requests = 0;
+  std::uint64_t sms_delivered = 0;
+  std::uint64_t feature_disabled_hits = 0;
+  sim::SimTime stopped_at = -1;
+  bool gave_up = false;
+};
+
+class SmsPumpBot {
+ public:
+  SmsPumpBot(app::Application& application, app::ActorRegistry& actors, net::ProxyPool& proxies,
+             const fp::PopulationModel& population, const sms::TariffTable& tariffs,
+             SmsPumpConfig config, sim::Rng rng);
+
+  void start();
+
+  [[nodiscard]] const SmsPumpStats& stats() const { return stats_; }
+  [[nodiscard]] web::ActorId actor() const { return actor_; }
+  [[nodiscard]] const std::vector<net::CountryCode>& target_countries() const {
+    return countries_;
+  }
+
+ private:
+  void buy_tickets();
+  void pump();
+  [[nodiscard]] net::CountryCode pick_country();
+
+  app::Application& app_;
+  SmsPumpConfig config_;
+  sim::Rng rng_;
+  web::ActorId actor_;
+  EvasionStack stack_;
+  IdentityGenerator identities_;
+  sms::NumberGenerator numbers_;
+  std::vector<net::CountryCode> countries_;  // the ring's destination list
+  std::vector<double> country_weights_;      // revenue-driven targeting
+  std::unordered_map<net::CountryCode, std::vector<sms::PhoneNumber>> pools_;
+  biometrics::MouseTrajectory recorded_;  // ReplayedHuman source sample
+  std::vector<std::string> pnrs_;
+  std::size_t next_pnr_ = 0;
+  int consecutive_failures_ = 0;
+  SmsPumpStats stats_;
+};
+
+}  // namespace fraudsim::attack

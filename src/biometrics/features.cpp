@@ -1,0 +1,57 @@
+#include "biometrics/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace fraudsim::biometrics {
+
+std::optional<TrajectoryFeatures> extract(const MouseTrajectory& trajectory) {
+  const auto& pts = trajectory.points;
+  if (pts.size() < 2) return std::nullopt;
+
+  TrajectoryFeatures f;
+  f.point_count = static_cast<double>(pts.size());
+  f.duration_ms = trajectory.duration_ms();
+  f.digest = trajectory.digest();
+
+  double travelled = 0.0;
+  double paused_ms = 0.0;
+  util::RunningStats speeds;
+  double prev_heading = 0.0;
+  bool have_heading = false;
+  util::RunningStats curvature;
+
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double dx = pts[i].x - pts[i - 1].x;
+    const double dy = pts[i].y - pts[i - 1].y;
+    const double seg = std::hypot(dx, dy);
+    const double dt = std::max(0.5, pts[i].t_ms - pts[i - 1].t_ms);
+    travelled += seg;
+    if (dt > 60.0) paused_ms += dt;
+    if (seg > 0.3) {
+      speeds.add(seg / dt);
+      const double heading = std::atan2(dy, dx);
+      if (have_heading) {
+        double dh = heading - prev_heading;
+        while (dh > 3.14159265) dh -= 2 * 3.14159265;
+        while (dh < -3.14159265) dh += 2 * 3.14159265;
+        curvature.add(std::abs(dh));
+      }
+      prev_heading = heading;
+      have_heading = true;
+    }
+  }
+
+  const double straight = std::hypot(pts.back().x - pts.front().x,
+                                     pts.back().y - pts.front().y);
+  f.path_efficiency = travelled > 1e-9 ? std::min(1.0, straight / travelled) : 1.0;
+  f.mean_speed = speeds.mean();
+  f.speed_cv = speeds.mean() > 1e-9 ? speeds.stddev() / speeds.mean() : 0.0;
+  f.mean_curvature = curvature.mean();
+  f.pause_fraction = f.duration_ms > 1e-9 ? std::min(1.0, paused_ms / f.duration_ms) : 0.0;
+  return f;
+}
+
+}  // namespace fraudsim::biometrics

@@ -1,0 +1,107 @@
+#include "biometrics/mouse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/hash.hpp"
+
+namespace fraudsim::biometrics {
+
+std::uint64_t MouseTrajectory::digest() const {
+  // Shape digest: coordinates relative to the first point, quantised. A
+  // translated replay keeps the shape exactly, so the digest collides with
+  // the recording; timing is excluded so timestamp-shifted replays match too.
+  std::uint64_t h = util::fnv1a("mouse");
+  if (points.empty()) return h;
+  const double x0 = points.front().x;
+  const double y0 = points.front().y;
+  for (const auto& p : points) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%ld,%ld;", std::lround(p.x - x0), std::lround(p.y - y0));
+    h = util::fnv1a_append(h, buf);
+  }
+  return h;
+}
+
+MouseTrajectory human_trajectory(sim::Rng& rng, const TrajectoryTarget& target) {
+  MouseTrajectory out;
+  const double dx = target.to_x - target.from_x;
+  const double dy = target.to_y - target.from_y;
+  const double dist = std::max(1.0, std::hypot(dx, dy));
+
+  // Quadratic Bezier with a control point off the straight line.
+  const double bulge = rng.normal(0.0, 0.18) * dist;
+  const double cx = target.from_x + dx * 0.5 - dy / dist * bulge;
+  const double cy = target.from_y + dy * 0.5 + dx / dist * bulge;
+
+  // Fitts-ish duration: 300-1200 ms depending on distance.
+  const double duration = std::clamp(200.0 + dist * rng.uniform(0.8, 1.4), 300.0, 1500.0);
+  const int n = std::max(12, static_cast<int>(dist / 14.0));
+
+  double pause_at = rng.bernoulli(0.3) ? rng.uniform(0.3, 0.8) : -1.0;
+  double t_accumulated = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    const double u = static_cast<double>(i) / n;
+    // Minimum-jerk-like progress: slow-fast-slow.
+    const double s = u * u * (3.0 - 2.0 * u);
+    MousePoint p;
+    const double omu = 1.0 - s;
+    p.x = omu * omu * target.from_x + 2 * omu * s * cx + s * s * target.to_x +
+          rng.normal(0.0, 1.2);
+    p.y = omu * omu * target.from_y + 2 * omu * s * cy + s * s * target.to_y +
+          rng.normal(0.0, 1.2);
+    t_accumulated = u * duration + rng.normal(0.0, 4.0);
+    if (pause_at > 0 && u >= pause_at) {
+      t_accumulated += rng.uniform(80.0, 350.0);  // micro-pause
+      pause_at = -1.0;
+    }
+    p.t_ms = std::max(t_accumulated, out.points.empty() ? 0.0 : out.points.back().t_ms + 1.0);
+    out.points.push_back(p);
+  }
+  // Occasional overshoot + correction.
+  if (rng.bernoulli(0.35)) {
+    const double over = rng.uniform(4.0, 18.0);
+    MousePoint p = out.points.back();
+    p.x += dx / dist * over;
+    p.y += dy / dist * over;
+    p.t_ms += rng.uniform(30.0, 90.0);
+    out.points.push_back(p);
+    MousePoint correct = p;
+    correct.x = target.to_x + rng.normal(0.0, 1.0);
+    correct.y = target.to_y + rng.normal(0.0, 1.0);
+    correct.t_ms = p.t_ms + rng.uniform(60.0, 160.0);
+    out.points.push_back(correct);
+  }
+  return out;
+}
+
+MouseTrajectory scripted_trajectory(sim::Rng& rng, const TrajectoryTarget& target,
+                                    double teleport_prob) {
+  MouseTrajectory out;
+  if (rng.bernoulli(teleport_prob)) {
+    out.points.push_back({target.from_x, target.from_y, 0.0});
+    out.points.push_back({target.to_x, target.to_y, 1.0});
+    return out;
+  }
+  // Perfectly straight, perfectly uniform.
+  const int n = 20;
+  const double duration = 200.0;
+  for (int i = 0; i <= n; ++i) {
+    const double u = static_cast<double>(i) / n;
+    out.points.push_back({target.from_x + (target.to_x - target.from_x) * u,
+                          target.from_y + (target.to_y - target.from_y) * u, u * duration});
+  }
+  return out;
+}
+
+MouseTrajectory replay_trajectory(const MouseTrajectory& recorded, double dx, double dy) {
+  MouseTrajectory out = recorded;
+  for (auto& p : out.points) {
+    p.x += dx;
+    p.y += dy;
+  }
+  return out;
+}
+
+}  // namespace fraudsim::biometrics

@@ -1,0 +1,55 @@
+// Mouse-trajectory model (paper §V: "biometric indicators (e.g., mouse
+// trajectory tracking) ... appear promising for tackling complex fraud cases").
+//
+// Trajectories are synthesised at three fidelity levels:
+//   * human    — curved paths with noise, asymmetric speed profile
+//                (accelerate/decelerate), micro-pauses, and overshoot
+//   * scripted — what automation frameworks produce: straight lines at
+//                constant speed, or outright teleports
+//   * replayed — a recorded human trajectory reused verbatim (the
+//                mid-sophistication evasion; detectable by its repetition)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace fraudsim::biometrics {
+
+struct MousePoint {
+  double x = 0;
+  double y = 0;
+  double t_ms = 0;  // time since trajectory start
+};
+
+struct MouseTrajectory {
+  std::vector<MousePoint> points;
+
+  [[nodiscard]] bool empty() const { return points.size() < 2; }
+  [[nodiscard]] double duration_ms() const {
+    return empty() ? 0.0 : points.back().t_ms - points.front().t_ms;
+  }
+  // Stable digest of the geometry (replay detection).
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+struct TrajectoryTarget {
+  double from_x = 100, from_y = 500;
+  double to_x = 800, to_y = 300;
+};
+
+// Human-like movement: Bezier control-point curvature, Gaussian jitter,
+// minimum-jerk-ish speed profile, occasional pause and overshoot-correct.
+[[nodiscard]] MouseTrajectory human_trajectory(sim::Rng& rng, const TrajectoryTarget& target);
+
+// Scripted movement: straight line, constant velocity; with probability
+// `teleport_prob` the "trajectory" is just two points (instant jump).
+[[nodiscard]] MouseTrajectory scripted_trajectory(sim::Rng& rng, const TrajectoryTarget& target,
+                                                  double teleport_prob = 0.3);
+
+// Replay of a previously captured trajectory with optional fixed offset.
+[[nodiscard]] MouseTrajectory replay_trajectory(const MouseTrajectory& recorded, double dx = 0,
+                                                double dy = 0);
+
+}  // namespace fraudsim::biometrics

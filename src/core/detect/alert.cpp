@@ -1,0 +1,27 @@
+#include "core/detect/alert.hpp"
+
+namespace fraudsim::detect {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Info:
+      return "info";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Critical:
+      return "critical";
+  }
+  return "?";
+}
+
+void AlertSink::emit(Alert alert) { alerts_.push_back(std::move(alert)); }
+
+std::vector<Alert> AlertSink::by_detector(const std::string& detector) const {
+  std::vector<Alert> out;
+  for (const auto& a : alerts_) {
+    if (a.detector == detector) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace fraudsim::detect

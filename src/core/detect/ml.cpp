@@ -1,0 +1,252 @@
+#include "core/detect/ml.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace fraudsim::detect {
+
+namespace {
+
+[[nodiscard]] double sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+[[nodiscard]] double squared_distance(const FeatureRow& a, const FeatureRow& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+void StandardScaler::fit(const std::vector<FeatureRow>& rows) {
+  if (rows.empty()) return;
+  const std::size_t dims = rows.front().size();
+  mean_.assign(dims, 0.0);
+  stddev_.assign(dims, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < dims; ++i) mean_[i] += row[i];
+  }
+  for (double& m : mean_) m /= static_cast<double>(rows.size());
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < dims; ++i) {
+      const double d = row[i] - mean_[i];
+      stddev_[i] += d * d;
+    }
+  }
+  for (double& s : stddev_) {
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s < 1e-12) s = 1.0;  // constant feature: pass through centred
+  }
+}
+
+FeatureRow StandardScaler::transform(const FeatureRow& row) const {
+  assert(fitted());
+  FeatureRow out(row.size());
+  for (std::size_t i = 0; i < row.size(); ++i) out[i] = (row[i] - mean_[i]) / stddev_[i];
+  return out;
+}
+
+std::vector<FeatureRow> StandardScaler::transform(const std::vector<FeatureRow>& rows) const {
+  std::vector<FeatureRow> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform(row));
+  return out;
+}
+
+LogisticRegression::LogisticRegression(LogisticConfig config) : config_(config) {}
+
+void LogisticRegression::train(const Dataset& data, sim::Rng& rng) {
+  const std::size_t n = data.size();
+  const std::size_t dims = data.dims();
+  if (n == 0 || dims == 0) return;
+  weights_.assign(dims, 0.0);
+  bias_ = 0.0;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order.begin(), order.end());
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(start + config_.batch_size, n);
+      std::vector<double> grad(dims, 0.0);
+      double grad_bias = 0.0;
+      for (std::size_t idx = start; idx < end; ++idx) {
+        const auto& row = data.rows[order[idx]];
+        const double y = static_cast<double>(data.labels[order[idx]]);
+        double z = bias_;
+        for (std::size_t i = 0; i < dims; ++i) z += weights_[i] * row[i];
+        const double err = sigmoid(z) - y;
+        for (std::size_t i = 0; i < dims; ++i) grad[i] += err * row[i];
+        grad_bias += err;
+      }
+      const double scale = config_.learning_rate / static_cast<double>(end - start);
+      for (std::size_t i = 0; i < dims; ++i) {
+        weights_[i] -= scale * (grad[i] + config_.l2 * weights_[i]);
+      }
+      bias_ -= scale * grad_bias;
+    }
+  }
+}
+
+double LogisticRegression::predict_proba(const FeatureRow& row) const {
+  if (weights_.empty()) return 0.5;
+  double z = bias_;
+  for (std::size_t i = 0; i < std::min(row.size(), weights_.size()); ++i) {
+    z += weights_[i] * row[i];
+  }
+  return sigmoid(z);
+}
+
+int LogisticRegression::predict(const FeatureRow& row, double threshold) const {
+  return predict_proba(row) >= threshold ? 1 : 0;
+}
+
+void GaussianNaiveBayes::train(const Dataset& data) {
+  const std::size_t dims = data.dims();
+  if (data.size() == 0 || dims == 0) return;
+  auto fit_class = [&](int label) {
+    ClassModel model;
+    model.mean.assign(dims, 0.0);
+    model.var.assign(dims, 0.0);
+    std::size_t count = 0;
+    for (std::size_t r = 0; r < data.size(); ++r) {
+      if (data.labels[r] != label) continue;
+      ++count;
+      for (std::size_t i = 0; i < dims; ++i) model.mean[i] += data.rows[r][i];
+    }
+    if (count == 0) return model;
+    for (double& m : model.mean) m /= static_cast<double>(count);
+    for (std::size_t r = 0; r < data.size(); ++r) {
+      if (data.labels[r] != label) continue;
+      for (std::size_t i = 0; i < dims; ++i) {
+        const double d = data.rows[r][i] - model.mean[i];
+        model.var[i] += d * d;
+      }
+    }
+    for (double& v : model.var) {
+      v = v / static_cast<double>(count) + 1e-6;  // smoothing
+    }
+    model.prior = static_cast<double>(count) / static_cast<double>(data.size());
+    return model;
+  };
+  benign_ = fit_class(0);
+  bot_ = fit_class(1);
+  trained_ = true;
+}
+
+double GaussianNaiveBayes::predict_proba(const FeatureRow& row) const {
+  if (!trained_ || benign_.mean.empty() || bot_.mean.empty()) return 0.5;
+  auto log_likelihood = [&](const ClassModel& m) {
+    double ll = std::log(std::max(m.prior, 1e-12));
+    for (std::size_t i = 0; i < std::min(row.size(), m.mean.size()); ++i) {
+      const double d = row[i] - m.mean[i];
+      ll += -0.5 * (std::log(2.0 * 3.14159265358979 * m.var[i]) + d * d / m.var[i]);
+    }
+    return ll;
+  };
+  const double lb = log_likelihood(benign_);
+  const double lt = log_likelihood(bot_);
+  const double mx = std::max(lb, lt);
+  const double pb = std::exp(lb - mx);
+  const double pt = std::exp(lt - mx);
+  return pt / (pb + pt);
+}
+
+int GaussianNaiveBayes::predict(const FeatureRow& row, double threshold) const {
+  return predict_proba(row) >= threshold ? 1 : 0;
+}
+
+KMeansResult kmeans(const std::vector<FeatureRow>& rows, int k, sim::Rng& rng,
+                    int max_iterations) {
+  KMeansResult result;
+  if (rows.empty() || k <= 0) return result;
+  const std::size_t n = rows.size();
+  k = std::min<int>(k, static_cast<int>(n));
+
+  // k-means++ seeding.
+  result.centroids.push_back(rows[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))]);
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  while (static_cast<int>(result.centroids.size()) < k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dist2[i] = std::min(dist2[i], squared_distance(rows[i], result.centroids.back()));
+    }
+    const std::size_t chosen = rng.weighted_index(dist2);
+    result.centroids.push_back(rows[chosen]);
+  }
+
+  result.assignment.assign(n, 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double d = squared_distance(rows[i], result.centroids[static_cast<std::size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    const std::size_t dims = rows.front().size();
+    std::vector<FeatureRow> sums(static_cast<std::size_t>(k), FeatureRow(dims, 0.0));
+    std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += rows[i][d];
+    }
+    for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t d = 0; d < dims; ++d) {
+        sums[c][d] /= static_cast<double>(counts[c]);
+      }
+      result.centroids[c] = sums[c];
+    }
+    result.iterations = iter + 1;
+    if (!changed) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        squared_distance(rows[i], result.centroids[static_cast<std::size_t>(result.assignment[i])]);
+  }
+  return result;
+}
+
+Split train_test_split(const Dataset& data, double test_fraction, sim::Rng& rng) {
+  Split split;
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order.begin(), order.end());
+  const auto test_n = static_cast<std::size_t>(test_fraction * static_cast<double>(data.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Dataset& target = i < test_n ? split.test : split.train;
+    target.rows.push_back(data.rows[order[i]]);
+    target.labels.push_back(data.labels[order[i]]);
+  }
+  return split;
+}
+
+}  // namespace fraudsim::detect

@@ -1,0 +1,154 @@
+#include "core/detect/name_patterns.hpp"
+
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace fraudsim::detect {
+
+NamePatternAnalyzer::NamePatternAnalyzer(NamePatternConfig config) : config_(config) {}
+
+std::set<std::string> NamePatternFindings::all_flagged() const {
+  std::set<std::string> all;
+  all.insert(gibberish.begin(), gibberish.end());
+  all.insert(repeated_identity.begin(), repeated_identity.end());
+  all.insert(birthdate_rotation.begin(), birthdate_rotation.end());
+  all.insert(permuted_party.begin(), permuted_party.end());
+  all.insert(misspelling_cluster.begin(), misspelling_cluster.end());
+  return all;
+}
+
+NamePatternFindings NamePatternAnalyzer::analyze(
+    const std::vector<const airline::Reservation*>& reservations) const {
+  NamePatternFindings findings;
+
+  // Pass 1: global aggregation.
+  std::unordered_map<std::string, std::vector<const airline::Reservation*>> by_name_key;
+  std::unordered_map<std::string, std::vector<const airline::Reservation*>> by_identity_key;
+  std::unordered_map<std::string, std::set<std::string>> birthdates_by_name;
+  std::unordered_map<std::string, std::vector<const airline::Reservation*>> by_party_key;
+  std::size_t total_name_instances = 0;
+
+  for (const auto* r : reservations) {
+    for (const auto& p : r->passengers) {
+      by_name_key[p.name_key()].push_back(r);
+      by_identity_key[p.identity_key()].push_back(r);
+      birthdates_by_name[p.name_key()].insert(p.birthdate.str());
+      ++total_name_instances;
+    }
+    by_party_key[airline::party_key(r->passengers)].push_back(r);
+  }
+  const double share_floor =
+      config_.name_share_threshold * static_cast<double>(total_name_instances);
+
+  // Gibberish: per-reservation mean score over the party's names.
+  for (const auto* r : reservations) {
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const auto& p : r->passengers) {
+      total += util::gibberish_score(p.first_name);
+      total += util::gibberish_score(p.surname);
+      n += 2;
+    }
+    if (n > 0 && total / static_cast<double>(n) >= config_.gibberish_threshold) {
+      findings.gibberish.insert(r->pnr);
+    }
+  }
+
+  // Repeated identities: the same person (name AND birthdate) across many
+  // distinct reservations — rare for genuine travellers within one window.
+  for (const auto& [key, rs] : by_identity_key) {
+    (void)key;
+    if (rs.size() < config_.repeat_threshold) continue;
+    for (const auto* r : rs) findings.repeated_identity.insert(r->pnr);
+  }
+
+  // Birthdate rotation: one NAME dominating the window while cycling through
+  // many birthdates (Airline B's fixed-name signature). The share floor keeps
+  // genuinely popular names from firing at airline scale.
+  for (const auto& [key, rs] : by_name_key) {
+    if (rs.size() < config_.repeat_threshold) continue;
+    if (static_cast<double>(rs.size()) < share_floor) continue;
+    if (birthdates_by_name[key].size() >= config_.birthdate_variants) {
+      for (const auto* r : rs) findings.birthdate_rotation.insert(r->pnr);
+    }
+  }
+
+  // Permuted parties: the same multiset of people across many reservations.
+  for (const auto& [key, rs] : by_party_key) {
+    (void)key;
+    if (rs.size() < config_.party_repeat_threshold) continue;
+    for (const auto* r : rs) findings.permuted_party.insert(r->pnr);
+  }
+
+  // Misspelling clusters: name keys within edit distance 1 of a key that
+  // repeats. Hand-typed variants land here even when exact repetition stays
+  // below threshold.
+  std::vector<std::string> keys;
+  keys.reserve(by_name_key.size());
+  for (const auto& [key, rs] : by_name_key) {
+    (void)rs;
+    keys.push_back(key);
+  }
+  for (const auto& [key, rs] : by_name_key) {
+    if (rs.size() < 2) continue;  // only cluster around names seen repeatedly
+    std::size_t cluster = rs.size();
+    std::vector<const std::string*> variants;
+    for (const auto& other : keys) {
+      if (other == key) continue;
+      if (util::within_edit_distance(key, other, 1)) {
+        cluster += by_name_key[other].size();
+        variants.push_back(&other);
+      }
+    }
+    if (variants.empty() || cluster < config_.misspell_cluster_size) continue;
+    // Scale guard: distinct real people can carry near-identical names; a
+    // hand-typed campaign's cluster dominates the window instead.
+    if (static_cast<double>(cluster) < share_floor) continue;
+    for (const auto* r : rs) findings.misspelling_cluster.insert(r->pnr);
+    for (const auto* v : variants) {
+      for (const auto* r : by_name_key[*v]) findings.misspelling_cluster.insert(r->pnr);
+    }
+  }
+
+  return findings;
+}
+
+NamePatternFindings NamePatternAnalyzer::analyze(
+    const std::vector<airline::Reservation>& reservations) const {
+  std::vector<const airline::Reservation*> ptrs;
+  ptrs.reserve(reservations.size());
+  for (const auto& r : reservations) ptrs.push_back(&r);
+  return analyze(ptrs);
+}
+
+void NamePatternAnalyzer::analyze(const std::vector<airline::Reservation>& reservations,
+                                  AlertSink& sink) const {
+  const auto findings = analyze(reservations);
+  std::unordered_map<std::string, const airline::Reservation*> by_pnr;
+  for (const auto& r : reservations) by_pnr[r.pnr] = &r;
+
+  auto emit = [&](const std::set<std::string>& pnrs, const char* signal) {
+    for (const auto& pnr : pnrs) {
+      const auto it = by_pnr.find(pnr);
+      if (it == by_pnr.end()) continue;
+      Alert alert;
+      alert.time = it->second->created;
+      alert.detector = std::string("name.") + signal;
+      alert.severity = Severity::Warning;
+      alert.explanation = std::string("identity pattern: ") + signal;
+      alert.pnr = pnr;
+      alert.fingerprint = it->second->source_fp;
+      alert.ip = it->second->source_ip;
+      alert.actor = it->second->actor;
+      sink.emit(std::move(alert));
+    }
+  };
+  emit(findings.gibberish, "gibberish");
+  emit(findings.repeated_identity, "repeated");
+  emit(findings.birthdate_rotation, "birthdate-rotation");
+  emit(findings.permuted_party, "permuted-party");
+  emit(findings.misspelling_cluster, "misspelling-cluster");
+}
+
+}  // namespace fraudsim::detect

@@ -1,0 +1,48 @@
+// Graph-based navigation analysis (paper §V: "local behavioral modeling,
+// such as graph-based navigation analysis ... could be adapted to functional
+// abuse detection").
+//
+// A first-order Markov model over endpoint transitions is fitted on known-
+// clean sessions; sessions whose transition likelihood falls far below the
+// clean population are flagged. Low-volume DoI bots evade volume metrics but
+// their *navigation* is unmistakable: SeatMap -> Hold -> Hold -> ... loops
+// that no legitimate journey produces.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/detect/alert.hpp"
+#include "web/session.hpp"
+
+namespace fraudsim::detect {
+
+class NavigationModel {
+ public:
+  // Fit transition and start probabilities from clean sessions (Laplace
+  // smoothing `alpha`), then calibrate the alert threshold at the given
+  // percentile of the clean sessions' own scores.
+  void fit(const std::vector<web::Session>& clean_sessions, double alpha = 0.5,
+           double threshold_percentile = 0.02);
+
+  // Mean log2-probability per transition of the session's endpoint path.
+  // Higher = more like the clean population. Sessions with < 2 requests
+  // return 0 (no transitions to judge).
+  [[nodiscard]] double score(const web::Session& session) const;
+
+  [[nodiscard]] bool is_anomalous(const web::Session& session) const;
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] bool fitted() const { return fitted_; }
+
+  // Emits one alert per anomalous session.
+  void analyze(const std::vector<web::Session>& sessions, AlertSink& sink) const;
+
+ private:
+  static constexpr std::size_t kStates = 15;  // one per web::Endpoint value
+  std::array<std::array<double, kStates>, kStates> log_transition_{};
+  double threshold_ = -100.0;
+  bool fitted_ = false;
+};
+
+}  // namespace fraudsim::detect

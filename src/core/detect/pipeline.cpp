@@ -1,0 +1,128 @@
+#include "core/detect/pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace fraudsim::detect {
+
+const DetectorReport* PipelineResult::report_for(const std::string& detector) const {
+  for (const auto& r : reports) {
+    if (r.detector == detector) return &r;
+  }
+  return nullptr;
+}
+
+DetectionPipeline::DetectionPipeline(PipelineConfig config)
+    : config_(config), nip_(config.nip) {}
+
+void DetectionPipeline::fit_nip_baseline(const app::Application& application, sim::SimTime from,
+                                         sim::SimTime to) {
+  nip_.fit_baseline(application.inventory().reservations(), from, to);
+}
+
+void DetectionPipeline::fit_navigation(const app::Application& application, sim::SimTime from,
+                                       sim::SimTime to) {
+  const web::Sessionizer sessionizer(config_.session_timeout);
+  navigation_.fit(sessionizer.sessionize(application.weblog().range(from, to)));
+}
+
+void DetectionPipeline::train_behavior(const app::Application& application,
+                                       const app::ActorRegistry& registry, sim::SimTime from,
+                                       sim::SimTime to, sim::Rng& rng) {
+  train_behavior(application, from, to, rng,
+                 [&registry](web::ActorId actor) { return registry.automated(actor) ? 1 : 0; });
+}
+
+void DetectionPipeline::train_behavior(const app::Application& application, sim::SimTime from,
+                                       sim::SimTime to, sim::Rng& rng, const LabelFn& label_fn) {
+  const web::Sessionizer sessionizer(config_.session_timeout);
+  const auto requests = application.weblog().range(from, to);
+  const auto sessions = sessionizer.sessionize(requests);
+  std::vector<web::SessionFeatures> features;
+  std::vector<int> labels;
+  for (const auto& s : sessions) {
+    features.push_back(web::extract_features(s));
+    labels.push_back(label_fn(s.actor));
+  }
+  classifier_.train(features, labels, rng);
+}
+
+PipelineResult DetectionPipeline::run(const app::Application& application,
+                                      const app::ActorRegistry& registry, sim::SimTime from,
+                                      sim::SimTime to) const {
+  PipelineResult result;
+  const web::Sessionizer sessionizer(config_.session_timeout);
+  result.sessions = sessionizer.sessionize(application.weblog().range(from, to));
+
+  // Behaviour-based.
+  VolumeThresholdDetector volume(config_.volume);
+  volume.analyze(result.sessions, result.alerts);
+  if (classifier_.trained()) {
+    classifier_.analyze(result.sessions, result.alerts);
+  }
+  if (navigation_.fitted()) {
+    navigation_.analyze(result.sessions, result.alerts);
+  }
+
+  // Network reputation (enabled once a geo database is supplied).
+  if (geo_ != nullptr) {
+    IpReputationDetector ip_detector(*geo_, config_.ip_reputation);
+    ip_detector.analyze(result.sessions, result.alerts);
+  }
+
+  // Pointer biometrics (§V): judge every sample captured in the window.
+  if (config_.biometrics_enabled) {
+    biometrics::BiometricDetector biometric(config_.biometric_thresholds);
+    for (const auto& record : application.biometric_log()) {
+      if (record.time < from || record.time >= to) continue;
+      std::string reason;
+      if (!biometric.observe(record.features, &reason)) continue;
+      Alert alert;
+      alert.time = record.time;
+      alert.detector = "biometric.pointer";
+      alert.severity = Severity::Warning;
+      alert.explanation = reason;
+      alert.session = record.session;
+      alert.actor = record.actor;
+      result.alerts.emit(std::move(alert));
+    }
+  }
+
+  // Knowledge-based.
+  ArtifactDetector artifacts;
+  artifacts.analyze(application.fingerprints(), result.sessions, result.alerts);
+  ConsistencyDetector consistency;
+  consistency.analyze(application.fingerprints(), result.sessions, result.alerts);
+  RarityDetector rarity(config_.rarity_frequency, config_.rarity_min_observations);
+  rarity.analyze(application.fingerprints(), result.alerts);
+
+  // Feature-level (the paper's advanced detectors).
+  nip_.analyze(application.inventory().reservations(), from, to, result.alerts);
+  NamePatternAnalyzer names(config_.names);
+  // Window-scope the reservations for identity analysis.
+  std::vector<airline::Reservation> window;
+  for (const auto& r : application.inventory().reservations()) {
+    if (r.created >= from && r.created < to) window.push_back(r);
+  }
+  names.analyze(window, result.alerts);
+  SmsAnomalyDetector sms(config_.sms);
+  // SMS surge baselines on the pre-window period of equal length.
+  const sim::SimTime baseline_from = std::max<sim::SimTime>(0, from - (to - from));
+  sms.analyze(application.sms_gateway(), baseline_from, from, from, to, result.alerts);
+
+  // Score per detector family at the actor level.
+  const auto universe = actors_of(result.sessions);
+  std::map<std::string, std::vector<Alert>> by_detector;
+  for (const auto& a : result.alerts.alerts()) by_detector[a.detector].push_back(a);
+  for (const auto& [detector, alerts] : by_detector) {
+    DetectorReport report;
+    report.detector = detector;
+    report.alerts = alerts.size();
+    report.score = score_actors(flagged_actors(alerts), universe, registry,
+                                TruthCriterion::Abuser);
+    result.reports.push_back(std::move(report));
+  }
+  return result;
+}
+
+}  // namespace fraudsim::detect

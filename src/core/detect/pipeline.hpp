@@ -1,0 +1,94 @@
+// Detection pipeline: runs every detector family over the application's
+// telemetry for an analysis window and scores the result against ground
+// truth. This is the batch "SOC view" benches and examples use.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/actors.hpp"
+#include "app/application.hpp"
+#include "biometrics/detector.hpp"
+#include "core/detect/behavior.hpp"
+#include "core/detect/fingerprint_detect.hpp"
+#include "core/detect/ip_reputation.hpp"
+#include "core/detect/labels.hpp"
+#include "core/detect/name_patterns.hpp"
+#include "core/detect/navigation.hpp"
+#include "core/detect/nip_anomaly.hpp"
+#include "core/detect/sms_anomaly.hpp"
+#include "web/session.hpp"
+
+namespace fraudsim::detect {
+
+struct PipelineConfig {
+  VolumeThresholds volume;
+  NipAnomalyConfig nip;
+  NamePatternConfig names;
+  SmsAnomalyConfig sms;
+  double rarity_frequency = 1e-4;
+  std::uint64_t rarity_min_observations = 30;
+  sim::SimDuration session_timeout = sim::minutes(30);
+  // §V future directions, implemented: pointer biometrics and graph-based
+  // navigation analysis.
+  bool biometrics_enabled = true;
+  biometrics::BiometricThresholds biometric_thresholds;
+  IpReputationConfig ip_reputation;
+};
+
+struct DetectorReport {
+  std::string detector;
+  std::size_t alerts = 0;
+  ActorScore score;  // actor-level P/R against abuser ground truth
+};
+
+struct PipelineResult {
+  AlertSink alerts;
+  std::vector<web::Session> sessions;
+  std::vector<DetectorReport> reports;
+
+  [[nodiscard]] const DetectorReport* report_for(const std::string& detector) const;
+};
+
+class DetectionPipeline {
+ public:
+  explicit DetectionPipeline(PipelineConfig config = {});
+
+  // Fit the NiP baseline from a clean reference window.
+  void fit_nip_baseline(const app::Application& application, sim::SimTime from, sim::SimTime to);
+
+  // Fit the navigation model on a clean reference window's sessions.
+  void fit_navigation(const app::Application& application, sim::SimTime from, sim::SimTime to);
+
+  // Enable IP-reputation checks against the given geo database (off until
+  // called — the detector needs the address plan to classify origins).
+  void enable_ip_reputation(const net::GeoDb& geo) { geo_ = &geo; }
+
+  // Optionally train the supervised behaviour classifier on labelled history.
+  // The default labelling (every automated actor = 1) is an *oracle* upper
+  // bound; real deployments only have labels from past incidents — pass a
+  // custom `label_fn` (e.g. scraper incidents only) for the honest setting.
+  using LabelFn = std::function<int(web::ActorId)>;
+  void train_behavior(const app::Application& application, const app::ActorRegistry& registry,
+                      sim::SimTime from, sim::SimTime to, sim::Rng& rng);
+  void train_behavior(const app::Application& application, sim::SimTime from, sim::SimTime to,
+                      sim::Rng& rng, const LabelFn& label_fn);
+
+  // Runs all detectors over [from, to) and scores them.
+  [[nodiscard]] PipelineResult run(const app::Application& application,
+                                   const app::ActorRegistry& registry, sim::SimTime from,
+                                   sim::SimTime to) const;
+
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+  [[nodiscard]] const BehaviorClassifier& classifier() const { return classifier_; }
+
+ private:
+  PipelineConfig config_;
+  NipAnomalyDetector nip_;
+  BehaviorClassifier classifier_;
+  NavigationModel navigation_;
+  const net::GeoDb* geo_ = nullptr;
+};
+
+}  // namespace fraudsim::detect

@@ -1,0 +1,19 @@
+#include "core/mitigate/captcha.hpp"
+
+#include <cmath>
+
+namespace fraudsim::mitigate {
+
+util::Money attacker_challenge_cost(std::uint64_t actions, util::Money price_per_solve,
+                                    double success_prob) {
+  if (actions == 0) return util::Money{};
+  if (success_prob <= 0.0) {
+    // No solve ever succeeds; model a bounded burn before giving up.
+    return price_per_solve * static_cast<std::int64_t>(actions * 3);
+  }
+  // Each action needs on average 1/success_prob solve attempts.
+  const double attempts = static_cast<double>(actions) / success_prob;
+  return price_per_solve * attempts;
+}
+
+}  // namespace fraudsim::mitigate

@@ -1,0 +1,42 @@
+// CAPTCHA economics model (§V: "these measures add cost and complexity to
+// automated attacks").
+//
+// The challenge *flow* lives in the rule engine and the actors; this module
+// quantifies its economics: what challenges cost attackers (solver fees,
+// failure rate) versus legitimate users (friction, abandonment).
+#pragma once
+
+#include <cstdint>
+
+#include "util/money.hpp"
+
+namespace fraudsim::mitigate {
+
+struct CaptchaEconomics {
+  // Attacker side.
+  std::uint64_t bot_challenges = 0;
+  std::uint64_t bot_solved = 0;
+  util::Money bot_solver_spend;
+  // Defender/legit side.
+  std::uint64_t human_challenges = 0;
+  std::uint64_t human_abandoned = 0;
+
+  [[nodiscard]] double bot_solve_rate() const {
+    return bot_challenges == 0
+               ? 0.0
+               : static_cast<double>(bot_solved) / static_cast<double>(bot_challenges);
+  }
+  [[nodiscard]] double human_abandonment_rate() const {
+    return human_challenges == 0
+               ? 0.0
+               : static_cast<double>(human_abandoned) / static_cast<double>(human_challenges);
+  }
+};
+
+// Cost to an attacker of pushing `actions` through a challenge wall, given a
+// per-solve price and success probability (failed solves are also paid for).
+[[nodiscard]] util::Money attacker_challenge_cost(std::uint64_t actions,
+                                                  util::Money price_per_solve,
+                                                  double success_prob);
+
+}  // namespace fraudsim::mitigate

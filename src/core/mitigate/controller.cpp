@@ -1,0 +1,114 @@
+#include "core/mitigate/controller.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/detect/alert.hpp"
+
+namespace fraudsim::mitigate {
+
+MitigationController::MitigationController(app::Application& application, RuleEngine& engine,
+                                           ControllerConfig config)
+    : app_(application),
+      engine_(engine),
+      config_(config),
+      nip_detector_(config.nip),
+      name_analyzer_(config.names),
+      sms_detector_(config.sms),
+      biometric_detector_(config.biometric_thresholds) {}
+
+void MitigationController::fit_nip_baseline(sim::SimTime from, sim::SimTime to) {
+  nip_detector_.fit_baseline(app_.inventory().reservations(), from, to);
+}
+
+void MitigationController::start(sim::SimTime until) {
+  until_ = until;
+  schedule_next();
+}
+
+void MitigationController::schedule_next() {
+  if (app_.simulation().now() + config_.sweep_interval > until_) return;
+  app_.simulation().schedule_in(config_.sweep_interval, [this] {
+    sweep();
+    schedule_next();
+  });
+}
+
+void MitigationController::sweep() {
+  const sim::SimTime now = app_.simulation().now();
+  const sim::SimTime from = std::max<sim::SimTime>(0, now - config_.analysis_window);
+
+  std::unordered_set<fp::FpHash> to_block;
+
+  // 1. Advanced feature-level detectors over the window's reservations. A
+  // fingerprint is only enforceable once enough DISTINCT reservations
+  // carrying it have been flagged (popular configurations are shared with
+  // legitimate users).
+  detect::AlertSink sink;
+  nip_detector_.analyze(app_.inventory().reservations(), from, now, sink);
+  std::vector<airline::Reservation> window;
+  for (const auto& r : app_.inventory().reservations()) {
+    if (r.created >= from && r.created < now) window.push_back(r);
+  }
+  name_analyzer_.analyze(window, sink);
+  if (config_.block_flagged_fingerprints) {
+    for (const auto& alert : sink.alerts()) {
+      if (!alert.fingerprint || !alert.fingerprint->valid() || !alert.pnr) continue;
+      auto& pnrs = flagged_pnrs_[*alert.fingerprint];
+      pnrs.insert(*alert.pnr);
+      if (pnrs.size() >= config_.min_flagged_pnrs) to_block.insert(*alert.fingerprint);
+    }
+  }
+
+  // 2. Biometric enforcement (§V): fingerprints whose pointer telemetry keeps
+  // failing the kinematic/replay checks. The detector and per-fp tallies are
+  // persistent members so replayed geometries accumulate across sweeps.
+  if (config_.block_biometric_flagged) {
+    const auto& log = app_.biometric_log();
+    for (; biometric_cursor_ < log.size(); ++biometric_cursor_) {
+      const auto& record = log[biometric_cursor_];
+      std::string reason;
+      if (!biometric_detector_.observe(record.features, &reason)) continue;
+      if (++biometric_hits_[record.fingerprint] >= config_.min_biometric_hits) {
+        to_block.insert(record.fingerprint);
+      }
+    }
+  }
+
+  // 3. Automation artifacts observed at ingress.
+  if (config_.block_artifact_fingerprints) {
+    app_.fingerprints().for_each(
+        [&](fp::FpHash hash, const fp::Fingerprint& fingerprint, std::uint64_t) {
+          if (fingerprint.webdriver_flag || fingerprint.headless_hint) to_block.insert(hash);
+        });
+  }
+
+  for (const auto hash : to_block) {
+    if (engine_.blocklist().contains(hash)) continue;
+    engine_.blocklist().block(hash, now, "controller-sweep");
+    actions_.push_back(EnforcementAction{now, "fp-block", hash.str()});
+  }
+
+  // 4. NiP cap (once).
+  if (config_.impose_nip_cap && !nip_cap_time_) {
+    const auto verdict = nip_detector_.evaluate_window(app_.inventory().reservations(), from, now);
+    if (verdict.anomalous) {
+      app_.inventory().set_max_nip(config_.nip_cap_value);
+      nip_cap_time_ = now;
+      actions_.push_back(EnforcementAction{
+          now, "nip-cap", "cap=" + std::to_string(config_.nip_cap_value)});
+    }
+  }
+
+  // 5. SMS feature removal on path-volume trip (once).
+  if (config_.disable_sms_on_path_trip && !sms_disable_time_) {
+    if (const auto trip = sms_detector_.path_limit_trip_time(app_.sms_gateway());
+        trip && *trip <= now) {
+      app_.boarding().set_sms_option_enabled(false);
+      sms_disable_time_ = now;
+      actions_.push_back(EnforcementAction{now, "sms-disable", "boarding-pass SMS removed"});
+    }
+  }
+}
+
+}  // namespace fraudsim::mitigate

@@ -1,0 +1,28 @@
+#include "core/mitigate/honeypot.hpp"
+
+namespace fraudsim::mitigate {
+
+HoneypotReport honeypot_report(const app::Application& application,
+                               const app::ActorRegistry& registry) {
+  HoneypotReport report;
+  if (application.honeypot_enabled()) {
+    for (const auto& r : application.decoy_inventory().reservations()) {
+      if (!registry.abuser(r.actor)) continue;
+      ++report.decoy_holds;
+      report.decoy_seats += static_cast<std::uint64_t>(r.nip());
+      ++report.decoy_requests;
+    }
+  }
+  for (const auto& r : application.inventory().reservations()) {
+    if (!registry.abuser(r.actor)) continue;
+    ++report.real_holds_by_abusers;
+    report.real_seats_by_abusers += static_cast<std::uint64_t>(r.nip());
+  }
+  return report;
+}
+
+util::Money attacker_waste(const HoneypotReport& report, util::Money proxy_cost_per_request) {
+  return proxy_cost_per_request * static_cast<std::int64_t>(report.decoy_requests);
+}
+
+}  // namespace fraudsim::mitigate

@@ -1,0 +1,43 @@
+// Honeypot / decoy-environment accounting (§V).
+//
+// The decoy itself lives inside app::Application (blocklisted identities are
+// transparently served from a mirrored inventory). This module measures the
+// effect: how much attacker effort landed in the decoy, what it cost them,
+// and how much real inventory the decoy protected.
+#pragma once
+
+#include <cstdint>
+
+#include "app/actors.hpp"
+#include "app/application.hpp"
+#include "util/money.hpp"
+
+namespace fraudsim::mitigate {
+
+struct HoneypotReport {
+  std::uint64_t decoy_holds = 0;       // holds served from the decoy
+  std::uint64_t decoy_seats = 0;       // seats "held" that never existed
+  std::uint64_t real_holds_by_abusers = 0;  // what still hit real inventory
+  std::uint64_t real_seats_by_abusers = 0;
+  // Attacker spend wasted on decoy traffic (proxy + captcha are attributed by
+  // the caller; this report carries the request count to price).
+  std::uint64_t decoy_requests = 0;
+
+  // Fraction of abuser hold volume absorbed by the decoy.
+  [[nodiscard]] double absorption_rate() const {
+    const auto total = decoy_holds + real_holds_by_abusers;
+    return total == 0 ? 0.0 : static_cast<double>(decoy_holds) / static_cast<double>(total);
+  }
+};
+
+// Builds the report from the application's real + decoy inventories, using
+// the registry to restrict to abuser actors.
+[[nodiscard]] HoneypotReport honeypot_report(const app::Application& application,
+                                             const app::ActorRegistry& registry);
+
+// Money the attacker burned on decoy traffic (§V: "attackers waste resources
+// believing to hold items in a false environment").
+[[nodiscard]] util::Money attacker_waste(const HoneypotReport& report,
+                                         util::Money proxy_cost_per_request);
+
+}  // namespace fraudsim::mitigate

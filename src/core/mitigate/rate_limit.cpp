@@ -1,0 +1,29 @@
+#include "core/mitigate/rate_limit.hpp"
+
+namespace fraudsim::mitigate {
+
+SlidingWindowRateLimiter::SlidingWindowRateLimiter(std::uint64_t limit, sim::SimDuration window)
+    : limit_(limit), window_(window) {}
+
+void SlidingWindowRateLimiter::prune(sim::SimTime now, std::deque<sim::SimTime>& q) const {
+  while (!q.empty() && q.front() <= now - window_) q.pop_front();
+}
+
+bool SlidingWindowRateLimiter::allow(sim::SimTime now, const std::string& key) {
+  auto& q = events_[key];
+  prune(now, q);
+  if (q.size() >= limit_) {
+    ++denials_;
+    return false;
+  }
+  q.push_back(now);
+  return true;
+}
+
+std::uint64_t SlidingWindowRateLimiter::current(sim::SimTime now, const std::string& key) {
+  auto& q = events_[key];
+  prune(now, q);
+  return q.size();
+}
+
+}  // namespace fraudsim::mitigate

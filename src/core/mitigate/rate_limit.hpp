@@ -1,0 +1,44 @@
+// Sliding-window rate limiter.
+//
+// Keys are free-form strings so the same limiter implements every keying the
+// paper's mitigations need: per path (global), per IP, per session, per
+// fingerprint, per booking reference, per user profile.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace fraudsim::mitigate {
+
+class SlidingWindowRateLimiter {
+ public:
+  SlidingWindowRateLimiter(std::uint64_t limit, sim::SimDuration window);
+
+  // Records the event and returns true if it is within the limit; false if
+  // the event exceeds it (denied events are not recorded, so a client cannot
+  // extend its own penalty by hammering).
+  bool allow(sim::SimTime now, const std::string& key);
+
+  // Count currently in the window for the key (after pruning).
+  [[nodiscard]] std::uint64_t current(sim::SimTime now, const std::string& key);
+
+  [[nodiscard]] std::uint64_t limit() const { return limit_; }
+  [[nodiscard]] sim::SimDuration window() const { return window_; }
+  [[nodiscard]] std::uint64_t denials() const { return denials_; }
+
+  void clear() { events_.clear(); }
+
+ private:
+  void prune(sim::SimTime now, std::deque<sim::SimTime>& q) const;
+
+  std::uint64_t limit_;
+  sim::SimDuration window_;
+  std::unordered_map<std::string, std::deque<sim::SimTime>> events_;
+  std::uint64_t denials_ = 0;
+};
+
+}  // namespace fraudsim::mitigate

@@ -1,0 +1,114 @@
+#include "core/mitigate/rules.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::mitigate {
+
+RuleEngine::RuleEngine(const sim::Simulation& sim) : sim_(sim) {}
+
+void RuleEngine::set_blocklist_action(app::PolicyAction action) { blocklist_action_ = action; }
+
+void RuleEngine::block_ip(net::IpV4 ip) { blocked_ips_.insert(ip.value()); }
+
+void RuleEngine::block_cidr(net::Cidr cidr) { blocked_cidrs_.push_back(cidr); }
+
+bool RuleEngine::ip_blocked(net::IpV4 ip) const {
+  if (blocked_ips_.contains(ip.value())) return true;
+  return std::any_of(blocked_cidrs_.begin(), blocked_cidrs_.end(),
+                     [ip](const net::Cidr& c) { return c.contains(ip); });
+}
+
+void RuleEngine::gate_to_loyalty(web::Endpoint endpoint) { loyalty_gated_.insert(endpoint); }
+
+void RuleEngine::clear_loyalty_gates() { loyalty_gated_.clear(); }
+
+void RuleEngine::set_challenge_mode(ChallengeMode mode) { challenge_mode_ = mode; }
+
+void RuleEngine::add_rate_limit(RateLimitSpec spec) {
+  NamedLimiter named;
+  named.limiter = std::make_unique<SlidingWindowRateLimiter>(spec.limit, spec.window);
+  named.spec = std::move(spec);
+  limiters_.push_back(std::move(named));
+}
+
+const SlidingWindowRateLimiter* RuleEngine::limiter(const std::string& name) const {
+  for (const auto& named : limiters_) {
+    if (named.spec.name == name) return named.limiter.get();
+  }
+  return nullptr;
+}
+
+void RuleEngine::remove_rate_limit(const std::string& name) {
+  limiters_.erase(std::remove_if(limiters_.begin(), limiters_.end(),
+                                 [&](const NamedLimiter& n) { return n.spec.name == name; }),
+                  limiters_.end());
+}
+
+std::string RuleEngine::rate_key(const RateLimitSpec& spec, const web::HttpRequest& request) {
+  switch (spec.key) {
+    case RateKey::Global:
+      return "*";
+    case RateKey::ByIp:
+      return request.ip.str();
+    case RateKey::BySession:
+      return request.session.str();
+    case RateKey::ByFingerprint:
+      return request.fp_hash.str();
+    case RateKey::ByBookingRef:
+      // Requests without a booking reference fall back to the session key so
+      // they cannot dodge the limit by omitting the field.
+      return request.booking_ref.value_or("s:" + request.session.str());
+  }
+  return "*";
+}
+
+bool RuleEngine::looks_suspicious(const app::ClientContext& ctx) const {
+  if (ctx.fingerprint.webdriver_flag || ctx.fingerprint.headless_hint) return true;
+  return consistency_.inconsistency_score(ctx.fingerprint) >= 0.3;
+}
+
+app::PolicyDecision RuleEngine::evaluate(const web::HttpRequest& request,
+                                         const app::ClientContext& ctx) {
+  // 1. IP blocking.
+  if (ip_blocked(request.ip)) {
+    return app::PolicyDecision{app::PolicyAction::Block, "ip-block"};
+  }
+
+  // 2. Fingerprint blocklist (block or honeypot).
+  if (blocklist_.contains(request.fp_hash)) {
+    blocklist_.note_hit(request.fp_hash, sim_.now());
+    if (blocklist_action_ == app::PolicyAction::Honeypot) {
+      return app::PolicyDecision{app::PolicyAction::Honeypot, "fp-honeypot"};
+    }
+    return app::PolicyDecision{app::PolicyAction::Block, "fp-block"};
+  }
+
+  // 3. Loyalty gating of high-risk features.
+  if (loyalty_gated_.contains(request.endpoint) && !ctx.loyalty_member) {
+    return app::PolicyDecision{app::PolicyAction::Block, "loyalty-gate"};
+  }
+
+  // 4. Challenge layer.
+  if (!ctx.captcha_solved && challenge_mode_ != ChallengeMode::Off &&
+      web::is_transactional(request.endpoint)) {
+    const bool challenge = challenge_mode_ == ChallengeMode::AllTransactional
+                               ? true
+                               : looks_suspicious(ctx);
+    if (challenge) {
+      return app::PolicyDecision{app::PolicyAction::Challenge, "captcha"};
+    }
+  }
+
+  // 5. Rate limits (all matching limits must admit the request; the denial
+  // names the first limit that trips).
+  for (auto& named : limiters_) {
+    if (named.spec.endpoint && *named.spec.endpoint != request.endpoint) continue;
+    if (!named.limiter->allow(sim_.now(), rate_key(named.spec, request))) {
+      return app::PolicyDecision{app::PolicyAction::RateLimited, named.spec.name};
+    }
+  }
+
+  return app::PolicyDecision{};
+}
+
+}  // namespace fraudsim::mitigate

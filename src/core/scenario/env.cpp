@@ -1,0 +1,54 @@
+#include "core/scenario/env.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fraudsim::scenario {
+
+int Env::fleet_size_for(double booking_sessions_per_hour, sim::SimDuration horizon,
+                        int capacity) {
+  // Mean party ~1.9 seats, ~72% of holds convert to permanent sales; 2.2
+  // seats per booking session leaves ~60% headroom.
+  const double sessions = booking_sessions_per_hour * sim::to_days(horizon) * 24.0;
+  const double seats = sessions * 2.2;
+  return std::max(1, static_cast<int>(std::ceil(seats / std::max(capacity, 1))));
+}
+
+Env::Env(EnvConfig config)
+    : tariffs(sms::TariffTable::standard()),
+      carriers(tariffs, config.carrier_policy),
+      rng(config.seed),
+      app(sim, carriers, config.application, rng.fork("app")),
+      engine(sim),
+      residential(geo, util::Money::from_double(0.0008)),
+      datacenter(geo, net::CountryCode{'U', 'S'}, 8, util::Money::from_double(0.00005)),
+      config_(std::move(config)) {
+  app.set_policy(&engine);
+  legit = std::make_unique<workload::LegitTraffic>(app, geo, actors, config_.legit,
+                                                   rng.fork("legit"));
+}
+
+std::vector<airline::FlightId> Env::add_flights(const std::string& airline, int count,
+                                                int capacity, sim::SimTime departure) {
+  std::vector<airline::FlightId> ids;
+  for (int i = 0; i < count; ++i) {
+    ids.push_back(app.add_flight(airline, 100 + i, capacity, departure));
+  }
+  return ids;
+}
+
+void Env::start_background(sim::SimTime until) {
+  legit->start(until);
+  schedule_expiry_sweep(until);
+}
+
+void Env::schedule_expiry_sweep(sim::SimTime until) {
+  if (sim.now() + config_.expiry_sweep > until) return;
+  sim.schedule_in(config_.expiry_sweep, [this, until] {
+    app.inventory().expire_due(sim.now());
+    if (app.honeypot_enabled()) app.decoy_inventory().expire_due(sim.now());
+    schedule_expiry_sweep(until);
+  });
+}
+
+}  // namespace fraudsim::scenario

@@ -1,0 +1,69 @@
+// Scenario environment: one-stop assembly of the full platform.
+//
+// Wires the simulation kernel, geo/IP plane, carrier network, application
+// facade, rule engine, actor registry, proxy pools and legitimate traffic —
+// everything a case-study scenario or an example program needs, seeded from a
+// single integer.
+#pragma once
+
+#include <memory>
+
+#include "app/actors.hpp"
+#include "app/application.hpp"
+#include "core/mitigate/rules.hpp"
+#include "fingerprint/population.hpp"
+#include "net/proxy.hpp"
+#include "sim/simulation.hpp"
+#include "sms/carrier.hpp"
+#include "workload/legit_traffic.hpp"
+
+namespace fraudsim::scenario {
+
+struct EnvConfig {
+  std::uint64_t seed = 42;
+  app::ApplicationConfig application;
+  sms::CarrierPolicy carrier_policy;
+  workload::LegitTrafficConfig legit;
+  // Period of the availability-refresh sweep (expired holds release seats).
+  sim::SimDuration expiry_sweep = sim::minutes(1);
+};
+
+class Env {
+ public:
+  explicit Env(EnvConfig config);
+
+  // Adds `count` flights for `airline` departing at `departure` (numbered
+  // sequentially). Returns the flight ids.
+  std::vector<airline::FlightId> add_flights(const std::string& airline, int count, int capacity,
+                                             sim::SimTime departure);
+
+  // Number of flights needed so the configured booking demand cannot sell the
+  // schedule out over `horizon` (airlines size capacity to demand; a schedule
+  // that sells out mid-scenario would starve every later measurement).
+  [[nodiscard]] static int fleet_size_for(double booking_sessions_per_hour,
+                                          sim::SimDuration horizon, int capacity);
+
+  // Starts legitimate traffic and the expiry sweep until `until`.
+  void start_background(sim::SimTime until);
+
+  void run_until(sim::SimTime t) { sim.run_until(t); }
+
+  sim::Simulation sim;
+  net::GeoDb geo;
+  sms::TariffTable tariffs;
+  sms::CarrierNetwork carriers;
+  app::ActorRegistry actors;
+  fp::PopulationModel population;
+  sim::Rng rng;
+  app::Application app;
+  mitigate::RuleEngine engine;
+  net::ResidentialProxyPool residential;
+  net::DatacenterProxyPool datacenter;
+  std::unique_ptr<workload::LegitTraffic> legit;
+
+ private:
+  void schedule_expiry_sweep(sim::SimTime until);
+  EnvConfig config_;
+};
+
+}  // namespace fraudsim::scenario

@@ -1,0 +1,118 @@
+#include "core/scenario/seat_spin_scenario.hpp"
+
+#include <memory>
+
+#include "core/detect/nip_anomaly.hpp"
+
+namespace fraudsim::scenario {
+
+SeatSpinScenarioResult run_seat_spin_scenario(const SeatSpinScenarioConfig& config) {
+  EnvConfig env_config;
+  env_config.seed = config.seed;
+  env_config.legit = config.legit;
+  env_config.application.honeypot_enabled = config.honeypot;
+  // Airline A holds seats for hours before payment (§IV-A: "30 minutes to
+  // several hours depending on the domain"); the long window is what makes
+  // the attack cheap for the attacker.
+  env_config.application.inventory.hold_duration = sim::hours(4);
+  Env env(env_config);
+
+  constexpr sim::SimTime kWeek = sim::kWeek;
+  const sim::SimTime end = 3 * kWeek;
+  const sim::SimTime departure = end + sim::days(1);  // target departs d22
+
+  // Schedule: the fleet departs well after the horizon so it stays bookable;
+  // the target flight is the one the bot besieges. The fleet is sized to the
+  // configured demand so legitimate traffic never sells the schedule out.
+  const int fleet = std::max(
+      config.fleet_flights,
+      Env::fleet_size_for(config.legit.booking_sessions_per_hour, end, config.capacity));
+  env.add_flights("A", fleet, config.capacity, end + sim::days(14));
+  const auto target = env.app.add_flight("A", 777, config.capacity, departure);
+
+  // Mitigation posture.
+  env.engine.set_challenge_mode(config.challenge);
+  if (config.honeypot) env.engine.set_blocklist_action(app::PolicyAction::Honeypot);
+
+  mitigate::ControllerConfig controller_config;
+  controller_config.block_flagged_fingerprints = config.controller_blocking;
+  controller_config.block_artifact_fingerprints = config.controller_blocking;
+  controller_config.impose_nip_cap = false;  // the cap is imposed on the Fig.1 timeline below
+  mitigate::MitigationController controller(env.app, env.engine, controller_config);
+
+  // Attacker.
+  attack::SeatSpinConfig bot_config;
+  bot_config.target = target;
+  bot_config.initial_nip = config.attack_nip;
+  bot_config.identity = config.bot_identity;
+  bot_config.rotation = config.rotation;
+  attack::SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
+                          env.rng.fork("seat-spin-bot"));
+
+  attack::ManualSpinnerConfig manual_config;
+  manual_config.target = target;
+  std::unique_ptr<attack::ManualSpinner> manual;
+  if (config.include_manual_spinner) {
+    manual = std::make_unique<attack::ManualSpinner>(env.app, env.actors, env.residential,
+                                                     env.population, manual_config,
+                                                     env.rng.fork("manual-spinner"));
+  }
+
+  // Timeline.
+  env.start_background(end);
+  // Week 0 is clean. At its end: fit the controller's NiP baseline and arm it.
+  env.sim.schedule_at(kWeek, [&] {
+    controller.fit_nip_baseline(0, kWeek);
+    controller.start(end);
+    bot.start();
+    if (manual) manual->start();
+  });
+  // Cap at the week-1 -> week-2 boundary.
+  SeatSpinScenarioResult result;
+  result.cap_imposed_at = -1;
+  if (config.impose_cap) {
+    env.sim.schedule_at(2 * kWeek, [&env, &result, &config] {
+      env.app.inventory().set_max_nip(config.cap_value);
+      result.cap_imposed_at = env.sim.now();
+    });
+  }
+
+  // Depletion sampling over the attack window (weeks 1-2), every two hours.
+  int depleted_samples = 0;
+  int samples = 0;
+  for (sim::SimTime t = kWeek + sim::hours(2); t <= end; t += sim::hours(2)) {
+    env.sim.schedule_at(t, [&env, &depleted_samples, &samples, target] {
+      env.app.inventory().expire_due(env.sim.now());
+      ++samples;
+      if (env.app.inventory().available_seats(target) == 0) ++depleted_samples;
+    });
+  }
+
+  env.run_until(end);
+
+  // Collect Fig. 1 histograms (holds created per week, all Airline A flights,
+  // including never-finalised ones — exactly what the paper counts).
+  const auto& reservations = env.app.inventory().reservations();
+  result.nip_average_week = detect::NipAnomalyDetector::window_histogram(reservations, 0, kWeek);
+  result.nip_attack_week =
+      detect::NipAnomalyDetector::window_histogram(reservations, kWeek, 2 * kWeek);
+  result.nip_capped_week =
+      detect::NipAnomalyDetector::window_histogram(reservations, 2 * kWeek, end);
+
+  result.bot = bot.stats();
+  if (manual) result.manual = manual->stats();
+  result.legit = env.legit->stats();
+  result.app_stats = env.app.stats();
+  result.honeypot = mitigate::honeypot_report(env.app, env.actors);
+  result.actions = controller.actions();
+  result.mean_rotation_reaction_hours = bot.evasion().identity().mean_reaction_hours();
+  result.rotations = bot.evasion().identity().history().size();
+  result.fp_rule_effectiveness_hours = env.engine.blocklist().effectiveness_windows_hours();
+  result.bot_stopped_at = bot.stats().stopped_at;
+  result.departure = departure;
+  result.target_depletion_days =
+      samples == 0 ? 0.0 : static_cast<double>(depleted_samples) / samples;
+  return result;
+}
+
+}  // namespace fraudsim::scenario

@@ -1,0 +1,92 @@
+#include "core/scenario/sms_pump_scenario.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace fraudsim::scenario {
+
+SmsPumpScenarioResult run_sms_pump_scenario(const SmsPumpScenarioConfig& config) {
+  EnvConfig env_config;
+  env_config.seed = config.seed;
+  env_config.legit = config.legit;
+  env_config.carrier_policy = config.carrier_policy;
+  env_config.application.boarding.sms_per_booking_cap = config.per_booking_sms_cap;
+  Env env(env_config);
+
+  const sim::SimTime attack_start = sim::days(config.baseline_days);
+  const sim::SimTime end = attack_start + sim::days(config.attack_days);
+
+  const int fleet = std::max(
+      config.fleet_flights,
+      Env::fleet_size_for(config.legit.booking_sessions_per_hour, end, config.capacity));
+  env.add_flights("D", fleet, config.capacity, end + sim::days(14));
+
+  env.engine.set_challenge_mode(config.challenge);
+  if (config.loyalty_gate_sms) {
+    env.engine.gate_to_loyalty(web::Endpoint::BoardingPassSms);
+  }
+
+  mitigate::ControllerConfig controller_config;
+  controller_config.block_flagged_fingerprints = false;  // no DoI detectors here
+  controller_config.block_artifact_fingerprints = true;
+  controller_config.disable_sms_on_path_trip = config.disable_sms_on_path_trip;
+  controller_config.sms.path_daily_limit = config.path_daily_limit;
+  mitigate::MitigationController controller(env.app, env.engine, controller_config);
+
+  attack::SmsPumpConfig pump_config = config.pump;
+  pump_config.stop_at = end;
+  attack::SmsPumpBot pump(env.app, env.actors, env.residential, env.population, env.tariffs,
+                          pump_config, env.rng.fork("sms-pump"));
+
+  env.start_background(end);
+  env.sim.schedule_at(attack_start, [&] {
+    controller.start(end);
+    pump.start();
+  });
+
+  env.run_until(end);
+
+  SmsPumpScenarioResult result;
+  result.attack_start = attack_start;
+  result.pump = pump.stats();
+  result.legit = env.legit->stats();
+
+  detect::SmsAnomalyConfig anomaly_config;
+  anomaly_config.path_daily_limit = config.path_daily_limit;
+  anomaly_config.per_booking_limit = 10;
+  const detect::SmsAnomalyDetector detector(anomaly_config);
+  result.surges = detector.country_surges(env.app.sms_gateway(), 0, attack_start, attack_start,
+                                          end, sms::SmsType::BoardingPass);
+  result.path_trip_time = detector.path_limit_trip_time(env.app.sms_gateway());
+  result.per_booking_trip_time = detector.per_booking_trip_time(env.app.sms_gateway());
+  result.sms_disabled_at = controller.sms_disable_time();
+
+  // Global boarding-pass surge, per-day normalised.
+  const auto before =
+      env.app.sms_gateway().volume_by_country(0, attack_start, sms::SmsType::BoardingPass);
+  const auto during =
+      env.app.sms_gateway().volume_by_country(attack_start, end, sms::SmsType::BoardingPass);
+  result.boarding_sms_before = before.total();
+  result.boarding_sms_during = during.total();
+  const double before_rate = static_cast<double>(before.total()) /
+                             std::max(1.0, sim::to_days(attack_start));
+  const double during_rate =
+      static_cast<double>(during.total()) / std::max(1.0, sim::to_days(end - attack_start));
+  result.global_surge_fraction = analytics::surge_fraction(before_rate, during_rate);
+
+  // Distinct countries the ring actually reached.
+  std::set<net::CountryCode> attacker_countries;
+  for (const auto& r : env.app.sms_gateway().log()) {
+    if (!r.delivered || r.actor != pump.actor()) continue;
+    attacker_countries.insert(r.destination.country);
+  }
+  result.attacker_countries = attacker_countries.size();
+
+  result.attacker_pnl = econ::sms_attacker_pnl(env.app.sms_gateway(), pump.actor(),
+                                               pump.stats().counters,
+                                               pump.stats().tickets_bought);
+  result.defender_pnl = econ::defender_pnl(env.app, env.actors, env.legit->stats());
+  return result;
+}
+
+}  // namespace fraudsim::scenario

@@ -1,0 +1,58 @@
+// The Airline D advanced SMS Pumping case study (§IV-C) as a scenario.
+//
+// Timeline:
+//   days [0, baseline_days)        — legitimate traffic only (the "before")
+//   days [baseline_days, ...)      — pumping ring active (the "during")
+// The ring buys a few tickets, then pumps boarding-pass SMS across ~42
+// countries weighted to premium destinations, via country-matched residential
+// proxies with fingerprint rotation. Detection/mitigation posture is
+// configurable to reproduce both the vulnerable Dec-2022 configuration (no
+// per-booking limit; only a path-level monitor that trips late and removes
+// the feature) and the hardened alternatives.
+#pragma once
+
+#include "attack/sms_pump.hpp"
+#include "core/detect/sms_anomaly.hpp"
+#include "core/mitigate/controller.hpp"
+#include "core/scenario/env.hpp"
+#include "econ/attacker_econ.hpp"
+#include "econ/defender_econ.hpp"
+
+namespace fraudsim::scenario {
+
+struct SmsPumpScenarioConfig {
+  std::uint64_t seed = 2212;
+  int fleet_flights = 20;
+  int capacity = 200;
+  int baseline_days = 7;
+  int attack_days = 7;
+  attack::SmsPumpConfig pump;          // stop_at filled from the timeline
+  // Mitigation posture.
+  std::uint64_t per_booking_sms_cap = 0;  // 0 = vulnerable configuration
+  bool disable_sms_on_path_trip = true;   // the emergency mitigation
+  double path_daily_limit = 2500;
+  bool loyalty_gate_sms = false;          // §V feature-access restriction
+  mitigate::ChallengeMode challenge = mitigate::ChallengeMode::Off;
+  workload::LegitTrafficConfig legit;
+  sms::CarrierPolicy carrier_policy;      // §V carrier-collaboration knobs
+};
+
+struct SmsPumpScenarioResult {
+  std::vector<detect::CountrySurge> surges;  // ranked, Table I input
+  double global_surge_fraction = 0.0;        // boarding-pass SMS, during vs before
+  std::size_t attacker_countries = 0;        // distinct destinations the ring hit
+  attack::SmsPumpStats pump;
+  workload::LegitTrafficStats legit;
+  econ::AttackerPnL attacker_pnl;
+  econ::DefenderPnL defender_pnl;
+  std::optional<sim::SimTime> path_trip_time;
+  std::optional<sim::SimTime> per_booking_trip_time;
+  std::optional<sim::SimTime> sms_disabled_at;
+  sim::SimTime attack_start = 0;
+  std::uint64_t boarding_sms_before = 0;  // per-day-normalised counts follow
+  std::uint64_t boarding_sms_during = 0;
+};
+
+[[nodiscard]] SmsPumpScenarioResult run_sms_pump_scenario(const SmsPumpScenarioConfig& config);
+
+}  // namespace fraudsim::scenario

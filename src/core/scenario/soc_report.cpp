@@ -1,0 +1,95 @@
+#include "core/scenario/soc_report.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace fraudsim::scenario {
+
+std::string render_soc_report(const SocReportInputs& inputs) {
+  std::ostringstream out;
+  const auto& app = inputs.application;
+  out << "==================== SOC WEEKLY REPORT ====================\n";
+  out << "window: " << sim::format_time(inputs.from) << " .. " << sim::format_time(inputs.to)
+      << "\n\n";
+
+  // --- Traffic & business ----------------------------------------------------
+  const auto requests = app.weblog().range(inputs.from, inputs.to);
+  std::uint64_t blocked = 0;
+  std::uint64_t challenged = 0;
+  std::uint64_t limited = 0;
+  for (const auto& r : requests) {
+    if (r.status_code == 403) ++blocked;
+    if (r.status_code == 401) ++challenged;
+    if (r.status_code == 429) ++limited;
+  }
+  std::uint64_t holds = 0;
+  std::uint64_t ticketed = 0;
+  for (const auto& r : app.inventory().reservations()) {
+    if (r.created < inputs.from || r.created >= inputs.to) continue;
+    ++holds;
+    if (r.state == airline::ReservationState::Ticketed) ++ticketed;
+  }
+  util::Money sms_cost;
+  std::uint64_t sms_count = 0;
+  std::uint64_t sms_abuse = 0;
+  for (const auto& r : app.sms_gateway().log()) {
+    if (!r.delivered || r.time < inputs.from || r.time >= inputs.to) continue;
+    ++sms_count;
+    sms_cost += r.app_cost;
+    if (inputs.actors.abuser(r.actor)) ++sms_abuse;
+  }
+
+  util::AsciiTable traffic({"Traffic & business", "count"});
+  traffic.add_row({"HTTP requests", util::format_count(requests.size())});
+  traffic.add_row({"sessions analysed", util::format_count(inputs.detection.sessions.size())});
+  traffic.add_row({"holds created", util::format_count(holds)});
+  traffic.add_row({"holds ticketed", util::format_count(ticketed)});
+  traffic.add_row({"SMS delivered", util::format_count(sms_count)});
+  traffic.add_row({"SMS spend", sms_cost.str()});
+  traffic.add_row({"SMS to flagged abusers", util::format_count(sms_abuse)});
+  out << traffic.render() << "\n";
+
+  // --- Policy outcomes ----------------------------------------------------------
+  util::AsciiTable policy({"Policy outcome", "count"});
+  policy.add_row({"blocked (403)", util::format_count(blocked)});
+  policy.add_row({"challenged (401)", util::format_count(challenged)});
+  policy.add_row({"rate limited (429)", util::format_count(limited)});
+  out << policy.render() << "\n";
+  if (!app.rule_hits().empty()) {
+    util::AsciiTable rules({"Rule", "hits"});
+    std::map<std::string, std::uint64_t> ordered(app.rule_hits().begin(), app.rule_hits().end());
+    for (const auto& [rule, hits] : ordered) {
+      rules.add_row({rule, util::format_count(hits)});
+    }
+    out << rules.render() << "\n";
+  }
+
+  // --- Detection ------------------------------------------------------------------
+  util::AsciiTable detect_table({"Detector", "alerts", "precision", "recall"});
+  for (const auto& report : inputs.detection.reports) {
+    detect_table.add_row({report.detector, util::format_count(report.alerts),
+                          util::format_percent(report.score.confusion.precision(), 0),
+                          util::format_percent(report.score.confusion.recall(), 0)});
+  }
+  out << detect_table.render() << "\n";
+
+  // --- Enforcement timeline ----------------------------------------------------------
+  if (!inputs.actions.empty()) {
+    out << "Enforcement actions (" << inputs.actions.size() << "):\n";
+    std::size_t shown = 0;
+    for (const auto& action : inputs.actions) {
+      if (shown++ >= 15) {
+        out << "  ... " << inputs.actions.size() - 15 << " more\n";
+        break;
+      }
+      out << "  " << sim::format_time(action.time) << "  " << action.kind << "  "
+          << action.detail << "\n";
+    }
+  }
+  out << "============================================================\n";
+  return out.str();
+}
+
+}  // namespace fraudsim::scenario

@@ -1,0 +1,30 @@
+// SOC-style operations report.
+//
+// Renders the week a fraud-prevention team actually looks at: traffic and
+// business volumes, policy outcomes per rule, detector alert counts with
+// ground-truth scoring, SMS cost attribution, and the enforcement timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/actors.hpp"
+#include "app/application.hpp"
+#include "core/detect/pipeline.hpp"
+#include "core/mitigate/controller.hpp"
+
+namespace fraudsim::scenario {
+
+struct SocReportInputs {
+  const app::Application& application;
+  const app::ActorRegistry& actors;
+  const detect::PipelineResult& detection;
+  sim::SimTime from = 0;
+  sim::SimTime to = 0;
+  // Optional enforcement history (empty = no controller ran).
+  std::vector<mitigate::EnforcementAction> actions;
+};
+
+[[nodiscard]] std::string render_soc_report(const SocReportInputs& inputs);
+
+}  // namespace fraudsim::scenario

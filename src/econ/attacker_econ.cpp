@@ -1,0 +1,25 @@
+#include "econ/attacker_econ.hpp"
+
+namespace fraudsim::econ {
+
+util::Money sms_revenue_of(const sms::SmsGateway& gateway, web::ActorId actor) {
+  util::Money revenue;
+  for (const auto& r : gateway.log()) {
+    if (!r.delivered || r.actor != actor) continue;
+    revenue += r.attacker_revenue;
+  }
+  return revenue;
+}
+
+AttackerPnL sms_attacker_pnl(const sms::SmsGateway& gateway, web::ActorId actor,
+                             const attack::BotCounters& counters, std::uint64_t stolen_cards,
+                             const AttackerParams& params) {
+  AttackerPnL pnl;
+  pnl.sms_revenue = sms_revenue_of(gateway, actor);
+  pnl.proxy_cost = params.proxy_cost_per_request * static_cast<std::int64_t>(counters.requests);
+  pnl.captcha_cost = counters.captcha_spend;
+  pnl.setup_cost = params.stolen_card_cost * static_cast<std::int64_t>(stolen_cards);
+  return pnl;
+}
+
+}  // namespace fraudsim::econ

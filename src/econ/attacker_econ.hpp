@@ -1,0 +1,48 @@
+// Attacker profit & loss (§II-B, §V).
+//
+// SMS Pumping is financially motivated: revenue is the colluding-carrier
+// kickback per delivered SMS; costs are residential proxies, CAPTCHA solves,
+// and setup (stolen cards, ticket purchases). §V argues the strongest
+// deterrent is pushing this P&L negative — bench/exp_economics and
+// bench/exp_mitigation_ablation quantify exactly that.
+#pragma once
+
+#include <cstdint>
+
+#include "app/actors.hpp"
+#include "attack/bot_base.hpp"
+#include "sms/gateway.hpp"
+#include "util/money.hpp"
+
+namespace fraudsim::econ {
+
+struct AttackerParams {
+  util::Money proxy_cost_per_request = util::Money::from_double(0.0008);
+  util::Money stolen_card_cost = util::Money::from_double(4.0);
+  // Tickets bought with stolen cards are "free" until the chargeback; the
+  // card itself is the cost.
+};
+
+struct AttackerPnL {
+  util::Money sms_revenue;     // carrier kickbacks
+  util::Money proxy_cost;
+  util::Money captcha_cost;
+  util::Money setup_cost;      // stolen cards etc.
+
+  [[nodiscard]] util::Money total_cost() const {
+    return proxy_cost + captcha_cost + setup_cost;
+  }
+  [[nodiscard]] util::Money net() const { return sms_revenue - total_cost(); }
+  [[nodiscard]] bool profitable() const { return net() > util::Money{}; }
+};
+
+// P&L of one pumping actor from the gateway ledger + its bot counters.
+[[nodiscard]] AttackerPnL sms_attacker_pnl(const sms::SmsGateway& gateway, web::ActorId actor,
+                                           const attack::BotCounters& counters,
+                                           std::uint64_t stolen_cards,
+                                           const AttackerParams& params = {});
+
+// Revenue a given actor earned from delivered SMS (kickbacks only).
+[[nodiscard]] util::Money sms_revenue_of(const sms::SmsGateway& gateway, web::ActorId actor);
+
+}  // namespace fraudsim::econ

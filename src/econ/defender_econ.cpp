@@ -1,0 +1,26 @@
+#include "econ/defender_econ.hpp"
+
+namespace fraudsim::econ {
+
+DefenderPnL defender_pnl(const app::Application& application, const app::ActorRegistry& registry,
+                         const workload::LegitTrafficStats& legit, const DefenderParams& params) {
+  DefenderPnL pnl;
+  for (const auto& r : application.sms_gateway().log()) {
+    if (!r.delivered) continue;
+    if (registry.abuser(r.actor)) {
+      pnl.sms_cost_abuse += r.app_cost;
+      ++pnl.abuse_sms_count;
+    } else {
+      pnl.sms_cost_legit += r.app_cost;
+      ++pnl.legit_sms_count;
+    }
+  }
+  pnl.lost_sales_inventory =
+      params.ticket_price * static_cast<std::int64_t>(legit.seats_lost_no_seats);
+  const double blocked_value =
+      static_cast<double>(legit.blocked + legit.challenge_abandoned) * params.blocked_conversion;
+  pnl.false_positive_loss = params.ticket_price * blocked_value;
+  return pnl;
+}
+
+}  // namespace fraudsim::econ

@@ -1,0 +1,42 @@
+// Defender-side losses (§II).
+//
+// DoI: seats held by abusers are sales legitimate customers could not make;
+// blocks/challenges on legitimate users are self-inflicted losses. SMS
+// pumping: the application pays the A2P send rate for every pumped message.
+#pragma once
+
+#include <cstdint>
+
+#include "app/actors.hpp"
+#include "app/application.hpp"
+#include "util/money.hpp"
+#include "workload/legit_traffic.hpp"
+
+namespace fraudsim::econ {
+
+struct DefenderParams {
+  util::Money ticket_price = util::Money::from_units(140);
+  // Fraction of blocked/abandoned legitimate sessions that would have
+  // converted into a paid booking.
+  double blocked_conversion = 0.5;
+};
+
+struct DefenderPnL {
+  util::Money sms_cost_abuse;        // A2P spend attributable to abusers
+  util::Money sms_cost_legit;        // normal operating spend
+  util::Money lost_sales_inventory;  // parties turned away for lack of seats
+  util::Money false_positive_loss;   // legit users blocked / abandoned
+  std::uint64_t abuse_sms_count = 0;
+  std::uint64_t legit_sms_count = 0;
+
+  [[nodiscard]] util::Money total_attack_loss() const {
+    return sms_cost_abuse + lost_sales_inventory + false_positive_loss;
+  }
+};
+
+[[nodiscard]] DefenderPnL defender_pnl(const app::Application& application,
+                                       const app::ActorRegistry& registry,
+                                       const workload::LegitTrafficStats& legit,
+                                       const DefenderParams& params = {});
+
+}  // namespace fraudsim::econ

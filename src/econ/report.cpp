@@ -1,0 +1,35 @@
+#include "econ/report.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace fraudsim::econ {
+
+std::string render_attacker_pnl(const std::string& title, const AttackerPnL& pnl) {
+  util::AsciiTable table({"Item", "Amount"});
+  table.add_row({"SMS kickback revenue", pnl.sms_revenue.str()});
+  table.add_row({"Proxy cost", (-pnl.proxy_cost).str()});
+  table.add_row({"CAPTCHA-solving cost", (-pnl.captcha_cost).str()});
+  table.add_row({"Setup cost (cards)", (-pnl.setup_cost).str()});
+  table.add_row({"NET", pnl.net().str()});
+  std::ostringstream out;
+  out << "=== " << title << " ===\n" << table.render();
+  return out.str();
+}
+
+std::string render_defender_pnl(const std::string& title, const DefenderPnL& pnl) {
+  util::AsciiTable table({"Item", "Amount"});
+  table.add_row({"SMS spend on abuse (" + util::format_count(pnl.abuse_sms_count) + " msgs)",
+                 pnl.sms_cost_abuse.str()});
+  table.add_row({"SMS spend legit (" + util::format_count(pnl.legit_sms_count) + " msgs)",
+                 pnl.sms_cost_legit.str()});
+  table.add_row({"Lost sales (no seats)", pnl.lost_sales_inventory.str()});
+  table.add_row({"False-positive loss", pnl.false_positive_loss.str()});
+  table.add_row({"TOTAL attack loss", pnl.total_attack_loss().str()});
+  std::ostringstream out;
+  out << "=== " << title << " ===\n" << table.render();
+  return out.str();
+}
+
+}  // namespace fraudsim::econ

@@ -1,0 +1,14 @@
+// Economics report rendering.
+#pragma once
+
+#include <string>
+
+#include "econ/attacker_econ.hpp"
+#include "econ/defender_econ.hpp"
+
+namespace fraudsim::econ {
+
+[[nodiscard]] std::string render_attacker_pnl(const std::string& title, const AttackerPnL& pnl);
+[[nodiscard]] std::string render_defender_pnl(const std::string& title, const DefenderPnL& pnl);
+
+}  // namespace fraudsim::econ

@@ -1,0 +1,30 @@
+// Cross-attribute fingerprint consistency checking.
+//
+// Spoofing kits that assemble fingerprints attribute-by-attribute leak
+// impossible combinations (Safari on Windows, iOS with 16 cores, a desktop
+// with a phone screen, a claimed stack whose rendering hash doesn't match).
+// This is the "FP-inconsistent" family of detectors referenced in §III-B.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fingerprint/fingerprint.hpp"
+
+namespace fraudsim::fp {
+
+struct ConsistencyViolation {
+  std::string rule;
+  std::string detail;
+};
+
+class ConsistencyChecker {
+ public:
+  // All violated rules; empty = consistent.
+  [[nodiscard]] std::vector<ConsistencyViolation> check(const Fingerprint& fp) const;
+
+  // Convenience: score in [0,1]; 0 = consistent, grows with violation count.
+  [[nodiscard]] double inconsistency_score(const Fingerprint& fp) const;
+};
+
+}  // namespace fraudsim::fp

@@ -1,0 +1,63 @@
+#include "fingerprint/rotation.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::fp {
+
+RotatingIdentity::RotatingIdentity(RotationConfig config, const PopulationModel& population,
+                                   sim::Rng rng)
+    : config_(config), population_(population), rng_(std::move(rng)) {
+  current_ = population_.sample_spoofed(rng_, config_.spoof);
+}
+
+sim::SimTime RotatingIdentity::on_blocked(sim::SimTime now) {
+  if (pending_rotation_at_ >= 0) return pending_rotation_at_;
+  const double latency = std::max<double>(
+      static_cast<double>(config_.min_reaction),
+      rng_.normal(static_cast<double>(config_.mean_reaction),
+                  static_cast<double>(config_.reaction_stddev)));
+  pending_rotation_at_ = now + static_cast<sim::SimDuration>(latency);
+  pending_block_time_ = now;
+  return pending_rotation_at_;
+}
+
+bool RotatingIdentity::advance(sim::SimTime now) {
+  bool changed = false;
+  if (pending_rotation_at_ >= 0 && now >= pending_rotation_at_) {
+    rotate(pending_rotation_at_, pending_block_time_);
+    pending_rotation_at_ = -1;
+    changed = true;
+  }
+  if (config_.periodic > 0) {
+    while (now - last_rotation_ >= config_.periodic) {
+      rotate(last_rotation_ + config_.periodic, /*blocked_at=*/0);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void RotatingIdentity::rotate(sim::SimTime now, sim::SimTime blocked_at) {
+  const FpHash old_hash = current_.hash();
+  // Resample until the hash actually changes (collisions are possible since
+  // popular configurations repeat).
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    current_ = population_.sample_spoofed(rng_, config_.spoof);
+    if (current_.hash() != old_hash) break;
+  }
+  last_rotation_ = now;
+  history_.push_back(RotationRecord{blocked_at, now, old_hash, current_.hash()});
+}
+
+double RotatingIdentity::mean_reaction_hours() const {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : history_) {
+    if (r.blocked_at == 0) continue;  // periodic rotation, not a reaction
+    total += sim::to_hours(r.rotated_at - r.blocked_at);
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+}  // namespace fraudsim::fp

@@ -1,0 +1,68 @@
+// Fingerprint rotation.
+//
+// §IV-A reports attackers rotating fingerprints on average 5.3 hours after
+// each new blocking rule. RotationPolicy models both time-driven rotation and
+// reaction-driven rotation (rotate-after-block with a configurable latency
+// distribution), and records the history needed to measure rotation cadence.
+#pragma once
+
+#include <vector>
+
+#include "fingerprint/fingerprint.hpp"
+#include "fingerprint/population.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace fraudsim::fp {
+
+struct RotationConfig {
+  // Mean latency between observing a block and presenting a new fingerprint.
+  sim::SimDuration mean_reaction = sim::hours(5.3);
+  // Dispersion of the reaction latency (normal, truncated at min_reaction).
+  sim::SimDuration reaction_stddev = sim::hours(1.5);
+  sim::SimDuration min_reaction = sim::minutes(20);
+  // Optional unconditional rotation period (0 = only rotate on blocks).
+  sim::SimDuration periodic = 0;
+  SpoofOptions spoof;
+};
+
+class RotatingIdentity {
+ public:
+  RotatingIdentity(RotationConfig config, const PopulationModel& population, sim::Rng rng);
+
+  [[nodiscard]] const Fingerprint& current() const { return current_; }
+
+  // A block was observed at `now`; returns the time at which the identity
+  // will present a new fingerprint (rotation completes then). Idempotent
+  // while a rotation is already pending.
+  sim::SimTime on_blocked(sim::SimTime now);
+
+  // Advance to `now`: applies any pending or periodic rotation due by then.
+  // Returns true if the fingerprint changed.
+  bool advance(sim::SimTime now);
+
+  struct RotationRecord {
+    sim::SimTime blocked_at = 0;   // 0 for periodic rotations
+    sim::SimTime rotated_at = 0;
+    FpHash old_hash;
+    FpHash new_hash;
+  };
+  [[nodiscard]] const std::vector<RotationRecord>& history() const { return history_; }
+
+  // Mean observed block->rotation latency over history (hours); 0 if none.
+  [[nodiscard]] double mean_reaction_hours() const;
+
+ private:
+  void rotate(sim::SimTime now, sim::SimTime blocked_at);
+
+  RotationConfig config_;
+  const PopulationModel& population_;
+  sim::Rng rng_;
+  Fingerprint current_;
+  sim::SimTime pending_rotation_at_ = -1;  // -1 = none
+  sim::SimTime pending_block_time_ = 0;
+  sim::SimTime last_rotation_ = 0;
+  std::vector<RotationRecord> history_;
+};
+
+}  // namespace fraudsim::fp

@@ -1,0 +1,160 @@
+#include "net/geo.hpp"
+
+#include <cctype>
+
+namespace fraudsim::net {
+
+std::optional<CountryCode> CountryCode::parse(std::string_view s) {
+  if (s.size() != 2) return std::nullopt;
+  const char a = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  const char b = static_cast<char>(std::toupper(static_cast<unsigned char>(s[1])));
+  if (a < 'A' || a > 'Z' || b < 'A' || b > 'Z') return std::nullopt;
+  return CountryCode(a, b);
+}
+
+std::string CountryCode::str() const {
+  if (!valid()) return "??";
+  std::string s(2, '?');
+  s[0] = static_cast<char>((packed_ >> 8) & 0xFF);
+  s[1] = static_cast<char>(packed_ & 0xFF);
+  return s;
+}
+
+const std::vector<CountryInfo>& world_countries() {
+  // Population weights are coarse relative weights of the airline's
+  // (the Table I premium-route destinations are marginal markets for this
+  // airline — which is exactly why their baseline SMS volume is near zero)
+  // legitimate customer base (not real demographics): strong in Europe/Asia
+  // hubs, thin tail elsewhere. Table I countries are all present.
+  static const std::vector<CountryInfo> kCountries = {
+      {{'U', 'Z'}, "Uzbekistan", 0.03},
+      {{'I', 'R'}, "Iran", 0.04},
+      {{'K', 'G'}, "Kirghizistan", 0.015},
+      {{'J', 'O'}, "Jordan", 0.05},
+      {{'N', 'G'}, "Nigeria", 0.08},
+      {{'K', 'H'}, "Cambogia", 0.04},
+      {{'S', 'G'}, "Singapore", 3.00},
+      {{'G', 'B'}, "United Kingdom", 8.00},
+      {{'C', 'N'}, "China", 6.00},
+      {{'T', 'H'}, "Thailand", 3.50},
+      {{'F', 'R'}, "France", 7.00},
+      {{'D', 'E'}, "Germany", 7.50},
+      {{'E', 'S'}, "Spain", 5.00},
+      {{'I', 'T'}, "Italy", 5.00},
+      {{'U', 'S'}, "United States", 9.00},
+      {{'C', 'A'}, "Canada", 3.00},
+      {{'B', 'R'}, "Brazil", 3.00},
+      {{'M', 'X'}, "Mexico", 2.50},
+      {{'A', 'R'}, "Argentina", 1.50},
+      {{'C', 'L'}, "Chile", 1.00},
+      {{'P', 'T'}, "Portugal", 1.50},
+      {{'N', 'L'}, "Netherlands", 2.50},
+      {{'B', 'E'}, "Belgium", 1.80},
+      {{'C', 'H'}, "Switzerland", 1.80},
+      {{'A', 'T'}, "Austria", 1.30},
+      {{'S', 'E'}, "Sweden", 1.50},
+      {{'N', 'O'}, "Norway", 1.20},
+      {{'D', 'K'}, "Denmark", 1.20},
+      {{'F', 'I'}, "Finland", 1.00},
+      {{'P', 'L'}, "Poland", 2.00},
+      {{'C', 'Z'}, "Czechia", 1.00},
+      {{'G', 'R'}, "Greece", 1.20},
+      {{'T', 'R'}, "Turkey", 2.50},
+      {{'A', 'E'}, "United Arab Emirates", 2.50},
+      {{'S', 'A'}, "Saudi Arabia", 2.00},
+      {{'Q', 'A'}, "Qatar", 1.00},
+      {{'E', 'G'}, "Egypt", 1.20},
+      {{'M', 'A'}, "Morocco", 0.90},
+      {{'T', 'N'}, "Tunisia", 0.60},
+      {{'Z', 'A'}, "South Africa", 1.20},
+      {{'K', 'E'}, "Kenya", 0.50},
+      {{'G', 'H'}, "Ghana", 0.40},
+      {{'I', 'N'}, "India", 5.00},
+      {{'P', 'K'}, "Pakistan", 0.80},
+      {{'B', 'D'}, "Bangladesh", 0.50},
+      {{'L', 'K'}, "Sri Lanka", 0.40},
+      {{'N', 'P'}, "Nepal", 0.30},
+      {{'M', 'M'}, "Myanmar", 0.25},
+      {{'L', 'A'}, "Laos", 0.15},
+      {{'V', 'N'}, "Vietnam", 1.50},
+      {{'M', 'Y'}, "Malaysia", 2.00},
+      {{'I', 'D'}, "Indonesia", 2.00},
+      {{'P', 'H'}, "Philippines", 1.50},
+      {{'J', 'P'}, "Japan", 4.00},
+      {{'K', 'R'}, "South Korea", 3.00},
+      {{'T', 'W'}, "Taiwan", 1.50},
+      {{'H', 'K'}, "Hong Kong", 2.00},
+      {{'A', 'U'}, "Australia", 3.00},
+      {{'N', 'Z'}, "New Zealand", 1.00},
+      {{'R', 'U'}, "Russia", 1.50},
+      {{'U', 'A'}, "Ukraine", 0.80},
+      {{'K', 'Z'}, "Kazakhstan", 0.50},
+      {{'T', 'J'}, "Tajikistan", 0.10},
+      {{'T', 'M'}, "Turkmenistan", 0.08},
+      {{'A', 'Z'}, "Azerbaijan", 0.30},
+      {{'G', 'E'}, "Georgia", 0.30},
+      {{'A', 'M'}, "Armenia", 0.20},
+      {{'I', 'Q'}, "Iraq", 0.40},
+      {{'L', 'B'}, "Lebanon", 0.40},
+      {{'I', 'L'}, "Israel", 1.20},
+      {{'C', 'M'}, "Cameroon", 0.25},
+      {{'S', 'N'}, "Senegal", 0.25},
+      {{'C', 'I'}, "Ivory Coast", 0.25},
+      {{'E', 'T'}, "Ethiopia", 0.25},
+  };
+  return kCountries;
+}
+
+const CountryInfo* find_country(CountryCode code) {
+  for (const auto& c : world_countries()) {
+    if (c.code == code) return &c;
+  }
+  return nullptr;
+}
+
+GeoDb::GeoDb() {
+  // Residential space: 16.0.0.0/12 blocks upward, one /12 per country
+  // (1M addresses each). Datacenter space: 192.168-like synthetic range is
+  // too small; use 96.0.0.0/16 blocks upward, one /16 per country.
+  std::uint32_t res_base = IpV4::parse("16.0.0.0")->value();
+  std::uint32_t dc_base = IpV4::parse("96.0.0.0")->value();
+  constexpr std::uint32_t kResStep = 1u << 20;  // /12
+  constexpr std::uint32_t kDcStep = 1u << 16;   // /16
+  for (const auto& country : world_countries()) {
+    Blocks b{Cidr(IpV4(res_base), 12), Cidr(IpV4(dc_base), 16)};
+    blocks_.emplace(country.code.packed(), b);
+    res_base += kResStep;
+    dc_base += kDcStep;
+  }
+}
+
+std::optional<CountryCode> GeoDb::country_of(IpV4 ip) const {
+  for (const auto& [packed, blocks] : blocks_) {
+    if (blocks.residential.contains(ip) || blocks.datacenter.contains(ip)) {
+      return CountryCode(static_cast<char>((packed >> 8) & 0xFF), static_cast<char>(packed & 0xFF));
+    }
+  }
+  return std::nullopt;
+}
+
+bool GeoDb::is_datacenter(IpV4 ip) const {
+  for (const auto& [packed, blocks] : blocks_) {
+    (void)packed;
+    if (blocks.datacenter.contains(ip)) return true;
+  }
+  return false;
+}
+
+std::optional<Cidr> GeoDb::residential_block(CountryCode country) const {
+  const auto it = blocks_.find(country.packed());
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second.residential;
+}
+
+std::optional<Cidr> GeoDb::datacenter_block(CountryCode country) const {
+  const auto it = blocks_.find(country.packed());
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second.datacenter;
+}
+
+}  // namespace fraudsim::net

@@ -1,0 +1,70 @@
+#include "net/ip.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace fraudsim::net {
+
+std::optional<IpV4> IpV4::parse(std::string_view dotted) {
+  const auto parts = util::split(dotted, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    std::uint32_t octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      octet = octet * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return IpV4(value);
+}
+
+std::string IpV4::str() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xFF, (value_ >> 16) & 0xFF,
+                (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return std::string(buf);
+}
+
+Cidr::Cidr(IpV4 base, int prefix_len) : prefix_len_(prefix_len) {
+  assert(prefix_len >= 0 && prefix_len <= 32);
+  mask_ = prefix_len == 0 ? 0u : (0xFFFFFFFFu << (32 - prefix_len));
+  base_ = IpV4(base.value() & mask_);
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto ip = IpV4::parse(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  int prefix = 0;
+  const auto suffix = text.substr(slash + 1);
+  if (suffix.empty() || suffix.size() > 2) return std::nullopt;
+  for (char c : suffix) {
+    if (c < '0' || c > '9') return std::nullopt;
+    prefix = prefix * 10 + (c - '0');
+  }
+  if (prefix > 32) return std::nullopt;
+  return Cidr(*ip, prefix);
+}
+
+std::uint32_t Cidr::size() const {
+  if (prefix_len_ == 0) return 0xFFFFFFFFu;  // saturate; /0 unused in practice
+  return 1u << (32 - prefix_len_);
+}
+
+bool Cidr::contains(IpV4 ip) const { return (ip.value() & mask_) == base_.value(); }
+
+IpV4 Cidr::at(std::uint32_t i) const {
+  assert(i < size());
+  return IpV4(base_.value() + i);
+}
+
+std::string Cidr::str() const { return base_.str() + "/" + std::to_string(prefix_len_); }
+
+}  // namespace fraudsim::net

@@ -1,0 +1,51 @@
+// IPv4 addresses and CIDR blocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fraudsim::net {
+
+class IpV4 {
+ public:
+  constexpr IpV4() = default;
+  constexpr explicit IpV4(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] static std::optional<IpV4> parse(std::string_view dotted);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr bool operator==(IpV4 a, IpV4 b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(IpV4 a, IpV4 b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(IpV4 a, IpV4 b) { return a.value_ < b.value_; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// A CIDR block: base address + prefix length.
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  Cidr(IpV4 base, int prefix_len);
+
+  [[nodiscard]] static std::optional<Cidr> parse(std::string_view text);  // "10.0.0.0/8"
+
+  [[nodiscard]] IpV4 base() const { return base_; }
+  [[nodiscard]] int prefix_len() const { return prefix_len_; }
+  [[nodiscard]] std::uint32_t size() const;  // number of addresses
+  [[nodiscard]] bool contains(IpV4 ip) const;
+  // The i-th address in the block (i < size()).
+  [[nodiscard]] IpV4 at(std::uint32_t i) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  IpV4 base_;
+  int prefix_len_ = 32;
+  std::uint32_t mask_ = 0xFFFFFFFFu;
+};
+
+}  // namespace fraudsim::net

@@ -1,0 +1,48 @@
+#include "net/proxy.hpp"
+
+#include <cassert>
+
+namespace fraudsim::net {
+
+ResidentialProxyPool::ResidentialProxyPool(const GeoDb& geo, util::Money cost_per_request)
+    : geo_(geo), cost_(cost_per_request) {
+  for (const auto& c : geo.countries()) all_countries_.push_back(c.code);
+}
+
+ProxyExit ResidentialProxyPool::exit(sim::Rng& rng, std::optional<CountryCode> country) {
+  CountryCode chosen = country.value_or(CountryCode{});
+  if (!chosen.valid()) {
+    chosen = all_countries_[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(all_countries_.size()) - 1))];
+  }
+  const auto block = geo_.residential_block(chosen);
+  assert(block.has_value() && "unknown country requested from residential pool");
+  const std::uint32_t offset =
+      static_cast<std::uint32_t>(rng.uniform_int(0, static_cast<std::int64_t>(block->size()) - 1));
+  record_served();
+  return ProxyExit{block->at(offset), chosen, /*datacenter=*/false};
+}
+
+DatacenterProxyPool::DatacenterProxyPool(const GeoDb& geo, CountryCode home, int subnets,
+                                         util::Money cost_per_request)
+    : home_(home), cost_(cost_per_request) {
+  const auto block = geo.datacenter_block(home);
+  assert(block.has_value() && "unknown home country for datacenter pool");
+  // Carve `subnets` /24s out of the country's /16.
+  const int n = std::max(subnets, 1);
+  for (int i = 0; i < n && i < 256; ++i) {
+    subnets_.emplace_back(IpV4(block->base().value() + (static_cast<std::uint32_t>(i) << 8)), 24);
+  }
+}
+
+ProxyExit DatacenterProxyPool::exit(sim::Rng& rng, std::optional<CountryCode> country) {
+  (void)country;  // datacenter pools cannot steer geography
+  const auto& subnet = subnets_[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(subnets_.size()) - 1))];
+  const std::uint32_t offset =
+      static_cast<std::uint32_t>(rng.uniform_int(0, static_cast<std::int64_t>(subnet.size()) - 1));
+  record_served();
+  return ProxyExit{subnet.at(offset), home_, /*datacenter=*/true};
+}
+
+}  // namespace fraudsim::net

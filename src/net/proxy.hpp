@@ -1,0 +1,80 @@
+// Proxy pools.
+//
+// Residential proxy networks are the paper's recurring evasion substrate:
+// millions of household IPs across many countries, rotated per request or per
+// session, and geolocating to the country the attacker wants to appear from.
+// Datacenter pools model the cheaper alternative with few, easily-blocked
+// ranges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/geo.hpp"
+#include "net/ip.hpp"
+#include "sim/rng.hpp"
+#include "util/money.hpp"
+
+namespace fraudsim::net {
+
+struct ProxyExit {
+  IpV4 ip;
+  CountryCode country;
+  bool datacenter = false;
+};
+
+// Abstract pool: hands out exit IPs, tracks usage cost.
+class ProxyPool {
+ public:
+  virtual ~ProxyPool() = default;
+
+  // An exit IP; `country` restricts the exit geography when the pool supports
+  // it (residential pools do; datacenter pools ignore it).
+  virtual ProxyExit exit(sim::Rng& rng, std::optional<CountryCode> country) = 0;
+
+  // Cost charged by the proxy vendor per served request.
+  [[nodiscard]] virtual util::Money cost_per_request() const = 0;
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  [[nodiscard]] util::Money total_cost() const { return cost_per_request() * static_cast<std::int64_t>(served_); }
+
+ protected:
+  void record_served() { ++served_; }
+
+ private:
+  std::uint64_t served_ = 0;
+};
+
+// Residential pool: draws uniformly from each country's /12 residential
+// block. With ~1M addresses per country, repeats are rare — exactly why IP
+// reputation fails against these attacks.
+class ResidentialProxyPool final : public ProxyPool {
+ public:
+  ResidentialProxyPool(const GeoDb& geo, util::Money cost_per_request);
+
+  ProxyExit exit(sim::Rng& rng, std::optional<CountryCode> country) override;
+  [[nodiscard]] util::Money cost_per_request() const override { return cost_; }
+
+ private:
+  const GeoDb& geo_;
+  util::Money cost_;
+  std::vector<CountryCode> all_countries_;
+};
+
+// Datacenter pool: a handful of /24s in one country; cheap but clusters.
+class DatacenterProxyPool final : public ProxyPool {
+ public:
+  DatacenterProxyPool(const GeoDb& geo, CountryCode home, int subnets,
+                      util::Money cost_per_request);
+
+  ProxyExit exit(sim::Rng& rng, std::optional<CountryCode> country) override;
+  [[nodiscard]] util::Money cost_per_request() const override { return cost_; }
+
+ private:
+  CountryCode home_;
+  std::vector<Cidr> subnets_;
+  util::Money cost_;
+};
+
+}  // namespace fraudsim::net

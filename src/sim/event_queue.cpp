@@ -1,0 +1,62 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace fraudsim::sim {
+
+EventId EventQueue::schedule(SimTime at, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // If the entry already fired, it is not in the heap; inserting into
+  // cancelled_ would leak, so we only record ids that are still live. We
+  // cannot cheaply test heap membership, so track liveness via live_ count
+  // and the cancelled set: double-cancel returns false.
+  if (cancelled_.contains(id)) return false;
+  if (live_ == 0) return false;
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+bool EventQueue::empty() const { return live_ == 0; }
+
+std::size_t EventQueue::pending() const { return live_; }
+
+SimTime EventQueue::next_time() const {
+  assert(!empty());
+  // Skip over cancelled entries without mutating: we cannot, so callers get
+  // the top time which may belong to a cancelled entry; pop() resolves this.
+  // To keep next_time() accurate we drain cancelled tops here via const_cast
+  // — logically const (observable state unchanged for live events).
+  auto& self = const_cast<EventQueue&>(*this);
+  while (!self.heap_.empty() && self.cancelled_.contains(self.heap_.top().id)) {
+    self.cancelled_.erase(self.heap_.top().id);
+    self.heap_.pop();
+  }
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  assert(!empty());
+  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+  assert(!heap_.empty());
+  // priority_queue::top() is const&; move out via const_cast before pop. The
+  // entry is removed immediately after, so the mutation is safe.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, top.id, std::move(top.fn)};
+  heap_.pop();
+  --live_;
+  return fired;
+}
+
+}  // namespace fraudsim::sim

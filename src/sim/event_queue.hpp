@@ -1,0 +1,60 @@
+// Discrete-event priority queue with cancellable handles.
+//
+// Events at equal timestamps fire in scheduling order (FIFO), which keeps
+// simulations deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fraudsim::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `at`. Returns a handle usable with cancel().
+  EventId schedule(SimTime at, EventFn fn);
+
+  // Cancels a pending event. Returns false if already fired or cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] SimTime next_time() const;  // undefined if empty()
+
+  // Pops and returns the next event. Pre: !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // also the FIFO tiebreaker (monotonically increasing)
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  // `cancelled_` is lazily drained in pop(); entries stay in the heap.
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace fraudsim::sim

@@ -1,0 +1,81 @@
+#include "sim/rng.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace fraudsim::sim {
+
+Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(util::splitmix64(seed)) {}
+
+Rng Rng::fork(std::string_view label) const {
+  return Rng(util::hash_combine(seed_, util::fnv1a(label)));
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) return 0.0;
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (stddev <= 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) return 0;
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = std::max(weights[i], 0.0);
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::string Rng::random_lowercase(std::size_t length) {
+  std::string s(length, 'a');
+  for (char& c : s) {
+    c = static_cast<char>('a' + uniform_int(0, 25));
+  }
+  return s;
+}
+
+std::string Rng::random_digits(std::size_t length) {
+  std::string s(length, '0');
+  for (char& c : s) {
+    c = static_cast<char>('0' + uniform_int(0, 9));
+  }
+  return s;
+}
+
+}  // namespace fraudsim::sim

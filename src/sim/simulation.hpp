@@ -1,0 +1,51 @@
+// Simulation driver: owns the clock and the event queue.
+//
+// Usage:
+//   Simulation sim;
+//   sim.schedule_in(minutes(5), [&]{ ... });
+//   sim.run_until(days(7));
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace fraudsim::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedule at an absolute time; times in the past fire immediately on the
+  // next step (clamped to now()).
+  EventId schedule_at(SimTime at, EventFn fn);
+  // Schedule relative to now(); negative delays clamp to zero.
+  EventId schedule_in(SimDuration delay, EventFn fn);
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Runs events with time <= end, then advances the clock to `end`.
+  void run_until(SimTime end);
+  // Runs until the queue is empty (use only for naturally-terminating
+  // scenarios; a periodic event makes this loop forever up to max_events).
+  void run_all(std::uint64_t max_events = 100'000'000);
+  // Fires exactly one event if any is pending. Returns false if idle.
+  bool step();
+
+  // Request an early stop from inside an event callback.
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.pending(); }
+  [[nodiscard]] std::uint64_t fired_events() const { return fired_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace fraudsim::sim

@@ -1,0 +1,65 @@
+// Simulated time.
+//
+// All library time is SimTime: milliseconds since the scenario epoch. The
+// library never reads the wall clock — determinism is a hard invariant.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace fraudsim::sim {
+
+using SimTime = std::int64_t;      // milliseconds since scenario epoch
+using SimDuration = std::int64_t;  // milliseconds
+
+constexpr SimDuration kMillisecond = 1;
+constexpr SimDuration kSecond = 1'000;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+constexpr SimDuration kWeek = 7 * kDay;
+
+[[nodiscard]] constexpr SimDuration seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+[[nodiscard]] constexpr SimDuration minutes(double m) {
+  return static_cast<SimDuration>(m * static_cast<double>(kMinute));
+}
+[[nodiscard]] constexpr SimDuration hours(double h) {
+  return static_cast<SimDuration>(h * static_cast<double>(kHour));
+}
+[[nodiscard]] constexpr SimDuration days(double d) {
+  return static_cast<SimDuration>(d * static_cast<double>(kDay));
+}
+
+[[nodiscard]] constexpr double to_hours(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kHour);
+}
+[[nodiscard]] constexpr double to_days(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kDay);
+}
+
+// Day index (0-based) of a timestamp within the scenario.
+[[nodiscard]] constexpr std::int64_t day_of(SimTime t) { return t / kDay; }
+// Hour of day in [0, 24).
+[[nodiscard]] constexpr std::int64_t hour_of_day(SimTime t) { return (t % kDay) / kHour; }
+// Week index (0-based).
+[[nodiscard]] constexpr std::int64_t week_of(SimTime t) { return t / kWeek; }
+
+// "d3 07:15:30.250" human-readable rendering.
+[[nodiscard]] inline std::string format_time(SimTime t) {
+  const std::int64_t d = t / kDay;
+  std::int64_t rem = t % kDay;
+  const std::int64_t h = rem / kHour;
+  rem %= kHour;
+  const std::int64_t m = rem / kMinute;
+  rem %= kMinute;
+  const std::int64_t s = rem / kSecond;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%lld %02lld:%02lld:%02lld", static_cast<long long>(d),
+                static_cast<long long>(h), static_cast<long long>(m), static_cast<long long>(s));
+  return std::string(buf);
+}
+
+}  // namespace fraudsim::sim

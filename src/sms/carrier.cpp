@@ -1,0 +1,29 @@
+#include "sms/carrier.hpp"
+
+namespace fraudsim::sms {
+
+CarrierNetwork::CarrierNetwork(TariffTable tariffs, CarrierPolicy policy)
+    : tariffs_(std::move(tariffs)), policy_(policy) {}
+
+CarrierNetwork::Settlement CarrierNetwork::settle(net::CountryCode destination,
+                                                  bool flagged) const {
+  const Tariff& t = tariffs_.get(destination);
+  Settlement s;
+  s.app_cost = t.send_cost;
+  if (flagged && policy_.withhold_flagged_compensation) {
+    // Primary operator withholds the termination fee: the abuse earns nothing
+    // downstream (the app still paid to inject the message).
+    s.carrier_revenue = util::Money{};
+    s.attacker_revenue = util::Money{};
+    return s;
+  }
+  s.attacker_revenue = t.termination_fee * t.fraud_revenue_share;
+  s.carrier_revenue = t.termination_fee - s.attacker_revenue;
+  return s;
+}
+
+bool CarrierNetwork::fraud_carrier_admitted(double u) const {
+  return u >= policy_.secondary_validation_strictness;
+}
+
+}  // namespace fraudsim::sms

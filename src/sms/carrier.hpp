@@ -1,0 +1,56 @@
+// Carrier / operator model.
+//
+// Models the intercarrier chain of §II-B: the application contracts a primary
+// operator; terminating (possibly fraudulent secondary) carriers collect
+// termination fees per delivered SMS; colluding carriers share revenue with
+// the attacker. Mitigations from §V (stricter secondary-operator validation,
+// withholding compensation on flagged traffic) are modelled as policies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/geo.hpp"
+#include "sms/tariff.hpp"
+#include "util/money.hpp"
+
+namespace fraudsim::sms {
+
+struct CarrierPolicy {
+  // Primary operator refuses to compensate termination on traffic flagged as
+  // functional abuse (§V "not compensate local carriers ... in abuse cases").
+  bool withhold_flagged_compensation = false;
+  // Fraction of newly registered secondary carriers rejected by stricter
+  // validation (0 = today's laissez-faire, 1 = fully closed).
+  double secondary_validation_strictness = 0.0;
+};
+
+class CarrierNetwork {
+ public:
+  CarrierNetwork(TariffTable tariffs, CarrierPolicy policy);
+
+  // Settlement for one delivered SMS. `flagged` marks messages the
+  // application has attributed to abuse by the time of settlement.
+  struct Settlement {
+    util::Money app_cost;          // paid by the application owner
+    util::Money carrier_revenue;   // termination fee kept by the carrier
+    util::Money attacker_revenue;  // kickback to the attacker (0 if honest)
+  };
+  [[nodiscard]] Settlement settle(net::CountryCode destination, bool flagged) const;
+
+  // Whether a fraudulent secondary carrier for `destination` slips through
+  // registration under the current validation strictness. Deterministic in
+  // the draw `u` (pass rng.uniform()).
+  [[nodiscard]] bool fraud_carrier_admitted(double u) const;
+
+  [[nodiscard]] const TariffTable& tariffs() const { return tariffs_; }
+  [[nodiscard]] const CarrierPolicy& policy() const { return policy_; }
+
+ private:
+  TariffTable tariffs_;
+  CarrierPolicy policy_;
+};
+
+}  // namespace fraudsim::sms

@@ -1,0 +1,77 @@
+#include "sms/gateway.hpp"
+
+#include <set>
+
+namespace fraudsim::sms {
+
+const char* to_string(SmsType t) {
+  switch (t) {
+    case SmsType::Otp:
+      return "otp";
+    case SmsType::BoardingPass:
+      return "boarding-pass";
+    case SmsType::Notification:
+      return "notification";
+  }
+  return "?";
+}
+
+SmsGateway::SmsGateway(const CarrierNetwork& network, GatewayConfig config)
+    : network_(network), config_(config) {}
+
+const SmsRecord& SmsGateway::send(sim::SimTime now, PhoneNumber destination, SmsType type,
+                                  web::ActorId actor, std::optional<std::string> booking_ref) {
+  SmsRecord record;
+  record.time = now;
+  record.destination = destination;
+  record.type = type;
+  record.actor = actor;
+  record.booking_ref = std::move(booking_ref);
+
+  // Quota: resets each sim day.
+  const std::int64_t day = sim::day_of(now);
+  if (day != quota_day_) {
+    quota_day_ = day;
+    quota_used_ = 0;
+  }
+  const bool within_quota = config_.daily_quota == 0 || quota_used_ < config_.daily_quota;
+  if (within_quota) {
+    ++quota_used_;
+    record.delivered = true;
+    // At send time nothing is flagged as abuse; settlement reflects the
+    // default carrier economics. Retrospective flagging is handled by the
+    // economics layer re-settling flagged records.
+    const auto settlement = network_.settle(destination.country, /*flagged=*/false);
+    record.app_cost = settlement.app_cost;
+    record.attacker_revenue = settlement.attacker_revenue;
+    total_app_cost_ += record.app_cost;
+    ++delivered_;
+    daily_.add(now);
+  }
+  log_.push_back(std::move(record));
+  return log_.back();
+}
+
+analytics::CategoricalHistogram<net::CountryCode> SmsGateway::volume_by_country(
+    sim::SimTime from, sim::SimTime to, std::optional<SmsType> type) const {
+  analytics::CategoricalHistogram<net::CountryCode> hist;
+  for (const auto& r : log_) {
+    if (!r.delivered) continue;
+    if (r.time < from || r.time >= to) continue;
+    if (type && r.type != *type) continue;
+    hist.add(r.destination.country);
+  }
+  return hist;
+}
+
+std::size_t SmsGateway::distinct_countries(sim::SimTime from, sim::SimTime to) const {
+  std::set<net::CountryCode> countries;
+  for (const auto& r : log_) {
+    if (!r.delivered) continue;
+    if (r.time < from || r.time >= to) continue;
+    countries.insert(r.destination.country);
+  }
+  return countries.size();
+}
+
+}  // namespace fraudsim::sms

@@ -1,0 +1,84 @@
+// SMS gateway: the application's outbound messaging service.
+//
+// Tracks every sent message with cost accounting and per-country volume
+// series (the inputs to Table I), and enforces the contracted quota with the
+// primary operator — when pumping exhausts the quota, legitimate OTPs start
+// failing, the indirect harm §II-B describes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analytics/histogram.hpp"
+#include "analytics/timeseries.hpp"
+#include "sms/carrier.hpp"
+#include "sms/number.hpp"
+#include "sim/time.hpp"
+#include "util/money.hpp"
+#include "web/request.hpp"
+
+namespace fraudsim::sms {
+
+enum class SmsType : std::uint8_t { Otp, BoardingPass, Notification };
+
+[[nodiscard]] const char* to_string(SmsType t);
+
+struct SmsRecord {
+  sim::SimTime time = 0;
+  PhoneNumber destination;
+  SmsType type = SmsType::Notification;
+  web::ActorId actor;                     // ground truth
+  std::optional<std::string> booking_ref; // for boarding-pass messages
+  bool delivered = false;                 // false if quota-rejected
+  util::Money app_cost;
+  util::Money attacker_revenue;
+};
+
+struct GatewayConfig {
+  // Messages per rolling day contracted with the primary operator;
+  // 0 = unlimited.
+  std::uint64_t daily_quota = 0;
+  // Settlement-time abuse flagging is applied later by the economics layer;
+  // at send time nothing is flagged.
+};
+
+class SmsGateway {
+ public:
+  SmsGateway(const CarrierNetwork& network, GatewayConfig config);
+
+  // Sends an SMS at `now`. Returns the stored record (delivered=false when
+  // the daily quota is exhausted).
+  const SmsRecord& send(sim::SimTime now, PhoneNumber destination, SmsType type,
+                        web::ActorId actor, std::optional<std::string> booking_ref = {});
+
+  [[nodiscard]] const std::vector<SmsRecord>& log() const { return log_; }
+  [[nodiscard]] std::uint64_t sent_count() const { return log_.size(); }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+  [[nodiscard]] std::uint64_t rejected_count() const { return log_.size() - delivered_; }
+  [[nodiscard]] util::Money total_app_cost() const { return total_app_cost_; }
+
+  // Delivered volumes per destination country within [from, to).
+  [[nodiscard]] analytics::CategoricalHistogram<net::CountryCode> volume_by_country(
+      sim::SimTime from, sim::SimTime to, std::optional<SmsType> type = {}) const;
+
+  // Delivered volume per day (all countries).
+  [[nodiscard]] const analytics::TimeSeries& daily_series() const { return daily_; }
+
+  // Distinct destination countries within [from, to).
+  [[nodiscard]] std::size_t distinct_countries(sim::SimTime from, sim::SimTime to) const;
+
+ private:
+  const CarrierNetwork& network_;
+  GatewayConfig config_;
+  std::vector<SmsRecord> log_;
+  std::uint64_t delivered_ = 0;
+  util::Money total_app_cost_;
+  analytics::TimeSeries daily_{sim::kDay};
+  // Rolling-day quota bookkeeping.
+  std::int64_t quota_day_ = -1;
+  std::uint64_t quota_used_ = 0;
+};
+
+}  // namespace fraudsim::sms

@@ -1,0 +1,20 @@
+#include "sms/number.hpp"
+
+namespace fraudsim::sms {
+
+std::string PhoneNumber::str() const { return "+" + country.str() + "-" + subscriber; }
+
+NumberGenerator::NumberGenerator(sim::Rng rng) : rng_(std::move(rng)) {}
+
+PhoneNumber NumberGenerator::random_number(net::CountryCode country) {
+  return PhoneNumber{country, rng_.random_digits(9)};
+}
+
+std::vector<PhoneNumber> NumberGenerator::build_pool(net::CountryCode country, std::size_t size) {
+  std::vector<PhoneNumber> pool;
+  pool.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) pool.push_back(random_number(country));
+  return pool;
+}
+
+}  // namespace fraudsim::sms

@@ -1,0 +1,30 @@
+#include "sms/otp.hpp"
+
+namespace fraudsim::sms {
+
+OtpService::OtpService(SmsGateway& gateway, sim::Rng rng, sim::SimDuration validity)
+    : gateway_(gateway), rng_(std::move(rng)), validity_(validity) {}
+
+std::string OtpService::request(sim::SimTime now, const std::string& account, PhoneNumber number,
+                                web::ActorId actor) {
+  const std::string code = rng_.random_digits(6);
+  pending_[account] = Pending{code, now + validity_};
+  gateway_.send(now, std::move(number), SmsType::Otp, actor);
+  ++requests_;
+  return code;
+}
+
+bool OtpService::verify(sim::SimTime now, const std::string& account, const std::string& code) {
+  const auto it = pending_.find(account);
+  if (it == pending_.end()) return false;
+  if (now > it->second.expires) {
+    pending_.erase(it);
+    return false;
+  }
+  if (it->second.code != code) return false;
+  pending_.erase(it);
+  ++verifications_;
+  return true;
+}
+
+}  // namespace fraudsim::sms

@@ -1,0 +1,47 @@
+// OTP service on top of the SMS gateway.
+//
+// The "easily accessible" SMS surface of §IV-C: any login attempt can trigger
+// an OTP send. Verification state is tracked so the workload can complete
+// legitimate logins and so pumping attempts show as never-verified sends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sms/gateway.hpp"
+
+namespace fraudsim::sms {
+
+class OtpService {
+ public:
+  OtpService(SmsGateway& gateway, sim::Rng rng, sim::SimDuration validity = sim::minutes(10));
+
+  // Sends an OTP to `number` for the given account key. Returns the code
+  // (callers simulating a legitimate user pass it back to verify()).
+  std::string request(sim::SimTime now, const std::string& account, PhoneNumber number,
+                      web::ActorId actor);
+
+  // True and consumes the code if it matches and hasn't expired.
+  bool verify(sim::SimTime now, const std::string& account, const std::string& code);
+
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+  [[nodiscard]] std::uint64_t verifications() const { return verifications_; }
+  // Sends never followed by a successful verification — in aggregate, a
+  // pumping signal.
+  [[nodiscard]] std::uint64_t unverified() const { return requests_ - verifications_; }
+
+ private:
+  struct Pending {
+    std::string code;
+    sim::SimTime expires;
+  };
+  SmsGateway& gateway_;
+  sim::Rng rng_;
+  sim::SimDuration validity_;
+  std::unordered_map<std::string, Pending> pending_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t verifications_ = 0;
+};
+
+}  // namespace fraudsim::sms

@@ -1,0 +1,76 @@
+#include "sms/tariff.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::sms {
+
+TariffTable TariffTable::standard() {
+  TariffTable table;
+  using util::Money;
+  using net::CountryCode;
+
+  // Premium fraud-friendly routes: the six countries Table I shows with
+  // explosive surges. High termination fees + colluding-carrier share.
+  struct PremiumSpec {
+    CountryCode code;
+    double send;   // USD the application pays per SMS
+    double term;   // termination fee
+    double share;  // attacker revenue share of the termination fee
+  };
+  // Exactly the six explosive-surge destinations of Table I: the paper's
+  // attackers picked destinations by kickback availability, and these are
+  // where the colluding routes live in this model.
+  const PremiumSpec premium[] = {
+      {{'U', 'Z'}, 0.22, 0.16, 0.75},
+      {{'I', 'R'}, 0.20, 0.15, 0.70},
+      {{'K', 'G'}, 0.18, 0.13, 0.70},
+      {{'J', 'O'}, 0.16, 0.11, 0.60},
+      {{'N', 'G'}, 0.14, 0.10, 0.60},
+      {{'K', 'H'}, 0.13, 0.09, 0.55},
+  };
+  for (const auto& p : premium) {
+    table.set(Tariff{p.code, Money::from_double(p.send), Money::from_double(p.term), true,
+                     p.share});
+  }
+
+  // Everything else: ordinary A2P rates, honest carriers.
+  for (const auto& c : net::world_countries()) {
+    if (table.has(c.code)) continue;
+    // Mature markets are cheap; emerging markets mid-range. Derive a stable
+    // rate from the population weight (heavier = cheaper).
+    const double send = c.population_weight >= 3.0 ? 0.03 : 0.06;
+    const double term = send * 0.4;
+    table.set(Tariff{c.code, Money::from_double(send), Money::from_double(term), false, 0.0});
+  }
+  return table;
+}
+
+void TariffTable::set(Tariff tariff) { tariffs_[tariff.country] = tariff; }
+
+const Tariff& TariffTable::get(net::CountryCode country) const {
+  const auto it = tariffs_.find(country);
+  return it == tariffs_.end() ? default_ : it->second;
+}
+
+bool TariffTable::has(net::CountryCode country) const { return tariffs_.contains(country); }
+
+util::Money TariffTable::attacker_revenue_per_sms(net::CountryCode country) const {
+  const auto& t = get(country);
+  return t.termination_fee * t.fraud_revenue_share;
+}
+
+std::vector<net::CountryCode> TariffTable::by_attacker_revenue() const {
+  std::vector<net::CountryCode> codes;
+  codes.reserve(tariffs_.size());
+  for (const auto& [code, tariff] : tariffs_) {
+    (void)tariff;
+    codes.push_back(code);
+  }
+  std::sort(codes.begin(), codes.end());  // deterministic base order
+  std::stable_sort(codes.begin(), codes.end(), [this](net::CountryCode a, net::CountryCode b) {
+    return attacker_revenue_per_sms(a) > attacker_revenue_per_sms(b);
+  });
+  return codes;
+}
+
+}  // namespace fraudsim::sms

@@ -1,0 +1,51 @@
+// Per-country SMS tariffs.
+//
+// The economics of SMS Pumping (paper §II-B) hinge on per-country termination
+// pricing: the application owner pays the A2P send rate; the terminating
+// carrier collects a termination fee; a colluding carrier kicks a share of it
+// back to the attacker. High-cost destinations (premium routes) are exactly
+// the countries Table I shows being disproportionately targeted.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/geo.hpp"
+#include "util/money.hpp"
+
+namespace fraudsim::sms {
+
+struct Tariff {
+  net::CountryCode country;
+  util::Money send_cost;         // what the application owner pays per SMS
+  util::Money termination_fee;   // what the terminating carrier collects
+  bool premium_route = false;    // elevated-rate destination
+  // Fraction of the termination fee a colluding carrier shares with the
+  // attacker (0 for honest carriers).
+  double fraud_revenue_share = 0.0;
+};
+
+class TariffTable {
+ public:
+  // Built-in table covering every world_countries() entry; Table I countries
+  // carry premium routes with aggressive revenue share.
+  [[nodiscard]] static TariffTable standard();
+
+  void set(Tariff tariff);
+  [[nodiscard]] const Tariff& get(net::CountryCode country) const;  // falls back to default
+  [[nodiscard]] bool has(net::CountryCode country) const;
+
+  // Countries ordered by attacker revenue per SMS, descending — the targeting
+  // preference a profit-maximising pumping ring would use.
+  [[nodiscard]] std::vector<net::CountryCode> by_attacker_revenue() const;
+
+  [[nodiscard]] util::Money attacker_revenue_per_sms(net::CountryCode country) const;
+
+ private:
+  std::unordered_map<net::CountryCode, Tariff> tariffs_;
+  Tariff default_{net::CountryCode{}, util::Money::from_cents(4), util::Money::from_cents(1),
+                  false, 0.0};
+};
+
+}  // namespace fraudsim::sms

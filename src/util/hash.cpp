@@ -1,0 +1,33 @@
+#include "util/hash.hpp"
+
+namespace fraudsim::util {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  return fnv1a_append(kFnvOffset, bytes);
+}
+
+std::uint64_t fnv1a_append(std::uint64_t state, std::string_view bytes) noexcept {
+  for (unsigned char c : bytes) {
+    state ^= c;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace fraudsim::util

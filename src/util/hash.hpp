@@ -1,0 +1,25 @@
+// Deterministic, platform-independent hashing.
+//
+// std::hash gives no cross-platform stability guarantees; fingerprint hashes
+// and synthetic-data derivations must be reproducible across runs and
+// machines, so everything here is explicit FNV-1a / SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fraudsim::util {
+
+// 64-bit FNV-1a over bytes.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes) noexcept;
+
+// FNV-1a continuation: feed additional data into an existing hash state.
+[[nodiscard]] std::uint64_t fnv1a_append(std::uint64_t state, std::string_view bytes) noexcept;
+
+// SplitMix64 finaliser: cheap avalanche for integer mixing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+// Combine two 64-bit hashes into one (order-dependent).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace fraudsim::util

@@ -1,0 +1,37 @@
+#include "util/money.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fraudsim::util {
+
+Money Money::from_double(double units) {
+  return from_micros(static_cast<std::int64_t>(std::llround(units * 1e6)));
+}
+
+Money operator*(Money a, double f) {
+  return Money::from_micros(
+      static_cast<std::int64_t>(std::llround(static_cast<double>(a.micros()) * f)));
+}
+
+std::string Money::str() const {
+  const bool neg = micros_ < 0;
+  std::int64_t abs = neg ? -micros_ : micros_;
+  const std::int64_t units = abs / 1'000'000;
+  const std::int64_t frac_micros = abs % 1'000'000;
+  char buf[64];
+  if (frac_micros == 0) {
+    std::snprintf(buf, sizeof(buf), "%s$%lld", neg ? "-" : "", static_cast<long long>(units));
+  } else {
+    // Show 4 decimals, trimming trailing zeros beyond 2.
+    const std::int64_t frac4 = (frac_micros + 50) / 100;  // micros -> 1e-4 units
+    std::snprintf(buf, sizeof(buf), "%s$%lld.%04lld", neg ? "-" : "",
+                  static_cast<long long>(units), static_cast<long long>(frac4));
+    std::string s(buf);
+    while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') s.pop_back();
+    return s;
+  }
+  return std::string(buf);
+}
+
+}  // namespace fraudsim::util

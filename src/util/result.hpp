@@ -1,0 +1,71 @@
+// Minimal expected-like result type for operations with expected failure modes.
+//
+// We avoid exceptions for routine control flow (a rejected reservation is not
+// exceptional); `Result<T>` carries either a value or an error message.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fraudsim::util {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  static Result ok(T value) { return Result(std::move(value)); }
+  static Result fail(std::string error) { return Result(Error{std::move(error)}); }
+
+  [[nodiscard]] bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] T& value() {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? *value_ : std::move(fallback);
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!has_value());
+    return error_;
+  }
+
+ private:
+  struct Error {
+    std::string message;
+  };
+  explicit Result(T value) : value_(std::move(value)) {}
+  explicit Result(Error e) : error_(std::move(e.message)) {}
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+// Result<void> specialisation-ish helper.
+class [[nodiscard]] Status {
+ public:
+  static Status ok() { return Status(); }
+  static Status fail(std::string error) {
+    Status s;
+    s.ok_ = false;
+    s.error_ = std::move(error);
+    return s;
+  }
+
+  [[nodiscard]] bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace fraudsim::util

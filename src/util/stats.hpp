@@ -1,0 +1,75 @@
+// Statistics primitives shared by detectors, analytics, and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fraudsim::util {
+
+// Streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// p in [0,1]; linear interpolation between order statistics. Sorts a copy.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+[[nodiscard]] double median(std::vector<double> values);
+
+// Pearson chi-square statistic between observed counts and expected counts
+// scaled to the observed total. Buckets with expected < 1e-9 are skipped.
+[[nodiscard]] double chi_square(const std::vector<double>& observed,
+                                const std::vector<double>& expected);
+
+// Chi-square critical value is approximated for alert thresholds via the
+// Wilson-Hilferty transformation: returns the approximate p-value-like score,
+// P(X^2_k >= x) where k = dof.
+[[nodiscard]] double chi_square_tail(double x, std::size_t dof);
+
+// KL divergence D(P || Q) in bits, with epsilon smoothing. Distributions are
+// normalised internally from raw counts.
+[[nodiscard]] double kl_divergence(const std::vector<double>& p_counts,
+                                   const std::vector<double>& q_counts);
+
+// Jensen-Shannon divergence in bits; symmetric, bounded by 1.
+[[nodiscard]] double js_divergence(const std::vector<double>& p_counts,
+                                   const std::vector<double>& q_counts);
+
+// Binary-classification tallies and derived metrics.
+struct ConfusionCounts {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+
+  void add(bool predicted_positive, bool actually_positive);
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double f1() const;
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double false_positive_rate() const;
+  [[nodiscard]] std::uint64_t total() const { return tp + fp + tn + fn; }
+};
+
+}  // namespace fraudsim::util

@@ -1,0 +1,112 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace fraudsim::util {
+
+namespace {
+
+[[nodiscard]] bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) continue;
+    if (c == '.' || c == ',' || c == '-' || c == '+' || c == '%' || c == '$' || c == 'x') continue;
+    return false;
+  }
+  return true;
+}
+
+[[nodiscard]] std::string pad(const std::string& s, std::size_t width, bool right_align) {
+  if (s.size() >= width) return s;
+  const std::string padding(width - s.size(), ' ');
+  return right_align ? padding + s : s + padding;
+}
+
+}  // namespace
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  std::vector<bool> numeric(headers_.size(), true);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (!row[c].empty() && !looks_numeric(row[c])) numeric[c] = false;
+    }
+  }
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  rule();
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << ' ' << pad(headers_[c], widths[c], false) << " |";
+  }
+  out << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << pad(row[c], widths[c], numeric[c]) << " |";
+    }
+    out << '\n';
+  }
+  rule();
+  return out.str();
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return std::string(buf);
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_double(fraction * 100.0, decimals) + "%";
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string format_surge_percent(double fraction_increase) {
+  const double pct = fraction_increase * 100.0;
+  if (pct >= 1000.0) {
+    return format_count(static_cast<std::uint64_t>(std::llround(pct))) + "%";
+  }
+  return format_double(pct, 0) + "%";
+}
+
+std::string ascii_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(std::lround(fraction * static_cast<double>(width)));
+  return std::string(filled, '#') + std::string(width - filled, ' ');
+}
+
+}  // namespace fraudsim::util

@@ -1,0 +1,39 @@
+// ASCII table rendering for bench output.
+//
+// Every bench binary prints the paper's tables/figures as plain-text tables;
+// this keeps the output diffable and readable without plotting dependencies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fraudsim::util {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column alignment; numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format helpers used across benches.
+[[nodiscard]] std::string format_double(double v, int decimals);
+[[nodiscard]] std::string format_percent(double fraction, int decimals);
+// "160,209%" style grouped integer percentage from a ratio (e.g. 1602.09 -> "160,209%").
+[[nodiscard]] std::string format_surge_percent(double fraction_increase);
+[[nodiscard]] std::string format_count(std::uint64_t n);  // thousands separators
+
+// A horizontal ASCII bar of width proportional to `fraction` (0..1).
+[[nodiscard]] std::string ascii_bar(double fraction, std::size_t width);
+
+}  // namespace fraudsim::util

@@ -1,0 +1,85 @@
+#include "web/endpoint.hpp"
+
+namespace fraudsim::web {
+
+const char* endpoint_path(Endpoint e) {
+  switch (e) {
+    case Endpoint::Home:
+      return "/";
+    case Endpoint::SearchFlights:
+      return "/flights/search";
+    case Endpoint::FlightDetails:
+      return "/flights/details";
+    case Endpoint::SeatMap:
+      return "/booking/seatmap";
+    case Endpoint::HoldReservation:
+      return "/booking/hold";
+    case Endpoint::Payment:
+      return "/booking/payment";
+    case Endpoint::Login:
+      return "/account/login";
+    case Endpoint::RequestOtp:
+      return "/account/otp/request";
+    case Endpoint::VerifyOtp:
+      return "/account/otp/verify";
+    case Endpoint::ManageBooking:
+      return "/manage/booking";
+    case Endpoint::BoardingPassSms:
+      return "/manage/boardingpass/sms";
+    case Endpoint::BoardingPassEmail:
+      return "/manage/boardingpass/email";
+    case Endpoint::Account:
+      return "/account/profile";
+    case Endpoint::StaticAsset:
+      return "/static/app.js";
+    case Endpoint::TrapFile:
+      return "/internal/.hidden/listing";
+  }
+  return "/?";
+}
+
+const char* to_string(HttpMethod m) { return m == HttpMethod::Get ? "GET" : "POST"; }
+
+int endpoint_depth(Endpoint e) {
+  const char* path = endpoint_path(e);
+  int depth = 0;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') ++depth;
+  }
+  return depth;
+}
+
+bool is_search_endpoint(Endpoint e) {
+  return e == Endpoint::SearchFlights || e == Endpoint::FlightDetails || e == Endpoint::SeatMap;
+}
+
+bool is_transactional(Endpoint e) {
+  switch (e) {
+    case Endpoint::HoldReservation:
+    case Endpoint::Payment:
+    case Endpoint::RequestOtp:
+    case Endpoint::BoardingPassSms:
+    case Endpoint::BoardingPassEmail:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool requires_login(Endpoint e) {
+  switch (e) {
+    case Endpoint::Account:
+    case Endpoint::ManageBooking:
+    case Endpoint::BoardingPassSms:
+    case Endpoint::BoardingPassEmail:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool requires_payment(Endpoint e) {
+  return e == Endpoint::BoardingPassSms || e == Endpoint::BoardingPassEmail;
+}
+
+}  // namespace fraudsim::web

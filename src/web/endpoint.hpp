@@ -1,0 +1,47 @@
+// Application endpoints.
+//
+// The endpoint catalogue covers the whole attack surface the paper discusses:
+// pre-login browse/search, the reservation funnel (the DoI surface), login +
+// OTP (classic SMS-pumping surface), and post-payment boarding-pass delivery
+// (the advanced SMS-pumping surface of §IV-C). TrapFile is a honeypot URL
+// that only naive crawlers fetch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fraudsim::web {
+
+enum class Endpoint : std::uint8_t {
+  Home,
+  SearchFlights,
+  FlightDetails,
+  SeatMap,
+  HoldReservation,     // temporary seat hold — the DoI surface
+  Payment,
+  Login,
+  RequestOtp,          // SMS OTP — the classic SMS-pumping surface
+  VerifyOtp,
+  ManageBooking,
+  BoardingPassSms,     // boarding pass via SMS — §IV-C surface
+  BoardingPassEmail,
+  Account,
+  StaticAsset,
+  TrapFile,            // robots-hidden honeypot URL
+};
+
+enum class HttpMethod : std::uint8_t { Get, Post };
+
+[[nodiscard]] const char* endpoint_path(Endpoint e);
+[[nodiscard]] const char* to_string(HttpMethod m);
+
+// URL path depth (number of '/'-separated segments).
+[[nodiscard]] int endpoint_depth(Endpoint e);
+
+// Classification helpers used by behavioural feature extraction.
+[[nodiscard]] bool is_search_endpoint(Endpoint e);
+[[nodiscard]] bool is_transactional(Endpoint e);   // mutates business state
+[[nodiscard]] bool requires_login(Endpoint e);
+[[nodiscard]] bool requires_payment(Endpoint e);   // only reachable post-purchase
+
+}  // namespace fraudsim::web

@@ -1,0 +1,101 @@
+#include "web/features.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "util/stats.hpp"
+
+namespace fraudsim::web {
+
+std::array<double, SessionFeatures::kDimensions> SessionFeatures::as_vector() const {
+  return {total_requests,
+          get_count,
+          post_count,
+          post_ratio,
+          unique_endpoints,
+          mean_depth,
+          max_depth,
+          duration_minutes,
+          mean_interarrival_seconds,
+          stddev_interarrival_seconds,
+          min_interarrival_seconds,
+          search_requests,
+          search_ratio,
+          trap_file_hits,
+          error_ratio,
+          transactional_ratio,
+          requests_per_minute,
+          night_fraction};
+}
+
+const std::array<const char*, SessionFeatures::kDimensions>& SessionFeatures::names() {
+  static const std::array<const char*, kDimensions> kNames = {
+      "total_requests",  "get_count",          "post_count",
+      "post_ratio",      "unique_endpoints",   "mean_depth",
+      "max_depth",       "duration_minutes",   "mean_interarrival_s",
+      "stddev_interarrival_s", "min_interarrival_s", "search_requests",
+      "search_ratio",    "trap_file_hits",     "error_ratio",
+      "transactional_ratio", "requests_per_minute", "night_fraction"};
+  return kNames;
+}
+
+SessionFeatures extract_features(const Session& session) {
+  SessionFeatures f;
+  const auto& reqs = session.requests;
+  if (reqs.empty()) return f;
+
+  f.total_requests = static_cast<double>(reqs.size());
+  std::set<Endpoint> endpoints;
+  util::RunningStats depth;
+  util::RunningStats interarrival;
+  double errors = 0;
+  double transactional = 0;
+  double night = 0;
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& r = reqs[i];
+    if (r.method == HttpMethod::Get) {
+      f.get_count += 1;
+    } else {
+      f.post_count += 1;
+    }
+    endpoints.insert(r.endpoint);
+    depth.add(endpoint_depth(r.endpoint));
+    if (is_search_endpoint(r.endpoint)) f.search_requests += 1;
+    if (r.endpoint == Endpoint::TrapFile) f.trap_file_hits += 1;
+    if (r.status_code >= 400) errors += 1;
+    if (is_transactional(r.endpoint)) transactional += 1;
+    const auto hour = sim::hour_of_day(r.time);
+    if (hour < 5) night += 1;
+    if (i > 0) {
+      interarrival.add(static_cast<double>(reqs[i].time - reqs[i - 1].time) /
+                       static_cast<double>(sim::kSecond));
+    }
+  }
+
+  f.post_ratio = f.post_count / f.total_requests;
+  f.unique_endpoints = static_cast<double>(endpoints.size());
+  f.mean_depth = depth.mean();
+  f.max_depth = depth.max();
+  f.duration_minutes = static_cast<double>(session.duration()) / static_cast<double>(sim::kMinute);
+  f.mean_interarrival_seconds = interarrival.mean();
+  f.stddev_interarrival_seconds = interarrival.stddev();
+  f.min_interarrival_seconds = interarrival.count() == 0 ? 0.0 : interarrival.min();
+  f.search_ratio = f.search_requests / f.total_requests;
+  f.error_ratio = errors / f.total_requests;
+  f.transactional_ratio = transactional / f.total_requests;
+  const double minutes = std::max(f.duration_minutes, 1.0 / 60.0);
+  f.requests_per_minute = f.total_requests / minutes;
+  f.night_fraction = night / f.total_requests;
+  return f;
+}
+
+std::vector<SessionFeatures> extract_features(const std::vector<Session>& sessions) {
+  std::vector<SessionFeatures> out;
+  out.reserve(sessions.size());
+  for (const auto& s : sessions) out.push_back(extract_features(s));
+  return out;
+}
+
+}  // namespace fraudsim::web

@@ -1,0 +1,47 @@
+// Per-session behavioural features (§III-A).
+//
+// These are the classic web-log features the literature uses for bot
+// detection: session volume, method mix, inter-request timing, exploration
+// depth, search intensity, trap-file hits. The paper's point — reproduced by
+// bench/exp_detection_comparison — is that DoI and SMS-pumping sessions look
+// unremarkable under exactly these features.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "web/session.hpp"
+
+namespace fraudsim::web {
+
+struct SessionFeatures {
+  double total_requests = 0;
+  double get_count = 0;
+  double post_count = 0;
+  double post_ratio = 0;
+  double unique_endpoints = 0;
+  double mean_depth = 0;
+  double max_depth = 0;
+  double duration_minutes = 0;
+  double mean_interarrival_seconds = 0;
+  double stddev_interarrival_seconds = 0;
+  double min_interarrival_seconds = 0;
+  double search_requests = 0;
+  double search_ratio = 0;
+  double trap_file_hits = 0;
+  double error_ratio = 0;       // 4xx/5xx fraction
+  double transactional_ratio = 0;
+  double requests_per_minute = 0;
+  double night_fraction = 0;    // requests between 00:00 and 05:00 sim-time
+
+  static constexpr std::size_t kDimensions = 18;
+  [[nodiscard]] std::array<double, kDimensions> as_vector() const;
+  [[nodiscard]] static const std::array<const char*, kDimensions>& names();
+};
+
+[[nodiscard]] SessionFeatures extract_features(const Session& session);
+
+[[nodiscard]] std::vector<SessionFeatures> extract_features(const std::vector<Session>& sessions);
+
+}  // namespace fraudsim::web

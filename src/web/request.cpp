@@ -1,0 +1,5 @@
+#include "web/request.hpp"
+
+// HttpRequest is a plain aggregate; this translation unit exists so the
+// header has a home in the web library and stays self-contained.
+namespace fraudsim::web {}

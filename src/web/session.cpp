@@ -1,0 +1,37 @@
+#include "web/session.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace fraudsim::web {
+
+Sessionizer::Sessionizer(sim::SimDuration inactivity_timeout) : timeout_(inactivity_timeout) {}
+
+std::vector<Session> Sessionizer::sessionize(std::span<const HttpRequest> requests) const {
+  // Group by cookie, keeping deterministic (session id) ordering.
+  std::map<SessionId, std::vector<HttpRequest>> by_cookie;
+  for (const auto& r : requests) {
+    by_cookie[r.session].push_back(r);
+  }
+
+  std::vector<Session> sessions;
+  for (auto& [cookie, reqs] : by_cookie) {
+    std::stable_sort(reqs.begin(), reqs.end(),
+                     [](const HttpRequest& a, const HttpRequest& b) { return a.time < b.time; });
+    Session current;
+    current.id = cookie;
+    for (const auto& r : reqs) {
+      if (!current.requests.empty() && r.time - current.requests.back().time > timeout_) {
+        sessions.push_back(std::move(current));
+        current = Session{};
+        current.id = cookie;
+      }
+      if (current.requests.empty()) current.actor = r.actor;
+      current.requests.push_back(r);
+    }
+    if (!current.requests.empty()) sessions.push_back(std::move(current));
+  }
+  return sessions;
+}
+
+}  // namespace fraudsim::web

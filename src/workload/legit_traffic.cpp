@@ -1,0 +1,289 @@
+#include "workload/legit_traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "biometrics/features.hpp"
+#include "workload/names.hpp"
+
+namespace fraudsim::workload {
+
+LegitTraffic::LegitTraffic(app::Application& application, const net::GeoDb& geo,
+                           app::ActorRegistry& actors, LegitTrafficConfig config, sim::Rng rng)
+    : app_(application),
+      geo_(geo),
+      actors_(actors),
+      config_(std::move(config)),
+      rng_(std::move(rng)),
+      numbers_(rng_.fork("phones")) {}
+
+void LegitTraffic::start(sim::SimTime until) {
+  until_ = until;
+  schedule_booking_arrival();
+  schedule_browse_arrival();
+  schedule_otp_arrival();
+}
+
+double LegitTraffic::diurnal_factor(sim::SimTime t) const {
+  // Peak mid-afternoon, trough at night; never below 10% of mean.
+  const double hour = static_cast<double>(t % sim::kDay) / static_cast<double>(sim::kHour);
+  const double phase = 2.0 * 3.14159265358979 * (hour - 14.0) / 24.0;
+  return std::max(0.1, 1.0 + config_.diurnal_amplitude * std::cos(phase));
+}
+
+sim::SimDuration LegitTraffic::arrival_gap(double per_hour) {
+  const double effective = per_hour * diurnal_factor(app_.simulation().now());
+  if (effective <= 0.0) return sim::kHour;
+  const double gap_seconds = rng_.exponential(3600.0 / effective);
+  return std::max<sim::SimDuration>(sim::kMillisecond,
+                                    static_cast<sim::SimDuration>(gap_seconds * sim::kSecond));
+}
+
+net::CountryCode LegitTraffic::sample_country() {
+  const auto& countries = geo_.countries();
+  std::vector<double> weights;
+  weights.reserve(countries.size());
+  for (const auto& c : countries) weights.push_back(c.population_weight);
+  return countries[rng_.weighted_index(weights)].code;
+}
+
+app::ClientContext LegitTraffic::new_context(net::CountryCode country) {
+  app::ClientContext ctx;
+  const auto block = geo_.residential_block(country);
+  const std::uint32_t offset = static_cast<std::uint32_t>(
+      rng_.uniform_int(0, block ? static_cast<std::int64_t>(block->size()) - 1 : 0));
+  ctx.ip = block ? block->at(offset) : net::IpV4{};
+  ctx.session = web::SessionId{next_session_++};
+  ctx.fingerprint = population_.sample(rng_);
+  ctx.actor = actors_.register_actor(app::ActorKind::Human);
+  ctx.loyalty_member = rng_.bernoulli(0.25);
+  return ctx;
+}
+
+void LegitTraffic::attach_human_pointer(app::ClientContext& ctx) {
+  biometrics::TrajectoryTarget target;
+  target.from_x = rng_.uniform(50, 600);
+  target.from_y = rng_.uniform(100, 700);
+  target.to_x = rng_.uniform(400, 1200);
+  target.to_y = rng_.uniform(100, 700);
+  ctx.pointer_biometrics = biometrics::extract(biometrics::human_trajectory(rng_, target));
+}
+
+sim::SimDuration LegitTraffic::think_time() {
+  // Lognormal around ~20s, human scale.
+  const double seconds = std::clamp(rng_.lognormal(3.0, 0.6), 3.0, 240.0);
+  return static_cast<sim::SimDuration>(seconds * sim::kSecond);
+}
+
+void LegitTraffic::schedule_booking_arrival() {
+  if (config_.booking_sessions_per_hour <= 0.0) return;
+  const auto gap = arrival_gap(config_.booking_sessions_per_hour);
+  if (app_.simulation().now() + gap > until_) return;
+  app_.simulation().schedule_in(gap, [this] {
+    run_booking_session();
+    schedule_booking_arrival();
+  });
+}
+
+void LegitTraffic::schedule_browse_arrival() {
+  if (config_.browse_sessions_per_hour <= 0.0) return;
+  const auto gap = arrival_gap(config_.browse_sessions_per_hour);
+  if (app_.simulation().now() + gap > until_) return;
+  app_.simulation().schedule_in(gap, [this] {
+    run_browse_session();
+    schedule_browse_arrival();
+  });
+}
+
+void LegitTraffic::schedule_otp_arrival() {
+  if (config_.otp_logins_per_hour <= 0.0) return;
+  const auto gap = arrival_gap(config_.otp_logins_per_hour);
+  if (app_.simulation().now() + gap > until_) return;
+  app_.simulation().schedule_in(gap, [this] {
+    run_otp_session();
+    schedule_otp_arrival();
+  });
+}
+
+app::CallStatus LegitTraffic::with_challenge_retry(
+    app::ClientContext& ctx, const std::function<app::CallStatus()>& action) {
+  app::CallStatus status = action();
+  if (status != app::CallStatus::Challenged) return status;
+  ++stats_.challenged;
+  if (!rng_.bernoulli(config_.p_solve_captcha)) {
+    ++stats_.challenge_abandoned;
+    return status;
+  }
+  ctx.captcha_solved = true;
+  status = action();
+  ctx.captcha_solved = false;
+  return status;
+}
+
+struct LegitTraffic::Journey {
+  app::ClientContext ctx;
+  net::CountryCode country;
+  int nip = 1;
+  std::vector<airline::Passenger> party;
+  airline::FlightId flight;
+  std::string pnr;
+};
+
+void LegitTraffic::run_booking_session() {
+  ++stats_.sessions;
+  ++stats_.booking_sessions;
+  const auto country = sample_country();
+  auto journey = std::make_shared<Journey>();
+  journey->ctx = new_context(country);
+  journey->country = country;
+  // Legitimate parties adapt to the published cap (§IV-A: after the cap of 4
+  // was introduced, legitimate group bookings shifted to 4 as well).
+  journey->nip = config_.nip.sample_with_cap(rng_, app_.inventory().max_nip());
+  journey->party = random_party(rng_, journey->nip);
+
+  app_.browse(journey->ctx, web::Endpoint::Home);
+
+  // Search funnel, then hold.
+  const int searches = static_cast<int>(rng_.uniform_int(1, 3));
+  sim::SimDuration at = think_time();
+  for (int i = 0; i < searches; ++i) {
+    app_.simulation().schedule_in(at, [this, journey] {
+      app_.browse(journey->ctx, web::Endpoint::SearchFlights);
+    });
+    at += think_time();
+  }
+  app_.simulation().schedule_in(at, [this, journey] {
+    app_.browse(journey->ctx, web::Endpoint::FlightDetails);
+    app_.browse(journey->ctx, web::Endpoint::SeatMap);
+  });
+  at += think_time();
+  app_.simulation().schedule_in(at, [this, journey] {
+    // Pick a flight with room for the party.
+    std::vector<airline::FlightId> candidates;
+    for (const auto f : app_.inventory().flights()) {
+      if (app_.inventory().available_seats(f) >= journey->nip) candidates.push_back(f);
+    }
+    if (candidates.empty()) {
+      ++stats_.lost_sales_no_seats;
+      stats_.seats_lost_no_seats += static_cast<std::uint64_t>(journey->nip);
+      return;
+    }
+    journey->flight = candidates[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+
+    attach_human_pointer(journey->ctx);
+    const auto status = with_challenge_retry(journey->ctx, [&] {
+      auto result = app_.hold(journey->ctx, journey->flight, journey->party);
+      if (result.status == app::CallStatus::Ok) journey->pnr = result.pnr;
+      if (result.status == app::CallStatus::BusinessReject && result.rejection &&
+          result.rejection->reason == airline::HoldRejection::Reason::NoAvailability) {
+        ++stats_.lost_sales_no_seats;
+        stats_.seats_lost_no_seats += static_cast<std::uint64_t>(journey->nip);
+      }
+      return result.status;
+    });
+    switch (status) {
+      case app::CallStatus::Blocked:
+        ++stats_.blocked;
+        return;
+      case app::CallStatus::RateLimited:
+        ++stats_.rate_limited;
+        return;
+      case app::CallStatus::Challenged:   // abandoned at the challenge
+      case app::CallStatus::BusinessReject:
+        return;
+      case app::CallStatus::Ok:
+        break;
+    }
+    ++stats_.holds_succeeded;
+
+    if (!rng_.bernoulli(config_.p_convert)) return;  // hold quietly expires
+
+    // Pay within the hold window.
+    const auto window = app_.inventory().hold_duration();
+    const auto delay = std::min<sim::SimDuration>(
+        static_cast<sim::SimDuration>(
+            rng_.exponential(static_cast<double>(config_.mean_pay_delay))),
+        window > sim::kMinute ? window - sim::kMinute : window);
+    app_.simulation().schedule_in(delay, [this, journey] {
+      attach_human_pointer(journey->ctx);
+      const auto pay_status = with_challenge_retry(
+          journey->ctx, [&] { return app_.pay(journey->ctx, journey->pnr); });
+      if (pay_status == app::CallStatus::Blocked) {
+        ++stats_.blocked;
+        return;
+      }
+      if (pay_status != app::CallStatus::Ok) return;
+      ++stats_.bookings_paid;
+      stats_.seats_paid += static_cast<std::uint64_t>(journey->nip);
+
+      // Boarding-pass delivery some time later.
+      if (rng_.bernoulli(config_.p_boarding_sms)) {
+        app_.simulation().schedule_in(think_time(), [this, journey] {
+          attach_human_pointer(journey->ctx);
+          const auto number = sms::NumberGenerator(rng_.fork("bp")).random_number(journey->country);
+          const auto bp_status = with_challenge_retry(journey->ctx, [&] {
+            return app_.request_boarding_sms(journey->ctx, journey->pnr, number).status;
+          });
+          if (bp_status == app::CallStatus::Ok) ++stats_.boarding_sms;
+          if (bp_status == app::CallStatus::Blocked) ++stats_.blocked;
+          if (bp_status == app::CallStatus::RateLimited) ++stats_.rate_limited;
+        });
+      } else if (rng_.bernoulli(config_.p_boarding_email)) {
+        app_.simulation().schedule_in(think_time(), [this, journey] {
+          if (app_.request_boarding_email(journey->ctx, journey->pnr) == app::CallStatus::Ok) {
+            ++stats_.boarding_email;
+          }
+        });
+      }
+    });
+  });
+}
+
+void LegitTraffic::run_browse_session() {
+  ++stats_.sessions;
+  auto ctx = std::make_shared<app::ClientContext>(new_context(sample_country()));
+  app_.browse(*ctx, web::Endpoint::Home);
+  const int pages = static_cast<int>(rng_.uniform_int(2, 8));
+  sim::SimDuration at = 0;
+  for (int i = 0; i < pages; ++i) {
+    at += think_time();
+    app_.simulation().schedule_in(at, [this, ctx] {
+      const auto endpoint = rng_.bernoulli(0.6) ? web::Endpoint::SearchFlights
+                                                : web::Endpoint::FlightDetails;
+      app_.browse(*ctx, endpoint);
+    });
+  }
+}
+
+void LegitTraffic::run_otp_session() {
+  ++stats_.sessions;
+  ++stats_.otp_logins;
+  const auto country = sample_country();
+  auto ctx = std::make_shared<app::ClientContext>(new_context(country));
+  const auto account = "user" + std::to_string(ctx->actor.value());
+  app_.browse(*ctx, web::Endpoint::Login);
+  app_.simulation().schedule_in(think_time(), [this, ctx, account, country] {
+    attach_human_pointer(*ctx);
+    const auto number = numbers_.random_number(country);
+    app::OtpResult otp;
+    const auto status = with_challenge_retry(*ctx, [&] {
+      otp = app_.request_otp(*ctx, account, number);
+      return otp.status;
+    });
+    if (status == app::CallStatus::Blocked) {
+      ++stats_.blocked;
+      return;
+    }
+    if (status == app::CallStatus::RateLimited) {
+      ++stats_.rate_limited;
+      return;
+    }
+    if (status != app::CallStatus::Ok) return;
+    app_.simulation().schedule_in(think_time(), [this, ctx, account, otp] {
+      (void)app_.verify_otp(*ctx, account, otp.code);
+    });
+  });
+}
+
+}  // namespace fraudsim::workload

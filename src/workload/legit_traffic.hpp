@@ -1,0 +1,100 @@
+// Legitimate traffic generator.
+//
+// Drives realistic customer journeys through the Application facade:
+// browse-only visitors, booking sessions (search → seat hold → payment →
+// boarding-pass delivery), and OTP logins. Arrivals are Poisson with a
+// diurnal profile; think times are human-scale. The generator also records
+// the friction legitimate users suffer from mitigations (blocks, failed
+// challenges, lost sales when inventory is depleted) — the defender-side
+// costs in the §V trade-off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "app/actors.hpp"
+#include "app/application.hpp"
+#include "fingerprint/population.hpp"
+#include "net/proxy.hpp"
+#include "sms/number.hpp"
+#include "workload/nip_model.hpp"
+
+namespace fraudsim::workload {
+
+struct LegitTrafficConfig {
+  double booking_sessions_per_hour = 40.0;
+  double browse_sessions_per_hour = 50.0;
+  double otp_logins_per_hour = 25.0;
+  double p_convert = 0.72;  // hold -> payment
+  sim::SimDuration mean_pay_delay = sim::minutes(12);
+  double p_boarding_sms = 0.10;    // per ticketed booking
+  double p_boarding_email = 0.45;
+  double p_solve_captcha = 0.95;   // pass+tolerate a challenge
+  double diurnal_amplitude = 0.5;  // 0 = flat arrivals
+  NipModel nip = NipModel::standard();
+};
+
+struct LegitTrafficStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t booking_sessions = 0;
+  std::uint64_t holds_succeeded = 0;
+  std::uint64_t bookings_paid = 0;
+  std::uint64_t seats_paid = 0;
+  std::uint64_t boarding_sms = 0;
+  std::uint64_t boarding_email = 0;
+  std::uint64_t otp_logins = 0;
+  // Friction / harm counters.
+  std::uint64_t blocked = 0;                 // hard 403 on a legit action
+  std::uint64_t challenged = 0;              // CAPTCHA interstitials shown
+  std::uint64_t challenge_abandoned = 0;     // gave up at the challenge
+  std::uint64_t lost_sales_no_seats = 0;     // wanted to book, no availability
+  std::uint64_t seats_lost_no_seats = 0;     // party size of those lost sales
+  std::uint64_t rate_limited = 0;
+};
+
+class LegitTraffic {
+ public:
+  LegitTraffic(app::Application& application, const net::GeoDb& geo,
+               app::ActorRegistry& actors, LegitTrafficConfig config, sim::Rng rng);
+
+  // Schedules arrivals from now() until `until`.
+  void start(sim::SimTime until);
+
+  [[nodiscard]] const LegitTrafficStats& stats() const { return stats_; }
+
+ private:
+  struct Journey;  // per-session state
+
+  void schedule_booking_arrival();
+  void schedule_browse_arrival();
+  void schedule_otp_arrival();
+  [[nodiscard]] double diurnal_factor(sim::SimTime t) const;
+  [[nodiscard]] sim::SimDuration arrival_gap(double per_hour);
+  [[nodiscard]] net::CountryCode sample_country();
+  [[nodiscard]] app::ClientContext new_context(net::CountryCode country);
+  [[nodiscard]] sim::SimDuration think_time();
+  // Fresh genuinely-human pointer telemetry for a transactional action.
+  void attach_human_pointer(app::ClientContext& ctx);
+
+  void run_booking_session();
+  void run_browse_session();
+  void run_otp_session();
+  // Executes a policy-guarded action with one challenge-retry. Returns the
+  // final status after the optional retry.
+  app::CallStatus with_challenge_retry(app::ClientContext& ctx,
+                                       const std::function<app::CallStatus()>& action);
+
+  app::Application& app_;
+  const net::GeoDb& geo_;
+  app::ActorRegistry& actors_;
+  LegitTrafficConfig config_;
+  sim::Rng rng_;
+  fp::PopulationModel population_;
+  sms::NumberGenerator numbers_;
+  sim::SimTime until_ = 0;
+  std::uint64_t next_session_ = 1;
+  LegitTrafficStats stats_;
+};
+
+}  // namespace fraudsim::workload

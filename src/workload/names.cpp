@@ -1,0 +1,102 @@
+#include "workload/names.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace fraudsim::workload {
+
+const std::vector<std::string>& first_name_pool() {
+  static const std::vector<std::string> kNames = {
+      "James",   "Mary",    "Robert",  "Patricia", "John",    "Jennifer", "Michael", "Linda",
+      "David",   "Elizabeth", "William", "Barbara", "Richard", "Susan",   "Joseph",  "Jessica",
+      "Thomas",  "Sarah",   "Carlos",  "Karen",    "Daniel",  "Lisa",     "Matthew", "Nancy",
+      "Antonio", "Betty",   "Marco",   "Sandra",   "Pierre",  "Ashley",   "Luca",    "Emma",
+      "Hans",    "Olivia",  "Yuki",    "Sophia",   "Wei",     "Isabella", "Ahmed",   "Mia",
+      "Omar",    "Charlotte", "Ali",   "Amelia",   "Ravi",    "Harper",   "Arjun",   "Evelyn",
+      "Chen",    "Abigail", "Hiroshi", "Emily",    "Kenji",   "Eleanor",  "Paulo",   "Camila",
+      "Diego",   "Valentina", "Javier", "Lucia",   "Mateo",   "Martina",  "Andres",  "Elena",
+      "Nikolai", "Anastasia", "Ivan",  "Katya",    "Jean",    "Marie",    "Francois", "Claire",
+      "Giulia",  "Chiara",  "Lorenzo", "Francesca", "Mohammed", "Fatima",  "Yusuf",   "Aisha"};
+  return kNames;
+}
+
+const std::vector<std::string>& surname_pool() {
+  static const std::vector<std::string> kNames = {
+      "Smith",    "Johnson",  "Williams", "Brown",   "Jones",    "Garcia",   "Miller",
+      "Davis",    "Rodriguez", "Martinez", "Hernandez", "Lopez",  "Gonzalez", "Wilson",
+      "Anderson", "Thomas",   "Taylor",   "Moore",   "Jackson",  "Martin",   "Lee",
+      "Perez",    "Thompson", "White",    "Harris",  "Sanchez",  "Clark",    "Ramirez",
+      "Lewis",    "Robinson", "Walker",   "Young",   "Allen",    "King",     "Wright",
+      "Scott",    "Torres",   "Nguyen",   "Hill",    "Flores",   "Green",    "Adams",
+      "Nelson",   "Baker",    "Hall",     "Rivera",  "Campbell", "Mitchell", "Carter",
+      "Roberts",  "Rossi",    "Russo",    "Ferrari", "Esposito", "Bianchi",  "Romano",
+      "Colombo",  "Ricci",    "Marino",   "Greco",   "Dubois",   "Moreau",   "Laurent",
+      "Simon",    "Michel",   "Lefebvre", "Leroy",   "Roux",     "Schmidt",  "Schneider",
+      "Fischer",  "Weber",    "Meyer",    "Wagner",  "Becker",   "Hoffmann", "Tanaka",
+      "Suzuki",   "Takahashi", "Watanabe", "Ito",    "Yamamoto", "Nakamura", "Kobayashi",
+      "Khan",     "Hussain",  "Ahmed",    "Malik",   "Sharma",   "Patel",    "Singh",
+      "Kumar",    "Gupta",    "Chen",     "Wang",    "Li",       "Zhang",    "Liu"};
+  return kNames;
+}
+
+const std::vector<std::string>& email_domain_pool() {
+  static const std::vector<std::string> kDomains = {
+      "gmail.example",  "outlook.example", "yahoo.example", "proton.example",
+      "icloud.example", "mail.example",    "web.example",   "inbox.example"};
+  return kDomains;
+}
+
+std::string make_email(sim::Rng& rng, const std::string& first, const std::string& surname) {
+  const auto& domains = email_domain_pool();
+  std::string local = util::to_lower(first) + "." + util::to_lower(surname);
+  if (rng.bernoulli(0.5)) local += std::to_string(rng.uniform_int(1, 99));
+  return local + "@" + domains[static_cast<std::size_t>(
+                           rng.uniform_int(0, static_cast<std::int64_t>(domains.size()) - 1))];
+}
+
+airline::Passenger random_passenger(sim::Rng& rng) {
+  airline::Passenger p;
+  p.first_name = rng.pick(first_name_pool());
+  p.surname = rng.pick(surname_pool());
+  p.birthdate = airline::random_birthdate(rng);
+  p.email = make_email(rng, p.first_name, p.surname);
+  return p;
+}
+
+std::vector<airline::Passenger> random_party(sim::Rng& rng, int size, double family_prob) {
+  std::vector<airline::Passenger> party;
+  party.reserve(static_cast<std::size_t>(std::max(size, 0)));
+  const bool family = rng.bernoulli(family_prob);
+  std::string family_surname = rng.pick(surname_pool());
+  for (int i = 0; i < size; ++i) {
+    airline::Passenger p = random_passenger(rng);
+    if (family) {
+      p.surname = family_surname;
+      p.email = make_email(rng, p.first_name, p.surname);
+    }
+    party.push_back(std::move(p));
+  }
+  return party;
+}
+
+std::string misspell(sim::Rng& rng, const std::string& name) {
+  if (name.size() < 2) return name;
+  std::string out = name;
+  const auto pos = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(name.size()) - 1));
+  switch (rng.uniform_int(0, 2)) {
+    case 0:  // substitute
+      out[pos] = static_cast<char>('a' + rng.uniform_int(0, 25));
+      break;
+    case 1:  // drop a character
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+      break;
+    default:  // duplicate
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos), out[pos]);
+      break;
+  }
+  return out;
+}
+
+}  // namespace fraudsim::workload

@@ -1,0 +1,35 @@
+// Name pools and passenger identity generation.
+//
+// Legitimate passengers carry plausible names drawn from a broad pool;
+// the attacker identity regimes in attack/identity_gen reuse these pools
+// (fixed-name attacks) or bypass them (gibberish attacks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "airline/passenger.hpp"
+#include "sim/rng.hpp"
+
+namespace fraudsim::workload {
+
+[[nodiscard]] const std::vector<std::string>& first_name_pool();
+[[nodiscard]] const std::vector<std::string>& surname_pool();
+[[nodiscard]] const std::vector<std::string>& email_domain_pool();
+
+// Email in the style "first.surname<nn>@domain".
+[[nodiscard]] std::string make_email(sim::Rng& rng, const std::string& first,
+                                     const std::string& surname);
+
+// A fully plausible passenger: pooled names, adult birthdate, matching email.
+[[nodiscard]] airline::Passenger random_passenger(sim::Rng& rng);
+
+// A party of `size` distinct plausible passengers (same surname with
+// probability `family_prob`, as families usually book together).
+[[nodiscard]] std::vector<airline::Passenger> random_party(sim::Rng& rng, int size,
+                                                           double family_prob = 0.7);
+
+// Introduces a single-character typo (§IV-B manual attack signature).
+[[nodiscard]] std::string misspell(sim::Rng& rng, const std::string& name);
+
+}  // namespace fraudsim::workload

@@ -1,0 +1,27 @@
+#include "workload/nip_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fraudsim::workload {
+
+NipModel NipModel::standard() {
+  // NiP:            1     2     3     4     5      6      7      8      9
+  return NipModel({0.54, 0.29, 0.075, 0.045, 0.022, 0.013, 0.008, 0.004, 0.003});
+}
+
+NipModel::NipModel(std::vector<double> weights) : weights_(std::move(weights)) {
+  assert(!weights_.empty());
+}
+
+int NipModel::sample(sim::Rng& rng) const {
+  return static_cast<int>(rng.weighted_index(weights_)) + 1;
+}
+
+int NipModel::sample_with_cap(sim::Rng& rng, int cap) const {
+  const int intended = sample(rng);
+  if (cap <= 0 || intended <= cap) return intended;
+  return cap;
+}
+
+}  // namespace fraudsim::workload

@@ -1,0 +1,38 @@
+// Number-in-Party (NiP) model.
+//
+// Fig. 1 of the paper shows the NiP distribution of an average week: bookings
+// are dominated by one- and two-passenger parties with a thin tail up to the
+// airline's maximum of 9. This model produces that baseline and captures how
+// legitimate parties adapt when a NiP cap is imposed (the paper observes
+// legitimate group bookings shifting to the cap of 4).
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace fraudsim::workload {
+
+class NipModel {
+ public:
+  // Standard airline-booking party-size mix, NiP 1..9.
+  [[nodiscard]] static NipModel standard();
+
+  explicit NipModel(std::vector<double> weights);  // weights[i] = P(NiP = i+1)
+
+  // A party size with no cap applied.
+  [[nodiscard]] int sample(sim::Rng& rng) const;
+
+  // A party size under a NiP cap: intended sizes above the cap re-book at the
+  // cap (families split bookings), reproducing the post-cap spike of Fig. 1.
+  // cap <= 0 means no cap.
+  [[nodiscard]] int sample_with_cap(sim::Rng& rng, int cap) const;
+
+  [[nodiscard]] int max_nip() const { return static_cast<int>(weights_.size()); }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace fraudsim::workload

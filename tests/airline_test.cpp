@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "airline/boarding.hpp"
+#include "airline/fares.hpp"
+#include "airline/date.hpp"
+#include "airline/inventory.hpp"
+#include "airline/passenger.hpp"
+#include "airline/pnr.hpp"
+#include "sms/carrier.hpp"
+
+namespace fraudsim::airline {
+namespace {
+
+// --- Dates -----------------------------------------------------------------------
+
+TEST(Date, Validity) {
+  EXPECT_TRUE(is_valid_date({2000, 2, 29}));   // leap year
+  EXPECT_FALSE(is_valid_date({1900, 2, 29}));  // century non-leap
+  EXPECT_TRUE(is_valid_date({2004, 12, 31}));
+  EXPECT_FALSE(is_valid_date({2004, 13, 1}));
+  EXPECT_FALSE(is_valid_date({2004, 4, 31}));
+  EXPECT_FALSE(is_valid_date({2004, 1, 0}));
+}
+
+TEST(Date, FormattingAndOrdering) {
+  EXPECT_EQ((Date{1985, 3, 7}.str()), "1985-03-07");
+  EXPECT_LT((Date{1985, 3, 7}), (Date{1985, 3, 8}));
+  EXPECT_LT((Date{1985, 3, 7}), (Date{1986, 1, 1}));
+  EXPECT_EQ((Date{1985, 3, 7}), (Date{1985, 3, 7}));
+}
+
+TEST(Date, RandomDatesAreValid) {
+  sim::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(is_valid_date(random_birthdate(rng)));
+  }
+}
+
+// --- Passengers ---------------------------------------------------------------------
+
+TEST(Passenger, KeysNormaliseCase) {
+  Passenger a{"Maria", "Garcia", {1990, 1, 1}, "m@x.example"};
+  Passenger b{"maria", "GARCIA", {1990, 1, 1}, "other@x.example"};
+  EXPECT_EQ(a.name_key(), b.name_key());
+  EXPECT_EQ(a.identity_key(), b.identity_key());
+  Passenger c = a;
+  c.birthdate = {1991, 1, 1};
+  EXPECT_EQ(a.name_key(), c.name_key());
+  EXPECT_NE(a.identity_key(), c.identity_key());
+}
+
+TEST(Passenger, PartyKeyIsOrderInvariant) {
+  Passenger a{"Ana", "Lopez", {1980, 5, 5}, ""};
+  Passenger b{"Ben", "Smith", {1981, 6, 6}, ""};
+  Passenger c{"Cat", "Jones", {1982, 7, 7}, ""};
+  EXPECT_EQ(party_key({a, b, c}), party_key({c, a, b}));
+  EXPECT_NE(party_key({a, b}), party_key({a, c}));
+}
+
+// --- PNR generator -------------------------------------------------------------------
+
+TEST(Pnr, FormatAndUniqueness) {
+  PnrGenerator gen(sim::Rng(2));
+  std::set<std::string> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto pnr = gen.next();
+    EXPECT_EQ(pnr.size(), 6u);
+    EXPECT_TRUE(pnr[0] >= 'A' && pnr[0] <= 'Z');
+    for (char c : pnr) {
+      EXPECT_TRUE((c >= 'A' && c <= 'Z') || (c >= '2' && c <= '9')) << pnr;
+    }
+    EXPECT_TRUE(seen.insert(pnr).second) << "duplicate " << pnr;
+  }
+}
+
+// --- Inventory ---------------------------------------------------------------------
+
+std::vector<Passenger> party_of(int n) {
+  std::vector<Passenger> party;
+  for (int i = 0; i < n; ++i) {
+    party.push_back(Passenger{"P" + std::to_string(i), "Test", {1990, 1, 1}, "p@x.example"});
+  }
+  return party;
+}
+
+class InventoryTest : public ::testing::Test {
+ protected:
+  InventoryTest() : inv_(InventoryConfig{sim::minutes(30), 9}, sim::Rng(3)) {
+    flight_ = inv_.add_flight("A", 100, 10, sim::days(7));
+  }
+  InventoryManager inv_;
+  FlightId flight_;
+};
+
+TEST_F(InventoryTest, HoldReservesSeats) {
+  const auto outcome = inv_.hold(0, flight_, party_of(4), web::ActorId{1});
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(inv_.held_seats(flight_), 4);
+  EXPECT_EQ(inv_.available_seats(flight_), 6);
+  const auto* r = inv_.find(outcome.pnr);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->state, ReservationState::Held);
+  EXPECT_EQ(r->nip(), 4);
+  EXPECT_EQ(r->hold_expiry, sim::minutes(30));
+}
+
+TEST_F(InventoryTest, RejectsOverCapacity) {
+  ASSERT_TRUE(inv_.hold(0, flight_, party_of(8), web::ActorId{1}).ok);
+  const auto outcome = inv_.hold(0, flight_, party_of(3), web::ActorId{1});
+  EXPECT_FALSE(outcome.ok);
+  ASSERT_TRUE(outcome.rejection.has_value());
+  EXPECT_EQ(outcome.rejection->reason, HoldRejection::Reason::NoAvailability);
+  EXPECT_EQ(inv_.stats().holds_rejected, 1u);
+}
+
+TEST_F(InventoryTest, RejectsAboveNipCap) {
+  inv_.set_max_nip(4);
+  const auto outcome = inv_.hold(0, flight_, party_of(5), web::ActorId{1});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.rejection->reason, HoldRejection::Reason::NipCapExceeded);
+  // At the cap is fine.
+  EXPECT_TRUE(inv_.hold(0, flight_, party_of(4), web::ActorId{1}).ok);
+}
+
+TEST_F(InventoryTest, RejectsEmptyPartyAndUnknownFlight) {
+  EXPECT_EQ(inv_.hold(0, flight_, {}, web::ActorId{1}).rejection->reason,
+            HoldRejection::Reason::EmptyParty);
+  EXPECT_EQ(inv_.hold(0, FlightId{999}, party_of(1), web::ActorId{1}).rejection->reason,
+            HoldRejection::Reason::UnknownFlight);
+}
+
+TEST_F(InventoryTest, ExpiryReleasesSeats) {
+  ASSERT_TRUE(inv_.hold(0, flight_, party_of(6), web::ActorId{1}).ok);
+  EXPECT_EQ(inv_.available_seats(flight_), 4);
+  EXPECT_EQ(inv_.expire_due(sim::minutes(29)), 0u);
+  EXPECT_EQ(inv_.expire_due(sim::minutes(30)), 1u);
+  EXPECT_EQ(inv_.available_seats(flight_), 10);
+  EXPECT_EQ(inv_.stats().expired, 1u);
+}
+
+TEST_F(InventoryTest, HoldTriggersLazyExpiry) {
+  inv_.set_max_nip(0);  // whole-plane party, cap out of the way
+  ASSERT_TRUE(inv_.hold(0, flight_, party_of(10), web::ActorId{1}).ok);
+  // Flight is full; a later hold succeeds because the first one lapsed.
+  const auto outcome = inv_.hold(sim::hours(1), flight_, party_of(10), web::ActorId{2});
+  EXPECT_TRUE(outcome.ok);
+}
+
+TEST_F(InventoryTest, TicketingMovesSeatsToSold) {
+  const auto outcome = inv_.hold(0, flight_, party_of(3), web::ActorId{1});
+  ASSERT_TRUE(inv_.ticket(sim::minutes(10), outcome.pnr));
+  EXPECT_EQ(inv_.held_seats(flight_), 0);
+  EXPECT_EQ(inv_.sold_seats(flight_), 3);
+  EXPECT_EQ(inv_.available_seats(flight_), 7);
+  EXPECT_EQ(inv_.find(outcome.pnr)->state, ReservationState::Ticketed);
+  // Ticketed seats do not expire.
+  inv_.expire_due(sim::days(1));
+  EXPECT_EQ(inv_.sold_seats(flight_), 3);
+}
+
+TEST_F(InventoryTest, CannotTicketExpiredHold) {
+  const auto outcome = inv_.hold(0, flight_, party_of(2), web::ActorId{1});
+  const auto status = inv_.ticket(sim::hours(2), outcome.pnr);  // past expiry
+  EXPECT_FALSE(status);
+  EXPECT_EQ(inv_.find(outcome.pnr)->state, ReservationState::Expired);
+}
+
+TEST_F(InventoryTest, CancelReleasesImmediately) {
+  const auto outcome = inv_.hold(0, flight_, party_of(5), web::ActorId{1});
+  ASSERT_TRUE(inv_.cancel(sim::minutes(5), outcome.pnr));
+  EXPECT_EQ(inv_.available_seats(flight_), 10);
+  EXPECT_EQ(inv_.find(outcome.pnr)->state, ReservationState::Cancelled);
+  // Terminal states reject further transitions.
+  EXPECT_FALSE(inv_.ticket(sim::minutes(6), outcome.pnr));
+  EXPECT_FALSE(inv_.cancel(sim::minutes(6), outcome.pnr));
+}
+
+TEST_F(InventoryTest, UnknownPnrOperationsFail) {
+  EXPECT_FALSE(inv_.ticket(0, "ZZZZZZ"));
+  EXPECT_FALSE(inv_.cancel(0, "ZZZZZZ"));
+  EXPECT_EQ(inv_.find("ZZZZZZ"), nullptr);
+}
+
+TEST_F(InventoryTest, ReservationsForFlight) {
+  inv_.hold(0, flight_, party_of(1), web::ActorId{1});
+  inv_.hold(0, flight_, party_of(2), web::ActorId{2});
+  const auto other = inv_.add_flight("A", 101, 10, sim::days(7));
+  inv_.hold(0, other, party_of(1), web::ActorId{3});
+  EXPECT_EQ(inv_.reservations_for(flight_).size(), 2u);
+  EXPECT_EQ(inv_.reservations_for(other).size(), 1u);
+  EXPECT_EQ(inv_.reservations().size(), 3u);
+}
+
+TEST_F(InventoryTest, SeatConservationInvariant) {
+  // Random-ish interleaving of holds/tickets/cancels/expiries keeps
+  // held + sold <= capacity and counters consistent with reservation states.
+  sim::Rng rng(99);
+  std::vector<std::string> pnrs;
+  for (int step = 0; step < 300; ++step) {
+    const sim::SimTime now = step * sim::minutes(2);
+    const int action = static_cast<int>(rng.uniform_int(0, 3));
+    if (action <= 1) {
+      const auto outcome =
+          inv_.hold(now, flight_, party_of(static_cast<int>(rng.uniform_int(1, 4))),
+                    web::ActorId{7});
+      if (outcome.ok) pnrs.push_back(outcome.pnr);
+    } else if (action == 2 && !pnrs.empty()) {
+      (void)inv_.ticket(now, pnrs[static_cast<std::size_t>(
+                                 rng.uniform_int(0, static_cast<std::int64_t>(pnrs.size()) - 1))]);
+    } else if (!pnrs.empty()) {
+      (void)inv_.cancel(now, pnrs[static_cast<std::size_t>(
+                                rng.uniform_int(0, static_cast<std::int64_t>(pnrs.size()) - 1))]);
+    }
+    // Invariant check against a full recount.
+    int held = 0;
+    int sold = 0;
+    for (const auto& r : inv_.reservations()) {
+      if (r.state == ReservationState::Held) held += r.nip();
+      if (r.state == ReservationState::Ticketed) sold += r.nip();
+    }
+    EXPECT_EQ(inv_.held_seats(flight_), held);
+    EXPECT_EQ(inv_.sold_seats(flight_), sold);
+    EXPECT_LE(held + sold, 10);
+    EXPECT_GE(inv_.available_seats(flight_), 0);
+  }
+}
+
+// --- Fare engine --------------------------------------------------------------------
+
+TEST(FareEngine, PriceRisesWithLoad) {
+  FareEngine fares;
+  Flight flight{FlightId{1}, "A", 1, 100, sim::days(30)};
+  const auto empty = fares.quote(flight, 0, 0, 0);
+  const auto half = fares.quote(flight, 25, 25, 0);
+  const auto full = fares.quote(flight, 50, 50, 0);
+  EXPECT_LT(empty, half);
+  EXPECT_LT(half, full);
+  // The span matches the configured floor/ceiling multipliers.
+  EXPECT_EQ(empty, fares.config().base_fare * fares.config().load_floor);
+  EXPECT_EQ(full, fares.config().base_fare * fares.config().load_ceiling);
+}
+
+TEST(FareEngine, HoldsCountAsDemand) {
+  // The manipulation lever: unpaid holds move the price exactly like sales.
+  FareEngine fares;
+  Flight flight{FlightId{1}, "A", 1, 100, sim::days(30)};
+  EXPECT_EQ(fares.quote(flight, 60, 0, 0), fares.quote(flight, 0, 60, 0));
+}
+
+TEST(FareEngine, DistressDiscountNearDeparture) {
+  FareEngine fares;
+  Flight flight{FlightId{1}, "A", 1, 100, sim::days(30)};
+  const int held = 0;
+  const int sold = 10;  // nearly empty
+  const auto far_out = fares.quote(flight, held, sold, sim::days(10));
+  const auto near_in = fares.quote(flight, held, sold, sim::days(29));
+  EXPECT_LT(near_in, far_out);
+  // A well-sold flight gets no distress discount.
+  const auto busy_far = fares.quote(flight, 0, 80, sim::days(10));
+  const auto busy_near = fares.quote(flight, 0, 80, sim::days(29));
+  EXPECT_EQ(busy_far, busy_near);
+}
+
+TEST(FareEngine, MultipliersBounded) {
+  FareEngine fares;
+  EXPECT_GE(fares.load_multiplier(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fares.load_multiplier(1.0), fares.config().load_ceiling);
+  EXPECT_DOUBLE_EQ(fares.distress_multiplier(0.9, sim::days(1)), 1.0);
+  EXPECT_DOUBLE_EQ(fares.distress_multiplier(0.1, sim::days(10)), 1.0);
+  const double deep = fares.distress_multiplier(0.0, 0);
+  EXPECT_NEAR(deep, 1.0 - fares.config().max_discount, 1e-9);
+}
+
+// --- Boarding pass service -------------------------------------------------------------
+
+class BoardingTest : public ::testing::Test {
+ protected:
+  BoardingTest()
+      : network_(sms::TariffTable::standard(), sms::CarrierPolicy{}),
+        gateway_(network_, sms::GatewayConfig{}),
+        inv_(InventoryConfig{sim::minutes(30), 9}, sim::Rng(4)),
+        boarding_(inv_, gateway_, BoardingConfig{}) {
+    flight_ = inv_.add_flight("D", 1, 50, sim::days(7));
+    const auto outcome = inv_.hold(0, flight_, party_of(1), web::ActorId{1});
+    pnr_ = outcome.pnr;
+  }
+
+  sms::PhoneNumber number() {
+    return sms::PhoneNumber{net::CountryCode{'F', 'R'}, "123456789"};
+  }
+
+  sms::CarrierNetwork network_;
+  sms::SmsGateway gateway_;
+  InventoryManager inv_;
+  BoardingPassService boarding_;
+  FlightId flight_;
+  std::string pnr_;
+};
+
+TEST_F(BoardingTest, SmsRequiresTicketedPnr) {
+  EXPECT_EQ(boarding_.request_sms(1, pnr_, number(), web::ActorId{1}),
+            BoardingPassService::SmsResult::NotTicketed);
+  ASSERT_TRUE(inv_.ticket(2, pnr_));
+  EXPECT_EQ(boarding_.request_sms(3, pnr_, number(), web::ActorId{1}),
+            BoardingPassService::SmsResult::Sent);
+  EXPECT_EQ(gateway_.sent_count(), 1u);
+  EXPECT_EQ(gateway_.log().front().booking_ref, pnr_);
+  EXPECT_EQ(boarding_.sms_count_for(pnr_), 1u);
+}
+
+TEST_F(BoardingTest, UnknownPnrRejected) {
+  EXPECT_EQ(boarding_.request_sms(1, "NOPE42", number(), web::ActorId{1}),
+            BoardingPassService::SmsResult::UnknownPnr);
+}
+
+TEST_F(BoardingTest, UnlimitedWithoutCapTheVulnerableConfig) {
+  ASSERT_TRUE(inv_.ticket(1, pnr_));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(boarding_.request_sms(i, pnr_, number(), web::ActorId{1}),
+              BoardingPassService::SmsResult::Sent);
+  }
+  EXPECT_EQ(boarding_.sms_count_for(pnr_), 500u);
+}
+
+TEST_F(BoardingTest, PerBookingCapStopsRepeats) {
+  boarding_.set_sms_per_booking_cap(3);
+  ASSERT_TRUE(inv_.ticket(1, pnr_));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(boarding_.request_sms(i, pnr_, number(), web::ActorId{1}),
+              BoardingPassService::SmsResult::Sent);
+  }
+  EXPECT_EQ(boarding_.request_sms(9, pnr_, number(), web::ActorId{1}),
+            BoardingPassService::SmsResult::PerBookingCapReached);
+  EXPECT_EQ(gateway_.sent_count(), 3u);
+}
+
+TEST_F(BoardingTest, FeatureDisableStopsEverything) {
+  ASSERT_TRUE(inv_.ticket(1, pnr_));
+  boarding_.set_sms_option_enabled(false);
+  EXPECT_EQ(boarding_.request_sms(2, pnr_, number(), web::ActorId{1}),
+            BoardingPassService::SmsResult::FeatureDisabled);
+  EXPECT_EQ(gateway_.sent_count(), 0u);
+  EXPECT_FALSE(boarding_.sms_option_enabled());
+}
+
+TEST_F(BoardingTest, EmailRequiresTicketToo) {
+  EXPECT_FALSE(boarding_.request_email(1, pnr_));
+  ASSERT_TRUE(inv_.ticket(2, pnr_));
+  EXPECT_TRUE(boarding_.request_email(3, pnr_));
+  EXPECT_EQ(boarding_.email_sent(), 1u);
+}
+
+}  // namespace
+}  // namespace fraudsim::airline

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "analytics/compare.hpp"
+#include "analytics/histogram.hpp"
+#include "analytics/report.hpp"
+#include "analytics/timeseries.hpp"
+
+namespace fraudsim::analytics {
+namespace {
+
+// --- CategoricalHistogram ----------------------------------------------------
+
+TEST(CategoricalHistogram, CountsAndFractions) {
+  CategoricalHistogram<int> h;
+  h.add(1, 54);
+  h.add(2, 29);
+  h.add(6, 17);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.count(1), 54u);
+  EXPECT_EQ(h.count(9), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.29);
+  EXPECT_DOUBLE_EQ(h.fraction(9), 0.0);
+  EXPECT_EQ(h.distinct(), 3u);
+}
+
+TEST(CategoricalHistogram, AlignedCounts) {
+  CategoricalHistogram<int> h;
+  h.add(2, 5);
+  h.add(4, 7);
+  const auto aligned = h.aligned_counts({1, 2, 3, 4});
+  EXPECT_EQ(aligned, (std::vector<double>{0, 5, 0, 7}));
+}
+
+TEST(CategoricalHistogram, TopRanking) {
+  CategoricalHistogram<std::string> h;
+  h.add("UZ", 1000);
+  h.add("IR", 600);
+  h.add("KG", 300);
+  h.add("JO", 100);
+  const auto top = h.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "UZ");
+  EXPECT_EQ(top[1].first, "IR");
+}
+
+TEST(CategoricalHistogram, EmptyBehaviour) {
+  CategoricalHistogram<int> h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+  EXPECT_TRUE(h.top(3).empty());
+}
+
+// --- NumericHistogram -----------------------------------------------------------
+
+TEST(NumericHistogram, BucketsValues) {
+  NumericHistogram h(0.0, 10.0, 5);
+  h.add(5);
+  h.add(15);
+  h.add(15);
+  h.add(-3);   // clamps to bin 0
+  h.add(999);  // clamps to last bin
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(2), 20.0);
+}
+
+// --- TimeSeries ------------------------------------------------------------------
+
+TEST(TimeSeries, BucketsByTime) {
+  TimeSeries ts(sim::kHour);
+  ts.add(0);
+  ts.add(sim::kHour - 1);
+  ts.add(sim::kHour);
+  ts.add(3 * sim::kHour, 5.0);
+  EXPECT_EQ(ts.buckets(), 4u);
+  EXPECT_DOUBLE_EQ(ts.bucket_value(0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_value(1), 1.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_value(2), 0.0);
+  EXPECT_DOUBLE_EQ(ts.bucket_value(3), 5.0);
+  EXPECT_DOUBLE_EQ(ts.total(), 8.0);
+}
+
+TEST(TimeSeries, SumRange) {
+  TimeSeries ts(sim::kDay);
+  for (int d = 0; d < 10; ++d) ts.add(d * sim::kDay, 1.0);
+  EXPECT_DOUBLE_EQ(ts.sum_range(0, 5 * sim::kDay), 5.0);
+  EXPECT_DOUBLE_EQ(ts.sum_range(5 * sim::kDay, 10 * sim::kDay), 5.0);
+}
+
+TEST(TimeSeries, FirstBucketAtLeast) {
+  TimeSeries ts(sim::kHour);
+  ts.add(0, 1.0);
+  ts.add(sim::kHour, 10.0);
+  EXPECT_EQ(ts.first_bucket_at_least(5.0), 1);
+  EXPECT_EQ(ts.first_bucket_at_least(100.0), -1);
+}
+
+// --- Compare ---------------------------------------------------------------------
+
+TEST(Compare, SurgeFraction) {
+  EXPECT_DOUBLE_EQ(surge_fraction(100, 144), 0.44);
+  EXPECT_DOUBLE_EQ(surge_fraction(10, 16030.9), 1602.09);
+  EXPECT_DOUBLE_EQ(surge_fraction(0, 50), 1e6);  // capped sentinel
+  EXPECT_DOUBLE_EQ(surge_fraction(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(surge_fraction(100, 50), -0.5);
+}
+
+TEST(Compare, IdenticalDistributionsNotAnomalous) {
+  CategoricalHistogram<int> base;
+  CategoricalHistogram<int> obs;
+  for (int i = 1; i <= 5; ++i) {
+    base.add(i, 100 * i);
+    obs.add(i, 100 * i);
+  }
+  const auto r = compare_distributions(obs, base, {1, 2, 3, 4, 5});
+  EXPECT_FALSE(r.anomalous);
+  EXPECT_NEAR(r.chi_square, 0.0, 1e-9);
+  EXPECT_NEAR(r.js_divergence, 0.0, 1e-6);
+}
+
+TEST(Compare, InjectedSpikeIsAnomalous) {
+  // Baseline like an average booking week; observation with a NiP=6 wave.
+  CategoricalHistogram<int> base;
+  base.add(1, 5400);
+  base.add(2, 2900);
+  base.add(3, 750);
+  base.add(4, 450);
+  base.add(5, 220);
+  base.add(6, 130);
+  CategoricalHistogram<int> obs;
+  obs.add(1, 5400);
+  obs.add(2, 2900);
+  obs.add(3, 750);
+  obs.add(4, 450);
+  obs.add(5, 220);
+  obs.add(6, 2500);  // the attack wave
+  const auto r = compare_distributions(obs, base, {1, 2, 3, 4, 5, 6}, 1e-4);
+  EXPECT_TRUE(r.anomalous);
+  EXPECT_LT(r.p_value, 1e-6);
+
+  const auto z = per_key_zscores(obs, base, {1, 2, 3, 4, 5, 6});
+  // NiP=6 must dominate the z-scores.
+  double z6 = 0;
+  double zmax_other = 0;
+  for (const auto& [nip, score] : z) {
+    if (nip == 6) {
+      z6 = score;
+    } else {
+      zmax_other = std::max(zmax_other, score);
+    }
+  }
+  EXPECT_GT(z6, 10.0);
+  EXPECT_GT(z6, zmax_other * 3);
+}
+
+TEST(Compare, ZScoreForNewKey) {
+  CategoricalHistogram<int> base;
+  base.add(1, 100);
+  CategoricalHistogram<int> obs;
+  obs.add(1, 100);
+  obs.add(2, 50);  // appears from nothing
+  const auto z = per_key_zscores(obs, base, {1, 2});
+  EXPECT_GT(z[1].second, 10.0);
+}
+
+// --- Report rendering ---------------------------------------------------------------
+
+TEST(Report, DistributionFigureRendersAllSeries) {
+  DistributionFigure fig("NiP distribution");
+  fig.set_categories({"NiP=1", "NiP=2"});
+  fig.add_series("average week", {0.7, 0.3});
+  fig.add_series("attack week", {0.4, 0.6});
+  const auto s = fig.render();
+  EXPECT_NE(s.find("NiP distribution"), std::string::npos);
+  EXPECT_NE(s.find("average week"), std::string::npos);
+  EXPECT_NE(s.find("attack week"), std::string::npos);
+  EXPECT_NE(s.find("70.0%"), std::string::npos);
+}
+
+TEST(Report, SurgeTableRendersRanked) {
+  std::vector<SurgeRow> rows = {
+      {"Uzbekistan", 10, 16030.9, 1602.09},
+      {"United Kingdom", 1000, 1440, 0.44},
+  };
+  const auto s = render_surge_table("Table I", rows, false);
+  EXPECT_NE(s.find("Uzbekistan"), std::string::npos);
+  EXPECT_NE(s.find("160,209%"), std::string::npos);
+  EXPECT_NE(s.find("44%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fraudsim::analytics

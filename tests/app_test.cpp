@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "fingerprint/population.hpp"
+
+#include <sstream>
+
+#include "app/actors.hpp"
+#include "app/export.hpp"
+#include "app/application.hpp"
+
+namespace fraudsim::app {
+namespace {
+
+// Scripted policy used to exercise every decision path without the real rule
+// engine (which lives a layer above).
+class ScriptedPolicy final : public IngressPolicy {
+ public:
+  PolicyAction next = PolicyAction::Allow;
+  std::string rule = "test-rule";
+  bool allow_when_solved = true;  // challenge flow
+
+  PolicyDecision evaluate(const web::HttpRequest&, const ClientContext& ctx) override {
+    if (next == PolicyAction::Challenge && ctx.captcha_solved && allow_when_solved) {
+      return PolicyDecision{};
+    }
+    if (next == PolicyAction::Allow) return PolicyDecision{};
+    return PolicyDecision{next, rule};
+  }
+};
+
+class ApplicationTest : public ::testing::Test {
+ protected:
+  ApplicationTest()
+      : carriers_(sms::TariffTable::standard(), sms::CarrierPolicy{}),
+        app_(sim_, carriers_, make_config(), sim::Rng(7)) {
+    flight_ = app_.add_flight("A", 100, 20, sim::days(10));
+    ctx_.ip = *net::IpV4::parse("16.0.0.1");
+    ctx_.session = web::SessionId{1};
+    fp::derive_rendering_hashes(ctx_.fingerprint);
+    ctx_.actor = actors_.register_actor(ActorKind::Human);
+  }
+
+  static ApplicationConfig make_config() {
+    ApplicationConfig config;
+    config.honeypot_enabled = true;
+    return config;
+  }
+
+  std::vector<airline::Passenger> party(int n) {
+    std::vector<airline::Passenger> p;
+    for (int i = 0; i < n; ++i) {
+      p.push_back(airline::Passenger{"Pax" + std::to_string(i), "Test", {1990, 1, 1}, ""});
+    }
+    return p;
+  }
+
+  sim::Simulation sim_;
+  sms::CarrierNetwork carriers_;
+  ActorRegistry actors_;
+  Application app_;
+  airline::FlightId flight_;
+  ClientContext ctx_;
+  ScriptedPolicy policy_;
+};
+
+// --- Actors ------------------------------------------------------------------
+
+TEST(Actors, RegistryTracksKinds) {
+  ActorRegistry registry;
+  const auto human = registry.register_actor(ActorKind::Human);
+  const auto bot = registry.register_actor(ActorKind::SeatSpinBot);
+  const auto manual = registry.register_actor(ActorKind::ManualSpinner);
+  EXPECT_EQ(registry.kind_of(human), ActorKind::Human);
+  EXPECT_FALSE(registry.abuser(human));
+  EXPECT_TRUE(registry.abuser(bot));
+  EXPECT_TRUE(registry.automated(bot));
+  // The §IV-B distinction: manual spinners are abusers but NOT automated.
+  EXPECT_TRUE(registry.abuser(manual));
+  EXPECT_FALSE(registry.automated(manual));
+  EXPECT_EQ(registry.kind_of(web::ActorId{999}), ActorKind::Human);
+  EXPECT_EQ(registry.count(), 3u);
+}
+
+// --- Basic flows ---------------------------------------------------------------
+
+TEST_F(ApplicationTest, BrowseLogsRequests) {
+  EXPECT_EQ(app_.browse(ctx_, web::Endpoint::Home), CallStatus::Ok);
+  EXPECT_EQ(app_.browse(ctx_, web::Endpoint::SearchFlights), CallStatus::Ok);
+  EXPECT_EQ(app_.weblog().size(), 2u);
+  EXPECT_EQ(app_.weblog().all()[0].endpoint, web::Endpoint::Home);
+  EXPECT_EQ(app_.weblog().all()[0].status_code, 200);
+  EXPECT_EQ(app_.stats().requests, 2u);
+  EXPECT_EQ(app_.fingerprints().total_observations(), 2u);
+}
+
+TEST_F(ApplicationTest, HoldPayBoardingSmsJourney) {
+  const auto hold = app_.hold(ctx_, flight_, party(2));
+  ASSERT_EQ(hold.status, CallStatus::Ok);
+  EXPECT_FALSE(hold.decoy);
+  EXPECT_EQ(app_.inventory().held_seats(flight_), 2);
+
+  EXPECT_EQ(app_.pay(ctx_, hold.pnr), CallStatus::Ok);
+  EXPECT_EQ(app_.inventory().sold_seats(flight_), 2);
+
+  const auto bp = app_.request_boarding_sms(
+      ctx_, hold.pnr, sms::PhoneNumber{net::CountryCode{'F', 'R'}, "111222333"});
+  EXPECT_EQ(bp.status, CallStatus::Ok);
+  EXPECT_EQ(app_.sms_gateway().sent_count(), 1u);
+
+  // Weblog captured the business parameters.
+  bool saw_hold = false;
+  for (const auto& r : app_.weblog().all()) {
+    if (r.endpoint == web::Endpoint::HoldReservation) {
+      saw_hold = true;
+      EXPECT_EQ(r.nip, 2);
+      EXPECT_EQ(r.flight_id, flight_.value());
+    }
+  }
+  EXPECT_TRUE(saw_hold);
+}
+
+TEST_F(ApplicationTest, OtpFlow) {
+  const auto otp = app_.request_otp(ctx_, "acct", sms::PhoneNumber{net::CountryCode{'F', 'R'},
+                                                                   "999888777"});
+  ASSERT_EQ(otp.status, CallStatus::Ok);
+  EXPECT_TRUE(app_.verify_otp(ctx_, "acct", otp.code));
+  EXPECT_FALSE(app_.verify_otp(ctx_, "acct", otp.code));  // consumed
+}
+
+TEST_F(ApplicationTest, BusinessRejectionSurfaces) {
+  app_.inventory().set_max_nip(4);
+  const auto hold = app_.hold(ctx_, flight_, party(6));
+  EXPECT_EQ(hold.status, CallStatus::BusinessReject);
+  ASSERT_TRUE(hold.rejection.has_value());
+  EXPECT_EQ(hold.rejection->reason, airline::HoldRejection::Reason::NipCapExceeded);
+}
+
+// --- Policy paths -----------------------------------------------------------------
+
+TEST_F(ApplicationTest, BlockedRequestsAreLoggedWith403) {
+  app_.set_policy(&policy_);
+  policy_.next = PolicyAction::Block;
+  EXPECT_EQ(app_.browse(ctx_, web::Endpoint::Home), CallStatus::Blocked);
+  EXPECT_EQ(app_.hold(ctx_, flight_, party(1)).status, CallStatus::Blocked);
+  EXPECT_EQ(app_.weblog().all().back().status_code, 403);
+  EXPECT_EQ(app_.stats().blocked, 2u);
+  EXPECT_EQ(app_.rule_hits().at("test-rule"), 2u);
+  EXPECT_EQ(app_.inventory().held_seats(flight_), 0);
+}
+
+TEST_F(ApplicationTest, ChallengeThenSolvedRetrySucceeds) {
+  app_.set_policy(&policy_);
+  policy_.next = PolicyAction::Challenge;
+  auto hold = app_.hold(ctx_, flight_, party(1));
+  EXPECT_EQ(hold.status, CallStatus::Challenged);
+  EXPECT_EQ(app_.stats().challenged, 1u);
+  ctx_.captcha_solved = true;
+  hold = app_.hold(ctx_, flight_, party(1));
+  EXPECT_EQ(hold.status, CallStatus::Ok);
+}
+
+TEST_F(ApplicationTest, RateLimitedPath) {
+  app_.set_policy(&policy_);
+  policy_.next = PolicyAction::RateLimited;
+  const auto r = app_.request_otp(ctx_, "a", sms::PhoneNumber{net::CountryCode{'F', 'R'}, "1"});
+  EXPECT_EQ(r.status, CallStatus::RateLimited);
+  EXPECT_EQ(app_.weblog().all().back().status_code, 429);
+  EXPECT_EQ(app_.sms_gateway().sent_count(), 0u);
+}
+
+// --- Honeypot -----------------------------------------------------------------------
+
+TEST_F(ApplicationTest, HoneypotHoldLooksRealButIsDecoy) {
+  app_.set_policy(&policy_);
+  policy_.next = PolicyAction::Honeypot;
+  const auto hold = app_.hold(ctx_, flight_, party(3));
+  // From the caller's perspective: success with a normal PNR.
+  ASSERT_EQ(hold.status, CallStatus::Ok);
+  EXPECT_FALSE(hold.pnr.empty());
+  // Ground truth: decoy, real inventory untouched.
+  EXPECT_TRUE(hold.decoy);
+  EXPECT_TRUE(app_.is_decoy_pnr(hold.pnr));
+  EXPECT_EQ(app_.inventory().held_seats(flight_), 0);
+  EXPECT_EQ(app_.decoy_inventory().held_seats(flight_), 3);
+  EXPECT_EQ(app_.stats().honeypotted, 1u);
+  // The HTTP status is indistinguishable from success.
+  EXPECT_EQ(app_.weblog().all().back().status_code, 200);
+  // Even payment "works".
+  policy_.next = PolicyAction::Allow;
+  EXPECT_EQ(app_.pay(ctx_, hold.pnr), CallStatus::Ok);
+  EXPECT_EQ(app_.inventory().sold_seats(flight_), 0);
+}
+
+TEST_F(ApplicationTest, HoneypotBoardingSmsSendsNothing) {
+  app_.set_policy(&policy_);
+  policy_.next = PolicyAction::Honeypot;
+  const auto r = app_.request_boarding_sms(
+      ctx_, "FAKE01", sms::PhoneNumber{net::CountryCode{'U', 'Z'}, "5"});
+  EXPECT_EQ(r.status, CallStatus::Ok);  // attacker believes it worked
+  EXPECT_EQ(app_.sms_gateway().sent_count(), 0u);  // nothing was paid for
+}
+
+// --- CSV export -------------------------------------------------------------------
+
+TEST(CsvExport, EscapingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("quote\"inside"), "\"quote\"\"inside\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST_F(ApplicationTest, ExportsTelemetryAsCsv) {
+  const auto hold = app_.hold(ctx_, flight_, party(2));
+  ASSERT_EQ(hold.status, CallStatus::Ok);
+  ASSERT_EQ(app_.pay(ctx_, hold.pnr), CallStatus::Ok);
+  (void)app_.request_boarding_sms(ctx_, hold.pnr,
+                                  sms::PhoneNumber{net::CountryCode{'U', 'Z'}, "123"});
+
+  std::ostringstream weblog;
+  export_weblog_csv(weblog, app_.weblog().all());
+  const auto weblog_csv = weblog.str();
+  EXPECT_NE(weblog_csv.find("time_ms,endpoint"), std::string::npos);
+  EXPECT_NE(weblog_csv.find("/booking/hold"), std::string::npos);
+  EXPECT_NE(weblog_csv.find(hold.pnr), std::string::npos);
+  // Header + one line per request.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(weblog_csv.begin(), weblog_csv.end(), '\n')),
+            app_.weblog().size() + 1);
+
+  std::ostringstream reservations;
+  export_reservations_csv(reservations, app_.inventory().reservations());
+  EXPECT_NE(reservations.str().find(hold.pnr), std::string::npos);
+  EXPECT_NE(reservations.str().find("ticketed"), std::string::npos);
+
+  std::ostringstream sms;
+  export_sms_csv(sms, app_.sms_gateway().log());
+  EXPECT_NE(sms.str().find("UZ"), std::string::npos);
+  EXPECT_NE(sms.str().find("boarding-pass"), std::string::npos);
+}
+
+TEST(ApplicationNoHoneypot, HoneypotDecisionFallsBackToBlock) {
+  sim::Simulation sim;
+  sms::CarrierNetwork carriers(sms::TariffTable::standard(), sms::CarrierPolicy{});
+  ApplicationConfig config;  // honeypot disabled
+  Application app(sim, carriers, config, sim::Rng(8));
+  const auto flight = app.add_flight("A", 1, 10, sim::days(1));
+  ScriptedPolicy policy;
+  policy.next = PolicyAction::Honeypot;
+  app.set_policy(&policy);
+  ClientContext ctx;
+  ctx.actor = web::ActorId{1};
+  const auto hold = app.hold(ctx, flight, {airline::Passenger{"A", "B", {1990, 1, 1}, ""}});
+  EXPECT_EQ(hold.status, CallStatus::Blocked);
+  EXPECT_FALSE(app.honeypot_enabled());
+}
+
+}  // namespace
+}  // namespace fraudsim::app

@@ -1,0 +1,536 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "attack/identity_gen.hpp"
+#include "attack/manual_spinner.hpp"
+#include "attack/scraper.hpp"
+#include "attack/seat_spin.hpp"
+#include "attack/fare_manipulation.hpp"
+#include "attack/recon.hpp"
+#include "biometrics/detector.hpp"
+#include "attack/sms_pump.hpp"
+#include "core/scenario/env.hpp"
+#include "util/strings.hpp"
+
+namespace fraudsim::attack {
+namespace {
+
+// --- Identity regimes ------------------------------------------------------------
+
+TEST(IdentityGen, GibberishPartiesScoreHigh) {
+  IdentityGenerator gen({IdentityRegime::Gibberish, 6, 0.0, 8}, sim::Rng(1));
+  const auto party = gen.make_party(3);
+  ASSERT_EQ(party.size(), 3u);
+  for (const auto& p : party) {
+    EXPECT_GT(util::gibberish_score(p.first_name), 0.4) << p.first_name;
+  }
+}
+
+TEST(IdentityGen, PlausibleRandomLooksHuman) {
+  IdentityGenerator gen({IdentityRegime::PlausibleRandom, 6, 0.0, 8}, sim::Rng(2));
+  const auto party = gen.make_party(4);
+  for (const auto& p : party) {
+    EXPECT_LT(util::gibberish_score(util::to_lower(p.surname)), 0.6) << p.surname;
+  }
+}
+
+TEST(IdentityGen, FixedNameRotatingBirthdateSignature) {
+  IdentityGenerator gen({IdentityRegime::FixedNameRotatingBirthdate, 6, 0.0, 8}, sim::Rng(3));
+  std::set<std::string> lead_names;
+  std::set<std::string> lead_birthdates;
+  std::set<std::string> companion_names;
+  for (int i = 0; i < 20; ++i) {
+    const auto party = gen.make_party(3);
+    lead_names.insert(party[0].name_key());
+    lead_birthdates.insert(party[0].birthdate.str());
+    for (std::size_t j = 1; j < party.size(); ++j) companion_names.insert(party[j].name_key());
+    for (const auto& p : party) EXPECT_TRUE(airline::is_valid_date(p.birthdate));
+  }
+  // First passenger: one fixed name, many birthdates (the Airline B pattern).
+  EXPECT_EQ(lead_names.size(), 1u);
+  EXPECT_GT(lead_birthdates.size(), 10u);
+  // Companions drawn from a small overlapping pool.
+  EXPECT_LE(companion_names.size(), 8u);
+}
+
+TEST(IdentityGen, PermutedFixedSetReusesSamePeople) {
+  IdentityGenerator gen({IdentityRegime::PermutedFixedSet, 5, 0.0, 8}, sim::Rng(4));
+  std::set<std::string> all_names;
+  std::set<std::string> party_keys;
+  for (int i = 0; i < 30; ++i) {
+    const auto party = gen.make_party(3);
+    for (const auto& p : party) all_names.insert(p.name_key());
+    party_keys.insert(airline::party_key(party));
+  }
+  // Only the fixed set's names ever appear.
+  EXPECT_LE(all_names.size(), 5u);
+  // Multiple orderings of the same people collapse to few party keys.
+  EXPECT_LT(party_keys.size(), 15u);
+}
+
+TEST(IdentityGen, PermutedFixedSetMisspellsOccasionally) {
+  IdentityGenerator clean({IdentityRegime::PermutedFixedSet, 5, 0.0, 8}, sim::Rng(5));
+  IdentityGenerator sloppy({IdentityRegime::PermutedFixedSet, 5, 0.5, 8}, sim::Rng(5));
+  std::set<std::string> clean_names;
+  std::set<std::string> sloppy_names;
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& p : clean.make_party(3)) clean_names.insert(p.name_key());
+    for (const auto& p : sloppy.make_party(3)) sloppy_names.insert(p.name_key());
+  }
+  EXPECT_GT(sloppy_names.size(), clean_names.size());
+}
+
+// --- Evasion stack ---------------------------------------------------------------
+
+TEST(EvasionStack, RotationChangesSessionAndFingerprint) {
+  net::GeoDb geo;
+  net::ResidentialProxyPool proxies(geo, util::Money::from_double(0.001));
+  fp::PopulationModel population;
+  fp::RotationConfig rotation;
+  EvasionStack stack(population, proxies, rotation, sim::Rng(6), web::ActorId{42});
+
+  const auto ctx1 = stack.context(0);
+  const auto ctx2 = stack.context(sim::minutes(1));
+  EXPECT_EQ(ctx1.session, ctx2.session);  // same epoch
+  EXPECT_EQ(ctx1.fingerprint.hash(), ctx2.fingerprint.hash());
+  EXPECT_NE(ctx1.ip, ctx2.ip);  // per-request proxy rotation
+
+  const auto when = stack.note_blocked(sim::hours(1));
+  const auto ctx3 = stack.context(when + 1);
+  EXPECT_NE(ctx3.fingerprint.hash(), ctx1.fingerprint.hash());
+  EXPECT_NE(ctx3.session, ctx1.session);
+}
+
+TEST(EvasionStack, CountryPinning) {
+  net::GeoDb geo;
+  net::ResidentialProxyPool proxies(geo, util::Money::from_double(0.001));
+  fp::PopulationModel population;
+  EvasionStack stack(population, proxies, fp::RotationConfig{}, sim::Rng(7), web::ActorId{1});
+  const auto uz = net::CountryCode{'U', 'Z'};
+  for (int i = 0; i < 20; ++i) {
+    const auto ctx = stack.context(0, uz);
+    EXPECT_EQ(*geo.country_of(ctx.ip), uz);
+  }
+}
+
+TEST(EvasionStack, SessionChurnWithoutRotation) {
+  // Bots discard cookies regularly so no single session accumulates volume.
+  net::GeoDb geo;
+  net::ResidentialProxyPool proxies(geo, util::Money::from_double(0.001));
+  fp::PopulationModel population;
+  EvasionStack stack(population, proxies, fp::RotationConfig{}, sim::Rng(61), web::ActorId{9},
+                     sim::minutes(20));
+  const auto s0 = stack.context(0).session;
+  EXPECT_EQ(stack.context(sim::minutes(10)).session, s0);
+  const auto s1 = stack.context(sim::minutes(25)).session;
+  EXPECT_NE(s1, s0);
+  // The fingerprint is unchanged — only the cookie churned.
+  EXPECT_EQ(stack.context(sim::minutes(25)).fingerprint.hash(),
+            stack.context(0).fingerprint.hash());
+}
+
+TEST(AttachPointer, ModesProduceExpectedTelemetry) {
+  sim::Rng rng(62);
+  const auto recorded = biometrics::human_trajectory(rng, biometrics::TrajectoryTarget{});
+  app::ClientContext ctx;
+
+  attach_pointer(ctx, rng, PointerMode::None, recorded);
+  EXPECT_FALSE(ctx.pointer_biometrics.has_value());
+
+  attach_pointer(ctx, rng, PointerMode::Scripted, recorded);
+  ASSERT_TRUE(ctx.pointer_biometrics.has_value());
+  biometrics::BiometricDetector detector;
+  std::string reason;
+  EXPECT_TRUE(detector.is_scripted(*ctx.pointer_biometrics, &reason));
+
+  attach_pointer(ctx, rng, PointerMode::ReplayedHuman, recorded);
+  ASSERT_TRUE(ctx.pointer_biometrics.has_value());
+  // Kinematically human...
+  EXPECT_FALSE(detector.is_scripted(*ctx.pointer_biometrics, &reason));
+  // ...but the geometry digest always matches the recording.
+  EXPECT_EQ(ctx.pointer_biometrics->digest, recorded.digest());
+}
+
+TEST(DestinationPlan, PremiumFirstThenBigMarkets) {
+  const auto tariffs = sms::TariffTable::standard();
+  const auto plan = build_destination_plan(tariffs, 42);
+  ASSERT_EQ(plan.countries.size(), 42u);
+  ASSERT_EQ(plan.weights.size(), 42u);
+  // The first entries are the premium routes, ordered by kickback.
+  int premium = 0;
+  for (std::size_t i = 0; i < plan.countries.size(); ++i) {
+    const bool is_premium = tariffs.get(plan.countries[i]).premium_route;
+    if (is_premium) {
+      EXPECT_EQ(static_cast<int>(i), premium) << "premium routes must lead the list";
+      ++premium;
+    }
+  }
+  EXPECT_EQ(premium, 6);
+  // Premium weights dominate the tail.
+  double premium_weight = 0;
+  double tail_weight = 0;
+  for (std::size_t i = 0; i < plan.weights.size(); ++i) {
+    (i < 6 ? premium_weight : tail_weight) += plan.weights[i];
+  }
+  EXPECT_GT(premium_weight, tail_weight * 4);
+  // The tail is the biggest ordinary markets (US first by population weight).
+  EXPECT_EQ(plan.countries[6], (net::CountryCode{'U', 'S'}));
+}
+
+// --- Seat spinning end-to-end -------------------------------------------------------
+
+TEST(SeatSpinBot, DepletesTargetFlight) {
+  scenario::EnvConfig config;
+  config.seed = 21;
+  config.legit.booking_sessions_per_hour = 5;
+  scenario::Env env(config);
+  env.add_flights("A", 4, 100, sim::days(30));
+  const auto target = env.app.add_flight("A", 777, 60, sim::days(6));
+
+  SeatSpinConfig bot_config;
+  bot_config.target = target;
+  bot_config.initial_nip = 6;
+  SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
+                  env.rng.fork("bot"));
+  env.start_background(sim::days(1));
+  bot.start();
+  env.run_until(sim::days(1));
+
+  // With no defenses the bot keeps the flight pinned near zero availability
+  // (a couple of in-flight re-holds may be pending at the sampling instant).
+  env.app.inventory().expire_due(env.sim.now());
+  EXPECT_LE(env.app.inventory().available_seats(target), 12);
+  EXPECT_GT(bot.stats().holds_succeeded, 20u);
+  EXPECT_GT(bot.stats().reholds_after_expiry, 5u);
+  EXPECT_GE(bot.stats().peak_seats_held, 54);
+  // Low-and-slow: the bot's request volume stays modest.
+  EXPECT_LT(bot.stats().holds_attempted, 2000u);
+}
+
+TEST(SeatSpinBot, AdaptsToNipCap) {
+  scenario::EnvConfig config;
+  config.seed = 22;
+  config.legit.booking_sessions_per_hour = 0;
+  config.legit.browse_sessions_per_hour = 0;
+  config.legit.otp_logins_per_hour = 0;
+  scenario::Env env(config);
+  const auto target = env.app.add_flight("A", 777, 120, sim::days(10));
+
+  SeatSpinConfig bot_config;
+  bot_config.target = target;
+  bot_config.initial_nip = 6;
+  bot_config.adapt_to_cap = true;
+  SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
+                  env.rng.fork("bot"));
+  env.start_background(sim::days(2));
+  bot.start();
+  env.run_until(sim::hours(6));
+  EXPECT_EQ(bot.stats().current_nip, 6);
+
+  env.app.inventory().set_max_nip(4);
+  env.run_until(sim::days(1));
+  EXPECT_EQ(bot.stats().current_nip, 4);
+  EXPECT_GT(bot.stats().nip_cap_rejections, 0u);
+  // Still spinning at the cap: the bot's live holds keep most of the flight
+  // blocked (a handful of seats may be momentarily free between an expiry
+  // and the next re-hold tick).
+  EXPECT_GE(bot.seats_held(env.sim.now()), 90);
+}
+
+TEST(SeatSpinBot, StopsBeforeDeparture) {
+  scenario::EnvConfig config;
+  config.seed = 23;
+  config.legit.booking_sessions_per_hour = 0;
+  config.legit.browse_sessions_per_hour = 0;
+  config.legit.otp_logins_per_hour = 0;
+  scenario::Env env(config);
+  const auto target = env.app.add_flight("A", 777, 30, sim::days(4));
+
+  SeatSpinConfig bot_config;
+  bot_config.target = target;
+  bot_config.stop_before_departure = sim::days(2);
+  SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
+                  env.rng.fork("bot"));
+  env.start_background(sim::days(4));
+  bot.start();
+  env.run_until(sim::days(4));
+
+  ASSERT_GE(bot.stats().stopped_at, 0);
+  EXPECT_LE(bot.stats().stopped_at, sim::days(2) + sim::hours(1));
+}
+
+// --- Manual spinner -----------------------------------------------------------------
+
+TEST(ManualSpinner, LowVolumeHumanPaced) {
+  scenario::EnvConfig config;
+  config.seed = 24;
+  config.legit.booking_sessions_per_hour = 0;
+  config.legit.browse_sessions_per_hour = 0;
+  config.legit.otp_logins_per_hour = 0;
+  scenario::Env env(config);
+  const auto target = env.app.add_flight("C", 9, 100, sim::days(10));
+
+  ManualSpinnerConfig spinner_config;
+  spinner_config.target = target;
+  spinner_config.sessions_per_day = 8;
+  ManualSpinner spinner(env.app, env.actors, env.residential, env.population, spinner_config,
+                        env.rng.fork("manual"));
+  env.start_background(sim::days(3));
+  spinner.start();
+  env.run_until(sim::days(3));
+
+  EXPECT_GT(spinner.stats().sessions, 8u);
+  EXPECT_LT(spinner.stats().sessions, 60u);
+  EXPECT_GT(spinner.stats().holds_succeeded, 4u);
+
+  // No automation artifacts: every fingerprint presented is population-like.
+  env.app.fingerprints().for_each([](fp::FpHash, const fp::Fingerprint& f, std::uint64_t) {
+    EXPECT_FALSE(f.webdriver_flag);
+    EXPECT_FALSE(f.headless_hint);
+  });
+
+  // The identity signature: few distinct names, reused across bookings.
+  std::set<std::string> names;
+  for (const auto& r : env.app.inventory().reservations()) {
+    for (const auto& p : r.passengers) names.insert(p.name_key());
+  }
+  EXPECT_LE(names.size(), 15u);  // fixed set + occasional misspellings
+}
+
+// --- SMS pumping ------------------------------------------------------------------------
+
+TEST(SmsPumpBot, BuysTicketsThenPumps) {
+  scenario::EnvConfig config;
+  config.seed = 25;
+  config.legit.booking_sessions_per_hour = 2;
+  scenario::Env env(config);
+  env.add_flights("D", 10, 200, sim::days(30));
+
+  SmsPumpConfig pump_config;
+  pump_config.tickets_to_buy = 5;
+  pump_config.mean_request_gap = sim::seconds(30);
+  pump_config.stop_at = sim::days(1);
+  SmsPumpBot pump(env.app, env.actors, env.residential, env.population, env.tariffs, pump_config,
+                  env.rng.fork("pump"));
+  env.start_background(sim::days(1));
+  pump.start();
+  env.run_until(sim::days(1));
+
+  EXPECT_EQ(pump.stats().tickets_bought, 5u);
+  EXPECT_GT(pump.stats().sms_delivered, 1000u);
+  EXPECT_EQ(pump.target_countries().size(), 42u);
+  // The gateway saw many countries from this one actor.
+  std::set<net::CountryCode> countries;
+  for (const auto& r : env.app.sms_gateway().log()) {
+    if (r.actor == pump.actor() && r.delivered) countries.insert(r.destination.country);
+  }
+  EXPECT_GT(countries.size(), 30u);
+  // Premium destinations dominate the volume.
+  const auto hist = env.app.sms_gateway().volume_by_country(0, sim::days(1),
+                                                            sms::SmsType::BoardingPass);
+  const auto top = hist.top(3);
+  ASSERT_GE(top.size(), 1u);
+  EXPECT_TRUE(env.tariffs.get(top.front().first).premium_route);
+}
+
+TEST(SmsPumpBot, ProxyCountryMatchesDestination) {
+  scenario::EnvConfig config;
+  config.seed = 26;
+  config.legit.booking_sessions_per_hour = 0;
+  config.legit.browse_sessions_per_hour = 0;
+  config.legit.otp_logins_per_hour = 0;
+  scenario::Env env(config);
+  env.add_flights("D", 3, 100, sim::days(30));
+
+  SmsPumpConfig pump_config;
+  pump_config.tickets_to_buy = 2;
+  pump_config.stop_at = sim::hours(6);
+  SmsPumpBot pump(env.app, env.actors, env.residential, env.population, env.tariffs, pump_config,
+                  env.rng.fork("pump"));
+  env.start_background(sim::hours(6));
+  pump.start();
+  env.run_until(sim::hours(6));
+
+  // Every boarding-pass request's source IP geolocates to the SMS destination.
+  int checked = 0;
+  for (const auto& r : env.app.weblog().all()) {
+    if (r.endpoint != web::Endpoint::BoardingPassSms || r.actor != pump.actor()) continue;
+    ASSERT_TRUE(r.sms_destination.has_value());
+    const auto ip_country = env.geo.country_of(r.ip);
+    ASSERT_TRUE(ip_country.has_value());
+    EXPECT_EQ(*ip_country, *r.sms_destination);
+    ++checked;
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(SmsPumpBot, GivesUpWhenFeatureDisabled) {
+  scenario::EnvConfig config;
+  config.seed = 27;
+  config.legit.booking_sessions_per_hour = 0;
+  config.legit.browse_sessions_per_hour = 0;
+  config.legit.otp_logins_per_hour = 0;
+  scenario::Env env(config);
+  env.add_flights("D", 3, 100, sim::days(30));
+
+  SmsPumpConfig pump_config;
+  pump_config.tickets_to_buy = 2;
+  pump_config.give_up_after_failures = 10;
+  SmsPumpBot pump(env.app, env.actors, env.residential, env.population, env.tariffs, pump_config,
+                  env.rng.fork("pump"));
+  env.start_background(sim::days(2));
+  pump.start();
+  // Let it pump for a while, then remove the feature (§IV-C mitigation).
+  env.sim.schedule_at(sim::hours(3), [&] { env.app.boarding().set_sms_option_enabled(false); });
+  env.run_until(sim::days(2));
+
+  EXPECT_TRUE(pump.stats().gave_up);
+  EXPECT_GT(pump.stats().feature_disabled_hits, 0u);
+  EXPECT_GE(pump.stats().stopped_at, sim::hours(3));
+  EXPECT_LT(pump.stats().stopped_at, sim::hours(6));
+}
+
+// --- Reconnaissance -------------------------------------------------------------------
+
+TEST(Recon, LearnsNipCapAndHoldDuration) {
+  scenario::EnvConfig config;
+  config.seed = 41;
+  config.legit.booking_sessions_per_hour = 3;
+  config.application.inventory.hold_duration = sim::hours(2);
+  config.application.inventory.max_nip = 7;
+  scenario::Env env(config);
+  env.add_flights("A", 4, 200, sim::days(30));
+  const auto probe_flight = env.app.inventory().flights().front();
+
+  attack::ReconConfig recon_config;
+  recon_config.probe_flight = probe_flight;
+  recon_config.poll_interval = sim::minutes(5);
+  attack::ReconProbe probe(env.app, env.actors, env.residential, env.population, recon_config,
+                           env.rng.fork("recon"));
+  attack::ReconFindings learned;
+  bool finished = false;
+  env.start_background(sim::days(1));
+  probe.start([&](const attack::ReconFindings& findings) {
+    learned = findings;
+    finished = true;
+  });
+  env.run_until(sim::days(1));
+
+  ASSERT_TRUE(finished);
+  ASSERT_TRUE(learned.max_nip.has_value());
+  EXPECT_EQ(*learned.max_nip, 7);
+  ASSERT_TRUE(learned.hold_duration.has_value());
+  // Learned up to one poll tick of slack.
+  EXPECT_GE(*learned.hold_duration, sim::hours(2));
+  EXPECT_LE(*learned.hold_duration, sim::hours(2) + sim::minutes(10));
+  // Recon is a trickle, not a flood.
+  EXPECT_LT(learned.probes_sent, 12u);
+}
+
+TEST(Recon, LearnsUncappedAsUpperBound) {
+  scenario::EnvConfig config;
+  config.seed = 42;
+  config.legit.booking_sessions_per_hour = 0;
+  config.legit.browse_sessions_per_hour = 0;
+  config.legit.otp_logins_per_hour = 0;
+  config.application.inventory.max_nip = 0;  // no cap at all
+  scenario::Env env(config);
+  env.add_flights("A", 2, 300, sim::days(30));
+
+  attack::ReconConfig recon_config;
+  recon_config.probe_flight = env.app.inventory().flights().front();
+  recon_config.max_nip_to_probe = 9;
+  attack::ReconProbe probe(env.app, env.actors, env.residential, env.population, recon_config,
+                           env.rng.fork("recon"));
+  attack::ReconFindings learned;
+  env.start_background(sim::days(1));
+  probe.start([&](const attack::ReconFindings& findings) { learned = findings; });
+  env.run_until(sim::days(1));
+
+  ASSERT_TRUE(learned.max_nip.has_value());
+  EXPECT_EQ(*learned.max_nip, 9);  // the probe's own upper bound
+}
+
+// --- Fare manipulation --------------------------------------------------------------
+
+TEST(FareManipulation, SuppressReleaseBuyCycle) {
+  scenario::EnvConfig config;
+  config.seed = 31;
+  config.legit.booking_sessions_per_hour = 6;
+  config.application.inventory.hold_duration = sim::hours(4);
+  scenario::Env env(config);
+  env.add_flights("A", 10, 150, sim::days(30));
+  const auto target = env.app.add_flight("A", 606, 100, sim::days(6));
+
+  attack::FareManipulationConfig bot_config;
+  bot_config.target = target;
+  bot_config.suppress_fraction = 0.8;
+  bot_config.tickets_to_buy = 5;
+  attack::FareManipulationBot bot(env.app, env.actors, env.residential, env.population,
+                                  bot_config, env.rng.fork("fare"));
+  env.start_background(sim::days(6));
+  bot.start();
+  env.run_until(sim::days(6));
+
+  const auto& stats = bot.stats();
+  EXPECT_GE(stats.peak_seats_held, 70);
+  ASSERT_GE(stats.released_at, 0);
+  EXPECT_LE(stats.released_at, sim::days(4) + sim::hours(1));
+  ASSERT_GE(stats.bought_at, stats.released_at);
+  EXPECT_EQ(stats.tickets_bought, 5);
+  // The manufactured price inversion: buying cheaper than what the public was
+  // quoted during suppression.
+  ASSERT_TRUE(stats.quote_during_suppression.has_value());
+  ASSERT_TRUE(stats.quote_at_buy.has_value());
+  EXPECT_LT(*stats.quote_at_buy, *stats.quote_during_suppression);
+  // The purchases are real, ticketed inventory.
+  int abuser_sold = 0;
+  for (const auto& r : env.app.inventory().reservations()) {
+    if (r.flight == target && env.actors.abuser(r.actor) &&
+        r.state == airline::ReservationState::Ticketed) {
+      abuser_sold += r.nip();
+    }
+  }
+  EXPECT_EQ(abuser_sold, 5);
+}
+
+// --- Scraper ---------------------------------------------------------------------------
+
+TEST(Scraper, HighVolumeWithArtifacts) {
+  scenario::EnvConfig config;
+  config.seed = 28;
+  config.legit.booking_sessions_per_hour = 0;
+  config.legit.browse_sessions_per_hour = 0;
+  config.legit.otp_logins_per_hour = 0;
+  scenario::Env env(config);
+  env.add_flights("A", 3, 100, sim::days(30));
+
+  ScraperConfig scraper_config;
+  scraper_config.requests_per_session = 200;
+  scraper_config.sessions = 2;
+  ScraperBot scraper(env.app, env.actors, env.datacenter, env.population, scraper_config,
+                     env.rng.fork("scraper"));
+  env.start_background(sim::days(1));
+  scraper.start();
+  env.run_until(sim::days(1));
+
+  EXPECT_EQ(scraper.stats().sessions, 2u);
+  EXPECT_GE(scraper.stats().requests, 390u);
+  // Naive scraper fingerprints carry automation artifacts.
+  bool artifact_seen = false;
+  env.app.fingerprints().for_each([&](fp::FpHash, const fp::Fingerprint& f, std::uint64_t) {
+    if (f.webdriver_flag) artifact_seen = true;
+  });
+  EXPECT_TRUE(artifact_seen);
+  // And it trips the trap file now and then.
+  int traps = 0;
+  for (const auto& r : env.app.weblog().all()) {
+    if (r.endpoint == web::Endpoint::TrapFile) ++traps;
+  }
+  EXPECT_GT(traps, 0);
+}
+
+}  // namespace
+}  // namespace fraudsim::attack

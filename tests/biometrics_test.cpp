@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "biometrics/detector.hpp"
+#include "biometrics/features.hpp"
+#include "biometrics/mouse.hpp"
+
+namespace fraudsim::biometrics {
+namespace {
+
+TrajectoryTarget far_target() { return TrajectoryTarget{100, 500, 900, 250}; }
+
+// --- Trajectory generation -----------------------------------------------------
+
+TEST(MouseTrajectory, HumanTrajectoriesAreHumanShaped) {
+  sim::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto t = human_trajectory(rng, far_target());
+    ASSERT_GE(t.points.size(), 12u);
+    // Monotone timestamps.
+    for (std::size_t j = 1; j < t.points.size(); ++j) {
+      EXPECT_GT(t.points[j].t_ms, t.points[j - 1].t_ms);
+    }
+    // Human durations: hundreds of ms, not instantaneous.
+    EXPECT_GT(t.duration_ms(), 150.0);
+    // Ends near the target.
+    EXPECT_NEAR(t.points.back().x, far_target().to_x, 25.0);
+    EXPECT_NEAR(t.points.back().y, far_target().to_y, 25.0);
+  }
+}
+
+TEST(MouseTrajectory, HumanTrajectoriesAreAllDistinct) {
+  sim::Rng rng(2);
+  std::set<std::uint64_t> digests;
+  for (int i = 0; i < 200; ++i) {
+    digests.insert(human_trajectory(rng, far_target()).digest());
+  }
+  EXPECT_EQ(digests.size(), 200u);
+}
+
+TEST(MouseTrajectory, ScriptedIsStraightOrTeleport) {
+  sim::Rng rng(3);
+  int teleports = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto t = scripted_trajectory(rng, far_target(), 0.5);
+    if (t.points.size() == 2) {
+      ++teleports;
+      EXPECT_LT(t.duration_ms(), 5.0);
+    }
+  }
+  EXPECT_GT(teleports, 20);
+  EXPECT_LT(teleports, 80);
+}
+
+TEST(MouseTrajectory, ReplayDigestIsTranslationInvariant) {
+  sim::Rng rng(4);
+  const auto original = human_trajectory(rng, far_target());
+  // The digest captures the *shape*: any translated replay collides with the
+  // recording — which is exactly how replays are caught.
+  EXPECT_EQ(replay_trajectory(original, 0.3, -0.2).digest(), original.digest());
+  EXPECT_EQ(replay_trajectory(original, 250.0, -40.0).digest(), original.digest());
+  // A different human movement has a different shape.
+  EXPECT_NE(human_trajectory(rng, far_target()).digest(), original.digest());
+}
+
+// --- Feature extraction ----------------------------------------------------------
+
+TEST(TrajectoryFeatures, SeparateHumanFromScripted) {
+  sim::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto human = extract(human_trajectory(rng, far_target()));
+    ASSERT_TRUE(human.has_value());
+    // Humans wobble: inefficiency and speed variation.
+    EXPECT_LT(human->path_efficiency, 0.995);
+    EXPECT_GT(human->speed_cv, 0.12) << i;
+
+    const auto scripted = extract(scripted_trajectory(rng, far_target(), 0.0));
+    ASSERT_TRUE(scripted.has_value());
+    EXPECT_GT(scripted->path_efficiency, 0.999);
+    EXPECT_LT(scripted->speed_cv, 0.05);
+  }
+}
+
+TEST(TrajectoryFeatures, DegenerateTrajectoryYieldsNothing) {
+  MouseTrajectory empty;
+  EXPECT_FALSE(extract(empty).has_value());
+  MouseTrajectory one;
+  one.points.push_back({1, 2, 0});
+  EXPECT_FALSE(extract(one).has_value());
+}
+
+// --- Detector ----------------------------------------------------------------------
+
+TEST(BiometricDetector, PassesHumansFlagsScripts) {
+  sim::Rng rng(6);
+  BiometricDetector detector;
+  int human_flags = 0;
+  int script_flags = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    std::string reason;
+    if (detector.is_scripted(*extract(human_trajectory(rng, far_target())), &reason)) {
+      ++human_flags;
+    }
+    if (detector.is_scripted(*extract(scripted_trajectory(rng, far_target())), &reason)) {
+      ++script_flags;
+    }
+  }
+  EXPECT_LE(human_flags, n / 20);     // <5% false positives
+  EXPECT_GE(script_flags, n * 9 / 10);  // >90% caught
+}
+
+TEST(BiometricDetector, CatchesReplayedHumanTrajectories) {
+  sim::Rng rng(7);
+  const auto recorded = human_trajectory(rng, far_target());
+  BiometricDetector detector;
+  std::string reason;
+  // A kinematically-human replay passes once, twice... and is caught when the
+  // same geometry keeps recurring.
+  int caught_at = -1;
+  for (int i = 0; i < 10; ++i) {
+    const auto replay = replay_trajectory(recorded, 0.1 * i, -0.1 * i);
+    if (detector.observe(*extract(replay), &reason)) {
+      caught_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(caught_at, 1);
+  EXPECT_LE(caught_at, 4);
+  EXPECT_NE(reason.find("replayed"), std::string::npos);
+  EXPECT_GE(detector.replays_detected(), 1u);
+}
+
+TEST(BiometricDetector, FreshHumansNeverLookReplayed) {
+  sim::Rng rng(8);
+  BiometricDetector detector;
+  std::string reason;
+  int flagged = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (detector.observe(*extract(human_trajectory(rng, far_target())), &reason)) ++flagged;
+  }
+  EXPECT_LE(flagged, 15);
+  EXPECT_EQ(detector.replays_detected(), 0u);
+}
+
+}  // namespace
+}  // namespace fraudsim::biometrics

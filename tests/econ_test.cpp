@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "econ/attacker_econ.hpp"
+#include "econ/defender_econ.hpp"
+#include "econ/report.hpp"
+
+namespace fraudsim::econ {
+namespace {
+
+const net::CountryCode kUz{'U', 'Z'};
+const net::CountryCode kGb{'G', 'B'};
+
+class EconTest : public ::testing::Test {
+ protected:
+  EconTest()
+      : network_(sms::TariffTable::standard(), sms::CarrierPolicy{}),
+        gateway_(network_, sms::GatewayConfig{}) {}
+
+  sms::CarrierNetwork network_;
+  sms::SmsGateway gateway_;
+};
+
+TEST_F(EconTest, RevenueOnlyFromOwnDeliveredMessages) {
+  const web::ActorId attacker{1};
+  const web::ActorId other{2};
+  gateway_.send(0, {kUz, "111111111"}, sms::SmsType::BoardingPass, attacker, "AAA111");
+  gateway_.send(0, {kUz, "222222222"}, sms::SmsType::BoardingPass, other, "BBB222");
+  gateway_.send(0, {kGb, "333333333"}, sms::SmsType::BoardingPass, attacker, "AAA111");
+
+  const auto revenue = sms_revenue_of(gateway_, attacker);
+  // One UZ kickback + zero GB kickback.
+  const auto expected = network_.tariffs().get(kUz).termination_fee *
+                        network_.tariffs().get(kUz).fraud_revenue_share;
+  EXPECT_EQ(revenue, expected);
+}
+
+TEST_F(EconTest, PnlBalances) {
+  const web::ActorId attacker{1};
+  for (int i = 0; i < 100; ++i) {
+    gateway_.send(i, {kUz, "111111111"}, sms::SmsType::BoardingPass, attacker, "AAA111");
+  }
+  attack::BotCounters counters;
+  counters.requests = 120;  // some requests were blocked, still paid for
+  counters.captcha_spend = util::Money::from_double(0.30);
+
+  AttackerParams params;
+  params.proxy_cost_per_request = util::Money::from_double(0.001);
+  params.stolen_card_cost = util::Money::from_double(5.0);
+  const auto pnl = sms_attacker_pnl(gateway_, attacker, counters, 2, params);
+
+  EXPECT_EQ(pnl.proxy_cost, util::Money::from_double(0.12));
+  EXPECT_EQ(pnl.captcha_cost, util::Money::from_double(0.30));
+  EXPECT_EQ(pnl.setup_cost, util::Money::from_double(10.0));
+  EXPECT_EQ(pnl.total_cost(), util::Money::from_double(10.42));
+  EXPECT_EQ(pnl.net(), pnl.sms_revenue - pnl.total_cost());
+  // 100 premium UZ messages at 0.16 * 0.75 = $12 revenue: profitable.
+  EXPECT_EQ(pnl.sms_revenue, util::Money::from_double(12.0));
+  EXPECT_TRUE(pnl.profitable());
+}
+
+TEST_F(EconTest, WithholdingPolicyMakesAttackUnprofitable) {
+  sms::CarrierPolicy policy;
+  policy.withhold_flagged_compensation = true;
+  sms::CarrierNetwork honest(sms::TariffTable::standard(), policy);
+  // Settlement with flagging yields zero attacker revenue.
+  const auto settlement = honest.settle(kUz, /*flagged=*/true);
+  EXPECT_EQ(settlement.attacker_revenue, util::Money{});
+}
+
+TEST(DefenderEcon, AttributesSmsSpendByActorKind) {
+  sim::Simulation sim;
+  sms::CarrierNetwork network(sms::TariffTable::standard(), sms::CarrierPolicy{});
+  app::Application application(sim, network, app::ApplicationConfig{}, sim::Rng(1));
+  app::ActorRegistry registry;
+  const auto human = registry.register_actor(app::ActorKind::Human);
+  const auto bot = registry.register_actor(app::ActorKind::SmsPumpBot);
+
+  application.sms_gateway().send(0, {kGb, "1"}, sms::SmsType::Otp, human);
+  for (int i = 0; i < 10; ++i) {
+    application.sms_gateway().send(0, {kUz, "2"}, sms::SmsType::BoardingPass, bot, "PNR001");
+  }
+
+  workload::LegitTrafficStats legit;
+  legit.seats_lost_no_seats = 3;
+  legit.blocked = 4;
+  DefenderParams params;
+  params.ticket_price = util::Money::from_units(100);
+  params.blocked_conversion = 0.5;
+  const auto pnl = defender_pnl(application, registry, legit, params);
+
+  EXPECT_EQ(pnl.abuse_sms_count, 10u);
+  EXPECT_EQ(pnl.legit_sms_count, 1u);
+  EXPECT_GT(pnl.sms_cost_abuse, pnl.sms_cost_legit);
+  EXPECT_EQ(pnl.lost_sales_inventory, util::Money::from_units(300));
+  EXPECT_EQ(pnl.false_positive_loss, util::Money::from_units(200));
+  EXPECT_EQ(pnl.total_attack_loss(),
+            pnl.sms_cost_abuse + pnl.lost_sales_inventory + pnl.false_positive_loss);
+}
+
+TEST(EconReport, RendersBothSides) {
+  AttackerPnL attacker;
+  attacker.sms_revenue = util::Money::from_units(120);
+  attacker.proxy_cost = util::Money::from_units(5);
+  const auto a = render_attacker_pnl("Ring P&L", attacker);
+  EXPECT_NE(a.find("Ring P&L"), std::string::npos);
+  EXPECT_NE(a.find("$120"), std::string::npos);
+  EXPECT_NE(a.find("NET"), std::string::npos);
+
+  DefenderPnL defender;
+  defender.sms_cost_abuse = util::Money::from_units(900);
+  defender.abuse_sms_count = 30000;
+  const auto d = render_defender_pnl("Airline loss", defender);
+  EXPECT_NE(d.find("Airline loss"), std::string::npos);
+  EXPECT_NE(d.find("30,000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fraudsim::econ

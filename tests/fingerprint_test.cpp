@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fingerprint/consistency.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "fingerprint/population.hpp"
+#include "fingerprint/rotation.hpp"
+
+namespace fraudsim::fp {
+namespace {
+
+// --- Fingerprint ----------------------------------------------------------------
+
+TEST(Fingerprint, HashStableAndSensitive) {
+  Fingerprint a;
+  derive_rendering_hashes(a);
+  Fingerprint b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.screen_width = 2560;
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.webdriver_flag = true;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Fingerprint, HashNeverInvalid) {
+  Fingerprint a;
+  EXPECT_TRUE(a.hash().valid());
+}
+
+TEST(Fingerprint, UserAgentReflectsBrowser) {
+  Fingerprint chrome;
+  chrome.browser = Browser::Chrome;
+  chrome.browser_version = 120;
+  EXPECT_NE(chrome.user_agent().find("Chrome/120"), std::string::npos);
+
+  Fingerprint firefox;
+  firefox.browser = Browser::Firefox;
+  firefox.browser_version = 115;
+  EXPECT_NE(firefox.user_agent().find("Firefox/115"), std::string::npos);
+
+  Fingerprint headless;
+  headless.browser = Browser::Chrome;
+  headless.headless_hint = true;
+  EXPECT_NE(headless.user_agent().find("HeadlessChrome"), std::string::npos);
+}
+
+// --- Population -----------------------------------------------------------------
+
+TEST(Population, SamplesAreConsistent) {
+  PopulationModel population;
+  ConsistencyChecker checker;
+  sim::Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const auto fp = population.sample(rng);
+    EXPECT_TRUE(checker.check(fp).empty())
+        << fp.canonical() << " violated: " << checker.check(fp).front().detail;
+    EXPECT_FALSE(fp.webdriver_flag);
+    EXPECT_FALSE(fp.headless_hint);
+  }
+}
+
+TEST(Population, PopularConfigurationsRepeat) {
+  // Real fingerprint populations cluster: the same stacks recur. Sampling
+  // many users must produce duplicate hashes.
+  PopulationModel population;
+  sim::Rng rng(43);
+  std::set<FpHash> hashes;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) hashes.insert(population.sample(rng).hash());
+  EXPECT_LT(hashes.size(), static_cast<std::size_t>(n));
+}
+
+TEST(Population, NaiveBotCarriesArtifacts) {
+  PopulationModel population;
+  sim::Rng rng(44);
+  const auto bot = population.sample_naive_bot(rng);
+  EXPECT_TRUE(bot.webdriver_flag);
+  EXPECT_TRUE(bot.headless_hint);
+  EXPECT_EQ(bot.plugin_count, 0);
+}
+
+TEST(Population, CleanSpoofHidesArtifactsAndStaysConsistent) {
+  PopulationModel population;
+  ConsistencyChecker checker;
+  sim::Rng rng(45);
+  SpoofOptions opts;
+  opts.hide_automation = true;
+  opts.inconsistency_prob = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto fp = population.sample_spoofed(rng, opts);
+    EXPECT_FALSE(fp.webdriver_flag);
+    EXPECT_TRUE(checker.check(fp).empty());
+  }
+}
+
+TEST(Population, SloppySpoofLeaksInconsistencies) {
+  PopulationModel population;
+  ConsistencyChecker checker;
+  sim::Rng rng(46);
+  SpoofOptions opts;
+  opts.inconsistency_prob = 1.0;
+  int violations = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!checker.check(population.sample_spoofed(rng, opts)).empty()) ++violations;
+  }
+  EXPECT_GT(violations, 90);
+}
+
+// --- Consistency rules -------------------------------------------------------------
+
+TEST(Consistency, SafariOnWindowsIsViolation) {
+  Fingerprint fp;
+  fp.browser = Browser::Safari;
+  fp.os = Os::Windows;
+  derive_rendering_hashes(fp);
+  ConsistencyChecker checker;
+  const auto violations = checker.check(fp);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().rule, "browser-os");
+}
+
+TEST(Consistency, MobileOsOnDesktopDeviceIsViolation) {
+  Fingerprint fp;
+  fp.browser = Browser::Chrome;
+  fp.os = Os::Android;
+  fp.device = DeviceClass::Desktop;
+  fp.touch_support = false;
+  derive_rendering_hashes(fp);
+  ConsistencyChecker checker;
+  EXPECT_FALSE(checker.check(fp).empty());
+  EXPECT_GT(checker.inconsistency_score(fp), 0.0);
+}
+
+TEST(Consistency, TamperedRenderHashDetected) {
+  PopulationModel population;
+  sim::Rng rng(47);
+  auto fp = population.sample(rng);
+  fp.canvas_hash ^= 0xDEADBEEF;  // spoofed canvas that doesn't match the stack
+  ConsistencyChecker checker;
+  bool found = false;
+  for (const auto& v : checker.check(fp)) {
+    if (v.rule == "render-hash") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Consistency, ScoreBoundedByOne) {
+  Fingerprint fp;
+  fp.browser = Browser::Safari;
+  fp.os = Os::Windows;
+  fp.device = DeviceClass::Desktop;
+  fp.touch_support = true;
+  fp.screen_width = 390;
+  fp.screen_height = 844;
+  fp.canvas_hash = 1;  // wrong
+  ConsistencyChecker checker;
+  EXPECT_LE(checker.inconsistency_score(fp), 1.0);
+  EXPECT_GT(checker.inconsistency_score(fp), 0.5);
+}
+
+// --- Rotation --------------------------------------------------------------------
+
+RotationConfig fast_rotation() {
+  RotationConfig config;
+  config.mean_reaction = sim::hours(5.3);
+  config.reaction_stddev = sim::hours(1.5);
+  config.min_reaction = sim::minutes(20);
+  return config;
+}
+
+TEST(Rotation, NoRotationWithoutBlocks) {
+  PopulationModel population;
+  RotatingIdentity identity(fast_rotation(), population, sim::Rng(50));
+  const auto h0 = identity.current().hash();
+  EXPECT_FALSE(identity.advance(sim::days(10)));
+  EXPECT_EQ(identity.current().hash(), h0);
+  EXPECT_TRUE(identity.history().empty());
+}
+
+TEST(Rotation, BlockSchedulesRotationWithReactionDelay) {
+  PopulationModel population;
+  RotatingIdentity identity(fast_rotation(), population, sim::Rng(51));
+  const auto h0 = identity.current().hash();
+  const auto when = identity.on_blocked(sim::hours(10));
+  EXPECT_GE(when, sim::hours(10) + sim::minutes(20));
+  // Before the rotation lands, the fingerprint is unchanged.
+  EXPECT_FALSE(identity.advance(when - 1));
+  EXPECT_EQ(identity.current().hash(), h0);
+  // After, it changed.
+  EXPECT_TRUE(identity.advance(when));
+  EXPECT_NE(identity.current().hash(), h0);
+  ASSERT_EQ(identity.history().size(), 1u);
+  EXPECT_EQ(identity.history().front().blocked_at, sim::hours(10));
+}
+
+TEST(Rotation, RepeatedBlockWhilePendingIsIdempotent) {
+  PopulationModel population;
+  RotatingIdentity identity(fast_rotation(), population, sim::Rng(52));
+  const auto first = identity.on_blocked(sim::hours(1));
+  const auto second = identity.on_blocked(sim::hours(2));
+  EXPECT_EQ(first, second);
+}
+
+TEST(Rotation, MeanReactionApproximatesConfig) {
+  PopulationModel population;
+  RotatingIdentity identity(fast_rotation(), population, sim::Rng(53));
+  sim::SimTime now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += sim::hours(24);
+    const auto when = identity.on_blocked(now);
+    identity.advance(when);
+  }
+  EXPECT_NEAR(identity.mean_reaction_hours(), 5.3, 0.5);
+  EXPECT_EQ(identity.history().size(), 200u);
+}
+
+TEST(Rotation, PeriodicRotationWithoutBlocks) {
+  PopulationModel population;
+  RotationConfig config = fast_rotation();
+  config.periodic = sim::hours(2);
+  RotatingIdentity identity(config, population, sim::Rng(54));
+  identity.advance(sim::hours(10));
+  EXPECT_EQ(identity.history().size(), 5u);
+  // Periodic records carry no blocked_at and don't affect reaction stats.
+  EXPECT_DOUBLE_EQ(identity.mean_reaction_hours(), 0.0);
+}
+
+}  // namespace
+}  // namespace fraudsim::fp

@@ -1,0 +1,200 @@
+// Cross-module integration: the full detection pipeline over mixed traffic,
+// and the closed mitigation loop (controller -> rules -> attacker reaction).
+#include <gtest/gtest.h>
+
+#include "attack/scraper.hpp"
+#include "attack/seat_spin.hpp"
+#include "core/detect/pipeline.hpp"
+#include "core/mitigate/controller.hpp"
+#include "core/mitigate/honeypot.hpp"
+#include "core/scenario/env.hpp"
+
+namespace fraudsim {
+namespace {
+
+TEST(Integration, PipelineSeparatesDetectorStrengths) {
+  // Mixed traffic: humans + a scraper + a low-volume gibberish seat-spin bot.
+  scenario::EnvConfig config;
+  config.seed = 81;
+  config.legit.booking_sessions_per_hour = 15;
+  config.legit.browse_sessions_per_hour = 10;
+  config.legit.otp_logins_per_hour = 5;
+  scenario::Env env(config);
+  env.add_flights("A", 12, 150, sim::days(30));
+  const auto target = env.app.add_flight("A", 777, 80, sim::days(8));
+
+  attack::ScraperConfig scraper_config;
+  scraper_config.requests_per_session = 250;
+  scraper_config.sessions = 3;
+  attack::ScraperBot scraper(env.app, env.actors, env.datacenter, env.population, scraper_config,
+                             env.rng.fork("scraper"));
+
+  attack::SeatSpinConfig bot_config;
+  bot_config.target = target;
+  attack::SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
+                          env.rng.fork("bot"));
+
+  // Day 0 is clean (baseline); the attackers operate on day 1.
+  env.start_background(sim::days(2));
+  env.sim.schedule_at(sim::days(1), [&] {
+    scraper.start();
+    bot.start();
+  });
+  env.run_until(sim::days(2));
+
+  detect::DetectionPipeline pipeline;
+  pipeline.fit_nip_baseline(env.app, 0, sim::days(1));
+  const auto result = pipeline.run(env.app, env.actors, sim::days(1), sim::days(2));
+
+  ASSERT_FALSE(result.sessions.empty());
+  ASSERT_FALSE(result.reports.empty());
+
+  // Volume-based behaviour detection flags the scraper...
+  const auto* volume = result.report_for("behavior.volume");
+  ASSERT_NE(volume, nullptr);
+  bool scraper_flagged = false;
+  bool doi_flagged_by_volume = false;
+  for (const auto& alert : result.alerts.by_detector("behavior.volume")) {
+    if (alert.actor == scraper.actor()) scraper_flagged = true;
+    if (alert.actor == bot.actor()) doi_flagged_by_volume = true;
+  }
+  EXPECT_TRUE(scraper_flagged);
+  // ...but stays blind to the low-volume DoI bot (the paper's central claim).
+  EXPECT_FALSE(doi_flagged_by_volume);
+
+  // The gibberish name-pattern detector catches the DoI bot instead.
+  bool doi_flagged_by_names = false;
+  for (const auto& alert : result.alerts.by_detector("name.gibberish")) {
+    if (alert.actor == bot.actor()) doi_flagged_by_names = true;
+  }
+  EXPECT_TRUE(doi_flagged_by_names);
+
+  // NiP anomaly fires on the attack wave.
+  EXPECT_FALSE(result.alerts.by_detector("nip.anomaly").empty());
+}
+
+TEST(Integration, TrainedClassifierStillMissesLowVolumeBot) {
+  scenario::EnvConfig config;
+  config.seed = 82;
+  config.legit.booking_sessions_per_hour = 15;
+  scenario::Env env(config);
+  env.add_flights("A", 12, 150, sim::days(30));
+  const auto target = env.app.add_flight("A", 778, 60, sim::days(8));
+
+  attack::ScraperConfig scraper_config;
+  attack::ScraperBot scraper(env.app, env.actors, env.datacenter, env.population, scraper_config,
+                             env.rng.fork("scraper"));
+  attack::SeatSpinConfig bot_config;
+  bot_config.target = target;
+  attack::SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
+                          env.rng.fork("bot"));
+
+  env.start_background(sim::days(2));
+  scraper.start();
+  bot.start();
+  env.run_until(sim::days(2));
+
+  detect::DetectionPipeline pipeline;
+  sim::Rng rng(5);
+  // Train on day 1 with labels from *past incidents* (scraper-style bots):
+  // a real SOC has no ground truth for the novel DoI campaign.
+  pipeline.train_behavior(env.app, 0, sim::days(1), rng, [&](web::ActorId actor) {
+    return env.actors.kind_of(actor) == app::ActorKind::Scraper ? 1 : 0;
+  });
+  const auto result = pipeline.run(env.app, env.actors, sim::days(1), sim::days(2));
+
+  bool doi_flagged = false;
+  for (const auto& alert : result.alerts.by_detector("behavior.classifier")) {
+    if (alert.actor == bot.actor()) doi_flagged = true;
+  }
+  EXPECT_FALSE(doi_flagged);
+}
+
+TEST(Integration, MitigationLoopForcesRotationCadence) {
+  // Closed loop: controller blocks flagged fingerprints hourly; the bot
+  // reacts by rotating with mean 5.3 h. Over a week this produces multiple
+  // block->rotate cycles whose reaction latencies match the configuration.
+  scenario::EnvConfig config;
+  config.seed = 83;
+  config.legit.booking_sessions_per_hour = 8;
+  config.legit.browse_sessions_per_hour = 3;
+  config.legit.otp_logins_per_hour = 2;
+  scenario::Env env(config);
+  env.add_flights("A", 25, 150, sim::days(30));
+  const auto target = env.app.add_flight("A", 779, 100, sim::days(12));
+
+  attack::SeatSpinConfig bot_config;
+  bot_config.target = target;
+  attack::SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
+                          env.rng.fork("bot"));
+
+  mitigate::ControllerConfig controller_config;
+  mitigate::MitigationController controller(env.app, env.engine, controller_config);
+
+  env.start_background(sim::days(8));
+  // Day 0 is clean for the baseline; then the loop closes.
+  env.sim.schedule_at(sim::days(1), [&] {
+    controller.fit_nip_baseline(0, sim::days(1));
+    controller.start(sim::days(8));
+    bot.start();
+  });
+  env.run_until(sim::days(8));
+
+  // Rules were installed; the bot got blocked and rotated several times.
+  EXPECT_GT(controller.fingerprints_blocked(), 2u);
+  EXPECT_GT(bot.stats().counters.blocked, 0u);
+  const auto& history = bot.evasion().identity().history();
+  EXPECT_GE(history.size(), 2u);
+  EXPECT_NEAR(bot.evasion().identity().mean_reaction_hours(), 5.3, 2.5);
+
+  // Each blocked fingerprint stopped appearing within hours of the rule
+  // (the effectiveness-window dynamic of §IV-A).
+  for (const double hours : env.engine.blocklist().effectiveness_windows_hours()) {
+    EXPECT_LT(hours, 24.0);
+  }
+
+  // Humans kept booking throughout (false-positive pressure stays bounded).
+  EXPECT_GT(env.legit->stats().bookings_paid, 100u);
+  const double blocked_rate = static_cast<double>(env.legit->stats().blocked) /
+                              std::max<std::uint64_t>(1, env.legit->stats().booking_sessions);
+  EXPECT_LT(blocked_rate, 0.10);
+}
+
+TEST(Integration, HoneypotAbsorbsBlockedAttacker) {
+  scenario::EnvConfig config;
+  config.seed = 84;
+  config.legit.booking_sessions_per_hour = 6;
+  config.application.honeypot_enabled = true;
+  scenario::Env env(config);
+  env.add_flights("A", 15, 150, sim::days(30));
+  const auto target = env.app.add_flight("A", 780, 80, sim::days(10));
+
+  env.engine.set_blocklist_action(app::PolicyAction::Honeypot);
+
+  attack::SeatSpinConfig bot_config;
+  bot_config.target = target;
+  attack::SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
+                          env.rng.fork("bot"));
+
+  mitigate::ControllerConfig controller_config;
+  mitigate::MitigationController controller(env.app, env.engine, controller_config);
+
+  env.start_background(sim::days(6));
+  env.sim.schedule_at(sim::days(1), [&] {
+    controller.fit_nip_baseline(0, sim::days(1));
+    controller.start(sim::days(6));
+    bot.start();
+  });
+  env.run_until(sim::days(6));
+
+  const auto report = mitigate::honeypot_report(env.app, env.actors);
+  EXPECT_GT(report.decoy_holds, 0u);
+  EXPECT_GT(report.absorption_rate(), 0.1);
+  // Crucially: the attacker was NOT told it was blocked after redirection —
+  // honeypotted requests look like successes, so blocked-counter stays small
+  // relative to successful-looking holds.
+  EXPECT_GT(bot.stats().holds_succeeded, 0u);
+}
+
+}  // namespace
+}  // namespace fraudsim

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "fingerprint/population.hpp"
+
+#include "core/mitigate/captcha.hpp"
+#include "core/mitigate/honeypot.hpp"
+#include "core/mitigate/rate_limit.hpp"
+#include "core/mitigate/rules.hpp"
+
+namespace fraudsim::mitigate {
+namespace {
+
+// --- Rate limiter ------------------------------------------------------------------
+
+TEST(RateLimiter, AllowsUpToLimit) {
+  SlidingWindowRateLimiter limiter(3, sim::kMinute);
+  EXPECT_TRUE(limiter.allow(0, "k"));
+  EXPECT_TRUE(limiter.allow(1, "k"));
+  EXPECT_TRUE(limiter.allow(2, "k"));
+  EXPECT_FALSE(limiter.allow(3, "k"));
+  EXPECT_EQ(limiter.denials(), 1u);
+}
+
+TEST(RateLimiter, WindowSlides) {
+  SlidingWindowRateLimiter limiter(2, sim::kMinute);
+  EXPECT_TRUE(limiter.allow(0, "k"));
+  EXPECT_TRUE(limiter.allow(sim::seconds(30), "k"));
+  EXPECT_FALSE(limiter.allow(sim::seconds(45), "k"));
+  // First event leaves the window after one minute.
+  EXPECT_TRUE(limiter.allow(sim::seconds(61), "k"));
+}
+
+TEST(RateLimiter, KeysAreIndependent) {
+  SlidingWindowRateLimiter limiter(1, sim::kMinute);
+  EXPECT_TRUE(limiter.allow(0, "a"));
+  EXPECT_TRUE(limiter.allow(0, "b"));
+  EXPECT_FALSE(limiter.allow(1, "a"));
+}
+
+TEST(RateLimiter, DeniedEventsDontExtendPenalty) {
+  SlidingWindowRateLimiter limiter(1, sim::kMinute);
+  EXPECT_TRUE(limiter.allow(0, "k"));
+  for (int i = 1; i < 50; ++i) EXPECT_FALSE(limiter.allow(i, "k"));
+  // Despite hammering, the key frees up when the admitted event ages out.
+  EXPECT_TRUE(limiter.allow(sim::kMinute + 1, "k"));
+  EXPECT_EQ(limiter.current(sim::kMinute + 2, "k"), 1u);
+}
+
+// --- Rule engine ---------------------------------------------------------------------
+
+class RuleEngineTest : public ::testing::Test {
+ protected:
+  RuleEngineTest() : engine_(sim_) {
+    ctx_.ip = *net::IpV4::parse("16.0.0.1");
+    ctx_.session = web::SessionId{1};
+    fp::derive_rendering_hashes(ctx_.fingerprint);
+    ctx_.actor = web::ActorId{1};
+    request_.ip = ctx_.ip;
+    request_.session = ctx_.session;
+    request_.fp_hash = ctx_.fingerprint.hash();
+    request_.endpoint = web::Endpoint::HoldReservation;
+    request_.method = web::HttpMethod::Post;
+  }
+
+  sim::Simulation sim_;
+  RuleEngine engine_;
+  app::ClientContext ctx_;
+  web::HttpRequest request_;
+};
+
+TEST_F(RuleEngineTest, DefaultAllowsEverything) {
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+}
+
+TEST_F(RuleEngineTest, IpBlocking) {
+  engine_.block_ip(ctx_.ip);
+  const auto d = engine_.evaluate(request_, ctx_);
+  EXPECT_EQ(d.action, app::PolicyAction::Block);
+  EXPECT_EQ(d.rule, "ip-block");
+}
+
+TEST_F(RuleEngineTest, CidrBlocking) {
+  engine_.block_cidr(net::Cidr(*net::IpV4::parse("16.0.0.0"), 12));
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Block);
+  request_.ip = *net::IpV4::parse("99.0.0.1");
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+}
+
+TEST_F(RuleEngineTest, FingerprintBlocklistBlocksAndNotesHits) {
+  engine_.blocklist().block(request_.fp_hash, 0, "test");
+  sim_.run_until(sim::hours(2));
+  const auto d = engine_.evaluate(request_, ctx_);
+  EXPECT_EQ(d.action, app::PolicyAction::Block);
+  EXPECT_EQ(d.rule, "fp-block");
+  const auto windows = engine_.blocklist().effectiveness_windows_hours();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_NEAR(windows[0], 2.0, 1e-9);
+}
+
+TEST_F(RuleEngineTest, BlocklistCanHoneypotInstead) {
+  engine_.blocklist().block(request_.fp_hash, 0, "test");
+  engine_.set_blocklist_action(app::PolicyAction::Honeypot);
+  const auto d = engine_.evaluate(request_, ctx_);
+  EXPECT_EQ(d.action, app::PolicyAction::Honeypot);
+  EXPECT_EQ(d.rule, "fp-honeypot");
+}
+
+TEST_F(RuleEngineTest, LoyaltyGate) {
+  engine_.gate_to_loyalty(web::Endpoint::BoardingPassSms);
+  request_.endpoint = web::Endpoint::BoardingPassSms;
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Block);
+  ctx_.loyalty_member = true;
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+  engine_.clear_loyalty_gates();
+  ctx_.loyalty_member = false;
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+}
+
+TEST_F(RuleEngineTest, ChallengeAllTransactional) {
+  engine_.set_challenge_mode(ChallengeMode::AllTransactional);
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Challenge);
+  // Solved captcha passes.
+  ctx_.captcha_solved = true;
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+  // Non-transactional endpoints are never challenged.
+  ctx_.captcha_solved = false;
+  request_.endpoint = web::Endpoint::Home;
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+}
+
+TEST_F(RuleEngineTest, ChallengeSuspiciousOnly) {
+  engine_.set_challenge_mode(ChallengeMode::SuspiciousOnly);
+  // Clean population fingerprint: no challenge.
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+  // Automation artifact: challenged.
+  ctx_.fingerprint.webdriver_flag = true;
+  request_.fp_hash = ctx_.fingerprint.hash();
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Challenge);
+}
+
+TEST_F(RuleEngineTest, RateLimitPerIp) {
+  engine_.add_rate_limit({"hold-per-ip", web::Endpoint::HoldReservation, RateKey::ByIp, 2,
+                          sim::kHour});
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+  const auto d = engine_.evaluate(request_, ctx_);
+  EXPECT_EQ(d.action, app::PolicyAction::RateLimited);
+  EXPECT_EQ(d.rule, "hold-per-ip");
+  // A different IP is unaffected.
+  request_.ip = *net::IpV4::parse("17.0.0.1");
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+}
+
+TEST_F(RuleEngineTest, RateLimitByBookingRefFallsBackToSession) {
+  engine_.add_rate_limit({"bp-per-booking", web::Endpoint::BoardingPassSms,
+                          RateKey::ByBookingRef, 1, sim::kDay});
+  request_.endpoint = web::Endpoint::BoardingPassSms;
+  request_.booking_ref = "ABC123";
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::RateLimited);
+  // Another booking ref has its own budget.
+  request_.booking_ref = "XYZ789";
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+  // Missing booking ref keys on the session instead.
+  request_.booking_ref.reset();
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::RateLimited);
+}
+
+TEST_F(RuleEngineTest, GlobalPathRateLimit) {
+  engine_.add_rate_limit({"path-daily", web::Endpoint::BoardingPassSms, RateKey::Global, 3,
+                          sim::kDay});
+  request_.endpoint = web::Endpoint::BoardingPassSms;
+  for (int i = 0; i < 3; ++i) {
+    request_.session = web::SessionId{static_cast<std::uint64_t>(100 + i)};
+    EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+  }
+  request_.session = web::SessionId{999};
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::RateLimited);
+}
+
+TEST_F(RuleEngineTest, RemoveRateLimit) {
+  engine_.add_rate_limit({"tmp", std::nullopt, RateKey::ByIp, 1, sim::kHour});
+  EXPECT_NE(engine_.limiter("tmp"), nullptr);
+  engine_.remove_rate_limit("tmp");
+  EXPECT_EQ(engine_.limiter("tmp"), nullptr);
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Allow);
+}
+
+TEST_F(RuleEngineTest, EvaluationOrderBlockBeatsChallenge) {
+  engine_.set_challenge_mode(ChallengeMode::AllTransactional);
+  engine_.blocklist().block(request_.fp_hash, 0, "test");
+  EXPECT_EQ(engine_.evaluate(request_, ctx_).action, app::PolicyAction::Block);
+}
+
+// --- Captcha economics ------------------------------------------------------------------
+
+TEST(CaptchaEconomics, AttackerCostScalesWithFailureRate) {
+  const auto price = util::Money::from_double(0.003);
+  const auto perfect = attacker_challenge_cost(1000, price, 1.0);
+  const auto flaky = attacker_challenge_cost(1000, price, 0.5);
+  EXPECT_EQ(perfect, util::Money::from_double(3.0));
+  EXPECT_EQ(flaky, util::Money::from_double(6.0));
+  EXPECT_EQ(attacker_challenge_cost(0, price, 0.9), util::Money{});
+  EXPECT_GT(attacker_challenge_cost(100, price, 0.0), util::Money{});
+}
+
+TEST(CaptchaEconomics, Rates) {
+  CaptchaEconomics econ;
+  econ.bot_challenges = 100;
+  econ.bot_solved = 90;
+  econ.human_challenges = 50;
+  econ.human_abandoned = 5;
+  EXPECT_DOUBLE_EQ(econ.bot_solve_rate(), 0.9);
+  EXPECT_DOUBLE_EQ(econ.human_abandonment_rate(), 0.1);
+}
+
+}  // namespace
+}  // namespace fraudsim::mitigate

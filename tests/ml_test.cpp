@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core/detect/ml.hpp"
+
+namespace fraudsim::detect {
+namespace {
+
+// Two well-separated Gaussian blobs, labelled 0/1.
+Dataset two_blobs(sim::Rng& rng, std::size_t per_class, double separation) {
+  Dataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.rows.push_back({rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)});
+    data.labels.push_back(0);
+    data.rows.push_back({rng.normal(separation, 1.0), rng.normal(separation, 1.0)});
+    data.labels.push_back(1);
+  }
+  return data;
+}
+
+double accuracy_of(const Dataset& test, const std::function<int(const FeatureRow&)>& predict) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (predict(test.rows[i]) == test.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+// --- StandardScaler ----------------------------------------------------------
+
+TEST(StandardScaler, CentersAndScales) {
+  StandardScaler scaler;
+  scaler.fit({{0, 10}, {2, 20}, {4, 30}});
+  const auto t = scaler.transform({2, 20});
+  EXPECT_NEAR(t[0], 0.0, 1e-9);
+  EXPECT_NEAR(t[1], 0.0, 1e-9);
+  const auto hi = scaler.transform({4, 30});
+  EXPECT_GT(hi[0], 0.9);
+  EXPECT_GT(hi[1], 0.9);
+}
+
+TEST(StandardScaler, ConstantFeaturePassesThrough) {
+  StandardScaler scaler;
+  scaler.fit({{5, 1}, {5, 2}, {5, 3}});
+  const auto t = scaler.transform({5, 2});
+  EXPECT_NEAR(t[0], 0.0, 1e-9);  // centred, unit divisor
+  EXPECT_FALSE(std::isnan(t[1]));
+}
+
+// --- LogisticRegression -----------------------------------------------------------
+
+TEST(LogisticRegression, SeparatesBlobs) {
+  sim::Rng rng(1);
+  const auto data = two_blobs(rng, 300, 4.0);
+  auto split = train_test_split(data, 0.3, rng);
+  LogisticRegression model;
+  model.train(split.train, rng);
+  const double acc = accuracy_of(split.test, [&](const FeatureRow& r) { return model.predict(r); });
+  EXPECT_GT(acc, 0.95);
+}
+
+TEST(LogisticRegression, ProbabilitiesAreCalibratedDirectionally) {
+  sim::Rng rng(2);
+  const auto data = two_blobs(rng, 300, 4.0);
+  LogisticRegression model;
+  model.train(data, rng);
+  EXPECT_LT(model.predict_proba({0.0, 0.0}), 0.3);
+  EXPECT_GT(model.predict_proba({4.0, 4.0}), 0.7);
+}
+
+TEST(LogisticRegression, UntrainedReturnsHalf) {
+  LogisticRegression model;
+  EXPECT_DOUBLE_EQ(model.predict_proba({1, 2, 3}), 0.5);
+}
+
+TEST(LogisticRegression, EmptyDatasetIsNoOp) {
+  LogisticRegression model;
+  sim::Rng rng(3);
+  model.train(Dataset{}, rng);
+  EXPECT_DOUBLE_EQ(model.predict_proba({1.0}), 0.5);
+}
+
+// --- GaussianNaiveBayes ---------------------------------------------------------------
+
+TEST(NaiveBayes, SeparatesBlobs) {
+  sim::Rng rng(4);
+  const auto data = two_blobs(rng, 300, 4.0);
+  auto split = train_test_split(data, 0.3, rng);
+  GaussianNaiveBayes model;
+  model.train(split.train);
+  const double acc = accuracy_of(split.test, [&](const FeatureRow& r) { return model.predict(r); });
+  EXPECT_GT(acc, 0.95);
+}
+
+TEST(NaiveBayes, RespectsPriors) {
+  // 90/10 class imbalance: ambiguous points lean to the majority class.
+  Dataset data;
+  sim::Rng rng(5);
+  for (int i = 0; i < 900; ++i) {
+    data.rows.push_back({rng.normal(0.0, 2.0)});
+    data.labels.push_back(0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    data.rows.push_back({rng.normal(1.0, 2.0)});
+    data.labels.push_back(1);
+  }
+  GaussianNaiveBayes model;
+  model.train(data);
+  EXPECT_LT(model.predict_proba({0.5}), 0.5);
+}
+
+TEST(NaiveBayes, UntrainedReturnsHalf) {
+  GaussianNaiveBayes model;
+  EXPECT_DOUBLE_EQ(model.predict_proba({0.0}), 0.5);
+}
+
+// --- KMeans ------------------------------------------------------------------------------
+
+TEST(KMeans, RecoversTwoClusters) {
+  sim::Rng rng(6);
+  std::vector<FeatureRow> rows;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)});
+    rows.push_back({rng.normal(10.0, 0.5), rng.normal(10.0, 0.5)});
+  }
+  const auto result = kmeans(rows, 2, rng);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  // Centroids land near (0,0) and (10,10) in some order.
+  const auto& c0 = result.centroids[0];
+  const auto& c1 = result.centroids[1];
+  const bool order_a = std::abs(c0[0]) < 1.0 && std::abs(c1[0] - 10.0) < 1.0;
+  const bool order_b = std::abs(c1[0]) < 1.0 && std::abs(c0[0] - 10.0) < 1.0;
+  EXPECT_TRUE(order_a || order_b);
+  // Points in the same blob share an assignment.
+  EXPECT_EQ(result.assignment[0], result.assignment[2]);
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  sim::Rng rng(7);
+  std::vector<FeatureRow> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back({rng.uniform(0.0, 100.0)});
+  }
+  sim::Rng rng_a(8);
+  sim::Rng rng_b(8);
+  const auto k2 = kmeans(rows, 2, rng_a);
+  const auto k8 = kmeans(rows, 8, rng_b);
+  EXPECT_LT(k8.inertia, k2.inertia);
+}
+
+TEST(KMeans, DegenerateInputs) {
+  sim::Rng rng(9);
+  EXPECT_TRUE(kmeans({}, 3, rng).centroids.empty());
+  const auto one = kmeans({{1.0, 2.0}}, 5, rng);
+  EXPECT_EQ(one.centroids.size(), 1u);  // k clamped to n
+  EXPECT_DOUBLE_EQ(one.inertia, 0.0);
+}
+
+// --- Split ------------------------------------------------------------------------------
+
+TEST(TrainTestSplit, PartitionsWithoutLoss) {
+  sim::Rng rng(10);
+  const auto data = two_blobs(rng, 100, 2.0);
+  const auto split = train_test_split(data, 0.25, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), data.size());
+  EXPECT_NEAR(static_cast<double>(split.test.size()) / data.size(), 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace fraudsim::detect

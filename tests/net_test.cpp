@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/geo.hpp"
+#include "net/ip.hpp"
+#include "net/proxy.hpp"
+
+namespace fraudsim::net {
+namespace {
+
+// --- IpV4 ---------------------------------------------------------------------
+
+TEST(IpV4, ParseAndFormatRoundTrip) {
+  const auto ip = IpV4::parse("192.168.1.42");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->str(), "192.168.1.42");
+  EXPECT_EQ(IpV4::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(IpV4::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(IpV4, ParseRejectsMalformed) {
+  EXPECT_FALSE(IpV4::parse(""));
+  EXPECT_FALSE(IpV4::parse("1.2.3"));
+  EXPECT_FALSE(IpV4::parse("1.2.3.4.5"));
+  EXPECT_FALSE(IpV4::parse("256.1.1.1"));
+  EXPECT_FALSE(IpV4::parse("a.b.c.d"));
+  EXPECT_FALSE(IpV4::parse("1..2.3"));
+  EXPECT_FALSE(IpV4::parse("1.2.3.1234"));
+}
+
+TEST(Cidr, ContainsAndSize) {
+  const auto cidr = Cidr::parse("10.1.0.0/16");
+  ASSERT_TRUE(cidr.has_value());
+  EXPECT_EQ(cidr->size(), 65536u);
+  EXPECT_TRUE(cidr->contains(*IpV4::parse("10.1.255.255")));
+  EXPECT_FALSE(cidr->contains(*IpV4::parse("10.2.0.0")));
+  EXPECT_EQ(cidr->at(0).str(), "10.1.0.0");
+  EXPECT_EQ(cidr->at(256).str(), "10.1.1.0");
+}
+
+TEST(Cidr, NormalisesBaseToPrefix) {
+  const Cidr cidr(*IpV4::parse("10.1.2.3"), 24);
+  EXPECT_EQ(cidr.base().str(), "10.1.2.0");
+  EXPECT_EQ(cidr.str(), "10.1.2.0/24");
+}
+
+TEST(Cidr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Cidr::parse("10.0.0.0"));
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/ab"));
+}
+
+// --- CountryCode -----------------------------------------------------------------
+
+TEST(CountryCode, ParseAndFormat) {
+  const auto fr = CountryCode::parse("fr");
+  ASSERT_TRUE(fr.has_value());
+  EXPECT_EQ(fr->str(), "FR");
+  EXPECT_EQ(*fr, CountryCode('F', 'R'));
+  EXPECT_FALSE(CountryCode::parse("F"));
+  EXPECT_FALSE(CountryCode::parse("FRA"));
+  EXPECT_FALSE(CountryCode::parse("1X"));
+}
+
+TEST(CountryCode, DefaultIsInvalid) {
+  CountryCode c;
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(c.str(), "??");
+}
+
+TEST(WorldCountries, ContainsTableOneCountries) {
+  // All 10 countries of the paper's Table I must exist.
+  for (const char* code : {"UZ", "IR", "KG", "JO", "NG", "KH", "SG", "GB", "CN", "TH"}) {
+    const auto c = CountryCode::parse(code);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_NE(find_country(*c), nullptr) << code;
+  }
+}
+
+TEST(WorldCountries, LargeEnoughForFortyTwoCountryAttack) {
+  EXPECT_GE(world_countries().size(), 50u);
+}
+
+TEST(WorldCountries, WeightsPositive) {
+  for (const auto& c : world_countries()) {
+    EXPECT_GT(c.population_weight, 0.0) << c.name;
+  }
+}
+
+// --- GeoDb ----------------------------------------------------------------------
+
+TEST(GeoDb, ResolvesResidentialBlocksToCountries) {
+  GeoDb geo;
+  for (const auto& country : geo.countries()) {
+    const auto block = geo.residential_block(country.code);
+    ASSERT_TRUE(block.has_value()) << country.name;
+    const auto resolved = geo.country_of(block->at(123));
+    ASSERT_TRUE(resolved.has_value());
+    EXPECT_EQ(*resolved, country.code);
+    EXPECT_FALSE(geo.is_datacenter(block->at(123)));
+  }
+}
+
+TEST(GeoDb, DatacenterBlocksAreDistinct) {
+  GeoDb geo;
+  const auto us = CountryCode('U', 'S');
+  const auto dc = geo.datacenter_block(us);
+  ASSERT_TRUE(dc.has_value());
+  EXPECT_TRUE(geo.is_datacenter(dc->at(7)));
+  EXPECT_EQ(*geo.country_of(dc->at(7)), us);
+}
+
+TEST(GeoDb, UnknownAddressResolvesToNothing) {
+  GeoDb geo;
+  EXPECT_FALSE(geo.country_of(*IpV4::parse("8.8.8.8")).has_value());
+  EXPECT_FALSE(geo.residential_block(CountryCode('Z', 'Q')).has_value());
+}
+
+TEST(GeoDb, BlocksDoNotOverlap) {
+  GeoDb geo;
+  std::set<std::uint32_t> bases;
+  for (const auto& c : geo.countries()) {
+    bases.insert(geo.residential_block(c.code)->base().value());
+    bases.insert(geo.datacenter_block(c.code)->base().value());
+  }
+  EXPECT_EQ(bases.size(), geo.countries().size() * 2);
+}
+
+// --- Proxy pools ------------------------------------------------------------------
+
+TEST(ResidentialProxyPool, SteersToRequestedCountry) {
+  GeoDb geo;
+  ResidentialProxyPool pool(geo, util::Money::from_double(0.001));
+  sim::Rng rng(5);
+  const auto uz = CountryCode('U', 'Z');
+  for (int i = 0; i < 50; ++i) {
+    const auto exit = pool.exit(rng, uz);
+    EXPECT_EQ(exit.country, uz);
+    EXPECT_EQ(*geo.country_of(exit.ip), uz);
+    EXPECT_FALSE(exit.datacenter);
+  }
+}
+
+TEST(ResidentialProxyPool, UnpinnedSpreadsAcrossCountries) {
+  GeoDb geo;
+  ResidentialProxyPool pool(geo, util::Money::from_double(0.001));
+  sim::Rng rng(6);
+  std::set<CountryCode> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(pool.exit(rng, std::nullopt).country);
+  EXPECT_GT(seen.size(), 20u);
+}
+
+TEST(ResidentialProxyPool, IpsRarelyRepeat) {
+  GeoDb geo;
+  ResidentialProxyPool pool(geo, util::Money::from_double(0.001));
+  sim::Rng rng(7);
+  std::set<std::uint32_t> ips;
+  const auto fr = CountryCode('F', 'R');
+  for (int i = 0; i < 500; ++i) ips.insert(pool.exit(rng, fr).ip.value());
+  EXPECT_GT(ips.size(), 495u);  // ~1M addresses; collisions should be rare
+}
+
+TEST(ResidentialProxyPool, TracksCost) {
+  GeoDb geo;
+  ResidentialProxyPool pool(geo, util::Money::from_double(0.002));
+  sim::Rng rng(8);
+  for (int i = 0; i < 10; ++i) pool.exit(rng, std::nullopt);
+  EXPECT_EQ(pool.requests_served(), 10u);
+  EXPECT_EQ(pool.total_cost(), util::Money::from_double(0.02));
+}
+
+TEST(DatacenterProxyPool, ClustersInFewSubnets) {
+  GeoDb geo;
+  DatacenterProxyPool pool(geo, CountryCode('U', 'S'), 4, util::Money::from_double(0.0001));
+  sim::Rng rng(9);
+  std::set<std::uint32_t> subnets;
+  for (int i = 0; i < 200; ++i) {
+    const auto exit = pool.exit(rng, CountryCode('F', 'R'));  // steering ignored
+    EXPECT_EQ(exit.country, CountryCode('U', 'S'));
+    EXPECT_TRUE(exit.datacenter);
+    subnets.insert(exit.ip.value() >> 8);
+  }
+  EXPECT_LE(subnets.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fraudsim::net

@@ -1,0 +1,156 @@
+// DetectionPipeline wiring tests: baseline fitting, the §V detectors flowing
+// through the pipeline, scoring reports, and the SOC report rendering.
+#include <gtest/gtest.h>
+
+#include "attack/scraper.hpp"
+#include "attack/seat_spin.hpp"
+#include "core/detect/pipeline.hpp"
+#include "core/scenario/env.hpp"
+#include "core/scenario/soc_report.hpp"
+
+namespace fraudsim {
+namespace {
+
+struct MixedWorld {
+  scenario::Env env;
+  std::unique_ptr<attack::SeatSpinBot> bot;
+  std::unique_ptr<attack::ScraperBot> scraper;
+
+  explicit MixedWorld(std::uint64_t seed) : env(make_config(seed)) {
+    env.add_flights("A", 15, 150, sim::days(30));
+    const auto target = env.app.add_flight("A", 321, 80, sim::days(8));
+    attack::SeatSpinConfig bot_config;
+    bot_config.target = target;
+    bot = std::make_unique<attack::SeatSpinBot>(env.app, env.actors, env.residential,
+                                                env.population, bot_config,
+                                                env.rng.fork("bot"));
+    attack::ScraperConfig scraper_config;
+    scraper_config.sessions = 4;
+    scraper_config.session_gap = sim::hours(10);
+    scraper = std::make_unique<attack::ScraperBot>(env.app, env.actors, env.datacenter,
+                                                   env.population, scraper_config,
+                                                   env.rng.fork("scraper"));
+    env.start_background(sim::days(2));
+    env.sim.schedule_at(sim::days(1), [this] {
+      bot->start();
+      scraper->start();
+    });
+    env.run_until(sim::days(2));
+  }
+
+  static scenario::EnvConfig make_config(std::uint64_t seed) {
+    scenario::EnvConfig config;
+    config.seed = seed;
+    config.legit.booking_sessions_per_hour = 12;
+    config.legit.browse_sessions_per_hour = 5;
+    config.legit.otp_logins_per_hour = 4;
+    return config;
+  }
+};
+
+bool actor_flagged(const detect::PipelineResult& result, const std::string& prefix,
+                   web::ActorId actor) {
+  for (const auto& alert : result.alerts.alerts()) {
+    if (alert.detector.rfind(prefix, 0) == 0 && alert.actor == actor) return true;
+  }
+  return false;
+}
+
+const MixedWorld& world() {
+  static MixedWorld w(4242);
+  return w;
+}
+
+TEST(Pipeline, BiometricAlertsFlowThrough) {
+  detect::DetectionPipeline pipeline;
+  const auto result =
+      pipeline.run(world().env.app, world().env.actors, sim::days(1), sim::days(2));
+  // The scripted bot's pointer telemetry is flagged; no human sample is.
+  EXPECT_TRUE(actor_flagged(result, "biometric.pointer", world().bot->actor()));
+  const auto* report = result.report_for("biometric.pointer");
+  ASSERT_NE(report, nullptr);
+  EXPECT_GT(report->alerts, 0u);
+  EXPECT_GT(report->score.confusion.precision(), 0.95);
+}
+
+TEST(Pipeline, BiometricsCanBeDisabled) {
+  detect::PipelineConfig config;
+  config.biometrics_enabled = false;
+  detect::DetectionPipeline pipeline(config);
+  const auto result =
+      pipeline.run(world().env.app, world().env.actors, sim::days(1), sim::days(2));
+  EXPECT_TRUE(result.alerts.by_detector("biometric.pointer").empty());
+  EXPECT_EQ(result.report_for("biometric.pointer"), nullptr);
+}
+
+TEST(Pipeline, NavigationRequiresFit) {
+  detect::DetectionPipeline pipeline;
+  auto result = pipeline.run(world().env.app, world().env.actors, sim::days(1), sim::days(2));
+  EXPECT_TRUE(result.alerts.by_detector("behavior.navigation").empty());
+
+  pipeline.fit_navigation(world().env.app, 0, sim::days(1));
+  result = pipeline.run(world().env.app, world().env.actors, sim::days(1), sim::days(2));
+  EXPECT_TRUE(actor_flagged(result, "behavior.navigation", world().bot->actor()));
+}
+
+TEST(Pipeline, IpReputationRequiresGeo) {
+  detect::DetectionPipeline pipeline;
+  auto result = pipeline.run(world().env.app, world().env.actors, sim::days(1), sim::days(2));
+  EXPECT_TRUE(result.alerts.by_detector("ip.reputation").empty());
+
+  pipeline.enable_ip_reputation(world().env.geo);
+  result = pipeline.run(world().env.app, world().env.actors, sim::days(1), sim::days(2));
+  EXPECT_TRUE(actor_flagged(result, "ip.reputation", world().scraper->actor()));
+  EXPECT_FALSE(actor_flagged(result, "ip.reputation", world().bot->actor()));
+}
+
+TEST(Pipeline, ReportForUnknownDetectorIsNull) {
+  detect::DetectionPipeline pipeline;
+  const auto result =
+      pipeline.run(world().env.app, world().env.actors, sim::days(1), sim::days(2));
+  EXPECT_EQ(result.report_for("no.such.detector"), nullptr);
+}
+
+TEST(Pipeline, ReportsAreScoredAgainstGroundTruth) {
+  detect::DetectionPipeline pipeline;
+  pipeline.fit_nip_baseline(world().env.app, 0, sim::days(1));
+  const auto result =
+      pipeline.run(world().env.app, world().env.actors, sim::days(1), sim::days(2));
+  for (const auto& report : result.reports) {
+    EXPECT_GT(report.alerts, 0u) << report.detector;
+    EXPECT_EQ(report.score.confusion.total(),
+              detect::actors_of(result.sessions).size())
+        << report.detector;
+  }
+}
+
+TEST(SocReport, RendersAllSections) {
+  detect::DetectionPipeline pipeline;
+  pipeline.fit_nip_baseline(world().env.app, 0, sim::days(1));
+  const auto result =
+      pipeline.run(world().env.app, world().env.actors, sim::days(1), sim::days(2));
+  std::vector<mitigate::EnforcementAction> actions = {
+      {sim::days(1) + sim::hours(3), "fp-block", "123456"}};
+  scenario::SocReportInputs inputs{world().env.app, world().env.actors, result, sim::days(1),
+                                   sim::days(2), actions};
+  const auto report = scenario::render_soc_report(inputs);
+  EXPECT_NE(report.find("SOC WEEKLY REPORT"), std::string::npos);
+  EXPECT_NE(report.find("HTTP requests"), std::string::npos);
+  EXPECT_NE(report.find("holds created"), std::string::npos);
+  EXPECT_NE(report.find("Detector"), std::string::npos);
+  EXPECT_NE(report.find("Enforcement actions"), std::string::npos);
+  EXPECT_NE(report.find("fp-block"), std::string::npos);
+}
+
+TEST(SocReport, EmptyActionsOmitTimeline) {
+  detect::DetectionPipeline pipeline;
+  const auto result =
+      pipeline.run(world().env.app, world().env.actors, sim::days(1), sim::days(2));
+  scenario::SocReportInputs inputs{world().env.app, world().env.actors, result, sim::days(1),
+                                   sim::days(2), {}};
+  const auto report = scenario::render_soc_report(inputs);
+  EXPECT_EQ(report.find("Enforcement actions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fraudsim

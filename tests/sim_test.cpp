@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace fraudsim::sim {
+namespace {
+
+// --- Time --------------------------------------------------------------------
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(seconds(1.5), 1500);
+  EXPECT_EQ(minutes(2), 120'000);
+  EXPECT_EQ(hours(1), 3'600'000);
+  EXPECT_EQ(days(1), 24 * hours(1));
+  EXPECT_DOUBLE_EQ(to_hours(hours(5.3)), 5.3);
+  EXPECT_DOUBLE_EQ(to_days(days(2)), 2.0);
+}
+
+TEST(Time, CalendarHelpers) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(kDay - 1), 0);
+  EXPECT_EQ(day_of(kDay), 1);
+  EXPECT_EQ(hour_of_day(kDay + 3 * kHour + 5), 3);
+  EXPECT_EQ(week_of(6 * kDay), 0);
+  EXPECT_EQ(week_of(7 * kDay), 1);
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(format_time(0), "d0 00:00:00");
+  EXPECT_EQ(format_time(kDay + kHour + kMinute + kSecond), "d1 01:01:01");
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng root(7);
+  Rng f1 = root.fork("alpha");
+  Rng f2 = Rng(7).fork("alpha");
+  EXPECT_EQ(f1.uniform_int(0, 1 << 30), f2.uniform_int(0, 1 << 30));
+  Rng f3 = Rng(7).fork("beta");
+  EXPECT_NE(Rng(7).fork("alpha").uniform_int(0, 1 << 30), f3.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto n = rng.uniform_int(-5, 5);
+    EXPECT_GE(n, -5);
+    EXPECT_LE(n, 5);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(13);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(5.0);
+  EXPECT_NEAR(total / n, 5.0, 0.2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(total / n, 10.0, 0.1);
+  EXPECT_DOUBLE_EQ(rng.normal(3.0, 0.0), 3.0);  // zero stddev is exact
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  const std::vector<double> weights = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexDistribution) {
+  Rng rng(23);
+  const std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.weighted_index(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.03);
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsZero) {
+  Rng rng(29);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights), 0u);
+}
+
+TEST(Rng, RandomStrings) {
+  Rng rng(31);
+  const auto s = rng.random_lowercase(8);
+  EXPECT_EQ(s.size(), 8u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+  const auto d = rng.random_digits(6);
+  EXPECT_EQ(d.size(), 6u);
+  for (char c : d) {
+    EXPECT_GE(c, '0');
+    EXPECT_LE(c, '9');
+  }
+}
+
+// --- EventQueue -----------------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(100, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // double cancel fails
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(99));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const auto early = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+// --- Simulation ------------------------------------------------------------------
+
+TEST(Simulation, RunUntilAdvancesClock) {
+  Simulation sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulation, EventsSeeCorrectNow) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.schedule_at(500, [&] { seen = sim.now(); });
+  sim.run_until(1000);
+  EXPECT_EQ(seen, 500);
+  EXPECT_EQ(sim.now(), 1000);
+  EXPECT_EQ(sim.fired_events(), 1u);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(50, [&] { seen = sim.now(); });
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  sim.run_until(100);
+  SimTime seen = -1;
+  sim.schedule_at(10, [&] { seen = sim.now(); });  // in the past
+  sim.run_until(200);
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulation, RunUntilDoesNotFireLaterEvents) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(2000, [&] { fired = true; });
+  sim.run_until(1000);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(3000);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, StopHaltsProcessing) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(i * 10, [&] {
+      ++count;
+      if (count == 3) sim.stop();
+    });
+  }
+  sim.run_until(1000);
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(sim.stopped());
+}
+
+TEST(Simulation, CancelScheduledEvent) {
+  Simulation sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(100, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(200);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RecurringEventChain) {
+  Simulation sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 5) sim.schedule_in(10, tick);
+  };
+  sim.schedule_in(10, tick);
+  sim.run_until(1000);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(Simulation, StepFiresOne) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(10, [&] { ++count; });
+  sim.schedule_at(20, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RunAllRespectsCap) {
+  Simulation sim;
+  std::uint64_t fired = 0;
+  std::function<void()> forever = [&] {
+    ++fired;
+    sim.schedule_in(1, forever);
+  };
+  sim.schedule_in(1, forever);
+  sim.run_all(100);
+  EXPECT_EQ(fired, 100u);
+}
+
+}  // namespace
+}  // namespace fraudsim::sim

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "sms/carrier.hpp"
+#include "sms/gateway.hpp"
+#include "sms/number.hpp"
+#include "sms/otp.hpp"
+#include "sms/tariff.hpp"
+
+namespace fraudsim::sms {
+namespace {
+
+const net::CountryCode kUz{'U', 'Z'};
+const net::CountryCode kGb{'G', 'B'};
+const net::CountryCode kFr{'F', 'R'};
+
+// --- Numbers ---------------------------------------------------------------------
+
+TEST(Numbers, GeneratorProducesCountryNumbers) {
+  NumberGenerator gen(sim::Rng(1));
+  const auto n = gen.random_number(kUz);
+  EXPECT_EQ(n.country, kUz);
+  EXPECT_EQ(n.subscriber.size(), 9u);
+  EXPECT_NE(n.str().find("UZ"), std::string::npos);
+}
+
+TEST(Numbers, PoolHasRequestedSize) {
+  NumberGenerator gen(sim::Rng(2));
+  const auto pool = gen.build_pool(kGb, 100);
+  EXPECT_EQ(pool.size(), 100u);
+  for (const auto& n : pool) EXPECT_EQ(n.country, kGb);
+}
+
+// --- Tariffs ---------------------------------------------------------------------
+
+TEST(Tariffs, TableOneCountriesArePremium) {
+  const auto table = TariffTable::standard();
+  for (const char* code : {"UZ", "IR", "KG", "JO", "NG", "KH"}) {
+    const auto country = *net::CountryCode::parse(code);
+    const auto& t = table.get(country);
+    EXPECT_TRUE(t.premium_route) << code;
+    EXPECT_GT(t.fraud_revenue_share, 0.0) << code;
+    EXPECT_GT(table.attacker_revenue_per_sms(country), util::Money{}) << code;
+  }
+}
+
+TEST(Tariffs, MatureMarketsAreCheapAndHonest) {
+  const auto table = TariffTable::standard();
+  const auto& gb = table.get(kGb);
+  EXPECT_FALSE(gb.premium_route);
+  EXPECT_DOUBLE_EQ(gb.fraud_revenue_share, 0.0);
+  EXPECT_LT(gb.send_cost, table.get(kUz).send_cost);
+  EXPECT_EQ(table.attacker_revenue_per_sms(kGb), util::Money{});
+}
+
+TEST(Tariffs, RankingPutsPremiumFirst) {
+  const auto table = TariffTable::standard();
+  const auto ranked = table.by_attacker_revenue();
+  ASSERT_GE(ranked.size(), 10u);
+  EXPECT_EQ(ranked.front(), kUz);  // highest kickback
+  // The first six are all premium routes.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(table.get(ranked[i]).premium_route) << i;
+  }
+}
+
+TEST(Tariffs, UnknownCountryFallsBackToDefault) {
+  const auto table = TariffTable::standard();
+  const auto& t = table.get(net::CountryCode{'Z', 'Q'});
+  EXPECT_GT(t.send_cost, util::Money{});
+  EXPECT_FALSE(t.premium_route);
+}
+
+// --- Carrier settlement --------------------------------------------------------------
+
+TEST(Carrier, PremiumSettlementPaysAttacker) {
+  CarrierNetwork network(TariffTable::standard(), CarrierPolicy{});
+  const auto s = network.settle(kUz, /*flagged=*/false);
+  EXPECT_GT(s.app_cost, util::Money{});
+  EXPECT_GT(s.attacker_revenue, util::Money{});
+  EXPECT_GT(s.carrier_revenue, util::Money{});
+  // Conservation: kickback + carrier share = termination fee.
+  const auto& t = network.tariffs().get(kUz);
+  EXPECT_EQ(s.attacker_revenue + s.carrier_revenue, t.termination_fee);
+}
+
+TEST(Carrier, HonestRouteEarnsAttackerNothing) {
+  CarrierNetwork network(TariffTable::standard(), CarrierPolicy{});
+  const auto s = network.settle(kGb, false);
+  EXPECT_EQ(s.attacker_revenue, util::Money{});
+}
+
+TEST(Carrier, WithholdingKillsFlaggedRevenue) {
+  CarrierPolicy policy;
+  policy.withhold_flagged_compensation = true;
+  CarrierNetwork network(TariffTable::standard(), policy);
+  const auto s = network.settle(kUz, /*flagged=*/true);
+  EXPECT_EQ(s.attacker_revenue, util::Money{});
+  EXPECT_EQ(s.carrier_revenue, util::Money{});
+  EXPECT_GT(s.app_cost, util::Money{});  // the app already paid to send
+}
+
+TEST(Carrier, ValidationStrictnessGatesAdmission) {
+  CarrierPolicy strict;
+  strict.secondary_validation_strictness = 0.8;
+  CarrierNetwork network(TariffTable::standard(), strict);
+  EXPECT_FALSE(network.fraud_carrier_admitted(0.5));
+  EXPECT_TRUE(network.fraud_carrier_admitted(0.9));
+}
+
+// --- Gateway --------------------------------------------------------------------------
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  GatewayTest()
+      : network_(TariffTable::standard(), CarrierPolicy{}),
+        gateway_(network_, GatewayConfig{}) {}
+
+  CarrierNetwork network_;
+  SmsGateway gateway_;
+  NumberGenerator numbers_{sim::Rng(3)};
+};
+
+TEST_F(GatewayTest, SendRecordsAndCharges) {
+  const auto& r =
+      gateway_.send(sim::hours(1), numbers_.random_number(kUz), SmsType::Otp, web::ActorId{1});
+  EXPECT_TRUE(r.delivered);
+  EXPECT_GT(r.app_cost, util::Money{});
+  EXPECT_GT(r.attacker_revenue, util::Money{});
+  EXPECT_EQ(gateway_.sent_count(), 1u);
+  EXPECT_EQ(gateway_.delivered_count(), 1u);
+  EXPECT_EQ(gateway_.total_app_cost(), r.app_cost);
+}
+
+TEST_F(GatewayTest, VolumeByCountryAndWindow) {
+  for (int i = 0; i < 5; ++i) {
+    gateway_.send(sim::hours(i), numbers_.random_number(kUz), SmsType::BoardingPass,
+                  web::ActorId{1}, "PNR001");
+  }
+  gateway_.send(sim::hours(2), numbers_.random_number(kGb), SmsType::Otp, web::ActorId{2});
+  const auto hist = gateway_.volume_by_country(0, sim::days(1));
+  EXPECT_EQ(hist.count(kUz), 5u);
+  EXPECT_EQ(hist.count(kGb), 1u);
+  const auto bp_only = gateway_.volume_by_country(0, sim::days(1), SmsType::BoardingPass);
+  EXPECT_EQ(bp_only.count(kUz), 5u);
+  EXPECT_EQ(bp_only.count(kGb), 0u);
+  const auto windowed = gateway_.volume_by_country(0, sim::hours(2));
+  EXPECT_EQ(windowed.count(kUz), 2u);
+  EXPECT_EQ(gateway_.distinct_countries(0, sim::days(1)), 2u);
+}
+
+TEST(GatewayQuota, RejectsOverQuotaAndResetsDaily) {
+  CarrierNetwork network(TariffTable::standard(), CarrierPolicy{});
+  GatewayConfig config;
+  config.daily_quota = 3;
+  SmsGateway gateway(network, config);
+  NumberGenerator numbers{sim::Rng(4)};
+  for (int i = 0; i < 5; ++i) {
+    gateway.send(sim::hours(i), numbers.random_number(kFr), SmsType::Otp, web::ActorId{1});
+  }
+  EXPECT_EQ(gateway.delivered_count(), 3u);
+  EXPECT_EQ(gateway.rejected_count(), 2u);
+  // Next day the quota resets.
+  const auto& r =
+      gateway.send(sim::days(1) + 1, numbers.random_number(kFr), SmsType::Otp, web::ActorId{1});
+  EXPECT_TRUE(r.delivered);
+}
+
+TEST_F(GatewayTest, DailySeriesAccumulates) {
+  gateway_.send(sim::hours(1), numbers_.random_number(kFr), SmsType::Otp, web::ActorId{1});
+  gateway_.send(sim::days(2), numbers_.random_number(kFr), SmsType::Otp, web::ActorId{1});
+  EXPECT_DOUBLE_EQ(gateway_.daily_series().bucket_value(0), 1.0);
+  EXPECT_DOUBLE_EQ(gateway_.daily_series().bucket_value(2), 1.0);
+}
+
+// --- OTP service ------------------------------------------------------------------------
+
+TEST(Otp, RequestAndVerifyHappyPath) {
+  CarrierNetwork network(TariffTable::standard(), CarrierPolicy{});
+  SmsGateway gateway(network, GatewayConfig{});
+  OtpService otp(gateway, sim::Rng(5));
+  NumberGenerator numbers{sim::Rng(6)};
+  const auto code = otp.request(0, "alice", numbers.random_number(kFr), web::ActorId{1});
+  EXPECT_EQ(code.size(), 6u);
+  EXPECT_EQ(gateway.sent_count(), 1u);
+  EXPECT_TRUE(otp.verify(sim::minutes(1), "alice", code));
+  // Consumed: second verify fails.
+  EXPECT_FALSE(otp.verify(sim::minutes(2), "alice", code));
+  EXPECT_EQ(otp.verifications(), 1u);
+}
+
+TEST(Otp, WrongCodeAndExpiry) {
+  CarrierNetwork network(TariffTable::standard(), CarrierPolicy{});
+  SmsGateway gateway(network, GatewayConfig{});
+  OtpService otp(gateway, sim::Rng(7), sim::minutes(10));
+  NumberGenerator numbers{sim::Rng(8)};
+  const auto code = otp.request(0, "bob", numbers.random_number(kFr), web::ActorId{1});
+  EXPECT_FALSE(otp.verify(sim::minutes(1), "bob", "000000"));
+  const auto code2 = otp.request(sim::minutes(2), "carol", numbers.random_number(kFr),
+                                 web::ActorId{2});
+  EXPECT_FALSE(otp.verify(sim::minutes(20), "carol", code2));  // expired
+  EXPECT_EQ(otp.unverified(), 2u);
+  (void)code;
+}
+
+TEST(Otp, UnknownAccountFails) {
+  CarrierNetwork network(TariffTable::standard(), CarrierPolicy{});
+  SmsGateway gateway(network, GatewayConfig{});
+  OtpService otp(gateway, sim::Rng(9));
+  EXPECT_FALSE(otp.verify(0, "nobody", "123456"));
+}
+
+}  // namespace
+}  // namespace fraudsim::sms

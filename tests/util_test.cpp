@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/ids.hpp"
+#include "util/money.hpp"
+#include "util/result.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace fraudsim::util {
+namespace {
+
+// --- StrongId ---------------------------------------------------------------
+
+struct TestTag {};
+using TestId = StrongId<TestTag>;
+
+TEST(StrongId, DefaultIsInvalid) {
+  TestId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), 0u);
+}
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_EQ(TestId{3}, TestId{3});
+  EXPECT_NE(TestId{3}, TestId{4});
+  EXPECT_LT(TestId{3}, TestId{4});
+  EXPECT_GE(TestId{4}, TestId{4});
+}
+
+TEST(StrongId, GeneratorIsMonotonicFromOne) {
+  IdGenerator<TestId> gen;
+  EXPECT_EQ(gen.next().value(), 1u);
+  EXPECT_EQ(gen.next().value(), 2u);
+  EXPECT_EQ(gen.issued(), 2u);
+}
+
+TEST(StrongId, HashableInUnorderedContainers) {
+  std::unordered_map<TestId, int> map;
+  map[TestId{7}] = 1;
+  EXPECT_EQ(map.count(TestId{7}), 1u);
+  EXPECT_EQ(map.count(TestId{8}), 0u);
+}
+
+// --- Result / Status ---------------------------------------------------------
+
+TEST(Result, OkCarriesValue) {
+  auto r = Result<int>::ok(42);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, FailCarriesError) {
+  auto r = Result<int>::fail("boom");
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.error(), "boom");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Status, OkAndFail) {
+  EXPECT_TRUE(Status::ok());
+  auto s = Status::fail("nope");
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.error(), "nope");
+}
+
+// --- Hashing ------------------------------------------------------------------
+
+TEST(Hash, Fnv1aIsStable) {
+  // Known FNV-1a vector: empty string hashes to the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), fnv1a("a"));
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(Hash, AppendMatchesConcatenation) {
+  const auto direct = fnv1a("hello world");
+  const auto appended = fnv1a_append(fnv1a("hello"), " world");
+  EXPECT_EQ(direct, appended);
+}
+
+TEST(Hash, SplitmixAvalanches) {
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+TEST(Hash, CombineIsOrderDependent) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+// --- Strings ---------------------------------------------------------------------
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_EQ(to_upper("aBc"), "ABC");
+}
+
+TEST(Strings, SplitAndJoin) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, "-"), "a-b--c");
+}
+
+TEST(Strings, SplitWithoutSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, EntropyOfUniformString) {
+  EXPECT_DOUBLE_EQ(shannon_entropy("aaaa"), 0.0);
+  EXPECT_NEAR(shannon_entropy("ab"), 1.0, 1e-9);
+  EXPECT_NEAR(shannon_entropy("abcd"), 2.0, 1e-9);
+}
+
+TEST(Strings, VowelRatio) {
+  EXPECT_NEAR(vowel_ratio("aeiou"), 1.0, 1e-9);
+  EXPECT_NEAR(vowel_ratio("bcdfg"), 0.0, 1e-9);
+  EXPECT_NEAR(vowel_ratio("mario"), 0.6, 1e-9);
+}
+
+TEST(Strings, LevenshteinBasics) {
+  EXPECT_EQ(levenshtein("", ""), 0u);
+  EXPECT_EQ(levenshtein("abc", ""), 3u);
+  EXPECT_EQ(levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(levenshtein("smith", "smyth"), 1u);
+}
+
+TEST(Strings, LevenshteinIsSymmetric) {
+  EXPECT_EQ(levenshtein("garcia", "gracia"), levenshtein("gracia", "garcia"));
+}
+
+TEST(Strings, WithinEditDistanceEarlyOut) {
+  EXPECT_TRUE(within_edit_distance("smith", "smyth", 1));
+  EXPECT_FALSE(within_edit_distance("smith", "garcia", 1));
+  EXPECT_FALSE(within_edit_distance("ab", "abcdef", 2));  // length gap early-out
+}
+
+TEST(Strings, GibberishScoreSeparatesNamesFromMash) {
+  // Real names score low.
+  EXPECT_LT(gibberish_score("martinez"), 0.4);
+  EXPECT_LT(gibberish_score("johnson"), 0.4);
+  EXPECT_LT(gibberish_score("tanaka"), 0.4);
+  // Keyboard mash scores high.
+  EXPECT_GT(gibberish_score("ddfjrei"), 0.5);
+  EXPECT_GT(gibberish_score("affjgdui"), 0.5);
+  EXPECT_GT(gibberish_score("xqzkvwpt"), 0.5);
+}
+
+TEST(Strings, GibberishScoreShortStringsNeutral) {
+  EXPECT_DOUBLE_EQ(gibberish_score("ab"), 0.0);
+}
+
+// --- Stats ------------------------------------------------------------------------
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 10; ++i) {
+    const double x = i * 1.7 - 3;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(Stats, ChiSquareZeroForIdenticalDistributions) {
+  EXPECT_DOUBLE_EQ(chi_square({10, 20, 30}, {10, 20, 30}), 0.0);
+  EXPECT_DOUBLE_EQ(chi_square({10, 20, 30}, {1, 2, 3}), 0.0);  // scale-invariant
+}
+
+TEST(Stats, ChiSquareGrowsWithDeviation) {
+  const double small = chi_square({11, 19, 30}, {10, 20, 30});
+  const double large = chi_square({40, 10, 10}, {10, 20, 30});
+  EXPECT_GT(large, small);
+}
+
+TEST(Stats, ChiSquareTailBehaviour) {
+  EXPECT_NEAR(chi_square_tail(0.0, 5), 1.0, 1e-12);
+  // P(X^2_1 >= 3.84) ~ 0.05.
+  EXPECT_NEAR(chi_square_tail(3.84, 1), 0.05, 0.02);
+  EXPECT_LT(chi_square_tail(100.0, 5), 1e-6);
+}
+
+TEST(Stats, KlDivergenceProperties) {
+  EXPECT_NEAR(kl_divergence({1, 1, 1}, {1, 1, 1}), 0.0, 1e-6);
+  EXPECT_GT(kl_divergence({100, 1, 1}, {1, 1, 100}), 1.0);
+}
+
+TEST(Stats, JsDivergenceSymmetricAndBounded) {
+  const std::vector<double> p = {100, 1, 1};
+  const std::vector<double> q = {1, 1, 100};
+  EXPECT_NEAR(js_divergence(p, q), js_divergence(q, p), 1e-12);
+  EXPECT_LE(js_divergence(p, q), 1.0);
+  EXPECT_GE(js_divergence(p, q), 0.0);
+}
+
+TEST(ConfusionCounts, Metrics) {
+  ConfusionCounts c;
+  // 8 TP, 2 FP, 88 TN, 2 FN
+  for (int i = 0; i < 8; ++i) c.add(true, true);
+  for (int i = 0; i < 2; ++i) c.add(true, false);
+  for (int i = 0; i < 88; ++i) c.add(false, false);
+  for (int i = 0; i < 2; ++i) c.add(false, true);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.8);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.8);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.96);
+  EXPECT_NEAR(c.false_positive_rate(), 2.0 / 90.0, 1e-12);
+}
+
+TEST(ConfusionCounts, EmptyIsZero) {
+  ConfusionCounts c;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+// --- Money ------------------------------------------------------------------------
+
+TEST(Money, ConstructionAndArithmetic) {
+  const auto a = Money::from_cents(150);
+  const auto b = Money::from_units(2);
+  EXPECT_EQ((a + b).micros(), 3'500'000);
+  EXPECT_EQ((b - a).micros(), 500'000);
+  EXPECT_EQ((a * 3).micros(), 4'500'000);
+  EXPECT_EQ((-a).micros(), -1'500'000);
+}
+
+TEST(Money, FractionalScalingRounds) {
+  const auto m = Money::from_units(10) * 0.15;
+  EXPECT_EQ(m.micros(), 1'500'000);
+  const auto tiny = Money::from_micros(3) * 0.5;
+  EXPECT_EQ(tiny.micros(), 2);  // llround(1.5) = 2
+}
+
+TEST(Money, Ordering) {
+  EXPECT_LT(Money::from_cents(99), Money::from_units(1));
+  EXPECT_GE(Money::from_units(1), Money::from_cents(100));
+}
+
+TEST(Money, Formatting) {
+  EXPECT_EQ(Money::from_units(12).str(), "$12");
+  EXPECT_EQ(Money::from_cents(1234).str(), "$12.34");
+  EXPECT_EQ(Money::from_double(-0.002).str(), "-$0.002");
+}
+
+TEST(Money, FromDoubleRoundTrips) {
+  EXPECT_NEAR(Money::from_double(1.234567).to_double(), 1.234567, 1e-6);
+}
+
+// --- Tables -----------------------------------------------------------------------
+
+TEST(AsciiTable, RendersHeadersAndRows) {
+  AsciiTable t({"Country", "Increase"});
+  t.add_row({"Uzbekistan", "160,209%"});
+  t.add_row({"Iran", "66,095%"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("Country"), std::string::npos);
+  EXPECT_NE(s.find("Uzbekistan"), std::string::npos);
+  EXPECT_NE(s.find("160,209%"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(AsciiTable, PadsShortRows) {
+  AsciiTable t({"A", "B", "C"});
+  t.add_row({"x"});
+  EXPECT_NE(t.render().find("x"), std::string::npos);
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(160209), "160,209");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+TEST(Format, SurgePercent) {
+  EXPECT_EQ(format_surge_percent(1602.09), "160,209%");
+  EXPECT_EQ(format_surge_percent(0.44), "44%");
+  EXPECT_EQ(format_surge_percent(0.0), "0%");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.123, 1), "12.3%");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+}
+
+TEST(Format, AsciiBar) {
+  EXPECT_EQ(ascii_bar(0.0, 10), "          ");
+  EXPECT_EQ(ascii_bar(1.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.5, 10).substr(0, 5), "#####");
+  EXPECT_EQ(ascii_bar(2.0, 4), "####");  // clamped
+}
+
+}  // namespace
+}  // namespace fraudsim::util

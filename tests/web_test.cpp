@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "web/endpoint.hpp"
+#include "web/features.hpp"
+#include "web/session.hpp"
+#include "web/weblog.hpp"
+
+namespace fraudsim::web {
+namespace {
+
+HttpRequest make_request(sim::SimTime t, std::uint64_t session, Endpoint endpoint,
+                         HttpMethod method = HttpMethod::Get, std::uint64_t actor = 1) {
+  HttpRequest r;
+  r.time = t;
+  r.session = SessionId{session};
+  r.endpoint = endpoint;
+  r.method = method;
+  r.actor = ActorId{actor};
+  return r;
+}
+
+// --- Endpoints ------------------------------------------------------------------
+
+TEST(Endpoint, PathsAndDepth) {
+  EXPECT_STREQ(endpoint_path(Endpoint::Home), "/");
+  EXPECT_EQ(endpoint_depth(Endpoint::Home), 1);
+  EXPECT_EQ(endpoint_depth(Endpoint::BoardingPassSms), 3);
+}
+
+TEST(Endpoint, Classification) {
+  EXPECT_TRUE(is_search_endpoint(Endpoint::SearchFlights));
+  EXPECT_FALSE(is_search_endpoint(Endpoint::Payment));
+  EXPECT_TRUE(is_transactional(Endpoint::HoldReservation));
+  EXPECT_TRUE(is_transactional(Endpoint::BoardingPassSms));
+  EXPECT_FALSE(is_transactional(Endpoint::Home));
+  EXPECT_TRUE(requires_login(Endpoint::BoardingPassSms));
+  EXPECT_TRUE(requires_payment(Endpoint::BoardingPassSms));
+  EXPECT_FALSE(requires_payment(Endpoint::RequestOtp));
+}
+
+// --- WebLog ---------------------------------------------------------------------
+
+TEST(WebLog, AppendAssignsIds) {
+  WebLog log;
+  const auto& a = log.append(make_request(10, 1, Endpoint::Home));
+  EXPECT_EQ(a.id.value(), 1u);
+  const auto& b = log.append(make_request(20, 1, Endpoint::SearchFlights));
+  EXPECT_EQ(b.id.value(), 2u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(WebLog, RangeFiltersHalfOpen) {
+  WebLog log;
+  for (int t = 0; t < 10; ++t) log.append(make_request(t * 100, 1, Endpoint::Home));
+  const auto mid = log.range(200, 500);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.front().time, 200);
+  EXPECT_EQ(mid.back().time, 400);
+}
+
+TEST(WebLog, FilterByPredicate) {
+  WebLog log;
+  log.append(make_request(1, 1, Endpoint::Home));
+  log.append(make_request(2, 1, Endpoint::TrapFile));
+  const auto traps =
+      log.filter([](const HttpRequest& r) { return r.endpoint == Endpoint::TrapFile; });
+  EXPECT_EQ(traps.size(), 1u);
+}
+
+// --- Sessionizer -----------------------------------------------------------------
+
+TEST(Sessionizer, GroupsByCookie) {
+  Sessionizer sessionizer;
+  std::vector<HttpRequest> requests;
+  requests.push_back(make_request(0, 1, Endpoint::Home));
+  requests.push_back(make_request(1000, 2, Endpoint::Home));
+  requests.push_back(make_request(2000, 1, Endpoint::SearchFlights));
+  const auto sessions = sessionizer.sessionize(requests);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].requests.size(), 2u);  // cookie 1
+  EXPECT_EQ(sessions[1].requests.size(), 1u);  // cookie 2
+}
+
+TEST(Sessionizer, SplitsOnInactivityGap) {
+  Sessionizer sessionizer(sim::minutes(30));
+  std::vector<HttpRequest> requests;
+  requests.push_back(make_request(0, 1, Endpoint::Home));
+  requests.push_back(make_request(sim::minutes(10), 1, Endpoint::SearchFlights));
+  requests.push_back(make_request(sim::hours(2), 1, Endpoint::Home));  // new visit
+  const auto sessions = sessionizer.sessionize(requests);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].requests.size(), 2u);
+  EXPECT_EQ(sessions[1].requests.size(), 1u);
+}
+
+TEST(Sessionizer, SortsOutOfOrderRequests) {
+  Sessionizer sessionizer;
+  std::vector<HttpRequest> requests;
+  requests.push_back(make_request(5000, 1, Endpoint::SearchFlights));
+  requests.push_back(make_request(1000, 1, Endpoint::Home));
+  const auto sessions = sessionizer.sessionize(requests);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].requests.front().time, 1000);
+  EXPECT_EQ(sessions[0].start(), 1000);
+  EXPECT_EQ(sessions[0].end(), 5000);
+  EXPECT_EQ(sessions[0].duration(), 4000);
+}
+
+// --- Feature extraction -------------------------------------------------------------
+
+TEST(Features, CountsAndRatios) {
+  Session session;
+  session.id = SessionId{1};
+  session.requests.push_back(make_request(0, 1, Endpoint::Home));
+  session.requests.push_back(make_request(sim::seconds(10), 1, Endpoint::SearchFlights));
+  session.requests.push_back(make_request(sim::seconds(20), 1, Endpoint::SearchFlights));
+  session.requests.push_back(
+      make_request(sim::seconds(30), 1, Endpoint::HoldReservation, HttpMethod::Post));
+  const auto f = extract_features(session);
+  EXPECT_DOUBLE_EQ(f.total_requests, 4);
+  EXPECT_DOUBLE_EQ(f.get_count, 3);
+  EXPECT_DOUBLE_EQ(f.post_count, 1);
+  EXPECT_DOUBLE_EQ(f.post_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(f.unique_endpoints, 3);
+  EXPECT_DOUBLE_EQ(f.search_requests, 2);
+  EXPECT_DOUBLE_EQ(f.search_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(f.transactional_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(f.mean_interarrival_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(f.duration_minutes, 0.5);
+  EXPECT_DOUBLE_EQ(f.trap_file_hits, 0);
+}
+
+TEST(Features, TrapAndErrors) {
+  Session session;
+  session.requests.push_back(make_request(0, 1, Endpoint::TrapFile));
+  auto err = make_request(1000, 1, Endpoint::SearchFlights);
+  err.status_code = 403;
+  session.requests.push_back(err);
+  const auto f = extract_features(session);
+  EXPECT_DOUBLE_EQ(f.trap_file_hits, 1);
+  EXPECT_DOUBLE_EQ(f.error_ratio, 0.5);
+}
+
+TEST(Features, NightFraction) {
+  Session session;
+  session.requests.push_back(make_request(sim::hours(2), 1, Endpoint::Home));   // 02:00
+  session.requests.push_back(make_request(sim::hours(14), 1, Endpoint::Home));  // 14:00
+  const auto f = extract_features(session);
+  EXPECT_DOUBLE_EQ(f.night_fraction, 0.5);
+}
+
+TEST(Features, EmptySessionIsZero) {
+  Session session;
+  const auto f = extract_features(session);
+  EXPECT_DOUBLE_EQ(f.total_requests, 0);
+  EXPECT_DOUBLE_EQ(f.requests_per_minute, 0);
+}
+
+TEST(Features, VectorShapeMatchesNames) {
+  Session session;
+  session.requests.push_back(make_request(0, 1, Endpoint::Home));
+  const auto f = extract_features(session);
+  EXPECT_EQ(f.as_vector().size(), SessionFeatures::kDimensions);
+  EXPECT_EQ(SessionFeatures::names().size(), SessionFeatures::kDimensions);
+}
+
+TEST(Features, SingleRequestRatePinnedToMinuteFloor) {
+  Session session;
+  session.requests.push_back(make_request(0, 1, Endpoint::Home));
+  const auto f = extract_features(session);
+  // Duration 0 clamps to 1 second -> 60 req/min for a single request.
+  EXPECT_NEAR(f.requests_per_minute, 60.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fraudsim::web

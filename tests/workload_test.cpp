@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/scenario/env.hpp"
+#include "util/strings.hpp"
+#include "workload/names.hpp"
+#include "workload/nip_model.hpp"
+
+namespace fraudsim::workload {
+namespace {
+
+// --- Names ------------------------------------------------------------------
+
+TEST(Names, PoolsAreLargeAndPlausible) {
+  EXPECT_GE(first_name_pool().size(), 60u);
+  EXPECT_GE(surname_pool().size(), 80u);
+  for (const auto& name : surname_pool()) {
+    EXPECT_LT(util::gibberish_score(util::to_lower(name)), 0.6) << name;
+  }
+}
+
+TEST(Names, RandomPassengerIsComplete) {
+  sim::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto p = random_passenger(rng);
+    EXPECT_FALSE(p.first_name.empty());
+    EXPECT_FALSE(p.surname.empty());
+    EXPECT_TRUE(airline::is_valid_date(p.birthdate));
+    EXPECT_NE(p.email.find('@'), std::string::npos);
+  }
+}
+
+TEST(Names, FamilyPartiesShareSurname) {
+  sim::Rng rng(2);
+  int shared = 0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    const auto party = random_party(rng, 3, /*family_prob=*/1.0);
+    ASSERT_EQ(party.size(), 3u);
+    if (party[0].surname == party[1].surname && party[1].surname == party[2].surname) ++shared;
+  }
+  EXPECT_EQ(shared, trials);
+}
+
+TEST(Names, MisspellIsWithinOneEdit) {
+  sim::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::string name = "martinez";
+    const auto typo = misspell(rng, name);
+    EXPECT_TRUE(util::within_edit_distance(name, typo, 1)) << typo;
+  }
+}
+
+TEST(Names, MisspellKeepsShortNamesIntact) {
+  sim::Rng rng(4);
+  EXPECT_EQ(misspell(rng, "a"), "a");
+}
+
+// --- NiP model ---------------------------------------------------------------
+
+TEST(NipModel, StandardMatchesPaperShape) {
+  // Fig. 1 average week: NiP 1-2 dominate (>80%), thin tail to 9.
+  const auto model = NipModel::standard();
+  ASSERT_EQ(model.max_nip(), 9);
+  const auto& w = model.weights();
+  EXPECT_GT(w[0] + w[1], 0.8);
+  EXPECT_GT(w[0], w[1]);
+  for (int i = 2; i < 9; ++i) EXPECT_GT(w[i - 1], w[i]) << "NiP weights must decay";
+}
+
+TEST(NipModel, SampleDistributionMatchesWeights) {
+  const auto model = NipModel::standard();
+  sim::Rng rng(5);
+  std::map<int, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[model.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.54, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.29, 0.02);
+  for (const auto& [nip, c] : counts) {
+    EXPECT_GE(nip, 1);
+    EXPECT_LE(nip, 9);
+    (void)c;
+  }
+}
+
+TEST(NipModel, CapFoldsTailOntoCap) {
+  const auto model = NipModel::standard();
+  sim::Rng rng(6);
+  std::map<int, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[model.sample_with_cap(rng, 4)];
+  EXPECT_EQ(counts.rbegin()->first, 4);  // nothing above the cap
+  // The cap bucket absorbs the folded tail: P(4) + P(5..9) ~ 9.4%.
+  EXPECT_NEAR(static_cast<double>(counts[4]) / n, 0.094, 0.01);
+}
+
+TEST(NipModel, NoCapMeansUncapped) {
+  const auto model = NipModel::standard();
+  sim::Rng rng(7);
+  bool saw_above_4 = false;
+  for (int i = 0; i < 5000; ++i) {
+    if (model.sample_with_cap(rng, 0) > 4) saw_above_4 = true;
+  }
+  EXPECT_TRUE(saw_above_4);
+}
+
+// --- Legit traffic (integration through the Env) --------------------------------
+
+TEST(LegitTraffic, GeneratesRealisticWeek) {
+  scenario::EnvConfig config;
+  config.seed = 11;
+  config.legit.booking_sessions_per_hour = 12;
+  config.legit.browse_sessions_per_hour = 8;
+  config.legit.otp_logins_per_hour = 6;
+  scenario::Env env(config);
+  env.add_flights("A", 10, 200, sim::days(30));
+  env.start_background(sim::days(2));
+  env.run_until(sim::days(2));
+
+  const auto& stats = env.legit->stats();
+  EXPECT_GT(stats.sessions, 500u);
+  EXPECT_GT(stats.booking_sessions, 300u);
+  EXPECT_GT(stats.holds_succeeded, 200u);
+  // Conversion is p_convert-ish but bounded by pay scheduling.
+  EXPECT_GT(stats.bookings_paid, stats.holds_succeeded / 2);
+  EXPECT_LE(stats.bookings_paid, stats.holds_succeeded);
+  // Nobody gets blocked or rate-limited with no rules installed.
+  EXPECT_EQ(stats.blocked, 0u);
+  EXPECT_EQ(stats.rate_limited, 0u);
+  EXPECT_EQ(stats.challenged, 0u);
+  EXPECT_EQ(stats.lost_sales_no_seats, 0u);
+
+  // Weblog sanity: requests exist, statuses are 200.
+  EXPECT_GT(env.app.weblog().size(), 2000u);
+  // Some boarding passes went out via SMS.
+  EXPECT_GT(stats.boarding_sms, 0u);
+  EXPECT_GT(env.app.sms_gateway().delivered_count(), 0u);
+}
+
+TEST(LegitTraffic, NipDistributionMatchesModelBaseline) {
+  scenario::EnvConfig config;
+  config.seed = 12;
+  config.legit.booking_sessions_per_hour = 30;
+  config.legit.browse_sessions_per_hour = 0;
+  config.legit.otp_logins_per_hour = 0;
+  scenario::Env env(config);
+  env.add_flights("A", 20, 300, sim::days(30));
+  env.start_background(sim::days(3));
+  env.run_until(sim::days(3));
+
+  analytics::CategoricalHistogram<int> hist;
+  for (const auto& r : env.app.inventory().reservations()) hist.add(r.nip());
+  ASSERT_GT(hist.total(), 1000u);
+  EXPECT_NEAR(hist.fraction(1), 0.54, 0.05);
+  EXPECT_NEAR(hist.fraction(2), 0.29, 0.05);
+  EXPECT_LT(hist.fraction(6), 0.03);
+}
+
+TEST(LegitTraffic, RespectsNipCap) {
+  scenario::EnvConfig config;
+  config.seed = 13;
+  config.legit.booking_sessions_per_hour = 30;
+  config.legit.browse_sessions_per_hour = 0;
+  config.legit.otp_logins_per_hour = 0;
+  scenario::Env env(config);
+  env.add_flights("A", 20, 300, sim::days(30));
+  env.app.inventory().set_max_nip(4);
+  env.start_background(sim::days(2));
+  env.run_until(sim::days(2));
+
+  analytics::CategoricalHistogram<int> hist;
+  for (const auto& r : env.app.inventory().reservations()) hist.add(r.nip());
+  ASSERT_GT(hist.total(), 500u);
+  EXPECT_EQ(hist.count(5) + hist.count(6) + hist.count(7) + hist.count(8) + hist.count(9), 0u);
+  // The folded tail makes NiP=4 visibly heavier than the uncapped ~4.5%.
+  EXPECT_GT(hist.fraction(4), 0.06);
+}
+
+TEST(LegitTraffic, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    scenario::EnvConfig config;
+    config.seed = seed;
+    config.legit.booking_sessions_per_hour = 10;
+    scenario::Env env(config);
+    env.add_flights("A", 5, 100, sim::days(10));
+    env.start_background(sim::days(1));
+    env.run_until(sim::days(1));
+    return env.app.weblog().size();
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace fraudsim::workload
