@@ -1,0 +1,294 @@
+// OUT: degraded-mode resilience under functional abuse.
+//
+// Three questions, all driven by the deterministic fault-injection registry:
+//
+//   A. What does SOC/detector downtime buy the attacker? A seat-spinning bot
+//      is run against the mitigation controller with and without a one-day
+//      sweep outage: enforcement stops, rotation pressure disappears, and the
+//      bot's hold yield inside the dark window rises.
+//
+//   B. What does a carrier outage cost the platform? Under SMS pumping, every
+//      failed submission re-queues with backoff — and most of that retry
+//      storm is attacker-fuelled traffic retried on the app's dime. The
+//      amplification is at least as large as the direct failure volume; a
+//      per-carrier circuit breaker fail-fasts through the outage and bounds
+//      it.
+//
+//   C. Does the detection pipeline survive any single detector being down?
+//      Each family's fault point is armed in turn; the pipeline must complete
+//      with degraded=true, record the skipped family, and the union of the
+//      remaining families shows what coverage each outage forfeits.
+//
+// With every fault disarmed the platform must behave exactly as a build
+// without fault injection (zero-cost-when-off) — part B's baseline checks
+// that no retry machinery engages.
+#include <iostream>
+#include <set>
+
+#include "attack/scraper.hpp"
+#include "attack/seat_spin.hpp"
+#include "attack/sms_pump.hpp"
+#include "core/detect/pipeline.hpp"
+#include "core/fault/fault.hpp"
+#include "core/scenario/outage_scenario.hpp"
+#include "util/table.hpp"
+
+using namespace fraudsim;
+
+namespace {
+
+bool ok = true;
+
+void expect(bool cond, const char* what) {
+  if (!cond) {
+    std::cout << "SHAPE VIOLATION: " << what << "\n";
+    ok = false;
+  }
+}
+
+// --- Part A: detector outage under seat spinning --------------------------
+
+void run_detector_outage() {
+  scenario::DetectorOutageScenarioConfig config;
+  config.seed = 3002;
+  config.horizon = sim::days(5);
+  config.attack_start = sim::days(1);
+  config.outage_start = sim::days(2);
+  config.outage_end = sim::days(3);
+  config.legit.booking_sessions_per_hour = 15;
+  config.legit.browse_sessions_per_hour = 10;
+  config.legit.otp_logins_per_hour = 8;
+
+  std::cout << "Part A: seat spinning vs SOC sweep outage (2 x 5 simulated days)...\n";
+  auto baseline_config = config;
+  baseline_config.outage_enabled = false;
+  const auto baseline = scenario::run_detector_outage_scenario(baseline_config);
+  const auto outage = scenario::run_detector_outage_scenario(config);
+
+  util::AsciiTable table({"Metric", "Healthy SOC", "Sweeps dark d2-d3"});
+  table.add_row({"sweeps skipped", std::to_string(baseline.skipped_sweeps),
+                 std::to_string(outage.skipped_sweeps)});
+  table.add_row({"fingerprints blocked", std::to_string(baseline.fingerprints_blocked),
+                 std::to_string(outage.fingerprints_blocked)});
+  table.add_row({"bot holds (whole run)", util::format_count(baseline.bot_holds_total),
+                 util::format_count(outage.bot_holds_total)});
+  table.add_row({"bot holds inside outage window",
+                 util::format_count(baseline.bot_holds_in_window),
+                 util::format_count(outage.bot_holds_in_window)});
+  table.add_row({"bot requests blocked", util::format_count(baseline.bot.counters.blocked),
+                 util::format_count(outage.bot.counters.blocked)});
+  std::cout << "\n=== OUT-A: detector downtime is attacker advantage ===\n"
+            << table.render() << "\n";
+
+  expect(baseline.skipped_sweeps == 0, "healthy SOC skips no sweeps");
+  expect(outage.skipped_sweeps >= 12, "a one-day outage skips many hourly sweeps");
+  expect(outage.bot_holds_in_window > baseline.bot_holds_in_window,
+         "detector outage raises attacker hold yield inside the dark window");
+  expect(outage.bot.counters.blocked < baseline.bot.counters.blocked,
+         "enforcement pressure drops while sweeps are dark");
+}
+
+// --- Part B: carrier outage under SMS pumping ------------------------------
+
+void run_carrier_outage() {
+  scenario::CarrierOutageScenarioConfig config;
+  config.seed = 3001;
+  config.horizon = sim::days(2);
+  config.attack_start = sim::hours(6);
+  config.outage_start = sim::hours(18);
+  config.outage_end = sim::hours(30);
+  config.legit.booking_sessions_per_hour = 15;
+  config.legit.browse_sessions_per_hour = 8;
+  config.legit.otp_logins_per_hour = 20;
+  config.legit.p_boarding_sms = 0.3;
+  config.pump.mean_request_gap = sim::minutes(1);
+  config.breaker.failure_threshold = 5;
+  config.breaker.cooldown = sim::minutes(10);
+
+  std::cout << "Part B: SMS pumping vs carrier outage (3 x 2 simulated days)...\n";
+  auto healthy_config = config;
+  healthy_config.outage_enabled = false;
+  const auto healthy = scenario::run_carrier_outage_scenario(healthy_config);
+  const auto no_breaker = scenario::run_carrier_outage_scenario(config);
+  auto breaker_config = config;
+  breaker_config.breaker_enabled = true;
+  const auto with_breaker = scenario::run_carrier_outage_scenario(breaker_config);
+
+  util::AsciiTable table({"Metric", "No outage", "Outage, retries", "Outage + breaker"});
+  table.add_row({"carrier submissions", util::format_count(healthy.carrier_attempts),
+                 util::format_count(no_breaker.carrier_attempts),
+                 util::format_count(with_breaker.carrier_attempts)});
+  table.add_row({"first-attempt failures (direct)",
+                 util::format_count(healthy.first_attempt_failures),
+                 util::format_count(no_breaker.first_attempt_failures),
+                 util::format_count(with_breaker.first_attempt_failures)});
+  table.add_row({"retries enqueued (amplification)",
+                 util::format_count(healthy.retries_enqueued),
+                 util::format_count(no_breaker.retries_enqueued),
+                 util::format_count(with_breaker.retries_enqueued)});
+  table.add_row({"breaker fail-fasts", util::format_count(healthy.breaker_rejected),
+                 util::format_count(no_breaker.breaker_rejected),
+                 util::format_count(with_breaker.breaker_rejected)});
+  table.add_row({"breaker trips", std::to_string(healthy.breaker_trips),
+                 std::to_string(no_breaker.breaker_trips),
+                 std::to_string(with_breaker.breaker_trips)});
+  table.add_row({"attacker share of retry load", "-",
+                 util::format_percent(no_breaker.attacker_retry_share, 0),
+                 util::format_percent(with_breaker.attacker_retry_share, 0)});
+  table.add_row({"legit messages undelivered", util::format_count(healthy.legit_undelivered),
+                 util::format_count(no_breaker.legit_undelivered),
+                 util::format_count(with_breaker.legit_undelivered)});
+  std::cout << "\n=== OUT-B: retry amplification and the circuit breaker ===\n"
+            << table.render() << "\n";
+
+  // Zero-cost-when-off: with no fault armed the retry machinery never engages.
+  expect(healthy.carrier_failures == 0 && healthy.retries_enqueued == 0 &&
+             healthy.breaker_trips == 0,
+         "no outage => no failures, no retries, no trips");
+  expect(no_breaker.retries_enqueued >= no_breaker.first_attempt_failures,
+         "unbounded retries amplify to at least the direct failure volume");
+  expect(no_breaker.attacker_retry_share > 0.5,
+         "the retry storm is mostly attacker-fuelled under pumping");
+  expect(with_breaker.breaker_trips >= 1, "the breaker trips during the outage");
+  expect(with_breaker.retries_enqueued < no_breaker.retries_enqueued,
+         "the breaker bounds retry amplification");
+  expect(with_breaker.carrier_attempts < no_breaker.carrier_attempts,
+         "fail-fast cuts submissions against a dead carrier");
+}
+
+// --- Part C: degraded detection pipeline -----------------------------------
+
+std::size_t abusers_caught(const detect::PipelineResult& result,
+                           const std::vector<web::ActorId>& abusers) {
+  std::set<web::ActorId> flagged;
+  for (const auto& alert : result.alerts.alerts()) {
+    if (alert.actor) flagged.insert(*alert.actor);
+  }
+  std::size_t caught = 0;
+  for (const auto actor : abusers) caught += flagged.contains(actor) ? 1 : 0;
+  return caught;
+}
+
+void run_pipeline_degradation() {
+  auto& faults = fault::FaultRegistry::global();
+  faults.reset();
+
+  scenario::EnvConfig env_config;
+  env_config.seed = 3333;
+  env_config.legit.booking_sessions_per_hour = 20;
+  env_config.legit.browse_sessions_per_hour = 10;
+  env_config.legit.otp_logins_per_hour = 6;
+  scenario::Env env(env_config);
+  env.add_flights("A", 8, 150, sim::days(30));
+  const auto target = env.app.add_flight("A", 801, 100, sim::days(9));
+
+  attack::ScraperConfig scraper_config;
+  scraper_config.requests_per_session = 300;
+  scraper_config.sessions = 8;
+  scraper_config.session_gap = sim::hours(8);
+  attack::ScraperBot scraper(env.app, env.actors, env.datacenter, env.population, scraper_config,
+                             env.rng.fork("scraper"));
+
+  attack::SeatSpinConfig doi_config;
+  doi_config.target = target;
+  attack::SeatSpinBot doi(env.app, env.actors, env.residential, env.population, doi_config,
+                          env.rng.fork("doi"));
+
+  attack::SmsPumpConfig pump_config;
+  pump_config.tickets_to_buy = 4;
+  pump_config.mean_request_gap = sim::minutes(1);
+  pump_config.stop_at = sim::days(3);
+  attack::SmsPumpBot pump(env.app, env.actors, env.residential, env.population, env.tariffs,
+                          pump_config, env.rng.fork("pump"));
+
+  std::cout << "Part C: pipeline degradation (3 simulated days, 13 pipeline runs)...\n";
+  env.start_background(sim::days(3));
+  scraper.start();
+  env.sim.schedule_at(sim::days(1), [&] {
+    doi.start();
+    pump.start();
+  });
+  env.run_until(sim::days(3));
+
+  detect::DetectionPipeline pipeline;
+  pipeline.fit_nip_baseline(env.app, 0, sim::days(1));
+  pipeline.fit_navigation(env.app, 0, sim::days(1));
+  pipeline.enable_ip_reputation(env.geo);
+  sim::Rng rng(9);
+  pipeline.train_behavior(env.app, 0, sim::days(1), rng, [&](web::ActorId actor) {
+    return env.actors.kind_of(actor) == app::ActorKind::Scraper ? 1 : 0;
+  });
+  const std::vector<web::ActorId> abusers{scraper.actor(), doi.actor(), pump.actor()};
+  const auto run_window = [&] {
+    return pipeline.run(env.app, env.actors, sim::days(1), sim::days(3));
+  };
+
+  const auto intact = run_window();
+  expect(!intact.degraded && intact.skipped.empty(), "no faults => not degraded");
+  const std::size_t intact_caught = abusers_caught(intact, abusers);
+
+  struct FamilyPoint {
+    const char* family;
+    const char* point;
+  };
+  const FamilyPoint points[] = {
+      {"behavior.volume", "detect.volume.run"},
+      {"behavior.classifier", "detect.behavior.run"},
+      {"behavior.navigation", "detect.navigation.run"},
+      {"ip.reputation", "detect.ip.run"},
+      {"biometric.pointer", "detect.biometric.run"},
+      {"fingerprint.artifact", "detect.artifact.run"},
+      {"fingerprint.consistency", "detect.consistency.run"},
+      {"fingerprint.rarity", "detect.rarity.run"},
+      {"nip.anomaly", "detect.nip.run"},
+      {"name.patterns", "detect.names.run"},
+      {"sms.anomaly", "detect.sms.run"},
+  };
+
+  util::AsciiTable table({"Family down", "degraded", "alerts", "abusers caught (of 3)"});
+  table.add_row({"(none)", "no", util::format_count(intact.alerts.alerts().size()),
+                 std::to_string(intact_caught)});
+  bool any_coverage_loss = false;
+  for (const auto& fp : points) {
+    faults.reset();
+    faults.arm(fp.point, fault::FaultScenario::always());
+    const auto degraded = run_window();
+    expect(degraded.degraded, "single-detector fault degrades the run");
+    expect(degraded.skipped.size() == 1 && degraded.skipped_family(fp.family),
+           "exactly the faulted family is skipped");
+    expect(degraded.alerts.alerts().size() <= intact.alerts.alerts().size(),
+           "a blind family cannot add alerts");
+    if (degraded.alerts.alerts().size() < intact.alerts.alerts().size()) {
+      any_coverage_loss = true;
+    }
+    table.add_row({fp.family, degraded.degraded ? "yes" : "no",
+                   util::format_count(degraded.alerts.alerts().size()),
+                   std::to_string(abusers_caught(degraded, abusers))});
+  }
+  faults.reset();
+
+  // Total blackout: every family dark, the pipeline still completes.
+  for (const auto& fp : points) faults.arm(fp.point, fault::FaultScenario::always());
+  const auto blackout = run_window();
+  table.add_row({"(all families)", "yes", util::format_count(blackout.alerts.alerts().size()),
+                 std::to_string(abusers_caught(blackout, abusers))});
+  faults.reset();
+
+  std::cout << "\n=== OUT-C: pipeline survives any detector outage ===\n"
+            << table.render() << "\n";
+  expect(intact_caught == 3, "intact pipeline catches all three abusers");
+  expect(any_coverage_loss, "at least one family outage forfeits alerts");
+  expect(blackout.degraded && blackout.skipped.size() == std::size(points),
+         "total blackout completes with every family skipped");
+  expect(blackout.alerts.alerts().empty(), "total blackout raises no alerts");
+}
+
+}  // namespace
+
+int main() {
+  run_detector_outage();
+  run_carrier_outage();
+  run_pipeline_degradation();
+  std::cout << (ok ? "OUT SHAPE: OK\n" : "OUT SHAPE: FAILED\n");
+  return ok ? 0 : 1;
+}

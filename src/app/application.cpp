@@ -10,7 +10,8 @@ Application::Application(sim::Simulation& sim, const sms::CarrierNetwork& carrie
       gateway_(carriers, config.gateway),
       otp_(gateway_, rng.fork("otp")),
       boarding_(inventory_, gateway_, config.boarding),
-      fares_(config.fares) {
+      fares_(config.fares),
+      policy_fault_(fault::FaultRegistry::global().point("app.policy.evaluate")) {
   if (config.honeypot_enabled) {
     decoy_ = std::make_unique<airline::InventoryManager>(config.inventory, rng.fork("decoy-pnr"));
   }
@@ -56,10 +57,22 @@ PolicyDecision Application::admit(const ClientContext& ctx, web::Endpoint endpoi
   request.actor = ctx.actor;
 
   IngressPolicy& policy = policy_ != nullptr ? *policy_ : allow_all_;
-  const PolicyDecision decision = policy.evaluate(request, ctx);
+  PolicyDecision decision;
+  if (policy_fault_.should_fail(request.time)) {
+    // The policy dependency is down. Degrade per the configured mode instead
+    // of taking the request path down with it.
+    ++stats_.policy_faults;
+    if (config_.policy_fault_mode == PolicyFaultMode::FailOpen) {
+      decision = PolicyDecision{PolicyAction::Allow, "policy.fault.fail-open"};
+    } else {
+      decision = PolicyDecision{PolicyAction::Block, "policy.fault.fail-closed"};
+    }
+  } else {
+    decision = policy.evaluate(request, ctx);
+  }
   request.status_code = status_code_for(decision.action);
 
-  fp_store_.observe(ctx.fingerprint);
+  fp_store_.observe(ctx.fingerprint, request.time);
   if (ctx.pointer_biometrics) {
     biometric_log_.push_back(BiometricRecord{request.time, ctx.session, request.fp_hash,
                                              ctx.actor, *ctx.pointer_biometrics});

@@ -26,6 +26,7 @@
 #include "airline/inventory.hpp"
 #include "app/fp_store.hpp"
 #include "app/policy.hpp"
+#include "core/fault/fault.hpp"
 #include "net/geo.hpp"
 #include "sim/simulation.hpp"
 #include "sms/gateway.hpp"
@@ -34,6 +35,13 @@
 
 namespace fraudsim::app {
 
+// What admission does while the IngressPolicy itself is faulting (the
+// "app.policy.evaluate" fault point): fail-open keeps the booking path alive
+// and lets abuse through unchecked; fail-closed turns a detector outage into
+// a self-inflicted denial of service. The paper's platforms run fail-open —
+// detection must never take the booking path down.
+enum class PolicyFaultMode : std::uint8_t { FailOpen, FailClosed };
+
 struct ApplicationConfig {
   airline::InventoryConfig inventory;
   airline::BoardingConfig boarding;
@@ -41,6 +49,7 @@ struct ApplicationConfig {
   airline::FareConfig fares;
   // Run the decoy inventory for honeypot decisions.
   bool honeypot_enabled = false;
+  PolicyFaultMode policy_fault_mode = PolicyFaultMode::FailOpen;
 };
 
 enum class CallStatus : std::uint8_t {
@@ -133,6 +142,9 @@ class Application {
     std::uint64_t challenged = 0;
     std::uint64_t rate_limited = 0;
     std::uint64_t honeypotted = 0;
+    // Requests admitted (or rejected) without a policy verdict because the
+    // ingress policy was faulting.
+    std::uint64_t policy_faults = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   // Decisions per rule id (how long each blocking rule stayed effective is
@@ -178,6 +190,7 @@ class Application {
   airline::FareEngine fares_;
   IngressPolicy* policy_ = nullptr;
   AllowAllPolicy allow_all_;
+  fault::FaultPoint& policy_fault_;
   Stats stats_;
   std::unordered_map<std::string, std::uint64_t> rule_hits_;
   std::unordered_set<std::string> decoy_pnrs_;

@@ -2,7 +2,14 @@
 
 namespace fraudsim::app {
 
-void FingerprintStore::observe(const fp::Fingerprint& fingerprint) {
+FingerprintStore::FingerprintStore()
+    : record_fault_(fault::FaultRegistry::global().point("fp.store.record")) {}
+
+void FingerprintStore::observe(const fp::Fingerprint& fingerprint, sim::SimTime now) {
+  if (record_fault_.should_fail(now)) {
+    ++dropped_;
+    return;
+  }
   const fp::FpHash hash = fingerprint.hash();
   auto& entry = entries_[hash];
   if (entry.count == 0) entry.fingerprint = fingerprint;

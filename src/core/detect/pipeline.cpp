@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "core/fault/fault.hpp"
+
 namespace fraudsim::detect {
 
 const DetectorReport* PipelineResult::report_for(const std::string& detector) const {
@@ -10,6 +12,13 @@ const DetectorReport* PipelineResult::report_for(const std::string& detector) co
     if (r.detector == detector) return &r;
   }
   return nullptr;
+}
+
+bool PipelineResult::skipped_family(const std::string& family) const {
+  for (const auto& s : skipped) {
+    if (s.family == family) return true;
+  }
+  return false;
 }
 
 DetectionPipeline::DetectionPipeline(PipelineConfig config)
@@ -54,61 +63,101 @@ PipelineResult DetectionPipeline::run(const app::Application& application,
   const web::Sessionizer sessionizer(config_.session_timeout);
   result.sessions = sessionizer.sessionize(application.weblog().range(from, to));
 
+  // Runs one detector family behind its fault point. An injected outage or a
+  // thrown exception records the family as skipped; the pipeline always
+  // finishes the remaining families — detection never takes the SOC report
+  // down with it.
+  auto guarded = [&result, to](const char* family, const char* point, auto&& fn) {
+    if (fault::FaultRegistry::global().point(point).should_fail(to)) {
+      result.degraded = true;
+      result.skipped.push_back(SkippedDetector{family, "fault-injected outage"});
+      return;
+    }
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      result.degraded = true;
+      result.skipped.push_back(SkippedDetector{family, std::string("exception: ") + e.what()});
+    } catch (...) {
+      result.degraded = true;
+      result.skipped.push_back(SkippedDetector{family, "unknown exception"});
+    }
+  };
+
   // Behaviour-based.
-  VolumeThresholdDetector volume(config_.volume);
-  volume.analyze(result.sessions, result.alerts);
+  guarded("behavior.volume", "detect.volume.run", [&] {
+    VolumeThresholdDetector volume(config_.volume);
+    volume.analyze(result.sessions, result.alerts);
+  });
   if (classifier_.trained()) {
-    classifier_.analyze(result.sessions, result.alerts);
+    guarded("behavior.classifier", "detect.behavior.run",
+            [&] { classifier_.analyze(result.sessions, result.alerts); });
   }
   if (navigation_.fitted()) {
-    navigation_.analyze(result.sessions, result.alerts);
+    guarded("behavior.navigation", "detect.navigation.run",
+            [&] { navigation_.analyze(result.sessions, result.alerts); });
   }
 
   // Network reputation (enabled once a geo database is supplied).
   if (geo_ != nullptr) {
-    IpReputationDetector ip_detector(*geo_, config_.ip_reputation);
-    ip_detector.analyze(result.sessions, result.alerts);
+    guarded("ip.reputation", "detect.ip.run", [&] {
+      IpReputationDetector ip_detector(*geo_, config_.ip_reputation);
+      ip_detector.analyze(result.sessions, result.alerts);
+    });
   }
 
   // Pointer biometrics (§V): judge every sample captured in the window.
   if (config_.biometrics_enabled) {
-    biometrics::BiometricDetector biometric(config_.biometric_thresholds);
-    for (const auto& record : application.biometric_log()) {
-      if (record.time < from || record.time >= to) continue;
-      std::string reason;
-      if (!biometric.observe(record.features, &reason)) continue;
-      Alert alert;
-      alert.time = record.time;
-      alert.detector = "biometric.pointer";
-      alert.severity = Severity::Warning;
-      alert.explanation = reason;
-      alert.session = record.session;
-      alert.actor = record.actor;
-      result.alerts.emit(std::move(alert));
-    }
+    guarded("biometric.pointer", "detect.biometric.run", [&] {
+      biometrics::BiometricDetector biometric(config_.biometric_thresholds);
+      for (const auto& record : application.biometric_log()) {
+        if (record.time < from || record.time >= to) continue;
+        std::string reason;
+        if (!biometric.observe(record.features, &reason)) continue;
+        Alert alert;
+        alert.time = record.time;
+        alert.detector = "biometric.pointer";
+        alert.severity = Severity::Warning;
+        alert.explanation = reason;
+        alert.session = record.session;
+        alert.actor = record.actor;
+        result.alerts.emit(std::move(alert));
+      }
+    });
   }
 
   // Knowledge-based.
-  ArtifactDetector artifacts;
-  artifacts.analyze(application.fingerprints(), result.sessions, result.alerts);
-  ConsistencyDetector consistency;
-  consistency.analyze(application.fingerprints(), result.sessions, result.alerts);
-  RarityDetector rarity(config_.rarity_frequency, config_.rarity_min_observations);
-  rarity.analyze(application.fingerprints(), result.alerts);
+  guarded("fingerprint.artifact", "detect.artifact.run", [&] {
+    ArtifactDetector artifacts;
+    artifacts.analyze(application.fingerprints(), result.sessions, result.alerts);
+  });
+  guarded("fingerprint.consistency", "detect.consistency.run", [&] {
+    ConsistencyDetector consistency;
+    consistency.analyze(application.fingerprints(), result.sessions, result.alerts);
+  });
+  guarded("fingerprint.rarity", "detect.rarity.run", [&] {
+    RarityDetector rarity(config_.rarity_frequency, config_.rarity_min_observations);
+    rarity.analyze(application.fingerprints(), result.alerts);
+  });
 
   // Feature-level (the paper's advanced detectors).
-  nip_.analyze(application.inventory().reservations(), from, to, result.alerts);
-  NamePatternAnalyzer names(config_.names);
-  // Window-scope the reservations for identity analysis.
-  std::vector<airline::Reservation> window;
-  for (const auto& r : application.inventory().reservations()) {
-    if (r.created >= from && r.created < to) window.push_back(r);
-  }
-  names.analyze(window, result.alerts);
-  SmsAnomalyDetector sms(config_.sms);
-  // SMS surge baselines on the pre-window period of equal length.
-  const sim::SimTime baseline_from = std::max<sim::SimTime>(0, from - (to - from));
-  sms.analyze(application.sms_gateway(), baseline_from, from, from, to, result.alerts);
+  guarded("nip.anomaly", "detect.nip.run",
+          [&] { nip_.analyze(application.inventory().reservations(), from, to, result.alerts); });
+  guarded("name.patterns", "detect.names.run", [&] {
+    NamePatternAnalyzer names(config_.names);
+    // Window-scope the reservations for identity analysis.
+    std::vector<airline::Reservation> window;
+    for (const auto& r : application.inventory().reservations()) {
+      if (r.created >= from && r.created < to) window.push_back(r);
+    }
+    names.analyze(window, result.alerts);
+  });
+  guarded("sms.anomaly", "detect.sms.run", [&] {
+    SmsAnomalyDetector sms(config_.sms);
+    // SMS surge baselines on the pre-window period of equal length.
+    const sim::SimTime baseline_from = std::max<sim::SimTime>(0, from - (to - from));
+    sms.analyze(application.sms_gateway(), baseline_from, from, from, to, result.alerts);
+  });
 
   // Score per detector family at the actor level.
   const auto universe = actors_of(result.sessions);

@@ -43,12 +43,24 @@ struct DetectorReport {
   ActorScore score;  // actor-level P/R against abuser ground truth
 };
 
+// A detector family the pipeline had to skip: either its fault point fired
+// (injected outage) or the detector threw. The run always completes — a
+// faulting detector degrades the SOC view, it never takes the pipeline down.
+struct SkippedDetector {
+  std::string family;  // detector family label, e.g. "behavior.classifier"
+  std::string reason;  // why it was blind for this window
+};
+
 struct PipelineResult {
   AlertSink alerts;
   std::vector<web::Session> sessions;
   std::vector<DetectorReport> reports;
+  // Degraded-mode bookkeeping: which detector families were blind and why.
+  bool degraded = false;
+  std::vector<SkippedDetector> skipped;
 
   [[nodiscard]] const DetectorReport* report_for(const std::string& detector) const;
+  [[nodiscard]] bool skipped_family(const std::string& family) const;
 };
 
 class DetectionPipeline {
@@ -75,7 +87,12 @@ class DetectionPipeline {
   void train_behavior(const app::Application& application, sim::SimTime from, sim::SimTime to,
                       sim::Rng& rng, const LabelFn& label_fn);
 
-  // Runs all detectors over [from, to) and scores them.
+  // Runs all detectors over [from, to) and scores them. Each detector family
+  // is guarded by a "detect.<family>.run" fault point (evaluated at `to`,
+  // the batch-analysis time) and by a catch-all: a faulting detector is
+  // recorded in PipelineResult::skipped with degraded=true, and the run
+  // completes with the remaining families. Never throws for a single
+  // detector failure.
   [[nodiscard]] PipelineResult run(const app::Application& application,
                                    const app::ActorRegistry& registry, sim::SimTime from,
                                    sim::SimTime to) const;

@@ -1,0 +1,178 @@
+#include "core/fault/fault.hpp"
+
+#include <cstdio>
+
+namespace fraudsim::fault {
+
+const char* to_string(ScenarioKind k) {
+  switch (k) {
+    case ScenarioKind::Never:
+      return "never";
+    case ScenarioKind::Always:
+      return "always";
+    case ScenarioKind::Probabilistic:
+      return "probabilistic";
+    case ScenarioKind::EveryNth:
+      return "every-nth";
+    case ScenarioKind::Window:
+      return "window";
+    case ScenarioKind::Burst:
+      return "burst";
+  }
+  return "?";
+}
+
+FaultScenario FaultScenario::always() {
+  FaultScenario s;
+  s.kind = ScenarioKind::Always;
+  return s;
+}
+
+FaultScenario FaultScenario::probabilistic(double p, std::uint64_t seed) {
+  FaultScenario s;
+  s.kind = ScenarioKind::Probabilistic;
+  s.probability = p;
+  s.seed = seed;
+  return s;
+}
+
+FaultScenario FaultScenario::every_nth(std::uint64_t n) {
+  FaultScenario s;
+  s.kind = ScenarioKind::EveryNth;
+  s.nth = n;
+  return s;
+}
+
+FaultScenario FaultScenario::window(sim::SimTime from, sim::SimTime to) {
+  FaultScenario s;
+  s.kind = ScenarioKind::Window;
+  s.from = from;
+  s.to = to;
+  return s;
+}
+
+FaultScenario FaultScenario::burst(sim::SimTime first, sim::SimDuration period,
+                                   sim::SimDuration duration) {
+  FaultScenario s;
+  s.kind = ScenarioKind::Burst;
+  s.from = first;
+  s.period = period;
+  s.duration = duration;
+  return s;
+}
+
+std::string FaultScenario::describe() const {
+  char buf[128];
+  switch (kind) {
+    case ScenarioKind::Never:
+      return "never";
+    case ScenarioKind::Always:
+      return "always";
+    case ScenarioKind::Probabilistic:
+      std::snprintf(buf, sizeof(buf), "p=%.3f seed=%llu", probability,
+                    static_cast<unsigned long long>(seed));
+      return buf;
+    case ScenarioKind::EveryNth:
+      std::snprintf(buf, sizeof(buf), "every %llu-th hit", static_cast<unsigned long long>(nth));
+      return buf;
+    case ScenarioKind::Window:
+      return "down " + sim::format_time(from) + " .. " + sim::format_time(to);
+    case ScenarioKind::Burst:
+      std::snprintf(buf, sizeof(buf), "down %.1fh every %.1fh from %s", sim::to_hours(duration),
+                    sim::to_hours(period), sim::format_time(from).c_str());
+      return buf;
+  }
+  return "?";
+}
+
+FaultPoint::FaultPoint(std::string name) : name_(std::move(name)) {}
+
+void FaultPoint::arm(FaultScenario scenario) {
+  scenario_ = scenario;
+  armed_hits_ = 0;
+  if (scenario_.kind == ScenarioKind::Probabilistic) {
+    rng_.emplace(scenario_.seed);
+  } else {
+    rng_.reset();
+  }
+}
+
+void FaultPoint::reset_counters() {
+  hits_ = 0;
+  injected_ = 0;
+  armed_hits_ = 0;
+  if (scenario_.kind == ScenarioKind::Probabilistic) rng_.emplace(scenario_.seed);
+}
+
+bool FaultPoint::should_fail(sim::SimTime now) {
+  ++hits_;
+  if (scenario_.kind == ScenarioKind::Never) return false;
+  ++armed_hits_;
+  bool fail = false;
+  switch (scenario_.kind) {
+    case ScenarioKind::Never:
+      break;
+    case ScenarioKind::Always:
+      fail = true;
+      break;
+    case ScenarioKind::Probabilistic:
+      fail = rng_->bernoulli(scenario_.probability);
+      break;
+    case ScenarioKind::EveryNth:
+      fail = scenario_.nth != 0 && armed_hits_ % scenario_.nth == 0;
+      break;
+    case ScenarioKind::Window:
+      fail = now >= scenario_.from && now < scenario_.to;
+      break;
+    case ScenarioKind::Burst: {
+      if (scenario_.period <= 0 || now < scenario_.from) break;
+      const sim::SimDuration phase = (now - scenario_.from) % scenario_.period;
+      fail = phase < scenario_.duration;
+      break;
+    }
+  }
+  if (fail) ++injected_;
+  return fail;
+}
+
+FaultPoint& FaultRegistry::point(const std::string& name) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(name, std::make_unique<FaultPoint>(name)).first;
+  }
+  return *it->second;
+}
+
+const FaultPoint* FaultRegistry::find(const std::string& name) const {
+  const auto it = points_.find(name);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+bool FaultRegistry::arm(const std::string& name, FaultScenario scenario) {
+  point(name).arm(scenario);
+  return true;
+}
+
+void FaultRegistry::disarm_all() {
+  for (auto& [name, p] : points_) p->disarm();
+}
+
+void FaultRegistry::reset() {
+  for (auto& [name, p] : points_) {
+    p->disarm();
+    p->reset_counters();
+  }
+}
+
+std::uint64_t FaultRegistry::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, p] : points_) total += p->injected();
+  return total;
+}
+
+FaultRegistry& FaultRegistry::global() {
+  static FaultRegistry registry;
+  return registry;
+}
+
+}  // namespace fraudsim::fault

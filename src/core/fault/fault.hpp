@@ -1,0 +1,135 @@
+// KEDR-style deterministic fault injection.
+//
+// Production components declare named FaultPoints ("sms.carrier.send",
+// "fp.store.record", ...) and consult them on every guarded operation; test
+// harnesses and outage scenarios arm the points with a FaultScenario that
+// decides, deterministically, which hits fail. Points live in a process-wide
+// FaultRegistry so scenarios can reach into any layer without plumbing.
+//
+// Determinism invariants:
+//   * an unarmed point never consumes randomness — with every scenario
+//     disarmed the guarded code is a pass-through and byte-identical to a
+//     build without fault injection;
+//   * a probabilistic scenario draws from its own sim::Rng stream seeded at
+//     arm time, so identical seeds reproduce identical fault sequences
+//     regardless of what other subsystems consume;
+//   * time-based scenarios read only the caller-supplied SimTime — the
+//     library-wide no-wall-clock rule holds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace fraudsim::fault {
+
+enum class ScenarioKind : std::uint8_t {
+  Never,          // disarmed: the point is a pass-through
+  Always,         // every hit fails
+  Probabilistic,  // each hit fails with probability p (own seeded stream)
+  EveryNth,       // hits n, 2n, 3n, ... fail (counted from arm time)
+  Window,         // every hit inside [from, to) fails — a dependency outage
+  Burst,          // repeating outages: down for `duration` every `period`
+};
+
+[[nodiscard]] const char* to_string(ScenarioKind k);
+
+struct FaultScenario {
+  ScenarioKind kind = ScenarioKind::Never;
+  double probability = 0.0;          // Probabilistic
+  std::uint64_t seed = 0;            // Probabilistic stream seed
+  std::uint64_t nth = 0;             // EveryNth
+  sim::SimTime from = 0;             // Window / Burst phase origin
+  sim::SimTime to = 0;               // Window
+  sim::SimDuration period = 0;       // Burst
+  sim::SimDuration duration = 0;     // Burst outage length per period
+
+  [[nodiscard]] static FaultScenario never() { return {}; }
+  [[nodiscard]] static FaultScenario always();
+  [[nodiscard]] static FaultScenario probabilistic(double p, std::uint64_t seed);
+  [[nodiscard]] static FaultScenario every_nth(std::uint64_t n);
+  [[nodiscard]] static FaultScenario window(sim::SimTime from, sim::SimTime to);
+  [[nodiscard]] static FaultScenario burst(sim::SimTime first, sim::SimDuration period,
+                                           sim::SimDuration duration);
+
+  // Human-readable, for fault tables and SOC reports.
+  [[nodiscard]] std::string describe() const;
+};
+
+// One named branching point. Stable in memory for the process lifetime —
+// components cache references at construction.
+class FaultPoint {
+ public:
+  explicit FaultPoint(std::string name);
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  // The guarded call: records the hit and returns true when the armed
+  // scenario injects a fault. Unarmed points always return false and never
+  // touch randomness.
+  [[nodiscard]] bool should_fail(sim::SimTime now);
+
+  void arm(FaultScenario scenario);
+  void disarm() { arm(FaultScenario::never()); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool armed() const { return scenario_.kind != ScenarioKind::Never; }
+  [[nodiscard]] const FaultScenario& scenario() const { return scenario_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+
+  // Zeroes counters (keeps the armed scenario; re-seeds its stream).
+  void reset_counters();
+
+ private:
+  std::string name_;
+  FaultScenario scenario_;
+  std::optional<sim::Rng> rng_;       // Probabilistic stream, set at arm time
+  std::uint64_t hits_ = 0;            // lifetime hits
+  std::uint64_t armed_hits_ = 0;      // hits since last arm (EveryNth phase)
+  std::uint64_t injected_ = 0;
+};
+
+// Process-wide registry. Points are created on first use and never destroyed,
+// so cached references stay valid across reset(). Iteration order is the
+// point name order — deterministic for reports.
+class FaultRegistry {
+ public:
+  // Get-or-create.
+  [[nodiscard]] FaultPoint& point(const std::string& name);
+  [[nodiscard]] const FaultPoint* find(const std::string& name) const;
+
+  bool arm(const std::string& name, FaultScenario scenario);
+  void disarm_all();
+  // Disarm every point and zero all counters: the clean-slate state a
+  // deterministic scenario starts from.
+  void reset();
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] std::uint64_t total_injected() const;
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [name, p] : points_) fn(*p);
+  }
+
+  [[nodiscard]] static FaultRegistry& global();
+
+ private:
+  std::map<std::string, std::unique_ptr<FaultPoint>> points_;
+};
+
+// Shorthand for guarding a call site through the global registry. Callers on
+// hot paths should cache the FaultPoint& instead.
+[[nodiscard]] inline bool should_fail(const std::string& name, sim::SimTime now) {
+  return FaultRegistry::global().point(name).should_fail(now);
+}
+
+}  // namespace fraudsim::fault

@@ -1,0 +1,23 @@
+#include "core/fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fraudsim::fault {
+
+sim::SimDuration RetryPolicy::backoff(int retry) const {
+  if (retry < 1) retry = 1;
+  double d = static_cast<double>(base_delay) * std::pow(multiplier, retry - 1);
+  d = std::min(d, static_cast<double>(max_delay));
+  return std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(d));
+}
+
+sim::SimDuration RetryPolicy::delay(int retry, sim::Rng& rng) const {
+  const auto base = backoff(retry);
+  if (jitter <= 0.0) return base;
+  const double factor = rng.uniform(1.0 - jitter, 1.0 + jitter);
+  return std::max<sim::SimDuration>(1,
+                                    static_cast<sim::SimDuration>(static_cast<double>(base) * factor));
+}
+
+}  // namespace fraudsim::fault

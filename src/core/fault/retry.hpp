@@ -1,0 +1,40 @@
+// Retry policy: exponential backoff with deterministic jitter.
+//
+// The shape every platform daemon uses for transient dependency failures —
+// base delay doubling per attempt up to a cap, plus a jitter fraction so
+// synchronized clients do not retry in lockstep. All delays are sim-time and
+// the jitter draw comes from a caller-owned sim::Rng, preserving the
+// no-wall-clock determinism invariant. Unbounded retries are the attacker-
+// amplifiable failure mode the outage bench measures; max_attempts is the
+// first bound, the CircuitBreaker is the second.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace fraudsim::fault {
+
+struct RetryPolicy {
+  // Total delivery attempts per operation, including the first (0 = no
+  // retries at all).
+  int max_attempts = 4;
+  sim::SimDuration base_delay = sim::seconds(30);
+  double multiplier = 2.0;
+  sim::SimDuration max_delay = sim::minutes(30);
+  // Uniform jitter as a fraction of the backoff: delay * [1-j, 1+j).
+  double jitter = 0.2;
+
+  // True if another attempt is allowed after `attempts_made` tries.
+  [[nodiscard]] bool should_retry(int attempts_made) const { return attempts_made < max_attempts; }
+
+  // Backoff before retry number `retry` (1 = first retry), without jitter.
+  [[nodiscard]] sim::SimDuration backoff(int retry) const;
+
+  // Backoff with jitter drawn from `rng`. Never below 1 ms so a retry never
+  // lands on the failing attempt's own timestamp.
+  [[nodiscard]] sim::SimDuration delay(int retry, sim::Rng& rng) const;
+};
+
+}  // namespace fraudsim::fault

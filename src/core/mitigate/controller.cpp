@@ -15,7 +15,8 @@ MitigationController::MitigationController(app::Application& application, RuleEn
       nip_detector_(config.nip),
       name_analyzer_(config.names),
       sms_detector_(config.sms),
-      biometric_detector_(config.biometric_thresholds) {}
+      biometric_detector_(config.biometric_thresholds),
+      sweep_fault_(fault::FaultRegistry::global().point("detect.sweep.run")) {}
 
 void MitigationController::fit_nip_baseline(sim::SimTime from, sim::SimTime to) {
   nip_detector_.fit_baseline(app_.inventory().reservations(), from, to);
@@ -36,6 +37,13 @@ void MitigationController::schedule_next() {
 
 void MitigationController::sweep() {
   const sim::SimTime now = app_.simulation().now();
+  if (sweep_fault_.should_fail(now)) {
+    // Detection backend down: skip this sweep entirely. Enforcement resumes
+    // at the next scheduled sweep after the outage.
+    ++skipped_sweeps_;
+    actions_.push_back(EnforcementAction{now, "sweep-skipped", "detection outage"});
+    return;
+  }
   const sim::SimTime from = std::max<sim::SimTime>(0, now - config_.analysis_window);
 
   std::unordered_set<fp::FpHash> to_block;

@@ -19,6 +19,7 @@
 
 #include "app/application.hpp"
 #include "biometrics/detector.hpp"
+#include "core/fault/fault.hpp"
 #include "core/detect/name_patterns.hpp"
 #include "core/detect/nip_anomaly.hpp"
 #include "core/detect/sms_anomaly.hpp"
@@ -66,7 +67,13 @@ class MitigationController {
   void start(sim::SimTime until);
 
   // One synchronous sweep over [now - window, now) — also callable directly.
+  // Guarded by the "detect.sweep.run" fault point: a sweep that lands in an
+  // injected outage window is skipped (and counted) instead of enforcing on
+  // stale state — the SOC loop goes blind for the window, which is exactly
+  // the degradation the outage bench prices.
   void sweep();
+
+  [[nodiscard]] std::uint64_t skipped_sweeps() const { return skipped_sweeps_; }
 
   [[nodiscard]] const std::vector<EnforcementAction>& actions() const { return actions_; }
   [[nodiscard]] std::optional<sim::SimTime> nip_cap_time() const { return nip_cap_time_; }
@@ -94,6 +101,8 @@ class MitigationController {
   std::vector<EnforcementAction> actions_;
   std::optional<sim::SimTime> nip_cap_time_;
   std::optional<sim::SimTime> sms_disable_time_;
+  fault::FaultPoint& sweep_fault_;
+  std::uint64_t skipped_sweeps_ = 0;
 };
 
 }  // namespace fraudsim::mitigate

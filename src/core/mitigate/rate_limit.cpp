@@ -9,7 +9,21 @@ void SlidingWindowRateLimiter::prune(sim::SimTime now, std::deque<sim::SimTime>&
   while (!q.empty() && q.front() <= now - window_) q.pop_front();
 }
 
+void SlidingWindowRateLimiter::evict_stale(sim::SimTime now) {
+  if (now - last_sweep_ < window_) return;
+  last_sweep_ = now;
+  for (auto it = events_.begin(); it != events_.end();) {
+    // A key is stale when its newest event has aged out of the window.
+    if (it->second.empty() || it->second.back() <= now - window_) {
+      it = events_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 bool SlidingWindowRateLimiter::allow(sim::SimTime now, const std::string& key) {
+  evict_stale(now);
   auto& q = events_[key];
   prune(now, q);
   if (q.size() >= limit_) {
@@ -21,9 +35,14 @@ bool SlidingWindowRateLimiter::allow(sim::SimTime now, const std::string& key) {
 }
 
 std::uint64_t SlidingWindowRateLimiter::current(sim::SimTime now, const std::string& key) {
-  auto& q = events_[key];
-  prune(now, q);
-  return q.size();
+  const auto it = events_.find(key);
+  if (it == events_.end()) return 0;
+  prune(now, it->second);
+  if (it->second.empty()) {
+    events_.erase(it);
+    return 0;
+  }
+  return it->second.size();
 }
 
 }  // namespace fraudsim::mitigate

@@ -3,6 +3,11 @@
 // Keys are free-form strings so the same limiter implements every keying the
 // paper's mitigations need: per path (global), per IP, per session, per
 // fingerprint, per booking reference, per user profile.
+//
+// Memory is bounded under key churn: a key whose newest event has aged out of
+// the window carries no state worth keeping, so an amortised sweep (at most
+// once per window) erases such keys. Long-running scenarios with rotating
+// IPs/sessions therefore hold O(active keys), not O(all keys ever seen).
 #pragma once
 
 #include <cstdint>
@@ -23,22 +28,31 @@ class SlidingWindowRateLimiter {
   // extend its own penalty by hammering).
   bool allow(sim::SimTime now, const std::string& key);
 
-  // Count currently in the window for the key (after pruning).
+  // Count currently in the window for the key (after pruning). Does not
+  // create state for unseen keys.
   [[nodiscard]] std::uint64_t current(sim::SimTime now, const std::string& key);
 
   [[nodiscard]] std::uint64_t limit() const { return limit_; }
   [[nodiscard]] sim::SimDuration window() const { return window_; }
   [[nodiscard]] std::uint64_t denials() const { return denials_; }
 
+  // Number of keys currently holding state (bounded by the number of keys
+  // active within the last ~window, not by lifetime distinct keys).
+  [[nodiscard]] std::size_t key_count() const { return events_.size(); }
+
   void clear() { events_.clear(); }
 
  private:
   void prune(sim::SimTime now, std::deque<sim::SimTime>& q) const;
+  // Drops every key with no event newer than now - window. Amortised: runs at
+  // most once per window span.
+  void evict_stale(sim::SimTime now);
 
   std::uint64_t limit_;
   sim::SimDuration window_;
   std::unordered_map<std::string, std::deque<sim::SimTime>> events_;
   std::uint64_t denials_ = 0;
+  sim::SimTime last_sweep_ = 0;
 };
 
 }  // namespace fraudsim::mitigate

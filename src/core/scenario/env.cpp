@@ -47,6 +47,8 @@ void Env::schedule_expiry_sweep(sim::SimTime until) {
   sim.schedule_in(config_.expiry_sweep, [this, until] {
     app.inventory().expire_due(sim.now());
     if (app.honeypot_enabled()) app.decoy_inventory().expire_due(sim.now());
+    // Drain due SMS retries (no-op unless carrier faults queued any).
+    app.sms_gateway().process_retries(sim.now());
     schedule_expiry_sweep(until);
   });
 }

@@ -1,0 +1,144 @@
+#include "core/scenario/outage_scenario.hpp"
+
+#include <algorithm>
+
+#include "core/fault/fault.hpp"
+
+namespace fraudsim::scenario {
+
+CarrierOutageScenarioResult run_carrier_outage_scenario(
+    const CarrierOutageScenarioConfig& config) {
+  auto& faults = fault::FaultRegistry::global();
+  faults.reset();
+
+  EnvConfig env_config;
+  env_config.seed = config.seed;
+  env_config.legit = config.legit;
+  env_config.application.gateway.retry_enabled = config.retries_enabled;
+  env_config.application.gateway.retry = config.retry;
+  env_config.application.gateway.breaker_enabled = config.breaker_enabled;
+  env_config.application.gateway.breaker = config.breaker;
+  Env env(env_config);
+
+  const sim::SimTime end = config.horizon;
+  const int fleet = std::max(
+      config.fleet_flights,
+      Env::fleet_size_for(config.legit.booking_sessions_per_hour, end, config.capacity));
+  env.add_flights("D", fleet, config.capacity, end + sim::days(14));
+
+  if (config.outage_enabled) {
+    faults.arm("sms.carrier.send",
+               fault::FaultScenario::window(config.outage_start, config.outage_end));
+  }
+
+  attack::SmsPumpConfig pump_config = config.pump;
+  pump_config.stop_at = end;
+  attack::SmsPumpBot pump(env.app, env.actors, env.residential, env.population, env.tariffs,
+                          pump_config, env.rng.fork("sms-pump"));
+
+  env.start_background(end);
+  env.sim.schedule_at(config.attack_start, [&] { pump.start(); });
+  env.run_until(end);
+  // Drain anything still due exactly at the horizon.
+  env.app.sms_gateway().process_retries(end);
+
+  const auto& gateway = env.app.sms_gateway();
+  CarrierOutageScenarioResult result;
+  result.carrier_attempts = gateway.carrier_attempts();
+  result.carrier_failures = gateway.carrier_failures();
+  result.first_attempt_failures = gateway.first_attempt_failures();
+  result.retries_enqueued = gateway.retries_enqueued();
+  result.retries_delivered = gateway.retries_delivered();
+  result.retries_exhausted = gateway.retries_exhausted();
+  result.breaker_rejected = gateway.breaker().rejected();
+  result.breaker_trips = gateway.breaker().trips();
+  result.sms_requested = gateway.sent_count();
+  result.sms_delivered = gateway.delivered_count();
+  result.app_sms_cost = gateway.total_app_cost();
+
+  std::uint64_t attacker_retry_failures = 0;
+  std::uint64_t retry_failures = 0;
+  for (const auto& r : gateway.log()) {
+    const bool automated = env.actors.automated(r.actor);
+    if (!r.delivered) {
+      if (automated) {
+        ++result.attacker_undelivered;
+      } else {
+        ++result.legit_undelivered;
+      }
+    }
+    // Every submission beyond the first was a queued retry of this record.
+    if (r.attempts > 1) {
+      retry_failures += static_cast<std::uint64_t>(r.attempts - 1);
+      if (automated) attacker_retry_failures += static_cast<std::uint64_t>(r.attempts - 1);
+    }
+  }
+  result.attacker_retry_share =
+      retry_failures == 0
+          ? 0.0
+          : static_cast<double>(attacker_retry_failures) / static_cast<double>(retry_failures);
+
+  result.pump = pump.stats();
+  result.legit = env.legit->stats();
+  faults.disarm_all();
+  return result;
+}
+
+DetectorOutageScenarioResult run_detector_outage_scenario(
+    const DetectorOutageScenarioConfig& config) {
+  auto& faults = fault::FaultRegistry::global();
+  faults.reset();
+
+  EnvConfig env_config;
+  env_config.seed = config.seed;
+  env_config.legit = config.legit;
+  env_config.application.inventory.hold_duration = sim::hours(1);
+  Env env(env_config);
+
+  const sim::SimTime end = config.horizon;
+  const int fleet = std::max(
+      config.fleet_flights,
+      Env::fleet_size_for(config.legit.booking_sessions_per_hour, end, config.capacity));
+  env.add_flights("A", fleet, config.capacity, end + sim::days(14));
+  const auto target = env.app.add_flight("A", 777, config.capacity, end + sim::days(2));
+
+  if (config.outage_enabled) {
+    faults.arm("detect.sweep.run",
+               fault::FaultScenario::window(config.outage_start, config.outage_end));
+  }
+
+  mitigate::ControllerConfig controller_config;
+  controller_config.block_flagged_fingerprints = true;
+  controller_config.block_artifact_fingerprints = true;
+  mitigate::MitigationController controller(env.app, env.engine, controller_config);
+
+  attack::SeatSpinConfig bot_config = config.bot;
+  bot_config.target = target;
+  attack::SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
+                          env.rng.fork("seat-spin-bot"));
+
+  env.start_background(end);
+  env.sim.schedule_at(config.attack_start, [&] {
+    controller.start(end);
+    bot.start();
+  });
+  env.run_until(end);
+
+  DetectorOutageScenarioResult result;
+  result.skipped_sweeps = controller.skipped_sweeps();
+  result.fingerprints_blocked = controller.fingerprints_blocked();
+  result.bot = bot.stats();
+  result.legit = env.legit->stats();
+  result.actions = controller.actions();
+  for (const auto& r : env.app.inventory().reservations()) {
+    if (r.actor != bot.actor()) continue;
+    ++result.bot_holds_total;
+    if (r.created >= config.outage_start && r.created < config.outage_end) {
+      ++result.bot_holds_in_window;
+    }
+  }
+  faults.disarm_all();
+  return result;
+}
+
+}  // namespace fraudsim::scenario

@@ -1,0 +1,117 @@
+// Degraded-mode resilience scenarios: what functional abuse costs when parts
+// of the platform or the detection stack are DOWN.
+//
+// Two reusable runners, both driving the full Env with the deterministic
+// fault-injection registry (core/fault):
+//
+//   * Carrier outage under SMS pumping — the primary SMS carrier rejects
+//     submissions for a configurable window while a pumping ring is active.
+//     With plain retries every failed submission (mostly attacker-generated)
+//     re-queues on the app's dime: the outage *amplifies* attacker-fuelled
+//     traffic. An optional circuit breaker fail-fasts during the outage and
+//     bounds the amplification. The runner reports both sides plus the harm
+//     to legitimate OTP logins.
+//
+//   * Detector outage under seat spinning — the SOC sweep backend
+//     ("detect.sweep.run") is dark for a window of the attack. Enforcement
+//     stops, the bot's fingerprints stop being blocked, and its hold yield
+//     rises: detector downtime is attacker advantage, quantified.
+//
+// Every runner resets the global FaultRegistry on entry and disarms it on
+// exit, so back-to-back runs (e.g. breaker on/off) stay independent and a
+// fixed seed reproduces byte-identical results.
+#pragma once
+
+#include "attack/seat_spin.hpp"
+#include "attack/sms_pump.hpp"
+#include "core/fault/circuit_breaker.hpp"
+#include "core/mitigate/controller.hpp"
+#include "core/scenario/env.hpp"
+
+namespace fraudsim::scenario {
+
+// ---------------------------------------------------------------------------
+// Carrier outage under SMS pumping.
+// ---------------------------------------------------------------------------
+
+struct CarrierOutageScenarioConfig {
+  std::uint64_t seed = 3001;
+  int fleet_flights = 12;
+  int capacity = 200;
+  sim::SimDuration horizon = sim::days(2);
+  // Pump starts after a short clean lead-in.
+  sim::SimDuration attack_start = sim::hours(6);
+  // Carrier outage window (absolute sim times).
+  sim::SimDuration outage_start = sim::hours(18);
+  sim::SimDuration outage_end = sim::hours(24);
+  bool outage_enabled = true;
+  // Resilience posture.
+  bool retries_enabled = true;
+  fault::RetryPolicy retry;
+  bool breaker_enabled = false;
+  fault::CircuitBreakerConfig breaker;
+  attack::SmsPumpConfig pump;
+  workload::LegitTrafficConfig legit;
+};
+
+struct CarrierOutageScenarioResult {
+  // Gateway-side resilience telemetry.
+  std::uint64_t carrier_attempts = 0;
+  std::uint64_t carrier_failures = 0;
+  std::uint64_t first_attempt_failures = 0;  // direct outage volume
+  std::uint64_t retries_enqueued = 0;        // amplification volume
+  std::uint64_t retries_delivered = 0;
+  std::uint64_t retries_exhausted = 0;
+  std::uint64_t breaker_rejected = 0;        // fail-fasted sends
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t sms_requested = 0;
+  std::uint64_t sms_delivered = 0;
+  // Harm split: undelivered messages by ground-truth side at horizon end.
+  std::uint64_t legit_undelivered = 0;
+  std::uint64_t attacker_undelivered = 0;
+  // Attacker-fuelled share of the retry load (fraction of enqueued retries
+  // whose originating message belongs to an automated actor).
+  double attacker_retry_share = 0.0;
+  attack::SmsPumpStats pump;
+  workload::LegitTrafficStats legit;
+  util::Money app_sms_cost;
+};
+
+[[nodiscard]] CarrierOutageScenarioResult run_carrier_outage_scenario(
+    const CarrierOutageScenarioConfig& config);
+
+// ---------------------------------------------------------------------------
+// Detector outage under seat spinning.
+// ---------------------------------------------------------------------------
+
+struct DetectorOutageScenarioConfig {
+  std::uint64_t seed = 3002;
+  int fleet_flights = 16;
+  int capacity = 180;
+  sim::SimDuration horizon = sim::days(7);
+  // Bot + controller start after a clean day.
+  sim::SimDuration attack_start = sim::days(1);
+  // SOC sweep outage window (absolute sim times); disabled = baseline run.
+  sim::SimDuration outage_start = sim::days(3);
+  sim::SimDuration outage_end = sim::days(4);
+  bool outage_enabled = true;
+  attack::SeatSpinConfig bot;  // target filled in by the runner
+  workload::LegitTrafficConfig legit;
+};
+
+struct DetectorOutageScenarioResult {
+  std::uint64_t skipped_sweeps = 0;
+  std::size_t fingerprints_blocked = 0;
+  attack::SeatSpinStats bot;
+  workload::LegitTrafficStats legit;
+  std::vector<mitigate::EnforcementAction> actions;
+  // Attacker yield: holds the bot landed over the whole run and inside the
+  // outage window specifically (the advantage the downtime buys).
+  std::uint64_t bot_holds_total = 0;
+  std::uint64_t bot_holds_in_window = 0;
+};
+
+[[nodiscard]] DetectorOutageScenarioResult run_detector_outage_scenario(
+    const DetectorOutageScenarioConfig& config);
+
+}  // namespace fraudsim::scenario

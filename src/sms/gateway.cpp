@@ -16,8 +16,28 @@ const char* to_string(SmsType t) {
   return "?";
 }
 
+const char* to_string(SmsFailure f) {
+  switch (f) {
+    case SmsFailure::None:
+      return "none";
+    case SmsFailure::QuotaExhausted:
+      return "quota-exhausted";
+    case SmsFailure::CarrierTransient:
+      return "carrier-transient";
+    case SmsFailure::CircuitOpen:
+      return "circuit-open";
+    case SmsFailure::RetriesExhausted:
+      return "retries-exhausted";
+  }
+  return "?";
+}
+
 SmsGateway::SmsGateway(const CarrierNetwork& network, GatewayConfig config)
-    : network_(network), config_(config) {}
+    : network_(network),
+      config_(config),
+      carrier_fault_(fault::FaultRegistry::global().point("sms.carrier.send")),
+      breaker_(config.breaker),
+      retry_rng_(config.retry_jitter_seed) {}
 
 const SmsRecord& SmsGateway::send(sim::SimTime now, PhoneNumber destination, SmsType type,
                                   web::ActorId actor, std::optional<std::string> booking_ref) {
@@ -27,29 +47,79 @@ const SmsRecord& SmsGateway::send(sim::SimTime now, PhoneNumber destination, Sms
   record.type = type;
   record.actor = actor;
   record.booking_ref = std::move(booking_ref);
+  log_.push_back(std::move(record));
+  const std::size_t index = log_.size() - 1;
+  attempt_delivery(now, index, /*attempt=*/1);
+  return log_[index];
+}
 
-  // Quota: resets each sim day.
+void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attempt) {
+  SmsRecord& record = log_[index];
+  record.attempts = attempt;
+
+  // Quota: resets each sim day; every carrier submission (retries included)
+  // counts against the contract. Quota rejection is a business rejection,
+  // not a transient fault — it is terminal and never retried (a client
+  // cannot buy more deliveries by hammering the gateway).
   const std::int64_t day = sim::day_of(now);
   if (day != quota_day_) {
     quota_day_ = day;
     quota_used_ = 0;
   }
-  const bool within_quota = config_.daily_quota == 0 || quota_used_ < config_.daily_quota;
-  if (within_quota) {
-    ++quota_used_;
-    record.delivered = true;
-    // At send time nothing is flagged as abuse; settlement reflects the
-    // default carrier economics. Retrospective flagging is handled by the
-    // economics layer re-settling flagged records.
-    const auto settlement = network_.settle(destination.country, /*flagged=*/false);
-    record.app_cost = settlement.app_cost;
-    record.attacker_revenue = settlement.attacker_revenue;
-    total_app_cost_ += record.app_cost;
-    ++delivered_;
-    daily_.add(now);
+  if (config_.daily_quota != 0 && quota_used_ >= config_.daily_quota) {
+    record.failure = SmsFailure::QuotaExhausted;
+    ++quota_rejected_;
+    return;
   }
-  log_.push_back(std::move(record));
-  return log_.back();
+
+  // Circuit breaker: while the carrier is down, fail fast without consuming
+  // quota or touching the carrier. Terminal — bounding both carrier load and
+  // retry-queue growth is the breaker's whole job.
+  if (config_.breaker_enabled && !breaker_.allow(now)) {
+    record.failure = SmsFailure::CircuitOpen;
+    return;
+  }
+
+  ++quota_used_;
+  ++carrier_attempts_;
+  if (carrier_fault_.should_fail(now)) {
+    ++carrier_failures_;
+    if (attempt == 1) ++first_attempt_failures_;
+    if (config_.breaker_enabled) breaker_.record_failure(now);
+    if (config_.retry_enabled && config_.retry.should_retry(attempt)) {
+      const sim::SimDuration delay = config_.retry.delay(attempt, retry_rng_);
+      retries_.emplace(std::make_pair(now + delay, index), attempt + 1);
+      ++retries_enqueued_;
+      record.failure = SmsFailure::CarrierTransient;
+    } else {
+      record.failure = SmsFailure::RetriesExhausted;
+      ++retries_exhausted_;
+    }
+    return;
+  }
+  if (config_.breaker_enabled) breaker_.record_success(now);
+
+  record.delivered = true;
+  record.failure = SmsFailure::None;
+  record.delivered_at = now;
+  // At send time nothing is flagged as abuse; settlement reflects the
+  // default carrier economics. Retrospective flagging is handled by the
+  // economics layer re-settling flagged records.
+  const auto settlement = network_.settle(record.destination.country, /*flagged=*/false);
+  record.app_cost = settlement.app_cost;
+  record.attacker_revenue = settlement.attacker_revenue;
+  total_app_cost_ += record.app_cost;
+  ++delivered_;
+  daily_.add(now);
+  if (attempt > 1) ++retries_delivered_;
+}
+
+void SmsGateway::process_retries(sim::SimTime now) {
+  while (!retries_.empty() && retries_.begin()->first.first <= now) {
+    const auto [key, attempt] = *retries_.begin();
+    retries_.erase(retries_.begin());
+    attempt_delivery(now, key.second, attempt);
+  }
 }
 
 analytics::CategoricalHistogram<net::CountryCode> SmsGateway::volume_by_country(

@@ -3,14 +3,24 @@
 namespace fraudsim::sms {
 
 OtpService::OtpService(SmsGateway& gateway, sim::Rng rng, sim::SimDuration validity)
-    : gateway_(gateway), rng_(std::move(rng)), validity_(validity) {}
+    : gateway_(gateway),
+      rng_(std::move(rng)),
+      validity_(validity),
+      deliver_fault_(fault::FaultRegistry::global().point("otp.deliver")) {}
 
 std::string OtpService::request(sim::SimTime now, const std::string& account, PhoneNumber number,
                                 web::ActorId actor) {
   const std::string code = rng_.random_digits(6);
   pending_[account] = Pending{code, now + validity_};
-  gateway_.send(now, std::move(number), SmsType::Otp, actor);
   ++requests_;
+  if (deliver_fault_.should_fail(now)) {
+    // Code registered but the SMS never reaches the gateway: the caller
+    // (holding the returned code) can still "know" it, but a simulated user
+    // who relies on the text never sees it.
+    ++delivery_faults_;
+    return code;
+  }
+  gateway_.send(now, std::move(number), SmsType::Otp, actor);
   return code;
 }
 

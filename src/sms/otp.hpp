@@ -3,12 +3,19 @@
 // The "easily accessible" SMS surface of §IV-C: any login attempt can trigger
 // an OTP send. Verification state is tracked so the workload can complete
 // legitimate logins and so pumping attempts show as never-verified sends.
+//
+// The "otp.deliver" fault point models the message getting lost between code
+// generation and the gateway (serialization, template rendering, handoff):
+// the code is registered but the SMS never leaves — the user waits for a
+// text that never comes, the login fails, and delivery_faults() counts the
+// harm.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <unordered_map>
 
+#include "core/fault/fault.hpp"
 #include "sms/gateway.hpp"
 
 namespace fraudsim::sms {
@@ -30,6 +37,8 @@ class OtpService {
   // Sends never followed by a successful verification — in aggregate, a
   // pumping signal.
   [[nodiscard]] std::uint64_t unverified() const { return requests_ - verifications_; }
+  // Requests whose SMS was lost to an injected "otp.deliver" fault.
+  [[nodiscard]] std::uint64_t delivery_faults() const { return delivery_faults_; }
 
  private:
   struct Pending {
@@ -39,9 +48,11 @@ class OtpService {
   SmsGateway& gateway_;
   sim::Rng rng_;
   sim::SimDuration validity_;
+  fault::FaultPoint& deliver_fault_;
   std::unordered_map<std::string, Pending> pending_;
   std::uint64_t requests_ = 0;
   std::uint64_t verifications_ = 0;
+  std::uint64_t delivery_faults_ = 0;
 };
 
 }  // namespace fraudsim::sms

@@ -191,6 +191,55 @@ TEST_F(ApplicationTest, HoneypotHoldLooksRealButIsDecoy) {
   EXPECT_EQ(app_.inventory().sold_seats(flight_), 0);
 }
 
+TEST_F(ApplicationTest, DecoyLifecycleMatchesRealHoldAcrossExpiry) {
+  app_.set_policy(&policy_);
+  // One real and one decoy hold, created at the same instant.
+  policy_.next = PolicyAction::Allow;
+  const auto real = app_.hold(ctx_, flight_, party(2));
+  ASSERT_EQ(real.status, CallStatus::Ok);
+  policy_.next = PolicyAction::Honeypot;
+  const auto decoy = app_.hold(ctx_, flight_, party(2));
+  ASSERT_EQ(decoy.status, CallStatus::Ok);
+  ASSERT_TRUE(decoy.decoy);
+
+  // Before expiry both retrievals look identical: found and held.
+  policy_.next = PolicyAction::Allow;
+  const auto real_before = app_.retrieve_booking(ctx_, real.pnr);
+  const auto decoy_before = app_.retrieve_booking(ctx_, decoy.pnr);
+  EXPECT_TRUE(real_before.found && real_before.held);
+  EXPECT_TRUE(decoy_before.found && decoy_before.held);
+
+  // After the hold window both expire the same way — an attacker probing a
+  // decoy PNR over time sees nothing inconsistent with a real booking.
+  sim_.run_until(app_.inventory().hold_duration() + sim::minutes(1));
+  const auto real_after = app_.retrieve_booking(ctx_, real.pnr);
+  const auto decoy_after = app_.retrieve_booking(ctx_, decoy.pnr);
+  EXPECT_EQ(real_after.found, decoy_after.found);
+  EXPECT_EQ(real_after.held, decoy_after.held);
+  EXPECT_EQ(real_after.ticketed, decoy_after.ticketed);
+  EXPECT_FALSE(decoy_after.held);
+  // Expiry released the decoy environment's seats too.
+  EXPECT_EQ(app_.decoy_inventory().held_seats(flight_), 0);
+}
+
+TEST_F(ApplicationTest, DecoyHoldsNeverReachRealDemandSignal) {
+  app_.set_policy(&policy_);
+  policy_.next = PolicyAction::Honeypot;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(app_.hold(ctx_, flight_, party(3)).status, CallStatus::Ok);
+  }
+  // The real inventory — what availability, NiP histograms and the demand
+  // detectors read — is untouched: decoys must not pollute the demand signal
+  // (or the honeypot would DoS the airline on the attacker's behalf).
+  EXPECT_TRUE(app_.inventory().reservations().empty());
+  EXPECT_EQ(app_.inventory().held_seats(flight_), 0);
+  EXPECT_EQ(app_.inventory().available_seats(flight_), 20);
+  EXPECT_EQ(app_.inventory().stats().holds_created, 0u);
+  // The decoy environment absorbed all of it.
+  EXPECT_EQ(app_.decoy_inventory().held_seats(flight_), 15);
+  EXPECT_EQ(app_.stats().honeypotted, 5u);
+}
+
 TEST_F(ApplicationTest, HoneypotBoardingSmsSendsNothing) {
   app_.set_policy(&policy_);
   policy_.next = PolicyAction::Honeypot;

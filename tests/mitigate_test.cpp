@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "fingerprint/population.hpp"
 
 #include "core/mitigate/captcha.hpp"
@@ -44,6 +46,46 @@ TEST(RateLimiter, DeniedEventsDontExtendPenalty) {
   // Despite hammering, the key frees up when the admitted event ages out.
   EXPECT_TRUE(limiter.allow(sim::kMinute + 1, "k"));
   EXPECT_EQ(limiter.current(sim::kMinute + 2, "k"), 1u);
+}
+
+TEST(RateLimiter, KeyCountStaysBoundedUnderChurn) {
+  SlidingWindowRateLimiter limiter(5, sim::kMinute);
+  // An attacker rotating identities (fresh IP/session/fingerprint per
+  // request) used to grow the key map without bound; stale keys must be
+  // evicted once their newest event ages out of the window.
+  std::size_t peak = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const sim::SimTime now = static_cast<sim::SimTime>(i) * sim::seconds(1);
+    EXPECT_TRUE(limiter.allow(now, "rotating-" + std::to_string(i)));
+    peak = std::max(peak, limiter.key_count());
+  }
+  // At one key per second and a one-minute window, only ~a window's worth of
+  // keys (plus at most one sweep period of slack) is ever live.
+  EXPECT_LE(peak, 200u);
+  EXPECT_LE(limiter.key_count(), 200u);
+}
+
+TEST(RateLimiter, EvictionForgetsOnlyAgedOutKeys) {
+  SlidingWindowRateLimiter limiter(10, sim::kMinute);
+  EXPECT_TRUE(limiter.allow(0, "old"));
+  EXPECT_TRUE(limiter.allow(sim::minutes(2), "fresh"));
+  // "old" aged out and was swept; "fresh" still holds state.
+  for (sim::SimTime t = sim::minutes(2); t < sim::minutes(4); t += sim::seconds(10)) {
+    (void)limiter.allow(t, "fresh");
+  }
+  EXPECT_EQ(limiter.current(sim::minutes(2) + 1, "old"), 0u);
+  EXPECT_GE(limiter.current(sim::minutes(2) + 1, "fresh"), 1u);
+  // Eviction never forgives an active window: the limit still binds.
+  SlidingWindowRateLimiter strict(2, sim::kMinute);
+  EXPECT_TRUE(strict.allow(0, "k"));
+  EXPECT_TRUE(strict.allow(1, "k"));
+  EXPECT_FALSE(strict.allow(2, "k"));
+}
+
+TEST(RateLimiter, CurrentDoesNotCreateState) {
+  SlidingWindowRateLimiter limiter(3, sim::kMinute);
+  EXPECT_EQ(limiter.current(0, "never-seen"), 0u);
+  EXPECT_EQ(limiter.key_count(), 0u);
 }
 
 // --- Rule engine ---------------------------------------------------------------------

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/fault/fault.hpp"
 #include "sms/carrier.hpp"
 #include "sms/gateway.hpp"
 #include "sms/number.hpp"
@@ -163,6 +164,97 @@ TEST(GatewayQuota, RejectsOverQuotaAndResetsDaily) {
   const auto& r =
       gateway.send(sim::days(1) + 1, numbers.random_number(kFr), SmsType::Otp, web::ActorId{1});
   EXPECT_TRUE(r.delivered);
+}
+
+TEST(GatewayQuota, RollsAtExactDayBoundary) {
+  CarrierNetwork network(TariffTable::standard(), CarrierPolicy{});
+  GatewayConfig config;
+  config.daily_quota = 2;
+  SmsGateway gateway(network, config);
+  NumberGenerator numbers{sim::Rng(11)};
+  EXPECT_TRUE(gateway.send(sim::kDay - 2, numbers.random_number(kFr), SmsType::Otp,
+                           web::ActorId{1}).delivered);
+  EXPECT_TRUE(gateway.send(sim::kDay - 1, numbers.random_number(kFr), SmsType::Otp,
+                           web::ActorId{1}).delivered);
+  // The last millisecond of day 0 is still over quota...
+  EXPECT_FALSE(gateway.send(sim::kDay - 1, numbers.random_number(kFr), SmsType::Otp,
+                            web::ActorId{1}).delivered);
+  EXPECT_EQ(gateway.quota_rejected(), 1u);
+  // ...and the first millisecond of day 1 is a fresh contract day.
+  EXPECT_TRUE(gateway.send(sim::kDay, numbers.random_number(kFr), SmsType::Otp,
+                           web::ActorId{1}).delivered);
+}
+
+TEST(GatewayQuota, ExhaustionByPumpingFailsLegitimateOtps) {
+  CarrierNetwork network(TariffTable::standard(), CarrierPolicy{});
+  GatewayConfig config;
+  config.daily_quota = 5;
+  SmsGateway gateway(network, config);
+  OtpService otp(gateway, sim::Rng(12));
+  NumberGenerator numbers{sim::Rng(13)};
+  // A pumping ring burns the whole contract on boarding-pass messages...
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(gateway.send(sim::hours(1) + i, numbers.random_number(kUz),
+                             SmsType::BoardingPass, web::ActorId{66}, "PNR001").delivered);
+  }
+  // ...and the legitimate login OTP that follows is the collateral damage
+  // (§II-B indirect harm): code registered, SMS never sent.
+  const auto code = otp.request(sim::hours(2), "alice", numbers.random_number(kFr),
+                                web::ActorId{1});
+  EXPECT_FALSE(code.empty());
+  EXPECT_EQ(gateway.log().back().failure, SmsFailure::QuotaExhausted);
+  EXPECT_FALSE(gateway.log().back().delivered);
+  EXPECT_EQ(gateway.quota_rejected(), 1u);
+}
+
+TEST(GatewayQuota, QuotaRejectionIsTerminalAndRetriesConsumeQuota) {
+  fault::FaultRegistry::global().reset();
+  CarrierNetwork network(TariffTable::standard(), CarrierPolicy{});
+  GatewayConfig config;
+  config.daily_quota = 2;
+  SmsGateway gateway(network, config);
+  NumberGenerator numbers{sim::Rng(14)};
+  fault::FaultRegistry::global().arm("sms.carrier.send",
+                                     fault::FaultScenario::window(0, sim::kMinute));
+  // Two transient failures fill the day's quota and queue retries.
+  (void)gateway.send(0, numbers.random_number(kFr), SmsType::Otp, web::ActorId{1});
+  (void)gateway.send(sim::seconds(1), numbers.random_number(kFr), SmsType::Otp, web::ActorId{1});
+  EXPECT_EQ(gateway.pending_retries(), 2u);
+  // Over quota now: the third send is rejected terminally, never queued.
+  (void)gateway.send(sim::seconds(2), numbers.random_number(kFr), SmsType::Otp, web::ActorId{1});
+  EXPECT_EQ(gateway.log().back().failure, SmsFailure::QuotaExhausted);
+  EXPECT_EQ(gateway.pending_retries(), 2u);
+  // The queued retries also hit the exhausted quota: terminal, not re-queued.
+  gateway.process_retries(sim::minutes(5));
+  EXPECT_EQ(gateway.pending_retries(), 0u);
+  EXPECT_EQ(gateway.quota_rejected(), 3u);
+  EXPECT_EQ(gateway.delivered_count(), 0u);
+  // Next day the contract resets and sends flow again.
+  EXPECT_TRUE(gateway.send(sim::kDay + 1, numbers.random_number(kFr), SmsType::Otp,
+                           web::ActorId{1}).delivered);
+  fault::FaultRegistry::global().reset();
+}
+
+TEST(GatewayQuota, RetryLandingAfterMidnightUsesTheNewDay) {
+  fault::FaultRegistry::global().reset();
+  CarrierNetwork network(TariffTable::standard(), CarrierPolicy{});
+  GatewayConfig config;
+  config.daily_quota = 1;
+  SmsGateway gateway(network, config);
+  NumberGenerator numbers{sim::Rng(15)};
+  // Carrier down for the last minute of day 0 only.
+  fault::FaultRegistry::global().arm(
+      "sms.carrier.send", fault::FaultScenario::window(sim::kDay - sim::kMinute, sim::kDay));
+  const auto& r = gateway.send(sim::kDay - sim::seconds(30), numbers.random_number(kFr),
+                               SmsType::Otp, web::ActorId{1});
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.failure, SmsFailure::CarrierTransient);
+  // Day 0's quota was spent on the failed attempt, but the retry fires on day
+  // 1: fresh quota, healthy carrier, delivered.
+  gateway.process_retries(sim::kDay + sim::kMinute);
+  EXPECT_EQ(gateway.delivered_count(), 1u);
+  EXPECT_EQ(gateway.log().front().failure, SmsFailure::None);
+  fault::FaultRegistry::global().reset();
 }
 
 TEST_F(GatewayTest, DailySeriesAccumulates) {
