@@ -26,7 +26,8 @@ BoardingPassService::BoardingPassService(InventoryManager& inventory, sms::SmsGa
 BoardingPassService::SmsResult BoardingPassService::request_sms(sim::SimTime now,
                                                                 const std::string& pnr,
                                                                 sms::PhoneNumber destination,
-                                                                web::ActorId actor) {
+                                                                web::ActorId actor,
+                                                                overload::Deadline deadline) {
   ++sms_requests_;
   if (!config_.sms_option_enabled) return SmsResult::FeatureDisabled;
   const Reservation* r = inventory_.find(pnr);
@@ -38,7 +39,7 @@ BoardingPassService::SmsResult BoardingPassService::request_sms(sim::SimTime now
   }
   ++count;
   ++sms_sent_;
-  gateway_.send(now, std::move(destination), sms::SmsType::BoardingPass, actor, pnr);
+  gateway_.send(now, std::move(destination), sms::SmsType::BoardingPass, actor, pnr, deadline);
   return SmsResult::Sent;
 }
 

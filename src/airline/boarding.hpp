@@ -40,8 +40,10 @@ class BoardingPassService {
     NotTicketed,
     PerBookingCapReached,
   };
+  // The deadline budget (attached by overload admission; unbounded by
+  // default) travels into the gateway's retry queue.
   SmsResult request_sms(sim::SimTime now, const std::string& pnr, sms::PhoneNumber destination,
-                        web::ActorId actor);
+                        web::ActorId actor, overload::Deadline deadline = {});
 
   // Email delivery (free; always available for ticketed PNRs).
   util::Status request_email(sim::SimTime now, const std::string& pnr);

@@ -46,7 +46,8 @@ std::vector<FlightId> InventoryManager::flights() const {
 InventoryManager::HoldOutcome InventoryManager::hold(sim::SimTime now, FlightId flight_id,
                                                      std::vector<Passenger> passengers,
                                                      web::ActorId actor, net::IpV4 ip,
-                                                     fp::FpHash fp) {
+                                                     fp::FpHash fp,
+                                                     std::optional<sim::SimDuration> ttl_override) {
   HoldOutcome outcome;
   const Flight* f = flight(flight_id);
   if (f == nullptr) {
@@ -82,7 +83,7 @@ InventoryManager::HoldOutcome InventoryManager::hold(sim::SimTime now, FlightId 
   r.flight = flight_id;
   r.passengers = std::move(passengers);
   r.created = now;
-  r.hold_expiry = now + config_.hold_duration;
+  r.hold_expiry = now + ttl_override.value_or(config_.hold_duration);
   r.state = ReservationState::Held;
   r.state_changed = now;
   r.source_ip = ip;

@@ -77,8 +77,11 @@ class InventoryManager {
     std::string pnr;                      // set when ok
     std::optional<HoldRejection> rejection;  // set when !ok
   };
+  // `ttl_override` replaces the configured hold_duration for this hold only
+  // (brownout shortens hold TTLs while the platform is under load).
   HoldOutcome hold(sim::SimTime now, FlightId flight, std::vector<Passenger> passengers,
-                   web::ActorId actor, net::IpV4 ip = {}, fp::FpHash fp = {});
+                   web::ActorId actor, net::IpV4 ip = {}, fp::FpHash fp = {},
+                   std::optional<sim::SimDuration> ttl_override = {});
 
   // Expires all due holds; returns how many expired. Callers drive this from
   // the event loop (the platform schedules expiry sweeps).

@@ -48,4 +48,31 @@ std::string render_surge_table(const std::string& title, const std::vector<Surge
   return out.str();
 }
 
+std::string render_overload_report(const overload::OverloadSnapshot& snapshot) {
+  if (!snapshot.enabled) return {};
+  std::ostringstream out;
+  util::AsciiTable classes(
+      {"Class", "offered", "admitted", "shed queue", "shed fail-fast", "deadline missed",
+       "p50 ms", "p99 ms"});
+  for (std::size_t i = 0; i < overload::kRequestClasses; ++i) {
+    const auto& c = snapshot.cls[i];
+    classes.add_row({overload::to_string(static_cast<overload::RequestClass>(i)),
+                     util::format_count(c.offered), util::format_count(c.admitted),
+                     util::format_count(c.shed_queue), util::format_count(c.shed_fail_fast),
+                     util::format_count(c.deadline_missed), util::format_double(c.p50_latency_ms, 0),
+                     util::format_double(c.p99_latency_ms, 0)});
+  }
+  out << "=== Overload control ===\n" << classes.render();
+
+  util::AsciiTable brownout({"Brownout state", "dwell (h)"});
+  for (std::size_t i = 0; i < overload::kBrownoutStates; ++i) {
+    brownout.add_row({overload::to_string(static_cast<overload::BrownoutState>(i)),
+                      util::format_double(sim::to_hours(snapshot.dwell[i]), 2)});
+  }
+  out << "current state: " << overload::to_string(snapshot.state)
+      << "   transitions: " << snapshot.transitions << "\n"
+      << brownout.render();
+  return out.str();
+}
+
 }  // namespace fraudsim::analytics

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analytics/histogram.hpp"
+#include "core/overload/overload.hpp"
 #include "util/table.hpp"
 
 namespace fraudsim::analytics {
@@ -40,5 +41,11 @@ struct SurgeRow {
 [[nodiscard]] std::string render_surge_table(const std::string& title,
                                              const std::vector<SurgeRow>& rows,
                                              bool show_volumes);
+
+// Renders the overload-control section of a run report: per-class admission /
+// shed counters with modeled latency percentiles, plus brownout state
+// residency. Returns an empty string when the snapshot's subsystem was
+// disabled (the section disappears from reports instead of printing zeros).
+[[nodiscard]] std::string render_overload_report(const overload::OverloadSnapshot& snapshot);
 
 }  // namespace fraudsim::analytics

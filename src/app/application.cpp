@@ -1,5 +1,7 @@
 #include "app/application.hpp"
 
+#include "web/endpoint.hpp"
+
 namespace fraudsim::app {
 
 Application::Application(sim::Simulation& sim, const sms::CarrierNetwork& carriers,
@@ -11,7 +13,8 @@ Application::Application(sim::Simulation& sim, const sms::CarrierNetwork& carrie
       otp_(gateway_, rng.fork("otp")),
       boarding_(inventory_, gateway_, config.boarding),
       fares_(config.fares),
-      policy_fault_(fault::FaultRegistry::global().point("app.policy.evaluate")) {
+      policy_fault_(fault::FaultRegistry::global().point("app.policy.evaluate")),
+      overload_(config.overload) {
   if (config.honeypot_enabled) {
     decoy_ = std::make_unique<airline::InventoryManager>(config.inventory, rng.fork("decoy-pnr"));
   }
@@ -41,12 +44,15 @@ int Application::status_code_for(PolicyAction action) {
       return 401;
     case PolicyAction::RateLimited:
       return 429;
+    case PolicyAction::Shed:
+      return 503;
   }
   return 200;
 }
 
 PolicyDecision Application::admit(const ClientContext& ctx, web::Endpoint endpoint,
-                                  web::HttpMethod method, web::HttpRequest&& extra) {
+                                  web::HttpMethod method, web::HttpRequest&& extra,
+                                  overload::Deadline* deadline_out) {
   web::HttpRequest request = std::move(extra);
   request.time = sim_.now();
   request.method = method;
@@ -56,26 +62,59 @@ PolicyDecision Application::admit(const ClientContext& ctx, web::Endpoint endpoi
   request.fp_hash = ctx.fingerprint.hash();
   request.actor = ctx.actor;
 
-  IngressPolicy& policy = policy_ != nullptr ? *policy_ : allow_all_;
+  if (deadline_out != nullptr) *deadline_out = overload::Deadline::unbounded();
+
+  // Overload admission runs before the ingress policy: a shed request never
+  // consumes policy evaluation, fingerprint ingestion, or biometric capture —
+  // that is the point of shedding at the front door.
   PolicyDecision decision;
-  if (policy_fault_.should_fail(request.time)) {
-    // The policy dependency is down. Degrade per the configured mode instead
-    // of taking the request path down with it.
-    ++stats_.policy_faults;
-    if (config_.policy_fault_mode == PolicyFaultMode::FailOpen) {
-      decision = PolicyDecision{PolicyAction::Allow, "policy.fault.fail-open"};
+  bool shed = false;
+  if (overload_.enabled()) {
+    const auto cls = ctx.loyalty_member ? overload::RequestClass::Priority
+                                        : overload::RequestClass::Anonymous;
+    const int nip_cap = overload_.brownout().nip_cap();
+    if (endpoint == web::Endpoint::HoldReservation && nip_cap > 0 && request.nip > nip_cap) {
+      // Brownout trims bulk holds before they reach inventory: a 9-NiP spin
+      // costs nine seats of work; under pressure only small parties pass.
+      decision = PolicyDecision{PolicyAction::Shed, "overload.brownout.nip-cap"};
+      shed = true;
     } else {
-      decision = PolicyDecision{PolicyAction::Block, "policy.fault.fail-closed"};
+      const overload::Admission admission =
+          overload_.on_request(request.time, cls, web::is_transactional(endpoint));
+      if (admission.result == overload::AdmitResult::Admitted) {
+        if (deadline_out != nullptr) *deadline_out = admission.deadline;
+      } else {
+        decision = PolicyDecision{
+            PolicyAction::Shed, std::string("overload.") + overload::to_string(admission.result)};
+        shed = true;
+        if (admission.result == overload::AdmitResult::ShedDeadline) ++stats_.deadline_missed;
+      }
     }
-  } else {
-    decision = policy.evaluate(request, ctx);
+  }
+
+  if (!shed) {
+    IngressPolicy& policy = policy_ != nullptr ? *policy_ : allow_all_;
+    if (policy_fault_.should_fail(request.time)) {
+      // The policy dependency is down. Degrade per the configured mode instead
+      // of taking the request path down with it.
+      ++stats_.policy_faults;
+      if (config_.policy_fault_mode == PolicyFaultMode::FailOpen) {
+        decision = PolicyDecision{PolicyAction::Allow, "policy.fault.fail-open"};
+      } else {
+        decision = PolicyDecision{PolicyAction::Block, "policy.fault.fail-closed"};
+      }
+    } else {
+      decision = policy.evaluate(request, ctx);
+    }
   }
   request.status_code = status_code_for(decision.action);
 
-  fp_store_.observe(ctx.fingerprint, request.time);
-  if (ctx.pointer_biometrics) {
-    biometric_log_.push_back(BiometricRecord{request.time, ctx.session, request.fp_hash,
-                                             ctx.actor, *ctx.pointer_biometrics});
+  if (!shed) {
+    fp_store_.observe(ctx.fingerprint, request.time);
+    if (ctx.pointer_biometrics) {
+      biometric_log_.push_back(BiometricRecord{request.time, ctx.session, request.fp_hash,
+                                               ctx.actor, *ctx.pointer_biometrics});
+    }
   }
   weblog_.append(std::move(request));
 
@@ -95,6 +134,9 @@ PolicyDecision Application::admit(const ClientContext& ctx, web::Endpoint endpoi
     case PolicyAction::Honeypot:
       ++stats_.honeypotted;
       break;
+    case PolicyAction::Shed:
+      ++stats_.shed;
+      break;
   }
   if (!decision.rule.empty()) ++rule_hits_[decision.rule];
   return decision;
@@ -113,6 +155,8 @@ CallStatus Application::browse(const ClientContext& ctx, web::Endpoint endpoint,
       return CallStatus::Challenged;
     case PolicyAction::RateLimited:
       return CallStatus::RateLimited;
+    case PolicyAction::Shed:
+      return CallStatus::Overloaded;
   }
   return CallStatus::Ok;
 }
@@ -135,6 +179,9 @@ HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
       return result;
     case PolicyAction::RateLimited:
       result.status = CallStatus::RateLimited;
+      return result;
+    case PolicyAction::Shed:
+      result.status = CallStatus::Overloaded;
       return result;
     case PolicyAction::Honeypot: {
       // Serve from the decoy. Mirror the flight lazily; the decoy has its own
@@ -169,9 +216,19 @@ HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
       break;
   }
 
+  // Brownout shortens the hold TTL so speculative inventory pressure decays
+  // faster while the platform is under load.
+  std::optional<sim::SimDuration> ttl_override;
+  if (overload_.enabled()) {
+    const double scale = overload_.brownout().hold_ttl_scale();
+    if (scale < 1.0) {
+      ttl_override = static_cast<sim::SimDuration>(
+          static_cast<double>(config_.inventory.hold_duration) * scale);
+    }
+  }
   auto outcome =
       inventory_.hold(sim_.now(), flight, std::move(passengers), ctx.actor, ctx.ip,
-                      ctx.fingerprint.hash());
+                      ctx.fingerprint.hash(), ttl_override);
   if (outcome.ok) {
     result.status = CallStatus::Ok;
     result.pnr = outcome.pnr;
@@ -185,7 +242,9 @@ HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
 util::Money Application::quote_fare(const ClientContext& ctx, airline::FlightId flight_id) {
   web::HttpRequest extra;
   extra.flight_id = flight_id.value();
-  (void)admit(ctx, web::Endpoint::FlightDetails, web::HttpMethod::Get, std::move(extra));
+  const auto decision =
+      admit(ctx, web::Endpoint::FlightDetails, web::HttpMethod::Get, std::move(extra));
+  if (decision.action == PolicyAction::Shed) return util::Money{};
   const airline::Flight* flight = inventory_.flight(flight_id);
   if (flight == nullptr) return util::Money{};
   inventory_.expire_due(sim_.now());
@@ -204,6 +263,8 @@ CallStatus Application::pay(const ClientContext& ctx, const std::string& pnr) {
       return CallStatus::Challenged;
     case PolicyAction::RateLimited:
       return CallStatus::RateLimited;
+    case PolicyAction::Shed:
+      return CallStatus::Overloaded;
     case PolicyAction::Honeypot:
     case PolicyAction::Allow:
       break;
@@ -222,8 +283,9 @@ OtpResult Application::request_otp(const ClientContext& ctx, const std::string& 
                                    sms::PhoneNumber number) {
   web::HttpRequest extra;
   extra.sms_destination = number.country;
+  overload::Deadline deadline;
   const auto decision =
-      admit(ctx, web::Endpoint::RequestOtp, web::HttpMethod::Post, std::move(extra));
+      admit(ctx, web::Endpoint::RequestOtp, web::HttpMethod::Post, std::move(extra), &deadline);
   OtpResult result;
   switch (decision.action) {
     case PolicyAction::Block:
@@ -235,6 +297,9 @@ OtpResult Application::request_otp(const ClientContext& ctx, const std::string& 
     case PolicyAction::RateLimited:
       result.status = CallStatus::RateLimited;
       return result;
+    case PolicyAction::Shed:
+      result.status = CallStatus::Overloaded;
+      return result;
     case PolicyAction::Honeypot:
       // Decoy OTP: pretend success without sending anything.
       result.status = CallStatus::Ok;
@@ -243,13 +308,15 @@ OtpResult Application::request_otp(const ClientContext& ctx, const std::string& 
     case PolicyAction::Allow:
       break;
   }
-  result.code = otp_.request(sim_.now(), account, std::move(number), ctx.actor);
+  result.code = otp_.request(sim_.now(), account, std::move(number), ctx.actor, deadline);
   return result;
 }
 
 bool Application::verify_otp(const ClientContext& ctx, const std::string& account,
                              const std::string& code) {
-  (void)admit(ctx, web::Endpoint::VerifyOtp, web::HttpMethod::Post, web::HttpRequest{});
+  const auto decision =
+      admit(ctx, web::Endpoint::VerifyOtp, web::HttpMethod::Post, web::HttpRequest{});
+  if (decision.action == PolicyAction::Shed) return false;
   return otp_.verify(sim_.now(), account, code);
 }
 
@@ -260,7 +327,8 @@ Application::BookingView Application::retrieve_booking(const ClientContext& ctx,
   const auto decision =
       admit(ctx, web::Endpoint::ManageBooking, web::HttpMethod::Get, std::move(extra));
   BookingView view;
-  if (decision.action == PolicyAction::Block || decision.action == PolicyAction::RateLimited) {
+  if (decision.action == PolicyAction::Block || decision.action == PolicyAction::RateLimited ||
+      decision.action == PolicyAction::Shed) {
     return view;  // nothing disclosed
   }
   airline::InventoryManager& source =
@@ -280,8 +348,9 @@ BoardingSmsResult Application::request_boarding_sms(const ClientContext& ctx,
   web::HttpRequest extra;
   extra.booking_ref = pnr;
   extra.sms_destination = number.country;
+  overload::Deadline deadline;
   const auto decision =
-      admit(ctx, web::Endpoint::BoardingPassSms, web::HttpMethod::Post, std::move(extra));
+      admit(ctx, web::Endpoint::BoardingPassSms, web::HttpMethod::Post, std::move(extra), &deadline);
   BoardingSmsResult result;
   switch (decision.action) {
     case PolicyAction::Block:
@@ -293,6 +362,9 @@ BoardingSmsResult Application::request_boarding_sms(const ClientContext& ctx,
     case PolicyAction::RateLimited:
       result.status = CallStatus::RateLimited;
       return result;
+    case PolicyAction::Shed:
+      result.status = CallStatus::Overloaded;
+      return result;
     case PolicyAction::Honeypot:
       // Decoy: pretend the SMS was sent; nothing reaches the gateway, so the
       // attacker earns nothing while believing the pump works.
@@ -301,7 +373,7 @@ BoardingSmsResult Application::request_boarding_sms(const ClientContext& ctx,
     case PolicyAction::Allow:
       break;
   }
-  result.detail = boarding_.request_sms(sim_.now(), pnr, std::move(number), ctx.actor);
+  result.detail = boarding_.request_sms(sim_.now(), pnr, std::move(number), ctx.actor, deadline);
   result.status = result.detail == airline::BoardingPassService::SmsResult::Sent
                       ? CallStatus::Ok
                       : CallStatus::BusinessReject;
@@ -320,6 +392,8 @@ CallStatus Application::request_boarding_email(const ClientContext& ctx, const s
       return CallStatus::Challenged;
     case PolicyAction::RateLimited:
       return CallStatus::RateLimited;
+    case PolicyAction::Shed:
+      return CallStatus::Overloaded;
     case PolicyAction::Honeypot:
       return CallStatus::Ok;
     case PolicyAction::Allow:

@@ -27,6 +27,7 @@
 #include "app/fp_store.hpp"
 #include "app/policy.hpp"
 #include "core/fault/fault.hpp"
+#include "core/overload/overload.hpp"
 #include "net/geo.hpp"
 #include "sim/simulation.hpp"
 #include "sms/gateway.hpp"
@@ -50,6 +51,10 @@ struct ApplicationConfig {
   // Run the decoy inventory for honeypot decisions.
   bool honeypot_enabled = false;
   PolicyFaultMode policy_fault_mode = PolicyFaultMode::FailOpen;
+  // Overload control (bounded admission + deadline budgets + brownout).
+  // Disabled by default: the request path is then byte-identical to a build
+  // without the subsystem.
+  overload::OverloadConfig overload;
 };
 
 enum class CallStatus : std::uint8_t {
@@ -58,6 +63,7 @@ enum class CallStatus : std::uint8_t {
   Challenged,     // 401, retry with captcha_solved
   RateLimited,    // 429 from policy
   BusinessReject, // valid request rejected by business rules (cap, stock, state)
+  Overloaded,     // 503: shed by admission control or timed out on its deadline
 };
 
 struct HoldResult {
@@ -135,6 +141,8 @@ class Application {
   [[nodiscard]] airline::BoardingPassService& boarding() { return boarding_; }
   [[nodiscard]] const airline::BoardingPassService& boarding() const { return boarding_; }
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] overload::OverloadManager& overload() { return overload_; }
+  [[nodiscard]] const overload::OverloadManager& overload() const { return overload_; }
 
   struct Stats {
     std::uint64_t requests = 0;
@@ -145,6 +153,12 @@ class Application {
     // Requests admitted (or rejected) without a policy verdict because the
     // ingress policy was faulting.
     std::uint64_t policy_faults = 0;
+    // Requests dropped by overload control (admission watermarks, brownout
+    // fail-fast, or deadline-aware shedding). Always 0 with overload off.
+    std::uint64_t shed = 0;
+    // Subset of `shed` dropped because the request could not finish inside
+    // its deadline budget.
+    std::uint64_t deadline_missed = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   // Decisions per rule id (how long each blocking rule stayed effective is
@@ -171,9 +185,12 @@ class Application {
   }
 
  private:
-  // Logs the request, runs the policy, updates stats. Returns the decision.
+  // Logs the request, runs overload admission then the policy, updates stats.
+  // Returns the decision; when `deadline_out` is non-null it receives the
+  // deadline budget attached at admission (unbounded with overload off) for
+  // propagation into downstream stages.
   PolicyDecision admit(const ClientContext& ctx, web::Endpoint endpoint, web::HttpMethod method,
-                       web::HttpRequest&& extra);
+                       web::HttpRequest&& extra, overload::Deadline* deadline_out = nullptr);
   web::HttpRequest make_request(const ClientContext& ctx, web::Endpoint endpoint,
                                 web::HttpMethod method) const;
   static int status_code_for(PolicyAction action);
@@ -191,6 +208,7 @@ class Application {
   IngressPolicy* policy_ = nullptr;
   AllowAllPolicy allow_all_;
   fault::FaultPoint& policy_fault_;
+  overload::OverloadManager overload_;
   Stats stats_;
   std::unordered_map<std::string, std::uint64_t> rule_hits_;
   std::unordered_set<std::string> decoy_pnrs_;

@@ -60,4 +60,21 @@ void export_sms_csv(std::ostream& out, const std::vector<sms::SmsRecord>& record
   }
 }
 
+void export_overload_csv(std::ostream& out, const overload::OverloadSnapshot& snapshot) {
+  write_csv_row(out, {"row", "class_or_state", "offered", "admitted", "shed_queue",
+                      "shed_fail_fast", "deadline_missed", "p50_ms", "p99_ms", "dwell_ms"});
+  for (std::size_t i = 0; i < overload::kRequestClasses; ++i) {
+    const auto& c = snapshot.cls[i];
+    write_csv_row(out, {"class", overload::to_string(static_cast<overload::RequestClass>(i)),
+                        std::to_string(c.offered), std::to_string(c.admitted),
+                        std::to_string(c.shed_queue), std::to_string(c.shed_fail_fast),
+                        std::to_string(c.deadline_missed), std::to_string(c.p50_latency_ms),
+                        std::to_string(c.p99_latency_ms), ""});
+  }
+  for (std::size_t i = 0; i < overload::kBrownoutStates; ++i) {
+    write_csv_row(out, {"brownout", overload::to_string(static_cast<overload::BrownoutState>(i)),
+                        "", "", "", "", "", "", "", std::to_string(snapshot.dwell[i])});
+  }
+}
+
 }  // namespace fraudsim::app

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "airline/inventory.hpp"
+#include "core/overload/overload.hpp"
 #include "sms/gateway.hpp"
 #include "web/request.hpp"
 
@@ -30,5 +31,10 @@ void export_reservations_csv(std::ostream& out,
 
 // SMS ledger: time_ms,type,country,delivered,app_cost_micros,attacker_revenue_micros,booking_ref
 void export_sms_csv(std::ostream& out, const std::vector<sms::SmsRecord>& records);
+
+// Overload control: one row per request class —
+// class,offered,admitted,shed_queue,shed_fail_fast,deadline_missed,p50_ms,p99_ms
+// followed by one row per brownout state: state,dwell_ms (class columns blank).
+void export_overload_csv(std::ostream& out, const overload::OverloadSnapshot& snapshot);
 
 }  // namespace fraudsim::app

@@ -42,6 +42,8 @@ enum class PolicyAction : std::uint8_t {
   Challenge,      // CAPTCHA interstitial (retry with captcha_solved)
   RateLimited,    // deny due to a rate limit (429)
   Honeypot,       // serve from the decoy environment, pretend success
+  Shed,           // overload admission control dropped the request (503);
+                  // emitted by the platform, never by an IngressPolicy
 };
 
 struct PolicyDecision {

@@ -54,6 +54,7 @@ struct BotCounters {
   std::uint64_t captchas_attempted = 0;
   std::uint64_t captchas_solved = 0;
   std::uint64_t rate_limited = 0;
+  std::uint64_t shed = 0;  // 503s from overload admission control
   util::Money captcha_spend;
   util::Money proxy_spend;
 };
@@ -104,6 +105,7 @@ app::CallStatus with_captcha_solver(Action&& action, const CaptchaSolverConfig& 
   if (status != app::CallStatus::Challenged) {
     if (status == app::CallStatus::Blocked) ++counters.blocked;
     if (status == app::CallStatus::RateLimited) ++counters.rate_limited;
+    if (status == app::CallStatus::Overloaded) ++counters.shed;
     return status;
   }
   ++counters.challenged;
@@ -117,6 +119,7 @@ app::CallStatus with_captcha_solver(Action&& action, const CaptchaSolverConfig& 
   ctx.captcha_solved = false;
   if (status == app::CallStatus::Blocked) ++counters.blocked;
   if (status == app::CallStatus::RateLimited) ++counters.rate_limited;
+  if (status == app::CallStatus::Overloaded) ++counters.shed;
   return status;
 }
 

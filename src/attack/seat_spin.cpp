@@ -128,6 +128,7 @@ void SeatSpinBot::attempt_hold(int remaining) {
       return;
     case app::CallStatus::RateLimited:
     case app::CallStatus::Challenged:  // solve failed; try again later
+    case app::CallStatus::Overloaded:  // shed at the door; the site is slow
       schedule_tick(/*backoff=*/true);
       return;
     case app::CallStatus::BusinessReject:

@@ -58,16 +58,43 @@ void DetectionPipeline::train_behavior(const app::Application& application, sim:
 
 PipelineResult DetectionPipeline::run(const app::Application& application,
                                       const app::ActorRegistry& registry, sim::SimTime from,
-                                      sim::SimTime to) const {
+                                      sim::SimTime to,
+                                      overload::Deadline analysis_budget) const {
   PipelineResult result;
   const web::Sessionizer sessionizer(config_.session_timeout);
   result.sessions = sessionizer.sessionize(application.weblog().range(from, to));
 
+  // Brownout degradation: under pressure the expensive families analyse only
+  // every stride-th session. Stride 1 (or no controller) is the full view.
+  const int stride =
+      brownout_ != nullptr && brownout_->enabled() ? brownout_->detector_stride() : 1;
+  std::vector<web::Session> sampled;
+  if (stride > 1) {
+    for (std::size_t i = 0; i < result.sessions.size(); i += static_cast<std::size_t>(stride)) {
+      sampled.push_back(result.sessions[i]);
+    }
+  }
+  const std::vector<web::Session>& expensive_view = stride > 1 ? sampled : result.sessions;
+
+  // Modeled analysis clock, charged against the optional deadline budget.
+  sim::SimTime analysis_now = to;
+  const sim::SimDuration cheap_cost =
+      static_cast<sim::SimDuration>(result.sessions.size()) * config_.analysis_cost_cheap;
+  const sim::SimDuration expensive_cost =
+      static_cast<sim::SimDuration>(expensive_view.size()) * config_.analysis_cost_expensive;
+
   // Runs one detector family behind its fault point. An injected outage or a
   // thrown exception records the family as skipped; the pipeline always
   // finishes the remaining families — detection never takes the SOC report
-  // down with it.
-  auto guarded = [&result, to](const char* family, const char* point, auto&& fn) {
+  // down with it. A family whose start time is already past the analysis
+  // budget is skipped the same way.
+  auto guarded = [&result, &analysis_now, analysis_budget, to](
+                     const char* family, const char* point, sim::SimDuration cost, auto&& fn) {
+    if (analysis_budget.expired(analysis_now)) {
+      result.degraded = true;
+      result.skipped.push_back(SkippedDetector{family, "analysis budget exhausted"});
+      return;
+    }
     if (fault::FaultRegistry::global().point(point).should_fail(to)) {
       result.degraded = true;
       result.skipped.push_back(SkippedDetector{family, "fault-injected outage"});
@@ -75,6 +102,7 @@ PipelineResult DetectionPipeline::run(const app::Application& application,
     }
     try {
       fn();
+      analysis_now += cost;
     } catch (const std::exception& e) {
       result.degraded = true;
       result.skipped.push_back(SkippedDetector{family, std::string("exception: ") + e.what()});
@@ -85,33 +113,36 @@ PipelineResult DetectionPipeline::run(const app::Application& application,
   };
 
   // Behaviour-based.
-  guarded("behavior.volume", "detect.volume.run", [&] {
+  guarded("behavior.volume", "detect.volume.run", cheap_cost, [&] {
     VolumeThresholdDetector volume(config_.volume);
     volume.analyze(result.sessions, result.alerts);
   });
   if (classifier_.trained()) {
-    guarded("behavior.classifier", "detect.behavior.run",
-            [&] { classifier_.analyze(result.sessions, result.alerts); });
+    guarded("behavior.classifier", "detect.behavior.run", expensive_cost,
+            [&] { classifier_.analyze(expensive_view, result.alerts); });
   }
   if (navigation_.fitted()) {
-    guarded("behavior.navigation", "detect.navigation.run",
-            [&] { navigation_.analyze(result.sessions, result.alerts); });
+    guarded("behavior.navigation", "detect.navigation.run", expensive_cost,
+            [&] { navigation_.analyze(expensive_view, result.alerts); });
   }
 
   // Network reputation (enabled once a geo database is supplied).
   if (geo_ != nullptr) {
-    guarded("ip.reputation", "detect.ip.run", [&] {
+    guarded("ip.reputation", "detect.ip.run", cheap_cost, [&] {
       IpReputationDetector ip_detector(*geo_, config_.ip_reputation);
       ip_detector.analyze(result.sessions, result.alerts);
     });
   }
 
-  // Pointer biometrics (§V): judge every sample captured in the window.
+  // Pointer biometrics (§V): judge every sample captured in the window
+  // (every stride-th sample under brownout).
   if (config_.biometrics_enabled) {
-    guarded("biometric.pointer", "detect.biometric.run", [&] {
+    guarded("biometric.pointer", "detect.biometric.run", expensive_cost, [&] {
       biometrics::BiometricDetector biometric(config_.biometric_thresholds);
+      std::size_t sample_idx = 0;
       for (const auto& record : application.biometric_log()) {
         if (record.time < from || record.time >= to) continue;
+        if (stride > 1 && (sample_idx++ % static_cast<std::size_t>(stride)) != 0) continue;
         std::string reason;
         if (!biometric.observe(record.features, &reason)) continue;
         Alert alert;
@@ -127,23 +158,23 @@ PipelineResult DetectionPipeline::run(const app::Application& application,
   }
 
   // Knowledge-based.
-  guarded("fingerprint.artifact", "detect.artifact.run", [&] {
+  guarded("fingerprint.artifact", "detect.artifact.run", cheap_cost, [&] {
     ArtifactDetector artifacts;
     artifacts.analyze(application.fingerprints(), result.sessions, result.alerts);
   });
-  guarded("fingerprint.consistency", "detect.consistency.run", [&] {
+  guarded("fingerprint.consistency", "detect.consistency.run", cheap_cost, [&] {
     ConsistencyDetector consistency;
     consistency.analyze(application.fingerprints(), result.sessions, result.alerts);
   });
-  guarded("fingerprint.rarity", "detect.rarity.run", [&] {
+  guarded("fingerprint.rarity", "detect.rarity.run", cheap_cost, [&] {
     RarityDetector rarity(config_.rarity_frequency, config_.rarity_min_observations);
     rarity.analyze(application.fingerprints(), result.alerts);
   });
 
   // Feature-level (the paper's advanced detectors).
-  guarded("nip.anomaly", "detect.nip.run",
+  guarded("nip.anomaly", "detect.nip.run", cheap_cost,
           [&] { nip_.analyze(application.inventory().reservations(), from, to, result.alerts); });
-  guarded("name.patterns", "detect.names.run", [&] {
+  guarded("name.patterns", "detect.names.run", cheap_cost, [&] {
     NamePatternAnalyzer names(config_.names);
     // Window-scope the reservations for identity analysis.
     std::vector<airline::Reservation> window;
@@ -152,7 +183,7 @@ PipelineResult DetectionPipeline::run(const app::Application& application,
     }
     names.analyze(window, result.alerts);
   });
-  guarded("sms.anomaly", "detect.sms.run", [&] {
+  guarded("sms.anomaly", "detect.sms.run", cheap_cost, [&] {
     SmsAnomalyDetector sms(config_.sms);
     // SMS surge baselines on the pre-window period of equal length.
     const sim::SimTime baseline_from = std::max<sim::SimTime>(0, from - (to - from));

@@ -18,6 +18,8 @@
 #include "core/detect/navigation.hpp"
 #include "core/detect/nip_anomaly.hpp"
 #include "core/detect/sms_anomaly.hpp"
+#include "core/overload/brownout.hpp"
+#include "core/overload/overload.hpp"
 #include "web/session.hpp"
 
 namespace fraudsim::detect {
@@ -35,6 +37,13 @@ struct PipelineConfig {
   bool biometrics_enabled = true;
   biometrics::BiometricThresholds biometric_thresholds;
   IpReputationConfig ip_reputation;
+  // Modeled batch-analysis cost per session, charged against the optional
+  // analysis deadline budget passed to run(): cheap families advance the
+  // modeled analysis clock by `analysis_cost_cheap` ms per session, the
+  // expensive ones (classifier, navigation, biometrics) by
+  // `analysis_cost_expensive`.
+  sim::SimDuration analysis_cost_cheap = 1;
+  sim::SimDuration analysis_cost_expensive = 5;
 };
 
 struct DetectorReport {
@@ -93,9 +102,22 @@ class DetectionPipeline {
   // recorded in PipelineResult::skipped with degraded=true, and the run
   // completes with the remaining families. Never throws for a single
   // detector failure.
+  //
+  // `analysis_budget` is a deadline on the modeled analysis clock (which
+  // starts at `to` and advances per family by its per-session cost):
+  // families that would start past the budget are skipped, so an overloaded
+  // window degrades the SOC view instead of blowing the analysis window.
+  // Unbounded by default.
   [[nodiscard]] PipelineResult run(const app::Application& application,
                                    const app::ActorRegistry& registry, sim::SimTime from,
-                                   sim::SimTime to) const;
+                                   sim::SimTime to,
+                                   overload::Deadline analysis_budget = {}) const;
+
+  // Attach the platform's brownout controller (non-owning; nullptr detaches).
+  // Under BROWNOUT/SHED the expensive detector families analyse every
+  // stride-th session instead of all of them — detection quality is traded
+  // for analysis cost while the platform is hot.
+  void set_brownout(const overload::BrownoutController* brownout) { brownout_ = brownout; }
 
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
   [[nodiscard]] const BehaviorClassifier& classifier() const { return classifier_; }
@@ -106,6 +128,7 @@ class DetectionPipeline {
   BehaviorClassifier classifier_;
   NavigationModel navigation_;
   const net::GeoDb* geo_ = nullptr;
+  const overload::BrownoutController* brownout_ = nullptr;
 };
 
 }  // namespace fraudsim::detect

@@ -71,9 +71,14 @@ void MitigationController::sweep() {
   // 2. Biometric enforcement (§V): fingerprints whose pointer telemetry keeps
   // failing the kinematic/replay checks. The detector and per-fp tallies are
   // persistent members so replayed geometries accumulate across sweeps.
+  // Under brownout only every stride-th sample is scanned — the expensive
+  // detector thins out while the platform is hot.
   if (config_.block_biometric_flagged) {
+    const int stride =
+        app_.overload().enabled() ? app_.overload().brownout().detector_stride() : 1;
     const auto& log = app_.biometric_log();
     for (; biometric_cursor_ < log.size(); ++biometric_cursor_) {
+      if (stride > 1 && (biometric_cursor_ % static_cast<std::size_t>(stride)) != 0) continue;
       const auto& record = log[biometric_cursor_];
       std::string reason;
       if (!biometric_detector_.observe(record.features, &reason)) continue;

@@ -23,10 +23,15 @@ void SlidingWindowRateLimiter::evict_stale(sim::SimTime now) {
 }
 
 bool SlidingWindowRateLimiter::allow(sim::SimTime now, const std::string& key) {
+  return allow(now, key, limit_);
+}
+
+bool SlidingWindowRateLimiter::allow(sim::SimTime now, const std::string& key,
+                                     std::uint64_t effective_limit) {
   evict_stale(now);
   auto& q = events_[key];
   prune(now, q);
-  if (q.size() >= limit_) {
+  if (q.size() >= effective_limit) {
     ++denials_;
     return false;
   }

@@ -28,6 +28,11 @@ class SlidingWindowRateLimiter {
   // extend its own penalty by hammering).
   bool allow(sim::SimTime now, const std::string& key);
 
+  // Same, but judged against `effective_limit` instead of the configured
+  // limit (brownout tightens limits transiently without rebuilding limiter
+  // state; the window history is shared either way).
+  bool allow(sim::SimTime now, const std::string& key, std::uint64_t effective_limit);
+
   // Count currently in the window for the key (after pruning). Does not
   // create state for unseen keys.
   [[nodiscard]] std::uint64_t current(sim::SimTime now, const std::string& key);

@@ -1,6 +1,7 @@
 #include "core/mitigate/rules.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace fraudsim::mitigate {
 
@@ -100,10 +101,21 @@ app::PolicyDecision RuleEngine::evaluate(const web::HttpRequest& request,
   }
 
   // 5. Rate limits (all matching limits must admit the request; the denial
-  // names the first limit that trips).
+  // names the first limit that trips). Under brownout every limit is judged
+  // against a scaled-down effective limit (never below 1).
+  double limit_scale = 1.0;
+  if (brownout_ != nullptr && brownout_->enabled()) {
+    limit_scale = brownout_->rate_limit_scale();
+  }
   for (auto& named : limiters_) {
     if (named.spec.endpoint && *named.spec.endpoint != request.endpoint) continue;
-    if (!named.limiter->allow(sim_.now(), rate_key(named.spec, request))) {
+    std::uint64_t effective = named.spec.limit;
+    if (limit_scale < 1.0) {
+      effective = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 std::ceil(static_cast<double>(named.spec.limit) * limit_scale)));
+    }
+    if (!named.limiter->allow(sim_.now(), rate_key(named.spec, request), effective)) {
       return app::PolicyDecision{app::PolicyAction::RateLimited, named.spec.name};
     }
   }

@@ -22,6 +22,7 @@
 #include "app/policy.hpp"
 #include "core/detect/fingerprint_detect.hpp"
 #include "core/mitigate/rate_limit.hpp"
+#include "core/overload/brownout.hpp"
 #include "fingerprint/consistency.hpp"
 #include "net/ip.hpp"
 #include "sim/simulation.hpp"
@@ -77,6 +78,13 @@ class RuleEngine final : public app::IngressPolicy {
   [[nodiscard]] const SlidingWindowRateLimiter* limiter(const std::string& name) const;
   void remove_rate_limit(const std::string& name);
 
+  // --- Overload coupling ------------------------------------------------------
+  // Attach the platform's brownout controller (non-owning; nullptr detaches).
+  // While attached and escalated, every rate limit is judged against
+  // ceil(limit * rate_limit_scale) — limits tighten transiently under load
+  // and relax on their own when the controller steps back down.
+  void observe_overload(const overload::BrownoutController* brownout) { brownout_ = brownout; }
+
  private:
   [[nodiscard]] static std::string rate_key(const RateLimitSpec& spec,
                                             const web::HttpRequest& request);
@@ -95,6 +103,7 @@ class RuleEngine final : public app::IngressPolicy {
     std::unique_ptr<SlidingWindowRateLimiter> limiter;
   };
   std::vector<NamedLimiter> limiters_;
+  const overload::BrownoutController* brownout_ = nullptr;
 };
 
 }  // namespace fraudsim::mitigate

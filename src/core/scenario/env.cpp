@@ -24,6 +24,10 @@ Env::Env(EnvConfig config)
       datacenter(geo, net::CountryCode{'U', 'S'}, 8, util::Money::from_double(0.00005)),
       config_(std::move(config)) {
   app.set_policy(&engine);
+  // Couple the rule engine to the platform's brownout controller so rate
+  // limits tighten while the admission queue is hot (no-op with overload
+  // control disabled).
+  engine.observe_overload(&app.overload().brownout());
   legit = std::make_unique<workload::LegitTraffic>(app, geo, actors, config_.legit,
                                                    rng.fork("legit"));
 }

@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "analytics/report.hpp"
 #include "util/table.hpp"
 
 namespace fraudsim::scenario {
@@ -19,10 +20,12 @@ std::string render_soc_report(const SocReportInputs& inputs) {
   std::uint64_t blocked = 0;
   std::uint64_t challenged = 0;
   std::uint64_t limited = 0;
+  std::uint64_t shed = 0;
   for (const auto& r : requests) {
     if (r.status_code == 403) ++blocked;
     if (r.status_code == 401) ++challenged;
     if (r.status_code == 429) ++limited;
+    if (r.status_code == 503) ++shed;
   }
   std::uint64_t holds = 0;
   std::uint64_t ticketed = 0;
@@ -56,7 +59,12 @@ std::string render_soc_report(const SocReportInputs& inputs) {
   policy.add_row({"blocked (403)", util::format_count(blocked)});
   policy.add_row({"challenged (401)", util::format_count(challenged)});
   policy.add_row({"rate limited (429)", util::format_count(limited)});
+  if (app.overload().enabled()) {
+    policy.add_row({"shed (503)", util::format_count(shed)});
+  }
   out << policy.render() << "\n";
+  // Overload control section (renders empty with the subsystem disabled).
+  out << analytics::render_overload_report(app.overload().snapshot(inputs.to));
   if (!app.rule_hits().empty()) {
     util::AsciiTable rules({"Rule", "hits"});
     std::map<std::string, std::uint64_t> ordered(app.rule_hits().begin(), app.rule_hits().end());

@@ -28,6 +28,8 @@ const char* to_string(SmsFailure f) {
       return "circuit-open";
     case SmsFailure::RetriesExhausted:
       return "retries-exhausted";
+    case SmsFailure::DeadlineExpired:
+      return "deadline-expired";
   }
   return "?";
 }
@@ -40,13 +42,15 @@ SmsGateway::SmsGateway(const CarrierNetwork& network, GatewayConfig config)
       retry_rng_(config.retry_jitter_seed) {}
 
 const SmsRecord& SmsGateway::send(sim::SimTime now, PhoneNumber destination, SmsType type,
-                                  web::ActorId actor, std::optional<std::string> booking_ref) {
+                                  web::ActorId actor, std::optional<std::string> booking_ref,
+                                  overload::Deadline deadline) {
   SmsRecord record;
   record.time = now;
   record.destination = destination;
   record.type = type;
   record.actor = actor;
   record.booking_ref = std::move(booking_ref);
+  record.deadline = deadline;
   log_.push_back(std::move(record));
   const std::size_t index = log_.size() - 1;
   attempt_delivery(now, index, /*attempt=*/1);
@@ -56,6 +60,15 @@ const SmsRecord& SmsGateway::send(sim::SimTime now, PhoneNumber destination, Sms
 void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attempt) {
   SmsRecord& record = log_[index];
   record.attempts = attempt;
+
+  // A retry (or a very late send) whose deadline budget has lapsed is
+  // abandoned: nobody is waiting for this message any more, and spending a
+  // carrier submission on it steals quota from live traffic.
+  if (record.deadline.expired(now)) {
+    record.failure = SmsFailure::DeadlineExpired;
+    ++deadline_abandoned_;
+    return;
+  }
 
   // Quota: resets each sim day; every carrier submission (retries included)
   // counts against the contract. Quota rejection is a business rejection,
@@ -88,6 +101,13 @@ void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attem
     if (config_.breaker_enabled) breaker_.record_failure(now);
     if (config_.retry_enabled && config_.retry.should_retry(attempt)) {
       const sim::SimDuration delay = config_.retry.delay(attempt, retry_rng_);
+      if (record.deadline.expired(now + delay)) {
+        // The retry could not fire before the deadline: abandon now instead
+        // of parking dead work in the retry queue.
+        record.failure = SmsFailure::DeadlineExpired;
+        ++deadline_abandoned_;
+        return;
+      }
       retries_.emplace(std::make_pair(now + delay, index), attempt + 1);
       ++retries_enqueued_;
       record.failure = SmsFailure::CarrierTransient;

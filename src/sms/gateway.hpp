@@ -27,6 +27,7 @@
 #include "core/fault/circuit_breaker.hpp"
 #include "core/fault/fault.hpp"
 #include "core/fault/retry.hpp"
+#include "core/overload/overload.hpp"
 #include "sms/carrier.hpp"
 #include "sms/number.hpp"
 #include "sim/time.hpp"
@@ -47,6 +48,8 @@ enum class SmsFailure : std::uint8_t {
   CarrierTransient, // carrier submission failed; retry queued
   CircuitOpen,      // breaker fail-fast, carrier never attempted (terminal)
   RetriesExhausted, // transient failures ate the whole retry budget (terminal)
+  DeadlineExpired,  // the request's deadline budget lapsed before delivery
+                    // could complete (terminal; pending retries are abandoned)
 };
 
 [[nodiscard]] const char* to_string(SmsFailure f);
@@ -57,6 +60,11 @@ struct SmsRecord {
   SmsType type = SmsType::Notification;
   web::ActorId actor;                     // ground truth
   std::optional<std::string> booking_ref; // for boarding-pass messages
+  // Completion budget attached by overload admission; unbounded by default.
+  // Retries that cannot fire before it lapses are abandoned, not queued —
+  // under overload the retry queue must not grow with work nobody is
+  // waiting for any more.
+  overload::Deadline deadline;
   bool delivered = false;                 // false if rejected or still pending
   SmsFailure failure = SmsFailure::None;
   int attempts = 0;                       // carrier submissions made so far
@@ -94,7 +102,8 @@ class SmsGateway {
   // transiently — in the last case a retry is pending and the record is
   // updated in place when it later delivers).
   const SmsRecord& send(sim::SimTime now, PhoneNumber destination, SmsType type,
-                        web::ActorId actor, std::optional<std::string> booking_ref = {});
+                        web::ActorId actor, std::optional<std::string> booking_ref = {},
+                        overload::Deadline deadline = {});
 
   // Drains retries due at or before `now`. Deterministic: entries fire in
   // (due time, record index) order. Call from a periodic sweep.
@@ -114,6 +123,7 @@ class SmsGateway {
   [[nodiscard]] std::uint64_t retries_delivered() const { return retries_delivered_; }
   [[nodiscard]] std::uint64_t retries_exhausted() const { return retries_exhausted_; }
   [[nodiscard]] std::uint64_t quota_rejected() const { return quota_rejected_; }
+  [[nodiscard]] std::uint64_t deadline_abandoned() const { return deadline_abandoned_; }
   [[nodiscard]] std::size_t pending_retries() const { return retries_.size(); }
   [[nodiscard]] const fault::CircuitBreaker& breaker() const { return breaker_; }
 
@@ -153,6 +163,7 @@ class SmsGateway {
   std::uint64_t retries_delivered_ = 0;
   std::uint64_t retries_exhausted_ = 0;
   std::uint64_t quota_rejected_ = 0;
+  std::uint64_t deadline_abandoned_ = 0;
 };
 
 }  // namespace fraudsim::sms

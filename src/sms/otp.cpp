@@ -9,7 +9,7 @@ OtpService::OtpService(SmsGateway& gateway, sim::Rng rng, sim::SimDuration valid
       deliver_fault_(fault::FaultRegistry::global().point("otp.deliver")) {}
 
 std::string OtpService::request(sim::SimTime now, const std::string& account, PhoneNumber number,
-                                web::ActorId actor) {
+                                web::ActorId actor, overload::Deadline deadline) {
   const std::string code = rng_.random_digits(6);
   pending_[account] = Pending{code, now + validity_};
   ++requests_;
@@ -20,7 +20,7 @@ std::string OtpService::request(sim::SimTime now, const std::string& account, Ph
     ++delivery_faults_;
     return code;
   }
-  gateway_.send(now, std::move(number), SmsType::Otp, actor);
+  gateway_.send(now, std::move(number), SmsType::Otp, actor, {}, deadline);
   return code;
 }
 

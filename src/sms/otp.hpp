@@ -26,8 +26,10 @@ class OtpService {
 
   // Sends an OTP to `number` for the given account key. Returns the code
   // (callers simulating a legitimate user pass it back to verify()).
+  // The deadline budget (attached by overload admission; unbounded by
+  // default) travels into the gateway's retry queue.
   std::string request(sim::SimTime now, const std::string& account, PhoneNumber number,
-                      web::ActorId actor);
+                      web::ActorId actor, overload::Deadline deadline = {});
 
   // True and consumes the code if it matches and hasn't expired.
   bool verify(sim::SimTime now, const std::string& account, const std::string& code);

@@ -189,6 +189,9 @@ void LegitTraffic::run_booking_session() {
       case app::CallStatus::RateLimited:
         ++stats_.rate_limited;
         return;
+      case app::CallStatus::Overloaded:   // shed at the door; customer walks
+        ++stats_.overloaded;
+        return;
       case app::CallStatus::Challenged:   // abandoned at the challenge
       case app::CallStatus::BusinessReject:
         return;
@@ -213,6 +216,10 @@ void LegitTraffic::run_booking_session() {
         ++stats_.blocked;
         return;
       }
+      if (pay_status == app::CallStatus::Overloaded) {
+        ++stats_.overloaded;
+        return;
+      }
       if (pay_status != app::CallStatus::Ok) return;
       ++stats_.bookings_paid;
       stats_.seats_paid += static_cast<std::uint64_t>(journey->nip);
@@ -228,6 +235,7 @@ void LegitTraffic::run_booking_session() {
           if (bp_status == app::CallStatus::Ok) ++stats_.boarding_sms;
           if (bp_status == app::CallStatus::Blocked) ++stats_.blocked;
           if (bp_status == app::CallStatus::RateLimited) ++stats_.rate_limited;
+          if (bp_status == app::CallStatus::Overloaded) ++stats_.overloaded;
         });
       } else if (rng_.bernoulli(config_.p_boarding_email)) {
         app_.simulation().schedule_in(think_time(), [this, journey] {
@@ -277,6 +285,10 @@ void LegitTraffic::run_otp_session() {
     }
     if (status == app::CallStatus::RateLimited) {
       ++stats_.rate_limited;
+      return;
+    }
+    if (status == app::CallStatus::Overloaded) {
+      ++stats_.overloaded;
       return;
     }
     if (status != app::CallStatus::Ok) return;

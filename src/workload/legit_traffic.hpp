@@ -51,6 +51,7 @@ struct LegitTrafficStats {
   std::uint64_t lost_sales_no_seats = 0;     // wanted to book, no availability
   std::uint64_t seats_lost_no_seats = 0;     // party size of those lost sales
   std::uint64_t rate_limited = 0;
+  std::uint64_t overloaded = 0;              // 503s from overload shedding
 };
 
 class LegitTraffic {

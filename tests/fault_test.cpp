@@ -150,6 +150,57 @@ TEST_F(FaultTest, RetryDelayJitterIsBoundedAndDeterministic) {
   }
 }
 
+// Property sweep: across 1k seeded draws per retry number, every jittered
+// delay stays inside [(1-j)*backoff, (1+j)*backoff] (+1 ms of rounding), is
+// never below the 1 ms floor, and the backoff itself never exceeds max_delay
+// no matter how deep the retry chain goes.
+TEST_F(FaultTest, RetryDelayPropertyHoldsAcrossSeededDraws) {
+  RetryPolicy policy;
+  policy.base_delay = sim::seconds(30);
+  policy.multiplier = 2.0;
+  policy.max_delay = sim::minutes(30);
+  policy.jitter = 0.2;
+  for (int retry = 1; retry <= 8; ++retry) {
+    const auto base = policy.backoff(retry);
+    EXPECT_LE(base, policy.max_delay);
+    EXPECT_GT(base, 0);
+    const auto lo = static_cast<sim::SimDuration>(0.8 * static_cast<double>(base));
+    const auto hi = static_cast<sim::SimDuration>(1.2 * static_cast<double>(base)) + 1;
+    sim::Rng rng(static_cast<std::uint64_t>(1000 + retry));
+    for (int draw = 0; draw < 1000; ++draw) {
+      const auto d = policy.delay(retry, rng);
+      ASSERT_GE(d, lo) << "retry " << retry << " draw " << draw;
+      ASSERT_LE(d, hi) << "retry " << retry << " draw " << draw;
+      ASSERT_GE(d, 1) << "retry " << retry << " draw " << draw;
+    }
+  }
+  // Deep chains cap exactly: backoff is monotone non-decreasing up to the cap.
+  for (int retry = 1; retry < 40; ++retry) {
+    EXPECT_LE(policy.backoff(retry), policy.backoff(retry + 1));
+    EXPECT_LE(policy.backoff(retry + 1), policy.max_delay);
+  }
+  EXPECT_EQ(policy.backoff(40), policy.max_delay);
+}
+
+// The jitter stream is a pure function of the seed: two RNGs with the same
+// seed produce the identical 1k-draw schedule, and a different seed produces
+// a different one (so arming jitter cannot silently collapse to lockstep).
+TEST_F(FaultTest, RetryJitterStreamIsSeedDeterministic) {
+  RetryPolicy policy;
+  policy.jitter = 0.25;
+  sim::Rng a(0xF417), b(0xF417), c(0xF418);
+  std::uint64_t mismatches = 0;
+  bool differs_from_other_seed = false;
+  for (int draw = 0; draw < 1000; ++draw) {
+    const int retry = 1 + draw % 4;
+    const auto da = policy.delay(retry, a);
+    if (da != policy.delay(retry, b)) ++mismatches;
+    if (da != policy.delay(retry, c)) differs_from_other_seed = true;
+  }
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_TRUE(differs_from_other_seed);
+}
+
 // --- CircuitBreaker ----------------------------------------------------------
 
 TEST_F(FaultTest, BreakerTripsAfterConsecutiveFailures) {

@@ -1,0 +1,540 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "analytics/report.hpp"
+#include "app/actors.hpp"
+#include "app/application.hpp"
+#include "app/export.hpp"
+#include "core/fault/fault.hpp"
+#include "core/overload/brownout.hpp"
+#include "core/overload/overload.hpp"
+#include "fingerprint/population.hpp"
+#include "sms/gateway.hpp"
+
+namespace fraudsim::overload {
+namespace {
+
+// --- Deadline ---------------------------------------------------------------------
+
+TEST(Deadline, DefaultIsUnbounded) {
+  const Deadline d;
+  EXPECT_FALSE(d.bounded());
+  EXPECT_FALSE(d.expired(0));
+  EXPECT_FALSE(d.expired(std::numeric_limits<sim::SimTime>::max() - 1));
+  EXPECT_EQ(d.remaining(sim::days(365)), Deadline::kUnbounded);
+  EXPECT_FALSE(Deadline::unbounded().bounded());
+}
+
+TEST(Deadline, InAndAtBoundTheBudget) {
+  const auto d = Deadline::in(sim::seconds(100), sim::seconds(50));
+  EXPECT_TRUE(d.bounded());
+  EXPECT_EQ(d.expires, sim::seconds(150));
+  EXPECT_FALSE(d.expired(sim::seconds(150) - 1));
+  EXPECT_TRUE(d.expired(sim::seconds(150)));  // inclusive at the edge
+  EXPECT_EQ(d.remaining(sim::seconds(120)), sim::seconds(30));
+  EXPECT_EQ(Deadline::at(42).expires, 42);
+}
+
+// --- AdmissionQueue ---------------------------------------------------------------
+
+TEST(AdmissionQueue, EmptyQueueHasZeroWait) {
+  AdmissionQueue q(2, /*priority_scheduling=*/true);
+  EXPECT_EQ(q.wait_for(RequestClass::Anonymous, 0), 0);
+  EXPECT_EQ(q.wait_for(RequestClass::Priority, sim::hours(1)), 0);
+  EXPECT_EQ(q.backlog(sim::hours(2)), 0);
+}
+
+TEST(AdmissionQueue, WaitIsBacklogOverServers) {
+  AdmissionQueue q(2, true);
+  q.admit(0, RequestClass::Anonymous, 1000);
+  // 1000 ms of work across 2 unit-rate servers = 500 ms wait.
+  EXPECT_EQ(q.wait_for(RequestClass::Anonymous, 0), 500);
+}
+
+TEST(AdmissionQueue, DrainsAtServerRate) {
+  AdmissionQueue q(2, true);
+  q.admit(0, RequestClass::Anonymous, 1000);
+  // After 250 ms the two servers retired 500 ms of work.
+  EXPECT_EQ(q.backlog(250), 500);
+  EXPECT_EQ(q.wait_for(RequestClass::Anonymous, 250), 250);
+  EXPECT_EQ(q.backlog(500), 0);
+  EXPECT_EQ(q.wait_for(RequestClass::Anonymous, 500), 0);
+}
+
+TEST(AdmissionQueue, StrictPriorityShieldsPriorityArrivals) {
+  AdmissionQueue q(1, /*priority_scheduling=*/true);
+  q.admit(0, RequestClass::Anonymous, 4000);
+  // Priority arrivals jump the anonymous backlog; anonymous arrivals queue
+  // behind everything.
+  EXPECT_EQ(q.wait_for(RequestClass::Priority, 0), 0);
+  EXPECT_EQ(q.wait_for(RequestClass::Anonymous, 0), 4000);
+  q.admit(0, RequestClass::Priority, 600);
+  EXPECT_EQ(q.wait_for(RequestClass::Priority, 0), 600);
+  EXPECT_EQ(q.wait_for(RequestClass::Anonymous, 0), 4600);
+}
+
+TEST(AdmissionQueue, PriorityBandDrainsFirst) {
+  AdmissionQueue q(1, true);
+  q.admit(0, RequestClass::Priority, 500);
+  q.admit(0, RequestClass::Anonymous, 500);
+  // At t=500 the single server has retired exactly the priority band.
+  EXPECT_EQ(q.wait_for(RequestClass::Priority, 500), 0);
+  EXPECT_EQ(q.wait_for(RequestClass::Anonymous, 500), 500);
+}
+
+TEST(AdmissionQueue, WithoutPrioritySchedulingBandsMerge) {
+  AdmissionQueue q(1, /*priority_scheduling=*/false);
+  q.admit(0, RequestClass::Anonymous, 3000);
+  // The collapse baseline: a priority arrival waits behind bot work too.
+  EXPECT_EQ(q.wait_for(RequestClass::Priority, 0), 3000);
+  EXPECT_EQ(q.wait_for(RequestClass::Anonymous, 0), 3000);
+}
+
+// --- BrownoutController -----------------------------------------------------------
+
+BrownoutConfig instant_brownout() {
+  BrownoutConfig cfg;
+  cfg.enabled = true;
+  cfg.alpha = 1.0;  // EWMA tracks the last sample exactly
+  cfg.elevated_wait = 250;
+  cfg.brownout_wait = 1000;
+  cfg.shed_wait = 4000;
+  cfg.min_dwell = sim::seconds(30);
+  return cfg;
+}
+
+TEST(Brownout, DisabledControllerIgnoresLoad) {
+  BrownoutController ctl{BrownoutConfig{}};
+  for (int i = 0; i < 100; ++i) ctl.observe(i, sim::hours(1), sim::hours(1));
+  EXPECT_EQ(ctl.state(), BrownoutState::Normal);
+  EXPECT_TRUE(ctl.transitions().empty());
+  EXPECT_DOUBLE_EQ(ctl.rate_limit_scale(), 1.0);
+  EXPECT_EQ(ctl.detector_stride(), 1);
+  EXPECT_FALSE(ctl.fail_fast_anonymous());
+}
+
+TEST(Brownout, EscalatesOneStateAtATime) {
+  BrownoutController ctl(instant_brownout());
+  // The wait is far beyond the SHED threshold from the first sample, but the
+  // machine still walks NORMAL -> ELEVATED -> BROWNOUT -> SHED one step per
+  // observation.
+  ctl.observe(0, sim::seconds(10), sim::seconds(10));
+  EXPECT_EQ(ctl.state(), BrownoutState::Elevated);
+  ctl.observe(1, sim::seconds(10), sim::seconds(10));
+  EXPECT_EQ(ctl.state(), BrownoutState::Brownout);
+  ctl.observe(2, sim::seconds(10), sim::seconds(10));
+  EXPECT_EQ(ctl.state(), BrownoutState::Shed);
+  ctl.observe(3, sim::seconds(10), sim::seconds(10));
+  EXPECT_EQ(ctl.state(), BrownoutState::Shed);  // nothing above SHED
+  ASSERT_EQ(ctl.transitions().size(), 3u);
+  EXPECT_EQ(ctl.transitions()[0].from, BrownoutState::Normal);
+  EXPECT_EQ(ctl.transitions()[2].to, BrownoutState::Shed);
+}
+
+TEST(Brownout, KnobsFollowTheState) {
+  BrownoutController ctl(instant_brownout());
+  ctl.observe(0, sim::seconds(10), 0);  // -> ELEVATED
+  EXPECT_DOUBLE_EQ(ctl.rate_limit_scale(), 0.5);
+  EXPECT_EQ(ctl.detector_stride(), 1);
+  EXPECT_EQ(ctl.nip_cap(), 0);
+  EXPECT_FALSE(ctl.fail_fast_anonymous());
+  ctl.observe(1, sim::seconds(10), 0);  // -> BROWNOUT
+  EXPECT_DOUBLE_EQ(ctl.rate_limit_scale(), 0.25);
+  EXPECT_EQ(ctl.detector_stride(), 2);
+  EXPECT_EQ(ctl.nip_cap(), 4);
+  EXPECT_DOUBLE_EQ(ctl.anonymous_watermark_scale(), 0.5);
+  EXPECT_DOUBLE_EQ(ctl.hold_ttl_scale(), 0.5);
+  ctl.observe(2, sim::seconds(10), 0);  // -> SHED
+  EXPECT_DOUBLE_EQ(ctl.rate_limit_scale(), 0.10);
+  EXPECT_EQ(ctl.detector_stride(), 4);
+  EXPECT_EQ(ctl.nip_cap(), 2);
+  EXPECT_TRUE(ctl.fail_fast_anonymous());
+}
+
+TEST(Brownout, ExitRequiresMinDwell) {
+  BrownoutController ctl(instant_brownout());
+  ctl.observe(0, sim::seconds(10), 0);
+  ASSERT_EQ(ctl.state(), BrownoutState::Elevated);
+  // Load vanished instantly, but the controller holds the state until
+  // min_dwell elapses (anti-flap hysteresis).
+  ctl.observe(sim::seconds(29), 0, 0);
+  EXPECT_EQ(ctl.state(), BrownoutState::Elevated);
+  ctl.observe(sim::seconds(31), 0, 0);
+  EXPECT_EQ(ctl.state(), BrownoutState::Normal);
+}
+
+TEST(Brownout, ExitRequiresEwmaBelowExitFraction) {
+  auto cfg = instant_brownout();
+  cfg.exit_fraction = 0.5;
+  BrownoutController ctl(cfg);
+  ctl.observe(0, sim::seconds(10), 0);
+  ASSERT_EQ(ctl.state(), BrownoutState::Elevated);
+  // Well past min_dwell but the wait sits at the entry threshold: stay put.
+  ctl.observe(sim::minutes(5), 250, 0);
+  EXPECT_EQ(ctl.state(), BrownoutState::Elevated);
+  // At exit_fraction * elevated_wait = 125 ms the exit requires strictly
+  // below the bound.
+  ctl.observe(sim::minutes(10), 124, 0);
+  EXPECT_EQ(ctl.state(), BrownoutState::Normal);
+}
+
+TEST(Brownout, DwellAccountsEveryState) {
+  BrownoutController ctl(instant_brownout());
+  // The clock starts at the first observation (which escalates immediately).
+  ctl.observe(sim::seconds(100), sim::seconds(10), 0);  // -> ELEVATED at 100 s
+  ctl.observe(sim::seconds(150), 0, 0);                 // exits at 150 s
+  EXPECT_EQ(ctl.state(), BrownoutState::Normal);
+  const auto now = sim::seconds(200);
+  EXPECT_EQ(ctl.dwell(BrownoutState::Elevated, now), sim::seconds(50));
+  // NORMAL dwell is the open interval since the exit.
+  EXPECT_EQ(ctl.dwell(BrownoutState::Normal, now), sim::seconds(50));
+  EXPECT_EQ(ctl.dwell(BrownoutState::Shed, now), 0);
+}
+
+TEST(Brownout, LatencySignalAloneCanEscalate) {
+  auto cfg = instant_brownout();
+  cfg.elevated_latency = sim::seconds(2);
+  BrownoutController ctl(cfg);
+  // Queue wait is calm; the secondary latency EWMA crosses on its own.
+  ctl.observe(0, 0, sim::seconds(5));
+  EXPECT_EQ(ctl.state(), BrownoutState::Elevated);
+}
+
+// --- OverloadManager --------------------------------------------------------------
+
+OverloadConfig small_platform() {
+  OverloadConfig cfg;
+  cfg.enabled = true;
+  cfg.servers = 1;
+  cfg.cost_browse = 200;
+  cfg.cost_transactional = 600;
+  cfg.max_wait_priority = 8000;
+  cfg.max_wait_anonymous = 2000;
+  cfg.deadline_browse = sim::seconds(10);
+  cfg.deadline_transactional = sim::seconds(30);
+  return cfg;
+}
+
+TEST(OverloadManager, AdmitsUnderLightLoadWithDeadline) {
+  OverloadManager mgr(small_platform());
+  const auto a = mgr.on_request(0, RequestClass::Anonymous, /*transactional=*/false);
+  EXPECT_EQ(a.result, AdmitResult::Admitted);
+  EXPECT_EQ(a.queue_wait, 0);
+  EXPECT_EQ(a.latency, 200);
+  EXPECT_TRUE(a.deadline.bounded());
+  EXPECT_EQ(a.deadline.expires, sim::seconds(10));
+  const auto b = mgr.on_request(0, RequestClass::Priority, /*transactional=*/true);
+  EXPECT_EQ(b.result, AdmitResult::Admitted);
+  EXPECT_EQ(b.deadline.expires, sim::seconds(30));
+  EXPECT_EQ(mgr.stats(RequestClass::Anonymous).admitted, 1u);
+  EXPECT_EQ(mgr.stats(RequestClass::Priority).admitted, 1u);
+}
+
+TEST(OverloadManager, WatermarkShedsAnonymousWhilePriorityFlows) {
+  OverloadManager mgr(small_platform());
+  // Flood anonymous browses at t=0 until the 2 s anonymous watermark trips:
+  // 10 x 200 ms fills the band to 2000 ms of wait, the 11th sees wait > 2 s.
+  Admission last;
+  for (int i = 0; i < 12; ++i) last = mgr.on_request(0, RequestClass::Anonymous, false);
+  EXPECT_EQ(last.result, AdmitResult::ShedQueueFull);
+  EXPECT_GT(mgr.stats(RequestClass::Anonymous).shed_queue, 0u);
+  // Strict priority: an identified customer still sees an empty band.
+  const auto vip = mgr.on_request(0, RequestClass::Priority, false);
+  EXPECT_EQ(vip.result, AdmitResult::Admitted);
+  EXPECT_EQ(vip.queue_wait, 0);
+}
+
+TEST(OverloadManager, DeadlineShedBeforeWastingAServiceSlot) {
+  auto cfg = small_platform();
+  cfg.max_wait_anonymous = sim::minutes(10);  // watermark never trips
+  cfg.deadline_browse = 1000;                 // but the budget is 1 s
+  OverloadManager mgr(cfg);
+  Admission last;
+  for (int i = 0; i < 10; ++i) last = mgr.on_request(0, RequestClass::Anonymous, false);
+  // Once wait + cost > 1 s the request cannot finish inside its budget.
+  EXPECT_EQ(last.result, AdmitResult::ShedDeadline);
+  EXPECT_GT(mgr.stats(RequestClass::Anonymous).deadline_missed, 0u);
+  // Shed work never joined the queue: backlog stays at the admitted requests.
+  const auto admitted = mgr.stats(RequestClass::Anonymous).admitted;
+  EXPECT_LT(admitted, 10u);
+}
+
+TEST(OverloadManager, CollapseBaselineLetsDeadWorkPileUp) {
+  auto protect = small_platform();
+  protect.max_wait_anonymous = sim::minutes(10);
+  protect.deadline_browse = 1000;
+  auto collapse = protect;
+  collapse.shedding_enabled = false;
+
+  OverloadManager with(protect);
+  OverloadManager without(collapse);
+  for (int i = 0; i < 50; ++i) {
+    with.on_request(0, RequestClass::Anonymous, false);
+    without.on_request(0, RequestClass::Anonymous, false);
+  }
+  // Without shedding, deadline-missed work still occupies the queue, so the
+  // backlog (and everyone's wait) keeps growing — the pile-up failure mode.
+  const auto protected_wait = with.on_request(0, RequestClass::Anonymous, false).queue_wait;
+  const auto collapsed_wait = without.on_request(0, RequestClass::Anonymous, false).queue_wait;
+  EXPECT_GT(collapsed_wait, protected_wait);
+  EXPECT_EQ(without.stats(RequestClass::Anonymous).admitted +
+                without.stats(RequestClass::Anonymous).deadline_missed,
+            51u);
+  EXPECT_EQ(without.stats(RequestClass::Anonymous).shed_queue, 0u);
+}
+
+TEST(OverloadManager, ShedStateFailFastsAnonymousOnly) {
+  auto cfg = small_platform();
+  cfg.brownout = instant_brownout();
+  // A generous watermark so the queue keeps growing until the wait EWMA
+  // crosses the 4 s SHED threshold (the tight default would freeze the
+  // backlog at BROWNOUT's scaled watermark first).
+  cfg.max_wait_anonymous = sim::minutes(10);
+  OverloadManager mgr(cfg);
+  for (int i = 0; i < 40; ++i) mgr.on_request(0, RequestClass::Anonymous, false);
+  ASSERT_EQ(mgr.brownout().state(), BrownoutState::Shed);
+  const auto anon = mgr.on_request(0, RequestClass::Anonymous, false);
+  EXPECT_EQ(anon.result, AdmitResult::ShedFailFast);
+  EXPECT_GT(mgr.stats(RequestClass::Anonymous).shed_fail_fast, 0u);
+  // Priority traffic is still admitted through its own band.
+  const auto vip = mgr.on_request(0, RequestClass::Priority, false);
+  EXPECT_EQ(vip.result, AdmitResult::Admitted);
+  EXPECT_EQ(mgr.stats(RequestClass::Priority).shed_fail_fast, 0u);
+}
+
+TEST(OverloadManager, SnapshotSummarisesPerClass) {
+  OverloadManager mgr(small_platform());
+  for (int i = 0; i < 4; ++i) mgr.on_request(0, RequestClass::Anonymous, false);
+  mgr.on_request(0, RequestClass::Priority, true);
+  const auto snap = mgr.snapshot(sim::seconds(10));
+  EXPECT_TRUE(snap.enabled);
+  EXPECT_EQ(snap.of(RequestClass::Anonymous).offered, 4u);
+  EXPECT_EQ(snap.of(RequestClass::Anonymous).admitted, 4u);
+  EXPECT_EQ(snap.of(RequestClass::Priority).offered, 1u);
+  // Latencies 200/400/600/800 at one server: p50 falls inside, p99 at the top.
+  EXPECT_GT(snap.of(RequestClass::Anonymous).p99_latency_ms,
+            snap.of(RequestClass::Anonymous).p50_latency_ms);
+  EXPECT_EQ(snap.state, BrownoutState::Normal);
+  // Brownout is disabled in this config: no observations, no dwell clock.
+  EXPECT_EQ(snap.dwell[0], 0);
+}
+
+TEST(OverloadManager, IsDeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    auto cfg = small_platform();
+    cfg.brownout = instant_brownout();
+    OverloadManager mgr(cfg);
+    std::ostringstream out;
+    for (int i = 0; i < 200; ++i) {
+      const auto a = mgr.on_request(i * 37, i % 3 == 0 ? RequestClass::Priority
+                                                      : RequestClass::Anonymous,
+                                    i % 5 == 0);
+      out << static_cast<int>(a.result) << ':' << a.queue_wait << ':' << a.latency << '\n';
+    }
+    return out.str();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace fraudsim::overload
+
+// --- Application integration -------------------------------------------------------
+
+namespace fraudsim::app {
+namespace {
+
+class OverloadedAppTest : public ::testing::Test {
+ protected:
+  explicit OverloadedAppTest(ApplicationConfig config = overloaded_config())
+      : carriers_(sms::TariffTable::standard(), sms::CarrierPolicy{}),
+        app_(sim_, carriers_, config, sim::Rng(7)) {
+    flight_ = app_.add_flight("A", 100, 20, sim::days(10));
+    ctx_.ip = *net::IpV4::parse("16.0.0.1");
+    ctx_.session = web::SessionId{1};
+    fp::derive_rendering_hashes(ctx_.fingerprint);
+    ctx_.actor = actors_.register_actor(ActorKind::Human);
+  }
+
+  static ApplicationConfig overloaded_config() {
+    ApplicationConfig config;
+    config.overload.enabled = true;
+    config.overload.servers = 1;
+    config.overload.cost_browse = 500;
+    config.overload.max_wait_anonymous = 1000;
+    config.overload.deadline_browse = 0;  // isolate the watermark path
+    return config;
+  }
+
+  sim::Simulation sim_;
+  sms::CarrierNetwork carriers_;
+  ActorRegistry actors_;
+  Application app_;
+  airline::FlightId flight_;
+  ClientContext ctx_;
+};
+
+TEST_F(OverloadedAppTest, FloodTripsTheWatermarkWith503) {
+  // 500 ms browses at one server against a 1 s watermark: the third browse in
+  // the same instant sees a 1 s wait (not > watermark), the fourth sees 1.5 s.
+  CallStatus last = CallStatus::Ok;
+  int overloaded_at = -1;
+  for (int i = 0; i < 6; ++i) {
+    last = app_.browse(ctx_, web::Endpoint::SearchFlights);
+    if (last == CallStatus::Overloaded && overloaded_at < 0) overloaded_at = i;
+  }
+  EXPECT_EQ(last, CallStatus::Overloaded);
+  EXPECT_EQ(overloaded_at, 3);
+  EXPECT_GT(app_.stats().shed, 0u);
+  // The shed request is still in the web log, as a 503.
+  EXPECT_EQ(app_.weblog().all().back().status_code, 503);
+  // Attribution lands in the rule-hit table under the overload pseudo-rules.
+  EXPECT_TRUE(app_.rule_hits().contains("overload.shed-queue-full"));
+}
+
+TEST_F(OverloadedAppTest, LoyaltyTrafficRidesThePriorityBand) {
+  for (int i = 0; i < 10; ++i) app_.browse(ctx_, web::Endpoint::SearchFlights);
+  ClientContext vip = ctx_;
+  vip.loyalty_member = true;
+  // The anonymous band is saturated; the priority band is empty.
+  EXPECT_EQ(app_.browse(vip, web::Endpoint::SearchFlights), CallStatus::Ok);
+  EXPECT_EQ(app_.overload().stats(overload::RequestClass::Priority).admitted, 1u);
+}
+
+TEST_F(OverloadedAppTest, ShedRequestsSkipDetectionSideEffects) {
+  for (int i = 0; i < 10; ++i) app_.browse(ctx_, web::Endpoint::SearchFlights);
+  const auto fp_before = app_.fingerprints().total_observations();
+  ASSERT_EQ(app_.browse(ctx_, web::Endpoint::SearchFlights), CallStatus::Overloaded);
+  // A shed request is answered at the front door: no fingerprint observation.
+  EXPECT_EQ(app_.fingerprints().total_observations(), fp_before);
+}
+
+class DisabledOverloadAppTest : public OverloadedAppTest {
+ protected:
+  DisabledOverloadAppTest() : OverloadedAppTest(ApplicationConfig{}) {}
+};
+
+TEST_F(DisabledOverloadAppTest, DefaultConfigNeverSheds) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(app_.browse(ctx_, web::Endpoint::SearchFlights), CallStatus::Ok);
+  }
+  EXPECT_EQ(app_.stats().shed, 0u);
+  EXPECT_FALSE(app_.overload().enabled());
+  for (const auto& r : app_.weblog().all()) EXPECT_NE(r.status_code, 503);
+}
+
+// --- Report & export surfaces ------------------------------------------------------
+
+TEST(OverloadReport, DisabledSnapshotRendersNothing) {
+  overload::OverloadSnapshot snap;  // enabled defaults to false
+  EXPECT_EQ(analytics::render_overload_report(snap), "");
+}
+
+TEST(OverloadReport, EnabledSnapshotShowsClassesAndDwell) {
+  overload::OverloadManager mgr([] {
+    overload::OverloadConfig cfg;
+    cfg.enabled = true;
+    cfg.brownout.enabled = true;  // start the dwell clock
+    return cfg;
+  }());
+  mgr.on_request(0, overload::RequestClass::Anonymous, false);
+  const auto text = analytics::render_overload_report(mgr.snapshot(sim::hours(2)));
+  EXPECT_NE(text.find("Overload control"), std::string::npos);
+  EXPECT_NE(text.find("anonymous"), std::string::npos);
+  EXPECT_NE(text.find("priority"), std::string::npos);
+  EXPECT_NE(text.find("NORMAL"), std::string::npos);
+  EXPECT_NE(text.find("2.00"), std::string::npos);  // 2 h dwell in NORMAL
+}
+
+TEST(OverloadExport, CsvHasClassAndBrownoutRows) {
+  overload::OverloadManager mgr([] {
+    overload::OverloadConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+  }());
+  mgr.on_request(0, overload::RequestClass::Priority, true);
+  std::ostringstream out;
+  export_overload_csv(out, mgr.snapshot(sim::seconds(5)));
+  const auto csv = out.str();
+  EXPECT_NE(csv.find("row,class_or_state,offered"), std::string::npos);
+  EXPECT_NE(csv.find("class,priority,1,1"), std::string::npos);
+  EXPECT_NE(csv.find("class,anonymous,0,0"), std::string::npos);
+  EXPECT_NE(csv.find("brownout,NORMAL"), std::string::npos);
+  // 4 brownout states + 2 classes + header.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 7);
+}
+
+}  // namespace
+}  // namespace fraudsim::app
+
+// --- SMS deadline propagation ------------------------------------------------------
+
+namespace fraudsim::sms {
+namespace {
+
+class SmsDeadlineTest : public ::testing::Test {
+ protected:
+  SmsDeadlineTest()
+      : network_(TariffTable::standard(), CarrierPolicy{}), numbers_(sim::Rng(3)) {
+    fault::FaultRegistry::global().reset();
+  }
+  ~SmsDeadlineTest() override { fault::FaultRegistry::global().reset(); }
+
+  CarrierNetwork network_;
+  NumberGenerator numbers_;
+};
+
+TEST_F(SmsDeadlineTest, ExpiredDeadlineAbandonsInsteadOfSending) {
+  SmsGateway gateway(network_, GatewayConfig{});
+  const auto& r =
+      gateway.send(sim::seconds(10), numbers_.random_number(*net::CountryCode::parse("FR")),
+                   SmsType::Otp, web::ActorId{1}, {}, overload::Deadline::at(sim::seconds(5)));
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.failure, SmsFailure::DeadlineExpired);
+  EXPECT_EQ(gateway.deadline_abandoned(), 1u);
+  EXPECT_EQ(gateway.carrier_attempts(), 0u);  // never reached the carrier
+}
+
+TEST_F(SmsDeadlineTest, RetryThatCannotMeetTheDeadlineIsAbandoned) {
+  // Carrier down for the whole test window: the first attempt fails and a
+  // retry with >= 24 s backoff (30 s base, 20% jitter) would be queued — but
+  // a 1 s budget cannot cover it, so the message is abandoned instead.
+  fault::FaultRegistry::global().arm("sms.carrier.send",
+                                     fault::FaultScenario::window(0, sim::minutes(10)));
+  SmsGateway gateway(network_, GatewayConfig{});
+  const auto& r =
+      gateway.send(0, numbers_.random_number(*net::CountryCode::parse("FR")), SmsType::Otp,
+                   web::ActorId{1}, {}, overload::Deadline::at(sim::seconds(1)));
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.failure, SmsFailure::DeadlineExpired);
+  EXPECT_EQ(gateway.pending_retries(), 0u);
+  EXPECT_EQ(gateway.deadline_abandoned(), 1u);
+  EXPECT_EQ(gateway.carrier_attempts(), 1u);  // the first attempt did run
+}
+
+TEST_F(SmsDeadlineTest, UnboundedDeadlineKeepsRetryBehaviourIdentical) {
+  fault::FaultRegistry::global().arm("sms.carrier.send",
+                                     fault::FaultScenario::window(0, sim::minutes(10)));
+  SmsGateway with_deadline(network_, GatewayConfig{});
+  SmsGateway without(network_, GatewayConfig{});
+  const auto fr = *net::CountryCode::parse("FR");
+  NumberGenerator gen_a{sim::Rng(3)};
+  NumberGenerator gen_b{sim::Rng(3)};
+  // A far-future bounded deadline and the default unbounded one schedule the
+  // identical retry (same jitter stream, same due time).
+  with_deadline.send(0, gen_a.random_number(fr), SmsType::Otp, web::ActorId{1}, {},
+                     overload::Deadline::at(sim::days(30)));
+  without.send(0, gen_b.random_number(fr), SmsType::Otp, web::ActorId{1});
+  ASSERT_EQ(with_deadline.pending_retries(), 1u);
+  ASSERT_EQ(without.pending_retries(), 1u);
+  with_deadline.process_retries(sim::hours(2));
+  without.process_retries(sim::hours(2));
+  EXPECT_EQ(with_deadline.log().back().failure, without.log().back().failure);
+  EXPECT_EQ(with_deadline.carrier_attempts(), without.carrier_attempts());
+}
+
+}  // namespace
+}  // namespace fraudsim::sms

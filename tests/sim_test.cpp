@@ -167,6 +167,30 @@ TEST(EventQueue, EqualTimesFireFifo) {
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+// Regression: FIFO order among equal timestamps must survive heap churn.
+// Interleaved scheduling at other times, cancellations, and pops reorder the
+// underlying heap; a tie-break by anything but insertion sequence scrambles
+// same-timestamp batches only once the heap has been exercised — which is
+// why the five-event test above is not enough.
+TEST(EventQueue, EqualTimesStayFifoUnderHeapChurn) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 64; ++i) {
+    q.schedule(500, [&fired, i] { fired.push_back(i); });
+    q.schedule(10 + i, [] {});  // earlier noise, popped before the batch
+    doomed.push_back(q.schedule(500, [&fired] { fired.push_back(-1); }));
+    q.schedule(900 - i, [] {});  // later noise, still in the heap at t=500
+  }
+  for (const auto id : doomed) EXPECT_TRUE(q.cancel(id));
+  while (!q.empty() && q.next_time() < 500) q.pop().fn();
+  fired.clear();
+  while (!q.empty() && q.next_time() == 500) q.pop().fn();
+  std::vector<int> expected(64);
+  for (int i = 0; i < 64; ++i) expected[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(fired, expected);
+}
+
 TEST(EventQueue, CancelPreventsFiring) {
   EventQueue q;
   bool fired = false;
