@@ -1,10 +1,22 @@
-// PERF: google-benchmark microbenchmarks of the pipeline's hot paths.
+// PERF: google-benchmark microbenchmarks of the pipeline's hot paths, plus —
+// when FRAUDSIM_PROFILE=1 — an end-to-end profiled scenario that prints the
+// wall-clock phase breakdown (event loop, per detector family, mitigation
+// sweep) and optionally dumps the platform metrics registry as JSON lines to
+// $FRAUDSIM_METRICS_OUT.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 
 #include "core/detect/behavior.hpp"
 #include "core/detect/name_patterns.hpp"
+#include "core/detect/pipeline.hpp"
+#include "core/mitigate/controller.hpp"
 #include "core/mitigate/rate_limit.hpp"
 #include "core/mitigate/rules.hpp"
+#include "core/obs/profile.hpp"
+#include "core/scenario/env.hpp"
 #include "fingerprint/population.hpp"
 #include "util/strings.hpp"
 #include "web/features.hpp"
@@ -141,6 +153,43 @@ void BM_NamePatternAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_NamePatternAnalysis)->Arg(200)->Arg(1000);
 
+// End-to-end phase breakdown: a small scenario driven with profiling on, so
+// the report covers the simulation event loop, every detector family, and the
+// mitigation sweep — not just the microbenchmark kernels above.
+void run_profiled_scenario() {
+  const sim::SimTime horizon = sim::hours(6);
+  scenario::EnvConfig config;
+  config.seed = 7;
+  scenario::Env env(config);
+  env.add_flights("FS", 4, 180, sim::days(10));
+  mitigate::MitigationController controller(env.app, env.engine, mitigate::ControllerConfig{});
+  controller.start(horizon);
+  env.start_background(horizon);
+  env.run_until(horizon);
+
+  detect::DetectionPipeline pipeline;
+  pipeline.bind_obs(&env.app.obs());
+  const auto result = pipeline.run(env.app, env.actors, 0, horizon);
+
+  std::cout << "\n=== FRAUDSIM_PROFILE phase breakdown ===\n"
+            << obs::Profiler::instance().report()
+            << "sessions analysed: " << result.sessions.size()
+            << ", alerts: " << result.alerts.alerts().size() << "\n";
+
+  if (const char* path = std::getenv("FRAUDSIM_METRICS_OUT"); path != nullptr && *path != '\0') {
+    std::ofstream out(path);
+    env.app.metrics().snapshot().write_jsonl(out);
+    std::cout << "metrics registry written to " << path << "\n";
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (obs::Profiler::instance().enabled()) run_profiled_scenario();
+  return 0;
+}

@@ -58,6 +58,7 @@ int main() {
   env.run_until(sim::days(8));
 
   detect::DetectionPipeline pipeline;
+  pipeline.bind_obs(&env.app.obs());  // detect.* series land in the SOC report
   pipeline.fit_nip_baseline(env.app, 0, sim::days(1));
   pipeline.fit_navigation(env.app, 0, sim::days(1));
   pipeline.enable_ip_reputation(env.geo);

@@ -46,9 +46,9 @@ BoardingPassService::SmsResult BoardingPassService::request_sms(sim::SimTime now
 util::Status BoardingPassService::request_email(sim::SimTime now, const std::string& pnr) {
   (void)now;
   const Reservation* r = inventory_.find(pnr);
-  if (r == nullptr) return util::Status::fail("unknown PNR " + pnr);
+  if (r == nullptr) return util::Status::fail(util::ErrorCode::kNotFound, "unknown PNR " + pnr);
   if (r->state != ReservationState::Ticketed) {
-    return util::Status::fail("PNR " + pnr + " not ticketed");
+    return util::Status::fail(util::ErrorCode::kInvalidState, "PNR " + pnr + " not ticketed");
   }
   ++email_sent_;
   return util::Status::ok();

@@ -120,9 +120,10 @@ std::size_t InventoryManager::expire_due(sim::SimTime now) {
 
 util::Status InventoryManager::ticket(sim::SimTime now, const std::string& pnr) {
   Reservation* r = find_mutable(pnr);
-  if (r == nullptr) return util::Status::fail("unknown PNR " + pnr);
+  if (r == nullptr) return util::Status::fail(util::ErrorCode::kNotFound, "unknown PNR " + pnr);
   if (r->state != ReservationState::Held) {
-    return util::Status::fail("PNR " + pnr + " is " + to_string(r->state) + ", not held");
+    return util::Status::fail(util::ErrorCode::kInvalidState,
+                              "PNR " + pnr + " is " + to_string(r->state) + ", not held");
   }
   if (r->hold_expiry <= now) {
     // The hold lapsed before payment completed.
@@ -130,7 +131,8 @@ util::Status InventoryManager::ticket(sim::SimTime now, const std::string& pnr) 
     r->state_changed = r->hold_expiry;
     held_[r->flight] -= r->nip();
     ++stats_.expired;
-    return util::Status::fail("hold on PNR " + pnr + " expired before payment");
+    return util::Status::fail(util::ErrorCode::kExpired,
+                              "hold on PNR " + pnr + " expired before payment");
   }
   r->state = ReservationState::Ticketed;
   r->state_changed = now;
@@ -142,9 +144,10 @@ util::Status InventoryManager::ticket(sim::SimTime now, const std::string& pnr) 
 
 util::Status InventoryManager::cancel(sim::SimTime now, const std::string& pnr) {
   Reservation* r = find_mutable(pnr);
-  if (r == nullptr) return util::Status::fail("unknown PNR " + pnr);
+  if (r == nullptr) return util::Status::fail(util::ErrorCode::kNotFound, "unknown PNR " + pnr);
   if (r->state != ReservationState::Held) {
-    return util::Status::fail("PNR " + pnr + " is " + to_string(r->state) + ", not held");
+    return util::Status::fail(util::ErrorCode::kInvalidState,
+                              "PNR " + pnr + " is " + to_string(r->state) + ", not held");
   }
   r->state = ReservationState::Cancelled;
   r->state_changed = now;

@@ -12,11 +12,14 @@ NumericHistogram::NumericHistogram(double origin, double width, std::size_t bins
 }
 
 void NumericHistogram::add(double value) {
+  // Clamp in the double domain BEFORE the integer cast: converting a double
+  // outside the size_t range (huge values, +inf, NaN) to size_t is undefined
+  // behaviour, so the old cast-then-clamp order broke on extreme inputs.
   double idx = std::floor((value - origin_) / width_);
-  if (idx < 0) idx = 0;
-  std::size_t bin = static_cast<std::size_t>(idx);
-  if (bin >= counts_.size()) bin = counts_.size() - 1;
-  ++counts_[bin];
+  const double last = static_cast<double>(counts_.size() - 1);
+  if (!(idx > 0.0)) idx = 0.0;  // negatives, -inf, and NaN land in bin 0
+  if (idx > last) idx = last;   // overflow (incl. +inf) lands in the last bin
+  ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
 }
 

@@ -4,20 +4,77 @@
 
 namespace fraudsim::app {
 
+namespace {
+
+// Finishes the request's root span when the serving method returns, whatever
+// branch it returns through. Inert for unsampled traces.
+class SpanGuard {
+ public:
+  SpanGuard(const obs::TraceContext& trace, sim::Simulation& sim) : trace_(trace), sim_(sim) {}
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard() { trace_.finish(sim_.now()); }
+
+ private:
+  obs::TraceContext trace_;
+  sim::Simulation& sim_;
+};
+
+}  // namespace
+
 Application::Application(sim::Simulation& sim, const sms::CarrierNetwork& carriers,
                          ApplicationConfig config, sim::Rng rng)
     : sim_(sim),
       config_(config),
+      obs_(config.trace),
       inventory_(config.inventory, rng.fork("pnr")),
-      gateway_(carriers, config.gateway),
-      otp_(gateway_, rng.fork("otp")),
+      gateway_(carriers, config.gateway, &obs_.metrics),
+      otp_(gateway_, rng.fork("otp"), sim::minutes(10), &obs_.metrics),
       boarding_(inventory_, gateway_, config.boarding),
       fares_(config.fares),
       policy_fault_(fault::FaultRegistry::global().point("app.policy.evaluate")),
-      overload_(config.overload) {
+      overload_(config.overload, &obs_.metrics) {
   if (config.honeypot_enabled) {
     decoy_ = std::make_unique<airline::InventoryManager>(config.inventory, rng.fork("decoy-pnr"));
   }
+  counters_.requests = obs_.metrics.counter("app.requests");
+  counters_.blocked = obs_.metrics.counter("app.blocked");
+  counters_.challenged = obs_.metrics.counter("app.challenged");
+  counters_.rate_limited = obs_.metrics.counter("app.rate_limited");
+  counters_.honeypotted = obs_.metrics.counter("app.honeypotted");
+  counters_.policy_faults = obs_.metrics.counter("app.policy_faults");
+  counters_.shed = obs_.metrics.counter("app.shed");
+  counters_.deadline_missed = obs_.metrics.counter("app.deadline_missed");
+  // Rejection-by-code series for the codes the admission path can produce.
+  reject_by_code_.resize(static_cast<std::size_t>(util::ErrorCode::kQuotaExhausted) + 1);
+  for (const util::ErrorCode code :
+       {util::ErrorCode::kRejected, util::ErrorCode::kRateLimited, util::ErrorCode::kShed,
+        util::ErrorCode::kDeadlineExceeded, util::ErrorCode::kUpstreamFault}) {
+    reject_by_code_[static_cast<std::size_t>(code)] =
+        obs_.metrics.counter(std::string("app.reject.") + util::to_string(code));
+  }
+}
+
+Application::Stats Application::stats() const {
+  Stats s;
+  s.requests = counters_.requests.value();
+  s.blocked = counters_.blocked.value();
+  s.challenged = counters_.challenged.value();
+  s.rate_limited = counters_.rate_limited.value();
+  s.honeypotted = counters_.honeypotted.value();
+  s.policy_faults = counters_.policy_faults.value();
+  s.shed = counters_.shed.value();
+  s.deadline_missed = counters_.deadline_missed.value();
+  return s;
+}
+
+std::unordered_map<std::string, std::uint64_t> Application::rule_hits() const {
+  constexpr std::size_t kPrefixLen = 9;  // strlen("app.rule.")
+  std::unordered_map<std::string, std::uint64_t> out;
+  for (const auto& [name, value] : obs_.metrics.counters_with_prefix("app.rule.")) {
+    out.emplace(name.substr(kPrefixLen), value);
+  }
+  return out;
 }
 
 web::HttpRequest Application::make_request(const ClientContext& ctx, web::Endpoint endpoint,
@@ -50,9 +107,8 @@ int Application::status_code_for(PolicyAction action) {
   return 200;
 }
 
-PolicyDecision Application::admit(const ClientContext& ctx, web::Endpoint endpoint,
-                                  web::HttpMethod method, web::HttpRequest&& extra,
-                                  overload::Deadline* deadline_out) {
+Application::AdmitOutcome Application::admit(const ClientContext& ctx, web::Endpoint endpoint,
+                                             web::HttpMethod method, web::HttpRequest&& extra) {
   web::HttpRequest request = std::move(extra);
   request.time = sim_.now();
   request.method = method;
@@ -62,32 +118,38 @@ PolicyDecision Application::admit(const ClientContext& ctx, web::Endpoint endpoi
   request.fp_hash = ctx.fingerprint.hash();
   request.actor = ctx.actor;
 
-  if (deadline_out != nullptr) *deadline_out = overload::Deadline::unbounded();
+  AdmitOutcome out;
+  out.trace = obs_.traces.start_trace(web::endpoint_path(endpoint), request.time);
+  request.trace_id = out.trace.trace_id();
 
   // Overload admission runs before the ingress policy: a shed request never
   // consumes policy evaluation, fingerprint ingestion, or biometric capture —
   // that is the point of shedding at the front door.
-  PolicyDecision decision;
+  PolicyDecision& decision = out.decision;
   bool shed = false;
   if (overload_.enabled()) {
     const auto cls = ctx.loyalty_member ? overload::RequestClass::Priority
                                         : overload::RequestClass::Anonymous;
+    out.trace.annotate("brownout", overload::to_string(overload_.brownout().state()));
     const int nip_cap = overload_.brownout().nip_cap();
     if (endpoint == web::Endpoint::HoldReservation && nip_cap > 0 && request.nip > nip_cap) {
       // Brownout trims bulk holds before they reach inventory: a 9-NiP spin
       // costs nine seats of work; under pressure only small parties pass.
-      decision = PolicyDecision{PolicyAction::Shed, "overload.brownout.nip-cap"};
+      decision = PolicyDecision{PolicyAction::Shed, "overload.brownout.nip-cap",
+                                util::ErrorCode::kShed};
       shed = true;
     } else {
       const overload::Admission admission =
           overload_.on_request(request.time, cls, web::is_transactional(endpoint));
       if (admission.result == overload::AdmitResult::Admitted) {
-        if (deadline_out != nullptr) *deadline_out = admission.deadline;
+        out.deadline = admission.deadline;
       } else {
+        const bool deadline_shed = admission.result == overload::AdmitResult::ShedDeadline;
         decision = PolicyDecision{
-            PolicyAction::Shed, std::string("overload.") + overload::to_string(admission.result)};
+            PolicyAction::Shed, std::string("overload.") + overload::to_string(admission.result),
+            deadline_shed ? util::ErrorCode::kDeadlineExceeded : util::ErrorCode::kShed};
         shed = true;
-        if (admission.result == overload::AdmitResult::ShedDeadline) ++stats_.deadline_missed;
+        if (deadline_shed) counters_.deadline_missed.inc();
       }
     }
   }
@@ -97,11 +159,13 @@ PolicyDecision Application::admit(const ClientContext& ctx, web::Endpoint endpoi
     if (policy_fault_.should_fail(request.time)) {
       // The policy dependency is down. Degrade per the configured mode instead
       // of taking the request path down with it.
-      ++stats_.policy_faults;
+      counters_.policy_faults.inc();
+      out.trace.annotate("fault", "app.policy.evaluate");
       if (config_.policy_fault_mode == PolicyFaultMode::FailOpen) {
         decision = PolicyDecision{PolicyAction::Allow, "policy.fault.fail-open"};
       } else {
-        decision = PolicyDecision{PolicyAction::Block, "policy.fault.fail-closed"};
+        decision = PolicyDecision{PolicyAction::Block, "policy.fault.fail-closed",
+                                  util::ErrorCode::kUpstreamFault};
       }
     } else {
       decision = policy.evaluate(request, ctx);
@@ -118,36 +182,53 @@ PolicyDecision Application::admit(const ClientContext& ctx, web::Endpoint endpoi
   }
   weblog_.append(std::move(request));
 
-  ++stats_.requests;
+  counters_.requests.inc();
   switch (decision.action) {
     case PolicyAction::Allow:
       break;
     case PolicyAction::Block:
-      ++stats_.blocked;
+      counters_.blocked.inc();
       break;
     case PolicyAction::Challenge:
-      ++stats_.challenged;
+      counters_.challenged.inc();
       break;
     case PolicyAction::RateLimited:
-      ++stats_.rate_limited;
+      counters_.rate_limited.inc();
       break;
     case PolicyAction::Honeypot:
-      ++stats_.honeypotted;
+      counters_.honeypotted.inc();
       break;
     case PolicyAction::Shed:
-      ++stats_.shed;
+      counters_.shed.inc();
       break;
   }
-  if (!decision.rule.empty()) ++rule_hits_[decision.rule];
-  return decision;
+  if (decision.code != util::ErrorCode::kOk) {
+    reject_by_code_[static_cast<std::size_t>(decision.code)].inc();
+  }
+  if (!decision.rule.empty()) {
+    auto it = rule_counters_.find(decision.rule);
+    if (it == rule_counters_.end()) {
+      it = rule_counters_
+               .emplace(decision.rule, obs_.metrics.counter("app.rule." + decision.rule))
+               .first;
+    }
+    it->second.inc();
+    out.trace.annotate("rule", decision.rule);
+  }
+  // The serving method overrides this with the business outcome on the Allow
+  // path; for terminal admission decisions the action IS the outcome.
+  out.trace.set_outcome(to_string(decision.action));
+  return out;
 }
 
 CallStatus Application::browse(const ClientContext& ctx, web::Endpoint endpoint,
                                web::HttpMethod method) {
-  const auto decision = admit(ctx, endpoint, method, web::HttpRequest{});
-  switch (decision.action) {
+  const auto adm = admit(ctx, endpoint, method, web::HttpRequest{});
+  SpanGuard root(adm.trace, sim_);
+  switch (adm.decision.action) {
     case PolicyAction::Allow:
     case PolicyAction::Honeypot:
+      adm.trace.set_outcome("ok");
       return CallStatus::Ok;
     case PolicyAction::Block:
       return CallStatus::Blocked;
@@ -166,11 +247,12 @@ HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
   web::HttpRequest extra;
   extra.flight_id = flight.value();
   extra.nip = static_cast<int>(passengers.size());
-  const auto decision =
+  const auto adm =
       admit(ctx, web::Endpoint::HoldReservation, web::HttpMethod::Post, std::move(extra));
+  SpanGuard root(adm.trace, sim_);
 
   HoldResult result;
-  switch (decision.action) {
+  switch (adm.decision.action) {
     case PolicyAction::Block:
       result.status = CallStatus::Blocked;
       return result;
@@ -189,6 +271,7 @@ HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
       if (decoy_ == nullptr) {
         // Honeypot requested but not provisioned: fall back to a hard block.
         result.status = CallStatus::Blocked;
+        adm.trace.set_outcome("block");
         return result;
       }
       if (decoy_->flight(flight) == nullptr) {
@@ -198,6 +281,7 @@ HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
           decoy_->add_flight(real->airline, real->number, real->capacity, real->departure);
         }
       }
+      const auto span = adm.trace.child("inventory.decoy_hold", sim_.now());
       auto outcome = decoy_->hold(sim_.now(), flight, std::move(passengers), ctx.actor, ctx.ip,
                                   ctx.fingerprint.hash());
       if (outcome.ok) {
@@ -205,11 +289,14 @@ HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
         result.pnr = outcome.pnr;
         result.decoy = true;
         decoy_pnrs_.insert(outcome.pnr);
+        span.set_outcome("ok");
       } else {
         result.status = CallStatus::BusinessReject;
         result.rejection = outcome.rejection;
         result.decoy = true;
+        span.set_outcome("business-reject");
       }
+      span.finish(sim_.now());
       return result;
     }
     case PolicyAction::Allow:
@@ -226,28 +313,36 @@ HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
           static_cast<double>(config_.inventory.hold_duration) * scale);
     }
   }
+  const auto span = adm.trace.child("inventory.hold", sim_.now());
   auto outcome =
       inventory_.hold(sim_.now(), flight, std::move(passengers), ctx.actor, ctx.ip,
                       ctx.fingerprint.hash(), ttl_override);
   if (outcome.ok) {
     result.status = CallStatus::Ok;
     result.pnr = outcome.pnr;
+    span.set_outcome("ok");
+    adm.trace.set_outcome("ok");
   } else {
     result.status = CallStatus::BusinessReject;
     result.rejection = outcome.rejection;
+    span.set_outcome("business-reject");
+    adm.trace.set_outcome("business-reject");
   }
+  span.finish(sim_.now());
   return result;
 }
 
 util::Money Application::quote_fare(const ClientContext& ctx, airline::FlightId flight_id) {
   web::HttpRequest extra;
   extra.flight_id = flight_id.value();
-  const auto decision =
+  const auto adm =
       admit(ctx, web::Endpoint::FlightDetails, web::HttpMethod::Get, std::move(extra));
-  if (decision.action == PolicyAction::Shed) return util::Money{};
+  SpanGuard root(adm.trace, sim_);
+  if (adm.decision.action == PolicyAction::Shed) return util::Money{};
   const airline::Flight* flight = inventory_.flight(flight_id);
   if (flight == nullptr) return util::Money{};
   inventory_.expire_due(sim_.now());
+  adm.trace.set_outcome("ok");
   return fares_.quote(*flight, inventory_.held_seats(flight_id),
                       inventory_.sold_seats(flight_id), sim_.now());
 }
@@ -255,8 +350,9 @@ util::Money Application::quote_fare(const ClientContext& ctx, airline::FlightId 
 CallStatus Application::pay(const ClientContext& ctx, const std::string& pnr) {
   web::HttpRequest extra;
   extra.booking_ref = pnr;
-  const auto decision = admit(ctx, web::Endpoint::Payment, web::HttpMethod::Post, std::move(extra));
-  switch (decision.action) {
+  const auto adm = admit(ctx, web::Endpoint::Payment, web::HttpMethod::Post, std::move(extra));
+  SpanGuard root(adm.trace, sim_);
+  switch (adm.decision.action) {
     case PolicyAction::Block:
       return CallStatus::Blocked;
     case PolicyAction::Challenge:
@@ -273,9 +369,20 @@ CallStatus Application::pay(const ClientContext& ctx, const std::string& pnr) {
     // Paying a decoy hold "succeeds" from the caller's perspective; the decoy
     // environment simply marks it ticketed.
     (void)decoy_->ticket(sim_.now(), pnr);
+    adm.trace.set_outcome("ok");
     return CallStatus::Ok;
   }
+  const auto span = adm.trace.child("inventory.ticket", sim_.now());
   const auto status = inventory_.ticket(sim_.now(), pnr);
+  if (status) {
+    span.set_outcome("ok");
+    adm.trace.set_outcome("ok");
+  } else {
+    span.set_outcome("business-reject");
+    span.annotate("code", util::to_string(status.code()));
+    adm.trace.set_outcome("business-reject");
+  }
+  span.finish(sim_.now());
   return status ? CallStatus::Ok : CallStatus::BusinessReject;
 }
 
@@ -283,11 +390,11 @@ OtpResult Application::request_otp(const ClientContext& ctx, const std::string& 
                                    sms::PhoneNumber number) {
   web::HttpRequest extra;
   extra.sms_destination = number.country;
-  overload::Deadline deadline;
-  const auto decision =
-      admit(ctx, web::Endpoint::RequestOtp, web::HttpMethod::Post, std::move(extra), &deadline);
+  const auto adm =
+      admit(ctx, web::Endpoint::RequestOtp, web::HttpMethod::Post, std::move(extra));
+  SpanGuard root(adm.trace, sim_);
   OtpResult result;
-  switch (decision.action) {
+  switch (adm.decision.action) {
     case PolicyAction::Block:
       result.status = CallStatus::Blocked;
       return result;
@@ -308,27 +415,39 @@ OtpResult Application::request_otp(const ClientContext& ctx, const std::string& 
     case PolicyAction::Allow:
       break;
   }
-  result.code = otp_.request(sim_.now(), account, std::move(number), ctx.actor, deadline);
+  const auto span = adm.trace.child("otp.request", sim_.now());
+  result.code = otp_.request(sim_.now(), account, std::move(number), ctx.actor, adm.deadline);
+  span.set_outcome("ok");
+  span.finish(sim_.now());
+  adm.trace.set_outcome("ok");
   return result;
 }
 
 bool Application::verify_otp(const ClientContext& ctx, const std::string& account,
                              const std::string& code) {
-  const auto decision =
+  const auto adm =
       admit(ctx, web::Endpoint::VerifyOtp, web::HttpMethod::Post, web::HttpRequest{});
-  if (decision.action == PolicyAction::Shed) return false;
-  return otp_.verify(sim_.now(), account, code);
+  SpanGuard root(adm.trace, sim_);
+  if (adm.decision.action == PolicyAction::Shed) return false;
+  const auto span = adm.trace.child("otp.verify", sim_.now());
+  const bool ok = otp_.verify(sim_.now(), account, code);
+  span.set_outcome(ok ? "ok" : "rejected");
+  span.finish(sim_.now());
+  adm.trace.set_outcome(ok ? "ok" : "rejected");
+  return ok;
 }
 
 Application::BookingView Application::retrieve_booking(const ClientContext& ctx,
                                                        const std::string& pnr) {
   web::HttpRequest extra;
   extra.booking_ref = pnr;
-  const auto decision =
+  const auto adm =
       admit(ctx, web::Endpoint::ManageBooking, web::HttpMethod::Get, std::move(extra));
+  SpanGuard root(adm.trace, sim_);
   BookingView view;
-  if (decision.action == PolicyAction::Block || decision.action == PolicyAction::RateLimited ||
-      decision.action == PolicyAction::Shed) {
+  if (adm.decision.action == PolicyAction::Block ||
+      adm.decision.action == PolicyAction::RateLimited ||
+      adm.decision.action == PolicyAction::Shed) {
     return view;  // nothing disclosed
   }
   airline::InventoryManager& source =
@@ -339,6 +458,7 @@ Application::BookingView Application::retrieve_booking(const ClientContext& ctx,
   view.found = true;
   view.held = r->state == airline::ReservationState::Held;
   view.ticketed = r->state == airline::ReservationState::Ticketed;
+  adm.trace.set_outcome("ok");
   return view;
 }
 
@@ -348,11 +468,11 @@ BoardingSmsResult Application::request_boarding_sms(const ClientContext& ctx,
   web::HttpRequest extra;
   extra.booking_ref = pnr;
   extra.sms_destination = number.country;
-  overload::Deadline deadline;
-  const auto decision =
-      admit(ctx, web::Endpoint::BoardingPassSms, web::HttpMethod::Post, std::move(extra), &deadline);
+  const auto adm =
+      admit(ctx, web::Endpoint::BoardingPassSms, web::HttpMethod::Post, std::move(extra));
+  SpanGuard root(adm.trace, sim_);
   BoardingSmsResult result;
-  switch (decision.action) {
+  switch (adm.decision.action) {
     case PolicyAction::Block:
       result.status = CallStatus::Blocked;
       return result;
@@ -373,19 +493,25 @@ BoardingSmsResult Application::request_boarding_sms(const ClientContext& ctx,
     case PolicyAction::Allow:
       break;
   }
-  result.detail = boarding_.request_sms(sim_.now(), pnr, std::move(number), ctx.actor, deadline);
-  result.status = result.detail == airline::BoardingPassService::SmsResult::Sent
-                      ? CallStatus::Ok
-                      : CallStatus::BusinessReject;
+  const auto span = adm.trace.child("sms.boarding", sim_.now());
+  result.detail = boarding_.request_sms(sim_.now(), pnr, std::move(number), ctx.actor,
+                                        adm.deadline);
+  const bool sent = result.detail == airline::BoardingPassService::SmsResult::Sent;
+  result.status = sent ? CallStatus::Ok : CallStatus::BusinessReject;
+  span.set_outcome(sent ? "ok" : "business-reject");
+  span.annotate("detail", airline::to_string(result.detail));
+  span.finish(sim_.now());
+  adm.trace.set_outcome(sent ? "ok" : "business-reject");
   return result;
 }
 
 CallStatus Application::request_boarding_email(const ClientContext& ctx, const std::string& pnr) {
   web::HttpRequest extra;
   extra.booking_ref = pnr;
-  const auto decision =
+  const auto adm =
       admit(ctx, web::Endpoint::BoardingPassEmail, web::HttpMethod::Post, std::move(extra));
-  switch (decision.action) {
+  SpanGuard root(adm.trace, sim_);
+  switch (adm.decision.action) {
     case PolicyAction::Block:
       return CallStatus::Blocked;
     case PolicyAction::Challenge:
@@ -399,7 +525,9 @@ CallStatus Application::request_boarding_email(const ClientContext& ctx, const s
     case PolicyAction::Allow:
       break;
   }
-  return boarding_.request_email(sim_.now(), pnr) ? CallStatus::Ok : CallStatus::BusinessReject;
+  const bool ok = static_cast<bool>(boarding_.request_email(sim_.now(), pnr));
+  adm.trace.set_outcome(ok ? "ok" : "business-reject");
+  return ok ? CallStatus::Ok : CallStatus::BusinessReject;
 }
 
 airline::FlightId Application::add_flight(std::string airline_code, int number, int capacity,

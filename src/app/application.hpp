@@ -27,6 +27,7 @@
 #include "app/fp_store.hpp"
 #include "app/policy.hpp"
 #include "core/fault/fault.hpp"
+#include "core/obs/obs.hpp"
 #include "core/overload/overload.hpp"
 #include "net/geo.hpp"
 #include "sim/simulation.hpp"
@@ -55,6 +56,9 @@ struct ApplicationConfig {
   // Disabled by default: the request path is then byte-identical to a build
   // without the subsystem.
   overload::OverloadConfig overload;
+  // Per-request trace recording (default-on, deterministically sampled).
+  // Traces never perturb sim behaviour — set sample_every = 0 to disable.
+  obs::TraceConfig trace;
 };
 
 enum class CallStatus : std::uint8_t {
@@ -144,6 +148,18 @@ class Application {
   [[nodiscard]] overload::OverloadManager& overload() { return overload_; }
   [[nodiscard]] const overload::OverloadManager& overload() const { return overload_; }
 
+  // The platform's observability context: every subsystem the application
+  // owns (gateway, OTP, overload) registers its series here, so one snapshot
+  // covers the whole platform.
+  [[nodiscard]] obs::Observability& obs() { return obs_; }
+  [[nodiscard]] const obs::Observability& obs() const { return obs_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return obs_.metrics; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return obs_.metrics; }
+  [[nodiscard]] obs::TraceRecorder& traces() { return obs_.traces; }
+  [[nodiscard]] const obs::TraceRecorder& traces() const { return obs_.traces; }
+
+  // By-value view of the "app.*" counters (served from the metrics registry;
+  // the registry cells are the only tally).
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t blocked = 0;
@@ -160,12 +176,11 @@ class Application {
     // its deadline budget.
     std::uint64_t deadline_missed = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-  // Decisions per rule id (how long each blocking rule stayed effective is
-  // derived from this plus the weblog timestamps).
-  [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>& rule_hits() const {
-    return rule_hits_;
-  }
+  [[nodiscard]] Stats stats() const;
+  // Decisions per rule id, read from the "app.rule.*" counter series (how
+  // long each blocking rule stayed effective is derived from this plus the
+  // weblog timestamps).
+  [[nodiscard]] std::unordered_map<std::string, std::uint64_t> rule_hits() const;
 
   // True if the PNR belongs to the decoy environment (scoring only).
   [[nodiscard]] bool is_decoy_pnr(const std::string& pnr) const {
@@ -185,18 +200,29 @@ class Application {
   }
 
  private:
-  // Logs the request, runs overload admission then the policy, updates stats.
-  // Returns the decision; when `deadline_out` is non-null it receives the
-  // deadline budget attached at admission (unbounded with overload off) for
-  // propagation into downstream stages.
-  PolicyDecision admit(const ClientContext& ctx, web::Endpoint endpoint, web::HttpMethod method,
-                       web::HttpRequest&& extra, overload::Deadline* deadline_out = nullptr);
+  // Everything admit() produces for one request: the policy decision, the
+  // deadline budget attached at admission (unbounded with overload off), and
+  // the request's root trace span (inert when the trace was not sampled).
+  // The caller owns the span: it opens children around business operations,
+  // overrides the outcome, and finishes it before returning.
+  struct AdmitOutcome {
+    PolicyDecision decision;
+    overload::Deadline deadline;
+    obs::TraceContext trace;
+  };
+
+  // Logs the request, runs overload admission then the policy, updates the
+  // "app.*" counters, and opens the request's root trace span.
+  AdmitOutcome admit(const ClientContext& ctx, web::Endpoint endpoint, web::HttpMethod method,
+                     web::HttpRequest&& extra);
   web::HttpRequest make_request(const ClientContext& ctx, web::Endpoint endpoint,
                                 web::HttpMethod method) const;
   static int status_code_for(PolicyAction action);
 
   sim::Simulation& sim_;
   ApplicationConfig config_;
+  // Declared before the subsystems that register series in it.
+  obs::Observability obs_;
   web::WebLog weblog_;
   FingerprintStore fp_store_;
   airline::InventoryManager inventory_;
@@ -209,8 +235,22 @@ class Application {
   AllowAllPolicy allow_all_;
   fault::FaultPoint& policy_fault_;
   overload::OverloadManager overload_;
-  Stats stats_;
-  std::unordered_map<std::string, std::uint64_t> rule_hits_;
+  // "app.*" counter handles (cells live in obs_.metrics).
+  struct StatCounters {
+    obs::Counter requests;
+    obs::Counter blocked;
+    obs::Counter challenged;
+    obs::Counter rate_limited;
+    obs::Counter honeypotted;
+    obs::Counter policy_faults;
+    obs::Counter shed;
+    obs::Counter deadline_missed;
+  } counters_;
+  // Per-ErrorCode rejection counters ("app.reject.<code>"), indexed by code.
+  std::vector<obs::Counter> reject_by_code_;
+  // Handle cache for dynamic "app.rule.<rule>" counters (one registry lookup
+  // per distinct rule, then O(1)).
+  std::unordered_map<std::string, obs::Counter> rule_counters_;
   std::unordered_set<std::string> decoy_pnrs_;
   std::vector<BiometricRecord> biometric_log_;
 };

@@ -24,14 +24,15 @@ void write_csv_row(std::ostream& out, const std::vector<std::string>& fields) {
 
 void export_weblog_csv(std::ostream& out, std::span<const web::HttpRequest> requests) {
   write_csv_row(out, {"time_ms", "endpoint", "method", "status", "ip", "session", "fp_hash",
-                      "flight", "booking_ref", "nip"});
+                      "flight", "booking_ref", "nip", "trace_id"});
   for (const auto& r : requests) {
     write_csv_row(out, {std::to_string(r.time), web::endpoint_path(r.endpoint),
                         web::to_string(r.method), std::to_string(r.status_code), r.ip.str(),
                         r.session.str(), r.fp_hash.str(),
                         r.flight_id ? std::to_string(*r.flight_id) : "",
                         r.booking_ref.value_or(""),
-                        r.nip ? std::to_string(*r.nip) : ""});
+                        r.nip ? std::to_string(*r.nip) : "",
+                        r.trace_id != 0 ? std::to_string(r.trace_id) : ""});
   }
 }
 

@@ -22,7 +22,9 @@ namespace fraudsim::app {
 // One row; fields escaped and comma-joined, newline-terminated.
 void write_csv_row(std::ostream& out, const std::vector<std::string>& fields);
 
-// Web log: time_ms,endpoint,method,status,ip,session,fp_hash,flight,booking_ref,nip
+// Web log: time_ms,endpoint,method,status,ip,session,fp_hash,flight,booking_ref,nip,trace_id
+// (trace_id joins rows against the trace recorder's span stream; blank when
+// the request's trace was not sampled).
 void export_weblog_csv(std::ostream& out, std::span<const web::HttpRequest> requests);
 
 // Reservations: pnr,flight,nip,state,created_ms,hold_expiry_ms,lead_name,source_ip,fp_hash

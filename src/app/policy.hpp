@@ -14,6 +14,7 @@
 #include "biometrics/features.hpp"
 #include "fingerprint/fingerprint.hpp"
 #include "net/ip.hpp"
+#include "util/result.hpp"
 #include "web/request.hpp"
 
 namespace fraudsim::app {
@@ -46,9 +47,31 @@ enum class PolicyAction : std::uint8_t {
                   // emitted by the platform, never by an IngressPolicy
 };
 
+[[nodiscard]] constexpr const char* to_string(PolicyAction a) {
+  switch (a) {
+    case PolicyAction::Allow:
+      return "allow";
+    case PolicyAction::Block:
+      return "block";
+    case PolicyAction::Challenge:
+      return "challenge";
+    case PolicyAction::RateLimited:
+      return "rate-limited";
+    case PolicyAction::Honeypot:
+      return "honeypot";
+    case PolicyAction::Shed:
+      return "shed";
+  }
+  return "?";
+}
+
 struct PolicyDecision {
   PolicyAction action = PolicyAction::Allow;
   std::string rule;  // identifier of the rule that fired (empty for Allow)
+  // Typed reason for non-Allow decisions (kOk for Allow/Honeypot — a decoyed
+  // request is served, just not from real inventory). Callers dispatch on
+  // this, never on rule text.
+  util::ErrorCode code = util::ErrorCode::kOk;
 };
 
 class IngressPolicy {

@@ -1,11 +1,39 @@
 #include "core/detect/pipeline.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <utility>
 
 #include "core/fault/fault.hpp"
+#include "core/obs/profile.hpp"
 
 namespace fraudsim::detect {
+namespace {
+
+// Adapter wrapping one concrete analyzer into the uniform Detector interface.
+// The pipeline composes its family list from these; no analyzer needs to know
+// about budgets, fault points, brownout strides, or observability.
+class FunctionDetector final : public Detector {
+ public:
+  using Fn = std::function<void(const RequestView&, AlertSink&)>;
+
+  FunctionDetector(const char* name, const char* fault_point, DetectorCost cost, Fn fn)
+      : name_(name), fault_point_(fault_point), cost_(cost), fn_(std::move(fn)) {}
+
+  [[nodiscard]] const char* name() const override { return name_; }
+  [[nodiscard]] const char* fault_point() const override { return fault_point_; }
+  [[nodiscard]] DetectorCost cost() const override { return cost_; }
+  void evaluate(const RequestView& view, AlertSink& alerts) override { fn_(view, alerts); }
+
+ private:
+  const char* name_;
+  const char* fault_point_;
+  DetectorCost cost_;
+  Fn fn_;
+};
+
+}  // namespace
 
 const DetectorReport* PipelineResult::report_for(const std::string& detector) const {
   for (const auto& r : reports) {
@@ -56,6 +84,112 @@ void DetectionPipeline::train_behavior(const app::Application& application, sim:
   classifier_.train(features, labels, rng);
 }
 
+std::vector<std::unique_ptr<Detector>> DetectionPipeline::build_detectors() const {
+  std::vector<std::unique_ptr<Detector>> detectors;
+  auto add = [&detectors](const char* name, const char* point, DetectorCost cost,
+                          FunctionDetector::Fn fn) {
+    detectors.push_back(std::make_unique<FunctionDetector>(name, point, cost, std::move(fn)));
+  };
+
+  // Behaviour-based.
+  add("behavior.volume", "detect.volume.run", DetectorCost::Cheap,
+      [this](const RequestView& view, AlertSink& alerts) {
+        VolumeThresholdDetector volume(config_.volume);
+        volume.analyze(view.sessions, alerts);
+      });
+  if (classifier_.trained()) {
+    add("behavior.classifier", "detect.behavior.run", DetectorCost::Expensive,
+        [this](const RequestView& view, AlertSink& alerts) {
+          classifier_.analyze(view.sampled_sessions, alerts);
+        });
+  }
+  if (navigation_.fitted()) {
+    add("behavior.navigation", "detect.navigation.run", DetectorCost::Expensive,
+        [this](const RequestView& view, AlertSink& alerts) {
+          navigation_.analyze(view.sampled_sessions, alerts);
+        });
+  }
+
+  // Network reputation (enabled once a geo database is supplied).
+  if (geo_ != nullptr) {
+    add("ip.reputation", "detect.ip.run", DetectorCost::Cheap,
+        [this](const RequestView& view, AlertSink& alerts) {
+          IpReputationDetector ip_detector(*geo_, config_.ip_reputation);
+          ip_detector.analyze(view.sessions, alerts);
+        });
+  }
+
+  // Pointer biometrics (§V): judge every sample captured in the window
+  // (every stride-th sample under brownout).
+  if (config_.biometrics_enabled) {
+    add("biometric.pointer", "detect.biometric.run", DetectorCost::Expensive,
+        [this](const RequestView& view, AlertSink& alerts) {
+          biometrics::BiometricDetector biometric(config_.biometric_thresholds);
+          std::size_t sample_idx = 0;
+          for (const auto& record : view.application.biometric_log()) {
+            if (record.time < view.from || record.time >= view.to) continue;
+            if (view.stride > 1 &&
+                (sample_idx++ % static_cast<std::size_t>(view.stride)) != 0) {
+              continue;
+            }
+            std::string reason;
+            if (!biometric.observe(record.features, &reason)) continue;
+            Alert alert;
+            alert.time = record.time;
+            alert.detector = "biometric.pointer";
+            alert.severity = Severity::Warning;
+            alert.explanation = reason;
+            alert.session = record.session;
+            alert.actor = record.actor;
+            alerts.emit(std::move(alert));
+          }
+        });
+  }
+
+  // Knowledge-based.
+  add("fingerprint.artifact", "detect.artifact.run", DetectorCost::Cheap,
+      [](const RequestView& view, AlertSink& alerts) {
+        ArtifactDetector artifacts;
+        artifacts.analyze(view.application.fingerprints(), view.sessions, alerts);
+      });
+  add("fingerprint.consistency", "detect.consistency.run", DetectorCost::Cheap,
+      [](const RequestView& view, AlertSink& alerts) {
+        ConsistencyDetector consistency;
+        consistency.analyze(view.application.fingerprints(), view.sessions, alerts);
+      });
+  add("fingerprint.rarity", "detect.rarity.run", DetectorCost::Cheap,
+      [this](const RequestView& view, AlertSink& alerts) {
+        RarityDetector rarity(config_.rarity_frequency, config_.rarity_min_observations);
+        rarity.analyze(view.application.fingerprints(), alerts);
+      });
+
+  // Feature-level (the paper's advanced detectors).
+  add("nip.anomaly", "detect.nip.run", DetectorCost::Cheap,
+      [this](const RequestView& view, AlertSink& alerts) {
+        nip_.analyze(view.application.inventory().reservations(), view.from, view.to, alerts);
+      });
+  add("name.patterns", "detect.names.run", DetectorCost::Cheap,
+      [this](const RequestView& view, AlertSink& alerts) {
+        NamePatternAnalyzer names(config_.names);
+        // Window-scope the reservations for identity analysis.
+        std::vector<airline::Reservation> window;
+        for (const auto& r : view.application.inventory().reservations()) {
+          if (r.created >= view.from && r.created < view.to) window.push_back(r);
+        }
+        names.analyze(window, alerts);
+      });
+  add("sms.anomaly", "detect.sms.run", DetectorCost::Cheap,
+      [this](const RequestView& view, AlertSink& alerts) {
+        SmsAnomalyDetector sms(config_.sms);
+        // SMS surge baselines on the pre-window period of equal length.
+        const sim::SimTime baseline_from =
+            std::max<sim::SimTime>(0, view.from - (view.to - view.from));
+        sms.analyze(view.application.sms_gateway(), baseline_from, view.from, view.from, view.to,
+                    alerts);
+      });
+  return detectors;
+}
+
 PipelineResult DetectionPipeline::run(const app::Application& application,
                                       const app::ActorRegistry& registry, sim::SimTime from,
                                       sim::SimTime to,
@@ -74,121 +208,77 @@ PipelineResult DetectionPipeline::run(const app::Application& application,
       sampled.push_back(result.sessions[i]);
     }
   }
-  const std::vector<web::Session>& expensive_view = stride > 1 ? sampled : result.sessions;
+  const RequestView view{application, from, to, result.sessions,
+                         stride > 1 ? sampled : result.sessions, stride};
 
   // Modeled analysis clock, charged against the optional deadline budget.
   sim::SimTime analysis_now = to;
   const sim::SimDuration cheap_cost =
-      static_cast<sim::SimDuration>(result.sessions.size()) * config_.analysis_cost_cheap;
+      static_cast<sim::SimDuration>(view.sessions.size()) * config_.analysis_cost_cheap;
   const sim::SimDuration expensive_cost =
-      static_cast<sim::SimDuration>(expensive_view.size()) * config_.analysis_cost_expensive;
+      static_cast<sim::SimDuration>(view.sampled_sessions.size()) * config_.analysis_cost_expensive;
 
-  // Runs one detector family behind its fault point. An injected outage or a
-  // thrown exception records the family as skipped; the pipeline always
-  // finishes the remaining families — detection never takes the SOC report
-  // down with it. A family whose start time is already past the analysis
-  // budget is skipped the same way.
-  auto guarded = [&result, &analysis_now, analysis_budget, to](
-                     const char* family, const char* point, sim::SimDuration cost, auto&& fn) {
+  obs::TraceContext trace;
+  if (obs_ != nullptr) {
+    trace = obs_->traces.start_trace("detect.pipeline", to);
+    trace.annotate("sessions", std::to_string(view.sessions.size()));
+    if (stride > 1) trace.annotate("stride", std::to_string(stride));
+  }
+
+  // The interface layer: one loop applies budget accounting, fault-point
+  // guarding, exception containment, per-family metrics/spans/profiling to
+  // every family uniformly. An injected outage or a thrown exception records
+  // the family as skipped; the run always finishes the remaining families —
+  // detection never takes the SOC report down with it.
+  for (const auto& det : build_detectors()) {
+    const char* family = det->name();
+    const sim::SimDuration cost =
+        det->cost() == DetectorCost::Expensive ? expensive_cost : cheap_cost;
+    const obs::TraceContext span = trace.child(family, analysis_now);
+    span.annotate("cost", to_string(det->cost()));
+
+    auto skip = [&](std::string reason) {
+      result.degraded = true;
+      span.annotate("skip", reason);
+      span.set_outcome("skipped");
+      span.finish(analysis_now);
+      if (obs_ != nullptr) {
+        obs_->metrics.counter(std::string("detect.") + family + ".skipped").inc();
+      }
+      result.skipped.push_back(SkippedDetector{family, std::move(reason)});
+    };
+
     if (analysis_budget.expired(analysis_now)) {
-      result.degraded = true;
-      result.skipped.push_back(SkippedDetector{family, "analysis budget exhausted"});
-      return;
+      skip("analysis budget exhausted");
+      continue;
     }
-    if (fault::FaultRegistry::global().point(point).should_fail(to)) {
-      result.degraded = true;
-      result.skipped.push_back(SkippedDetector{family, "fault-injected outage"});
-      return;
+    if (fault::FaultRegistry::global().point(det->fault_point()).should_fail(to)) {
+      skip("fault-injected outage");
+      continue;
     }
+    const std::size_t alerts_before = result.alerts.alerts().size();
     try {
-      fn();
+      const obs::ScopedTimer timer(
+          obs::Profiler::instance().phase(std::string("detect.") + family));
+      det->evaluate(view, result.alerts);
       analysis_now += cost;
     } catch (const std::exception& e) {
-      result.degraded = true;
-      result.skipped.push_back(SkippedDetector{family, std::string("exception: ") + e.what()});
+      skip(std::string("exception: ") + e.what());
+      continue;
     } catch (...) {
-      result.degraded = true;
-      result.skipped.push_back(SkippedDetector{family, "unknown exception"});
+      skip("unknown exception");
+      continue;
     }
-  };
-
-  // Behaviour-based.
-  guarded("behavior.volume", "detect.volume.run", cheap_cost, [&] {
-    VolumeThresholdDetector volume(config_.volume);
-    volume.analyze(result.sessions, result.alerts);
-  });
-  if (classifier_.trained()) {
-    guarded("behavior.classifier", "detect.behavior.run", expensive_cost,
-            [&] { classifier_.analyze(expensive_view, result.alerts); });
-  }
-  if (navigation_.fitted()) {
-    guarded("behavior.navigation", "detect.navigation.run", expensive_cost,
-            [&] { navigation_.analyze(expensive_view, result.alerts); });
-  }
-
-  // Network reputation (enabled once a geo database is supplied).
-  if (geo_ != nullptr) {
-    guarded("ip.reputation", "detect.ip.run", cheap_cost, [&] {
-      IpReputationDetector ip_detector(*geo_, config_.ip_reputation);
-      ip_detector.analyze(result.sessions, result.alerts);
-    });
-  }
-
-  // Pointer biometrics (§V): judge every sample captured in the window
-  // (every stride-th sample under brownout).
-  if (config_.biometrics_enabled) {
-    guarded("biometric.pointer", "detect.biometric.run", expensive_cost, [&] {
-      biometrics::BiometricDetector biometric(config_.biometric_thresholds);
-      std::size_t sample_idx = 0;
-      for (const auto& record : application.biometric_log()) {
-        if (record.time < from || record.time >= to) continue;
-        if (stride > 1 && (sample_idx++ % static_cast<std::size_t>(stride)) != 0) continue;
-        std::string reason;
-        if (!biometric.observe(record.features, &reason)) continue;
-        Alert alert;
-        alert.time = record.time;
-        alert.detector = "biometric.pointer";
-        alert.severity = Severity::Warning;
-        alert.explanation = reason;
-        alert.session = record.session;
-        alert.actor = record.actor;
-        result.alerts.emit(std::move(alert));
-      }
-    });
-  }
-
-  // Knowledge-based.
-  guarded("fingerprint.artifact", "detect.artifact.run", cheap_cost, [&] {
-    ArtifactDetector artifacts;
-    artifacts.analyze(application.fingerprints(), result.sessions, result.alerts);
-  });
-  guarded("fingerprint.consistency", "detect.consistency.run", cheap_cost, [&] {
-    ConsistencyDetector consistency;
-    consistency.analyze(application.fingerprints(), result.sessions, result.alerts);
-  });
-  guarded("fingerprint.rarity", "detect.rarity.run", cheap_cost, [&] {
-    RarityDetector rarity(config_.rarity_frequency, config_.rarity_min_observations);
-    rarity.analyze(application.fingerprints(), result.alerts);
-  });
-
-  // Feature-level (the paper's advanced detectors).
-  guarded("nip.anomaly", "detect.nip.run", cheap_cost,
-          [&] { nip_.analyze(application.inventory().reservations(), from, to, result.alerts); });
-  guarded("name.patterns", "detect.names.run", cheap_cost, [&] {
-    NamePatternAnalyzer names(config_.names);
-    // Window-scope the reservations for identity analysis.
-    std::vector<airline::Reservation> window;
-    for (const auto& r : application.inventory().reservations()) {
-      if (r.created >= from && r.created < to) window.push_back(r);
+    const auto emitted =
+        static_cast<std::uint64_t>(result.alerts.alerts().size() - alerts_before);
+    if (obs_ != nullptr) {
+      obs_->metrics.counter(std::string("detect.") + family + ".runs").inc();
+      obs_->metrics.counter(std::string("detect.") + family + ".alerts").inc(emitted);
     }
-    names.analyze(window, result.alerts);
-  });
-  guarded("sms.anomaly", "detect.sms.run", cheap_cost, [&] {
-    SmsAnomalyDetector sms(config_.sms);
-    // SMS surge baselines on the pre-window period of equal length.
-    const sim::SimTime baseline_from = std::max<sim::SimTime>(0, from - (to - from));
-    sms.analyze(application.sms_gateway(), baseline_from, from, from, to, result.alerts);
-  });
+    span.annotate("alerts", std::to_string(emitted));
+    span.set_outcome("ok");
+    span.finish(analysis_now);
+  }
 
   // Score per detector family at the actor level.
   const auto universe = actors_of(result.sessions);
@@ -202,6 +292,9 @@ PipelineResult DetectionPipeline::run(const app::Application& application,
                                 TruthCriterion::Abuser);
     result.reports.push_back(std::move(report));
   }
+  trace.annotate("alerts", std::to_string(result.alerts.alerts().size()));
+  trace.set_outcome(result.degraded ? "degraded" : "ok");
+  trace.finish(analysis_now);
   return result;
 }
 

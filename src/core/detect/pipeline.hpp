@@ -11,6 +11,7 @@
 #include "app/application.hpp"
 #include "biometrics/detector.hpp"
 #include "core/detect/behavior.hpp"
+#include "core/detect/detector.hpp"
 #include "core/detect/fingerprint_detect.hpp"
 #include "core/detect/ip_reputation.hpp"
 #include "core/detect/labels.hpp"
@@ -119,6 +120,17 @@ class DetectionPipeline {
   // for analysis cost while the platform is hot.
   void set_brownout(const overload::BrownoutController* brownout) { brownout_ = brownout; }
 
+  // Attach the platform's observability context (non-owning; nullptr
+  // detaches). When bound, every run records per-family counters
+  // ("detect.<family>.{runs,skipped,alerts}") in the registry and one
+  // "detect.pipeline" trace with a child span per detector family.
+  void bind_obs(obs::Observability* obs) { obs_ = obs; }
+
+  // The detector families a run() would execute right now, in execution
+  // order, honouring what has been fitted/trained/enabled. Each element is a
+  // uniform Detector — the pipeline has no per-family branches left.
+  [[nodiscard]] std::vector<std::unique_ptr<Detector>> build_detectors() const;
+
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
   [[nodiscard]] const BehaviorClassifier& classifier() const { return classifier_; }
 
@@ -129,6 +141,7 @@ class DetectionPipeline {
   NavigationModel navigation_;
   const net::GeoDb* geo_ = nullptr;
   const overload::BrownoutController* brownout_ = nullptr;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace fraudsim::detect

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "core/detect/alert.hpp"
+#include "core/obs/profile.hpp"
 
 namespace fraudsim::mitigate {
 
@@ -16,7 +18,15 @@ MitigationController::MitigationController(app::Application& application, RuleEn
       name_analyzer_(config.names),
       sms_detector_(config.sms),
       biometric_detector_(config.biometric_thresholds),
-      sweep_fault_(fault::FaultRegistry::global().point("detect.sweep.run")) {}
+      sweep_fault_(fault::FaultRegistry::global().point("detect.sweep.run")),
+      sweeps_(application.metrics().counter("mitigate.sweeps")),
+      sweeps_skipped_(application.metrics().counter("mitigate.sweeps_skipped")),
+      actions_counter_(application.metrics().counter("mitigate.actions")) {}
+
+void MitigationController::record_action(EnforcementAction action) {
+  actions_counter_.inc();
+  actions_.push_back(std::move(action));
+}
 
 void MitigationController::fit_nip_baseline(sim::SimTime from, sim::SimTime to) {
   nip_detector_.fit_baseline(app_.inventory().reservations(), from, to);
@@ -36,14 +46,16 @@ void MitigationController::schedule_next() {
 }
 
 void MitigationController::sweep() {
+  const obs::ScopedTimer timer(obs::Profiler::instance().phase("mitigate.sweep"));
   const sim::SimTime now = app_.simulation().now();
   if (sweep_fault_.should_fail(now)) {
     // Detection backend down: skip this sweep entirely. Enforcement resumes
     // at the next scheduled sweep after the outage.
-    ++skipped_sweeps_;
-    actions_.push_back(EnforcementAction{now, "sweep-skipped", "detection outage"});
+    sweeps_skipped_.inc();
+    record_action(EnforcementAction{now, "sweep-skipped", "detection outage"});
     return;
   }
+  sweeps_.inc();
   const sim::SimTime from = std::max<sim::SimTime>(0, now - config_.analysis_window);
 
   std::unordered_set<fp::FpHash> to_block;
@@ -99,7 +111,7 @@ void MitigationController::sweep() {
   for (const auto hash : to_block) {
     if (engine_.blocklist().contains(hash)) continue;
     engine_.blocklist().block(hash, now, "controller-sweep");
-    actions_.push_back(EnforcementAction{now, "fp-block", hash.str()});
+    record_action(EnforcementAction{now, "fp-block", hash.str()});
   }
 
   // 4. NiP cap (once).
@@ -108,7 +120,7 @@ void MitigationController::sweep() {
     if (verdict.anomalous) {
       app_.inventory().set_max_nip(config_.nip_cap_value);
       nip_cap_time_ = now;
-      actions_.push_back(EnforcementAction{
+      record_action(EnforcementAction{
           now, "nip-cap", "cap=" + std::to_string(config_.nip_cap_value)});
     }
   }
@@ -119,7 +131,7 @@ void MitigationController::sweep() {
         trip && *trip <= now) {
       app_.boarding().set_sms_option_enabled(false);
       sms_disable_time_ = now;
-      actions_.push_back(EnforcementAction{now, "sms-disable", "boarding-pass SMS removed"});
+      record_action(EnforcementAction{now, "sms-disable", "boarding-pass SMS removed"});
     }
   }
 }

@@ -20,6 +20,7 @@
 #include "app/application.hpp"
 #include "biometrics/detector.hpp"
 #include "core/fault/fault.hpp"
+#include "core/obs/metrics.hpp"
 #include "core/detect/name_patterns.hpp"
 #include "core/detect/nip_anomaly.hpp"
 #include "core/detect/sms_anomaly.hpp"
@@ -73,7 +74,10 @@ class MitigationController {
   // the degradation the outage bench prices.
   void sweep();
 
-  [[nodiscard]] std::uint64_t skipped_sweeps() const { return skipped_sweeps_; }
+  // Sweep tallies, served from the platform metrics registry
+  // ("mitigate.sweeps", "mitigate.sweeps_skipped", "mitigate.actions").
+  [[nodiscard]] std::uint64_t sweeps() const { return sweeps_.value(); }
+  [[nodiscard]] std::uint64_t skipped_sweeps() const { return sweeps_skipped_.value(); }
 
   [[nodiscard]] const std::vector<EnforcementAction>& actions() const { return actions_; }
   [[nodiscard]] std::optional<sim::SimTime> nip_cap_time() const { return nip_cap_time_; }
@@ -84,6 +88,7 @@ class MitigationController {
 
  private:
   void schedule_next();
+  void record_action(EnforcementAction action);
 
   app::Application& app_;
   RuleEngine& engine_;
@@ -102,7 +107,10 @@ class MitigationController {
   std::optional<sim::SimTime> nip_cap_time_;
   std::optional<sim::SimTime> sms_disable_time_;
   fault::FaultPoint& sweep_fault_;
-  std::uint64_t skipped_sweeps_ = 0;
+  // "mitigate.*" counter handles (cells live in the application's registry).
+  obs::Counter sweeps_;
+  obs::Counter sweeps_skipped_;
+  obs::Counter actions_counter_;
 };
 
 }  // namespace fraudsim::mitigate

@@ -32,7 +32,11 @@ bool SlidingWindowRateLimiter::allow(sim::SimTime now, const std::string& key,
   auto& q = events_[key];
   prune(now, q);
   if (q.size() >= effective_limit) {
-    ++denials_;
+    if (denials_counter_.bound()) {
+      denials_counter_.inc();
+    } else {
+      ++local_denials_;
+    }
     return false;
   }
   q.push_back(now);

@@ -15,6 +15,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace fraudsim::mitigate {
@@ -39,7 +40,19 @@ class SlidingWindowRateLimiter {
 
   [[nodiscard]] std::uint64_t limit() const { return limit_; }
   [[nodiscard]] sim::SimDuration window() const { return window_; }
-  [[nodiscard]] std::uint64_t denials() const { return denials_; }
+  [[nodiscard]] std::uint64_t denials() const {
+    return denials_counter_.bound() ? denials_counter_.value() : local_denials_;
+  }
+
+  // Publishes this limiter's denial tally through a registry counter.
+  // Denials recorded before binding are carried into the counter; afterwards
+  // the counter cell is the single tally.
+  void bind_denials(obs::Counter counter) {
+    if (!counter.bound()) return;
+    counter.inc(local_denials_);
+    local_denials_ = 0;
+    denials_counter_ = counter;
+  }
 
   // Number of keys currently holding state (bounded by the number of keys
   // active within the last ~window, not by lifetime distinct keys).
@@ -56,7 +69,9 @@ class SlidingWindowRateLimiter {
   std::uint64_t limit_;
   sim::SimDuration window_;
   std::unordered_map<std::string, std::deque<sim::SimTime>> events_;
-  std::uint64_t denials_ = 0;
+  // Denial tally: local until bind_denials() publishes it to a registry.
+  std::uint64_t local_denials_ = 0;
+  obs::Counter denials_counter_;
   sim::SimTime last_sweep_ = 0;
 };
 

@@ -29,7 +29,20 @@ void RuleEngine::add_rate_limit(RateLimitSpec spec) {
   NamedLimiter named;
   named.limiter = std::make_unique<SlidingWindowRateLimiter>(spec.limit, spec.window);
   named.spec = std::move(spec);
+  if (metrics_ != nullptr) {
+    named.limiter->bind_denials(
+        metrics_->counter("mitigate.rate." + named.spec.name + ".denials"));
+  }
   limiters_.push_back(std::move(named));
+}
+
+void RuleEngine::bind_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  for (auto& named : limiters_) {
+    named.limiter->bind_denials(
+        metrics_->counter("mitigate.rate." + named.spec.name + ".denials"));
+  }
 }
 
 const SlidingWindowRateLimiter* RuleEngine::limiter(const std::string& name) const {
@@ -72,7 +85,7 @@ app::PolicyDecision RuleEngine::evaluate(const web::HttpRequest& request,
                                          const app::ClientContext& ctx) {
   // 1. IP blocking.
   if (ip_blocked(request.ip)) {
-    return app::PolicyDecision{app::PolicyAction::Block, "ip-block"};
+    return app::PolicyDecision{app::PolicyAction::Block, "ip-block", util::ErrorCode::kRejected};
   }
 
   // 2. Fingerprint blocklist (block or honeypot).
@@ -81,12 +94,13 @@ app::PolicyDecision RuleEngine::evaluate(const web::HttpRequest& request,
     if (blocklist_action_ == app::PolicyAction::Honeypot) {
       return app::PolicyDecision{app::PolicyAction::Honeypot, "fp-honeypot"};
     }
-    return app::PolicyDecision{app::PolicyAction::Block, "fp-block"};
+    return app::PolicyDecision{app::PolicyAction::Block, "fp-block", util::ErrorCode::kRejected};
   }
 
   // 3. Loyalty gating of high-risk features.
   if (loyalty_gated_.contains(request.endpoint) && !ctx.loyalty_member) {
-    return app::PolicyDecision{app::PolicyAction::Block, "loyalty-gate"};
+    return app::PolicyDecision{app::PolicyAction::Block, "loyalty-gate",
+                               util::ErrorCode::kRejected};
   }
 
   // 4. Challenge layer.
@@ -96,7 +110,8 @@ app::PolicyDecision RuleEngine::evaluate(const web::HttpRequest& request,
                                ? true
                                : looks_suspicious(ctx);
     if (challenge) {
-      return app::PolicyDecision{app::PolicyAction::Challenge, "captcha"};
+      return app::PolicyDecision{app::PolicyAction::Challenge, "captcha",
+                                 util::ErrorCode::kRejected};
     }
   }
 
@@ -116,7 +131,8 @@ app::PolicyDecision RuleEngine::evaluate(const web::HttpRequest& request,
                  std::ceil(static_cast<double>(named.spec.limit) * limit_scale)));
     }
     if (!named.limiter->allow(sim_.now(), rate_key(named.spec, request), effective)) {
-      return app::PolicyDecision{app::PolicyAction::RateLimited, named.spec.name};
+      return app::PolicyDecision{app::PolicyAction::RateLimited, named.spec.name,
+                                 util::ErrorCode::kRateLimited};
     }
   }
 

@@ -78,6 +78,12 @@ class RuleEngine final : public app::IngressPolicy {
   [[nodiscard]] const SlidingWindowRateLimiter* limiter(const std::string& name) const;
   void remove_rate_limit(const std::string& name);
 
+  // --- Observability -----------------------------------------------------------
+  // Publishes per-limiter denial tallies as "mitigate.rate.<name>.denials"
+  // counters in `metrics` (non-owning; nullptr detaches future bindings).
+  // Existing and future limiters are bound.
+  void bind_metrics(obs::MetricsRegistry* metrics);
+
   // --- Overload coupling ------------------------------------------------------
   // Attach the platform's brownout controller (non-owning; nullptr detaches).
   // While attached and escalated, every rate limit is judged against
@@ -104,6 +110,7 @@ class RuleEngine final : public app::IngressPolicy {
   };
   std::vector<NamedLimiter> limiters_;
   const overload::BrownoutController* brownout_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;  // non-owning
 };
 
 }  // namespace fraudsim::mitigate

@@ -1,0 +1,75 @@
+#include "core/obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/table.hpp"
+
+namespace fraudsim::obs {
+
+Profiler::Profiler() {
+  const char* env = std::getenv("FRAUDSIM_PROFILE");
+  enabled_ = env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+PhaseId Profiler::phase(std::string_view name) {
+  for (PhaseId i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].name == name) return i;
+  }
+  phases_.push_back({std::string(name), 0, 0});
+  return phases_.size() - 1;
+}
+
+std::vector<Profiler::PhaseTotals> Profiler::totals() const {
+  std::vector<PhaseTotals> out;
+  for (const PhaseTotals& p : phases_) {
+    if (p.calls > 0) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(), [](const PhaseTotals& a, const PhaseTotals& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string Profiler::report() const {
+  const std::vector<PhaseTotals> rows = totals();
+  std::uint64_t grand_total = 0;
+  for (const PhaseTotals& p : rows) grand_total += p.total_ns;
+
+  util::AsciiTable table({"phase", "calls", "total ms", "mean us", "share %"});
+  char buf[64];
+  for (const PhaseTotals& p : rows) {
+    std::vector<std::string> row;
+    row.push_back(p.name);
+    row.push_back(std::to_string(p.calls));
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(p.total_ns) / 1e6);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  static_cast<double>(p.total_ns) / 1e3 / static_cast<double>(p.calls));
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f",
+                  grand_total > 0
+                      ? 100.0 * static_cast<double>(p.total_ns) / static_cast<double>(grand_total)
+                      : 0.0);
+    row.emplace_back(buf);
+    table.add_row(row);
+  }
+  return table.render();
+}
+
+void Profiler::reset() {
+  for (PhaseTotals& p : phases_) {
+    p.calls = 0;
+    p.total_ns = 0;
+  }
+}
+
+}  // namespace fraudsim::obs

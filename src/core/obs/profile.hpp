@@ -1,0 +1,90 @@
+// Wall-clock profiling hooks.
+//
+// Unlike metrics and traces (which are sim-time and default-on), the profiler
+// measures REAL elapsed time and is therefore excluded from the simulation's
+// determinism contract: it is disabled unless the process runs with
+// FRAUDSIM_PROFILE=1 (or a test calls set_enabled). When disabled, a
+// ScopedTimer is two branches and no clock reads, so hooks can stay compiled
+// into hot paths.
+//
+// Phases are pre-registered (phase() -> PhaseId) exactly like metric handles;
+// record() is an array index plus two adds. The profiler is a process-wide
+// singleton because wall-clock phase totals are inherently per-process, not
+// per-simulation-instance.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fraudsim::obs {
+
+using PhaseId = std::size_t;
+
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  // Test/bench override; FRAUDSIM_PROFILE=1 is read once at first access.
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Register-or-lookup a phase; the same name always maps to the same id.
+  PhaseId phase(std::string_view name);
+
+  void record(PhaseId id, std::uint64_t ns) {
+    if (id < phases_.size()) {
+      ++phases_[id].calls;
+      phases_[id].total_ns += ns;
+    }
+  }
+
+  struct PhaseTotals {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+  };
+  // All phases with at least one recording, sorted by descending total time.
+  [[nodiscard]] std::vector<PhaseTotals> totals() const;
+
+  // ASCII table: phase | calls | total ms | mean us | share %.
+  [[nodiscard]] std::string report() const;
+
+  // Zeroes call/time tallies (phase registrations survive).
+  void reset();
+
+ private:
+  Profiler();
+  bool enabled_ = false;
+  std::vector<PhaseTotals> phases_;
+};
+
+// RAII wall-clock timer for one profiler phase. Reads the steady clock only
+// when the profiler is enabled at construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(PhaseId id)
+      : id_(id), armed_(Profiler::instance().enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (armed_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      Profiler::instance().record(id_, static_cast<std::uint64_t>(ns));
+    }
+  }
+
+ private:
+  PhaseId id_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace fraudsim::obs

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-
-#include "util/stats.hpp"
+#include <string>
 
 namespace fraudsim::overload {
 
@@ -72,10 +71,36 @@ sim::SimDuration AdmissionQueue::backlog(sim::SimTime now) {
 
 // --- OverloadManager --------------------------------------------------------
 
-OverloadManager::OverloadManager(OverloadConfig config)
+OverloadManager::OverloadManager(OverloadConfig config, obs::MetricsRegistry* metrics)
     : config_(config),
       queue_(config.servers, config.priority_scheduling),
-      brownout_(config.brownout) {}
+      brownout_(config.brownout) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  for (std::size_t i = 0; i < kRequestClasses; ++i) {
+    const std::string prefix = std::string("overload.") + to_string(static_cast<RequestClass>(i));
+    ClassMetrics& m = class_metrics_[i];
+    m.offered = metrics->counter(prefix + ".offered");
+    m.admitted = metrics->counter(prefix + ".admitted");
+    m.shed_queue = metrics->counter(prefix + ".shed_queue");
+    m.shed_fail_fast = metrics->counter(prefix + ".shed_fail_fast");
+    m.deadline_missed = metrics->counter(prefix + ".deadline_missed");
+    m.latency_ms = metrics->histogram(prefix + ".latency_ms", obs::default_latency_bounds_ms());
+  }
+}
+
+ClassStats OverloadManager::stats(RequestClass cls) const {
+  const ClassMetrics& m = class_metrics_[static_cast<std::size_t>(cls)];
+  ClassStats out;
+  out.offered = m.offered.value();
+  out.admitted = m.admitted.value();
+  out.shed_queue = m.shed_queue.value();
+  out.shed_fail_fast = m.shed_fail_fast.value();
+  out.deadline_missed = m.deadline_missed.value();
+  return out;
+}
 
 Admission OverloadManager::on_request(sim::SimTime now, RequestClass cls, bool transactional) {
   const sim::SimDuration cost =
@@ -92,11 +117,11 @@ Admission OverloadManager::on_request(sim::SimTime now, RequestClass cls, bool t
   // never sees cannot drive the state machine back down.
   brownout_.observe(now, admission.queue_wait, admission.latency);
 
-  ClassStats& stats = stats_[static_cast<std::size_t>(cls)];
-  ++stats.offered;
+  ClassMetrics& metrics = class_metrics_[static_cast<std::size_t>(cls)];
+  metrics.offered.inc();
 
   if (cls == RequestClass::Anonymous && brownout_.fail_fast_anonymous()) {
-    ++stats.shed_fail_fast;
+    metrics.shed_fail_fast.inc();
     admission.result = AdmitResult::ShedFailFast;
     return admission;
   }
@@ -109,7 +134,7 @@ Admission OverloadManager::on_request(sim::SimTime now, RequestClass cls, bool t
                                                 brownout_.anonymous_watermark_scale());
     }
     if (admission.queue_wait > watermark) {
-      ++stats.shed_queue;
+      metrics.shed_queue.inc();
       admission.result = AdmitResult::ShedQueueFull;
       return admission;
     }
@@ -120,7 +145,7 @@ Admission OverloadManager::on_request(sim::SimTime now, RequestClass cls, bool t
     // deadline-aware move; admitting it (the unprotected baseline does, in
     // effect, by never checking) wastes a full service slot on work the
     // client has already timed out on.
-    ++stats.deadline_missed;
+    metrics.deadline_missed.inc();
     admission.result = AdmitResult::ShedDeadline;
     if (!config_.shedding_enabled) {
       // Collapse baseline: the work still occupies the queue; the caller just
@@ -129,14 +154,14 @@ Admission OverloadManager::on_request(sim::SimTime now, RequestClass cls, bool t
       // recording it would cap the baseline's percentiles at the deadline
       // budget (survivor bias) and undersell the collapse.
       queue_.admit(now, cls, cost);
-      stats.latency_ms.push_back(static_cast<double>(admission.latency));
+      metrics.latency_ms.observe(static_cast<double>(admission.latency));
     }
     return admission;
   }
 
   queue_.admit(now, cls, cost);
-  ++stats.admitted;
-  stats.latency_ms.push_back(static_cast<double>(admission.latency));
+  metrics.admitted.inc();
+  metrics.latency_ms.observe(static_cast<double>(admission.latency));
   return admission;
 }
 
@@ -144,16 +169,16 @@ OverloadSnapshot OverloadManager::snapshot(sim::SimTime now) const {
   OverloadSnapshot snap;
   snap.enabled = config_.enabled;
   for (std::size_t i = 0; i < kRequestClasses; ++i) {
-    const ClassStats& s = stats_[i];
+    const ClassMetrics& m = class_metrics_[i];
     auto& out = snap.cls[i];
-    out.offered = s.offered;
-    out.admitted = s.admitted;
-    out.shed_queue = s.shed_queue;
-    out.shed_fail_fast = s.shed_fail_fast;
-    out.deadline_missed = s.deadline_missed;
-    if (!s.latency_ms.empty()) {
-      out.p50_latency_ms = util::percentile(s.latency_ms, 0.50);
-      out.p99_latency_ms = util::percentile(s.latency_ms, 0.99);
+    out.offered = m.offered.value();
+    out.admitted = m.admitted.value();
+    out.shed_queue = m.shed_queue.value();
+    out.shed_fail_fast = m.shed_fail_fast.value();
+    out.deadline_missed = m.deadline_missed.value();
+    if (m.latency_ms.count() > 0) {
+      out.p50_latency_ms = m.latency_ms.percentile(0.50);
+      out.p99_latency_ms = m.latency_ms.percentile(0.99);
     }
   }
   snap.state = brownout_.state();

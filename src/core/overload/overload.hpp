@@ -29,8 +29,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
+#include "core/obs/metrics.hpp"
 #include "core/overload/brownout.hpp"
 #include "sim/time.hpp"
 
@@ -145,14 +147,14 @@ struct Admission {
   Deadline deadline;                // budget the request carries downstream
 };
 
+// By-value view of one class's admission counters, assembled from the
+// metrics registry (the "overload.<class>.*" series are the source of truth).
 struct ClassStats {
   std::uint64_t offered = 0;
   std::uint64_t admitted = 0;
   std::uint64_t shed_queue = 0;
   std::uint64_t shed_fail_fast = 0;
   std::uint64_t deadline_missed = 0;
-  // Modeled latency of every admitted request, ms (percentile source).
-  std::vector<double> latency_ms;
 
   [[nodiscard]] std::uint64_t shed_total() const { return shed_queue + shed_fail_fast; }
 };
@@ -183,7 +185,9 @@ struct OverloadSnapshot {
 
 class OverloadManager {
  public:
-  explicit OverloadManager(OverloadConfig config);
+  // `metrics` is the platform registry ("overload.*" series); when null the
+  // manager owns a private registry so standalone tests see isolated counts.
+  explicit OverloadManager(OverloadConfig config, obs::MetricsRegistry* metrics = nullptr);
 
   [[nodiscard]] bool enabled() const { return config_.enabled; }
 
@@ -192,18 +196,28 @@ class OverloadManager {
 
   [[nodiscard]] BrownoutController& brownout() { return brownout_; }
   [[nodiscard]] const BrownoutController& brownout() const { return brownout_; }
-  [[nodiscard]] const ClassStats& stats(RequestClass cls) const {
-    return stats_[static_cast<std::size_t>(cls)];
-  }
+  // Counter view for one class, read from the registry.
+  [[nodiscard]] ClassStats stats(RequestClass cls) const;
   [[nodiscard]] const OverloadConfig& config() const { return config_; }
 
   [[nodiscard]] OverloadSnapshot snapshot(sim::SimTime now) const;
 
  private:
+  // Registry handles for one class's counters + latency histogram.
+  struct ClassMetrics {
+    obs::Counter offered;
+    obs::Counter admitted;
+    obs::Counter shed_queue;
+    obs::Counter shed_fail_fast;
+    obs::Counter deadline_missed;
+    obs::Histogram latency_ms;
+  };
+
   OverloadConfig config_;
   AdmissionQueue queue_;
   BrownoutController brownout_;
-  ClassStats stats_[kRequestClasses];
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  ClassMetrics class_metrics_[kRequestClasses];
 };
 
 }  // namespace fraudsim::overload

@@ -28,6 +28,9 @@ Env::Env(EnvConfig config)
   // limits tighten while the admission queue is hot (no-op with overload
   // control disabled).
   engine.observe_overload(&app.overload().brownout());
+  // Rule-engine rate limiters publish their denial tallies into the
+  // platform registry ("mitigate.rate.<name>.denials").
+  engine.bind_metrics(&app.metrics());
   legit = std::make_unique<workload::LegitTraffic>(app, geo, actors, config_.legit,
                                                    rng.fork("legit"));
 }

@@ -82,6 +82,20 @@ std::string render_soc_report(const SocReportInputs& inputs) {
                           util::format_percent(report.score.confusion.recall(), 0)});
   }
   out << detect_table.render() << "\n";
+  if (!inputs.detection.skipped.empty()) {
+    util::AsciiTable skipped({"Detector skipped", "reason"});
+    for (const auto& s : inputs.detection.skipped) {
+      skipped.add_row({s.family, s.reason});
+    }
+    out << skipped.render() << "\n";
+  }
+
+  // --- Platform metrics ----------------------------------------------------------
+  // The registry is the platform's single source of truth: every subsystem
+  // tally (app.*, overload.*, sms.*, otp.*, mitigate.*, detect.*) lands here.
+  if (!app.metrics().empty()) {
+    out << app.metrics().snapshot().render_table("Platform metrics") << "\n";
+  }
 
   // --- Enforcement timeline ----------------------------------------------------------
   if (!inputs.actions.empty()) {

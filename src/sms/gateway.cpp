@@ -34,12 +34,44 @@ const char* to_string(SmsFailure f) {
   return "?";
 }
 
-SmsGateway::SmsGateway(const CarrierNetwork& network, GatewayConfig config)
+util::ErrorCode to_error_code(SmsFailure f) {
+  switch (f) {
+    case SmsFailure::None:
+      return util::ErrorCode::kOk;
+    case SmsFailure::QuotaExhausted:
+      return util::ErrorCode::kQuotaExhausted;
+    case SmsFailure::CarrierTransient:
+    case SmsFailure::RetriesExhausted:
+      return util::ErrorCode::kUpstreamFault;
+    case SmsFailure::CircuitOpen:
+      return util::ErrorCode::kUpstreamFault;
+    case SmsFailure::DeadlineExpired:
+      return util::ErrorCode::kDeadlineExceeded;
+  }
+  return util::ErrorCode::kUnknown;
+}
+
+SmsGateway::SmsGateway(const CarrierNetwork& network, GatewayConfig config,
+                       obs::MetricsRegistry* metrics)
     : network_(network),
       config_(config),
       carrier_fault_(fault::FaultRegistry::global().point("sms.carrier.send")),
       breaker_(config.breaker),
-      retry_rng_(config.retry_jitter_seed) {}
+      retry_rng_(config.retry_jitter_seed) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  delivered_ = metrics->counter("sms.delivered");
+  carrier_attempts_ = metrics->counter("sms.carrier.attempts");
+  carrier_failures_ = metrics->counter("sms.carrier.failures");
+  first_attempt_failures_ = metrics->counter("sms.carrier.first_attempt_failures");
+  retries_enqueued_ = metrics->counter("sms.retry.enqueued");
+  retries_delivered_ = metrics->counter("sms.retry.delivered");
+  retries_exhausted_ = metrics->counter("sms.retry.exhausted");
+  quota_rejected_ = metrics->counter("sms.quota.rejected");
+  deadline_abandoned_ = metrics->counter("sms.deadline.abandoned");
+}
 
 const SmsRecord& SmsGateway::send(sim::SimTime now, PhoneNumber destination, SmsType type,
                                   web::ActorId actor, std::optional<std::string> booking_ref,
@@ -66,7 +98,7 @@ void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attem
   // carrier submission on it steals quota from live traffic.
   if (record.deadline.expired(now)) {
     record.failure = SmsFailure::DeadlineExpired;
-    ++deadline_abandoned_;
+    deadline_abandoned_.inc();
     return;
   }
 
@@ -81,7 +113,7 @@ void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attem
   }
   if (config_.daily_quota != 0 && quota_used_ >= config_.daily_quota) {
     record.failure = SmsFailure::QuotaExhausted;
-    ++quota_rejected_;
+    quota_rejected_.inc();
     return;
   }
 
@@ -94,10 +126,10 @@ void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attem
   }
 
   ++quota_used_;
-  ++carrier_attempts_;
+  carrier_attempts_.inc();
   if (carrier_fault_.should_fail(now)) {
-    ++carrier_failures_;
-    if (attempt == 1) ++first_attempt_failures_;
+    carrier_failures_.inc();
+    if (attempt == 1) first_attempt_failures_.inc();
     if (config_.breaker_enabled) breaker_.record_failure(now);
     if (config_.retry_enabled && config_.retry.should_retry(attempt)) {
       const sim::SimDuration delay = config_.retry.delay(attempt, retry_rng_);
@@ -105,15 +137,15 @@ void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attem
         // The retry could not fire before the deadline: abandon now instead
         // of parking dead work in the retry queue.
         record.failure = SmsFailure::DeadlineExpired;
-        ++deadline_abandoned_;
+        deadline_abandoned_.inc();
         return;
       }
       retries_.emplace(std::make_pair(now + delay, index), attempt + 1);
-      ++retries_enqueued_;
+      retries_enqueued_.inc();
       record.failure = SmsFailure::CarrierTransient;
     } else {
       record.failure = SmsFailure::RetriesExhausted;
-      ++retries_exhausted_;
+      retries_exhausted_.inc();
     }
     return;
   }
@@ -129,9 +161,9 @@ void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attem
   record.app_cost = settlement.app_cost;
   record.attacker_revenue = settlement.attacker_revenue;
   total_app_cost_ += record.app_cost;
-  ++delivered_;
+  delivered_.inc();
   daily_.add(now);
-  if (attempt > 1) ++retries_delivered_;
+  if (attempt > 1) retries_delivered_.inc();
 }
 
 void SmsGateway::process_retries(sim::SimTime now) {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -27,11 +28,13 @@
 #include "core/fault/circuit_breaker.hpp"
 #include "core/fault/fault.hpp"
 #include "core/fault/retry.hpp"
+#include "core/obs/metrics.hpp"
 #include "core/overload/overload.hpp"
 #include "sms/carrier.hpp"
 #include "sms/number.hpp"
 #include "sim/time.hpp"
 #include "util/money.hpp"
+#include "util/result.hpp"
 #include "web/request.hpp"
 
 namespace fraudsim::sms {
@@ -53,6 +56,9 @@ enum class SmsFailure : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(SmsFailure f);
+
+// Typed-error mapping so callers dispatch on codes, never on failure text.
+[[nodiscard]] util::ErrorCode to_error_code(SmsFailure f);
 
 struct SmsRecord {
   sim::SimTime time = 0;                  // original request time
@@ -95,7 +101,10 @@ struct GatewayConfig {
 
 class SmsGateway {
  public:
-  SmsGateway(const CarrierNetwork& network, GatewayConfig config);
+  // `metrics` is the platform registry ("sms.*" series); when null the
+  // gateway owns a private registry so standalone tests see isolated counts.
+  SmsGateway(const CarrierNetwork& network, GatewayConfig config,
+             obs::MetricsRegistry* metrics = nullptr);
 
   // Sends an SMS at `now`. Returns the stored record (delivered=false when
   // the daily quota is exhausted, the breaker is open, or the carrier failed
@@ -111,19 +120,21 @@ class SmsGateway {
 
   [[nodiscard]] const std::vector<SmsRecord>& log() const { return log_; }
   [[nodiscard]] std::uint64_t sent_count() const { return log_.size(); }
-  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
-  [[nodiscard]] std::uint64_t rejected_count() const { return log_.size() - delivered_; }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_.value(); }
+  [[nodiscard]] std::uint64_t rejected_count() const { return log_.size() - delivered_.value(); }
   [[nodiscard]] util::Money total_app_cost() const { return total_app_cost_; }
 
-  // --- Resilience telemetry --------------------------------------------------
-  [[nodiscard]] std::uint64_t carrier_attempts() const { return carrier_attempts_; }
-  [[nodiscard]] std::uint64_t carrier_failures() const { return carrier_failures_; }
-  [[nodiscard]] std::uint64_t first_attempt_failures() const { return first_attempt_failures_; }
-  [[nodiscard]] std::uint64_t retries_enqueued() const { return retries_enqueued_; }
-  [[nodiscard]] std::uint64_t retries_delivered() const { return retries_delivered_; }
-  [[nodiscard]] std::uint64_t retries_exhausted() const { return retries_exhausted_; }
-  [[nodiscard]] std::uint64_t quota_rejected() const { return quota_rejected_; }
-  [[nodiscard]] std::uint64_t deadline_abandoned() const { return deadline_abandoned_; }
+  // --- Resilience telemetry (served from the metrics registry) ---------------
+  [[nodiscard]] std::uint64_t carrier_attempts() const { return carrier_attempts_.value(); }
+  [[nodiscard]] std::uint64_t carrier_failures() const { return carrier_failures_.value(); }
+  [[nodiscard]] std::uint64_t first_attempt_failures() const {
+    return first_attempt_failures_.value();
+  }
+  [[nodiscard]] std::uint64_t retries_enqueued() const { return retries_enqueued_.value(); }
+  [[nodiscard]] std::uint64_t retries_delivered() const { return retries_delivered_.value(); }
+  [[nodiscard]] std::uint64_t retries_exhausted() const { return retries_exhausted_.value(); }
+  [[nodiscard]] std::uint64_t quota_rejected() const { return quota_rejected_.value(); }
+  [[nodiscard]] std::uint64_t deadline_abandoned() const { return deadline_abandoned_.value(); }
   [[nodiscard]] std::size_t pending_retries() const { return retries_.size(); }
   [[nodiscard]] const fault::CircuitBreaker& breaker() const { return breaker_; }
 
@@ -144,7 +155,6 @@ class SmsGateway {
   const CarrierNetwork& network_;
   GatewayConfig config_;
   std::vector<SmsRecord> log_;
-  std::uint64_t delivered_ = 0;
   util::Money total_app_cost_;
   analytics::TimeSeries daily_{sim::kDay};
   // Rolling-day quota bookkeeping.
@@ -156,14 +166,17 @@ class SmsGateway {
   sim::Rng retry_rng_;
   // Pending retries ordered by (due, record index) -> next attempt number.
   std::map<std::pair<sim::SimTime, std::size_t>, int> retries_;
-  std::uint64_t carrier_attempts_ = 0;
-  std::uint64_t carrier_failures_ = 0;
-  std::uint64_t first_attempt_failures_ = 0;
-  std::uint64_t retries_enqueued_ = 0;
-  std::uint64_t retries_delivered_ = 0;
-  std::uint64_t retries_exhausted_ = 0;
-  std::uint64_t quota_rejected_ = 0;
-  std::uint64_t deadline_abandoned_ = 0;
+  // "sms.*" counter handles; cells live in `metrics` (injected or owned).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter delivered_;
+  obs::Counter carrier_attempts_;
+  obs::Counter carrier_failures_;
+  obs::Counter first_attempt_failures_;
+  obs::Counter retries_enqueued_;
+  obs::Counter retries_delivered_;
+  obs::Counter retries_exhausted_;
+  obs::Counter quota_rejected_;
+  obs::Counter deadline_abandoned_;
 };
 
 }  // namespace fraudsim::sms

@@ -22,7 +22,10 @@ namespace fraudsim::sms {
 
 class OtpService {
  public:
-  OtpService(SmsGateway& gateway, sim::Rng rng, sim::SimDuration validity = sim::minutes(10));
+  // `metrics` is the platform registry ("otp.*" series); when null the
+  // service owns a private registry so standalone tests see isolated counts.
+  OtpService(SmsGateway& gateway, sim::Rng rng, sim::SimDuration validity = sim::minutes(10),
+             obs::MetricsRegistry* metrics = nullptr);
 
   // Sends an OTP to `number` for the given account key. Returns the code
   // (callers simulating a legitimate user pass it back to verify()).
@@ -34,13 +37,13 @@ class OtpService {
   // True and consumes the code if it matches and hasn't expired.
   bool verify(sim::SimTime now, const std::string& account, const std::string& code);
 
-  [[nodiscard]] std::uint64_t requests() const { return requests_; }
-  [[nodiscard]] std::uint64_t verifications() const { return verifications_; }
+  [[nodiscard]] std::uint64_t requests() const { return requests_.value(); }
+  [[nodiscard]] std::uint64_t verifications() const { return verifications_.value(); }
   // Sends never followed by a successful verification — in aggregate, a
   // pumping signal.
-  [[nodiscard]] std::uint64_t unverified() const { return requests_ - verifications_; }
+  [[nodiscard]] std::uint64_t unverified() const { return requests_.value() - verifications_.value(); }
   // Requests whose SMS was lost to an injected "otp.deliver" fault.
-  [[nodiscard]] std::uint64_t delivery_faults() const { return delivery_faults_; }
+  [[nodiscard]] std::uint64_t delivery_faults() const { return delivery_faults_.value(); }
 
  private:
   struct Pending {
@@ -52,9 +55,11 @@ class OtpService {
   sim::SimDuration validity_;
   fault::FaultPoint& deliver_fault_;
   std::unordered_map<std::string, Pending> pending_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t verifications_ = 0;
-  std::uint64_t delivery_faults_ = 0;
+  // "otp.*" counter handles; cells live in `metrics` (injected or owned).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter requests_;
+  obs::Counter verifications_;
+  obs::Counter delivery_faults_;
 };
 
 }  // namespace fraudsim::sms

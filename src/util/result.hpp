@@ -1,21 +1,78 @@
 // Minimal expected-like result type for operations with expected failure modes.
 //
 // We avoid exceptions for routine control flow (a rejected reservation is not
-// exceptional); `Result<T>` carries either a value or an error message.
+// exceptional); `Result<T>` carries either a value or an error. Errors have
+// two facets: a typed `ErrorCode` for programmatic dispatch (callers must
+// never string-match on error text) and a human-readable message kept for
+// display in reports and logs.
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
 
 namespace fraudsim::util {
 
+// Typed failure taxonomy shared across the platform. Codes describe WHY an
+// operation failed, not where: the same kRateLimited flows out of the SMS
+// quota layer and the web-tier rate limiter.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kUnknown,           // legacy string-only failures
+  kNotFound,          // missing pnr/flight/number/...
+  kInvalidArgument,   // malformed input
+  kInvalidState,      // operation not legal in current state (e.g. not checked in)
+  kExpired,           // hold/OTP past its TTL
+  kRejected,          // policy/business rejection (blocked, decoy, no seats)
+  kRateLimited,       // per-key or quota rate limit
+  kShed,              // overload admission shed the request
+  kDeadlineExceeded,  // deadline budget exhausted mid-flight
+  kUpstreamFault,     // injected or modeled dependency failure
+  kQuotaExhausted,    // hard daily/rolling quota (distinct from rate limiting)
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kUnknown:
+      return "unknown";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kInvalidState:
+      return "invalid-state";
+    case ErrorCode::kExpired:
+      return "expired";
+    case ErrorCode::kRejected:
+      return "rejected";
+    case ErrorCode::kRateLimited:
+      return "rate-limited";
+    case ErrorCode::kShed:
+      return "shed";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kUpstreamFault:
+      return "upstream-fault";
+    case ErrorCode::kQuotaExhausted:
+      return "quota-exhausted";
+  }
+  return "?";
+}
+
 template <typename T>
 class [[nodiscard]] Result {
  public:
   static Result ok(T value) { return Result(std::move(value)); }
-  static Result fail(std::string error) { return Result(Error{std::move(error)}); }
+  static Result fail(std::string error) {
+    return Result(Error{ErrorCode::kUnknown, std::move(error)});
+  }
+  static Result fail(ErrorCode code, std::string error) {
+    return Result(Error{code, std::move(error)});
+  }
 
   [[nodiscard]] bool has_value() const { return value_.has_value(); }
   explicit operator bool() const { return has_value(); }
@@ -36,15 +93,19 @@ class [[nodiscard]] Result {
     assert(!has_value());
     return error_;
   }
+  // kOk when the result holds a value.
+  [[nodiscard]] ErrorCode code() const { return has_value() ? ErrorCode::kOk : code_; }
 
  private:
   struct Error {
+    ErrorCode code;
     std::string message;
   };
   explicit Result(T value) : value_(std::move(value)) {}
-  explicit Result(Error e) : error_(std::move(e.message)) {}
+  explicit Result(Error e) : code_(e.code), error_(std::move(e.message)) {}
 
   std::optional<T> value_;
+  ErrorCode code_ = ErrorCode::kOk;
   std::string error_;
 };
 
@@ -52,9 +113,11 @@ class [[nodiscard]] Result {
 class [[nodiscard]] Status {
  public:
   static Status ok() { return Status(); }
-  static Status fail(std::string error) {
+  static Status fail(std::string error) { return fail(ErrorCode::kUnknown, std::move(error)); }
+  static Status fail(ErrorCode code, std::string error) {
     Status s;
     s.ok_ = false;
+    s.code_ = code;
     s.error_ = std::move(error);
     return s;
   }
@@ -62,9 +125,11 @@ class [[nodiscard]] Status {
   [[nodiscard]] bool is_ok() const { return ok_; }
   explicit operator bool() const { return ok_; }
   [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] ErrorCode code() const { return ok_ ? ErrorCode::kOk : code_; }
 
  private:
   bool ok_ = true;
+  ErrorCode code_ = ErrorCode::kOk;
   std::string error_;
 };
 

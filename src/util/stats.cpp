@@ -53,6 +53,8 @@ void RunningStats::merge(const RunningStats& other) {
 
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
+  // NaN propagates through clamp and makes the index cast undefined.
+  if (std::isnan(p)) p = 0.0;
   p = std::clamp(p, 0.0, 1.0);
   std::sort(values.begin(), values.end());
   const double idx = p * static_cast<double>(values.size() - 1);

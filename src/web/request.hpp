@@ -44,6 +44,11 @@ struct HttpRequest {
   std::optional<net::CountryCode> sms_destination;
   std::optional<int> nip;  // passengers in a hold request
 
+  // Trace correlation: id of the request's root span in the platform's trace
+  // recorder (0 = the request's trace was not sampled). Lets analysts join
+  // web-log rows against span streams.
+  std::uint64_t trace_id = 0;
+
   // Ground truth (scoring only).
   ActorId actor;
 };

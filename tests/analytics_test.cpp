@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "analytics/compare.hpp"
 #include "analytics/histogram.hpp"
 #include "analytics/report.hpp"
@@ -65,6 +67,28 @@ TEST(NumericHistogram, BucketsValues) {
   EXPECT_EQ(h.bin_count(1), 2u);
   EXPECT_EQ(h.bin_count(4), 1u);
   EXPECT_DOUBLE_EQ(h.bin_lower(2), 20.0);
+}
+
+// Regression: extreme inputs used to be cast to size_t before clamping,
+// which is undefined behaviour for values outside the size_t range.
+TEST(NumericHistogram, ExtremeValuesClampWithoutOverflow) {
+  NumericHistogram h(0.0, 10.0, 5);
+  h.add(1e300);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(4), 2u);  // huge and +inf land in the last bin
+  EXPECT_EQ(h.bin_count(0), 2u);  // -inf and NaN land in bin 0
+}
+
+TEST(NumericHistogram, SingleBinTakesEverything) {
+  NumericHistogram h(0.0, 1.0, 1);
+  h.add(-5.0);
+  h.add(0.5);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 3u);
+  EXPECT_EQ(h.total(), 3u);
 }
 
 // --- TimeSeries ------------------------------------------------------------------

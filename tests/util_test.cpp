@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -193,6 +194,35 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
   EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
   EXPECT_DOUBLE_EQ(median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  // Single sample: every percentile is that sample.
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+  // Out-of-range and NaN p clamp instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 1.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, std::numeric_limits<double>::quiet_NaN()), 1.0);
+}
+
+TEST(RunningStats, EmptyAndSingleSample) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // sample variance undefined for n=1
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
 }
 
 TEST(Stats, ChiSquareZeroForIdenticalDistributions) {
