@@ -1,0 +1,137 @@
+// SHADOW (§V-C): offline re-scoring of recorded traffic — the shadow SOC.
+//
+// Records ONE live run (seat-spin waves over legitimate demand, live
+// mitigation loop) to a journal, then evaluates candidate rule/controller
+// configurations purely offline by feeding the recorded traffic through each
+// candidate and diffing verdicts against the recorded live decisions. The
+// journalled actor kinds are the ground truth, so every verdict flip is
+// attributable: newly-caught abuse, newly-missed abuse, or collateral on
+// legitimate traffic. No candidate ever touches live traffic — exactly the
+// staged-rollout loop industrial fraud teams run before shipping a rule.
+//
+// Sanity gates (full run only): the identity candidate changes nothing, and
+// the tight hold limit catches additional abuser traffic offline.
+//
+// FRAUDSIM_BENCH_SMOKE=1 shrinks the run (CI smoke: hours of sim time, same
+// structure, no shape assertions on the tiny sample).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scenario/replay_harness.hpp"
+#include "util/table.hpp"
+
+using namespace fraudsim;
+
+namespace {
+
+struct Scale {
+  bool smoke = false;
+  sim::SimTime horizon = sim::days(2);
+  double bookings_per_hour = 12;
+};
+
+Scale detect_scale() {
+  Scale s;
+  const char* env = std::getenv("FRAUDSIM_BENCH_SMOKE");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    s.smoke = true;
+    s.horizon = sim::hours(8);
+    s.bookings_per_hour = 5;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = detect_scale();
+  scenario::RecordedScenarioConfig config;
+  config.seed = 777;
+  config.horizon = scale.horizon;
+  config.legit.booking_sessions_per_hour = scale.bookings_per_hour;
+  config.legit.browse_sessions_per_hour = scale.bookings_per_hour / 2;
+  config.legit.otp_logins_per_hour = scale.bookings_per_hour / 3;
+  config.attacker_start = sim::hours(2);
+  config.controller_fit_at = sim::hours(2);
+  config.controller.sweep_interval = sim::hours(1);
+
+  const std::string journal_path = "exp_shadow_rescore.journal";
+  std::cout << "Recording live run (" << (scale.smoke ? "smoke scale" : "2 simulated days")
+            << ")...\n";
+  const auto recorded = scenario::record_run(config, journal_path);
+  if (!recorded.has_value()) {
+    std::cerr << "record failed: " << recorded.error() << "\n";
+    return 1;
+  }
+
+  std::vector<scenario::RescoreCandidate> candidates;
+
+  scenario::RescoreCandidate identity;
+  identity.name = "identity (recorded config)";
+  candidates.push_back(identity);
+
+  scenario::RescoreCandidate tight_holds;
+  tight_holds.name = "hold-per-ip 10/h";
+  tight_holds.configure_engine = [](mitigate::RuleEngine& engine) {
+    engine.add_rate_limit(mitigate::RateLimitSpec{"shadow-hold-per-ip",
+                                                  web::Endpoint::HoldReservation,
+                                                  mitigate::RateKey::ByIp, 10, sim::kHour});
+  };
+  candidates.push_back(tight_holds);
+
+  scenario::RescoreCandidate challenge;
+  challenge.name = "challenge suspicious";
+  challenge.configure_engine = [](mitigate::RuleEngine& engine) {
+    engine.set_challenge_mode(mitigate::ChallengeMode::SuspiciousOnly);
+  };
+  candidates.push_back(challenge);
+
+  scenario::RescoreCandidate aggressive;
+  aggressive.name = "controller min_flagged_pnrs=2";
+  mitigate::ControllerConfig aggressive_config = config.controller;
+  aggressive_config.min_flagged_pnrs = 2;
+  aggressive.controller = aggressive_config;
+  candidates.push_back(aggressive);
+
+  util::AsciiTable table({"Candidate", "requests", "changes", "newly caught", "newly missed",
+                          "blocked legit", "allowed legit"});
+  std::vector<scenario::RescoreReport> reports;
+  for (const auto& candidate : candidates) {
+    const auto result = scenario::shadow_rescore(config, journal_path, candidate);
+    if (!result.has_value()) {
+      std::cerr << "rescore failed (" << candidate.name << "): " << result.error() << "\n";
+      return 1;
+    }
+    const auto& r = result.value();
+    table.add_row({candidate.name, std::to_string(r.requests),
+                   std::to_string(r.verdict_changes), std::to_string(r.newly_caught),
+                   std::to_string(r.newly_missed), std::to_string(r.newly_blocked_legit),
+                   std::to_string(r.newly_allowed_legit)});
+    reports.push_back(r);
+    std::cout << "  done: " << candidate.name << "\n";
+  }
+  std::remove(journal_path.c_str());
+
+  std::cout << "\n=== SHADOW: offline re-scoring of recorded traffic ===\n"
+            << table.render() << "\n";
+
+  bool ok = true;
+  if (reports[0].verdict_changes != 0) {
+    std::cerr << "FAIL: identity candidate flipped " << reports[0].verdict_changes
+              << " verdicts (replay is not faithful)\n";
+    ok = false;
+  }
+  if (!scale.smoke && reports[1].newly_caught == 0) {
+    std::cerr << "FAIL: tight hold limit caught no additional abuser traffic\n";
+    ok = false;
+  }
+  if (ok) {
+    std::cout << "identity candidate: zero verdict changes (faithful replay); "
+              << reports[1].newly_caught
+              << " additional abuser requests caught offline by the hold limit.\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Shadow SOC: evaluate candidate mitigation configs purely offline.
+//
+// Records one live run (seat-spin waves over legitimate demand, mitigation
+// loop active) to a journal, then feeds the recorded traffic through
+// alternative rule-engine / controller configurations WITHOUT re-simulating
+// any traffic, and prints the verdict diff of each candidate against the
+// recorded live decisions.
+//
+//   $ ./shadow_rescore out/run.journal [seed]
+#include <iostream>
+#include <string>
+
+#include "core/scenario/replay_harness.hpp"
+
+using namespace fraudsim;
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: shadow_rescore <journal-file> [seed]\n";
+    return 2;
+  }
+  const std::string journal_path = argv[1];
+  scenario::RecordedScenarioConfig config;
+  config.seed = argc == 3 ? std::stoull(argv[2]) : 2024;
+  config.horizon = sim::hours(18);
+  config.flights = 8;
+  config.capacity = 80;
+  config.legit.booking_sessions_per_hour = 8;
+  config.legit.browse_sessions_per_hour = 5;
+  config.legit.otp_logins_per_hour = 4;
+  config.attacker_start = sim::hours(2);
+  config.controller_fit_at = sim::hours(2);
+  config.controller.sweep_interval = sim::hours(1);
+
+  std::cout << "Recording live run (no per-endpoint limits, challenges off)...\n";
+  const auto recorded = scenario::record_run(config, journal_path);
+  if (!recorded.has_value()) {
+    std::cerr << "error: " << recorded.error() << "\n";
+    return 1;
+  }
+
+  // Candidate A: tight per-IP hold limit — should absorb the bulk-hold waves
+  // without touching browse traffic.
+  scenario::RescoreCandidate tight_holds;
+  tight_holds.name = "hold-per-ip limit (10/h)";
+  tight_holds.configure_engine = [](mitigate::RuleEngine& engine) {
+    engine.add_rate_limit(mitigate::RateLimitSpec{"shadow-hold-per-ip",
+                                                  web::Endpoint::HoldReservation,
+                                                  mitigate::RateKey::ByIp, 10, sim::kHour});
+  };
+
+  // Candidate B: challenge every transactional request — catches bots that
+  // cannot solve captchas, at the price of friction for everyone.
+  scenario::RescoreCandidate challenge_all;
+  challenge_all.name = "challenge all transactional";
+  challenge_all.configure_engine = [](mitigate::RuleEngine& engine) {
+    engine.set_challenge_mode(mitigate::ChallengeMode::AllTransactional);
+  };
+
+  // Candidate C: a more aggressive controller (block on fewer flagged PNRs).
+  scenario::RescoreCandidate aggressive_controller;
+  aggressive_controller.name = "aggressive controller (min_flagged_pnrs=2)";
+  mitigate::ControllerConfig aggressive = config.controller;
+  aggressive.min_flagged_pnrs = 2;
+  aggressive_controller.controller = aggressive;
+
+  for (const auto* candidate : {&tight_holds, &challenge_all, &aggressive_controller}) {
+    const auto report = scenario::shadow_rescore(config, journal_path, *candidate);
+    if (!report.has_value()) {
+      std::cerr << "error: " << report.error() << "\n";
+      return 1;
+    }
+    std::cout << "\n" << scenario::render_rescore_report(candidate->name, report.value());
+  }
+  return 0;
+}

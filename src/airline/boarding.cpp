@@ -59,4 +59,31 @@ std::uint64_t BoardingPassService::sms_count_for(const std::string& pnr) const {
   return it == sms_per_pnr_.end() ? 0 : it->second;
 }
 
+void BoardingPassService::checkpoint(util::ByteWriter& out) const {
+  out.u64(config_.sms_per_booking_cap);
+  out.boolean(config_.sms_option_enabled);
+  out.u64(sms_requests_);
+  out.u64(sms_sent_);
+  out.u64(email_sent_);
+  out.u64(sms_per_pnr_.size());
+  for (const auto& [pnr, count] : sms_per_pnr_) {
+    out.str(pnr);
+    out.u64(count);
+  }
+}
+
+void BoardingPassService::restore(util::ByteReader& in) {
+  config_.sms_per_booking_cap = in.u64();
+  config_.sms_option_enabled = in.boolean();
+  sms_requests_ = in.u64();
+  sms_sent_ = in.u64();
+  email_sent_ = in.u64();
+  const auto n = in.u64();
+  sms_per_pnr_.clear();
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+    const std::string pnr = in.str();
+    sms_per_pnr_[pnr] = in.u64();
+  }
+}
+
 }  // namespace fraudsim::airline

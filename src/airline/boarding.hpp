@@ -57,6 +57,11 @@ class BoardingPassService {
   [[nodiscard]] bool sms_option_enabled() const { return config_.sms_option_enabled; }
   void set_sms_per_booking_cap(std::uint64_t cap) { config_.sms_per_booking_cap = cap; }
 
+  // Checkpoint support (config knobs are runtime-mutable mitigations, so
+  // they are part of the state).
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   InventoryManager& inventory_;
   sms::SmsGateway& gateway_;

@@ -115,6 +115,12 @@ class InventoryManager {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  // Checkpoint support: serialises config knobs, the PNR stream, flights,
+  // reservations and tallies; derived indexes (by_pnr_, expiry heap, per-
+  // flight counters) are rebuilt on restore.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   Reservation* find_mutable(const std::string& pnr);
 

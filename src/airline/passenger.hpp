@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "airline/date.hpp"
+#include "util/archive.hpp"
 
 namespace fraudsim::airline {
 
@@ -28,5 +29,9 @@ struct Passenger {
 // Two bookings holding the same people in a different order share this key —
 // the signature of the manual attack in §IV-B (Airline C).
 [[nodiscard]] std::string party_key(const std::vector<Passenger>& party);
+
+// Wire serialisation (journal records, state checkpoints).
+void save_passenger(util::ByteWriter& out, const Passenger& p);
+[[nodiscard]] Passenger load_passenger(util::ByteReader& in);
 
 }  // namespace fraudsim::airline

@@ -20,4 +20,17 @@ std::string PnrGenerator::next() {
   }
 }
 
+void PnrGenerator::checkpoint(util::ByteWriter& out) const {
+  rng_.checkpoint(out);
+  out.u64(issued_.size());
+  for (const auto& pnr : issued_) out.str(pnr);
+}
+
+void PnrGenerator::restore(util::ByteReader& in) {
+  rng_.restore(in);
+  const auto n = in.u64();
+  issued_.clear();
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) issued_.insert(in.str());
+}
+
 }  // namespace fraudsim::airline

@@ -17,6 +17,11 @@ class PnrGenerator {
   [[nodiscard]] std::string next();
   [[nodiscard]] std::size_t issued() const { return issued_.size(); }
 
+  // Checkpoint support: RNG stream plus the issued set, so restored
+  // generators continue the original locator sequence without collisions.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   sim::Rng rng_;
   std::unordered_set<std::string> issued_;

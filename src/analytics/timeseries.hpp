@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/archive.hpp"
 
 namespace fraudsim::analytics {
 
@@ -28,6 +29,10 @@ class TimeSeries {
   [[nodiscard]] std::int64_t first_bucket_at_least(double threshold) const;
 
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  // Checkpoint support.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
  private:
   sim::SimDuration width_;

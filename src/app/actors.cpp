@@ -34,12 +34,32 @@ bool is_automated(ActorKind k) {
 web::ActorId ActorRegistry::register_actor(ActorKind kind) {
   const web::ActorId id{next_++};
   kinds_[id] = kind;
+  if (observer_) observer_(id, kind);
   return id;
 }
 
 ActorKind ActorRegistry::kind_of(web::ActorId id) const {
   const auto it = kinds_.find(id);
   return it == kinds_.end() ? ActorKind::Human : it->second;
+}
+
+void ActorRegistry::checkpoint(util::ByteWriter& out) const {
+  out.u64(next_);
+  out.u64(kinds_.size());
+  for (const auto& [id, kind] : kinds_) {
+    out.u64(id.value());
+    out.u8(static_cast<std::uint8_t>(kind));
+  }
+}
+
+void ActorRegistry::restore(util::ByteReader& in) {
+  next_ = in.u64();
+  const auto n = in.u64();
+  kinds_.clear();
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+    const web::ActorId id{in.u64()};
+    kinds_[id] = static_cast<ActorKind>(in.u8());
+  }
 }
 
 }  // namespace fraudsim::app

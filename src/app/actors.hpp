@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
+#include "util/archive.hpp"
 #include "web/request.hpp"
 
 namespace fraudsim::app {
@@ -29,15 +31,25 @@ enum class ActorKind : std::uint8_t {
 
 class ActorRegistry {
  public:
+  using Observer = std::function<void(web::ActorId, ActorKind)>;
+
   [[nodiscard]] web::ActorId register_actor(ActorKind kind);
   [[nodiscard]] ActorKind kind_of(web::ActorId id) const;  // Human if unknown
   [[nodiscard]] bool abuser(web::ActorId id) const { return is_abuser(kind_of(id)); }
   [[nodiscard]] bool automated(web::ActorId id) const { return is_automated(kind_of(id)); }
   [[nodiscard]] std::size_t count() const { return kinds_.size(); }
 
+  // Called on every registration (journal recording). Null disables.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  // Checkpoint support.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   std::unordered_map<web::ActorId, ActorKind> kinds_;
   std::uint64_t next_ = 1;
+  Observer observer_;
 };
 
 }  // namespace fraudsim::app

@@ -1,5 +1,8 @@
 #include "app/application.hpp"
 
+#include <algorithm>
+
+#include "app/journal.hpp"
 #include "web/endpoint.hpp"
 
 namespace fraudsim::app {
@@ -45,8 +48,9 @@ Application::Application(sim::Simulation& sim, const sms::CarrierNetwork& carrie
   counters_.policy_faults = obs_.metrics.counter("app.policy_faults");
   counters_.shed = obs_.metrics.counter("app.shed");
   counters_.deadline_missed = obs_.metrics.counter("app.deadline_missed");
-  // Rejection-by-code series for the codes the admission path can produce.
-  reject_by_code_.resize(static_cast<std::size_t>(util::ErrorCode::kQuotaExhausted) + 1);
+  // Rejection-by-code series, sized for every code so indexing by any
+  // decision.code stays in bounds (unbound handles no-op on inc()).
+  reject_by_code_.resize(static_cast<std::size_t>(util::ErrorCode::kCheckpointMismatch) + 1);
   for (const util::ErrorCode code :
        {util::ErrorCode::kRejected, util::ErrorCode::kRateLimited, util::ErrorCode::kShed,
         util::ErrorCode::kDeadlineExceeded, util::ErrorCode::kUpstreamFault}) {
@@ -221,8 +225,8 @@ Application::AdmitOutcome Application::admit(const ClientContext& ctx, web::Endp
   return out;
 }
 
-CallStatus Application::browse(const ClientContext& ctx, web::Endpoint endpoint,
-                               web::HttpMethod method) {
+CallStatus Application::browse_impl(const ClientContext& ctx, web::Endpoint endpoint,
+                                    web::HttpMethod method) {
   const auto adm = admit(ctx, endpoint, method, web::HttpRequest{});
   SpanGuard root(adm.trace, sim_);
   switch (adm.decision.action) {
@@ -242,8 +246,8 @@ CallStatus Application::browse(const ClientContext& ctx, web::Endpoint endpoint,
   return CallStatus::Ok;
 }
 
-HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
-                             std::vector<airline::Passenger> passengers) {
+HoldResult Application::hold_impl(const ClientContext& ctx, airline::FlightId flight,
+                                  std::vector<airline::Passenger> passengers) {
   web::HttpRequest extra;
   extra.flight_id = flight.value();
   extra.nip = static_cast<int>(passengers.size());
@@ -332,7 +336,7 @@ HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
   return result;
 }
 
-util::Money Application::quote_fare(const ClientContext& ctx, airline::FlightId flight_id) {
+util::Money Application::quote_fare_impl(const ClientContext& ctx, airline::FlightId flight_id) {
   web::HttpRequest extra;
   extra.flight_id = flight_id.value();
   const auto adm =
@@ -347,7 +351,7 @@ util::Money Application::quote_fare(const ClientContext& ctx, airline::FlightId 
                       inventory_.sold_seats(flight_id), sim_.now());
 }
 
-CallStatus Application::pay(const ClientContext& ctx, const std::string& pnr) {
+CallStatus Application::pay_impl(const ClientContext& ctx, const std::string& pnr) {
   web::HttpRequest extra;
   extra.booking_ref = pnr;
   const auto adm = admit(ctx, web::Endpoint::Payment, web::HttpMethod::Post, std::move(extra));
@@ -386,8 +390,8 @@ CallStatus Application::pay(const ClientContext& ctx, const std::string& pnr) {
   return status ? CallStatus::Ok : CallStatus::BusinessReject;
 }
 
-OtpResult Application::request_otp(const ClientContext& ctx, const std::string& account,
-                                   sms::PhoneNumber number) {
+OtpResult Application::request_otp_impl(const ClientContext& ctx, const std::string& account,
+                                        sms::PhoneNumber number) {
   web::HttpRequest extra;
   extra.sms_destination = number.country;
   const auto adm =
@@ -423,8 +427,8 @@ OtpResult Application::request_otp(const ClientContext& ctx, const std::string& 
   return result;
 }
 
-bool Application::verify_otp(const ClientContext& ctx, const std::string& account,
-                             const std::string& code) {
+bool Application::verify_otp_impl(const ClientContext& ctx, const std::string& account,
+                                  const std::string& code) {
   const auto adm =
       admit(ctx, web::Endpoint::VerifyOtp, web::HttpMethod::Post, web::HttpRequest{});
   SpanGuard root(adm.trace, sim_);
@@ -437,8 +441,8 @@ bool Application::verify_otp(const ClientContext& ctx, const std::string& accoun
   return ok;
 }
 
-Application::BookingView Application::retrieve_booking(const ClientContext& ctx,
-                                                       const std::string& pnr) {
+Application::BookingView Application::retrieve_booking_impl(const ClientContext& ctx,
+                                                            const std::string& pnr) {
   web::HttpRequest extra;
   extra.booking_ref = pnr;
   const auto adm =
@@ -462,9 +466,9 @@ Application::BookingView Application::retrieve_booking(const ClientContext& ctx,
   return view;
 }
 
-BoardingSmsResult Application::request_boarding_sms(const ClientContext& ctx,
-                                                    const std::string& pnr,
-                                                    sms::PhoneNumber number) {
+BoardingSmsResult Application::request_boarding_sms_impl(const ClientContext& ctx,
+                                                         const std::string& pnr,
+                                                         sms::PhoneNumber number) {
   web::HttpRequest extra;
   extra.booking_ref = pnr;
   extra.sms_destination = number.country;
@@ -505,7 +509,8 @@ BoardingSmsResult Application::request_boarding_sms(const ClientContext& ctx,
   return result;
 }
 
-CallStatus Application::request_boarding_email(const ClientContext& ctx, const std::string& pnr) {
+CallStatus Application::request_boarding_email_impl(const ClientContext& ctx,
+                                                    const std::string& pnr) {
   web::HttpRequest extra;
   extra.booking_ref = pnr;
   const auto adm =
@@ -528,6 +533,146 @@ CallStatus Application::request_boarding_email(const ClientContext& ctx, const s
   const bool ok = static_cast<bool>(boarding_.request_email(sim_.now(), pnr));
   adm.trace.set_outcome(ok ? "ok" : "business-reject");
   return ok ? CallStatus::Ok : CallStatus::BusinessReject;
+}
+
+// Public facade: serve via the impl, then report the completed call to the
+// attached journal. Sim time cannot advance inside a call (single-threaded,
+// no nested events), so now() is both the request and the journal timestamp.
+CallStatus Application::browse(const ClientContext& ctx, web::Endpoint endpoint,
+                               web::HttpMethod method) {
+  const auto result = browse_impl(ctx, endpoint, method);
+  if (journal_ != nullptr) journal_->on_browse(sim_.now(), ctx, endpoint, method, result);
+  return result;
+}
+
+HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
+                             std::vector<airline::Passenger> passengers) {
+  if (journal_ == nullptr) return hold_impl(ctx, flight, std::move(passengers));
+  // The impl consumes the passenger list; keep a copy for the journal.
+  const std::vector<airline::Passenger> recorded = passengers;
+  const auto result = hold_impl(ctx, flight, std::move(passengers));
+  journal_->on_hold(sim_.now(), ctx, flight, recorded, result);
+  return result;
+}
+
+util::Money Application::quote_fare(const ClientContext& ctx, airline::FlightId flight_id) {
+  const auto result = quote_fare_impl(ctx, flight_id);
+  if (journal_ != nullptr) journal_->on_quote_fare(sim_.now(), ctx, flight_id, result);
+  return result;
+}
+
+CallStatus Application::pay(const ClientContext& ctx, const std::string& pnr) {
+  const auto result = pay_impl(ctx, pnr);
+  if (journal_ != nullptr) journal_->on_pay(sim_.now(), ctx, pnr, result);
+  return result;
+}
+
+OtpResult Application::request_otp(const ClientContext& ctx, const std::string& account,
+                                   sms::PhoneNumber number) {
+  if (journal_ == nullptr) return request_otp_impl(ctx, account, std::move(number));
+  const sms::PhoneNumber recorded = number;
+  const auto result = request_otp_impl(ctx, account, std::move(number));
+  journal_->on_request_otp(sim_.now(), ctx, account, recorded, result);
+  return result;
+}
+
+bool Application::verify_otp(const ClientContext& ctx, const std::string& account,
+                             const std::string& code) {
+  const bool result = verify_otp_impl(ctx, account, code);
+  if (journal_ != nullptr) journal_->on_verify_otp(sim_.now(), ctx, account, code, result);
+  return result;
+}
+
+Application::BookingView Application::retrieve_booking(const ClientContext& ctx,
+                                                       const std::string& pnr) {
+  const auto result = retrieve_booking_impl(ctx, pnr);
+  if (journal_ != nullptr) journal_->on_retrieve_booking(sim_.now(), ctx, pnr, result);
+  return result;
+}
+
+BoardingSmsResult Application::request_boarding_sms(const ClientContext& ctx,
+                                                    const std::string& pnr,
+                                                    sms::PhoneNumber number) {
+  if (journal_ == nullptr) return request_boarding_sms_impl(ctx, pnr, std::move(number));
+  const sms::PhoneNumber recorded = number;
+  const auto result = request_boarding_sms_impl(ctx, pnr, std::move(number));
+  journal_->on_boarding_sms(sim_.now(), ctx, pnr, recorded, result);
+  return result;
+}
+
+CallStatus Application::request_boarding_email(const ClientContext& ctx, const std::string& pnr) {
+  const auto result = request_boarding_email_impl(ctx, pnr);
+  if (journal_ != nullptr) journal_->on_boarding_email(sim_.now(), ctx, pnr, result);
+  return result;
+}
+
+void Application::checkpoint(util::ByteWriter& out) const {
+  weblog_.checkpoint(out);
+  fp_store_.checkpoint(out);
+  inventory_.checkpoint(out);
+  out.boolean(decoy_ != nullptr);
+  if (decoy_ != nullptr) decoy_->checkpoint(out);
+  // decoy_pnrs_ in sorted order: the set's unordered iteration order depends
+  // on insertion history, which a restore need not reproduce.
+  std::vector<std::string> pnrs(decoy_pnrs_.begin(), decoy_pnrs_.end());
+  std::sort(pnrs.begin(), pnrs.end());
+  out.u64(pnrs.size());
+  for (const auto& pnr : pnrs) out.str(pnr);
+  gateway_.checkpoint(out);
+  otp_.checkpoint(out);
+  boarding_.checkpoint(out);
+  overload_.checkpoint(out);
+  obs_.metrics.checkpoint(out);
+  obs_.traces.checkpoint(out);
+  out.u64(biometric_log_.size());
+  for (const auto& r : biometric_log_) {
+    out.i64(r.time);
+    out.u64(r.session.value());
+    out.u64(r.fingerprint.value());
+    out.u64(r.actor.value());
+    out.f64(r.features.path_efficiency);
+    out.f64(r.features.mean_speed);
+    out.f64(r.features.speed_cv);
+    out.f64(r.features.mean_curvature);
+    out.f64(r.features.pause_fraction);
+    out.f64(r.features.point_count);
+    out.f64(r.features.duration_ms);
+    out.u64(r.features.digest);
+  }
+}
+
+void Application::restore(util::ByteReader& in) {
+  weblog_.restore(in);
+  fp_store_.restore(in);
+  inventory_.restore(in);
+  if (in.boolean()) decoy_->restore(in);
+  decoy_pnrs_.clear();
+  const auto pnr_count = in.u64();
+  for (std::uint64_t i = 0; i < pnr_count && in.ok(); ++i) decoy_pnrs_.insert(in.str());
+  gateway_.restore(in);
+  otp_.restore(in);
+  boarding_.restore(in);
+  overload_.restore(in);
+  obs_.metrics.restore(in);
+  obs_.traces.restore(in);
+  biometric_log_.clear();
+  const auto bio_count = in.u64();
+  for (std::uint64_t i = 0; i < bio_count && in.ok(); ++i) {
+    BiometricRecord r;
+    r.time = in.i64();
+    r.session = web::SessionId{in.u64()};
+    r.fingerprint = fp::FpHash{in.u64()};
+    r.actor = web::ActorId{in.u64()};
+    r.features.path_efficiency = in.f64();
+    r.features.mean_speed = in.f64();
+    r.features.speed_cv = in.f64();
+    r.features.mean_curvature = in.f64();
+    r.features.pause_fraction = in.f64();
+    r.features.point_count = in.f64();
+    r.features.duration_ms = in.f64();
+    r.features.digest = in.u64();
+    biometric_log_.push_back(r);
+  }
 }
 
 airline::FlightId Application::add_flight(std::string airline_code, int number, int capacity,

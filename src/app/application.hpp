@@ -37,6 +37,8 @@
 
 namespace fraudsim::app {
 
+class CallJournal;  // app/journal.hpp — record/replay hook
+
 // What admission does while the IngressPolicy itself is faulting (the
 // "app.policy.evaluate" fault point): fail-open keeps the booking path alive
 // and lets abuse through unchecked; fail-closed turns a detector outage into
@@ -130,6 +132,19 @@ class Application {
   airline::FlightId add_flight(std::string airline_code, int number, int capacity,
                                sim::SimTime departure);
   void set_policy(IngressPolicy* policy);  // non-owning; nullptr -> allow all
+  // Attach a call journal (non-owning; nullptr detaches). Hooks fire after
+  // each facade call completes; with none attached the call paths are
+  // byte-identical to a build without journaling.
+  void set_journal(CallJournal* journal) { journal_ = journal; }
+
+  // --- State checkpoints -----------------------------------------------------
+  // Serialises all run state the platform owns (web log, fingerprint store,
+  // inventories, gateway, OTP, boarding, overload, metrics, traces, biometric
+  // log). Restore expects an Application built from the same config + seed;
+  // counter/gauge handles held by other components stay valid because the
+  // registry restores in place.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
   // --- Telemetry (what detectors and benches read) --------------------------
   [[nodiscard]] const web::WebLog& weblog() const { return weblog_; }
@@ -215,6 +230,22 @@ class Application {
   // "app.*" counters, and opens the request's root trace span.
   AdmitOutcome admit(const ClientContext& ctx, web::Endpoint endpoint, web::HttpMethod method,
                      web::HttpRequest&& extra);
+  // The actual serving bodies; the public methods wrap them with the journal
+  // hook so every return path is reported exactly once.
+  CallStatus browse_impl(const ClientContext& ctx, web::Endpoint endpoint,
+                         web::HttpMethod method);
+  HoldResult hold_impl(const ClientContext& ctx, airline::FlightId flight,
+                       std::vector<airline::Passenger> passengers);
+  util::Money quote_fare_impl(const ClientContext& ctx, airline::FlightId flight);
+  CallStatus pay_impl(const ClientContext& ctx, const std::string& pnr);
+  OtpResult request_otp_impl(const ClientContext& ctx, const std::string& account,
+                             sms::PhoneNumber number);
+  bool verify_otp_impl(const ClientContext& ctx, const std::string& account,
+                       const std::string& code);
+  BookingView retrieve_booking_impl(const ClientContext& ctx, const std::string& pnr);
+  BoardingSmsResult request_boarding_sms_impl(const ClientContext& ctx, const std::string& pnr,
+                                              sms::PhoneNumber number);
+  CallStatus request_boarding_email_impl(const ClientContext& ctx, const std::string& pnr);
   web::HttpRequest make_request(const ClientContext& ctx, web::Endpoint endpoint,
                                 web::HttpMethod method) const;
   static int status_code_for(PolicyAction action);
@@ -232,6 +263,7 @@ class Application {
   airline::BoardingPassService boarding_;
   airline::FareEngine fares_;
   IngressPolicy* policy_ = nullptr;
+  CallJournal* journal_ = nullptr;
   AllowAllPolicy allow_all_;
   fault::FaultPoint& policy_fault_;
   overload::OverloadManager overload_;

@@ -2,6 +2,19 @@
 
 namespace fraudsim::app {
 
+namespace {
+
+// Failbit/badbit check shared by all exporters.
+util::Status stream_status(const std::ostream& out, const char* what) {
+  if (out.fail()) {
+    return util::Status::fail(util::ErrorCode::kIoWriteFailed,
+                              std::string("export: write failed in ") + what);
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
 std::string csv_escape(const std::string& field) {
   const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quotes) return field;
@@ -22,7 +35,7 @@ void write_csv_row(std::ostream& out, const std::vector<std::string>& fields) {
   out << '\n';
 }
 
-void export_weblog_csv(std::ostream& out, std::span<const web::HttpRequest> requests) {
+util::Status export_weblog_csv(std::ostream& out, std::span<const web::HttpRequest> requests) {
   write_csv_row(out, {"time_ms", "endpoint", "method", "status", "ip", "session", "fp_hash",
                       "flight", "booking_ref", "nip", "trace_id"});
   for (const auto& r : requests) {
@@ -34,9 +47,10 @@ void export_weblog_csv(std::ostream& out, std::span<const web::HttpRequest> requ
                         r.nip ? std::to_string(*r.nip) : "",
                         r.trace_id != 0 ? std::to_string(r.trace_id) : ""});
   }
+  return stream_status(out, "export_weblog_csv");
 }
 
-void export_reservations_csv(std::ostream& out,
+util::Status export_reservations_csv(std::ostream& out,
                              const std::vector<airline::Reservation>& reservations) {
   write_csv_row(out, {"pnr", "flight", "nip", "state", "created_ms", "hold_expiry_ms",
                       "lead_name", "source_ip", "fp_hash"});
@@ -47,9 +61,10 @@ void export_reservations_csv(std::ostream& out,
                         r.passengers.empty() ? "" : r.passengers.front().name_key(),
                         r.source_ip.str(), r.source_fp.str()});
   }
+  return stream_status(out, "export_reservations_csv");
 }
 
-void export_sms_csv(std::ostream& out, const std::vector<sms::SmsRecord>& records) {
+util::Status export_sms_csv(std::ostream& out, const std::vector<sms::SmsRecord>& records) {
   write_csv_row(out, {"time_ms", "type", "country", "delivered", "app_cost_micros",
                       "attacker_revenue_micros", "booking_ref"});
   for (const auto& r : records) {
@@ -59,9 +74,10 @@ void export_sms_csv(std::ostream& out, const std::vector<sms::SmsRecord>& record
                         std::to_string(r.attacker_revenue.micros()),
                         r.booking_ref.value_or("")});
   }
+  return stream_status(out, "export_sms_csv");
 }
 
-void export_overload_csv(std::ostream& out, const overload::OverloadSnapshot& snapshot) {
+util::Status export_overload_csv(std::ostream& out, const overload::OverloadSnapshot& snapshot) {
   write_csv_row(out, {"row", "class_or_state", "offered", "admitted", "shed_queue",
                       "shed_fail_fast", "deadline_missed", "p50_ms", "p99_ms", "dwell_ms"});
   for (std::size_t i = 0; i < overload::kRequestClasses; ++i) {
@@ -76,6 +92,7 @@ void export_overload_csv(std::ostream& out, const overload::OverloadSnapshot& sn
     write_csv_row(out, {"brownout", overload::to_string(static_cast<overload::BrownoutState>(i)),
                         "", "", "", "", "", "", "", std::to_string(snapshot.dwell[i])});
   }
+  return stream_status(out, "export_overload_csv");
 }
 
 }  // namespace fraudsim::app

@@ -2,7 +2,9 @@
 // (spreadsheets, pandas, BI dashboards).
 //
 // All writers escape per RFC 4180 (quotes doubled, fields with separators
-// quoted) and emit a header row.
+// quoted) and emit a header row. Every exporter reports stream failure
+// (failbit/badbit after writing) as kIoWriteFailed rather than dropping rows
+// silently — a truncated CSV that looks complete is worse than an error.
 #pragma once
 
 #include <ostream>
@@ -12,6 +14,7 @@
 #include "airline/inventory.hpp"
 #include "core/overload/overload.hpp"
 #include "sms/gateway.hpp"
+#include "util/result.hpp"
 #include "web/request.hpp"
 
 namespace fraudsim::app {
@@ -25,18 +28,21 @@ void write_csv_row(std::ostream& out, const std::vector<std::string>& fields);
 // Web log: time_ms,endpoint,method,status,ip,session,fp_hash,flight,booking_ref,nip,trace_id
 // (trace_id joins rows against the trace recorder's span stream; blank when
 // the request's trace was not sampled).
-void export_weblog_csv(std::ostream& out, std::span<const web::HttpRequest> requests);
+[[nodiscard]] util::Status export_weblog_csv(std::ostream& out,
+                                             std::span<const web::HttpRequest> requests);
 
 // Reservations: pnr,flight,nip,state,created_ms,hold_expiry_ms,lead_name,source_ip,fp_hash
-void export_reservations_csv(std::ostream& out,
-                             const std::vector<airline::Reservation>& reservations);
+[[nodiscard]] util::Status export_reservations_csv(
+    std::ostream& out, const std::vector<airline::Reservation>& reservations);
 
 // SMS ledger: time_ms,type,country,delivered,app_cost_micros,attacker_revenue_micros,booking_ref
-void export_sms_csv(std::ostream& out, const std::vector<sms::SmsRecord>& records);
+[[nodiscard]] util::Status export_sms_csv(std::ostream& out,
+                                          const std::vector<sms::SmsRecord>& records);
 
 // Overload control: one row per request class —
 // class,offered,admitted,shed_queue,shed_fail_fast,deadline_missed,p50_ms,p99_ms
 // followed by one row per brownout state: state,dwell_ms (class columns blank).
-void export_overload_csv(std::ostream& out, const overload::OverloadSnapshot& snapshot);
+[[nodiscard]] util::Status export_overload_csv(std::ostream& out,
+                                               const overload::OverloadSnapshot& snapshot);
 
 }  // namespace fraudsim::app

@@ -32,4 +32,29 @@ double FingerprintStore::frequency(fp::FpHash hash) const {
   return static_cast<double>(observations(hash)) / static_cast<double>(total_);
 }
 
+void FingerprintStore::checkpoint(util::ByteWriter& out) const {
+  out.u64(total_);
+  out.u64(dropped_);
+  out.u64(entries_.size());
+  for (const auto& [hash, entry] : entries_) {
+    out.u64(hash.value());
+    out.u64(entry.count);
+    fp::save_fingerprint(out, entry.fingerprint);
+  }
+}
+
+void FingerprintStore::restore(util::ByteReader& in) {
+  total_ = in.u64();
+  dropped_ = in.u64();
+  const auto n = in.u64();
+  entries_.clear();
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+    const fp::FpHash hash{in.u64()};
+    Entry entry;
+    entry.count = in.u64();
+    entry.fingerprint = fp::load_fingerprint(in);
+    entries_.emplace(hash, std::move(entry));
+  }
+}
+
 }  // namespace fraudsim::app

@@ -18,6 +18,7 @@
 #include "core/fault/fault.hpp"
 #include "fingerprint/fingerprint.hpp"
 #include "sim/time.hpp"
+#include "util/archive.hpp"
 
 namespace fraudsim::app {
 
@@ -42,6 +43,10 @@ class FingerprintStore {
   void for_each(Fn&& fn) const {
     for (const auto& [hash, entry] : entries_) fn(hash, entry.fingerprint, entry.count);
   }
+
+  // Checkpoint support.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
  private:
   struct Entry {

@@ -1,0 +1,52 @@
+// Call-journal hook: the record side of the traffic journal.
+//
+// When attached (Application::set_journal), the application reports every
+// completed facade call — arguments AND outcome — after serving it. The
+// core/journal subsystem implements this interface to persist an append-only
+// event stream that the replay engine later feeds back through an identically
+// configured platform. The interface lives in the app layer (like
+// IngressPolicy) so core/journal can depend on app without a cycle.
+//
+// Hooks fire after the call completed and observe exactly what the caller
+// received; they must not mutate platform state. With no journal attached
+// (the default) every call path is byte-identical to a build without the
+// subsystem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/application.hpp"
+
+namespace fraudsim::app {
+
+class CallJournal {
+ public:
+  virtual ~CallJournal() = default;
+
+  virtual void on_browse(sim::SimTime time, const ClientContext& ctx, web::Endpoint endpoint,
+                         web::HttpMethod method, CallStatus result) = 0;
+  virtual void on_hold(sim::SimTime time, const ClientContext& ctx, airline::FlightId flight,
+                       const std::vector<airline::Passenger>& passengers,
+                       const HoldResult& result) = 0;
+  virtual void on_quote_fare(sim::SimTime time, const ClientContext& ctx,
+                             airline::FlightId flight, util::Money result) = 0;
+  virtual void on_pay(sim::SimTime time, const ClientContext& ctx, const std::string& pnr,
+                      CallStatus result) = 0;
+  virtual void on_request_otp(sim::SimTime time, const ClientContext& ctx,
+                              const std::string& account, const sms::PhoneNumber& number,
+                              const OtpResult& result) = 0;
+  virtual void on_verify_otp(sim::SimTime time, const ClientContext& ctx,
+                             const std::string& account, const std::string& code,
+                             bool result) = 0;
+  virtual void on_retrieve_booking(sim::SimTime time, const ClientContext& ctx,
+                                   const std::string& pnr,
+                                   const Application::BookingView& result) = 0;
+  virtual void on_boarding_sms(sim::SimTime time, const ClientContext& ctx,
+                               const std::string& pnr, const sms::PhoneNumber& number,
+                               const BoardingSmsResult& result) = 0;
+  virtual void on_boarding_email(sim::SimTime time, const ClientContext& ctx,
+                                 const std::string& pnr, CallStatus result) = 0;
+};
+
+}  // namespace fraudsim::app

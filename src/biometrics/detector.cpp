@@ -37,4 +37,23 @@ bool BiometricDetector::observe(const TrajectoryFeatures& features, std::string*
   return false;
 }
 
+void BiometricDetector::checkpoint(util::ByteWriter& out) const {
+  out.u64(replays_);
+  out.u64(digest_counts_.size());
+  for (const auto& [digest, count] : digest_counts_) {
+    out.u64(digest);
+    out.u64(count);
+  }
+}
+
+void BiometricDetector::restore(util::ByteReader& in) {
+  replays_ = in.u64();
+  const auto n = in.u64();
+  digest_counts_.clear();
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+    const std::uint64_t digest = in.u64();
+    digest_counts_[digest] = in.u64();
+  }
+}
+
 }  // namespace fraudsim::biometrics

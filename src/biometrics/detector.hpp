@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "biometrics/features.hpp"
+#include "util/archive.hpp"
 
 namespace fraudsim::biometrics {
 
@@ -38,6 +39,10 @@ class BiometricDetector {
   [[nodiscard]] bool observe(const TrajectoryFeatures& features, std::string* reason);
 
   [[nodiscard]] std::uint64_t replays_detected() const { return replays_; }
+
+  // Checkpoint support (replay digests accumulate across sweeps).
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
  private:
   BiometricThresholds thresholds_;

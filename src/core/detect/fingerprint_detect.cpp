@@ -130,4 +130,29 @@ std::vector<double> FingerprintBlocklist::effectiveness_windows_hours() const {
   return out;
 }
 
+void FingerprintBlocklist::checkpoint(util::ByteWriter& out) const {
+  out.u64(entries_.size());
+  for (const auto& [hash, e] : entries_) {
+    out.u64(hash.value());
+    out.i64(e.added);
+    out.i64(e.last_hit);
+    out.str(e.reason);
+    out.u64(e.hits);
+  }
+}
+
+void FingerprintBlocklist::restore(util::ByteReader& in) {
+  const auto n = in.u64();
+  entries_.clear();
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+    const fp::FpHash hash{in.u64()};
+    Entry e;
+    e.added = in.i64();
+    e.last_hit = in.i64();
+    e.reason = in.str();
+    e.hits = in.u64();
+    entries_.emplace(hash, std::move(e));
+  }
+}
+
 }  // namespace fraudsim::detect

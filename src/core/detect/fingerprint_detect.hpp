@@ -75,6 +75,10 @@ class FingerprintBlocklist {
   // (last_hit - added), hours; the effectiveness window of each rule.
   [[nodiscard]] std::vector<double> effectiveness_windows_hours() const;
 
+  // Checkpoint support.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   std::unordered_map<fp::FpHash, Entry> entries_;
 };

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "sim/time.hpp"
+#include "util/archive.hpp"
 
 namespace fraudsim::fault {
 
@@ -38,6 +39,10 @@ class CircuitBreaker {
   [[nodiscard]] std::uint64_t trips() const { return trips_; }
   [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
   [[nodiscard]] std::uint64_t consecutive_failures() const { return consecutive_failures_; }
+
+  // Checkpoint support.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
  private:
   void trip(sim::SimTime now);

@@ -1,0 +1,187 @@
+#include "core/journal/journal.hpp"
+
+#include <sstream>
+
+#include "util/hash.hpp"
+
+namespace fraudsim::journal {
+
+const char* to_string(RecordKind k) {
+  switch (k) {
+    case RecordKind::Header:
+      return "header";
+    case RecordKind::ActorRegistered:
+      return "actor-registered";
+    case RecordKind::Browse:
+      return "browse";
+    case RecordKind::Hold:
+      return "hold";
+    case RecordKind::QuoteFare:
+      return "quote-fare";
+    case RecordKind::Pay:
+      return "pay";
+    case RecordKind::RequestOtp:
+      return "request-otp";
+    case RecordKind::VerifyOtp:
+      return "verify-otp";
+    case RecordKind::RetrieveBooking:
+      return "retrieve-booking";
+    case RecordKind::BoardingSms:
+      return "boarding-sms";
+    case RecordKind::BoardingEmail:
+      return "boarding-email";
+    case RecordKind::ExpirySweep:
+      return "expiry-sweep";
+    case RecordKind::MitigationSweep:
+      return "mitigation-sweep";
+    case RecordKind::ControllerFit:
+      return "controller-fit";
+    case RecordKind::MitigationAction:
+      return "mitigation-action";
+    case RecordKind::Checkpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
+util::Status JournalWriter::open(const std::string& path, std::uint64_t seed,
+                                 std::uint64_t config_digest) {
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_.is_open()) {
+    failed_ = true;
+    return util::Status::fail(util::ErrorCode::kIoWriteFailed,
+                              "journal: cannot open " + path + " for writing");
+  }
+  failed_ = false;
+  frames_ = 0;
+  out_.write(kMagic, sizeof(kMagic));
+  util::ByteWriter header;
+  header.u32(kFormatVersion);
+  header.u64(seed);
+  header.u64(config_digest);
+  return append(RecordKind::Header, 0, header);
+}
+
+util::Status JournalWriter::append(RecordKind kind, sim::SimTime time,
+                                   const util::ByteWriter& fields) {
+  if (failed_) {
+    return util::Status::fail(util::ErrorCode::kIoWriteFailed,
+                              "journal: writer failed earlier; append refused");
+  }
+  if (!out_.is_open()) {
+    return util::Status::fail(util::ErrorCode::kIoWriteFailed, "journal: writer not open");
+  }
+  util::ByteWriter payload;
+  payload.u8(static_cast<std::uint8_t>(kind));
+  payload.i64(time);
+  payload.raw(fields.bytes());
+
+  util::ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(util::crc32(payload.bytes()));
+  frame.raw(payload.bytes());
+  out_.write(frame.bytes().data(), static_cast<std::streamsize>(frame.size()));
+  if (out_.fail()) {
+    failed_ = true;
+    return util::Status::fail(util::ErrorCode::kIoWriteFailed,
+                              std::string("journal: write failed on frame ") +
+                                  std::to_string(frames_) + " (" + to_string(kind) + ")");
+  }
+  ++frames_;
+  return util::Status::ok();
+}
+
+util::Status JournalWriter::close() {
+  if (!out_.is_open()) return util::Status::ok();
+  out_.flush();
+  const bool flush_failed = out_.fail();
+  out_.close();
+  if (failed_ || flush_failed) {
+    return util::Status::fail(util::ErrorCode::kIoWriteFailed, "journal: close/flush failed");
+  }
+  return util::Status::ok();
+}
+
+util::Status JournalReader::open(const std::string& path) {
+  recovered_ = false;
+  records_.clear();
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return util::Status::fail(util::ErrorCode::kNotFound, "journal: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  if (bytes.size() < sizeof(kMagic) ||
+      std::string_view(bytes.data(), sizeof(kMagic)) != std::string_view(kMagic, sizeof(kMagic))) {
+    return util::Status::fail(util::ErrorCode::kJournalCorrupt,
+                              "journal: bad magic in " + path);
+  }
+
+  constexpr std::size_t kFrameHeader = 8;  // u32 len + u32 crc
+  std::size_t pos = sizeof(kMagic);
+  bool saw_header = false;
+  while (pos < bytes.size()) {
+    // Torn-tail rule: anything that cannot be a complete, checksummed frame
+    // at end-of-file is the crash residue of the last append — drop it. The
+    // same defect anywhere earlier means the middle of the file was damaged.
+    if (bytes.size() - pos < kFrameHeader) {
+      recovered_ = true;
+      break;
+    }
+    util::ByteReader prefix(std::string_view(bytes).substr(pos, kFrameHeader));
+    const std::uint32_t len = prefix.u32();
+    const std::uint32_t crc = prefix.u32();
+    if (bytes.size() - pos - kFrameHeader < len) {
+      recovered_ = true;
+      break;
+    }
+    const std::string_view payload = std::string_view(bytes).substr(pos + kFrameHeader, len);
+    if (util::crc32(payload) != crc) {
+      if (pos + kFrameHeader + len == bytes.size()) {
+        recovered_ = true;
+        break;
+      }
+      return util::Status::fail(
+          util::ErrorCode::kJournalCorrupt,
+          "journal: CRC mismatch mid-file at offset " + std::to_string(pos));
+    }
+    util::ByteReader body(payload);
+    Record record;
+    record.kind = static_cast<RecordKind>(body.u8());
+    record.time = body.i64();
+    record.fields = std::string(payload.substr(payload.size() - body.remaining()));
+    if (!body.ok()) {
+      return util::Status::fail(util::ErrorCode::kJournalCorrupt,
+                                "journal: short payload at offset " + std::to_string(pos));
+    }
+    if (!saw_header) {
+      if (record.kind != RecordKind::Header) {
+        return util::Status::fail(util::ErrorCode::kJournalCorrupt,
+                                  "journal: first frame is not a header");
+      }
+      util::ByteReader header(record.fields);
+      version_ = header.u32();
+      seed_ = header.u64();
+      config_digest_ = header.u64();
+      if (!header.ok() || version_ != kFormatVersion) {
+        return util::Status::fail(util::ErrorCode::kJournalCorrupt,
+                                  "journal: unsupported header (version " +
+                                      std::to_string(version_) + ")");
+      }
+      saw_header = true;
+    } else {
+      records_.push_back(std::move(record));
+    }
+    pos += kFrameHeader + len;
+  }
+  if (!saw_header) {
+    return util::Status::fail(util::ErrorCode::kJournalCorrupt,
+                              "journal: no intact header frame in " + path);
+  }
+  return util::Status::ok();
+}
+
+}  // namespace fraudsim::journal

@@ -1,0 +1,118 @@
+// Append-only traffic journal: the record side of deterministic replay.
+//
+// A journal is a flat file of length-prefixed, CRC32-framed records:
+//
+//   file      := magic("FSJ1") frame*
+//   frame     := u32 payload_len | u32 crc32(payload) | payload
+//   payload   := u8 kind | i64 sim_time_ms | fields...
+//
+// All integers are little-endian (util::ByteWriter). The first frame is
+// always a Header record carrying the format version, the scenario seed and
+// a digest of the scenario configuration, so a reader can refuse to replay a
+// journal against the wrong platform build-out.
+//
+// Durability model: a crashed recorder leaves at most one torn frame at the
+// tail (the file is append-only and frames are written atomically from
+// memory). On open the reader drops a final frame that is truncated or fails
+// its CRC and reports `recovered_torn_tail()`; a bad CRC anywhere *before*
+// the tail is real corruption and fails the open with kJournalCorrupt.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/archive.hpp"
+#include "util/result.hpp"
+
+namespace fraudsim::journal {
+
+inline constexpr char kMagic[4] = {'F', 'S', 'J', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class RecordKind : std::uint8_t {
+  Header = 1,
+  ActorRegistered,   // ground-truth registry growth (id + kind)
+  Browse,            // facade calls: arguments + observed outcome
+  Hold,
+  QuoteFare,
+  Pay,
+  RequestOtp,
+  VerifyOtp,
+  RetrieveBooking,
+  BoardingSms,
+  BoardingEmail,
+  ExpirySweep,       // platform housekeeping the harness drives
+  MitigationSweep,
+  ControllerFit,     // NiP-baseline fit window
+  MitigationAction,  // informational enforcement ledger entry (not replayed)
+  Checkpoint,        // full platform state blob (restore point)
+};
+
+[[nodiscard]] const char* to_string(RecordKind k);
+
+// One decoded record: `fields` is the payload after the kind/time prefix,
+// ready to wrap in a util::ByteReader.
+struct Record {
+  RecordKind kind = RecordKind::Header;
+  sim::SimTime time = 0;
+  std::string fields;
+};
+
+// Appends frames to a journal file. Every path returns a typed Status; once
+// a write fails the writer latches the error and refuses further appends
+// (a half-written journal must not keep growing past the torn frame).
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter() { out_.close(); }
+
+  // Creates/truncates `path`, writes the magic and the Header frame.
+  util::Status open(const std::string& path, std::uint64_t seed, std::uint64_t config_digest);
+
+  // Frames and appends one record. `fields` is the record body after the
+  // kind/time prefix (pass an empty writer for field-less records).
+  util::Status append(RecordKind kind, sim::SimTime time, const util::ByteWriter& fields);
+
+  // Flushes and closes; reports deferred write errors.
+  util::Status close();
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  [[nodiscard]] std::uint64_t frames_written() const { return frames_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t frames_ = 0;
+  bool failed_ = false;
+};
+
+// Reads and validates a whole journal on open.
+class JournalReader {
+ public:
+  // Loads `path`, verifies the magic, every frame's CRC and the Header
+  // record. A torn tail (truncated or CRC-bad *final* frame) is dropped and
+  // flagged; corruption anywhere else fails with kJournalCorrupt.
+  util::Status open(const std::string& path);
+
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint64_t config_digest() const { return config_digest_; }
+  // True when a torn final frame was dropped during open().
+  [[nodiscard]] bool recovered_torn_tail() const { return recovered_; }
+
+  // All records after the Header, in file order.
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::uint32_t version_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t config_digest_ = 0;
+  bool recovered_ = false;
+  std::vector<Record> records_;
+};
+
+}  // namespace fraudsim::journal

@@ -108,7 +108,13 @@ void MitigationController::sweep() {
         });
   }
 
-  for (const auto hash : to_block) {
+  // Enforce in hash order: to_block's unordered iteration order depends on
+  // container history, which a checkpoint restore does not reproduce — the
+  // action ledger (and the SOC report rendering it) must not depend on it.
+  std::vector<fp::FpHash> ordered(to_block.begin(), to_block.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](fp::FpHash a, fp::FpHash b) { return a.value() < b.value(); });
+  for (const auto hash : ordered) {
     if (engine_.blocklist().contains(hash)) continue;
     engine_.blocklist().block(hash, now, "controller-sweep");
     record_action(EnforcementAction{now, "fp-block", hash.str()});
@@ -134,6 +140,81 @@ void MitigationController::sweep() {
       record_action(EnforcementAction{now, "sms-disable", "boarding-pass SMS removed"});
     }
   }
+}
+
+void MitigationController::checkpoint(util::ByteWriter& out) const {
+  // NiP baseline (refitting from reservations would scan state that may have
+  // been trimmed; the histogram itself is small).
+  const auto& baseline = nip_detector_.baseline().entries();
+  out.u64(baseline.size());
+  for (const auto& [nip, count] : baseline) {
+    out.i64(nip);
+    out.u64(count);
+  }
+  out.i64(until_);
+  out.u64(flagged_pnrs_.size());
+  for (const auto& [hash, pnrs] : flagged_pnrs_) {
+    out.u64(hash.value());
+    out.u64(pnrs.size());
+    for (const auto& pnr : pnrs) out.str(pnr);
+  }
+  biometric_detector_.checkpoint(out);
+  out.u64(biometric_cursor_);
+  out.u64(biometric_hits_.size());
+  for (const auto& [hash, hits] : biometric_hits_) {
+    out.u64(hash.value());
+    out.u64(hits);
+  }
+  out.u64(actions_.size());
+  for (const auto& a : actions_) {
+    out.i64(a.time);
+    out.str(a.kind);
+    out.str(a.detail);
+  }
+  out.boolean(nip_cap_time_.has_value());
+  if (nip_cap_time_) out.i64(*nip_cap_time_);
+  out.boolean(sms_disable_time_.has_value());
+  if (sms_disable_time_) out.i64(*sms_disable_time_);
+}
+
+void MitigationController::restore(util::ByteReader& in) {
+  analytics::CategoricalHistogram<int> baseline;
+  const auto baseline_entries = in.u64();
+  for (std::uint64_t i = 0; i < baseline_entries && in.ok(); ++i) {
+    const int nip = static_cast<int>(in.i64());
+    baseline.add(nip, in.u64());
+  }
+  nip_detector_.fit_baseline(baseline);
+  until_ = in.i64();
+  flagged_pnrs_.clear();
+  const auto flagged = in.u64();
+  for (std::uint64_t i = 0; i < flagged && in.ok(); ++i) {
+    const fp::FpHash hash{in.u64()};
+    auto& pnrs = flagged_pnrs_[hash];
+    const auto count = in.u64();
+    for (std::uint64_t p = 0; p < count && in.ok(); ++p) pnrs.insert(in.str());
+  }
+  biometric_detector_.restore(in);
+  biometric_cursor_ = in.u64();
+  biometric_hits_.clear();
+  const auto hits = in.u64();
+  for (std::uint64_t i = 0; i < hits && in.ok(); ++i) {
+    const fp::FpHash hash{in.u64()};
+    biometric_hits_[hash] = in.u64();
+  }
+  actions_.clear();
+  const auto action_count = in.u64();
+  for (std::uint64_t i = 0; i < action_count && in.ok(); ++i) {
+    EnforcementAction a;
+    a.time = in.i64();
+    a.kind = in.str();
+    a.detail = in.str();
+    actions_.push_back(std::move(a));
+  }
+  nip_cap_time_.reset();
+  if (in.boolean()) nip_cap_time_ = in.i64();
+  sms_disable_time_.reset();
+  if (in.boolean()) sms_disable_time_ = in.i64();
 }
 
 }  // namespace fraudsim::mitigate

@@ -86,6 +86,12 @@ class MitigationController {
     return engine_.blocklist().size();
   }
 
+  // Checkpoint support: detector baselines, cross-sweep accumulators and the
+  // action ledger. The rule engine and application are checkpointed by their
+  // owners; sweep-tally counters live in the metrics registry.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   void schedule_next();
   void record_action(EnforcementAction action);

@@ -54,4 +54,28 @@ std::uint64_t SlidingWindowRateLimiter::current(sim::SimTime now, const std::str
   return it->second.size();
 }
 
+void SlidingWindowRateLimiter::checkpoint(util::ByteWriter& out) const {
+  out.u64(local_denials_);
+  out.i64(last_sweep_);
+  out.u64(events_.size());
+  for (const auto& [key, q] : events_) {
+    out.str(key);
+    out.u64(q.size());
+    for (sim::SimTime t : q) out.i64(t);
+  }
+}
+
+void SlidingWindowRateLimiter::restore(util::ByteReader& in) {
+  local_denials_ = in.u64();
+  last_sweep_ = in.i64();
+  const auto n = in.u64();
+  events_.clear();
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+    const std::string key = in.str();
+    auto& q = events_[key];
+    const auto events = in.u64();
+    for (std::uint64_t e = 0; e < events && in.ok(); ++e) q.push_back(in.i64());
+  }
+}
+
 }  // namespace fraudsim::mitigate

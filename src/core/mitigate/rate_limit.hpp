@@ -60,6 +60,13 @@ class SlidingWindowRateLimiter {
 
   void clear() { events_.clear(); }
 
+  // Checkpoint support: window history per key, denial tally, sweep clock.
+  // The denial tally is always serialised as a plain count; restore adds it
+  // to whichever store (local or bound counter) is active, assuming the
+  // bound counter cell was reset/restored alongside (registry restore).
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   void prune(sim::SimTime now, std::deque<sim::SimTime>& q) const;
   // Drops every key with no event newer than now - window. Amortised: runs at

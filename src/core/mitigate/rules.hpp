@@ -91,6 +91,14 @@ class RuleEngine final : public app::IngressPolicy {
   // and relax on their own when the controller steps back down.
   void observe_overload(const overload::BrownoutController* brownout) { brownout_ = brownout; }
 
+  // --- Checkpoint support -----------------------------------------------------
+  // Serialises dynamic enforcement state (blocklist, blocked IPs/CIDRs,
+  // loyalty gates, challenge mode, per-limiter windows). Restore expects the
+  // same limiter specs to have been re-added in the same order before the
+  // call (specs are scenario configuration, not run state).
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   [[nodiscard]] static std::string rate_key(const RateLimitSpec& spec,
                                             const web::HttpRequest& request);

@@ -262,4 +262,43 @@ void MetricsSnapshot::write_jsonl(std::ostream& out) const {
   }
 }
 
+void MetricsRegistry::checkpoint(util::ByteWriter& out) const {
+  out.u64(cells_.size());
+  for (const auto& [name, cell] : cells_) {
+    out.str(name);
+    out.u8(static_cast<std::uint8_t>(cell->kind));
+    out.u64(cell->counter);
+    out.f64(cell->gauge);
+    out.u64(cell->hist.bounds.size());
+    for (double b : cell->hist.bounds) out.f64(b);
+    out.u64(cell->hist.buckets.size());
+    for (std::uint64_t b : cell->hist.buckets) out.u64(b);
+    out.u64(cell->hist.count);
+    out.f64(cell->hist.sum);
+    out.f64(cell->hist.min);
+    out.f64(cell->hist.max);
+  }
+}
+
+void MetricsRegistry::restore(util::ByteReader& in) {
+  const auto n = in.u64();
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+    const std::string name = in.str();
+    const auto kind = static_cast<MetricKind>(in.u8());
+    detail::MetricCell& c = cell(name, kind);
+    c.counter = in.u64();
+    c.gauge = in.f64();
+    const auto bounds = in.u64();
+    c.hist.bounds.assign(bounds, 0.0);
+    for (std::uint64_t b = 0; b < bounds && in.ok(); ++b) c.hist.bounds[b] = in.f64();
+    const auto buckets = in.u64();
+    c.hist.buckets.assign(buckets, 0);
+    for (std::uint64_t b = 0; b < buckets && in.ok(); ++b) c.hist.buckets[b] = in.u64();
+    c.hist.count = in.u64();
+    c.hist.sum = in.f64();
+    c.hist.min = in.f64();
+    c.hist.max = in.f64();
+  }
+}
+
 }  // namespace fraudsim::obs

@@ -28,6 +28,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/archive.hpp"
+
 namespace fraudsim::obs {
 
 enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
@@ -177,6 +179,12 @@ class MetricsRegistry {
 
   // Deterministic snapshot: rows in name order, percentiles precomputed.
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  // Checkpoint support. Restore writes values INTO existing cells (creating
+  // any the restoring process has not registered yet), so pre-resolved
+  // handles held by subsystems stay valid across a restore.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
  private:
   detail::MetricCell& cell(std::string_view name, MetricKind kind);

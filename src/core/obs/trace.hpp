@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/archive.hpp"
 
 namespace fraudsim::obs {
 
@@ -107,6 +108,11 @@ class TraceRecorder {
   void write_jsonl(std::ostream& out) const;
 
   void clear();
+
+  // Checkpoint support. Taken between requests, so open_ is expected to be
+  // empty; counters and the completed-span ring restore exactly.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
  private:
   friend class TraceContext;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/archive.hpp"
 
 namespace fraudsim::overload {
 
@@ -100,6 +101,10 @@ class BrownoutController {
   [[nodiscard]] double wait_ewma() const { return wait_ewma_; }
   [[nodiscard]] double latency_ewma() const { return latency_ewma_; }
   [[nodiscard]] const BrownoutConfig& config() const { return config_; }
+
+  // Checkpoint support (dynamic state only; config is reconstructed).
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
  private:
   [[nodiscard]] std::size_t index() const { return static_cast<std::size_t>(state_); }

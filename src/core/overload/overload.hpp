@@ -87,6 +87,10 @@ class AdmissionQueue {
   // Total un-drained work across both bands, in ms (the queue-depth signal).
   [[nodiscard]] sim::SimDuration backlog(sim::SimTime now);
 
+  // Checkpoint support.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   void drain(sim::SimTime now);
 
@@ -201,6 +205,11 @@ class OverloadManager {
   [[nodiscard]] const OverloadConfig& config() const { return config_; }
 
   [[nodiscard]] OverloadSnapshot snapshot(sim::SimTime now) const;
+
+  // Checkpoint support: queue bands + brownout state machine. Counter cells
+  // live in the metrics registry and are restored with it.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
  private:
   // Registry handles for one class's counters + latency histogram.

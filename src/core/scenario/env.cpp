@@ -49,13 +49,17 @@ void Env::start_background(sim::SimTime until) {
   schedule_expiry_sweep(until);
 }
 
+void Env::apply_expiry_sweep() {
+  app.inventory().expire_due(sim.now());
+  if (app.honeypot_enabled()) app.decoy_inventory().expire_due(sim.now());
+  // Drain due SMS retries (no-op unless carrier faults queued any).
+  app.sms_gateway().process_retries(sim.now());
+}
+
 void Env::schedule_expiry_sweep(sim::SimTime until) {
   if (sim.now() + config_.expiry_sweep > until) return;
   sim.schedule_in(config_.expiry_sweep, [this, until] {
-    app.inventory().expire_due(sim.now());
-    if (app.honeypot_enabled()) app.decoy_inventory().expire_due(sim.now());
-    // Drain due SMS retries (no-op unless carrier faults queued any).
-    app.sms_gateway().process_retries(sim.now());
+    apply_expiry_sweep();
     schedule_expiry_sweep(until);
   });
 }

@@ -46,6 +46,12 @@ class Env {
   // Starts legitimate traffic and the expiry sweep until `until`.
   void start_background(sim::SimTime until);
 
+  // One expiry sweep, synchronously: releases expired holds (real + decoy)
+  // and drains due SMS retries. The background sweep runs exactly this body;
+  // the record/replay harness drives it directly so sweeps land as journal
+  // records instead of unrecorded internal events.
+  void apply_expiry_sweep();
+
   void run_until(sim::SimTime t) { sim.run_until(t); }
 
   sim::Simulation sim;

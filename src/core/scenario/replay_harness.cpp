@@ -1,0 +1,593 @@
+#include "core/scenario/replay_harness.hpp"
+
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "app/export.hpp"
+#include "core/detect/pipeline.hpp"
+#include "core/journal/recording.hpp"
+#include "core/scenario/soc_report.hpp"
+#include "util/hash.hpp"
+
+namespace fraudsim::scenario {
+
+namespace {
+
+// Everything one mode needs: the platform plus its mitigation controller,
+// wired exactly the same way in record, replay and rescore.
+struct Platform {
+  std::unique_ptr<Env> env;
+  std::unique_ptr<mitigate::MitigationController> controller;
+  std::vector<airline::FlightId> flights;
+};
+
+Platform build_platform(const RecordedScenarioConfig& config,
+                        const RescoreCandidate* candidate = nullptr) {
+  EnvConfig env_config;
+  env_config.seed = config.seed;
+  env_config.legit = config.legit;
+  Platform p;
+  p.env = std::make_unique<Env>(env_config);
+  p.flights = p.env->add_flights("FS", config.flights, config.capacity, config.departure);
+  for (const auto& spec : config.rate_limits) p.env->engine.add_rate_limit(spec);
+  p.env->engine.set_challenge_mode(config.challenge_mode);
+  mitigate::ControllerConfig controller_config = config.controller;
+  if (candidate != nullptr && candidate->controller) controller_config = *candidate->controller;
+  p.controller = std::make_unique<mitigate::MitigationController>(p.env->app, p.env->engine,
+                                                                  controller_config);
+  if (candidate != nullptr && candidate->configure_engine) {
+    candidate->configure_engine(p.env->engine);
+  }
+  return p;
+}
+
+// The scripted seat-spin attacker: waves of bulk holds that are never paid,
+// starting on a naive instrumented browser (automation artifacts visible)
+// and rotating to spoofed population look-alikes once blocked — the §IV-A
+// adaptation loop, scripted so the whole run is journalable.
+class SeatSpinScript {
+ public:
+  SeatSpinScript(Env& env, const RecordedScenarioConfig& config,
+                 std::vector<airline::FlightId> flights)
+      : env_(env),
+        config_(config),
+        flights_(std::move(flights)),
+        rng_(env.rng.fork("seat-spin-script")),
+        actor_(env.actors.register_actor(app::ActorKind::SeatSpinBot)) {
+    rotate_identity();
+  }
+
+  void start() {
+    env_.sim.schedule_at(config_.attacker_start, [this] { wave(); });
+  }
+
+ private:
+  void wave() {
+    for (int i = 0; i < config_.attacker_holds_per_wave; ++i) {
+      const auto flight =
+          flights_[static_cast<std::size_t>(rng_.uniform_int(
+              0, static_cast<std::int64_t>(flights_.size()) - 1))];
+      const app::ClientContext ctx = context();
+      (void)env_.app.browse(ctx, web::Endpoint::SearchFlights);
+      (void)env_.app.quote_fare(ctx, flight);
+      const auto result = env_.app.hold(ctx, flight, make_party());
+      if (result.status == app::CallStatus::Blocked ||
+          result.status == app::CallStatus::RateLimited) {
+        rotate_identity();
+      }
+    }
+    if (env_.sim.now() + config_.attacker_period < config_.horizon) {
+      env_.sim.schedule_in(config_.attacker_period, [this] { wave(); });
+    }
+  }
+
+  [[nodiscard]] app::ClientContext context() const {
+    app::ClientContext ctx;
+    ctx.ip = ip_;
+    ctx.session = session_;
+    ctx.fingerprint = fingerprint_;
+    ctx.actor = actor_;
+    return ctx;
+  }
+
+  void rotate_identity() {
+    fingerprint_ = rotations_ == 0 ? env_.population.sample_naive_bot(rng_)
+                                   : env_.population.sample_spoofed(rng_, fp::SpoofOptions{});
+    ip_ = net::IpV4{static_cast<std::uint32_t>(0x2D000000u) +
+                    static_cast<std::uint32_t>(rng_.uniform_int(0, 0xFFFF))};
+    // High session band: never collides with the legit generator's ids.
+    session_ = web::SessionId{0x0100'0000'0000'0000ull + ++rotations_};
+  }
+
+  [[nodiscard]] std::vector<airline::Passenger> make_party() {
+    std::vector<airline::Passenger> party;
+    party.reserve(static_cast<std::size_t>(config_.attacker_party));
+    for (int i = 0; i < config_.attacker_party; ++i) {
+      airline::Passenger p;
+      p.first_name = rng_.random_lowercase(6);
+      p.surname = rng_.random_lowercase(8);
+      p.birthdate = airline::Date{1970 + static_cast<int>(rng_.uniform_int(0, 35)),
+                                  1 + static_cast<int>(rng_.uniform_int(0, 11)),
+                                  1 + static_cast<int>(rng_.uniform_int(0, 27))};
+      p.email = p.first_name + "@spin.example";
+      party.push_back(std::move(p));
+    }
+    return party;
+  }
+
+  Env& env_;
+  const RecordedScenarioConfig& config_;
+  std::vector<airline::FlightId> flights_;
+  sim::Rng rng_;
+  web::ActorId actor_;
+  fp::Fingerprint fingerprint_;
+  net::IpV4 ip_;
+  web::SessionId session_;
+  std::uint64_t rotations_ = 0;
+};
+
+void schedule_expiry_loop(Env& env, const RecordedScenarioConfig& config,
+                          journal::RecordingJournal* recording, sim::SimDuration period) {
+  if (env.sim.now() + period > config.horizon) return;
+  env.sim.schedule_in(period, [&env, &config, recording, period] {
+    if (recording != nullptr) recording->expiry_sweep(env.sim.now());
+    env.apply_expiry_sweep();
+    schedule_expiry_loop(env, config, recording, period);
+  });
+}
+
+void run_recorded_sweep(Env& env, mitigate::MitigationController& controller,
+                        journal::RecordingJournal* recording) {
+  if (recording != nullptr) recording->mitigation_sweep(env.sim.now());
+  const std::size_t before = controller.actions().size();
+  controller.sweep();
+  if (recording != nullptr) {
+    for (std::size_t i = before; i < controller.actions().size(); ++i) {
+      const auto& action = controller.actions()[i];
+      recording->mitigation_action(action.time, action.kind, action.detail);
+    }
+  }
+}
+
+void schedule_sweep_loop(Env& env, mitigate::MitigationController& controller,
+                         const RecordedScenarioConfig& config,
+                         journal::RecordingJournal* recording) {
+  if (env.sim.now() + config.controller.sweep_interval > config.horizon) return;
+  env.sim.schedule_in(config.controller.sweep_interval,
+                      [&env, &controller, &config, recording] {
+                        run_recorded_sweep(env, controller, recording);
+                        schedule_sweep_loop(env, controller, config, recording);
+                      });
+}
+
+void schedule_mitigation(Env& env, mitigate::MitigationController& controller,
+                         const RecordedScenarioConfig& config,
+                         journal::RecordingJournal* recording) {
+  env.sim.schedule_at(config.controller_fit_at, [&env, &controller, &config, recording] {
+    const sim::SimTime now = env.sim.now();
+    if (recording != nullptr) recording->controller_fit(now, 0, now);
+    controller.fit_nip_baseline(0, now);
+    schedule_sweep_loop(env, controller, config, recording);
+  });
+}
+
+// Full platform state, in a fixed order shared with replay's restore path.
+std::string checkpoint_state(Env& env, mitigate::MitigationController& controller) {
+  util::ByteWriter state;
+  env.actors.checkpoint(state);
+  env.app.checkpoint(state);
+  env.engine.checkpoint(state);
+  controller.checkpoint(state);
+  return state.take();
+}
+
+void schedule_checkpoint_loop(Env& env, mitigate::MitigationController& controller,
+                              const RecordedScenarioConfig& config,
+                              journal::RecordingJournal& recording) {
+  if (config.checkpoint_every <= 0) return;
+  if (env.sim.now() + config.checkpoint_every > config.horizon) return;
+  env.sim.schedule_in(config.checkpoint_every, [&env, &controller, &config, &recording] {
+    recording.checkpoint_blob(env.sim.now(), checkpoint_state(env, controller));
+    schedule_checkpoint_loop(env, controller, config, recording);
+  });
+}
+
+// Artifact production must be one code path for every mode: record and
+// replay call exactly this, so "byte-identical artifacts" compares the runs,
+// not the exporters.
+RunArtifacts make_artifacts(Platform& p, const RecordedScenarioConfig& config) {
+  RunArtifacts artifacts;
+  std::ostringstream metrics;
+  p.env->app.metrics().snapshot().write_csv(metrics);
+  artifacts.metrics_csv = metrics.str();
+  std::ostringstream weblog;
+  (void)app::export_weblog_csv(weblog, p.env->app.weblog().all());
+  artifacts.weblog_csv = weblog.str();
+  detect::DetectionPipeline pipeline;  // default config, untrained: deterministic
+  const auto detection = pipeline.run(p.env->app, p.env->actors, 0, config.horizon);
+  artifacts.soc_report = render_soc_report(SocReportInputs{
+      p.env->app, p.env->actors, detection, 0, config.horizon, p.controller->actions()});
+  return artifacts;
+}
+
+void start_traffic(Platform& p, const RecordedScenarioConfig& config,
+                   std::unique_ptr<SeatSpinScript>& attacker,
+                   journal::RecordingJournal* recording) {
+  Env& env = *p.env;
+  schedule_expiry_loop(env, config, recording, sim::minutes(1));
+  if (config.mitigation_enabled) {
+    schedule_mitigation(env, *p.controller, config, recording);
+  }
+  if (config.legit_enabled) env.legit->start(config.horizon);
+  if (config.attacker_enabled) {
+    attacker = std::make_unique<SeatSpinScript>(env, config, p.flights);
+    attacker->start();
+  }
+}
+
+[[nodiscard]] bool denied(app::CallStatus status) {
+  return status == app::CallStatus::Blocked || status == app::CallStatus::Challenged ||
+         status == app::CallStatus::RateLimited || status == app::CallStatus::Overloaded;
+}
+
+}  // namespace
+
+std::uint64_t config_digest(const RecordedScenarioConfig& config) {
+  util::ByteWriter w;
+  w.u64(config.seed);
+  w.i64(config.horizon);
+  w.i64(static_cast<std::int64_t>(config.flights));
+  w.i64(static_cast<std::int64_t>(config.capacity));
+  w.i64(config.departure);
+  w.boolean(config.legit_enabled);
+  w.f64(config.legit.booking_sessions_per_hour);
+  w.f64(config.legit.browse_sessions_per_hour);
+  w.f64(config.legit.otp_logins_per_hour);
+  w.f64(config.legit.p_convert);
+  w.i64(config.legit.mean_pay_delay);
+  w.f64(config.legit.p_boarding_sms);
+  w.f64(config.legit.p_boarding_email);
+  w.f64(config.legit.p_solve_captcha);
+  w.f64(config.legit.diurnal_amplitude);
+  w.boolean(config.attacker_enabled);
+  w.i64(config.attacker_start);
+  w.i64(config.attacker_period);
+  w.i64(static_cast<std::int64_t>(config.attacker_party));
+  w.i64(static_cast<std::int64_t>(config.attacker_holds_per_wave));
+  w.boolean(config.mitigation_enabled);
+  w.i64(config.controller_fit_at);
+  w.i64(config.controller.sweep_interval);
+  w.i64(config.controller.analysis_window);
+  w.boolean(config.controller.block_flagged_fingerprints);
+  w.boolean(config.controller.block_artifact_fingerprints);
+  w.u64(config.controller.min_flagged_pnrs);
+  w.boolean(config.controller.impose_nip_cap);
+  w.i64(static_cast<std::int64_t>(config.controller.nip_cap_value));
+  w.boolean(config.controller.disable_sms_on_path_trip);
+  w.boolean(config.controller.block_biometric_flagged);
+  w.u64(config.controller.min_biometric_hits);
+  w.u8(static_cast<std::uint8_t>(config.challenge_mode));
+  w.u64(config.rate_limits.size());
+  for (const auto& spec : config.rate_limits) {
+    w.str(spec.name);
+    w.boolean(spec.endpoint.has_value());
+    if (spec.endpoint) w.u8(static_cast<std::uint8_t>(*spec.endpoint));
+    w.u8(static_cast<std::uint8_t>(spec.key));
+    w.u64(spec.limit);
+    w.i64(spec.window);
+  }
+  w.i64(config.checkpoint_every);
+  return util::crc32(w.bytes());
+}
+
+RunArtifacts baseline_run(const RecordedScenarioConfig& config) {
+  Platform p = build_platform(config);
+  std::unique_ptr<SeatSpinScript> attacker;
+  start_traffic(p, config, attacker, nullptr);
+  p.env->run_until(config.horizon);
+  return make_artifacts(p, config);
+}
+
+util::Result<RunArtifacts> record_run(const RecordedScenarioConfig& config,
+                                      const std::string& journal_path) {
+  using R = util::Result<RunArtifacts>;
+  Platform p = build_platform(config);
+  Env& env = *p.env;
+
+  journal::JournalWriter writer;
+  if (auto s = writer.open(journal_path, config.seed, config_digest(config)); !s.is_ok()) {
+    return R::fail(s.code(), s.error());
+  }
+  journal::RecordingJournal recording(writer);
+  env.app.set_journal(&recording);
+  env.actors.set_observer([&env, &recording](web::ActorId id, app::ActorKind kind) {
+    recording.actor_registered(env.sim.now(), id, kind);
+  });
+
+  std::unique_ptr<SeatSpinScript> attacker;
+  start_traffic(p, config, attacker, &recording);
+  schedule_checkpoint_loop(env, *p.controller, config, recording);
+  env.run_until(config.horizon);
+
+  env.app.set_journal(nullptr);
+  env.actors.set_observer(nullptr);
+  if (!recording.status().is_ok()) {
+    return R::fail(recording.status().code(), recording.status().error());
+  }
+  if (auto s = writer.close(); !s.is_ok()) return R::fail(s.code(), s.error());
+  return R::ok(make_artifacts(p, config));
+}
+
+util::Result<RunArtifacts> replay_run(const RecordedScenarioConfig& config,
+                                      const std::string& journal_path, ReplayOptions options) {
+  using R = util::Result<RunArtifacts>;
+  journal::JournalReader reader;
+  if (auto s = reader.open(journal_path); !s.is_ok()) return R::fail(s.code(), s.error());
+  if (reader.seed() != config.seed || reader.config_digest() != config_digest(config)) {
+    return R::fail(util::ErrorCode::kCheckpointMismatch,
+                   "replay: journal header does not match this scenario config");
+  }
+
+  Platform p = build_platform(config);
+  Env& env = *p.env;
+  const auto& records = reader.records();
+
+  std::size_t start = 0;
+  if (options.from_last_checkpoint) {
+    for (std::size_t i = records.size(); i-- > 0;) {
+      if (records[i].kind != journal::RecordKind::Checkpoint) continue;
+      env.sim.run_until(records[i].time);
+      util::ByteReader fields(records[i].fields);
+      const std::string blob = fields.str();
+      util::ByteReader state(blob);
+      env.actors.restore(state);
+      env.app.restore(state);
+      env.engine.restore(state);
+      p.controller->restore(state);
+      if (!state.ok()) {
+        return R::fail(util::ErrorCode::kJournalCorrupt, "replay: checkpoint blob truncated");
+      }
+      start = i + 1;
+      break;
+    }
+  }
+
+  for (std::size_t i = start; i < records.size(); ++i) {
+    const auto& record = records[i];
+    env.sim.run_until(record.time);
+    util::ByteReader in(record.fields);
+    const auto mismatch = [&](const std::string& what) {
+      return R::fail(util::ErrorCode::kCheckpointMismatch,
+                     "replay diverged at record " + std::to_string(i) + " (" +
+                         journal::to_string(record.kind) + ", t=" +
+                         std::to_string(record.time) + "): " + what);
+    };
+    switch (record.kind) {
+      case journal::RecordKind::ActorRegistered: {
+        const auto r = journal::decode_actor(in);
+        if (const auto id = env.actors.register_actor(r.kind); id != r.id) {
+          return mismatch("actor id " + id.str() + " != recorded " + r.id.str());
+        }
+        break;
+      }
+      case journal::RecordKind::Browse: {
+        const auto r = journal::decode_browse(in);
+        if (env.app.browse(r.ctx, r.endpoint, r.method) != r.result) {
+          return mismatch("browse status differs");
+        }
+        break;
+      }
+      case journal::RecordKind::Hold: {
+        auto r = journal::decode_hold(in);
+        const auto result = env.app.hold(r.ctx, r.flight, std::move(r.passengers));
+        if (result.status != r.status || result.pnr != r.pnr || result.decoy != r.decoy) {
+          return mismatch("hold outcome differs (pnr " + result.pnr + " vs " + r.pnr + ")");
+        }
+        break;
+      }
+      case journal::RecordKind::QuoteFare: {
+        const auto r = journal::decode_quote_fare(in);
+        if (env.app.quote_fare(r.ctx, r.flight) != r.fare) {
+          return mismatch("fare quote differs");
+        }
+        break;
+      }
+      case journal::RecordKind::Pay: {
+        const auto r = journal::decode_pay(in);
+        if (env.app.pay(r.ctx, r.pnr) != r.result) return mismatch("pay status differs");
+        break;
+      }
+      case journal::RecordKind::RequestOtp: {
+        const auto r = journal::decode_request_otp(in);
+        const auto result = env.app.request_otp(r.ctx, r.account, r.number);
+        if (result.status != r.status || result.code != r.code) {
+          return mismatch("otp request differs");
+        }
+        break;
+      }
+      case journal::RecordKind::VerifyOtp: {
+        const auto r = journal::decode_verify_otp(in);
+        if (env.app.verify_otp(r.ctx, r.account, r.code) != r.result) {
+          return mismatch("otp verify differs");
+        }
+        break;
+      }
+      case journal::RecordKind::RetrieveBooking: {
+        const auto r = journal::decode_retrieve_booking(in);
+        const auto view = env.app.retrieve_booking(r.ctx, r.pnr);
+        if (view.found != r.result.found || view.held != r.result.held ||
+            view.ticketed != r.result.ticketed) {
+          return mismatch("booking view differs");
+        }
+        break;
+      }
+      case journal::RecordKind::BoardingSms: {
+        const auto r = journal::decode_boarding_sms(in);
+        const auto result = env.app.request_boarding_sms(r.ctx, r.pnr, r.number);
+        if (result.status != r.status || result.detail != r.detail) {
+          return mismatch("boarding sms differs");
+        }
+        break;
+      }
+      case journal::RecordKind::BoardingEmail: {
+        const auto r = journal::decode_boarding_email(in);
+        if (env.app.request_boarding_email(r.ctx, r.pnr) != r.result) {
+          return mismatch("boarding email differs");
+        }
+        break;
+      }
+      case journal::RecordKind::ExpirySweep:
+        env.apply_expiry_sweep();
+        break;
+      case journal::RecordKind::MitigationSweep:
+        run_recorded_sweep(env, *p.controller, nullptr);
+        break;
+      case journal::RecordKind::ControllerFit: {
+        const auto r = journal::decode_controller_fit(in);
+        p.controller->fit_nip_baseline(r.from, r.to);
+        break;
+      }
+      case journal::RecordKind::MitigationAction:  // informational ledger copy
+      case journal::RecordKind::Checkpoint:        // restore point, not an event
+      case journal::RecordKind::Header:
+        break;
+    }
+    if (!in.ok()) {
+      return R::fail(util::ErrorCode::kJournalCorrupt,
+                     "replay: undecodable payload in record " + std::to_string(i));
+    }
+  }
+  env.sim.run_until(config.horizon);
+  return R::ok(make_artifacts(p, config));
+}
+
+util::Result<RescoreReport> shadow_rescore(const RecordedScenarioConfig& config,
+                                           const std::string& journal_path,
+                                           const RescoreCandidate& candidate) {
+  using R = util::Result<RescoreReport>;
+  journal::JournalReader reader;
+  if (auto s = reader.open(journal_path); !s.is_ok()) return R::fail(s.code(), s.error());
+  if (reader.seed() != config.seed || reader.config_digest() != config_digest(config)) {
+    return R::fail(util::ErrorCode::kCheckpointMismatch,
+                   "rescore: journal header does not match this scenario config");
+  }
+
+  Platform p = build_platform(config, &candidate);
+  Env& env = *p.env;
+  RescoreReport report;
+  std::unordered_map<std::uint64_t, app::ActorKind> kinds;  // journalled ground truth
+
+  const auto score = [&](web::ActorId actor, bool was_denied, bool now_denied) {
+    ++report.requests;
+    if (was_denied == now_denied) return;
+    ++report.verdict_changes;
+    const auto it = kinds.find(actor.value());
+    const bool abuser =
+        app::is_abuser(it != kinds.end() ? it->second : app::ActorKind::Human);
+    if (now_denied) {
+      abuser ? ++report.newly_caught : ++report.newly_blocked_legit;
+    } else {
+      abuser ? ++report.newly_missed : ++report.newly_allowed_legit;
+    }
+  };
+
+  for (const auto& record : reader.records()) {
+    env.sim.run_until(record.time);
+    util::ByteReader in(record.fields);
+    switch (record.kind) {
+      case journal::RecordKind::ActorRegistered: {
+        const auto r = journal::decode_actor(in);
+        kinds[r.id.value()] = r.kind;
+        (void)env.actors.register_actor(r.kind);
+        break;
+      }
+      case journal::RecordKind::Browse: {
+        const auto r = journal::decode_browse(in);
+        score(r.ctx.actor, denied(r.result), denied(env.app.browse(r.ctx, r.endpoint, r.method)));
+        break;
+      }
+      case journal::RecordKind::Hold: {
+        auto r = journal::decode_hold(in);
+        const auto ctx = r.ctx;
+        const auto result = env.app.hold(ctx, r.flight, std::move(r.passengers));
+        // A decoyed hold is neutralised even though the caller saw success.
+        score(ctx.actor, denied(r.status) || r.decoy, denied(result.status) || result.decoy);
+        break;
+      }
+      case journal::RecordKind::QuoteFare: {
+        const auto r = journal::decode_quote_fare(in);
+        (void)env.app.quote_fare(r.ctx, r.flight);  // state only; no verdict
+        break;
+      }
+      case journal::RecordKind::Pay: {
+        const auto r = journal::decode_pay(in);
+        score(r.ctx.actor, denied(r.result), denied(env.app.pay(r.ctx, r.pnr)));
+        break;
+      }
+      case journal::RecordKind::RequestOtp: {
+        const auto r = journal::decode_request_otp(in);
+        score(r.ctx.actor, denied(r.status),
+              denied(env.app.request_otp(r.ctx, r.account, r.number).status));
+        break;
+      }
+      case journal::RecordKind::VerifyOtp: {
+        const auto r = journal::decode_verify_otp(in);
+        (void)env.app.verify_otp(r.ctx, r.account, r.code);  // state only
+        break;
+      }
+      case journal::RecordKind::RetrieveBooking: {
+        const auto r = journal::decode_retrieve_booking(in);
+        (void)env.app.retrieve_booking(r.ctx, r.pnr);  // state only
+        break;
+      }
+      case journal::RecordKind::BoardingSms: {
+        const auto r = journal::decode_boarding_sms(in);
+        score(r.ctx.actor, denied(r.status),
+              denied(env.app.request_boarding_sms(r.ctx, r.pnr, r.number).status));
+        break;
+      }
+      case journal::RecordKind::BoardingEmail: {
+        const auto r = journal::decode_boarding_email(in);
+        score(r.ctx.actor, denied(r.result),
+              denied(env.app.request_boarding_email(r.ctx, r.pnr)));
+        break;
+      }
+      case journal::RecordKind::ExpirySweep:
+        env.apply_expiry_sweep();
+        break;
+      case journal::RecordKind::MitigationSweep:
+        run_recorded_sweep(env, *p.controller, nullptr);
+        break;
+      case journal::RecordKind::ControllerFit: {
+        const auto r = journal::decode_controller_fit(in);
+        p.controller->fit_nip_baseline(r.from, r.to);
+        break;
+      }
+      case journal::RecordKind::MitigationAction:
+      case journal::RecordKind::Checkpoint:  // unusable: candidate state diverges
+      case journal::RecordKind::Header:
+        break;
+    }
+    if (!in.ok()) {
+      return R::fail(util::ErrorCode::kJournalCorrupt, "rescore: undecodable record payload");
+    }
+  }
+  return R::ok(report);
+}
+
+std::string render_rescore_report(const std::string& candidate_name,
+                                  const RescoreReport& report) {
+  std::ostringstream out;
+  out << "shadow rescore: " << candidate_name << "\n"
+      << "  requests replayed     " << report.requests << "\n"
+      << "  verdict changes       " << report.verdict_changes << "\n"
+      << "  newly caught (abuse)  " << report.newly_caught << "\n"
+      << "  newly missed (abuse)  " << report.newly_missed << "\n"
+      << "  blocked legit (new)   " << report.newly_blocked_legit << "\n"
+      << "  allowed legit (new)   " << report.newly_allowed_legit << "\n";
+  return out.str();
+}
+
+}  // namespace fraudsim::scenario

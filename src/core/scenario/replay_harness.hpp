@@ -1,0 +1,135 @@
+// Record/replay harness: checkpointed deterministic replay + shadow re-scoring.
+//
+// One scenario definition (seed, fleet, legitimate demand, a scripted
+// seat-spin attacker, the mitigation loop) drives three modes:
+//
+//   * record_run    — run live with a RecordingJournal attached: every facade
+//                     call, actor registration, housekeeping sweep and
+//                     periodic state checkpoint lands in the journal file.
+//   * replay_run    — rebuild the platform from (seed, config) and walk the
+//                     journal: requests are re-executed against the real
+//                     platform code and every outcome is verified against the
+//                     recorded one. Replaying from t=0 or from the last
+//                     embedded checkpoint reproduces the metrics snapshot,
+//                     weblog CSV and SOC report byte-for-byte.
+//   * shadow_rescore — feed the recorded traffic through an ALTERNATIVE rule
+//                     configuration (the shadow SOC): no attacker or traffic
+//                     model is re-simulated, and the verdict diff against the
+//                     live run is scored with the journalled ground truth.
+//
+// The platform schedules no internal events of its own (expiry and
+// mitigation sweeps are harness-driven and journalled as records), so a
+// journal walk IS the complete event history: replay needs no event queue
+// reconstruction, only `run_until(record.time)` between records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/journal/journal.hpp"
+#include "core/mitigate/controller.hpp"
+#include "core/scenario/env.hpp"
+
+namespace fraudsim::scenario {
+
+struct RecordedScenarioConfig {
+  std::uint64_t seed = 2024;
+  sim::SimTime horizon = sim::days(2);
+  int flights = 12;
+  int capacity = 180;
+  sim::SimTime departure = sim::days(10);
+
+  // Legitimate background demand.
+  bool legit_enabled = true;
+  workload::LegitTrafficConfig legit;
+
+  // Scripted seat-spin attacker: waves of bulk holds it never pays for,
+  // rotating fingerprint + exit IP + session whenever a wave gets blocked.
+  bool attacker_enabled = true;
+  sim::SimTime attacker_start = sim::hours(6);
+  sim::SimDuration attacker_period = sim::minutes(10);
+  int attacker_party = 8;
+  int attacker_holds_per_wave = 3;
+
+  // Mitigation loop (harness-driven so sweeps land in the journal).
+  bool mitigation_enabled = true;
+  sim::SimTime controller_fit_at = sim::hours(6);
+  mitigate::ControllerConfig controller;
+  std::vector<mitigate::RateLimitSpec> rate_limits;
+  mitigate::ChallengeMode challenge_mode = mitigate::ChallengeMode::Off;
+
+  // Cadence of embedded state checkpoints (restore points).
+  sim::SimDuration checkpoint_every = sim::hours(6);
+};
+
+// Digest of everything that shapes the run (journal header field): a replay
+// against a differently-shaped scenario is refused up front.
+[[nodiscard]] std::uint64_t config_digest(const RecordedScenarioConfig& config);
+
+// The run's exported artifacts, kept in memory so byte-identity is a string
+// comparison. Record and replay build these through identical code paths.
+struct RunArtifacts {
+  std::string metrics_csv;  // obs::MetricsRegistry snapshot
+  std::string weblog_csv;   // app::export_weblog_csv
+  std::string soc_report;   // scenario::render_soc_report
+};
+
+// Live run WITHOUT any journaling attached: the control for "recording off
+// is byte-identical to recording on".
+[[nodiscard]] RunArtifacts baseline_run(const RecordedScenarioConfig& config);
+
+// Live run with recording; the journal lands at `journal_path`.
+[[nodiscard]] util::Result<RunArtifacts> record_run(const RecordedScenarioConfig& config,
+                                                    const std::string& journal_path);
+
+struct ReplayOptions {
+  // Restore the last embedded checkpoint and replay only the suffix instead
+  // of walking the journal from t=0.
+  bool from_last_checkpoint = false;
+};
+
+// Deterministic replay with outcome verification. Fails with
+// kCheckpointMismatch on the first record whose replayed outcome differs
+// from the recorded one, and with kJournalCorrupt on undecodable payloads.
+[[nodiscard]] util::Result<RunArtifacts> replay_run(const RecordedScenarioConfig& config,
+                                                    const std::string& journal_path,
+                                                    ReplayOptions options = {});
+
+// A candidate configuration for offline evaluation.
+struct RescoreCandidate {
+  std::string name;
+  // Applied to the freshly wired rule engine (add/replace rate limits, set
+  // challenge mode, ...). Null = identical to the recorded configuration.
+  std::function<void(mitigate::RuleEngine&)> configure_engine;
+  // Optional controller replacement (detector thresholds, sweep cadence...).
+  std::optional<mitigate::ControllerConfig> controller;
+};
+
+// Verdict diff of a shadow re-score against the recorded live decisions.
+// "Denied" = Blocked/Challenged/RateLimited/Overloaded, or a hold absorbed
+// by the honeypot decoy; everything that reached business logic is "served".
+struct RescoreReport {
+  std::uint64_t requests = 0;         // verdict-bearing records replayed
+  std::uint64_t verdict_changes = 0;  // served/denied flips vs the live run
+  std::uint64_t newly_caught = 0;         // abuser traffic the candidate denies
+  std::uint64_t newly_missed = 0;         // abuser traffic the candidate now serves
+  std::uint64_t newly_blocked_legit = 0;  // collateral: legit traffic now denied
+  std::uint64_t newly_allowed_legit = 0;  // legit traffic the live run denied
+};
+
+// Feeds the recorded traffic through `candidate` without re-simulating any
+// traffic source. Replays from t=0 (candidate state necessarily diverges, so
+// checkpoints are unusable) and never fails on verdict differences — they
+// are the product.
+[[nodiscard]] util::Result<RescoreReport> shadow_rescore(const RecordedScenarioConfig& config,
+                                                         const std::string& journal_path,
+                                                         const RescoreCandidate& candidate);
+
+// Renders a RescoreReport as a small fixed-order text block (CLI + bench).
+[[nodiscard]] std::string render_rescore_report(const std::string& candidate_name,
+                                                const RescoreReport& report);
+
+}  // namespace fraudsim::scenario

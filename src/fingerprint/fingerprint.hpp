@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/archive.hpp"
 #include "util/ids.hpp"
 
 namespace fraudsim::fp {
@@ -56,5 +57,10 @@ struct Fingerprint {
 };
 
 [[nodiscard]] bool operator==(const Fingerprint& a, const Fingerprint& b);
+
+// Wire serialisation (journal records, state checkpoints). Field-by-field and
+// little-endian so journal files are portable across builds.
+void save_fingerprint(util::ByteWriter& out, const Fingerprint& f);
+[[nodiscard]] Fingerprint load_fingerprint(util::ByteReader& in);
 
 }  // namespace fraudsim::fp

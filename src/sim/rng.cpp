@@ -1,6 +1,7 @@
 #include "sim/rng.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/hash.hpp"
 
@@ -68,6 +69,19 @@ std::string Rng::random_lowercase(std::size_t length) {
     c = static_cast<char>('a' + uniform_int(0, 25));
   }
   return s;
+}
+
+void Rng::checkpoint(util::ByteWriter& out) const {
+  out.u64(seed_);
+  std::ostringstream state;
+  state << engine_;
+  out.str(state.str());
+}
+
+void Rng::restore(util::ByteReader& in) {
+  seed_ = in.u64();
+  std::istringstream state(in.str());
+  state >> engine_;
 }
 
 std::string Rng::random_digits(std::size_t length) {

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/archive.hpp"
+
 namespace fraudsim::sim {
 
 class Rng {
@@ -63,6 +65,14 @@ class Rng {
   std::string random_digits(std::size_t length);
 
   std::mt19937_64& engine() { return engine_; }
+
+  // Checkpoint support: captures/restores the full engine state (mt19937_64
+  // serialises via its stream operators), so a restored stream continues the
+  // original draw sequence exactly. Distribution objects are constructed
+  // fresh per call throughout the codebase, so engine state is the whole
+  // story.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
  private:
   std::uint64_t seed_;

@@ -148,6 +148,12 @@ class SmsGateway {
   // Distinct destination countries within [from, to).
   [[nodiscard]] std::size_t distinct_countries(sim::SimTime from, sim::SimTime to) const;
 
+  // Checkpoint support: message log, quota window, breaker, retry queue and
+  // jitter stream. Counter cells live in the metrics registry and are
+  // restored with it.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   // One carrier submission for log_[index]; `attempt` is 1-based.
   void attempt_delivery(sim::SimTime now, std::size_t index, int attempt);

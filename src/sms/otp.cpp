@@ -46,4 +46,29 @@ bool OtpService::verify(sim::SimTime now, const std::string& account, const std:
   return true;
 }
 
+void OtpService::checkpoint(util::ByteWriter& out) const {
+  rng_.checkpoint(out);
+  out.i64(validity_);
+  out.u64(pending_.size());
+  for (const auto& [account, p] : pending_) {
+    out.str(account);
+    out.str(p.code);
+    out.i64(p.expires);
+  }
+}
+
+void OtpService::restore(util::ByteReader& in) {
+  rng_.restore(in);
+  validity_ = in.i64();
+  const auto n = in.u64();
+  pending_.clear();
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+    const std::string account = in.str();
+    Pending p;
+    p.code = in.str();
+    p.expires = in.i64();
+    pending_[account] = std::move(p);
+  }
+}
+
 }  // namespace fraudsim::sms

@@ -45,6 +45,10 @@ class OtpService {
   // Requests whose SMS was lost to an injected "otp.deliver" fault.
   [[nodiscard]] std::uint64_t delivery_faults() const { return delivery_faults_.value(); }
 
+  // Checkpoint support: pending codes + the code-generation stream.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   struct Pending {
     std::string code;

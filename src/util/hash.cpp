@@ -30,4 +30,31 @@ std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
   return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  constexpr Crc32Table() : entries() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kCrc32Table{};
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char b : bytes) {
+    c = kCrc32Table.entries[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
 }  // namespace fraudsim::util

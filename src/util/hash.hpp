@@ -22,4 +22,8 @@ namespace fraudsim::util {
 // Combine two 64-bit hashes into one (order-dependent).
 [[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
 
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over bytes. Used to
+// frame journal records so torn or bit-rotted tails are detected on open.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
+
 }  // namespace fraudsim::util

@@ -31,6 +31,9 @@ enum class ErrorCode : std::uint8_t {
   kDeadlineExceeded,  // deadline budget exhausted mid-flight
   kUpstreamFault,     // injected or modeled dependency failure
   kQuotaExhausted,    // hard daily/rolling quota (distinct from rate limiting)
+  kIoWriteFailed,     // export/journal stream write failed (disk full, bad fd)
+  kJournalCorrupt,    // journal frame failed CRC/length validation mid-file
+  kCheckpointMismatch,  // replayed state diverged from the recorded outcome
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode c) {
@@ -59,6 +62,12 @@ enum class ErrorCode : std::uint8_t {
       return "upstream-fault";
     case ErrorCode::kQuotaExhausted:
       return "quota-exhausted";
+    case ErrorCode::kIoWriteFailed:
+      return "io-write-failed";
+    case ErrorCode::kJournalCorrupt:
+      return "journal-corrupt";
+    case ErrorCode::kCheckpointMismatch:
+      return "checkpoint-mismatch";
   }
   return "?";
 }

@@ -1,5 +1,55 @@
 #include "web/request.hpp"
 
-// HttpRequest is a plain aggregate; this translation unit exists so the
-// header has a home in the web library and stays self-contained.
-namespace fraudsim::web {}
+namespace fraudsim::web {
+
+namespace {
+
+template <typename T, typename WriteFn>
+void save_optional(util::ByteWriter& out, const std::optional<T>& v, WriteFn&& write) {
+  out.boolean(v.has_value());
+  if (v) write(*v);
+}
+
+}  // namespace
+
+void save_request(util::ByteWriter& out, const HttpRequest& r) {
+  out.u64(r.id.value());
+  out.i64(r.time);
+  out.u8(static_cast<std::uint8_t>(r.method));
+  out.u8(static_cast<std::uint8_t>(r.endpoint));
+  out.u32(r.ip.value());
+  out.u64(r.session.value());
+  out.u64(r.fp_hash.value());
+  out.i64(r.status_code);
+  save_optional(out, r.flight_id, [&](std::uint64_t v) { out.u64(v); });
+  save_optional(out, r.booking_ref, [&](const std::string& v) { out.str(v); });
+  save_optional(out, r.sms_destination, [&](net::CountryCode v) { out.u16(v.packed()); });
+  save_optional(out, r.nip, [&](int v) { out.i64(v); });
+  out.u64(r.trace_id);
+  out.u64(r.actor.value());
+}
+
+HttpRequest load_request(util::ByteReader& in) {
+  HttpRequest r;
+  r.id = RequestId{in.u64()};
+  r.time = in.i64();
+  r.method = static_cast<HttpMethod>(in.u8());
+  r.endpoint = static_cast<Endpoint>(in.u8());
+  r.ip = net::IpV4{in.u32()};
+  r.session = SessionId{in.u64()};
+  r.fp_hash = fp::FpHash{in.u64()};
+  r.status_code = static_cast<int>(in.i64());
+  if (in.boolean()) r.flight_id = in.u64();
+  if (in.boolean()) r.booking_ref = in.str();
+  if (in.boolean()) {
+    const auto packed = in.u16();
+    r.sms_destination =
+        net::CountryCode(static_cast<char>(packed >> 8), static_cast<char>(packed & 0xFF));
+  }
+  if (in.boolean()) r.nip = static_cast<int>(in.i64());
+  r.trace_id = in.u64();
+  r.actor = ActorId{in.u64()};
+  return r;
+}
+
+}  // namespace fraudsim::web

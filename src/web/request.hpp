@@ -14,6 +14,7 @@
 #include "net/geo.hpp"
 #include "net/ip.hpp"
 #include "sim/time.hpp"
+#include "util/archive.hpp"
 #include "util/ids.hpp"
 #include "web/endpoint.hpp"
 
@@ -52,5 +53,10 @@ struct HttpRequest {
   // Ground truth (scoring only).
   ActorId actor;
 };
+
+// Wire serialisation (state checkpoints): the full record including the
+// assigned id, so a restored web log is byte-equal to the original on export.
+void save_request(util::ByteWriter& out, const HttpRequest& r);
+[[nodiscard]] HttpRequest load_request(util::ByteReader& in);
 
 }  // namespace fraudsim::web

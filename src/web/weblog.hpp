@@ -27,6 +27,11 @@ class WebLog {
 
   void clear();
 
+  // Checkpoint support: full log contents plus the id counter, so restored
+  // logs keep assigning ids from where the original left off.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
  private:
   std::vector<HttpRequest> requests_;
   std::uint64_t next_id_ = 1;

@@ -266,7 +266,7 @@ TEST_F(ApplicationTest, ExportsTelemetryAsCsv) {
                                   sms::PhoneNumber{net::CountryCode{'U', 'Z'}, "123"});
 
   std::ostringstream weblog;
-  export_weblog_csv(weblog, app_.weblog().all());
+  EXPECT_TRUE(export_weblog_csv(weblog, app_.weblog().all()).is_ok());
   const auto weblog_csv = weblog.str();
   EXPECT_NE(weblog_csv.find("time_ms,endpoint"), std::string::npos);
   EXPECT_NE(weblog_csv.find("/booking/hold"), std::string::npos);
@@ -276,12 +276,12 @@ TEST_F(ApplicationTest, ExportsTelemetryAsCsv) {
             app_.weblog().size() + 1);
 
   std::ostringstream reservations;
-  export_reservations_csv(reservations, app_.inventory().reservations());
+  EXPECT_TRUE(export_reservations_csv(reservations, app_.inventory().reservations()).is_ok());
   EXPECT_NE(reservations.str().find(hold.pnr), std::string::npos);
   EXPECT_NE(reservations.str().find("ticketed"), std::string::npos);
 
   std::ostringstream sms;
-  export_sms_csv(sms, app_.sms_gateway().log());
+  EXPECT_TRUE(export_sms_csv(sms, app_.sms_gateway().log()).is_ok());
   EXPECT_NE(sms.str().find("UZ"), std::string::npos);
   EXPECT_NE(sms.str().find("boarding-pass"), std::string::npos);
 }

@@ -1,0 +1,269 @@
+// Journal + deterministic replay + shadow re-scoring.
+//
+// The heavyweight properties are end-to-end on a deliberately small scenario
+// (hours of sim time, low demand): record==baseline (journaling off is
+// byte-identical), record→replay byte-identical artifacts, replay from the
+// last checkpoint equals full replay, and a same-config shadow rescore
+// produces zero verdict diffs.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "core/scenario/replay_harness.hpp"
+#include "sim/rng.hpp"
+#include "util/hash.hpp"
+
+namespace fraudsim {
+namespace {
+
+std::string tmp_path(const std::string& name) { return testing::TempDir() + name; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Small but complete: legit demand + attacker waves + mitigation sweeps +
+// two embedded checkpoints inside the horizon.
+scenario::RecordedScenarioConfig small_config(std::uint64_t seed = 2024) {
+  scenario::RecordedScenarioConfig config;
+  config.seed = seed;
+  config.horizon = sim::hours(8);
+  config.flights = 4;
+  config.capacity = 40;
+  config.legit.booking_sessions_per_hour = 6;
+  config.legit.browse_sessions_per_hour = 4;
+  config.legit.otp_logins_per_hour = 3;
+  config.attacker_start = sim::hours(1);
+  config.attacker_period = sim::minutes(15);
+  config.controller_fit_at = sim::hours(1);
+  config.controller.sweep_interval = sim::hours(1);
+  config.rate_limits.push_back(mitigate::RateLimitSpec{
+      "hold-per-ip", web::Endpoint::HoldReservation, mitigate::RateKey::ByIp, 20, sim::kHour});
+  config.checkpoint_every = sim::hours(3);
+  return config;
+}
+
+// --- Framing ----------------------------------------------------------------
+
+TEST(JournalFraming, Crc32KnownVector) {
+  // The canonical CRC-32 check value ("123456789" under the IEEE polynomial).
+  EXPECT_EQ(util::crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(JournalFraming, WriteReadRoundtrip) {
+  const std::string path = tmp_path("roundtrip.journal");
+  journal::JournalWriter writer;
+  ASSERT_TRUE(writer.open(path, 42, 777).is_ok());
+  util::ByteWriter fields;
+  fields.str("hello");
+  fields.u64(99);
+  ASSERT_TRUE(writer.append(journal::RecordKind::Browse, 1234, fields).is_ok());
+  ASSERT_TRUE(writer.append(journal::RecordKind::ExpirySweep, 5678, util::ByteWriter{}).is_ok());
+  ASSERT_TRUE(writer.close().is_ok());
+
+  journal::JournalReader reader;
+  ASSERT_TRUE(reader.open(path).is_ok());
+  EXPECT_EQ(reader.seed(), 42u);
+  EXPECT_EQ(reader.config_digest(), 777u);
+  EXPECT_FALSE(reader.recovered_torn_tail());
+  ASSERT_EQ(reader.records().size(), 2u);
+  EXPECT_EQ(reader.records()[0].kind, journal::RecordKind::Browse);
+  EXPECT_EQ(reader.records()[0].time, 1234);
+  util::ByteReader in(reader.records()[0].fields);
+  EXPECT_EQ(in.str(), "hello");
+  EXPECT_EQ(in.u64(), 99u);
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_EQ(reader.records()[1].kind, journal::RecordKind::ExpirySweep);
+}
+
+TEST(JournalFraming, TruncatedTailIsRecoveredNotFatal) {
+  const std::string path = tmp_path("torn.journal");
+  journal::JournalWriter writer;
+  ASSERT_TRUE(writer.open(path, 1, 2).is_ok());
+  util::ByteWriter fields;
+  fields.str("intact");
+  ASSERT_TRUE(writer.append(journal::RecordKind::Pay, 10, fields).is_ok());
+  ASSERT_TRUE(writer.append(journal::RecordKind::Pay, 20, fields).is_ok());
+  ASSERT_TRUE(writer.close().is_ok());
+
+  const std::string bytes = slurp(path);
+  // Chop mid-way through the last frame: the crash residue of an append.
+  for (std::size_t cut = 1; cut < 12; ++cut) {
+    spit(path, bytes.substr(0, bytes.size() - cut));
+    journal::JournalReader reader;
+    ASSERT_TRUE(reader.open(path).is_ok()) << "cut " << cut;
+    EXPECT_TRUE(reader.recovered_torn_tail()) << "cut " << cut;
+    ASSERT_EQ(reader.records().size(), 1u) << "cut " << cut;
+    EXPECT_EQ(reader.records()[0].time, 10);
+  }
+}
+
+TEST(JournalFraming, MidFileCorruptionIsFatal) {
+  const std::string path = tmp_path("corrupt.journal");
+  journal::JournalWriter writer;
+  ASSERT_TRUE(writer.open(path, 1, 2).is_ok());
+  util::ByteWriter fields;
+  fields.str("payload-payload-payload");
+  ASSERT_TRUE(writer.append(journal::RecordKind::Pay, 10, fields).is_ok());
+  ASSERT_TRUE(writer.append(journal::RecordKind::Pay, 20, fields).is_ok());
+  ASSERT_TRUE(writer.close().is_ok());
+
+  std::string bytes = slurp(path);
+  // Flip a byte inside the FIRST data frame's payload (well before EOF).
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  spit(path, bytes);
+
+  journal::JournalReader reader;
+  const auto status = reader.open(path);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::ErrorCode::kJournalCorrupt);
+}
+
+TEST(JournalFraming, BadMagicIsCorrupt) {
+  const std::string path = tmp_path("magic.journal");
+  spit(path, "NOPE this is not a journal");
+  journal::JournalReader reader;
+  const auto status = reader.open(path);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::ErrorCode::kJournalCorrupt);
+}
+
+TEST(JournalFraming, MissingFileIsNotFound) {
+  journal::JournalReader reader;
+  const auto status = reader.open(tmp_path("does-not-exist.journal"));
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::ErrorCode::kNotFound);
+}
+
+// --- Rng state capture ------------------------------------------------------
+
+TEST(RngCheckpoint, RestoredStreamContinuesIdentically) {
+  sim::Rng rng(12345);
+  (void)rng.uniform();
+  (void)rng.uniform_int(0, 1000);
+  util::ByteWriter w;
+  rng.checkpoint(w);
+  std::vector<double> expected;
+  for (int i = 0; i < 16; ++i) expected.push_back(rng.uniform());
+
+  sim::Rng restored(999);  // different seed: state must come from the blob
+  util::ByteReader in(w.bytes());
+  restored.restore(in);
+  ASSERT_TRUE(in.ok());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(restored.uniform(), expected[i]);
+}
+
+// --- End-to-end record / replay --------------------------------------------
+
+TEST(RecordReplay, JournalingOffIsByteIdentical) {
+  const auto config = small_config();
+  const auto recorded = scenario::record_run(config, tmp_path("off-equiv.journal"));
+  ASSERT_TRUE(recorded.has_value()) << recorded.error();
+  const auto baseline = scenario::baseline_run(config);
+  EXPECT_EQ(baseline.metrics_csv, recorded.value().metrics_csv);
+  EXPECT_EQ(baseline.weblog_csv, recorded.value().weblog_csv);
+  EXPECT_EQ(baseline.soc_report, recorded.value().soc_report);
+}
+
+TEST(RecordReplay, ReplayReproducesArtifactsByteForByte) {
+  for (const std::uint64_t seed : {2024ull, 31337ull}) {
+    const auto config = small_config(seed);
+    const std::string path = tmp_path("replay-" + std::to_string(seed) + ".journal");
+    const auto recorded = scenario::record_run(config, path);
+    ASSERT_TRUE(recorded.has_value()) << recorded.error();
+    const auto replayed = scenario::replay_run(config, path);
+    ASSERT_TRUE(replayed.has_value()) << replayed.error();
+    EXPECT_EQ(recorded.value().metrics_csv, replayed.value().metrics_csv) << "seed " << seed;
+    EXPECT_EQ(recorded.value().weblog_csv, replayed.value().weblog_csv) << "seed " << seed;
+    EXPECT_EQ(recorded.value().soc_report, replayed.value().soc_report) << "seed " << seed;
+    // The weblog is non-trivial: the run actually served traffic.
+    EXPECT_GT(recorded.value().weblog_csv.size(), 1000u);
+  }
+}
+
+TEST(RecordReplay, CheckpointResumeEqualsFullReplay) {
+  const auto config = small_config();
+  const std::string path = tmp_path("resume.journal");
+  const auto recorded = scenario::record_run(config, path);
+  ASSERT_TRUE(recorded.has_value()) << recorded.error();
+
+  scenario::ReplayOptions from_checkpoint;
+  from_checkpoint.from_last_checkpoint = true;
+  const auto resumed = scenario::replay_run(config, path, from_checkpoint);
+  ASSERT_TRUE(resumed.has_value()) << resumed.error();
+  EXPECT_EQ(recorded.value().metrics_csv, resumed.value().metrics_csv);
+  EXPECT_EQ(recorded.value().weblog_csv, resumed.value().weblog_csv);
+  EXPECT_EQ(recorded.value().soc_report, resumed.value().soc_report);
+}
+
+TEST(RecordReplay, MismatchedConfigIsRefused) {
+  const auto config = small_config();
+  const std::string path = tmp_path("refuse.journal");
+  ASSERT_TRUE(scenario::record_run(config, path).has_value());
+
+  auto other = config;
+  other.attacker_party += 1;
+  const auto replayed = scenario::replay_run(other, path);
+  ASSERT_FALSE(replayed.has_value());
+  EXPECT_EQ(replayed.code(), util::ErrorCode::kCheckpointMismatch);
+}
+
+TEST(RecordReplay, ConfigDigestCoversScenarioShape) {
+  const auto base = small_config();
+  auto changed = base;
+  changed.rate_limits[0].limit = 21;
+  EXPECT_NE(scenario::config_digest(base), scenario::config_digest(changed));
+  EXPECT_EQ(scenario::config_digest(base), scenario::config_digest(small_config()));
+}
+
+// --- Shadow re-scoring ------------------------------------------------------
+
+TEST(ShadowRescore, IdenticalConfigYieldsZeroDiffs) {
+  const auto config = small_config();
+  const std::string path = tmp_path("rescore-identity.journal");
+  ASSERT_TRUE(scenario::record_run(config, path).has_value());
+
+  scenario::RescoreCandidate identity;
+  identity.name = "identity";
+  const auto report = scenario::shadow_rescore(config, path, identity);
+  ASSERT_TRUE(report.has_value()) << report.error();
+  EXPECT_GT(report.value().requests, 0u);
+  EXPECT_EQ(report.value().verdict_changes, 0u);
+  EXPECT_EQ(report.value().newly_caught, 0u);
+  EXPECT_EQ(report.value().newly_missed, 0u);
+  EXPECT_EQ(report.value().newly_blocked_legit, 0u);
+  EXPECT_EQ(report.value().newly_allowed_legit, 0u);
+}
+
+TEST(ShadowRescore, TighterHoldLimitCatchesAbuseOffline) {
+  const auto config = small_config();
+  const std::string path = tmp_path("rescore-tight.journal");
+  ASSERT_TRUE(scenario::record_run(config, path).has_value());
+
+  scenario::RescoreCandidate tight;
+  tight.name = "hold-per-ip 3/h";
+  tight.configure_engine = [](mitigate::RuleEngine& engine) {
+    engine.add_rate_limit(mitigate::RateLimitSpec{"shadow-hold-per-ip",
+                                                  web::Endpoint::HoldReservation,
+                                                  mitigate::RateKey::ByIp, 3, sim::kHour});
+  };
+  const auto report = scenario::shadow_rescore(config, path, tight);
+  ASSERT_TRUE(report.has_value()) << report.error();
+  EXPECT_GT(report.value().verdict_changes, 0u);
+  EXPECT_GT(report.value().newly_caught, 0u);
+  // The report renders with its counters in a fixed order.
+  const auto text = scenario::render_rescore_report(tight.name, report.value());
+  EXPECT_NE(text.find("hold-per-ip 3/h"), std::string::npos);
+  EXPECT_NE(text.find("newly caught"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fraudsim

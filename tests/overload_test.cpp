@@ -457,7 +457,7 @@ TEST(OverloadExport, CsvHasClassAndBrownoutRows) {
   }());
   mgr.on_request(0, overload::RequestClass::Priority, true);
   std::ostringstream out;
-  export_overload_csv(out, mgr.snapshot(sim::seconds(5)));
+  EXPECT_TRUE(export_overload_csv(out, mgr.snapshot(sim::seconds(5))).is_ok());
   const auto csv = out.str();
   EXPECT_NE(csv.find("row,class_or_state,offered"), std::string::npos);
   EXPECT_NE(csv.find("class,priority,1,1"), std::string::npos);
