@@ -17,6 +17,8 @@
 #include "core/mitigate/rules.hpp"
 #include "core/obs/profile.hpp"
 #include "core/scenario/env.hpp"
+#include "core/scenario/fleet.hpp"
+#include "core/scenario/replay_harness.hpp"
 #include "fingerprint/population.hpp"
 #include "util/strings.hpp"
 #include "web/features.hpp"
@@ -135,6 +137,48 @@ void BM_Levenshtein(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Levenshtein);
+
+// Fleet scaling: a fixed batch of smoke-scale scenario runs pushed through
+// the fleet runner at 1/2/4 threads. Thread count changes nothing about the
+// work — each job is an independent simulation — so on an N-core machine the
+// wall-clock time (UseRealTime; CPU time would stay flat by construction)
+// should drop near-linearly until N saturates the batch.
+void BM_FleetSmokeScaling(benchmark::State& state) {
+  const auto run_one = [](const scenario::FleetJob& job) {
+    scenario::RecordedScenarioConfig config;
+    config.seed = job.seed;
+    config.horizon = sim::hours(4);
+    config.flights = 4;
+    config.capacity = 60;
+    config.legit.booking_sessions_per_hour = 6;
+    config.legit.browse_sessions_per_hour = 4;
+    config.legit.otp_logins_per_hour = 3;
+    config.attacker_start = sim::hours(1);
+    config.attacker_period = sim::minutes(10);
+    config.controller_fit_at = sim::hours(1);
+    config.controller.sweep_interval = sim::hours(1);
+    config.checkpoint_every = 0;
+    const scenario::RunArtifacts artifacts = scenario::baseline_run(config);
+
+    scenario::FleetRunResult out;
+    out.metrics = artifacts.metrics;
+    out.observations["requests"] =
+        static_cast<double>(artifacts.metrics.counter("app.requests"));
+    return out;
+  };
+
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 8; ++s) seeds.push_back(100 + s);
+  const auto jobs = scenario::cross_jobs({"smoke"}, seeds);
+  scenario::FleetOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario::run_fleet(jobs, run_one, options));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_FleetSmokeScaling)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_NamePatternAnalysis(benchmark::State& state) {
   sim::Rng rng(5);

@@ -1,0 +1,128 @@
+// Multi-seed fleet sweep driver (also the CI fleet-determinism gate): run the
+// recorded smoke scenario across several defense postures × seeds on the
+// fleet runner, write every run's artifacts plus the aggregate CSV to a
+// directory, and print the cross-seed table.
+//
+//   $ ./fleet_sweep out/fleet            # FRAUDSIM_FLEET_THREADS or all cores
+//   $ ./fleet_sweep out/fleet 4 5        # 4 threads, 5 seeds per posture
+//
+// The per-seed artifact tree (<out-dir>/<variant>/seed-<seed>/...) is
+// byte-identical for any thread count, so CI compares two sweeps that differ
+// only in thread count with `diff -r`.
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario/fleet.hpp"
+#include "core/scenario/replay_harness.hpp"
+
+using namespace fraudsim;
+
+namespace {
+
+scenario::RecordedScenarioConfig sweep_config(const std::string& variant, std::uint64_t seed) {
+  scenario::RecordedScenarioConfig config;
+  config.seed = seed;
+  config.horizon = sim::hours(12);
+  config.flights = 6;
+  config.capacity = 60;
+  config.legit.booking_sessions_per_hour = 6;
+  config.legit.browse_sessions_per_hour = 4;
+  config.legit.otp_logins_per_hour = 3;
+  config.attacker_start = sim::hours(2);
+  config.attacker_period = sim::minutes(10);
+  config.controller_fit_at = sim::hours(2);
+  config.controller.sweep_interval = sim::hours(1);
+  config.checkpoint_every = 0;  // no journal attached; nothing to embed into
+  if (variant == "undefended") {
+    config.mitigation_enabled = false;
+  } else if (variant == "defended+captcha") {
+    config.challenge_mode = mitigate::ChallengeMode::SuspiciousOnly;
+  }  // "defended": the config defaults
+  return config;
+}
+
+bool write_artifact(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "error: cannot write " << path.string() << "\n";
+    return false;
+  }
+  return true;
+}
+
+int usage() {
+  std::cerr << "usage: fleet_sweep <out-dir> [threads] [seeds-per-variant]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 4) return usage();
+  const std::filesystem::path out_dir = argv[1];
+  scenario::FleetOptions options;
+  if (argc >= 3) options.threads = static_cast<unsigned>(std::stoul(argv[2]));
+  const std::size_t seeds_per_variant = argc == 4 ? std::stoul(argv[3]) : 3;
+
+  const std::vector<std::string> variants = {"defended", "defended+captcha", "undefended"};
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < seeds_per_variant; ++i) seeds.push_back(9000 + i);
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::cerr << "error: cannot create " << out_dir.string() << ": " << ec.message() << "\n";
+    return 1;
+  }
+
+  std::atomic<bool> write_failed{false};
+  const auto run_one = [&](const scenario::FleetJob& job) {
+    const scenario::RunArtifacts artifacts =
+        scenario::baseline_run(sweep_config(job.variant, job.seed));
+
+    // Distinct per-job directory: workers write concurrently, paths never
+    // collide, and the tree layout is independent of scheduling.
+    const std::filesystem::path dir =
+        out_dir / job.variant / ("seed-" + std::to_string(job.seed));
+    std::filesystem::create_directories(dir);
+    if (!write_artifact(dir / "metrics.csv", artifacts.metrics_csv) ||
+        !write_artifact(dir / "weblog.csv", artifacts.weblog_csv) ||
+        !write_artifact(dir / "soc_report.txt", artifacts.soc_report)) {
+      write_failed.store(true, std::memory_order_relaxed);
+    }
+
+    scenario::FleetRunResult result;
+    result.metrics = artifacts.metrics;
+    result.observations["requests"] =
+        static_cast<double>(artifacts.metrics.counter("app.requests"));
+    result.observations["blocked"] =
+        static_cast<double>(artifacts.metrics.counter("app.blocked"));
+    result.observations["challenged"] =
+        static_cast<double>(artifacts.metrics.counter("app.challenged"));
+    result.observations["rate_limited"] =
+        static_cast<double>(artifacts.metrics.counter("app.rate_limited"));
+    result.observations["mitigation_actions"] =
+        static_cast<double>(artifacts.metrics.counter("mitigate.actions"));
+    return result;
+  };
+
+  const scenario::FleetReport report =
+      scenario::run_fleet(scenario::cross_jobs(variants, seeds), run_one, options);
+  if (write_failed.load()) return 1;
+
+  std::ostringstream csv;
+  report.write_csv(csv);
+  if (!write_artifact(out_dir / "fleet.csv", csv.str())) return 1;
+
+  std::cout << report.render_table("Fleet sweep: smoke scenario postures") << "\n";
+  std::cout << "artifacts: " << out_dir.string() << " (" << report.jobs << " runs, "
+            << report.threads << " threads)\n";
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "app/actors.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace fraudsim::app {
 
 const char* to_string(ActorKind k) {
@@ -45,9 +48,16 @@ ActorKind ActorRegistry::kind_of(web::ActorId id) const {
 
 void ActorRegistry::checkpoint(util::ByteWriter& out) const {
   out.u64(next_);
-  out.u64(kinds_.size());
-  for (const auto& [id, kind] : kinds_) {
-    out.u64(id.value());
+  // kinds_ is an unordered_map; write ids sorted so the frame is byte-stable
+  // across standard libraries and restore -> re-checkpoint round trips.
+  std::vector<std::pair<std::uint64_t, ActorKind>> ordered;
+  ordered.reserve(kinds_.size());
+  for (const auto& [id, kind] : kinds_) ordered.emplace_back(id.value(), kind);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.u64(ordered.size());
+  for (const auto& [id, kind] : ordered) {
+    out.u64(id);
     out.u8(static_cast<std::uint8_t>(kind));
   }
 }

@@ -1,5 +1,8 @@
 #include "app/fp_store.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace fraudsim::app {
 
 FingerprintStore::FingerprintStore()
@@ -35,8 +38,17 @@ double FingerprintStore::frequency(fp::FpHash hash) const {
 void FingerprintStore::checkpoint(util::ByteWriter& out) const {
   out.u64(total_);
   out.u64(dropped_);
+  // Sort hashes before writing: entries_ is an unordered_map, and its
+  // iteration order would otherwise leak standard-library hash-table layout
+  // into the checkpoint bytes (and differ after a restore re-inserts).
+  std::vector<fp::FpHash> hashes;
+  hashes.reserve(entries_.size());
+  for (const auto& [hash, entry] : entries_) hashes.push_back(hash);
+  std::sort(hashes.begin(), hashes.end(),
+            [](fp::FpHash a, fp::FpHash b) { return a.value() < b.value(); });
   out.u64(entries_.size());
-  for (const auto& [hash, entry] : entries_) {
+  for (const fp::FpHash hash : hashes) {
+    const Entry& entry = entries_.at(hash);
     out.u64(hash.value());
     out.u64(entry.count);
     fp::save_fingerprint(out, entry.fingerprint);

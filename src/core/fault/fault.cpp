@@ -171,7 +171,7 @@ std::uint64_t FaultRegistry::total_injected() const {
 }
 
 FaultRegistry& FaultRegistry::global() {
-  static FaultRegistry registry;
+  thread_local FaultRegistry registry;
   return registry;
 }
 

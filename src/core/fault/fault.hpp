@@ -97,9 +97,15 @@ class FaultPoint {
   std::uint64_t injected_ = 0;
 };
 
-// Process-wide registry. Points are created on first use and never destroyed,
-// so cached references stay valid across reset(). Iteration order is the
-// point name order — deterministic for reports.
+// Per-thread registry. Points are created on first use and live as long as
+// the owning thread, so cached references stay valid across reset().
+// Iteration order is the point name order — deterministic for reports.
+//
+// global() is thread_local (not process-wide): every FaultPoint mutates hit
+// counters on each guarded call, so sharing one registry across the fleet
+// runner's worker threads would both race and let one scenario's faults leak
+// into a concurrently running scenario. A worker thread that arms nothing gets
+// a pristine registry, which is exactly the serial single-thread behaviour.
 class FaultRegistry {
  public:
   // Get-or-create.

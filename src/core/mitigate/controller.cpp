@@ -152,17 +152,32 @@ void MitigationController::checkpoint(util::ByteWriter& out) const {
     out.u64(count);
   }
   out.i64(until_);
-  out.u64(flagged_pnrs_.size());
-  for (const auto& [hash, pnrs] : flagged_pnrs_) {
+  // flagged_pnrs_ / biometric_hits_ are unordered_maps; write hashes sorted
+  // so checkpoint frames are byte-stable across standard libraries and
+  // restore -> re-checkpoint round trips (the per-hash PNR sets are std::set,
+  // already ordered).
+  std::vector<fp::FpHash> flagged_order;
+  flagged_order.reserve(flagged_pnrs_.size());
+  for (const auto& [hash, pnrs] : flagged_pnrs_) flagged_order.push_back(hash);
+  std::sort(flagged_order.begin(), flagged_order.end(),
+            [](fp::FpHash a, fp::FpHash b) { return a.value() < b.value(); });
+  out.u64(flagged_order.size());
+  for (const fp::FpHash hash : flagged_order) {
+    const auto& pnrs = flagged_pnrs_.at(hash);
     out.u64(hash.value());
     out.u64(pnrs.size());
     for (const auto& pnr : pnrs) out.str(pnr);
   }
   biometric_detector_.checkpoint(out);
   out.u64(biometric_cursor_);
-  out.u64(biometric_hits_.size());
-  for (const auto& [hash, hits] : biometric_hits_) {
-    out.u64(hash.value());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> hits_order;
+  hits_order.reserve(biometric_hits_.size());
+  for (const auto& [hash, hits] : biometric_hits_) hits_order.emplace_back(hash.value(), hits);
+  std::sort(hits_order.begin(), hits_order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.u64(hits_order.size());
+  for (const auto& [hash, hits] : hits_order) {
+    out.u64(hash);
     out.u64(hits);
   }
   out.u64(actions_.size());

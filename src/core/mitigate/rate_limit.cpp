@@ -1,5 +1,8 @@
 #include "core/mitigate/rate_limit.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace fraudsim::mitigate {
 
 SlidingWindowRateLimiter::SlidingWindowRateLimiter(std::uint64_t limit, sim::SimDuration window)
@@ -57,9 +60,20 @@ std::uint64_t SlidingWindowRateLimiter::current(sim::SimTime now, const std::str
 void SlidingWindowRateLimiter::checkpoint(util::ByteWriter& out) const {
   out.u64(local_denials_);
   out.i64(last_sweep_);
+  // events_ is an unordered_map: its iteration order depends on the standard
+  // library and on container history (a restore replays insertions in
+  // checkpoint order, not the original arrival order). Write keys sorted so
+  // checkpoint frames are byte-stable across implementations and across a
+  // restore -> re-checkpoint round trip.
+  std::vector<const std::string*> keys;
+  keys.reserve(events_.size());
+  for (const auto& [key, q] : events_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
   out.u64(events_.size());
-  for (const auto& [key, q] : events_) {
-    out.str(key);
+  for (const std::string* key : keys) {
+    const auto& q = events_.at(*key);
+    out.str(*key);
     out.u64(q.size());
     for (sim::SimTime t : q) out.i64(t);
   }

@@ -141,6 +141,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         row.p50 = histogram_percentile(h, 0.50);
         row.p90 = histogram_percentile(h, 0.90);
         row.p99 = histogram_percentile(h, 0.99);
+        row.min = h.min;
+        row.max = h.max;
         row.buckets.reserve(h.buckets.size());
         for (std::size_t b = 0; b < h.buckets.size(); ++b) {
           const double bound =
@@ -261,6 +263,50 @@ void MetricsSnapshot::write_jsonl(std::ostream& out) const {
     out << "}\n";
   }
 }
+
+void MetricsRegistry::merge(const MetricsSnapshot& shard) {
+  for (const MetricsSnapshot::Row& row : shard.rows) {
+    detail::MetricCell& c = cell(row.name, row.kind);
+    assert(c.kind == row.kind);
+    switch (row.kind) {
+      case MetricKind::Counter:
+        c.counter += row.count;
+        break;
+      case MetricKind::Gauge:
+        c.gauge += row.value;
+        break;
+      case MetricKind::Histogram: {
+        if (row.count == 0) break;
+        detail::HistogramCell& h = c.hist;
+        if (h.buckets.empty()) {
+          // First shard defines the bucket layout.
+          h.bounds.reserve(row.buckets.empty() ? 0 : row.buckets.size() - 1);
+          for (std::size_t b = 0; b + 1 < row.buckets.size(); ++b) {
+            h.bounds.push_back(row.buckets[b].first);
+          }
+          h.buckets.assign(h.bounds.size() + 1, 0);
+        }
+        // Shards of one series must share the bucket layout; a mismatch is a
+        // programming error (different registrations under the same name).
+        assert(h.buckets.size() == row.buckets.size());
+        if (h.buckets.size() != row.buckets.size()) break;
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) h.buckets[b] += row.buckets[b].second;
+        if (h.count == 0) {
+          h.min = row.min;
+          h.max = row.max;
+        } else {
+          h.min = std::min(h.min, row.min);
+          h.max = std::max(h.max, row.max);
+        }
+        h.count += row.count;
+        h.sum += row.value;
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) { merge(other.snapshot()); }
 
 void MetricsRegistry::checkpoint(util::ByteWriter& out) const {
   out.u64(cells_.size());

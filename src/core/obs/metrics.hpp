@@ -138,6 +138,10 @@ struct MetricsSnapshot {
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    // Observed extrema (histograms only); carried so a snapshot is a lossless
+    // shard for MetricsRegistry::merge.
+    double min = 0.0;
+    double max = 0.0;
     // (upper bound, count) pairs; histograms only. The final pair's bound is
     // +inf, rendered as "inf".
     std::vector<std::pair<double, std::uint64_t>> buckets;
@@ -179,6 +183,16 @@ class MetricsRegistry {
 
   // Deterministic snapshot: rows in name order, percentiles precomputed.
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  // Shard merge (the fleet runner's reduction): fold another registry's
+  // series into this one. Counters and histograms add (bucket-wise; bucket
+  // bounds must match the local registration), gauges SUM — last-write-wins
+  // has no meaning across independent shards, and a sum keeps merge
+  // associative and commutative. Absent series are created, so merging into
+  // an empty registry clones the shard. Deterministic: result depends only on
+  // the multiset of shards merged, not the merge order.
+  void merge(const MetricsSnapshot& shard);
+  void merge(const MetricsRegistry& other);
 
   // Checkpoint support. Restore writes values INTO existing cells (creating
   // any the restoring process has not registered yet), so pre-resolved

@@ -20,6 +20,7 @@ Profiler& Profiler::instance() {
 }
 
 PhaseId Profiler::phase(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (PhaseId i = 0; i < phases_.size(); ++i) {
     if (phases_[i].name == name) return i;
   }
@@ -29,8 +30,11 @@ PhaseId Profiler::phase(std::string_view name) {
 
 std::vector<Profiler::PhaseTotals> Profiler::totals() const {
   std::vector<PhaseTotals> out;
-  for (const PhaseTotals& p : phases_) {
-    if (p.calls > 0) out.push_back(p);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const PhaseTotals& p : phases_) {
+      if (p.calls > 0) out.push_back(p);
+    }
   }
   std::sort(out.begin(), out.end(), [](const PhaseTotals& a, const PhaseTotals& b) {
     if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
@@ -66,6 +70,7 @@ std::string Profiler::report() const {
 }
 
 void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (PhaseTotals& p : phases_) {
     p.calls = 0;
     p.total_ns = 0;

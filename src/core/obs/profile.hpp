@@ -13,9 +13,11 @@
 // per-simulation-instance.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,14 +30,20 @@ class Profiler {
  public:
   static Profiler& instance();
 
-  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   // Test/bench override; FRAUDSIM_PROFILE=1 is read once at first access.
-  void set_enabled(bool on) { enabled_ = on; }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
   // Register-or-lookup a phase; the same name always maps to the same id.
   PhaseId phase(std::string_view name);
 
+  // The singleton is shared by every thread (wall-clock totals are inherently
+  // per-process), so the phase table is mutex-protected. Contention is nil in
+  // the default disabled state — ScopedTimer never reaches record() — and
+  // acceptable when profiling, where the lock cost drowns in the measured
+  // phases themselves.
   void record(PhaseId id, std::uint64_t ns) {
+    const std::lock_guard<std::mutex> lock(mu_);
     if (id < phases_.size()) {
       ++phases_[id].calls;
       phases_[id].total_ns += ns;
@@ -58,7 +66,8 @@ class Profiler {
 
  private:
   Profiler();
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
   std::vector<PhaseTotals> phases_;
 };
 

@@ -199,8 +199,9 @@ void schedule_checkpoint_loop(Env& env, mitigate::MitigationController& controll
 // not the exporters.
 RunArtifacts make_artifacts(Platform& p, const RecordedScenarioConfig& config) {
   RunArtifacts artifacts;
+  artifacts.metrics = p.env->app.metrics().snapshot();
   std::ostringstream metrics;
-  p.env->app.metrics().snapshot().write_csv(metrics);
+  artifacts.metrics.write_csv(metrics);
   artifacts.metrics_csv = metrics.str();
   std::ostringstream weblog;
   (void)app::export_weblog_csv(weblog, p.env->app.weblog().all());

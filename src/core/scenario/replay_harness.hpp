@@ -31,6 +31,7 @@
 
 #include "core/journal/journal.hpp"
 #include "core/mitigate/controller.hpp"
+#include "core/obs/metrics.hpp"
 #include "core/scenario/env.hpp"
 
 namespace fraudsim::scenario {
@@ -75,6 +76,9 @@ struct RunArtifacts {
   std::string metrics_csv;  // obs::MetricsRegistry snapshot
   std::string weblog_csv;   // app::export_weblog_csv
   std::string soc_report;   // scenario::render_soc_report
+  // The snapshot the CSV was rendered from, carried as a structured shard so
+  // a fleet reduction can fold it via obs::MetricsRegistry::merge.
+  obs::MetricsSnapshot metrics;
 };
 
 // Live run WITHOUT any journaling attached: the control for "recording off

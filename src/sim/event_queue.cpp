@@ -7,26 +7,24 @@ namespace fraudsim::sim {
 EventId EventQueue::schedule(SimTime at, EventFn fn) {
   const EventId id = next_id_++;
   heap_.push(Entry{at, id, std::move(fn)});
-  ++live_;
+  pending_.insert(id);
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // If the entry already fired, it is not in the heap; inserting into
-  // cancelled_ would leak, so we only record ids that are still live. We
-  // cannot cheaply test heap membership, so track liveness via live_ count
-  // and the cancelled set: double-cancel returns false.
-  if (cancelled_.contains(id)) return false;
-  if (live_ == 0) return false;
+  // Only ids that are scheduled AND have neither fired nor been cancelled are
+  // in `pending_`. Everything else — never-issued ids, fired ids, doubly
+  // cancelled ids — is rejected without touching any queue state.
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
   cancelled_.insert(id);
-  --live_;
   return true;
 }
 
-bool EventQueue::empty() const { return live_ == 0; }
+bool EventQueue::empty() const { return pending_.empty(); }
 
-std::size_t EventQueue::pending() const { return live_; }
+std::size_t EventQueue::pending() const { return pending_.size(); }
 
 SimTime EventQueue::next_time() const {
   assert(!empty());
@@ -55,7 +53,7 @@ EventQueue::Fired EventQueue::pop() {
   Entry& top = const_cast<Entry&>(heap_.top());
   Fired fired{top.time, top.id, std::move(top.fn)};
   heap_.pop();
-  --live_;
+  pending_.erase(fired.id);
   return fired;
 }
 

@@ -50,11 +50,16 @@ class EventQueue {
     }
   };
 
-  // `cancelled_` is lazily drained in pop(); entries stay in the heap.
+  // Per-id liveness: an id is in `pending_` from schedule() until it either
+  // fires or is cancelled. cancel() consults it, so cancelling an
+  // already-fired (or already-cancelled) id is a clean no-op — the id can
+  // never leak into `cancelled_` or skew the live count. Cancelled entries
+  // stay in the heap and are lazily drained in pop()/next_time() via
+  // `cancelled_`.
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
-  std::size_t live_ = 0;
 };
 
 }  // namespace fraudsim::sim

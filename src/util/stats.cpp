@@ -34,6 +34,15 @@ double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
 double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
 
 void RunningStats::merge(const RunningStats& other) {
+  // Self-merge aliases `other` onto `*this`: the Chan update would read
+  // other.mean_/other.m2_ mid-mutation and corrupt the moments. Merging a
+  // shard with itself is well-defined (the data concatenated with itself), so
+  // run the update against a snapshot instead.
+  if (&other == this) {
+    const RunningStats copy = *this;
+    merge(copy);
+    return;
+  }
   if (other.n_ == 0) return;
   if (n_ == 0) {
     *this = other;
@@ -137,6 +146,13 @@ double js_divergence(const std::vector<double>& p_counts, const std::vector<doub
     d += 0.5 * q[i] * std::log2(q[i] / m[i]);
   }
   return std::clamp(d, 0.0, 1.0);
+}
+
+void ConfusionCounts::merge(const ConfusionCounts& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
 }
 
 void ConfusionCounts::add(bool predicted_positive, bool actually_positive) {

@@ -64,6 +64,9 @@ struct ConfusionCounts {
   std::uint64_t fn = 0;
 
   void add(bool predicted_positive, bool actually_positive);
+  // Element-wise sum: merging per-shard confusion tallies equals scoring the
+  // concatenated predictions (self-merge doubles every cell).
+  void merge(const ConfusionCounts& other);
   [[nodiscard]] double precision() const;
   [[nodiscard]] double recall() const;
   [[nodiscard]] double f1() const;

@@ -148,6 +148,36 @@ TEST_F(InventoryTest, HoldTriggersLazyExpiry) {
   EXPECT_TRUE(outcome.ok);
 }
 
+TEST_F(InventoryTest, TicketOnLapsedHoldExpiresExactlyOnce) {
+  // ticket() on a lapsed hold expires the reservation itself, but the
+  // expiry heap still holds the stale entry for it. When the sweep later
+  // pops that entry it must see the reservation already out of Held and skip
+  // it: held seats released exactly once, stats_.expired counted once.
+  const auto outcome = inv_.hold(0, flight_, party_of(4), web::ActorId{1});
+  ASSERT_TRUE(outcome.ok);
+  ASSERT_EQ(inv_.held_seats(flight_), 4);
+
+  const auto status = inv_.ticket(sim::minutes(31), outcome.pnr);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::ErrorCode::kExpired);
+  EXPECT_EQ(inv_.find(outcome.pnr)->state, ReservationState::Expired);
+  EXPECT_EQ(inv_.held_seats(flight_), 0);
+  EXPECT_EQ(inv_.stats().expired, 1u);
+
+  // The stale heap entry drains without touching the already-expired hold.
+  EXPECT_EQ(inv_.expire_due(sim::hours(2)), 0u);
+  EXPECT_EQ(inv_.held_seats(flight_), 0);
+  EXPECT_EQ(inv_.available_seats(flight_), 10);
+  EXPECT_EQ(inv_.stats().expired, 1u);
+
+  // A retried payment reports the terminal state, with no further accounting.
+  const auto retry = inv_.ticket(sim::hours(3), outcome.pnr);
+  EXPECT_FALSE(retry.is_ok());
+  EXPECT_EQ(retry.code(), util::ErrorCode::kInvalidState);
+  EXPECT_EQ(inv_.stats().expired, 1u);
+  EXPECT_EQ(inv_.held_seats(flight_), 0);
+}
+
 TEST_F(InventoryTest, TicketingMovesSeatsToSold) {
   const auto outcome = inv_.hold(0, flight_, party_of(3), web::ActorId{1});
   ASSERT_TRUE(inv_.ticket(sim::minutes(10), outcome.pnr));

@@ -1,0 +1,160 @@
+// Checkpoint byte-stability regressions.
+//
+// Checkpoint writers that iterate unordered_map-backed state used to emit
+// entries in hash-table iteration order, which (a) differs across standard
+// libraries and (b) differs after a restore re-inserts the entries in
+// checkpoint order. The contract pinned here: identical LOGICAL state yields
+// identical checkpoint BYTES — regardless of the insertion history that
+// produced it — and a restore -> re-checkpoint round trip reproduces the
+// frame exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "app/actors.hpp"
+#include "app/fp_store.hpp"
+#include "attack/seat_spin.hpp"
+#include "core/mitigate/controller.hpp"
+#include "core/mitigate/rate_limit.hpp"
+#include "core/scenario/env.hpp"
+#include "fingerprint/population.hpp"
+#include "util/archive.hpp"
+
+namespace fraudsim {
+namespace {
+
+std::string checkpoint_bytes(const auto& component) {
+  util::ByteWriter out;
+  component.checkpoint(out);
+  return out.bytes();
+}
+
+// --- SlidingWindowRateLimiter ----------------------------------------------
+
+TEST(CheckpointStability, RateLimiterIsInsertionOrderIndependent) {
+  const std::vector<std::string> keys = {"zeta", "alpha", "10.0.0.9", "10.0.0.1", "mid"};
+  mitigate::SlidingWindowRateLimiter forward(10, sim::kHour);
+  mitigate::SlidingWindowRateLimiter backward(10, sim::kHour);
+  // Same per-key event times, opposite key interleaving: identical logical
+  // state through different container histories.
+  for (sim::SimTime t = 0; t < 5; ++t) {
+    for (const auto& key : keys) ASSERT_TRUE(forward.allow(t, key));
+    for (auto it = keys.rbegin(); it != keys.rend(); ++it) ASSERT_TRUE(backward.allow(t, *it));
+  }
+  EXPECT_EQ(checkpoint_bytes(forward), checkpoint_bytes(backward));
+}
+
+TEST(CheckpointStability, RateLimiterRestoreRecheckpointRoundTrips) {
+  mitigate::SlidingWindowRateLimiter limiter(5, sim::kHour);
+  sim::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    (void)limiter.allow(sim::minutes(i), "key-" + std::to_string(rng.uniform_int(0, 30)));
+  }
+  const std::string bytes = checkpoint_bytes(limiter);
+
+  mitigate::SlidingWindowRateLimiter restored(5, sim::kHour);
+  util::ByteReader in(bytes);
+  restored.restore(in);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(checkpoint_bytes(restored), bytes);
+}
+
+// --- FingerprintStore ------------------------------------------------------
+
+TEST(CheckpointStability, FingerprintStoreIsInsertionOrderIndependent) {
+  fp::PopulationModel population;
+  sim::Rng rng(11);
+  std::vector<fp::Fingerprint> prints;
+  for (int i = 0; i < 40; ++i) prints.push_back(population.sample(rng));
+
+  app::FingerprintStore forward;
+  app::FingerprintStore backward;
+  for (const auto& print : prints) forward.observe(print, 0);
+  for (auto it = prints.rbegin(); it != prints.rend(); ++it) backward.observe(*it, 0);
+  EXPECT_EQ(checkpoint_bytes(forward), checkpoint_bytes(backward));
+}
+
+TEST(CheckpointStability, FingerprintStoreRestoreRecheckpointRoundTrips) {
+  fp::PopulationModel population;
+  sim::Rng rng(13);
+  app::FingerprintStore store;
+  for (int i = 0; i < 64; ++i) store.observe(population.sample(rng), sim::minutes(i));
+  const std::string bytes = checkpoint_bytes(store);
+
+  app::FingerprintStore restored;
+  util::ByteReader in(bytes);
+  restored.restore(in);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(checkpoint_bytes(restored), bytes);
+}
+
+// --- ActorRegistry ---------------------------------------------------------
+
+TEST(CheckpointStability, ActorRegistryRestoreRecheckpointRoundTrips) {
+  app::ActorRegistry registry;
+  // Enough ids to force several hash-table rehashes, so the restore's
+  // insertion history differs structurally from the original one.
+  for (int i = 0; i < 300; ++i) {
+    (void)registry.register_actor(i % 3 == 0 ? app::ActorKind::SeatSpinBot
+                                             : app::ActorKind::Human);
+  }
+  const std::string bytes = checkpoint_bytes(registry);
+
+  app::ActorRegistry restored;
+  util::ByteReader in(bytes);
+  restored.restore(in);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(checkpoint_bytes(restored), bytes);
+}
+
+// --- MitigationController --------------------------------------------------
+
+// Populate the controller's unordered maps (flagged_pnrs_ via real sweeps
+// over an attacked platform), then round-trip its checkpoint through a fresh
+// controller on a fresh, never-run platform: the re-checkpointed frame must
+// be byte-identical even though the restored maps were re-inserted in
+// checkpoint order.
+TEST(CheckpointStability, MitigationControllerRestoreRecheckpointRoundTrips) {
+  scenario::EnvConfig config;
+  config.seed = 83;
+  config.legit.booking_sessions_per_hour = 6;
+  config.legit.browse_sessions_per_hour = 2;
+  config.legit.otp_logins_per_hour = 1;
+  scenario::Env env(config);
+  env.add_flights("A", 12, 150, sim::days(30));
+  const auto target = env.app.add_flight("A", 779, 100, sim::days(12));
+
+  attack::SeatSpinConfig bot_config;
+  bot_config.target = target;
+  attack::SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
+                          env.rng.fork("bot"));
+
+  mitigate::ControllerConfig controller_config;
+  controller_config.min_flagged_pnrs = 2;
+  mitigate::MitigationController controller(env.app, env.engine, controller_config);
+
+  const sim::SimTime end = sim::days(2);
+  env.start_background(end);
+  env.sim.schedule_at(sim::hours(12), [&] {
+    controller.fit_nip_baseline(0, sim::hours(12));
+    controller.start(end);
+    bot.start();
+  });
+  env.run_until(end);
+  ASSERT_GT(controller.fingerprints_blocked(), 0u) << "sweeps must populate the flagged maps";
+
+  const std::string bytes = checkpoint_bytes(controller);
+
+  scenario::EnvConfig fresh_config;
+  fresh_config.seed = 84;
+  scenario::Env fresh(fresh_config);
+  mitigate::MitigationController restored(fresh.app, fresh.engine, controller_config);
+  util::ByteReader in(bytes);
+  restored.restore(in);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(checkpoint_bytes(restored), bytes);
+}
+
+}  // namespace
+}  // namespace fraudsim

@@ -218,6 +218,79 @@ TEST(MetricsSnapshot, CsvHasHeaderAndOneRowPerMetric) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
 }
 
+// --- Shard merge -------------------------------------------------------------
+
+TEST(MetricsMerge, MergingShardsEqualsObservingEverythingInOneRegistry) {
+  const std::vector<double> bounds = {1.0, 5.0, 25.0};
+  MetricsRegistry shard_a;
+  MetricsRegistry shard_b;
+  MetricsRegistry combined;
+  const auto feed = [&bounds](MetricsRegistry& r, std::uint64_t hits, double load,
+                              const std::vector<double>& samples) {
+    r.counter("requests").inc(hits);
+    r.gauge("load").add(load);
+    const Histogram h = r.histogram("latency", bounds);
+    for (const double v : samples) h.observe(v);
+  };
+  feed(shard_a, 3, 1.5, {0.5, 4.0, 30.0});
+  feed(shard_b, 9, 2.5, {2.0, 2.0, 100.0, 0.1});
+  feed(combined, 3, 1.5, {0.5, 4.0, 30.0});
+  feed(combined, 9, 2.5, {2.0, 2.0, 100.0, 0.1});
+
+  MetricsRegistry merged;
+  merged.merge(shard_a);
+  merged.merge(shard_b);
+  EXPECT_EQ(merged.snapshot().render_table(), combined.snapshot().render_table());
+  EXPECT_EQ(merged.counter_value("requests"), 12u);
+  EXPECT_EQ(merged.gauge("load").value(), 4.0);
+  const Histogram h = merged.histogram("latency", bounds);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(MetricsMerge, MergeIntoEmptyRegistryClonesTheShard) {
+  MetricsRegistry shard;
+  shard.counter("c").inc(5);
+  shard.gauge("g").set(-2.0);
+  const Histogram h = shard.histogram("h", {10.0});
+  h.observe(3.0);
+  h.observe(42.0);
+
+  MetricsRegistry empty;
+  empty.merge(shard.snapshot());
+  EXPECT_EQ(empty.snapshot().render_table(), shard.snapshot().render_table());
+}
+
+TEST(MetricsMerge, MergeOrderDoesNotMatter) {
+  const std::vector<double> bounds = {2.0, 8.0};
+  std::vector<MetricsRegistry> shards(3);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    shards[i].counter("n").inc(i + 1);
+    shards[i].histogram("h", bounds).observe(static_cast<double>(i) * 3.0);
+  }
+  MetricsRegistry forward;
+  for (const auto& s : shards) forward.merge(s);
+  MetricsRegistry backward;
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) backward.merge(*it);
+  EXPECT_EQ(forward.snapshot().render_table(), backward.snapshot().render_table());
+}
+
+TEST(MetricsMerge, EmptyHistogramShardLeavesExtremaUntouched) {
+  MetricsRegistry with_samples;
+  with_samples.histogram("h", {1.0}).observe(0.25);
+  MetricsRegistry empty_hist;
+  (void)empty_hist.histogram("h", {1.0});  // registered, never observed
+
+  MetricsRegistry merged;
+  merged.merge(with_samples);
+  merged.merge(empty_hist);
+  const Histogram h = merged.histogram("h", {1.0});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 0.25);
+}
+
 // --- Trace recorder ---------------------------------------------------------
 
 TEST(TraceRecorder, RecordsNestedSpans) {

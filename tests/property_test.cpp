@@ -253,5 +253,44 @@ TEST_P(ScalerProperty, TransformedTrainingDataIsStandardised) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScalerProperty, ::testing::Values(51, 52, 53));
 
+// --- RunningStats sharded reduction ----------------------------------------------------
+
+// The fleet runner reduces per-seed shards with RunningStats::merge in an
+// arbitrary tree. Property: however the samples are split into shards and in
+// whatever order the shards are merged (including degenerate single-shard
+// reductions that alias the accumulator), the result equals the stats of the
+// concatenated samples.
+class StatsMergeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsMergeProperty, ShardedMergeEqualsConcatenation) {
+  sim::Rng rng(GetParam());
+  const int shard_count = static_cast<int>(rng.uniform_int(1, 8));
+  std::vector<util::RunningStats> shards(static_cast<std::size_t>(shard_count));
+  util::RunningStats concatenated;
+  const int samples = static_cast<int>(rng.uniform_int(0, 400));
+  for (int i = 0; i < samples; ++i) {
+    const double x = rng.normal(5.0, 12.0);
+    shards[static_cast<std::size_t>(rng.uniform_int(0, shard_count - 1))].add(x);
+    concatenated.add(x);
+  }
+  // Merge the shards in a random order into a single accumulator.
+  util::RunningStats merged;
+  while (!shards.empty()) {
+    const auto pick =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(shards.size()) - 1));
+    merged.merge(shards[pick]);
+    shards.erase(shards.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  EXPECT_EQ(merged.count(), concatenated.count());
+  EXPECT_NEAR(merged.mean(), concatenated.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), concatenated.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.min(), concatenated.min());
+  EXPECT_DOUBLE_EQ(merged.max(), concatenated.max());
+  EXPECT_NEAR(merged.sum(), concatenated.sum(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsMergeProperty,
+                         ::testing::Values(61, 62, 63, 64, 65, 66, 67, 68));
+
 }  // namespace
 }  // namespace fraudsim

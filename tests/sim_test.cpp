@@ -216,6 +216,66 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
+// Regression: cancelling an id that already fired must be a clean no-op. The
+// old implementation only guarded on id range and the cancelled set, so a
+// fired id decremented the live count and leaked into the cancelled set — the
+// queue then reported empty() while a live event still sat in the heap.
+TEST(EventQueue, CancelAfterFireIsRejected) {
+  EventQueue q;
+  bool late_fired = false;
+  const auto early = q.schedule(10, [] {});
+  q.schedule(20, [&] { late_fired = true; });
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.id, early);
+  EXPECT_FALSE(q.cancel(early));  // already fired: rejected, state untouched
+  EXPECT_FALSE(q.empty());        // the t=20 event is still live
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.next_time(), 20);
+  q.pop().fn();
+  EXPECT_TRUE(late_fired);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(early));  // still rejected once drained
+}
+
+TEST(EventQueue, DoubleCancelLeavesOtherEventsLive) {
+  EventQueue q;
+  const auto doomed = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.schedule(30, [] {});
+  EXPECT_TRUE(q.cancel(doomed));
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_FALSE(q.cancel(doomed));
+    EXPECT_EQ(q.pending(), 2u);  // repeated cancels never eat live events
+  }
+  EXPECT_EQ(q.pop().time, 20);
+  EXPECT_EQ(q.pop().time, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+// Cancel-then-drain: interleave fires and cancels, then drain. Every live
+// event is delivered exactly once, no cancelled event fires, and empty() only
+// turns true once the heap holds no live entries.
+TEST(EventQueue, CancelThenDrainDeliversExactlyTheLiveEvents) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(q.schedule(100 + i, [&fired, i] { fired.push_back(i); }));
+  }
+  // Fire the first two, then cancel a mix of fired and pending ids.
+  q.pop().fn();
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(ids[0]));  // fired
+  EXPECT_FALSE(q.cancel(ids[1]));  // fired
+  EXPECT_TRUE(q.cancel(ids[3]));
+  EXPECT_TRUE(q.cancel(ids[7]));
+  EXPECT_FALSE(q.cancel(ids[3]));  // double cancel
+  EXPECT_EQ(q.pending(), 6u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 4, 5, 6, 8, 9}));
+  EXPECT_EQ(q.pending(), 0u);
+}
+
 // --- Simulation ------------------------------------------------------------------
 
 TEST(Simulation, RunUntilAdvancesClock) {

@@ -187,6 +187,51 @@ TEST(RunningStats, MergeMatchesCombined) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
 }
 
+// Regression: merge(*this) used to read other's moments mid-mutation through
+// the alias. Self-merge must equal merging with an identical copy — i.e. the
+// stats of the data concatenated with itself.
+TEST(RunningStats, SelfMergeEqualsMergingACopy) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 5.0, 7.0, 9.5}) s.add(x);
+  RunningStats expected = s;
+  const RunningStats copy = s;
+  expected.merge(copy);
+
+  s.merge(s);
+  EXPECT_EQ(s.count(), expected.count());
+  EXPECT_DOUBLE_EQ(s.mean(), expected.mean());
+  EXPECT_DOUBLE_EQ(s.variance(), expected.variance());
+  EXPECT_DOUBLE_EQ(s.sum(), expected.sum());
+  EXPECT_DOUBLE_EQ(s.min(), expected.min());
+  EXPECT_DOUBLE_EQ(s.max(), expected.max());
+
+  RunningStats empty;
+  empty.merge(empty);  // self-merge of an empty shard stays empty
+  EXPECT_EQ(empty.count(), 0u);
+}
+
+TEST(ConfusionCounts, MergeSumsCells) {
+  ConfusionCounts a;
+  a.add(true, true);
+  a.add(true, false);
+  ConfusionCounts b;
+  b.add(false, true);
+  b.add(false, false);
+  b.add(true, true);
+  ConfusionCounts all = a;
+  all.merge(b);
+  EXPECT_EQ(all.tp, 2u);
+  EXPECT_EQ(all.fp, 1u);
+  EXPECT_EQ(all.fn, 1u);
+  EXPECT_EQ(all.tn, 1u);
+  EXPECT_EQ(all.total(), a.total() + b.total());
+
+  ConfusionCounts doubled = a;
+  doubled.merge(doubled);  // self-merge doubles every cell
+  EXPECT_EQ(doubled.tp, 2 * a.tp);
+  EXPECT_EQ(doubled.fp, 2 * a.fp);
+}
+
 TEST(Stats, PercentileInterpolates) {
   std::vector<double> v = {1, 2, 3, 4, 5};
   EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
