@@ -1,0 +1,32 @@
+#include "core/fault/crash.hpp"
+
+namespace fraudsim::fault {
+
+SimCrash::SimCrash(std::string point, sim::SimTime time)
+    : point_(std::move(point)), time_(time) {
+  message_ = "simulated crash at " + point_ + " (t=" + sim::format_time(time_) + ")";
+}
+
+bool crash_due(const std::string& point, sim::SimTime now) {
+  FaultPoint& p = FaultRegistry::global().point(point);
+  if (!p.armed()) return false;
+  if (p.scenario().fault != FaultKind::kCrash) return false;
+  return p.should_fail(now);
+}
+
+void maybe_crash(const std::string& point, sim::SimTime now) {
+  if (crash_due(point, now)) throw SimCrash(point, now);
+}
+
+std::size_t torn_prefix(std::size_t size, std::uint64_t salt) {
+  if (size == 0) return 0;
+  // splitmix64 finalizer: avalanche the salt so consecutive hit counts give
+  // well-spread cut points.
+  std::uint64_t z = salt + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z % size);
+}
+
+}  // namespace fraudsim::fault

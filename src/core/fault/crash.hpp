@@ -1,0 +1,62 @@
+// Simulated process death for crash-consistency testing.
+//
+// A FaultPoint armed with a kCrash scenario (e.g. FaultScenario::crash_at_hit)
+// models "the process was killed at this I/O boundary". The consulting writer
+// first tears its in-flight bytes exactly as a real kill would — a prefix of
+// the frame/file lands on disk — then unwinds via SimCrash instead of calling
+// _exit, so one harness process can die and recover hundreds of times per
+// sweep. Crash points are dedicated names (crash.journal.frame, ...) and are
+// never shared with kError outage points.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "core/fault/fault.hpp"
+#include "sim/time.hpp"
+
+namespace fraudsim::fault {
+
+// Canonical crash-point names, one per I/O boundary class.
+inline constexpr char kCrashJournalFrame[] = "crash.journal.frame";
+inline constexpr char kCrashJournalCheckpoint[] = "crash.journal.checkpoint";
+inline constexpr char kCrashArtifactBody[] = "crash.artifact.body";
+inline constexpr char kCrashArtifactRename[] = "crash.artifact.rename";
+inline constexpr char kCrashManifestWrite[] = "crash.manifest.write";
+
+// The simulated kill. Thrown from inside a writer after it has torn its
+// in-flight bytes; harnesses catch it at the run boundary and hand the
+// directory to recover::RecoveryManager.
+class SimCrash : public std::exception {
+ public:
+  SimCrash(std::string point, sim::SimTime time);
+
+  [[nodiscard]] const char* what() const noexcept override { return message_.c_str(); }
+  [[nodiscard]] const std::string& point() const { return point_; }
+  [[nodiscard]] sim::SimTime time() const { return time_; }
+
+ private:
+  std::string point_;
+  sim::SimTime time_;
+  std::string message_;
+};
+
+// Consults `point` in the global registry: true when an armed kCrash scenario
+// fires on this hit. Unarmed points never consume randomness. A kError
+// scenario armed on a crash point never fires here (and vice versa in the
+// error-path should_fail callers), keeping the two fault families disjoint.
+[[nodiscard]] bool crash_due(const std::string& point, sim::SimTime now);
+
+// crash_due + throw: the one-liner writers call at each boundary AFTER
+// tearing their in-flight write.
+void maybe_crash(const std::string& point, sim::SimTime now);
+
+// Deterministic kill-at-any-byte offset: how many of `size` in-flight bytes
+// land on disk before the death. Always in [0, size) for size > 0 — a crash
+// mid-write never completes the write — and varies with `salt` so successive
+// crashes at the same point tear at different offsets.
+[[nodiscard]] std::size_t torn_prefix(std::size_t size, std::uint64_t salt);
+
+}  // namespace fraudsim::fault

@@ -4,6 +4,16 @@
 
 namespace fraudsim::fault {
 
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
 const char* to_string(ScenarioKind k) {
   switch (k) {
     case ScenarioKind::Never:
@@ -14,6 +24,8 @@ const char* to_string(ScenarioKind k) {
       return "probabilistic";
     case ScenarioKind::EveryNth:
       return "every-nth";
+    case ScenarioKind::OnNth:
+      return "on-nth";
     case ScenarioKind::Window:
       return "window";
     case ScenarioKind::Burst:
@@ -51,6 +63,14 @@ FaultScenario FaultScenario::window(sim::SimTime from, sim::SimTime to) {
   return s;
 }
 
+FaultScenario FaultScenario::crash_at_hit(std::uint64_t n) {
+  FaultScenario s;
+  s.kind = ScenarioKind::OnNth;
+  s.fault = FaultKind::kCrash;
+  s.nth = n;
+  return s;
+}
+
 FaultScenario FaultScenario::burst(sim::SimTime first, sim::SimDuration period,
                                    sim::SimDuration duration) {
   FaultScenario s;
@@ -74,6 +94,11 @@ std::string FaultScenario::describe() const {
       return buf;
     case ScenarioKind::EveryNth:
       std::snprintf(buf, sizeof(buf), "every %llu-th hit", static_cast<unsigned long long>(nth));
+      return buf;
+    case ScenarioKind::OnNth:
+      std::snprintf(buf, sizeof(buf), "%s on hit %llu",
+                    fault == FaultKind::kCrash ? "crash" : "fail",
+                    static_cast<unsigned long long>(nth));
       return buf;
     case ScenarioKind::Window:
       return "down " + sim::format_time(from) + " .. " + sim::format_time(to);
@@ -120,6 +145,9 @@ bool FaultPoint::should_fail(sim::SimTime now) {
       break;
     case ScenarioKind::EveryNth:
       fail = scenario_.nth != 0 && armed_hits_ % scenario_.nth == 0;
+      break;
+    case ScenarioKind::OnNth:
+      fail = scenario_.nth != 0 && armed_hits_ == scenario_.nth;
       break;
     case ScenarioKind::Window:
       fail = now >= scenario_.from && now < scenario_.to;

@@ -34,17 +34,27 @@ enum class ScenarioKind : std::uint8_t {
   Always,         // every hit fails
   Probabilistic,  // each hit fails with probability p (own seeded stream)
   EveryNth,       // hits n, 2n, 3n, ... fail (counted from arm time)
+  OnNth,          // exactly hit n fails (kill-at-one-point crash injection)
   Window,         // every hit inside [from, to) fails — a dependency outage
   Burst,          // repeating outages: down for `duration` every `period`
 };
 
 [[nodiscard]] const char* to_string(ScenarioKind k);
 
+// What a firing point models. kError points return failure to the guarded
+// call (dependency outage); kCrash points simulate a process death at an I/O
+// boundary — the consulting code tears its in-flight write and unwinds via a
+// fault::SimCrash exception (see core/fault/crash.hpp) instead of returning.
+enum class FaultKind : std::uint8_t { kError, kCrash };
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
 struct FaultScenario {
   ScenarioKind kind = ScenarioKind::Never;
+  FaultKind fault = FaultKind::kError;
   double probability = 0.0;          // Probabilistic
   std::uint64_t seed = 0;            // Probabilistic stream seed
-  std::uint64_t nth = 0;             // EveryNth
+  std::uint64_t nth = 0;             // EveryNth / OnNth
   sim::SimTime from = 0;             // Window / Burst phase origin
   sim::SimTime to = 0;               // Window
   sim::SimDuration period = 0;       // Burst
@@ -57,6 +67,9 @@ struct FaultScenario {
   [[nodiscard]] static FaultScenario window(sim::SimTime from, sim::SimTime to);
   [[nodiscard]] static FaultScenario burst(sim::SimTime first, sim::SimDuration period,
                                            sim::SimDuration duration);
+  // Crash exactly on the n-th hit since arm (1 = the very next hit): the
+  // deterministic "kill the process at I/O boundary N" scenario.
+  [[nodiscard]] static FaultScenario crash_at_hit(std::uint64_t n);
 
   // Human-readable, for fault tables and SOC reports.
   [[nodiscard]] std::string describe() const;

@@ -7,8 +7,14 @@ namespace fraudsim::fault {
 
 sim::SimDuration RetryPolicy::backoff(int retry) const {
   if (retry < 1) retry = 1;
-  double d = static_cast<double>(base_delay) * std::pow(multiplier, retry - 1);
-  d = std::min(d, static_cast<double>(max_delay));
+  // Multiply iteratively and stop as soon as the cap is reached: pow() at
+  // attempt ~60 overflows to inf, and casting inf to SimDuration is UB.
+  const double cap = static_cast<double>(max_delay);
+  double d = static_cast<double>(base_delay);
+  if (multiplier > 1.0) {
+    for (int i = 1; i < retry && d < cap; ++i) d *= multiplier;
+  }
+  d = std::min(d, cap);
   return std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(d));
 }
 

@@ -1,7 +1,9 @@
 #include "core/journal/journal.hpp"
 
+#include <filesystem>
 #include <sstream>
 
+#include "core/fault/crash.hpp"
 #include "util/hash.hpp"
 
 namespace fraudsim::journal {
@@ -80,6 +82,20 @@ util::Status JournalWriter::append(RecordKind kind, sim::SimTime time,
   frame.u32(static_cast<std::uint32_t>(payload.size()));
   frame.u32(util::crc32(payload.bytes()));
   frame.raw(payload.bytes());
+
+  const char* crash_point = kind == RecordKind::Checkpoint ? fault::kCrashJournalCheckpoint
+                                                           : fault::kCrashJournalFrame;
+  if (fault::crash_due(crash_point, time)) {
+    // Simulated kill mid-append: a torn prefix of the frame reaches disk and
+    // the writer latches failed so a catch-and-continue cannot keep going.
+    const auto& point = fault::FaultRegistry::global().point(crash_point);
+    const std::size_t cut = fault::torn_prefix(frame.size(), point.hits());
+    out_.write(frame.bytes().data(), static_cast<std::streamsize>(cut));
+    out_.flush();
+    failed_ = true;
+    throw fault::SimCrash(crash_point, time);
+  }
+
   out_.write(frame.bytes().data(), static_cast<std::streamsize>(frame.size()));
   if (out_.fail()) {
     failed_ = true;
@@ -88,6 +104,18 @@ util::Status JournalWriter::append(RecordKind kind, sim::SimTime time,
                                   std::to_string(frames_) + " (" + to_string(kind) + ")");
   }
   ++frames_;
+  // Surface deferred stream errors (disk full past the stdio buffer) while
+  // the run can still react, not only at close: flush every checkpoint
+  // boundary and every 64th frame.
+  if (kind == RecordKind::Checkpoint || frames_ % 64 == 0) {
+    out_.flush();
+    if (out_.fail()) {
+      failed_ = true;
+      return util::Status::fail(util::ErrorCode::kIoWriteFailed,
+                                std::string("journal: flush failed after frame ") +
+                                    std::to_string(frames_ - 1) + " (" + to_string(kind) + ")");
+    }
+  }
   return util::Status::ok();
 }
 
@@ -182,6 +210,87 @@ util::Status JournalReader::open(const std::string& path) {
                               "journal: no intact header frame in " + path);
   }
   return util::Status::ok();
+}
+
+util::Result<JournalScan> scan_journal(const std::string& path) {
+  using R = util::Result<JournalScan>;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return R::fail(util::ErrorCode::kNotFound, "journal: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  if (bytes.size() < sizeof(kMagic) ||
+      std::string_view(bytes.data(), sizeof(kMagic)) != std::string_view(kMagic, sizeof(kMagic))) {
+    return R::fail(util::ErrorCode::kJournalCorrupt, "journal: bad magic in " + path);
+  }
+
+  JournalScan scan;
+  scan.total_bytes = bytes.size();
+  constexpr std::size_t kFrameHeader = 8;
+  std::size_t pos = sizeof(kMagic);
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeader) break;
+    util::ByteReader prefix(std::string_view(bytes).substr(pos, kFrameHeader));
+    const std::uint32_t len = prefix.u32();
+    const std::uint32_t crc = prefix.u32();
+    if (bytes.size() - pos - kFrameHeader < len) break;
+    const std::string_view payload = std::string_view(bytes).substr(pos + kFrameHeader, len);
+    if (util::crc32(payload) != crc) {
+      // CRC-bad frame that is not the file tail = damage inside the file.
+      scan.corrupt_mid_file = pos + kFrameHeader + len != bytes.size();
+      break;
+    }
+    if (scan.frames == 0 && !payload.empty() &&
+        static_cast<RecordKind>(static_cast<std::uint8_t>(payload[0])) == RecordKind::Header) {
+      scan.has_header = true;
+    }
+    ++scan.frames;
+    pos += kFrameHeader + len;
+  }
+  scan.intact_bytes = pos;
+  scan.torn_tail = !scan.corrupt_mid_file && scan.intact_bytes < scan.total_bytes;
+  return R::ok(scan);
+}
+
+util::Result<JournalScan> truncate_torn_tail(const std::string& path,
+                                             const std::string& quarantine_path) {
+  using R = util::Result<JournalScan>;
+  auto scanned = scan_journal(path);
+  if (!scanned) return scanned;
+  JournalScan scan = scanned.value();
+  if (scan.corrupt_mid_file) {
+    return R::fail(util::ErrorCode::kJournalCorrupt,
+                   "journal: mid-file corruption in " + path + " — tail truncation cannot help");
+  }
+  if (!scan.torn_tail) return R::ok(scan);
+
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(static_cast<std::streamoff>(scan.intact_bytes));
+    std::string tail(static_cast<std::size_t>(scan.tail_bytes()), '\0');
+    in.read(tail.data(), static_cast<std::streamsize>(tail.size()));
+    std::ofstream out(quarantine_path, std::ios::binary | std::ios::app);
+    if (!in.good() || !out.is_open()) {
+      return R::fail(util::ErrorCode::kIoWriteFailed,
+                     "journal: cannot quarantine tail to " + quarantine_path);
+    }
+    out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+    out.flush();
+    if (out.fail()) {
+      return R::fail(util::ErrorCode::kIoWriteFailed,
+                     "journal: quarantine write failed for " + quarantine_path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::resize_file(path, scan.intact_bytes, ec);
+  if (ec) {
+    return R::fail(util::ErrorCode::kIoWriteFailed,
+                   "journal: truncate failed for " + path + ": " + ec.message());
+  }
+  return R::ok(scan);
 }
 
 }  // namespace fraudsim::journal

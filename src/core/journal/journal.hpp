@@ -64,6 +64,11 @@ struct Record {
 // Appends frames to a journal file. Every path returns a typed Status; once
 // a write fails the writer latches the error and refuses further appends
 // (a half-written journal must not keep growing past the torn frame).
+//
+// Crash injection: append() consults crash.journal.frame (and
+// crash.journal.checkpoint for Checkpoint records). When the armed point
+// fires, a torn prefix of the frame is flushed to disk and a fault::SimCrash
+// unwinds — the on-disk state is exactly a kill mid-append.
 class JournalWriter {
  public:
   JournalWriter() = default;
@@ -89,6 +94,31 @@ class JournalWriter {
   std::uint64_t frames_ = 0;
   bool failed_ = false;
 };
+
+// Frame-level scan without decoding record bodies: how much of the file is a
+// valid, checksummed prefix, and what kind of damage (if any) follows it.
+struct JournalScan {
+  std::uint64_t total_bytes = 0;   // file size
+  std::uint64_t intact_bytes = 0;  // magic + intact frames; == total_bytes when clean
+  std::uint64_t frames = 0;        // intact frames, including the Header
+  bool has_header = false;         // first frame parsed as a Header record
+  bool torn_tail = false;          // crash residue after the intact prefix at EOF
+  bool corrupt_mid_file = false;   // CRC-bad frame *before* EOF: unrecoverable damage
+  [[nodiscard]] std::uint64_t tail_bytes() const { return total_bytes - intact_bytes; }
+};
+
+// Scans `path`. Fails only when the file cannot be opened or is not a
+// journal at all (bad magic); damage beyond that is reported in the scan.
+[[nodiscard]] util::Result<JournalScan> scan_journal(const std::string& path);
+
+// Truncates a torn journal to its last good frame, appending the dropped
+// tail bytes to `quarantine_path` for forensics first. No-op on a clean
+// journal; fails with kJournalCorrupt on mid-file corruption (frame-level
+// salvage is impossible — the caller should quarantine the whole file).
+// Returns the pre-repair scan: torn_tail=true means a tail WAS truncated and
+// tail_bytes() is the quarantined byte count.
+[[nodiscard]] util::Result<JournalScan> truncate_torn_tail(const std::string& path,
+                                                           const std::string& quarantine_path);
 
 // Reads and validates a whole journal on open.
 class JournalReader {

@@ -210,6 +210,54 @@ std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   return r != nullptr && r->kind == MetricKind::Counter ? r->count : 0;
 }
 
+void MetricsSnapshot::checkpoint(util::ByteWriter& out) const {
+  out.u64(rows.size());
+  for (const Row& row : rows) {
+    out.str(row.name);
+    out.u8(static_cast<std::uint8_t>(row.kind));
+    out.u64(row.count);
+    out.f64(row.value);
+    out.f64(row.p50);
+    out.f64(row.p90);
+    out.f64(row.p99);
+    out.f64(row.min);
+    out.f64(row.max);
+    out.u64(row.buckets.size());
+    for (const auto& [bound, count] : row.buckets) {
+      out.f64(bound);
+      out.u64(count);
+    }
+  }
+}
+
+void MetricsSnapshot::restore(util::ByteReader& in) {
+  rows.clear();
+  const std::uint64_t n = in.u64();
+  // Counts come from CRC-checked shards, but cap the pre-reserve anyway so a
+  // corrupt length degrades into reader !ok(), not a bad_alloc.
+  rows.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 1 << 16)));
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+    Row row;
+    row.name = in.str();
+    row.kind = static_cast<MetricKind>(in.u8());
+    row.count = in.u64();
+    row.value = in.f64();
+    row.p50 = in.f64();
+    row.p90 = in.f64();
+    row.p99 = in.f64();
+    row.min = in.f64();
+    row.max = in.f64();
+    const std::uint64_t buckets = in.u64();
+    row.buckets.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(buckets, 1 << 12)));
+    for (std::uint64_t b = 0; b < buckets && in.ok(); ++b) {
+      const double bound = in.f64();
+      const std::uint64_t count = in.u64();
+      row.buckets.emplace_back(bound, count);
+    }
+    rows.push_back(std::move(row));
+  }
+}
+
 std::string MetricsSnapshot::render_table(const std::string& title) const {
   util::AsciiTable table({title, "kind", "count", "value", "p50", "p99"});
   for (const auto& r : rows) {

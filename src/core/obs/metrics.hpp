@@ -151,6 +151,11 @@ struct MetricsSnapshot {
   [[nodiscard]] const Row* find(std::string_view name) const;
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
 
+  // Lossless byte round-trip so a snapshot can travel as a persisted fleet
+  // result shard: restore(checkpoint(s)) merges exactly like s itself.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+
   // ASCII table (one row per metric).
   [[nodiscard]] std::string render_table(const std::string& title = "Metrics") const;
   // CSV: name,kind,count,value,p50,p90,p99

@@ -1,0 +1,67 @@
+#include "core/recover/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/fault/crash.hpp"
+#include "util/hash.hpp"
+
+namespace fraudsim::recover {
+
+namespace {
+
+// Best-effort removal of a tmp file after a failed write; the quarantine
+// sweep catches anything left behind.
+void discard(const std::string& tmp) { std::remove(tmp.c_str()); }
+
+}  // namespace
+
+util::Result<WrittenArtifact> AtomicFile::write(const std::string& path, std::string_view content,
+                                                sim::SimTime now) {
+  const std::string tmp = path + kTmpSuffix;
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return util::Result<WrittenArtifact>::fail(util::ErrorCode::kIoWriteFailed,
+                                               "atomic-file: cannot open " + tmp);
+  }
+
+  if (fault::crash_due(fault::kCrashArtifactBody, now)) {
+    // Simulated kill mid-body: a prefix of the content reaches disk, then
+    // the process "dies" with the .tmp still holding the torn bytes.
+    const auto& point = fault::FaultRegistry::global().point(fault::kCrashArtifactBody);
+    const std::size_t cut = fault::torn_prefix(content.size(), point.hits());
+    out.write(content.data(), static_cast<std::streamsize>(cut));
+    out.flush();
+    out.close();
+    throw fault::SimCrash(fault::kCrashArtifactBody, now);
+  }
+
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (out.fail()) {
+    out.close();
+    discard(tmp);
+    return util::Result<WrittenArtifact>::fail(util::ErrorCode::kIoWriteFailed,
+                                               "atomic-file: flush failed for " + tmp);
+  }
+  out.close();
+
+  if (fault::crash_due(fault::kCrashArtifactRename, now)) {
+    // Simulated kill between flush and rename: complete .tmp, no final file.
+    throw fault::SimCrash(fault::kCrashArtifactRename, now);
+  }
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    discard(tmp);
+    return util::Result<WrittenArtifact>::fail(util::ErrorCode::kIoWriteFailed,
+                                               "atomic-file: rename to " + path + " failed");
+  }
+
+  WrittenArtifact written;
+  written.path = path;
+  written.size = content.size();
+  written.crc = util::crc32(content);
+  return util::Result<WrittenArtifact>::ok(std::move(written));
+}
+
+}  // namespace fraudsim::recover

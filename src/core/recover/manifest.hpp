@@ -1,0 +1,77 @@
+// CRC'd run manifest: the commit record of a recorded run.
+//
+// A run directory is only "complete" once `MANIFEST.fsm` exists and
+// validates. The manifest lists every artifact the run intended to produce
+// (relative path, byte size, CRC32) and is written LAST, atomically, so its
+// presence certifies that every listed artifact was flushed and renamed
+// before it. Recovery treats a missing or corrupt manifest as "the run was
+// interrupted" and re-derives the artifacts from the journal.
+//
+// Format (text, one record per line, '\n' endings):
+//
+//   fraudsim-manifest v1
+//   seed <decimal>
+//   config <decimal config digest>
+//   artifact <relpath> <size> <crc32 hex>
+//   ...
+//   crc <crc32 hex of every preceding byte>
+//
+// Relative paths never contain spaces (run layouts are fixed names), so the
+// line format stays splittable on ' '.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/recover/atomic_file.hpp"
+#include "sim/time.hpp"
+#include "util/result.hpp"
+
+namespace fraudsim::recover {
+
+inline constexpr char kManifestFilename[] = "MANIFEST.fsm";
+
+struct ManifestEntry {
+  std::string path;  // relative to the run directory
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+};
+
+struct Manifest {
+  std::uint64_t seed = 0;
+  std::uint64_t config_digest = 0;
+  std::vector<ManifestEntry> artifacts;
+
+  void add(std::string rel_path, std::uint64_t size, std::uint32_t crc);
+  // Records an AtomicFile result under the given relative name.
+  void add(const WrittenArtifact& written, std::string rel_path);
+  [[nodiscard]] const ManifestEntry* find(std::string_view rel_path) const;
+
+  // Serialises including the trailing self-CRC line.
+  [[nodiscard]] std::string render() const;
+
+  // Strict parse: bad shape or a self-CRC mismatch fails with
+  // kManifestMismatch (a torn manifest must never validate).
+  [[nodiscard]] static util::Result<Manifest> parse(std::string_view text);
+  [[nodiscard]] static util::Result<Manifest> load(const std::string& path);
+
+  // Writes `<dir>/MANIFEST.fsm` atomically. Consults crash.manifest.write:
+  // when it fires, a torn prefix of the manifest lands under the FINAL name
+  // (the worst case recovery must reject via the self-CRC) before the
+  // SimCrash unwinds.
+  [[nodiscard]] util::Status write(const std::string& dir, sim::SimTime now = 0) const;
+};
+
+// Compares the manifest against the bytes on disk.
+struct ManifestAudit {
+  std::vector<std::string> intact;      // present, size and CRC match
+  std::vector<std::string> missing;     // listed but absent
+  std::vector<std::string> mismatched;  // present but size/CRC differ
+  [[nodiscard]] bool clean() const { return missing.empty() && mismatched.empty(); }
+};
+
+[[nodiscard]] ManifestAudit audit_artifacts(const Manifest& manifest, const std::string& dir);
+
+}  // namespace fraudsim::recover

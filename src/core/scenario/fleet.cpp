@@ -26,6 +26,38 @@ std::string fmt(double v) {
 
 }  // namespace
 
+void FleetRunResult::checkpoint(util::ByteWriter& out) const {
+  out.u64(observations.size());
+  for (const auto& [name, value] : observations) {
+    out.str(name);
+    out.f64(value);
+  }
+  out.u64(series.size());
+  for (const auto& [name, stats] : series) {
+    out.str(name);
+    stats.checkpoint(out);
+  }
+  confusion.checkpoint(out);
+  metrics.checkpoint(out);
+}
+
+void FleetRunResult::restore(util::ByteReader& in) {
+  observations.clear();
+  series.clear();
+  const std::uint64_t n_obs = in.u64();
+  for (std::uint64_t i = 0; i < n_obs && in.ok(); ++i) {
+    std::string name = in.str();
+    observations[name] = in.f64();
+  }
+  const std::uint64_t n_series = in.u64();
+  for (std::uint64_t i = 0; i < n_series && in.ok(); ++i) {
+    std::string name = in.str();
+    series[name].restore(in);
+  }
+  confusion.restore(in);
+  metrics.restore(in);
+}
+
 double FleetVariantAggregate::Observation::p50() const { return util::percentile(samples, 0.5); }
 double FleetVariantAggregate::Observation::p95() const { return util::percentile(samples, 0.95); }
 
@@ -128,6 +160,7 @@ FleetReport run_fleet(const std::vector<FleetJob>& jobs, const FleetRunFn& run,
   std::vector<FleetRunResult> results(jobs.size());
   std::vector<std::exception_ptr> errors(jobs.size());
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> resumed{0};
 
   const auto worker = [&] {
     for (;;) {
@@ -140,6 +173,13 @@ FleetReport run_fleet(const std::vector<FleetJob>& jobs, const FleetRunFn& run,
       // previous job must never leak into the next one.
       fault::FaultRegistry::global().reset();
       try {
+        if (options.resume) {
+          if (auto cached = options.resume(job)) {
+            results[i] = std::move(*cached);
+            resumed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+        }
         results[i] = run(job);
       } catch (...) {
         errors[i] = std::current_exception();
@@ -154,6 +194,7 @@ FleetReport run_fleet(const std::vector<FleetJob>& jobs, const FleetRunFn& run,
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  report.resumed = resumed.load(std::memory_order_relaxed);
 
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -57,6 +58,11 @@ struct FleetRunResult {
   util::ConfusionCounts confusion;
   // Telemetry shard (a registry snapshot); merged via MetricsRegistry::merge.
   obs::MetricsSnapshot metrics;
+
+  // Lossless byte round-trip so a completed job's result can be persisted
+  // (fleet crash recovery: resume re-runs only jobs without a valid shard).
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 };
 
 using FleetRunFn = std::function<FleetRunResult(const FleetJob&)>;
@@ -83,6 +89,7 @@ struct FleetVariantAggregate {
 struct FleetReport {
   unsigned threads = 1;   // workers actually used
   std::size_t jobs = 0;
+  std::size_t resumed = 0;  // jobs satisfied from the resume hook, not re-run
   std::vector<FleetVariantAggregate> variants;  // first-appearance order
 
   [[nodiscard]] const FleetVariantAggregate* find(std::string_view variant) const;
@@ -100,6 +107,13 @@ struct FleetOptions {
   // 0 = resolve via resolve_fleet_threads() (FRAUDSIM_FLEET_THREADS, else
   // hardware concurrency). The count is clamped to the number of jobs.
   unsigned threads = 0;
+  // Crash-recovery hook, consulted per job before running it: return the
+  // persisted result of an earlier completed execution (job skipped, counted
+  // in report.resumed) or nullopt to run the job normally. Runs on the worker
+  // thread after the fault-registry reset; the reduction folds resumed and
+  // fresh results identically, so a resumed fleet reduces byte-identically
+  // to an uninterrupted one.
+  std::function<std::optional<FleetRunResult>(const FleetJob&)> resume;
 };
 
 // Thread-count resolution: explicit request > FRAUDSIM_FLEET_THREADS env var

@@ -1,5 +1,7 @@
 #include "core/scenario/replay_harness.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <unordered_map>
@@ -7,7 +9,9 @@
 
 #include "app/export.hpp"
 #include "core/detect/pipeline.hpp"
+#include "core/fault/crash.hpp"
 #include "core/journal/recording.hpp"
+#include "core/recover/manifest.hpp"
 #include "core/scenario/soc_report.hpp"
 #include "util/hash.hpp"
 
@@ -183,15 +187,23 @@ std::string checkpoint_state(Env& env, mitigate::MitigationController& controlle
   return state.take();
 }
 
+// `on_checkpoint` (optional) runs after the blob is journalled — the hook
+// record_run_dir uses to duplicate each checkpoint as an atomic sidecar.
 void schedule_checkpoint_loop(Env& env, mitigate::MitigationController& controller,
                               const RecordedScenarioConfig& config,
-                              journal::RecordingJournal& recording) {
+                              journal::RecordingJournal& recording,
+                              const std::function<void(sim::SimTime, const std::string&)>&
+                                  on_checkpoint = nullptr) {
   if (config.checkpoint_every <= 0) return;
   if (env.sim.now() + config.checkpoint_every > config.horizon) return;
-  env.sim.schedule_in(config.checkpoint_every, [&env, &controller, &config, &recording] {
-    recording.checkpoint_blob(env.sim.now(), checkpoint_state(env, controller));
-    schedule_checkpoint_loop(env, controller, config, recording);
-  });
+  env.sim.schedule_in(config.checkpoint_every,
+                      [&env, &controller, &config, &recording, on_checkpoint] {
+                        const std::string blob = checkpoint_state(env, controller);
+                        recording.checkpoint_blob(env.sim.now(), blob);
+                        if (on_checkpoint) on_checkpoint(env.sim.now(), blob);
+                        schedule_checkpoint_loop(env, controller, config, recording,
+                                                 on_checkpoint);
+                      });
 }
 
 // Artifact production must be one code path for every mode: record and
@@ -231,6 +243,116 @@ void start_traffic(Platform& p, const RecordedScenarioConfig& config,
 [[nodiscard]] bool denied(app::CallStatus status) {
   return status == app::CallStatus::Blocked || status == app::CallStatus::Challenged ||
          status == app::CallStatus::RateLimited || status == app::CallStatus::Overloaded;
+}
+
+// Replays one record against the live platform, verifying the outcome. The
+// caller has already advanced sim time to record.time. Shared by replay_run
+// and the salvaged-prefix verification pass in recover_run so both modes
+// apply exactly the same semantics per record kind.
+util::Status replay_record(Platform& p, const journal::Record& record, std::size_t index) {
+  Env& env = *p.env;
+  util::ByteReader in(record.fields);
+  const auto mismatch = [&](const std::string& what) {
+    return util::Status::fail(util::ErrorCode::kCheckpointMismatch,
+                              "replay diverged at record " + std::to_string(index) + " (" +
+                                  journal::to_string(record.kind) + ", t=" +
+                                  std::to_string(record.time) + "): " + what);
+  };
+  switch (record.kind) {
+    case journal::RecordKind::ActorRegistered: {
+      const auto r = journal::decode_actor(in);
+      if (const auto id = env.actors.register_actor(r.kind); id != r.id) {
+        return mismatch("actor id " + id.str() + " != recorded " + r.id.str());
+      }
+      break;
+    }
+    case journal::RecordKind::Browse: {
+      const auto r = journal::decode_browse(in);
+      if (env.app.browse(r.ctx, r.endpoint, r.method) != r.result) {
+        return mismatch("browse status differs");
+      }
+      break;
+    }
+    case journal::RecordKind::Hold: {
+      auto r = journal::decode_hold(in);
+      const auto result = env.app.hold(r.ctx, r.flight, std::move(r.passengers));
+      if (result.status != r.status || result.pnr != r.pnr || result.decoy != r.decoy) {
+        return mismatch("hold outcome differs (pnr " + result.pnr + " vs " + r.pnr + ")");
+      }
+      break;
+    }
+    case journal::RecordKind::QuoteFare: {
+      const auto r = journal::decode_quote_fare(in);
+      if (env.app.quote_fare(r.ctx, r.flight) != r.fare) {
+        return mismatch("fare quote differs");
+      }
+      break;
+    }
+    case journal::RecordKind::Pay: {
+      const auto r = journal::decode_pay(in);
+      if (env.app.pay(r.ctx, r.pnr) != r.result) return mismatch("pay status differs");
+      break;
+    }
+    case journal::RecordKind::RequestOtp: {
+      const auto r = journal::decode_request_otp(in);
+      const auto result = env.app.request_otp(r.ctx, r.account, r.number);
+      if (result.status != r.status || result.code != r.code) {
+        return mismatch("otp request differs");
+      }
+      break;
+    }
+    case journal::RecordKind::VerifyOtp: {
+      const auto r = journal::decode_verify_otp(in);
+      if (env.app.verify_otp(r.ctx, r.account, r.code) != r.result) {
+        return mismatch("otp verify differs");
+      }
+      break;
+    }
+    case journal::RecordKind::RetrieveBooking: {
+      const auto r = journal::decode_retrieve_booking(in);
+      const auto view = env.app.retrieve_booking(r.ctx, r.pnr);
+      if (view.found != r.result.found || view.held != r.result.held ||
+          view.ticketed != r.result.ticketed) {
+        return mismatch("booking view differs");
+      }
+      break;
+    }
+    case journal::RecordKind::BoardingSms: {
+      const auto r = journal::decode_boarding_sms(in);
+      const auto result = env.app.request_boarding_sms(r.ctx, r.pnr, r.number);
+      if (result.status != r.status || result.detail != r.detail) {
+        return mismatch("boarding sms differs");
+      }
+      break;
+    }
+    case journal::RecordKind::BoardingEmail: {
+      const auto r = journal::decode_boarding_email(in);
+      if (env.app.request_boarding_email(r.ctx, r.pnr) != r.result) {
+        return mismatch("boarding email differs");
+      }
+      break;
+    }
+    case journal::RecordKind::ExpirySweep:
+      env.apply_expiry_sweep();
+      break;
+    case journal::RecordKind::MitigationSweep:
+      run_recorded_sweep(env, *p.controller, nullptr);
+      break;
+    case journal::RecordKind::ControllerFit: {
+      const auto r = journal::decode_controller_fit(in);
+      p.controller->fit_nip_baseline(r.from, r.to);
+      break;
+    }
+    case journal::RecordKind::MitigationAction:  // informational ledger copy
+    case journal::RecordKind::Checkpoint:        // restore point, not an event
+    case journal::RecordKind::Header:
+      break;
+  }
+  if (!in.ok()) {
+    return util::Status::fail(util::ErrorCode::kJournalCorrupt,
+                              "replay: undecodable payload in record " + std::to_string(index));
+  }
+  return util::Status::ok();
 }
 
 }  // namespace
@@ -321,6 +443,214 @@ util::Result<RunArtifacts> record_run(const RecordedScenarioConfig& config,
   return R::ok(make_artifacts(p, config));
 }
 
+util::Result<RunArtifacts> record_run_dir(const RecordedScenarioConfig& config,
+                                          const std::string& run_dir) {
+  using R = util::Result<RunArtifacts>;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(fs::path(run_dir) / recover::kCheckpointDir, ec);
+  if (ec) {
+    return R::fail(util::ErrorCode::kIoWriteFailed,
+                   "record: cannot create run directory " + run_dir + ": " + ec.message());
+  }
+  const std::string journal_path = (fs::path(run_dir) / recover::kJournalFilename).string();
+  const std::uint64_t digest = config_digest(config);
+
+  try {
+    Platform p = build_platform(config);
+    Env& env = *p.env;
+
+    journal::JournalWriter writer;
+    if (auto s = writer.open(journal_path, config.seed, digest); !s.is_ok()) {
+      return R::fail(s.code(), s.error());
+    }
+    journal::RecordingJournal recording(writer);
+    env.app.set_journal(&recording);
+    env.actors.set_observer([&env, &recording](web::ActorId id, app::ActorKind kind) {
+      recording.actor_registered(env.sim.now(), id, kind);
+    });
+
+    // Each journalled checkpoint is duplicated as an atomic sidecar so
+    // recovery can anchor on it even when the crash tore the journal frame
+    // that embedded the very same blob.
+    std::vector<std::pair<std::string, recover::WrittenArtifact>> sidecars;
+    util::Status sidecar_status = util::Status::ok();
+    const auto write_sidecar = [&run_dir, &config, digest, &sidecars,
+                                &sidecar_status](sim::SimTime now, const std::string& blob) {
+      recover::SidecarCheckpoint cp;
+      cp.seed = config.seed;
+      cp.config_digest = digest;
+      cp.time = now;
+      cp.blob = blob;
+      const std::string path = recover::checkpoint_sidecar_path(run_dir, now);
+      auto written = recover::write_checkpoint_sidecar(path, cp);
+      if (!written) {
+        if (sidecar_status.is_ok()) {
+          sidecar_status = util::Status::fail(written.code(), written.error());
+        }
+        return;
+      }
+      const std::string rel = std::string(recover::kCheckpointDir) + "/" +
+                              fs::path(path).filename().string();
+      sidecars.emplace_back(rel, written.value());
+    };
+
+    std::unique_ptr<SeatSpinScript> attacker;
+    start_traffic(p, config, attacker, &recording);
+    schedule_checkpoint_loop(env, *p.controller, config, recording, write_sidecar);
+    env.run_until(config.horizon);
+
+    env.app.set_journal(nullptr);
+    env.actors.set_observer(nullptr);
+    if (!recording.status().is_ok()) {
+      return R::fail(recording.status().code(), recording.status().error());
+    }
+    if (auto s = writer.close(); !s.is_ok()) return R::fail(s.code(), s.error());
+    if (!sidecar_status.is_ok()) return R::fail(sidecar_status.code(), sidecar_status.error());
+
+    RunArtifacts artifacts = make_artifacts(p, config);
+
+    // Manifest entries in layout order: journal, sidecars, then artifacts.
+    recover::Manifest manifest;
+    manifest.seed = config.seed;
+    manifest.config_digest = digest;
+    {
+      std::ifstream in(journal_path, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string journal_bytes = buf.str();
+      if (!in.good() && !in.eof()) {
+        return R::fail(util::ErrorCode::kIoWriteFailed, "record: cannot re-read the journal");
+      }
+      manifest.add(recover::kJournalFilename, journal_bytes.size(),
+                   util::crc32(journal_bytes));
+    }
+    for (const auto& [rel, written] : sidecars) manifest.add(written, rel);
+
+    const auto emit = [&](const char* rel, const std::string& content) -> util::Status {
+      auto written = recover::AtomicFile::write((fs::path(run_dir) / rel).string(), content,
+                                                config.horizon);
+      if (!written) return util::Status::fail(written.code(), written.error());
+      manifest.add(written.value(), rel);
+      return util::Status::ok();
+    };
+    if (auto s = emit("metrics.csv", artifacts.metrics_csv); !s.is_ok()) {
+      return R::fail(s.code(), s.error());
+    }
+    if (auto s = emit("weblog.csv", artifacts.weblog_csv); !s.is_ok()) {
+      return R::fail(s.code(), s.error());
+    }
+    if (auto s = emit("soc_report.txt", artifacts.soc_report); !s.is_ok()) {
+      return R::fail(s.code(), s.error());
+    }
+
+    // The commit point: only now does the directory count as a complete run.
+    if (auto s = manifest.write(run_dir, config.horizon); !s.is_ok()) {
+      return R::fail(s.code(), s.error());
+    }
+    return R::ok(std::move(artifacts));
+  } catch (const fault::SimCrash& crash) {
+    // The simulated kill: whatever reached disk stays exactly as a real
+    // process death would leave it; the caller recovers via recover_run.
+    return R::fail(util::ErrorCode::kCrashInjected, crash.what());
+  }
+}
+
+util::Result<RecoverOutcome> recover_run(const RecordedScenarioConfig& config,
+                                         const std::string& run_dir) {
+  using R = util::Result<RecoverOutcome>;
+  namespace fs = std::filesystem;
+
+  recover::RecoveryManager manager(run_dir);
+  auto repaired = manager.repair();
+  if (!repaired) return R::fail(repaired.code(), repaired.error());
+
+  RecoverOutcome outcome;
+  outcome.report = repaired.value();
+  const std::string journal_path = (fs::path(run_dir) / recover::kJournalFilename).string();
+  const std::uint64_t digest = config_digest(config);
+
+  if (outcome.report.run_complete) {
+    // Nothing to repair — but "complete" is only trusted after the journal
+    // replays clean, which also regenerates the in-memory artifacts.
+    auto replayed = replay_run(config, journal_path);
+    if (!replayed) return R::fail(replayed.code(), replayed.error());
+    outcome.artifacts = replayed.value();
+    outcome.reused_complete_run = true;
+    return R::ok(std::move(outcome));
+  }
+
+  // Salvage verification: prove the surviving prefix is a faithful record of
+  // this scenario before re-recording over it.
+  std::string salvaged_bytes;
+  if (outcome.report.journal_salvaged && outcome.report.frames_salvaged > 0) {
+    std::ifstream in(journal_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    salvaged_bytes = buf.str();
+
+    journal::JournalReader reader;
+    if (auto s = reader.open(journal_path); !s.is_ok()) {
+      return R::fail(s.code(), "recover: repaired journal failed to open: " + s.error());
+    }
+    if (reader.seed() != config.seed || reader.config_digest() != digest) {
+      return R::fail(util::ErrorCode::kManifestMismatch,
+                     "recover: journal belongs to a different scenario config");
+    }
+    // Checkpoint-anchored verification replay of the salvaged records.
+    auto verified = replay_run(config, journal_path, {/*from_last_checkpoint=*/true});
+    if (!verified) {
+      return R::fail(verified.code(),
+                     "recover: salvaged journal failed verification replay: " + verified.error());
+    }
+    // Cross-check the newest intact sidecar against its embedded twin (when
+    // the twin's frame survived): both copies of a checkpoint must agree.
+    if (!outcome.report.checkpoint_used.empty()) {
+      auto cp = recover::read_checkpoint_sidecar(
+          (fs::path(run_dir) / outcome.report.checkpoint_used).string());
+      if (cp) {
+        if (cp.value().seed != config.seed || cp.value().config_digest != digest) {
+          return R::fail(util::ErrorCode::kManifestMismatch,
+                         "recover: sidecar checkpoint belongs to a different scenario");
+        }
+        for (const auto& record : reader.records()) {
+          if (record.kind != journal::RecordKind::Checkpoint ||
+              record.time != cp.value().time) {
+            continue;
+          }
+          util::ByteReader fields(record.fields);
+          if (fields.str() != cp.value().blob) {
+            return R::fail(util::ErrorCode::kCheckpointMismatch,
+                           "recover: sidecar and embedded checkpoint blobs differ at t=" +
+                               std::to_string(record.time));
+          }
+        }
+      }
+    }
+  }
+
+  // Deterministic re-record: same config + seed reproduces the interrupted
+  // run byte-for-byte, which the salvaged prefix then proves.
+  auto rerecorded = record_run_dir(config, run_dir);
+  if (!rerecorded) return R::fail(rerecorded.code(), rerecorded.error());
+  outcome.artifacts = rerecorded.value();
+
+  if (!salvaged_bytes.empty()) {
+    std::ifstream in(journal_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string fresh = buf.str();
+    if (fresh.size() < salvaged_bytes.size() ||
+        fresh.compare(0, salvaged_bytes.size(), salvaged_bytes) != 0) {
+      return R::fail(util::ErrorCode::kCheckpointMismatch,
+                     "recover: salvaged journal prefix diverges from the deterministic "
+                     "re-record");
+    }
+    outcome.prefix_verified = true;
+  }
+  return R::ok(std::move(outcome));
+}
+
 util::Result<RunArtifacts> replay_run(const RecordedScenarioConfig& config,
                                       const std::string& journal_path, ReplayOptions options) {
   using R = util::Result<RunArtifacts>;
@@ -358,107 +688,7 @@ util::Result<RunArtifacts> replay_run(const RecordedScenarioConfig& config,
   for (std::size_t i = start; i < records.size(); ++i) {
     const auto& record = records[i];
     env.sim.run_until(record.time);
-    util::ByteReader in(record.fields);
-    const auto mismatch = [&](const std::string& what) {
-      return R::fail(util::ErrorCode::kCheckpointMismatch,
-                     "replay diverged at record " + std::to_string(i) + " (" +
-                         journal::to_string(record.kind) + ", t=" +
-                         std::to_string(record.time) + "): " + what);
-    };
-    switch (record.kind) {
-      case journal::RecordKind::ActorRegistered: {
-        const auto r = journal::decode_actor(in);
-        if (const auto id = env.actors.register_actor(r.kind); id != r.id) {
-          return mismatch("actor id " + id.str() + " != recorded " + r.id.str());
-        }
-        break;
-      }
-      case journal::RecordKind::Browse: {
-        const auto r = journal::decode_browse(in);
-        if (env.app.browse(r.ctx, r.endpoint, r.method) != r.result) {
-          return mismatch("browse status differs");
-        }
-        break;
-      }
-      case journal::RecordKind::Hold: {
-        auto r = journal::decode_hold(in);
-        const auto result = env.app.hold(r.ctx, r.flight, std::move(r.passengers));
-        if (result.status != r.status || result.pnr != r.pnr || result.decoy != r.decoy) {
-          return mismatch("hold outcome differs (pnr " + result.pnr + " vs " + r.pnr + ")");
-        }
-        break;
-      }
-      case journal::RecordKind::QuoteFare: {
-        const auto r = journal::decode_quote_fare(in);
-        if (env.app.quote_fare(r.ctx, r.flight) != r.fare) {
-          return mismatch("fare quote differs");
-        }
-        break;
-      }
-      case journal::RecordKind::Pay: {
-        const auto r = journal::decode_pay(in);
-        if (env.app.pay(r.ctx, r.pnr) != r.result) return mismatch("pay status differs");
-        break;
-      }
-      case journal::RecordKind::RequestOtp: {
-        const auto r = journal::decode_request_otp(in);
-        const auto result = env.app.request_otp(r.ctx, r.account, r.number);
-        if (result.status != r.status || result.code != r.code) {
-          return mismatch("otp request differs");
-        }
-        break;
-      }
-      case journal::RecordKind::VerifyOtp: {
-        const auto r = journal::decode_verify_otp(in);
-        if (env.app.verify_otp(r.ctx, r.account, r.code) != r.result) {
-          return mismatch("otp verify differs");
-        }
-        break;
-      }
-      case journal::RecordKind::RetrieveBooking: {
-        const auto r = journal::decode_retrieve_booking(in);
-        const auto view = env.app.retrieve_booking(r.ctx, r.pnr);
-        if (view.found != r.result.found || view.held != r.result.held ||
-            view.ticketed != r.result.ticketed) {
-          return mismatch("booking view differs");
-        }
-        break;
-      }
-      case journal::RecordKind::BoardingSms: {
-        const auto r = journal::decode_boarding_sms(in);
-        const auto result = env.app.request_boarding_sms(r.ctx, r.pnr, r.number);
-        if (result.status != r.status || result.detail != r.detail) {
-          return mismatch("boarding sms differs");
-        }
-        break;
-      }
-      case journal::RecordKind::BoardingEmail: {
-        const auto r = journal::decode_boarding_email(in);
-        if (env.app.request_boarding_email(r.ctx, r.pnr) != r.result) {
-          return mismatch("boarding email differs");
-        }
-        break;
-      }
-      case journal::RecordKind::ExpirySweep:
-        env.apply_expiry_sweep();
-        break;
-      case journal::RecordKind::MitigationSweep:
-        run_recorded_sweep(env, *p.controller, nullptr);
-        break;
-      case journal::RecordKind::ControllerFit: {
-        const auto r = journal::decode_controller_fit(in);
-        p.controller->fit_nip_baseline(r.from, r.to);
-        break;
-      }
-      case journal::RecordKind::MitigationAction:  // informational ledger copy
-      case journal::RecordKind::Checkpoint:        // restore point, not an event
-      case journal::RecordKind::Header:
-        break;
-    }
-    if (!in.ok()) {
-      return R::fail(util::ErrorCode::kJournalCorrupt,
-                     "replay: undecodable payload in record " + std::to_string(i));
-    }
+    if (auto s = replay_record(p, record, i); !s.is_ok()) return R::fail(s.code(), s.error());
   }
   env.sim.run_until(config.horizon);
   return R::ok(make_artifacts(p, config));

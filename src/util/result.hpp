@@ -34,6 +34,8 @@ enum class ErrorCode : std::uint8_t {
   kIoWriteFailed,     // export/journal stream write failed (disk full, bad fd)
   kJournalCorrupt,    // journal frame failed CRC/length validation mid-file
   kCheckpointMismatch,  // replayed state diverged from the recorded outcome
+  kCrashInjected,     // simulated kill fired at an I/O boundary (fault::SimCrash)
+  kManifestMismatch,  // run manifest missing/corrupt or artifact CRC/size differs
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode c) {
@@ -68,6 +70,10 @@ enum class ErrorCode : std::uint8_t {
       return "journal-corrupt";
     case ErrorCode::kCheckpointMismatch:
       return "checkpoint-mismatch";
+    case ErrorCode::kCrashInjected:
+      return "crash-injected";
+    case ErrorCode::kManifestMismatch:
+      return "manifest-mismatch";
   }
   return "?";
 }

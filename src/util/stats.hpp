@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/archive.hpp"
+
 namespace fraudsim::util {
 
 // Streaming mean/variance/min/max (Welford).
@@ -23,6 +25,11 @@ class RunningStats {
   [[nodiscard]] double sum() const { return sum_; }
 
   void merge(const RunningStats& other);
+
+  // Lossless byte round-trip (fleet result shards persisted for crash
+  // recovery): restore(checkpoint(x)) == x including the Welford internals.
+  void checkpoint(ByteWriter& out) const;
+  void restore(ByteReader& in);
 
  private:
   std::size_t n_ = 0;
@@ -67,6 +74,8 @@ struct ConfusionCounts {
   // Element-wise sum: merging per-shard confusion tallies equals scoring the
   // concatenated predictions (self-merge doubles every cell).
   void merge(const ConfusionCounts& other);
+  void checkpoint(ByteWriter& out) const;
+  void restore(ByteReader& in);
   [[nodiscard]] double precision() const;
   [[nodiscard]] double recall() const;
   [[nodiscard]] double f1() const;

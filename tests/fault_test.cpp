@@ -5,6 +5,7 @@
 #include "app/application.hpp"
 #include "core/detect/pipeline.hpp"
 #include "core/fault/circuit_breaker.hpp"
+#include "core/fault/crash.hpp"
 #include "core/fault/fault.hpp"
 #include "core/fault/retry.hpp"
 #include "core/scenario/outage_scenario.hpp"
@@ -47,6 +48,51 @@ TEST_F(FaultTest, EveryNthFailsOnSchedule) {
   // Re-arming restarts the phase.
   point.arm(FaultScenario::every_nth(3));
   EXPECT_FALSE(point.should_fail(0));
+}
+
+TEST_F(FaultTest, OnNthFiresExactlyOnceAtTheArmedHit) {
+  FaultPoint point("test.onnth");
+  point.arm(FaultScenario::crash_at_hit(3));
+  EXPECT_EQ(point.scenario().fault, FaultKind::kCrash);
+  std::string pattern;
+  for (int i = 0; i < 10; ++i) pattern += point.should_fail(0) ? 'F' : '.';
+  // One-shot, not periodic: the re-record after crash recovery runs past the
+  // same still-armed point without re-firing.
+  EXPECT_EQ(pattern, "..F.......");
+  EXPECT_EQ(point.injected(), 1u);
+  // Re-arming restarts the phase.
+  point.arm(FaultScenario::crash_at_hit(1));
+  EXPECT_TRUE(point.should_fail(0));
+  EXPECT_FALSE(point.should_fail(0));
+}
+
+TEST_F(FaultTest, CrashDueRequiresACrashScenario) {
+  auto& registry = FaultRegistry::global();
+  // Error-kind scenarios never register as crashes, even when firing.
+  registry.arm("test.crash.err", FaultScenario::always());
+  EXPECT_FALSE(crash_due("test.crash.err", 0));
+  registry.arm("test.crash.due", FaultScenario::crash_at_hit(2));
+  EXPECT_FALSE(crash_due("test.crash.due", 0));
+  EXPECT_TRUE(crash_due("test.crash.due", 0));
+  EXPECT_FALSE(crash_due("test.crash.due", 0));
+}
+
+TEST_F(FaultTest, SimCrashCarriesPointAndTime) {
+  const SimCrash crash("test.point", sim::hours(2));
+  EXPECT_EQ(crash.point(), "test.point");
+  EXPECT_EQ(crash.time(), sim::hours(2));
+  EXPECT_NE(std::string(crash.what()).find("test.point"), std::string::npos);
+}
+
+TEST_F(FaultTest, TornPrefixIsDeterministicAndStrictlyShort) {
+  EXPECT_EQ(torn_prefix(0, 7), 0u);
+  for (std::uint64_t salt = 0; salt < 64; ++salt) {
+    const std::size_t cut = torn_prefix(100, salt);
+    EXPECT_LT(cut, 100u) << salt;              // always tears, never completes
+    EXPECT_EQ(cut, torn_prefix(100, salt));    // pure function of (size, salt)
+  }
+  // Different salts spread across the range (not all identical).
+  EXPECT_NE(torn_prefix(1000, 1), torn_prefix(1000, 2));
 }
 
 TEST_F(FaultTest, WindowFailsOnlyInside) {
@@ -134,6 +180,29 @@ TEST_F(FaultTest, RetryBackoffDoublesAndCaps) {
   EXPECT_EQ(policy.backoff(4), sim::minutes(2));  // capped
   EXPECT_TRUE(policy.should_retry(5));
   EXPECT_FALSE(policy.should_retry(6));
+}
+
+// Regression: attempt numbers deep enough to overflow pow(multiplier, n)
+// into +inf (or a negative SimDuration after the cast) must clamp to
+// max_delay instead of producing a zero/negative/huge delay.
+TEST_F(FaultTest, RetryBackoffSurvivesHugeAttemptNumbers) {
+  RetryPolicy policy;
+  policy.base_delay = sim::seconds(30);
+  policy.multiplier = 2.0;
+  policy.max_delay = sim::minutes(30);
+  for (const int retry : {50, 60, 200, 100000}) {
+    EXPECT_EQ(policy.backoff(retry), policy.max_delay) << "attempt " << retry;
+  }
+  sim::Rng rng(9);
+  const auto d = policy.delay(60, rng);
+  EXPECT_GE(d, 1);
+  EXPECT_LE(d, static_cast<sim::SimDuration>(1.5 * static_cast<double>(policy.max_delay)) + 1);
+  // multiplier <= 1 stays at base_delay forever, without iterating.
+  RetryPolicy flat;
+  flat.base_delay = sim::seconds(5);
+  flat.multiplier = 1.0;
+  flat.max_delay = sim::minutes(30);
+  EXPECT_EQ(flat.backoff(100000), sim::seconds(5));
 }
 
 TEST_F(FaultTest, RetryDelayJitterIsBoundedAndDeterministic) {

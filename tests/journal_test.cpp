@@ -7,6 +7,7 @@
 // produces zero verdict diffs.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <string>
 
@@ -103,6 +104,65 @@ TEST(JournalFraming, TruncatedTailIsRecoveredNotFatal) {
     EXPECT_TRUE(reader.recovered_torn_tail()) << "cut " << cut;
     ASSERT_EQ(reader.records().size(), 1u) << "cut " << cut;
     EXPECT_EQ(reader.records()[0].time, 10);
+  }
+}
+
+// A crash can tear the final frame no matter which record kind was being
+// appended. For EVERY kind: scan_journal flags the torn tail, the reader
+// salvages the intact prefix, and truncate_torn_tail repairs the file to a
+// clean journal with the tail bytes preserved for forensics.
+TEST(JournalFraming, TornTailRecoversForEveryRecordKind) {
+  const journal::RecordKind kinds[] = {
+      journal::RecordKind::ActorRegistered, journal::RecordKind::Browse,
+      journal::RecordKind::Hold,            journal::RecordKind::QuoteFare,
+      journal::RecordKind::Pay,             journal::RecordKind::RequestOtp,
+      journal::RecordKind::VerifyOtp,       journal::RecordKind::RetrieveBooking,
+      journal::RecordKind::BoardingSms,     journal::RecordKind::BoardingEmail,
+      journal::RecordKind::ExpirySweep,     journal::RecordKind::MitigationSweep,
+      journal::RecordKind::ControllerFit,   journal::RecordKind::MitigationAction,
+      journal::RecordKind::Checkpoint};
+  for (const auto kind : kinds) {
+    const std::string label = journal::to_string(kind);
+    const std::string path = tmp_path("torn-" + label + ".journal");
+    journal::JournalWriter writer;
+    ASSERT_TRUE(writer.open(path, 7, 8).is_ok()) << label;
+    util::ByteWriter intact;
+    intact.str("intact");
+    ASSERT_TRUE(writer.append(journal::RecordKind::Browse, 10, intact).is_ok()) << label;
+    util::ByteWriter fields;
+    fields.str("payload-for-" + label);
+    fields.u64(static_cast<std::uint64_t>(kind));
+    ASSERT_TRUE(writer.append(kind, 20, fields).is_ok()) << label;
+    ASSERT_TRUE(writer.close().is_ok()) << label;
+
+    // Tear mid-way through the final frame.
+    const std::string bytes = slurp(path);
+    spit(path, bytes.substr(0, bytes.size() - 5));
+
+    const auto scan = journal::scan_journal(path);
+    ASSERT_TRUE(scan.has_value()) << label;
+    EXPECT_TRUE(scan.value().torn_tail) << label;
+    EXPECT_FALSE(scan.value().corrupt_mid_file) << label;
+    EXPECT_EQ(scan.value().frames, 2u) << label;  // Header + Browse survive
+
+    journal::JournalReader reader;
+    ASSERT_TRUE(reader.open(path).is_ok()) << label;
+    EXPECT_TRUE(reader.recovered_torn_tail()) << label;
+    ASSERT_EQ(reader.records().size(), 1u) << label;
+    EXPECT_EQ(reader.records()[0].kind, journal::RecordKind::Browse) << label;
+
+    const std::string quarantine = tmp_path("torn-" + label + ".tail");
+    std::remove(quarantine.c_str());  // truncate_torn_tail appends; start clean
+    const auto repaired = journal::truncate_torn_tail(path, quarantine);
+    ASSERT_TRUE(repaired.has_value()) << label;
+    EXPECT_TRUE(repaired.value().torn_tail) << label;
+    EXPECT_EQ(repaired.value().tail_bytes(), slurp(quarantine).size()) << label;
+    // Repaired file: clean scan, no tail, both surviving frames intact.
+    const auto rescan = journal::scan_journal(path);
+    ASSERT_TRUE(rescan.has_value()) << label;
+    EXPECT_FALSE(rescan.value().torn_tail) << label;
+    EXPECT_EQ(rescan.value().frames, 2u) << label;
+    EXPECT_EQ(rescan.value().tail_bytes(), 0u) << label;
   }
 }
 
