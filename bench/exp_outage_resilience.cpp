@@ -86,6 +86,13 @@ void run_detector_outage() {
          "detector outage raises attacker hold yield inside the dark window");
   expect(outage.bot.counters.blocked < baseline.bot.counters.blocked,
          "enforcement pressure drops while sweeps are dark");
+  // The invariant oracle judges both postures: a detector outage may change
+  // OUTCOMES, but it must never break a platform safety condition.
+  for (const auto* r : {&baseline, &outage}) {
+    expect(r->invariant_checks > 0, "invariant oracle ran at the epoch barriers");
+    expect(r->violations.empty(), "detector outage violates no platform invariant");
+    for (const auto& v : r->violations) std::cout << "  " << v.render() << "\n";
+  }
 }
 
 // --- Part B: carrier outage under SMS pumping ------------------------------
@@ -154,6 +161,11 @@ void run_carrier_outage() {
          "the breaker bounds retry amplification");
   expect(with_breaker.carrier_attempts < no_breaker.carrier_attempts,
          "fail-fast cuts submissions against a dead carrier");
+  for (const auto* r : {&healthy, &no_breaker, &with_breaker}) {
+    expect(r->invariant_checks > 0, "invariant oracle ran at the epoch barriers");
+    expect(r->violations.empty(), "carrier outage violates no platform invariant");
+    for (const auto& v : r->violations) std::cout << "  " << v.render() << "\n";
+  }
 }
 
 // --- Part C: degraded detection pipeline -----------------------------------

@@ -32,6 +32,7 @@
 
 #include "attack/seat_spin.hpp"
 #include "attack/sms_pump.hpp"
+#include "core/invariant/invariant.hpp"
 #include "core/scenario/env.hpp"
 #include "util/table.hpp"
 
@@ -73,6 +74,8 @@ struct ArmResult {
   attack::SeatSpinStats spin;
   attack::SmsPumpStats pump;
   std::uint64_t goodput = 0;  // paid bookings + OTP logins that went through
+  std::vector<invariant::Violation> violations;
+  std::uint64_t invariant_checks = 0;
 };
 
 workload::LegitTrafficStats operator+(const workload::LegitTrafficStats& a,
@@ -152,6 +155,15 @@ ArmResult run_arm(bool controller, const Scale& scale) {
   attack::SmsPumpBot pump(env.app, env.actors, env.residential, env.population, env.tariffs,
                           pump_config, env.rng.fork("pump"));
 
+  // The invariant oracle judges the whole crowd: brownout may shed and
+  // degrade, but no safety condition (seat conservation, admission
+  // conservation, limiter bounds, ...) may break at any epoch barrier.
+  invariant::InvariantRegistry invariants;
+  invariant::register_platform_invariants(invariants, env.app, &env.engine);
+  for (sim::SimTime barrier = sim::hours(1); barrier < scale.horizon; barrier += sim::hours(1)) {
+    env.sim.schedule_at(barrier, [&invariants, barrier] { (void)invariants.check_all(barrier); });
+  }
+
   env.start_background(scale.horizon);
   env.sim.schedule_at(scale.crowd_start, [&] {
     surge.start(scale.crowd_end);
@@ -159,6 +171,7 @@ ArmResult run_arm(bool controller, const Scale& scale) {
     pump.start();
   });
   env.run_until(scale.horizon);
+  (void)invariants.check_all(scale.horizon);
 
   ArmResult result;
   result.legit = env.legit->stats() + surge.stats();
@@ -166,6 +179,8 @@ ArmResult run_arm(bool controller, const Scale& scale) {
   result.spin = spin.stats();
   result.pump = pump.stats();
   result.goodput = result.legit.bookings_paid + result.legit.otp_logins;
+  result.violations = invariants.violations();
+  result.invariant_checks = invariants.checks_run();
   return result;
 }
 
@@ -227,6 +242,15 @@ int main() {
   }
   std::cout << "\n=== OVL: flash crowd, unprotected vs overload controller ===\n"
             << table.render() << "\n";
+
+  // Safety holds at every scale: even the collapse arm may degrade service,
+  // but it must not corrupt state — no oversell, no ledger drift, no limiter
+  // running past its configured bound.
+  for (const auto* arm : {&off, &on}) {
+    expect(arm->invariant_checks > 0, "invariant oracle ran at the epoch barriers");
+    expect(arm->violations.empty(), "flash crowd violates no platform invariant");
+    for (const auto& v : arm->violations) std::cout << "  " << v.render() << "\n";
+  }
 
   if (!scale.smoke) {
     // The headline claim: overload control converts a collapse into triage.

@@ -123,6 +123,14 @@ int main(int argc, char** argv) {
                     ? "salvaged journal verified as byte-prefix of the re-record"
                     : "cold re-record (no salvageable journal prefix)")
             << "\n";
+  // The drill's contract is a *verified* recovery: either the directory was
+  // already complete or the salvaged prefix proved byte-identical to the
+  // re-record. A cold re-record means the journal bought us nothing — that is
+  // a recovery failure for every crash point this drill arms.
+  if (!outcome.value().reused_complete_run && !outcome.value().prefix_verified) {
+    std::cerr << "error: recovery completed without prefix verification\n";
+    return 1;
+  }
 
   // Stage 4: the directory must now audit clean.
   const auto after = manager.scan();

@@ -179,9 +179,20 @@ int main(int argc, char** argv) {
     };
   }
 
-  const scenario::FleetReport report =
-      scenario::run_fleet(scenario::cross_jobs(variants, seeds), run_one, options);
-  if (write_failed.load()) return 1;
+  // Any job that throws (simulation bug, corrupt resume residue the audit
+  // missed, filesystem trouble) must fail the whole sweep loudly: CI treats
+  // this binary's exit code as the fleet-determinism gate.
+  scenario::FleetReport report;
+  try {
+    report = scenario::run_fleet(scenario::cross_jobs(variants, seeds), run_one, options);
+  } catch (const std::exception& e) {
+    std::cerr << "error: fleet job failed: " << e.what() << "\n";
+    return 1;
+  }
+  if (write_failed.load()) {
+    std::cerr << "error: one or more jobs failed to persist artifacts\n";
+    return 1;
+  }
 
   std::ostringstream csv;
   report.write_csv(csv);

@@ -190,6 +190,28 @@ std::vector<const Reservation*> InventoryManager::reservations_for(FlightId flig
   return out;
 }
 
+std::string InventoryManager::debug_force_hold(sim::SimTime now, FlightId flight_id,
+                                               std::vector<Passenger> passengers,
+                                               web::ActorId actor) {
+  Reservation r;
+  r.pnr = pnr_gen_.next();
+  r.flight = flight_id;
+  r.passengers = std::move(passengers);
+  r.created = now;
+  r.hold_expiry = now + config_.hold_duration;
+  r.state = ReservationState::Held;
+  r.state_changed = now;
+  r.actor = actor;
+
+  held_[flight_id] += r.nip();
+  by_pnr_[r.pnr] = reservations_.size();
+  expiry_heap_.push(ExpiryEntry{r.hold_expiry, reservations_.size()});
+  std::string pnr = r.pnr;
+  reservations_.push_back(std::move(r));
+  ++stats_.holds_created;
+  return pnr;
+}
+
 void InventoryManager::checkpoint(util::ByteWriter& out) const {
   out.i64(config_.hold_duration);
   out.i64(config_.max_nip);

@@ -121,6 +121,12 @@ class InventoryManager {
   void checkpoint(util::ByteWriter& out) const;
   void restore(util::ByteReader& in);
 
+  // TESTING ONLY: creates a hold that bypasses the availability check — the
+  // oversell bug the seat-conservation invariant exists to catch. Returns the
+  // PNR. Never call from production paths.
+  std::string debug_force_hold(sim::SimTime now, FlightId flight,
+                               std::vector<Passenger> passengers, web::ActorId actor);
+
  private:
   Reservation* find_mutable(const std::string& pnr);
 

@@ -36,6 +36,7 @@ Application::Application(sim::Simulation& sim, const sms::CarrierNetwork& carrie
       boarding_(inventory_, gateway_, config.boarding),
       fares_(config.fares),
       policy_fault_(fault::FaultRegistry::global().point("app.policy.evaluate")),
+      request_latency_fault_(fault::FaultRegistry::global().point("app.request.latency")),
       overload_(config.overload, &obs_.metrics) {
   if (config.honeypot_enabled) {
     decoy_ = std::make_unique<airline::InventoryManager>(config.inventory, rng.fork("decoy-pnr"));
@@ -143,8 +144,12 @@ Application::AdmitOutcome Application::admit(const ClientContext& ctx, web::Endp
                                 util::ErrorCode::kShed};
       shed = true;
     } else {
+      // Injected slow-dependency time ("app.request.latency", kLatency
+      // scenarios) rides into the admission decision so a latency fault
+      // consumes real deadline budget and queue capacity.
       const overload::Admission admission =
-          overload_.on_request(request.time, cls, web::is_transactional(endpoint));
+          overload_.on_request(request.time, cls, web::is_transactional(endpoint),
+                               request_latency_fault_.consult(request.time).latency);
       if (admission.result == overload::AdmitResult::Admitted) {
         out.deadline = admission.deadline;
       } else {

@@ -266,6 +266,9 @@ class Application {
   CallJournal* journal_ = nullptr;
   AllowAllPolicy allow_all_;
   fault::FaultPoint& policy_fault_;
+  // "app.request.latency": kLatency scenarios charge extra sim-time against
+  // the overload admission model (consulted only with overload enabled).
+  fault::FaultPoint& request_latency_fault_;
   overload::OverloadManager overload_;
   // "app.*" counter handles (cells live in obs_.metrics).
   struct StatCounters {

@@ -1,0 +1,299 @@
+#include "core/chaos/runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+
+#include "airline/inventory.hpp"
+#include "app/application.hpp"
+#include "core/fault/fault.hpp"
+#include "core/scenario/fleet.hpp"
+
+namespace fraudsim::chaos {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// The planted oversell: a one-shot barrier hook that force-holds a ghost
+// party one seat larger than the whole aircraft, guaranteeing held > capacity
+// on that flight no matter what legitimate traffic already holds.
+scenario::RecordedScenarioConfig::TrafficPhase to_phase(const ChaosEntry& e) {
+  scenario::RecordedScenarioConfig::TrafficPhase phase;
+  phase.from = e.from;
+  phase.to = e.to;
+  phase.intensity = e.intensity;
+  return phase;
+}
+
+std::function<void(app::Application&, sim::SimTime)> make_oversell_hook() {
+  auto fired = std::make_shared<bool>(false);
+  return [fired](app::Application& app, sim::SimTime now) {
+    if (*fired) return;
+    *fired = true;
+    const auto flights = app.inventory().flights();
+    if (flights.empty()) return;
+    const auto* flight = app.inventory().flight(flights.front());
+    const int party = flight->capacity + 1;
+    std::vector<airline::Passenger> ghosts;
+    ghosts.reserve(static_cast<std::size_t>(party));
+    for (int i = 0; i < party; ++i) {
+      airline::Passenger p;
+      p.first_name = "Ghost";
+      p.surname = "Oversell" + std::to_string(i);
+      p.birthdate = airline::Date{1990, 1, 1};
+      p.email = "ghost@chaos.invalid";
+      ghosts.push_back(std::move(p));
+    }
+    (void)app.inventory().debug_force_hold(now, flights.front(), std::move(ghosts),
+                                           web::ActorId{0xC0FFEE});
+  };
+}
+
+bool plants_bug(const ChaosJobConfig& config) {
+  return config.plant_oversell_bug &&
+         config.schedule.arms("sms.carrier.send", fault::FaultKind::kError) &&
+         config.schedule.arms("detect.sweep.run", fault::FaultKind::kError);
+}
+
+}  // namespace
+
+ChaosJobResult run_chaos_job(const ChaosJobConfig& config) {
+  ChaosJobResult result;
+  // Owns the thread-local registry: asserts the previous job cleaned up,
+  // starts clean, and guarantees the next job inherits nothing. Nesting
+  // inside the fleet worker's own guard is safe (both reset on the edges).
+  fault::ScopedFaultReset fault_guard;
+
+  invariant::InvariantRegistry invariants;
+  scenario::RecordedScenarioConfig cfg = config.scenario;
+  cfg.invariants = &invariants;
+  for (const auto& e : config.schedule.entries) {
+    if (e.kind == ChaosEntry::Kind::FlashCrowd) cfg.traffic_phases.push_back(to_phase(e));
+  }
+  const bool planted = plants_bug(config);
+  if (planted) cfg.barrier_hook = make_oversell_hook();
+
+  auto& registry = fault::FaultRegistry::global();
+  arm_schedule(config.schedule, /*include_crash=*/true);
+  auto recorded = scenario::record_run_dir(cfg, config.run_dir);
+
+  scenario::RunArtifacts live;
+  if (!recorded && recorded.code() == util::ErrorCode::kCrashInjected) {
+    result.crashed = true;
+    result.faults_injected += registry.total_injected();
+    // Simulated restart: dependency faults persist across the death, the
+    // external process killer does not.
+    registry.reset();
+    arm_schedule(config.schedule, /*include_crash=*/false);
+    auto outcome = scenario::recover_run(cfg, config.run_dir);
+    if (!outcome) {
+      result.error = "recovery failed: " + outcome.error();
+      return result;
+    }
+    if (!outcome.value().reused_complete_run && !outcome.value().prefix_verified) {
+      result.error = "recovery completed without prefix verification";
+      return result;
+    }
+    result.recovered = true;
+    live = std::move(outcome.value().artifacts);
+  } else if (!recorded) {
+    result.error = "record failed: " + recorded.error();
+    return result;
+  } else {
+    live = std::move(recorded.value());
+  }
+  result.invariant_checks = live.invariant_checks;
+  result.violations = live.violations;
+  result.faults_injected += registry.total_injected();
+
+  // Replay oracle: the journal on disk (fresh or recovered — recovery leaves
+  // a complete verified journal) must replay byte-identically under a fresh
+  // arm of the same non-crash schedule. Planted-bug runs mutate state outside
+  // the journal, so their divergence is expected — skip, the invariant oracle
+  // is their judge.
+  if (planted || !result.violations.empty()) {
+    result.replay_skipped = true;
+    return result;
+  }
+  registry.reset();
+  arm_schedule(config.schedule, /*include_crash=*/false);
+  auto replayed = scenario::replay_run(cfg, config.run_dir + "/run.journal");
+  if (!replayed) {
+    result.error = "replay oracle: " + replayed.error();
+    return result;
+  }
+  result.replay_verified = replayed.value().metrics_csv == live.metrics_csv &&
+                           replayed.value().weblog_csv == live.weblog_csv &&
+                           replayed.value().soc_report == live.soc_report;
+  if (!result.replay_verified) result.error = "replay diverged from the live artifacts";
+  return result;
+}
+
+ChaosSchedule shrink_schedule(const ChaosSchedule& failing,
+                              const std::function<bool(const ChaosSchedule&)>& still_fails) {
+  const auto make = [&failing](std::vector<ChaosEntry> entries) {
+    ChaosSchedule s;
+    s.seed = failing.seed;
+    s.entries = std::move(entries);
+    return s;
+  };
+  // A failure that reproduces with no chaos at all is not schedule-induced.
+  if (still_fails(make({}))) return make({});
+
+  std::vector<ChaosEntry> current = failing.entries;
+  std::size_t granularity = 2;
+  while (current.size() >= 2) {
+    const std::size_t chunk = (current.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0; start < current.size(); start += chunk) {
+      std::vector<ChaosEntry> complement;
+      complement.reserve(current.size());
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) complement.push_back(current[i]);
+      }
+      if (complement.size() == current.size()) continue;
+      if (still_fails(make(complement))) {
+        current = std::move(complement);
+        granularity = std::max<std::size_t>(granularity - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+    if (granularity >= current.size()) break;  // single-entry removals exhausted
+    granularity = std::min(granularity * 2, current.size());
+  }
+  return make(std::move(current));
+}
+
+std::string ChaosCampaignReport::render() const {
+  std::ostringstream out;
+  out << "Chaos campaign: " << jobs << " jobs, " << passed << " passed, " << failures.size()
+      << " failed\n";
+  out << "  crashes injected/recovered: " << crashed << "/" << recovered << "\n";
+  out << "  replay-verified runs:       " << replay_verified << "\n";
+  out << "  faults injected:            " << faults_injected << "\n";
+  out << "  invariant checks run:       " << invariant_checks << "\n";
+  for (const auto& f : failures) {
+    out << "FAIL schedule=" << f.schedule_seed << " seed=" << f.scenario_seed << " ("
+        << f.schedule.entries.size() << " entries -> " << f.minimized.entries.size()
+        << " minimized)\n";
+    for (const auto& v : f.violations) out << "  " << v.render() << "\n";
+    if (!f.detail.empty()) out << "  " << f.detail << "\n";
+    for (const auto& e : f.minimized.entries) out << "  keep: " << e.describe() << "\n";
+    if (!f.repro_path.empty()) out << "  repro: " << f.repro_path << "\n";
+  }
+  return out.str();
+}
+
+ChaosCampaignReport run_chaos_campaign(const ChaosCampaignConfig& config) {
+  ChaosCampaignReport report;
+
+  struct JobSpec {
+    std::uint64_t schedule_seed = 0;
+    std::uint64_t scenario_seed = 0;
+    ChaosSchedule schedule;
+    std::string run_dir;
+  };
+  std::vector<JobSpec> specs;
+  specs.reserve(config.schedule_seeds.size() * config.scenario_seeds.size());
+  std::vector<scenario::FleetJob> jobs;
+  for (const std::uint64_t schedule_seed : config.schedule_seeds) {
+    const ChaosSchedule schedule = generate_schedule(schedule_seed, config.generator);
+    for (const std::uint64_t scenario_seed : config.scenario_seeds) {
+      JobSpec spec;
+      spec.schedule_seed = schedule_seed;
+      spec.scenario_seed = scenario_seed;
+      spec.schedule = schedule;
+      spec.run_dir = config.work_dir + "/job_" + std::to_string(schedule_seed) + "_" +
+                     std::to_string(scenario_seed);
+      scenario::FleetJob job;
+      job.variant = "chaos-" + std::to_string(schedule_seed);
+      job.seed = scenario_seed;
+      job.index = specs.size();
+      specs.push_back(std::move(spec));
+      jobs.push_back(std::move(job));
+    }
+  }
+  fs::create_directories(config.work_dir);
+
+  // Workers write disjoint slots; the reduction below runs after the join.
+  std::vector<ChaosJobResult> results(specs.size());
+  scenario::FleetOptions options;
+  options.threads = config.threads;
+  const auto run_one = [&](const scenario::FleetJob& job) {
+    const JobSpec& spec = specs[job.index];
+    ChaosJobConfig jc;
+    jc.scenario = config.base;
+    jc.scenario.seed = spec.scenario_seed;
+    jc.schedule = spec.schedule;
+    jc.run_dir = spec.run_dir;
+    jc.plant_oversell_bug = config.plant_oversell_bug;
+    fs::remove_all(spec.run_dir);
+    ChaosJobResult r = run_chaos_job(jc);
+    if (r.passed() && !config.keep_run_dirs) fs::remove_all(spec.run_dir);
+    scenario::FleetRunResult out;
+    out.observations["chaos.passed"] = r.passed() ? 1.0 : 0.0;
+    out.observations["chaos.crashed"] = r.crashed ? 1.0 : 0.0;
+    out.observations["chaos.faults_injected"] = static_cast<double>(r.faults_injected);
+    out.observations["chaos.violations"] = static_cast<double>(r.violations.size());
+    results[job.index] = std::move(r);
+    return out;
+  };
+  (void)scenario::run_fleet(jobs, run_one, options);
+
+  report.jobs = specs.size();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ChaosJobResult& r = results[i];
+    if (r.passed()) ++report.passed;
+    if (r.crashed) ++report.crashed;
+    if (r.recovered) ++report.recovered;
+    if (r.replay_verified) ++report.replay_verified;
+    report.faults_injected += r.faults_injected;
+    report.invariant_checks += r.invariant_checks;
+  }
+
+  // Failures shrink serially: ddmin re-runs jobs, and a deterministic
+  // reproducer matters more than shrink latency.
+  const std::string shrink_dir = config.work_dir + "/shrink";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ChaosJobResult& r = results[i];
+    if (r.passed()) continue;
+    const JobSpec& spec = specs[i];
+    ChaosCampaignReport::Failure failure;
+    failure.schedule_seed = spec.schedule_seed;
+    failure.scenario_seed = spec.scenario_seed;
+    failure.schedule = spec.schedule;
+    failure.minimized = spec.schedule;
+    failure.violations = r.violations;
+    failure.detail = r.error;
+    if (config.shrink_failures) {
+      const auto still_fails = [&](const ChaosSchedule& candidate) {
+        ChaosJobConfig jc;
+        jc.scenario = config.base;
+        jc.scenario.seed = spec.scenario_seed;
+        jc.schedule = candidate;
+        jc.run_dir = shrink_dir;
+        jc.plant_oversell_bug = config.plant_oversell_bug;
+        fs::remove_all(shrink_dir);
+        return !run_chaos_job(jc).passed();
+      };
+      failure.minimized = shrink_schedule(spec.schedule, still_fails);
+      fs::remove_all(shrink_dir);
+    }
+    const std::string repro_path = config.work_dir + "/chaos_repro_" +
+                                   std::to_string(spec.schedule_seed) + "_" +
+                                   std::to_string(spec.scenario_seed) + ".fsc";
+    ChaosRepro repro;
+    repro.scenario_seed = spec.scenario_seed;
+    repro.schedule = failure.minimized;
+    if (write_chaos_repro(repro_path, repro)) failure.repro_path = repro_path;
+    report.failures.push_back(std::move(failure));
+  }
+  return report;
+}
+
+}  // namespace fraudsim::chaos

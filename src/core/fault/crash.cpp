@@ -11,7 +11,9 @@ bool crash_due(const std::string& point, sim::SimTime now) {
   FaultPoint& p = FaultRegistry::global().point(point);
   if (!p.armed()) return false;
   if (p.scenario().fault != FaultKind::kCrash) return false;
-  return p.should_fail(now);
+  // consult().fired, not should_fail(): a kCrash firing is routed to the
+  // crash path and deliberately reads as a no-op to error-path callers.
+  return p.consult(now).fired;
 }
 
 void maybe_crash(const std::string& point, sim::SimTime now) {

@@ -1,5 +1,6 @@
 #include "core/fault/fault.hpp"
 
+#include <cassert>
 #include <cstdio>
 
 namespace fraudsim::fault {
@@ -10,6 +11,8 @@ const char* to_string(FaultKind k) {
       return "error";
     case FaultKind::kCrash:
       return "crash";
+    case FaultKind::kLatency:
+      return "latency";
   }
   return "?";
 }
@@ -81,8 +84,50 @@ FaultScenario FaultScenario::burst(sim::SimTime first, sim::SimDuration period,
   return s;
 }
 
+FaultScenario FaultScenario::with_latency(sim::SimDuration delay) const {
+  FaultScenario s = *this;
+  s.fault = FaultKind::kLatency;
+  s.latency = delay;
+  return s;
+}
+
+void FaultScenario::checkpoint(util::ByteWriter& out) const {
+  out.u8(static_cast<std::uint8_t>(kind));
+  out.u8(static_cast<std::uint8_t>(fault));
+  out.f64(probability);
+  out.u64(seed);
+  out.u64(nth);
+  out.i64(from);
+  out.i64(to);
+  out.i64(period);
+  out.i64(duration);
+  out.i64(latency);
+}
+
+void FaultScenario::restore(util::ByteReader& in) {
+  kind = static_cast<ScenarioKind>(in.u8());
+  fault = static_cast<FaultKind>(in.u8());
+  probability = in.f64();
+  seed = in.u64();
+  nth = in.u64();
+  from = in.i64();
+  to = in.i64();
+  period = in.i64();
+  duration = in.i64();
+  latency = in.i64();
+}
+
 std::string FaultScenario::describe() const {
   char buf[128];
+  // Latency spikes keep the pattern description, prefixed with the charge.
+  if (fault == FaultKind::kLatency) {
+    FaultScenario pattern = *this;
+    pattern.fault = FaultKind::kError;
+    std::snprintf(buf, sizeof(buf), "+%.1fs latency, %s",
+                  static_cast<double>(latency) / static_cast<double>(sim::kSecond),
+                  pattern.describe().c_str());
+    return buf;
+  }
   switch (kind) {
     case ScenarioKind::Never:
       return "never";
@@ -129,38 +174,75 @@ void FaultPoint::reset_counters() {
   if (scenario_.kind == ScenarioKind::Probabilistic) rng_.emplace(scenario_.seed);
 }
 
-bool FaultPoint::should_fail(sim::SimTime now) {
+FaultAction FaultPoint::consult(sim::SimTime now) {
   ++hits_;
-  if (scenario_.kind == ScenarioKind::Never) return false;
+  FaultAction action;
+  if (scenario_.kind == ScenarioKind::Never) return action;
   ++armed_hits_;
-  bool fail = false;
+  bool fire = false;
   switch (scenario_.kind) {
     case ScenarioKind::Never:
       break;
     case ScenarioKind::Always:
-      fail = true;
+      fire = true;
       break;
     case ScenarioKind::Probabilistic:
-      fail = rng_->bernoulli(scenario_.probability);
+      fire = rng_->bernoulli(scenario_.probability);
       break;
     case ScenarioKind::EveryNth:
-      fail = scenario_.nth != 0 && armed_hits_ % scenario_.nth == 0;
+      fire = scenario_.nth != 0 && armed_hits_ % scenario_.nth == 0;
       break;
     case ScenarioKind::OnNth:
-      fail = scenario_.nth != 0 && armed_hits_ == scenario_.nth;
+      fire = scenario_.nth != 0 && armed_hits_ == scenario_.nth;
       break;
     case ScenarioKind::Window:
-      fail = now >= scenario_.from && now < scenario_.to;
+      fire = now >= scenario_.from && now < scenario_.to;
       break;
     case ScenarioKind::Burst: {
       if (scenario_.period <= 0 || now < scenario_.from) break;
       const sim::SimDuration phase = (now - scenario_.from) % scenario_.period;
-      fail = phase < scenario_.duration;
+      fire = phase < scenario_.duration;
       break;
     }
   }
-  if (fail) ++injected_;
-  return fail;
+  if (!fire) return action;
+  ++injected_;
+  action.fired = true;
+  switch (scenario_.fault) {
+    case FaultKind::kError:
+      action.error = true;
+      break;
+    case FaultKind::kLatency:
+      action.latency = scenario_.latency;
+      break;
+    case FaultKind::kCrash:
+      // crash_due() owns the unwind; error-path callers see a no-op so the
+      // two fault families stay disjoint on shared consult logic.
+      break;
+  }
+  return action;
+}
+
+void FaultPoint::checkpoint(util::ByteWriter& out) const {
+  scenario_.checkpoint(out);
+  out.u64(hits_);
+  out.u64(armed_hits_);
+  out.u64(injected_);
+  out.boolean(rng_.has_value());
+  if (rng_.has_value()) rng_->checkpoint(out);
+}
+
+void FaultPoint::restore(util::ByteReader& in) {
+  scenario_.restore(in);
+  hits_ = in.u64();
+  armed_hits_ = in.u64();
+  injected_ = in.u64();
+  if (in.boolean()) {
+    rng_.emplace(scenario_.seed);
+    rng_->restore(in);
+  } else {
+    rng_.reset();
+  }
 }
 
 FaultPoint& FaultRegistry::point(const std::string& name) {
@@ -192,15 +274,67 @@ void FaultRegistry::reset() {
   }
 }
 
+std::size_t FaultRegistry::armed_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, p] : points_) {
+    if (p->armed()) ++n;
+  }
+  return n;
+}
+
 std::uint64_t FaultRegistry::total_injected() const {
   std::uint64_t total = 0;
   for (const auto& [name, p] : points_) total += p->injected();
   return total;
 }
 
+void FaultRegistry::checkpoint(util::ByteWriter& out) const {
+  // Only armed, non-crash points are captured. Pristine or merely-hit points
+  // are omitted (their lifetime counters never influence future firing — the
+  // cursor that does, armed_hits_, is zeroed by arm()), so the blob and every
+  // journal checkpoint embedding it stay independent of which guarded code
+  // paths merely exist. Crash-kind scenarios are excluded on purpose: they
+  // model the external process killer, which a restarted process does not
+  // re-inherit — and a recovery re-record whose blob had to byte-match the
+  // crashed run's could otherwise never get past the kill point.
+  const auto captured = [](const FaultPoint& p) {
+    return p.armed() && p.scenario().fault != FaultKind::kCrash;
+  };
+  std::uint64_t live = 0;
+  for (const auto& [name, p] : points_) {
+    if (captured(*p)) ++live;
+  }
+  out.u64(live);
+  for (const auto& [name, p] : points_) {
+    if (!captured(*p)) continue;
+    out.str(name);
+    p->checkpoint(out);
+  }
+}
+
+void FaultRegistry::restore(util::ByteReader& in) {
+  reset();
+  const std::uint64_t live = in.u64();
+  for (std::uint64_t i = 0; i < live && in.ok(); ++i) {
+    const std::string name = in.str();
+    point(name).restore(in);
+  }
+}
+
 FaultRegistry& FaultRegistry::global() {
   thread_local FaultRegistry registry;
   return registry;
 }
+
+ScopedFaultReset::ScopedFaultReset() {
+  auto& registry = FaultRegistry::global();
+  registry.for_each([this](const FaultPoint& p) {
+    if (p.armed() || p.hits() != 0) leaked_on_entry_ = true;
+  });
+  assert(!leaked_on_entry_ && "fault scenario leaked into this job from a previous one");
+  registry.reset();
+}
+
+ScopedFaultReset::~ScopedFaultReset() { FaultRegistry::global().reset(); }
 
 }  // namespace fraudsim::fault

@@ -26,6 +26,7 @@
 
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "util/archive.hpp"
 
 namespace fraudsim::fault {
 
@@ -44,8 +45,10 @@ enum class ScenarioKind : std::uint8_t {
 // What a firing point models. kError points return failure to the guarded
 // call (dependency outage); kCrash points simulate a process death at an I/O
 // boundary — the consulting code tears its in-flight write and unwinds via a
-// fault::SimCrash exception (see core/fault/crash.hpp) instead of returning.
-enum class FaultKind : std::uint8_t { kError, kCrash };
+// fault::SimCrash exception (see core/fault/crash.hpp) instead of returning;
+// kLatency points charge extra sim-time to the guarded operation (a slow
+// dependency rather than a dead one), so deadline budgets bite.
+enum class FaultKind : std::uint8_t { kError, kCrash, kLatency };
 
 [[nodiscard]] const char* to_string(FaultKind k);
 
@@ -59,6 +62,7 @@ struct FaultScenario {
   sim::SimTime to = 0;               // Window
   sim::SimDuration period = 0;       // Burst
   sim::SimDuration duration = 0;     // Burst outage length per period
+  sim::SimDuration latency = 0;      // kLatency: delay charged per firing hit
 
   [[nodiscard]] static FaultScenario never() { return {}; }
   [[nodiscard]] static FaultScenario always();
@@ -71,8 +75,27 @@ struct FaultScenario {
   // deterministic "kill the process at I/O boundary N" scenario.
   [[nodiscard]] static FaultScenario crash_at_hit(std::uint64_t n);
 
+  // Reinterpret any firing pattern as a latency spike: hits that would fail
+  // instead charge `delay` of sim time to the guarded operation. Composes
+  // with the pattern factories, e.g. burst(...).with_latency(seconds(2)).
+  [[nodiscard]] FaultScenario with_latency(sim::SimDuration delay) const;
+
   // Human-readable, for fault tables and SOC reports.
   [[nodiscard]] std::string describe() const;
+
+  // Byte-stable serialisation (chaos schedules, registry checkpoints).
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
+};
+
+// Outcome of consulting a FaultPoint once. Exactly one consult per guarded
+// operation: `fired` says the armed pattern matched this hit, and the fault
+// kind routes the effect — an error return, extra charged sim-time latency,
+// or (for kCrash, which crash_due() owns) neither.
+struct FaultAction {
+  bool fired = false;              // the armed pattern matched this hit
+  bool error = false;              // guarded call must fail (kError)
+  sim::SimDuration latency = 0;    // extra sim-time to charge (kLatency)
 };
 
 // One named branching point. Stable in memory for the process lifetime —
@@ -84,10 +107,14 @@ class FaultPoint {
   FaultPoint(const FaultPoint&) = delete;
   FaultPoint& operator=(const FaultPoint&) = delete;
 
-  // The guarded call: records the hit and returns true when the armed
-  // scenario injects a fault. Unarmed points always return false and never
-  // touch randomness.
-  [[nodiscard]] bool should_fail(sim::SimTime now);
+  // The guarded call: records the hit and routes the armed scenario's effect
+  // by fault kind. Unarmed points always return a no-op action and never
+  // touch randomness. Exactly one consult per guarded operation.
+  [[nodiscard]] FaultAction consult(sim::SimTime now);
+
+  // Error-only shorthand: true when an armed kError scenario fires on this
+  // hit. Call sites that also honour latency injection use consult().
+  [[nodiscard]] bool should_fail(sim::SimTime now) { return consult(now).error; }
 
   void arm(FaultScenario scenario);
   void disarm() { arm(FaultScenario::never()); }
@@ -100,6 +127,12 @@ class FaultPoint {
 
   // Zeroes counters (keeps the armed scenario; re-seeds its stream).
   void reset_counters();
+
+  // Byte-stable state capture: armed scenario, hit/injection counters, and
+  // the probabilistic stream mid-sequence. A restored point continues the
+  // exact fault sequence the checkpointed one would have produced.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
  private:
   std::string name_;
@@ -132,7 +165,19 @@ class FaultRegistry {
   void reset();
 
   [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] std::size_t armed_count() const;
   [[nodiscard]] std::uint64_t total_injected() const;
+
+  // Byte-stable registry checkpoint: every armed non-crash point (name-sorted
+  // — points_ is a std::map) with its scenario, counters and stream state.
+  // Crash-kind scenarios are excluded (the process killer is external state a
+  // restart does not re-inherit); unarmed points are excluded (their lifetime
+  // counters never influence future firing). restore() is a full replace:
+  // points absent from the blob are reset, points in the blob are
+  // get-or-created, so a restored run re-fires the surviving schedule exactly
+  // where the checkpointed one left off.
+  void checkpoint(util::ByteWriter& out) const;
+  void restore(util::ByteReader& in);
 
   template <typename Fn>
   void for_each(Fn&& fn) const {
@@ -150,5 +195,27 @@ class FaultRegistry {
 [[nodiscard]] inline bool should_fail(const std::string& name, sim::SimTime now) {
   return FaultRegistry::global().point(name).should_fail(now);
 }
+
+// RAII isolation for one fleet job (or test) using the thread-local registry:
+// resets on entry so the job starts from a clean slate, asserts on entry that
+// the previous job really did clean up (scenario leakage between jobs breaks
+// byte-identity silently, long after the leaking job finished), and resets on
+// exit so the next job inherits nothing — armed scenarios, hit counters or
+// probabilistic stream positions.
+class ScopedFaultReset {
+ public:
+  ScopedFaultReset();
+  ~ScopedFaultReset();
+
+  ScopedFaultReset(const ScopedFaultReset&) = delete;
+  ScopedFaultReset& operator=(const ScopedFaultReset&) = delete;
+
+  // True when the registry was dirty (armed points or live counters) at
+  // construction — the leak the guard exists to catch.
+  [[nodiscard]] bool leaked_on_entry() const { return leaked_on_entry_; }
+
+ private:
+  bool leaked_on_entry_ = false;
+};
 
 }  // namespace fraudsim::fault

@@ -1,0 +1,233 @@
+#include "core/invariant/invariant.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "app/application.hpp"
+#include "core/mitigate/rules.hpp"
+
+namespace fraudsim::invariant {
+
+std::string Violation::render() const {
+  return "[" + sim::format_time(time) + "] " + invariant + ": " + detail;
+}
+
+void InvariantRegistry::add(std::string name, Check check) {
+  checks_.push_back(Named{std::move(name), std::move(check)});
+}
+
+std::size_t InvariantRegistry::check_all(sim::SimTime now) {
+  std::size_t failed = 0;
+  for (auto& named : checks_) {
+    ++checks_run_;
+    if (auto detail = named.check(now)) {
+      violations_.push_back(Violation{named.name, std::move(*detail), now});
+      ++failed;
+    }
+  }
+  return failed;
+}
+
+std::string InvariantRegistry::render_report() const {
+  if (violations_.empty()) {
+    return "all invariants held (" + std::to_string(checks_run_) + " checks, " +
+           std::to_string(checks_.size()) + " conditions)\n";
+  }
+  std::ostringstream out;
+  out << violations_.size() << " invariant violation(s):\n";
+  for (const auto& v : violations_) out << "  " << v.render() << "\n";
+  return out.str();
+}
+
+namespace {
+
+// Recomputes one inventory's per-flight seat usage from the reservation log
+// and cross-checks the incrementally-maintained counters plus the capacity
+// bound. `label` distinguishes the real inventory from the honeypot decoy.
+std::optional<std::string> check_seats(const airline::InventoryManager& inventory,
+                                       const char* label) {
+  std::map<airline::FlightId, std::pair<int, int>> recomputed;  // flight -> (held, sold)
+  for (const auto& r : inventory.reservations()) {
+    if (r.state == airline::ReservationState::Held) {
+      recomputed[r.flight].first += r.nip();
+    } else if (r.state == airline::ReservationState::Ticketed) {
+      recomputed[r.flight].second += r.nip();
+    }
+  }
+  for (const airline::FlightId id : inventory.flights()) {
+    const airline::Flight* f = inventory.flight(id);
+    const auto [held, sold] = recomputed[id];
+    const int counter_held = inventory.held_seats(id);
+    const int counter_sold = inventory.sold_seats(id);
+    if (held != counter_held || sold != counter_sold) {
+      return std::string(label) + " flight " + std::to_string(id.value()) +
+             ": counters (held=" + std::to_string(counter_held) +
+             ", sold=" + std::to_string(counter_sold) + ") diverge from reservation log (held=" +
+             std::to_string(held) + ", sold=" + std::to_string(sold) + ")";
+    }
+    if (held < 0 || sold < 0) {
+      return std::string(label) + " flight " + std::to_string(id.value()) +
+             ": negative seat count (held=" + std::to_string(held) +
+             ", sold=" + std::to_string(sold) + ")";
+    }
+    if (held + sold > f->capacity) {
+      return std::string(label) + " flight " + std::to_string(id.value()) + ": oversold — held " +
+             std::to_string(held) + " + sold " + std::to_string(sold) + " > capacity " +
+             std::to_string(f->capacity);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_zombies(const airline::InventoryManager& inventory,
+                                         const char* label, sim::SimTime now,
+                                         sim::SimDuration slack) {
+  for (const auto& r : inventory.reservations()) {
+    if (r.state != airline::ReservationState::Held) continue;
+    if (r.hold_expiry + slack <= now) {
+      return std::string(label) + " PNR " + r.pnr + " (flight " + std::to_string(r.flight.value()) +
+             ", " + std::to_string(r.nip()) + " seats) still Held " +
+             sim::format_time(now - r.hold_expiry) + " past its TTL";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void register_platform_invariants(InvariantRegistry& registry, const app::Application& app,
+                                  const mitigate::RuleEngine* rules,
+                                  PlatformInvariantOptions options) {
+  // Seat conservation: booked + held never exceed capacity and the O(1)
+  // counters never drift from the reservation log — on the real inventory
+  // and, with honeypots on, the decoy (a decoy oversell would leak the
+  // deception to a probing attacker).
+  registry.add("seat-conservation", [&app](sim::SimTime) -> std::optional<std::string> {
+    if (auto v = check_seats(app.inventory(), "inventory")) return v;
+    if (app.honeypot_enabled()) {
+      if (auto v = check_seats(app.decoy_inventory(), "decoy")) return v;
+    }
+    return std::nullopt;
+  });
+
+  // Hold-TTL expiry: a lapsed hold must be released within a couple of sweep
+  // periods — zombie holds are exactly the seat-spinning denial the paper's
+  // §IV-A mitigation (hold TTLs) exists to bound.
+  const sim::SimDuration slack = options.zombie_hold_slack;
+  registry.add("no-zombie-holds", [&app, slack](sim::SimTime now) -> std::optional<std::string> {
+    if (auto v = check_zombies(app.inventory(), "inventory", now, slack)) return v;
+    if (app.honeypot_enabled()) {
+      if (auto v = check_zombies(app.decoy_inventory(), "decoy", now, slack)) return v;
+    }
+    return std::nullopt;
+  });
+
+  // SMS rolling-day quota: the contract is never exceeded, and within one sim
+  // day the window only moves forward (a backwards step means the quota
+  // ledger lost submissions — free sends for a pumping ring).
+  registry.add("sms-quota",
+               [&app, last = std::pair<std::int64_t, std::uint64_t>{-1, 0}](
+                   sim::SimTime) mutable -> std::optional<std::string> {
+                 const auto& gw = app.sms_gateway();
+                 const std::uint64_t quota = gw.quota_used();
+                 const std::int64_t day = gw.quota_day();
+                 if (day < last.first) {
+                   return "quota day ran backwards: " + std::to_string(day) + " after " +
+                          std::to_string(last.first);
+                 }
+                 if (day == last.first && quota < last.second) {
+                   return "quota window ran backwards on day " + std::to_string(day) + ": " +
+                          std::to_string(quota) + " after " + std::to_string(last.second);
+                 }
+                 last = {day, quota};
+                 return std::nullopt;
+               });
+  registry.add("sms-quota-bound", [&app](sim::SimTime) -> std::optional<std::string> {
+    const auto& gw = app.sms_gateway();
+    const std::uint64_t contract = gw.config().daily_quota;
+    // Each submission increments the window only after the quota gate passes,
+    // so used == contract is reachable but used > contract means the gate was
+    // bypassed — free deliveries for a pumping ring.
+    if (contract != 0 && gw.quota_used() > contract) {
+      return "rolling-day window charged " + std::to_string(gw.quota_used()) +
+             " submissions against a contract of " + std::to_string(contract);
+    }
+    if (gw.quota_used() > gw.carrier_attempts()) {
+      return "quota window counts " + std::to_string(gw.quota_used()) +
+             " submissions but only " + std::to_string(gw.carrier_attempts()) +
+             " carrier attempts were ever made";
+    }
+    return std::nullopt;
+  });
+
+  // Rate-limiter bounds: no key may hold more in-window events than the
+  // configured limit — allow() records only within-limit events and brownout
+  // only tightens effective limits, so an excess means the window ledger
+  // itself is corrupt.
+  if (rules != nullptr) {
+    registry.add("rate-limiter-bounds", [rules](sim::SimTime now) -> std::optional<std::string> {
+      std::optional<std::string> violation;
+      rules->for_each_limiter(
+          [&](const mitigate::RateLimitSpec& spec, const mitigate::SlidingWindowRateLimiter& l) {
+            if (violation) return;
+            const std::uint64_t max = l.max_in_window(now);
+            if (max > spec.limit) {
+              violation = "limiter '" + spec.name + "': a key holds " + std::to_string(max) +
+                          " events in-window, limit " + std::to_string(spec.limit);
+            }
+          });
+      return violation;
+    });
+  }
+
+  // Admission conservation: every request lands in exactly one outcome
+  // bucket. App-level: terminal outcomes never exceed requests and deadline
+  // misses are a subset of sheds. Overload-level: per class, offered ==
+  // admitted + shed_queue + shed_fail_fast + deadline_missed.
+  registry.add("admission-conservation", [&app](sim::SimTime) -> std::optional<std::string> {
+    const auto s = app.stats();
+    const std::uint64_t terminal =
+        s.blocked + s.challenged + s.rate_limited + s.honeypotted + s.shed;
+    if (terminal > s.requests) {
+      return "terminal outcomes (" + std::to_string(terminal) + ") exceed requests (" +
+             std::to_string(s.requests) + ")";
+    }
+    if (s.deadline_missed > s.shed) {
+      return "deadline_missed (" + std::to_string(s.deadline_missed) + ") exceeds shed (" +
+             std::to_string(s.shed) + ")";
+    }
+    if (app.overload().enabled()) {
+      for (std::size_t i = 0; i < overload::kRequestClasses; ++i) {
+        const auto cls = static_cast<overload::RequestClass>(i);
+        const auto c = app.overload().stats(cls);
+        const std::uint64_t accounted =
+            c.admitted + c.shed_queue + c.shed_fail_fast + c.deadline_missed;
+        if (accounted != c.offered) {
+          return std::string("class ") + overload::to_string(cls) + ": offered " +
+                 std::to_string(c.offered) + " != admitted " + std::to_string(c.admitted) +
+                 " + shed_queue " + std::to_string(c.shed_queue) + " + shed_fail_fast " +
+                 std::to_string(c.shed_fail_fast) + " + deadline_missed " +
+                 std::to_string(c.deadline_missed);
+        }
+      }
+    }
+    return std::nullopt;
+  });
+
+  // Weblog conservation: exactly one log line per request the facade
+  // admitted — server telemetry that silently drops (or duplicates) lines is
+  // how abuse hides from every log-driven detector downstream.
+  registry.add("weblog-conservation", [&app](sim::SimTime) -> std::optional<std::string> {
+    const std::uint64_t logged = app.weblog().size();
+    const std::uint64_t requests = app.stats().requests;
+    if (logged != requests) {
+      return "weblog has " + std::to_string(logged) + " lines for " + std::to_string(requests) +
+             " admitted requests";
+    }
+    return std::nullopt;
+  });
+}
+
+}  // namespace fraudsim::invariant

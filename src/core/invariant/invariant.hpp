@@ -1,0 +1,121 @@
+// System-wide safety invariants, machine-checked at epoch barriers.
+//
+// The paper's thesis is that functional abuse lives where legitimate features
+// behave unexpectedly — and the platform's own defenses (fault handling,
+// brownout, crash recovery) are exactly such features. Hand-written scenarios
+// test each fault family in isolation; the InvariantRegistry states what the
+// platform must NEVER do, so chaos campaigns can explore fault *combinations*
+// against a formal oracle instead of happy-path expectations:
+//
+//   * seat conservation     — booked + held <= capacity on every flight, the
+//                             incremental counters match the reservation log,
+//                             nothing oversells past the hold policy;
+//   * no zombie holds       — a Held reservation whose TTL lapsed more than a
+//                             sweep-slack ago must have been expired;
+//   * SMS quota             — the rolling-day window never exceeds the
+//                             contract and never runs backwards within a day;
+//   * rate-limiter bounds   — no key's in-window count exceeds the configured
+//                             limit (brownout only ever tightens);
+//   * admission conservation— every request lands in exactly one outcome
+//                             bucket, for the app counters and for each
+//                             overload class (offered == admitted + shed);
+//   * weblog conservation   — exactly one log line per admitted request.
+//
+// Checks are pure observers: they never mutate platform state, consume no
+// randomness, and are driven at deterministic sim-times (epoch barriers) plus
+// end-of-run, so enabling them cannot change what the run does — only whether
+// it is judged safe. Replay consistency (journaled outcome == replayed
+// outcome) is the one invariant that needs a second run; the chaos runner
+// owns it (core/chaos).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fraudsim::app {
+class Application;
+}
+namespace fraudsim::mitigate {
+class RuleEngine;
+}
+
+namespace fraudsim::invariant {
+
+// One observed safety violation, attributable: which invariant, at which
+// barrier, with the concrete numbers that broke it.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+  sim::SimTime time = 0;
+
+  [[nodiscard]] std::string render() const;
+};
+
+// A named registry of safety conditions. A check returns nullopt while the
+// condition holds and an attributable detail string when it is violated.
+// Checks may be stateful (monotonicity needs the previous observation) but
+// must never mutate the platform they observe.
+class InvariantRegistry {
+ public:
+  using Check = std::function<std::optional<std::string>(sim::SimTime)>;
+
+  void add(std::string name, Check check);
+
+  // Evaluates every check at `now` (an epoch barrier or end-of-run) and
+  // records failures. Returns how many checks failed at this barrier.
+  std::size_t check_all(sim::SimTime now);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+  [[nodiscard]] std::size_t size() const { return checks_.size(); }
+  // Total individual check evaluations across all barriers so far.
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+
+  void clear_violations() { violations_.clear(); }
+
+  // Drops every check, violation and counter. The record/replay harness calls
+  // this at the start of each live run before re-binding the platform
+  // invariants, so one registry can judge a sequence of runs (e.g. a crashed
+  // record and its recovery re-record) without stale bindings or double
+  // counting.
+  void reset() {
+    checks_.clear();
+    violations_.clear();
+    checks_run_ = 0;
+  }
+
+  // One line per violation (or "all invariants held") for reports.
+  [[nodiscard]] std::string render_report() const;
+
+ private:
+  struct Named {
+    std::string name;
+    Check check;
+  };
+  std::vector<Named> checks_;
+  std::vector<Violation> violations_;
+  std::uint64_t checks_run_ = 0;
+};
+
+struct PlatformInvariantOptions {
+  // Grace period before a lapsed Held hold counts as a zombie. Expiry is
+  // swept periodically (Env default: every minute), so a barrier landing
+  // between sweeps legitimately sees briefly-lapsed holds; the slack must
+  // exceed a couple of sweep periods.
+  sim::SimDuration zombie_hold_slack = sim::minutes(3);
+};
+
+// Registers the platform-wide conditions listed above against `app` (and the
+// rate-limiter bounds when `rules` is non-null). The references must outlive
+// the registry. Safe to call on any platform posture — checks for disabled
+// subsystems (overload off, no quota, honeypot off) hold vacuously.
+void register_platform_invariants(InvariantRegistry& registry, const app::Application& app,
+                                  const mitigate::RuleEngine* rules = nullptr,
+                                  PlatformInvariantOptions options = {});
+
+}  // namespace fraudsim::invariant

@@ -57,6 +57,18 @@ std::uint64_t SlidingWindowRateLimiter::current(sim::SimTime now, const std::str
   return it->second.size();
 }
 
+std::uint64_t SlidingWindowRateLimiter::max_in_window(sim::SimTime now) const {
+  std::uint64_t max = 0;
+  for (const auto& [key, q] : events_) {
+    std::uint64_t live = 0;
+    for (sim::SimTime t : q) {
+      if (t > now - window_) ++live;
+    }
+    max = std::max(max, live);
+  }
+  return max;
+}
+
 void SlidingWindowRateLimiter::checkpoint(util::ByteWriter& out) const {
   out.u64(local_denials_);
   out.i64(last_sweep_);

@@ -58,6 +58,13 @@ class SlidingWindowRateLimiter {
   // active within the last ~window, not by lifetime distinct keys).
   [[nodiscard]] std::size_t key_count() const { return events_.size(); }
 
+  // Largest in-window event count across all live keys at `now`, computed
+  // without mutating limiter state (events older than now - window are
+  // skipped, not pruned). The invariant oracle checks this never exceeds
+  // limit(): allow() records only within-limit events and brownout only
+  // tightens effective limits.
+  [[nodiscard]] std::uint64_t max_in_window(sim::SimTime now) const;
+
   void clear() { events_.clear(); }
 
   // Checkpoint support: window history per key, denial tally, sweep clock.

@@ -77,6 +77,12 @@ class RuleEngine final : public app::IngressPolicy {
   void add_rate_limit(RateLimitSpec spec);
   [[nodiscard]] const SlidingWindowRateLimiter* limiter(const std::string& name) const;
   void remove_rate_limit(const std::string& name);
+  // Visits every configured limiter (spec order) — the invariant oracle walks
+  // these to check per-key window counts against the configured limits.
+  template <typename Fn>
+  void for_each_limiter(Fn&& fn) const {
+    for (const auto& named : limiters_) fn(named.spec, *named.limiter);
+  }
 
   // --- Observability -----------------------------------------------------------
   // Publishes per-limiter denial tallies as "mitigate.rate.<name>.denials"

@@ -102,9 +102,10 @@ ClassStats OverloadManager::stats(RequestClass cls) const {
   return out;
 }
 
-Admission OverloadManager::on_request(sim::SimTime now, RequestClass cls, bool transactional) {
+Admission OverloadManager::on_request(sim::SimTime now, RequestClass cls, bool transactional,
+                                      sim::SimDuration extra_latency) {
   const sim::SimDuration cost =
-      transactional ? config_.cost_transactional : config_.cost_browse;
+      (transactional ? config_.cost_transactional : config_.cost_browse) + extra_latency;
   const sim::SimDuration budget =
       transactional ? config_.deadline_transactional : config_.deadline_browse;
 

@@ -195,8 +195,11 @@ class OverloadManager {
 
   [[nodiscard]] bool enabled() const { return config_.enabled; }
 
-  // The admission decision for one request. Pre: enabled().
-  Admission on_request(sim::SimTime now, RequestClass cls, bool transactional);
+  // The admission decision for one request. Pre: enabled(). `extra_latency`
+  // is injected slow-dependency time (FaultKind::kLatency) charged on top of
+  // the modeled service cost, so a latency fault eats real deadline budget.
+  Admission on_request(sim::SimTime now, RequestClass cls, bool transactional,
+                       sim::SimDuration extra_latency = 0);
 
   [[nodiscard]] BrownoutController& brownout() { return brownout_; }
   [[nodiscard]] const BrownoutController& brownout() const { return brownout_; }

@@ -170,8 +170,10 @@ FleetReport run_fleet(const std::vector<FleetJob>& jobs, const FleetRunFn& run,
       job.index = i;
       // Clean-slate per-thread fault registry: which jobs share a worker
       // depends on scheduling, so leftover armed scenarios or counters from a
-      // previous job must never leak into the next one.
-      fault::FaultRegistry::global().reset();
+      // previous job must never leak into the next one. The scoped guard
+      // asserts (debug builds) that the previous job on this worker actually
+      // cleaned up, then resets on both entry and exit.
+      fault::ScopedFaultReset fault_guard;
       try {
         if (options.resume) {
           if (auto cached = options.resume(job)) {

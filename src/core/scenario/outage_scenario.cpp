@@ -6,6 +6,19 @@
 
 namespace fraudsim::scenario {
 
+namespace {
+
+// Hourly epoch barriers for the invariant oracle. Checks are pure observers,
+// so arming them never changes what the scenario does.
+void schedule_invariant_barriers(Env& env, invariant::InvariantRegistry& invariants,
+                                 sim::SimTime horizon) {
+  for (sim::SimTime t = sim::hours(1); t < horizon; t += sim::hours(1)) {
+    env.sim.schedule_at(t, [&invariants, &env] { (void)invariants.check_all(env.sim.now()); });
+  }
+}
+
+}  // namespace
+
 CarrierOutageScenarioResult run_carrier_outage_scenario(
     const CarrierOutageScenarioConfig& config) {
   auto& faults = fault::FaultRegistry::global();
@@ -36,11 +49,18 @@ CarrierOutageScenarioResult run_carrier_outage_scenario(
   attack::SmsPumpBot pump(env.app, env.actors, env.residential, env.population, env.tariffs,
                           pump_config, env.rng.fork("sms-pump"));
 
+  invariant::InvariantRegistry invariants;
+  if (config.invariants_enabled) {
+    invariant::register_platform_invariants(invariants, env.app, &env.engine);
+    schedule_invariant_barriers(env, invariants, end);
+  }
+
   env.start_background(end);
   env.sim.schedule_at(config.attack_start, [&] { pump.start(); });
   env.run_until(end);
   // Drain anything still due exactly at the horizon.
   env.app.sms_gateway().process_retries(end);
+  if (config.invariants_enabled) (void)invariants.check_all(end);
 
   const auto& gateway = env.app.sms_gateway();
   CarrierOutageScenarioResult result;
@@ -80,6 +100,8 @@ CarrierOutageScenarioResult run_carrier_outage_scenario(
 
   result.pump = pump.stats();
   result.legit = env.legit->stats();
+  result.violations = invariants.violations();
+  result.invariant_checks = invariants.checks_run();
   faults.disarm_all();
   return result;
 }
@@ -117,12 +139,19 @@ DetectorOutageScenarioResult run_detector_outage_scenario(
   attack::SeatSpinBot bot(env.app, env.actors, env.residential, env.population, bot_config,
                           env.rng.fork("seat-spin-bot"));
 
+  invariant::InvariantRegistry invariants;
+  if (config.invariants_enabled) {
+    invariant::register_platform_invariants(invariants, env.app, &env.engine);
+    schedule_invariant_barriers(env, invariants, end);
+  }
+
   env.start_background(end);
   env.sim.schedule_at(config.attack_start, [&] {
     controller.start(end);
     bot.start();
   });
   env.run_until(end);
+  if (config.invariants_enabled) (void)invariants.check_all(end);
 
   DetectorOutageScenarioResult result;
   result.skipped_sweeps = controller.skipped_sweeps();
@@ -137,6 +166,8 @@ DetectorOutageScenarioResult run_detector_outage_scenario(
       ++result.bot_holds_in_window;
     }
   }
+  result.violations = invariants.violations();
+  result.invariant_checks = invariants.checks_run();
   faults.disarm_all();
   return result;
 }

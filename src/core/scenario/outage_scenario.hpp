@@ -25,6 +25,7 @@
 #include "attack/seat_spin.hpp"
 #include "attack/sms_pump.hpp"
 #include "core/fault/circuit_breaker.hpp"
+#include "core/invariant/invariant.hpp"
 #include "core/mitigate/controller.hpp"
 #include "core/scenario/env.hpp"
 
@@ -52,6 +53,10 @@ struct CarrierOutageScenarioConfig {
   fault::CircuitBreakerConfig breaker;
   attack::SmsPumpConfig pump;
   workload::LegitTrafficConfig legit;
+  // System-wide invariant oracle, evaluated hourly + at end-of-run. Pure
+  // observation: disabling it never changes the run, only whether it is
+  // judged safe.
+  bool invariants_enabled = true;
 };
 
 struct CarrierOutageScenarioResult {
@@ -75,6 +80,9 @@ struct CarrierOutageScenarioResult {
   attack::SmsPumpStats pump;
   workload::LegitTrafficStats legit;
   util::Money app_sms_cost;
+  // Invariant-oracle verdict (empty unless invariants_enabled).
+  std::vector<invariant::Violation> violations;
+  std::uint64_t invariant_checks = 0;
 };
 
 [[nodiscard]] CarrierOutageScenarioResult run_carrier_outage_scenario(
@@ -97,6 +105,8 @@ struct DetectorOutageScenarioConfig {
   bool outage_enabled = true;
   attack::SeatSpinConfig bot;  // target filled in by the runner
   workload::LegitTrafficConfig legit;
+  // System-wide invariant oracle, evaluated hourly + at end-of-run.
+  bool invariants_enabled = true;
 };
 
 struct DetectorOutageScenarioResult {
@@ -109,6 +119,9 @@ struct DetectorOutageScenarioResult {
   // outage window specifically (the advantage the downtime buys).
   std::uint64_t bot_holds_total = 0;
   std::uint64_t bot_holds_in_window = 0;
+  // Invariant-oracle verdict (empty unless invariants_enabled).
+  std::vector<invariant::Violation> violations;
+  std::uint64_t invariant_checks = 0;
 };
 
 [[nodiscard]] DetectorOutageScenarioResult run_detector_outage_scenario(

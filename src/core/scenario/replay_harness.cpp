@@ -10,6 +10,7 @@
 #include "app/export.hpp"
 #include "core/detect/pipeline.hpp"
 #include "core/fault/crash.hpp"
+#include "core/fault/fault.hpp"
 #include "core/journal/recording.hpp"
 #include "core/recover/manifest.hpp"
 #include "core/scenario/soc_report.hpp"
@@ -25,6 +26,9 @@ struct Platform {
   std::unique_ptr<Env> env;
   std::unique_ptr<mitigate::MitigationController> controller;
   std::vector<airline::FlightId> flights;
+  // Flash-crowd surge generators (live modes only; owned here so their
+  // scheduled arrivals stay valid for the whole run).
+  std::vector<std::unique_ptr<workload::LegitTraffic>> surges;
 };
 
 Platform build_platform(const RecordedScenarioConfig& config,
@@ -32,6 +36,7 @@ Platform build_platform(const RecordedScenarioConfig& config,
   EnvConfig env_config;
   env_config.seed = config.seed;
   env_config.legit = config.legit;
+  env_config.application.overload = config.overload;
   Platform p;
   p.env = std::make_unique<Env>(env_config);
   p.flights = p.env->add_flights("FS", config.flights, config.capacity, config.departure);
@@ -178,12 +183,16 @@ void schedule_mitigation(Env& env, mitigate::MitigationController& controller,
 }
 
 // Full platform state, in a fixed order shared with replay's restore path.
+// The fault registry rides along so armed chaos schedules (and their EveryNth
+// / OnNth / Burst cursors) survive a checkpoint-anchored restore exactly like
+// every other piece of platform state.
 std::string checkpoint_state(Env& env, mitigate::MitigationController& controller) {
   util::ByteWriter state;
   env.actors.checkpoint(state);
   env.app.checkpoint(state);
   env.engine.checkpoint(state);
   controller.checkpoint(state);
+  fault::FaultRegistry::global().checkpoint(state);
   return state.take();
 }
 
@@ -225,6 +234,41 @@ RunArtifacts make_artifacts(Platform& p, const RecordedScenarioConfig& config) {
   return artifacts;
 }
 
+// Live runs own invariant binding: the registry is reset and the standard
+// platform conditions are registered against THIS run's application, so a
+// recovery re-record (second live run on one registry) never double-counts or
+// dangles into the previous platform instance.
+void begin_live_invariants(Platform& p, const RecordedScenarioConfig& config) {
+  if (config.invariants == nullptr) return;
+  config.invariants->reset();
+  invariant::register_platform_invariants(*config.invariants, p.env->app, &p.env->engine);
+}
+
+// Epoch barriers: at a fixed cadence the (optional) test hook runs, then every
+// registered invariant is evaluated. Checks are pure observers, so the extra
+// events never change the run they are judging.
+void schedule_barrier_loop(Env& env, const RecordedScenarioConfig& config) {
+  if (config.invariants == nullptr || config.invariant_barrier_every <= 0) return;
+  if (env.sim.now() + config.invariant_barrier_every > config.horizon) return;
+  env.sim.schedule_in(config.invariant_barrier_every, [&env, &config] {
+    if (config.barrier_hook) config.barrier_hook(env.app, env.sim.now());
+    (void)config.invariants->check_all(env.sim.now());
+    schedule_barrier_loop(env, config);
+  });
+}
+
+// End-of-run barrier + violation export into the artifacts. Runs after
+// make_artifacts so a hook-corrupted final state never shifts the exported
+// metrics — only the verdict.
+void finish_live_invariants(Platform& p, const RecordedScenarioConfig& config,
+                            RunArtifacts& artifacts) {
+  if (config.invariants == nullptr) return;
+  if (config.barrier_hook) config.barrier_hook(p.env->app, config.horizon);
+  (void)config.invariants->check_all(config.horizon);
+  artifacts.violations = config.invariants->violations();
+  artifacts.invariant_checks = config.invariants->checks_run();
+}
+
 void start_traffic(Platform& p, const RecordedScenarioConfig& config,
                    std::unique_ptr<SeatSpinScript>& attacker,
                    journal::RecordingJournal* recording) {
@@ -238,6 +282,25 @@ void start_traffic(Platform& p, const RecordedScenarioConfig& config,
     attacker = std::make_unique<SeatSpinScript>(env, config, p.flights);
     attacker->start();
   }
+  // Flash-crowd phases: extra legit generators scaled from the baseline
+  // demand, each on its own forked stream (forking consumes no parent-stream
+  // state, so configs without phases stay byte-identical).
+  for (std::size_t i = 0; i < config.traffic_phases.size(); ++i) {
+    const auto& phase = config.traffic_phases[i];
+    if (phase.from >= config.horizon || phase.to <= phase.from) continue;
+    workload::LegitTrafficConfig surge_config = config.legit;
+    surge_config.booking_sessions_per_hour *= phase.intensity;
+    surge_config.browse_sessions_per_hour *= phase.intensity;
+    surge_config.otp_logins_per_hour *= phase.intensity;
+    auto surge = std::make_unique<workload::LegitTraffic>(
+        env.app, env.geo, env.actors, surge_config,
+        env.rng.fork("chaos-crowd-" + std::to_string(i)));
+    workload::LegitTraffic* raw = surge.get();
+    const sim::SimTime until = phase.to < config.horizon ? phase.to : config.horizon;
+    env.sim.schedule_at(phase.from, [raw, until] { raw->start(until); });
+    p.surges.push_back(std::move(surge));
+  }
+  schedule_barrier_loop(env, config);
 }
 
 [[nodiscard]] bool denied(app::CallStatus status) {
@@ -402,21 +465,57 @@ std::uint64_t config_digest(const RecordedScenarioConfig& config) {
     w.i64(spec.window);
   }
   w.i64(config.checkpoint_every);
+  // Overload posture is appended ONLY when enabled: the default-off shape
+  // keeps the digest every pre-overload journal was recorded under.
+  if (config.overload.enabled) {
+    const auto& o = config.overload;
+    w.boolean(o.enabled);
+    w.i64(static_cast<std::int64_t>(o.servers));
+    w.i64(o.cost_browse);
+    w.i64(o.cost_transactional);
+    w.boolean(o.shedding_enabled);
+    w.i64(o.max_wait_priority);
+    w.i64(o.max_wait_anonymous);
+    w.boolean(o.priority_scheduling);
+    w.i64(o.deadline_browse);
+    w.i64(o.deadline_transactional);
+    w.boolean(o.brownout.enabled);
+    w.f64(o.brownout.alpha);
+    w.i64(o.brownout.elevated_wait);
+    w.i64(o.brownout.brownout_wait);
+    w.i64(o.brownout.shed_wait);
+    w.i64(o.brownout.elevated_latency);
+    w.i64(o.brownout.brownout_latency);
+    w.i64(o.brownout.shed_latency);
+    w.f64(o.brownout.exit_fraction);
+    w.i64(o.brownout.min_dwell);
+    for (std::size_t i = 0; i < overload::kBrownoutStates; ++i) {
+      w.f64(o.brownout.rate_limit_scale[i]);
+      w.i64(static_cast<std::int64_t>(o.brownout.detector_stride[i]));
+      w.i64(static_cast<std::int64_t>(o.brownout.nip_cap[i]));
+      w.f64(o.brownout.anonymous_watermark_scale[i]);
+      w.f64(o.brownout.hold_ttl_scale[i]);
+    }
+  }
   return util::crc32(w.bytes());
 }
 
 RunArtifacts baseline_run(const RecordedScenarioConfig& config) {
   Platform p = build_platform(config);
+  begin_live_invariants(p, config);
   std::unique_ptr<SeatSpinScript> attacker;
   start_traffic(p, config, attacker, nullptr);
   p.env->run_until(config.horizon);
-  return make_artifacts(p, config);
+  RunArtifacts artifacts = make_artifacts(p, config);
+  finish_live_invariants(p, config, artifacts);
+  return artifacts;
 }
 
 util::Result<RunArtifacts> record_run(const RecordedScenarioConfig& config,
                                       const std::string& journal_path) {
   using R = util::Result<RunArtifacts>;
   Platform p = build_platform(config);
+  begin_live_invariants(p, config);
   Env& env = *p.env;
 
   journal::JournalWriter writer;
@@ -440,7 +539,9 @@ util::Result<RunArtifacts> record_run(const RecordedScenarioConfig& config,
     return R::fail(recording.status().code(), recording.status().error());
   }
   if (auto s = writer.close(); !s.is_ok()) return R::fail(s.code(), s.error());
-  return R::ok(make_artifacts(p, config));
+  RunArtifacts artifacts = make_artifacts(p, config);
+  finish_live_invariants(p, config, artifacts);
+  return R::ok(std::move(artifacts));
 }
 
 util::Result<RunArtifacts> record_run_dir(const RecordedScenarioConfig& config,
@@ -458,6 +559,7 @@ util::Result<RunArtifacts> record_run_dir(const RecordedScenarioConfig& config,
 
   try {
     Platform p = build_platform(config);
+    begin_live_invariants(p, config);
     Env& env = *p.env;
 
     journal::JournalWriter writer;
@@ -509,6 +611,7 @@ util::Result<RunArtifacts> record_run_dir(const RecordedScenarioConfig& config,
     if (!sidecar_status.is_ok()) return R::fail(sidecar_status.code(), sidecar_status.error());
 
     RunArtifacts artifacts = make_artifacts(p, config);
+    finish_live_invariants(p, config, artifacts);
 
     // Manifest entries in layout order: journal, sidecars, then artifacts.
     recover::Manifest manifest;
@@ -565,6 +668,20 @@ util::Result<RecoverOutcome> recover_run(const RecordedScenarioConfig& config,
   auto repaired = manager.repair();
   if (!repaired) return R::fail(repaired.code(), repaired.error());
 
+  // Snapshot the caller's fault posture. Verification replays below restore
+  // the registry from mid-run checkpoint blobs (so the salvaged suffix
+  // re-fires its faults exactly), which would otherwise leave the re-record
+  // starting from mid-run cursors instead of the posture the original run
+  // started under — and the salvaged-prefix comparison would fail for any
+  // schedule with error faults.
+  util::ByteWriter fault_snapshot_writer;
+  fault::FaultRegistry::global().checkpoint(fault_snapshot_writer);
+  const std::string fault_snapshot = fault_snapshot_writer.take();
+  const auto restore_fault_posture = [&fault_snapshot] {
+    util::ByteReader in(fault_snapshot);
+    fault::FaultRegistry::global().restore(in);
+  };
+
   RecoverOutcome outcome;
   outcome.report = repaired.value();
   const std::string journal_path = (fs::path(run_dir) / recover::kJournalFilename).string();
@@ -574,6 +691,7 @@ util::Result<RecoverOutcome> recover_run(const RecordedScenarioConfig& config,
     // Nothing to repair — but "complete" is only trusted after the journal
     // replays clean, which also regenerates the in-memory artifacts.
     auto replayed = replay_run(config, journal_path);
+    restore_fault_posture();
     if (!replayed) return R::fail(replayed.code(), replayed.error());
     outcome.artifacts = replayed.value();
     outcome.reused_complete_run = true;
@@ -629,8 +747,9 @@ util::Result<RecoverOutcome> recover_run(const RecordedScenarioConfig& config,
     }
   }
 
-  // Deterministic re-record: same config + seed reproduces the interrupted
-  // run byte-for-byte, which the salvaged prefix then proves.
+  // Deterministic re-record: same config + seed + fault posture reproduces
+  // the interrupted run byte-for-byte, which the salvaged prefix then proves.
+  restore_fault_posture();
   auto rerecorded = record_run_dir(config, run_dir);
   if (!rerecorded) return R::fail(rerecorded.code(), rerecorded.error());
   outcome.artifacts = rerecorded.value();
@@ -677,6 +796,7 @@ util::Result<RunArtifacts> replay_run(const RecordedScenarioConfig& config,
       env.app.restore(state);
       env.engine.restore(state);
       p.controller->restore(state);
+      fault::FaultRegistry::global().restore(state);
       if (!state.ok()) {
         return R::fail(util::ErrorCode::kJournalCorrupt, "replay: checkpoint blob truncated");
       }

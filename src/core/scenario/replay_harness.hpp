@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/invariant/invariant.hpp"
 #include "core/journal/journal.hpp"
 #include "core/mitigate/controller.hpp"
 #include "core/obs/metrics.hpp"
@@ -65,6 +66,39 @@ struct RecordedScenarioConfig {
 
   // Cadence of embedded state checkpoints (restore points).
   sim::SimDuration checkpoint_every = sim::hours(6);
+
+  // Overload-control posture of the platform (off by default, the historical
+  // shape). Digested only when enabled, so every pre-overload journal keeps
+  // its digest.
+  overload::OverloadConfig overload;
+
+  // Extra flash-crowd phases of legitimate demand layered over the baseline
+  // generator (chaos schedules use these to push the platform into brownout
+  // mid-campaign). Live modes only: the surges' requests are journalled like
+  // any other traffic, so replay reproduces them from the journal and the
+  // phases stay out of the digest.
+  struct TrafficPhase {
+    sim::SimTime from = 0;
+    sim::SimTime to = 0;
+    double intensity = 4.0;  // multiplier on the baseline arrival rates
+  };
+  std::vector<TrafficPhase> traffic_phases;
+
+  // Invariant oracle: when non-null, each live run resets the registry,
+  // binds the standard platform invariants to its own application instance
+  // (invariant::register_platform_invariants) and evaluates them at every
+  // `invariant_barrier_every` epoch barrier plus once at end-of-run. Checks
+  // are pure observers (no mutation, no randomness), so attaching the oracle
+  // never changes what the run does — violations land in
+  // RunArtifacts::violations. Replay modes ignore it; replay consistency is
+  // the chaos runner's own oracle.
+  invariant::InvariantRegistry* invariants = nullptr;
+  sim::SimDuration invariant_barrier_every = sim::hours(1);
+  // TESTING ONLY: runs at every barrier before the checks, live modes only.
+  // Chaos planted-bug campaigns use it to corrupt state on purpose and prove
+  // the oracle catches it; it is deliberately outside the journal, so a run
+  // whose hook mutates state will NOT replay cleanly.
+  std::function<void(app::Application&, sim::SimTime)> barrier_hook;
 };
 
 // Digest of everything that shapes the run (journal header field): a replay
@@ -80,6 +114,9 @@ struct RunArtifacts {
   // The snapshot the CSV was rendered from, carried as a structured shard so
   // a fleet reduction can fold it via obs::MetricsRegistry::merge.
   obs::MetricsSnapshot metrics;
+  // Invariant-oracle results (empty unless the config attached a registry).
+  std::vector<invariant::Violation> violations;
+  std::uint64_t invariant_checks = 0;
 };
 
 // Live run WITHOUT any journaling attached: the control for "recording off

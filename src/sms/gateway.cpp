@@ -127,7 +127,8 @@ void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attem
 
   ++quota_used_;
   carrier_attempts_.inc();
-  if (carrier_fault_.should_fail(now)) {
+  const fault::FaultAction act = carrier_fault_.consult(now);
+  if (act.error) {
     carrier_failures_.inc();
     if (attempt == 1) first_attempt_failures_.inc();
     if (config_.breaker_enabled) breaker_.record_failure(now);
@@ -151,9 +152,19 @@ void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attem
   }
   if (config_.breaker_enabled) breaker_.record_success(now);
 
+  // Latency spike: the submission succeeds, but `act.latency` of sim-time
+  // later. A delivery that would land past the caller's deadline budget is
+  // abandoned — a slow dependency fails deadlines exactly like a dead one.
+  const sim::SimTime completed_at = now + act.latency;
+  if (act.latency > 0 && record.deadline.expired(completed_at)) {
+    record.failure = SmsFailure::DeadlineExpired;
+    deadline_abandoned_.inc();
+    return;
+  }
+
   record.delivered = true;
   record.failure = SmsFailure::None;
-  record.delivered_at = now;
+  record.delivered_at = completed_at;
   // At send time nothing is flagged as abuse; settlement reflects the
   // default carrier economics. Retrospective flagging is handled by the
   // economics layer re-settling flagged records.
@@ -162,7 +173,7 @@ void SmsGateway::attempt_delivery(sim::SimTime now, std::size_t index, int attem
   record.attacker_revenue = settlement.attacker_revenue;
   total_app_cost_ += record.app_cost;
   delivered_.inc();
-  daily_.add(now);
+  daily_.add(completed_at);
   if (attempt > 1) retries_delivered_.inc();
 }
 

@@ -135,6 +135,12 @@ class SmsGateway {
   [[nodiscard]] std::uint64_t retries_exhausted() const { return retries_exhausted_.value(); }
   [[nodiscard]] std::uint64_t quota_rejected() const { return quota_rejected_.value(); }
   [[nodiscard]] std::uint64_t deadline_abandoned() const { return deadline_abandoned_.value(); }
+  // Rolling-day quota window, exposed for the invariant oracle: submissions
+  // charged against the contract in the current window, and the sim-day the
+  // window covers (-1 before the first submission).
+  [[nodiscard]] std::uint64_t quota_used() const { return quota_used_; }
+  [[nodiscard]] std::int64_t quota_day() const { return quota_day_; }
+  [[nodiscard]] const GatewayConfig& config() const { return config_; }
   [[nodiscard]] std::size_t pending_retries() const { return retries_.size(); }
   [[nodiscard]] const fault::CircuitBreaker& breaker() const { return breaker_; }
 

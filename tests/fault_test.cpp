@@ -55,15 +55,21 @@ TEST_F(FaultTest, OnNthFiresExactlyOnceAtTheArmedHit) {
   point.arm(FaultScenario::crash_at_hit(3));
   EXPECT_EQ(point.scenario().fault, FaultKind::kCrash);
   std::string pattern;
-  for (int i = 0; i < 10; ++i) pattern += point.should_fail(0) ? 'F' : '.';
+  // Crash firing is visible on consult().fired (crash_due unwinds); the
+  // error-only should_fail shorthand must stay false for kCrash scenarios.
+  for (int i = 0; i < 10; ++i) {
+    const FaultAction action = point.consult(0);
+    EXPECT_FALSE(action.error);
+    pattern += action.fired ? 'F' : '.';
+  }
   // One-shot, not periodic: the re-record after crash recovery runs past the
   // same still-armed point without re-firing.
   EXPECT_EQ(pattern, "..F.......");
   EXPECT_EQ(point.injected(), 1u);
   // Re-arming restarts the phase.
   point.arm(FaultScenario::crash_at_hit(1));
-  EXPECT_TRUE(point.should_fail(0));
-  EXPECT_FALSE(point.should_fail(0));
+  EXPECT_TRUE(point.consult(0).fired);
+  EXPECT_FALSE(point.consult(0).fired);
 }
 
 TEST_F(FaultTest, CrashDueRequiresACrashScenario) {

@@ -1,0 +1,220 @@
+// System-wide invariant oracle: registry mechanics, clean runs hold every
+// condition, and each deliberately-planted violation class is caught with an
+// attributable report (the oracle-sensitivity half of the chaos contract —
+// an oracle that never fires is indistinguishable from no oracle).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/invariant/invariant.hpp"
+#include "core/mitigate/rules.hpp"
+#include "core/scenario/env.hpp"
+#include "core/scenario/replay_harness.hpp"
+#include "util/archive.hpp"
+
+namespace fraudsim {
+namespace {
+
+const invariant::Violation* find_violation(const invariant::InvariantRegistry& registry,
+                                           const std::string& name) {
+  for (const auto& v : registry.violations()) {
+    if (v.invariant == name) return &v;
+  }
+  return nullptr;
+}
+
+scenario::EnvConfig small_env(std::uint64_t seed = 7) {
+  scenario::EnvConfig config;
+  config.seed = seed;
+  return config;
+}
+
+// --- Registry mechanics ------------------------------------------------------
+
+TEST(InvariantRegistry, RecordsAttributableViolations) {
+  invariant::InvariantRegistry registry;
+  int calls = 0;
+  registry.add("always-holds", [&](sim::SimTime) -> std::optional<std::string> {
+    ++calls;
+    return std::nullopt;
+  });
+  registry.add("breaks-at-noon", [](sim::SimTime now) -> std::optional<std::string> {
+    if (now >= sim::hours(12)) return "went over at " + sim::format_time(now);
+    return std::nullopt;
+  });
+
+  EXPECT_EQ(registry.check_all(sim::hours(1)), 0u);
+  EXPECT_TRUE(registry.clean());
+  EXPECT_EQ(registry.check_all(sim::hours(12)), 1u);
+  ASSERT_EQ(registry.violations().size(), 1u);
+  EXPECT_EQ(registry.violations()[0].invariant, "breaks-at-noon");
+  EXPECT_EQ(registry.violations()[0].time, sim::hours(12));
+  EXPECT_NE(registry.violations()[0].render().find("breaks-at-noon"), std::string::npos);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(registry.checks_run(), 4u);
+
+  registry.reset();
+  EXPECT_TRUE(registry.clean());
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.checks_run(), 0u);
+}
+
+// --- Clean platform runs hold everything ------------------------------------
+
+TEST(PlatformInvariants, CleanScenarioRunHoldsAllInvariants) {
+  scenario::RecordedScenarioConfig config;
+  config.seed = 99;
+  config.horizon = sim::hours(6);
+  config.flights = 4;
+  config.capacity = 40;
+  config.legit.booking_sessions_per_hour = 6;
+  config.legit.browse_sessions_per_hour = 4;
+  config.legit.otp_logins_per_hour = 3;
+  config.attacker_start = sim::hours(1);
+  config.attacker_period = sim::minutes(15);
+  config.controller_fit_at = sim::hours(1);
+  config.controller.sweep_interval = sim::hours(1);
+  config.rate_limits.push_back(mitigate::RateLimitSpec{
+      "hold-per-ip", web::Endpoint::HoldReservation, mitigate::RateKey::ByIp, 20, sim::kHour});
+
+  invariant::InvariantRegistry registry;
+  config.invariants = &registry;
+  const auto artifacts = scenario::baseline_run(config);
+  EXPECT_TRUE(artifacts.violations.empty())
+      << artifacts.violations.front().render();
+  // Barriers every hour + end-of-run, across the whole condition set.
+  EXPECT_GT(artifacts.invariant_checks, 0u);
+  EXPECT_EQ(artifacts.invariant_checks, registry.checks_run());
+}
+
+// --- Deliberate violations are caught ----------------------------------------
+
+TEST(PlatformInvariants, ForcedOversellCaughtWithAttributableReport) {
+  scenario::Env env(small_env());
+  const auto flights = env.add_flights("A", 1, 10, sim::days(5));
+  invariant::InvariantRegistry registry;
+  invariant::register_platform_invariants(registry, env.app, &env.engine);
+  EXPECT_EQ(registry.check_all(0), 0u);
+
+  // One ghost party larger than the aircraft: the oversell bug the check
+  // exists to catch, planted through the testing-only backdoor.
+  std::vector<airline::Passenger> ghosts;
+  for (int i = 0; i < 11; ++i) {
+    ghosts.push_back(airline::Passenger{"Ghost", "G" + std::to_string(i),
+                                        airline::Date{1990, 1, 1}, "g@x.invalid"});
+  }
+  (void)env.app.inventory().debug_force_hold(sim::minutes(1), flights[0], std::move(ghosts),
+                                             web::ActorId{0xC0FFEE});
+
+  EXPECT_GE(registry.check_all(sim::minutes(2)), 1u);
+  const auto* v = find_violation(registry, "seat-conservation");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->detail.find("oversold"), std::string::npos) << v->detail;
+  EXPECT_NE(v->detail.find("capacity 10"), std::string::npos) << v->detail;
+}
+
+TEST(PlatformInvariants, ZombieHoldCaughtOnlyPastTheSweepSlack) {
+  scenario::Env env(small_env());
+  const auto flights = env.add_flights("A", 1, 50, sim::days(5));
+  invariant::InvariantRegistry registry;
+  invariant::register_platform_invariants(registry, env.app, &env.engine);
+
+  const auto hold = env.app.inventory().hold(
+      0, flights[0], {airline::Passenger{"Ada", "L", airline::Date{1980, 1, 1}, "a@x.invalid"}},
+      web::ActorId{1});
+  ASSERT_TRUE(hold.ok);
+  const sim::SimTime expiry = env.app.inventory().find(hold.pnr)->hold_expiry;
+
+  // Within the slack a lapsed-but-unswept hold is legitimate (sweeps are
+  // periodic); past it, the hold is a zombie.
+  EXPECT_EQ(registry.check_all(expiry + sim::minutes(1)), 0u);
+  EXPECT_GE(registry.check_all(expiry + sim::minutes(4)), 1u);
+  const auto* v = find_violation(registry, "no-zombie-holds");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->detail.find(hold.pnr), std::string::npos) << v->detail;
+
+  // A sweep clears the zombie; the condition holds again.
+  registry.clear_violations();
+  env.app.inventory().expire_due(expiry + sim::minutes(4));
+  EXPECT_EQ(registry.check_all(expiry + sim::minutes(5)), 0u);
+}
+
+TEST(PlatformInvariants, SmsQuotaRunningBackwardsCaught) {
+  scenario::Env env(small_env());
+  invariant::InvariantRegistry registry;
+  invariant::register_platform_invariants(registry, env.app, &env.engine);
+
+  auto& gateway = env.app.sms_gateway();
+  util::ByteWriter before;
+  gateway.checkpoint(before);
+  const sms::PhoneNumber number{net::CountryCode{'U', 'S'}, "5551234"};
+  for (int i = 0; i < 3; ++i) {
+    (void)gateway.send(sim::hours(1), number, sms::SmsType::Otp, web::ActorId{1});
+  }
+  EXPECT_EQ(registry.check_all(sim::hours(1)), 0u);  // window observed at 3
+
+  // Roll the ledger back within the same sim day — lost submissions are free
+  // deliveries for a pumping ring, exactly what the monotonicity check exists
+  // to catch.
+  util::ByteReader reader(before.bytes());
+  gateway.restore(reader);
+  EXPECT_GE(registry.check_all(sim::hours(2)), 1u);
+  const auto* v = find_violation(registry, "sms-quota");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->detail.find("backwards"), std::string::npos) << v->detail;
+}
+
+TEST(PlatformInvariants, RateLimiterOverLimitWindowCaught) {
+  scenario::Env env(small_env());
+  const mitigate::RateLimitSpec spec{"hold-per-ip", web::Endpoint::HoldReservation,
+                                     mitigate::RateKey::ByIp, 3, sim::kHour};
+
+  // Fill a key to its (legal) limit of 3 on one engine...
+  mitigate::RuleEngine loose(env.sim);
+  loose.add_rate_limit(spec);
+  app::ClientContext ctx;
+  ctx.ip = *net::IpV4::parse("16.0.0.1");
+  ctx.session = web::SessionId{1};
+  fp::derive_rendering_hashes(ctx.fingerprint);
+  ctx.actor = web::ActorId{1};
+  web::HttpRequest request;
+  request.ip = ctx.ip;
+  request.session = ctx.session;
+  request.fp_hash = ctx.fingerprint.hash();
+  request.endpoint = web::Endpoint::HoldReservation;
+  request.method = web::HttpMethod::Post;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(loose.evaluate(request, ctx).action, app::PolicyAction::Allow);
+  }
+  util::ByteWriter state;
+  loose.checkpoint(state);
+
+  // ...then restore that window into an engine whose configured limit is 2:
+  // a key holding more in-window events than its limit means the ledger and
+  // the configuration disagree — the corruption the bound check targets.
+  mitigate::RuleEngine tight(env.sim);
+  mitigate::RateLimitSpec tighter = spec;
+  tighter.limit = 2;
+  tight.add_rate_limit(tighter);
+  util::ByteReader reader(state.bytes());
+  tight.restore(reader);
+
+  invariant::InvariantRegistry registry;
+  invariant::register_platform_invariants(registry, env.app, &tight);
+  EXPECT_GE(registry.check_all(sim::minutes(1)), 1u);
+  const auto* v = find_violation(registry, "rate-limiter-bounds");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->detail.find("hold-per-ip"), std::string::npos) << v->detail;
+  EXPECT_NE(v->detail.find("limit 2"), std::string::npos) << v->detail;
+}
+
+TEST(PlatformInvariants, WeblogConservationHoldsOnAFreshPlatform) {
+  scenario::Env env(small_env());
+  invariant::InvariantRegistry registry;
+  invariant::register_platform_invariants(registry, env.app, &env.engine);
+  EXPECT_EQ(registry.check_all(0), 0u);
+  EXPECT_EQ(registry.checks_run(), registry.size());
+}
+
+}  // namespace
+}  // namespace fraudsim
