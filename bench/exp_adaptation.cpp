@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/bench/options.hpp"
 #include "core/scenario/fleet.hpp"
 #include "core/scenario/seat_spin_scenario.hpp"
 #include "util/stats.hpp"
@@ -25,8 +26,7 @@ using namespace fraudsim;
 namespace {
 
 bool smoke() {
-  const char* env = std::getenv("FRAUDSIM_BENCH_SMOKE");
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
+  return bench::Options::env_flag("FRAUDSIM_BENCH_SMOKE");
 }
 
 constexpr std::uint64_t kBaseSeed = 531;

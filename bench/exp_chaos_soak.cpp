@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bench/options.hpp"
 #include "core/chaos/chaos.hpp"
 #include "core/chaos/runner.hpp"
 #include "core/fault/fault.hpp"
@@ -55,8 +56,7 @@ struct Scale {
 
 Scale detect_scale() {
   Scale s;
-  const char* env = std::getenv("FRAUDSIM_BENCH_SMOKE");
-  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+  if (bench::Options::env_flag("FRAUDSIM_BENCH_SMOKE")) {
     s.smoke = true;
     s.horizon = sim::hours(2);
   }

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bench/options.hpp"
 #include "core/fault/crash.hpp"
 #include "core/fault/fault.hpp"
 #include "core/journal/journal.hpp"
@@ -53,8 +54,7 @@ struct Scale {
 
 Scale detect_scale() {
   Scale s;
-  const char* env = std::getenv("FRAUDSIM_BENCH_SMOKE");
-  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+  if (bench::Options::env_flag("FRAUDSIM_BENCH_SMOKE")) {
     s.smoke = true;
     s.horizon = sim::hours(8);
     s.fleet_seeds = 2;

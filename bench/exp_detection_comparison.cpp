@@ -26,6 +26,7 @@
 #include "attack/scraper.hpp"
 #include "attack/seat_spin.hpp"
 #include "attack/sms_pump.hpp"
+#include "core/bench/options.hpp"
 #include "core/detect/pipeline.hpp"
 #include "core/scenario/env.hpp"
 #include "core/scenario/fleet.hpp"
@@ -139,8 +140,7 @@ bool pump_caught(const DetectionRun& run, const Family& family) {
 }
 
 bool smoke() {
-  const char* env = std::getenv("FRAUDSIM_BENCH_SMOKE");
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
+  return bench::Options::env_flag("FRAUDSIM_BENCH_SMOKE");
 }
 
 constexpr std::uint64_t kBaseSeed = 3333;

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/bench/options.hpp"
 #include "core/scenario/fleet.hpp"
 #include "core/scenario/seat_spin_scenario.hpp"
 #include "util/table.hpp"
@@ -48,8 +49,7 @@ scenario::SeatSpinScenarioResult run(const Posture& posture, std::uint64_t seed)
 }
 
 bool smoke() {
-  const char* env = std::getenv("FRAUDSIM_BENCH_SMOKE");
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
+  return bench::Options::env_flag("FRAUDSIM_BENCH_SMOKE");
 }
 
 constexpr std::uint64_t kBaseSeed = 4242;

@@ -32,6 +32,7 @@
 
 #include "attack/seat_spin.hpp"
 #include "attack/sms_pump.hpp"
+#include "core/bench/options.hpp"
 #include "core/invariant/invariant.hpp"
 #include "core/scenario/env.hpp"
 #include "util/table.hpp"
@@ -58,8 +59,7 @@ struct Scale {
 
 Scale detect_scale() {
   Scale s;
-  const char* env = std::getenv("FRAUDSIM_BENCH_SMOKE");
-  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+  if (bench::Options::env_flag("FRAUDSIM_BENCH_SMOKE")) {
     s.smoke = true;
     s.horizon = sim::hours(3);
     s.crowd_start = sim::hours(1);

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bench/options.hpp"
 #include "core/scenario/fleet.hpp"
 #include "core/scenario/replay_harness.hpp"
 #include "util/table.hpp"
@@ -41,8 +42,7 @@ struct Scale {
 
 Scale detect_scale() {
   Scale s;
-  const char* env = std::getenv("FRAUDSIM_BENCH_SMOKE");
-  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+  if (bench::Options::env_flag("FRAUDSIM_BENCH_SMOKE")) {
     s.smoke = true;
     s.horizon = sim::hours(8);
     s.bookings_per_hour = 5;

@@ -1,0 +1,152 @@
+// Perf-gate checker: judges a fresh perf_core --gate run against the
+// committed baseline (BENCH_core.json at the repo root).
+//
+//   perf_compare <baseline.json> <candidate.json> [--tolerance F]
+//
+// Both files are the flat JSON perf_core --gate emits. For every metric in
+// the baseline the candidate must exist and must not be WORSE by more than
+// the metric's tolerance; improvements of any size pass (the trajectory file
+// gets re-pinned when a win lands, it is not a straitjacket). Direction is
+// derived from the name convention:
+//   *_per_sec                  higher is better
+//   ns_* / *alloc* / *bytes*   lower is better
+// Metrics matching neither convention are reported but never gate.
+//
+// Exit code: 0 = within tolerance, 1 = regression or malformed input. No
+// dependencies beyond the standard library, so CI can build just this target.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+// Parses the `"metrics": { "name": number, ... }` object out of a gate file.
+// Deliberately minimal: the input grammar is whatever perf_core --gate
+// writes, not general JSON.
+bool parse_metrics(const std::string& text, std::map<std::string, double>& out) {
+  const std::size_t anchor = text.find("\"metrics\"");
+  if (anchor == std::string::npos) return false;
+  std::size_t pos = text.find('{', anchor);
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < text.size()) {
+    const std::size_t open = text.find_first_of("\"}", pos);
+    if (open == std::string::npos) return false;
+    if (text[open] == '}') return true;  // end of the metrics object
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) return false;
+    const std::string name = text.substr(open + 1, close - open - 1);
+    const std::size_t colon = text.find(':', close);
+    if (colon == std::string::npos) return false;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + colon + 1, &end);
+    if (end == text.c_str() + colon + 1) return false;
+    out[name] = value;
+    pos = static_cast<std::size_t>(end - text.c_str());
+  }
+  return false;
+}
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+enum class Direction { HigherBetter, LowerBetter, Informational };
+
+Direction direction_of(const std::string& name) {
+  if (name.find("per_sec") != std::string::npos) return Direction::HigherBetter;
+  if (name.rfind("ns_", 0) == 0 || name.find("alloc") != std::string::npos ||
+      name.find("bytes") != std::string::npos) {
+    return Direction::LowerBetter;
+  }
+  return Direction::Informational;
+}
+
+// Per-metric tolerance: end-to-end throughput is the noisiest number a shared
+// CI runner produces, so it gets extra headroom; everything else uses the
+// default (or the --tolerance override).
+double tolerance_of(const std::string& name, double fallback) {
+  if (name == "sim_events_per_sec") return fallback > 0.30 ? fallback : 0.30;
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double default_tolerance = 0.25;
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      default_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (candidate_path == nullptr) {
+      candidate_path = argv[i];
+    }
+  }
+  if (baseline_path == nullptr || candidate_path == nullptr) {
+    std::fprintf(stderr, "usage: perf_compare <baseline.json> <candidate.json> [--tolerance F]\n");
+    return 1;
+  }
+
+  std::string baseline_text;
+  std::string candidate_text;
+  std::map<std::string, double> baseline;
+  std::map<std::string, double> candidate;
+  if (!read_file(baseline_path, baseline_text) || !parse_metrics(baseline_text, baseline)) {
+    std::fprintf(stderr, "perf_compare: cannot parse baseline %s\n", baseline_path);
+    return 1;
+  }
+  if (!read_file(candidate_path, candidate_text) || !parse_metrics(candidate_text, candidate)) {
+    std::fprintf(stderr, "perf_compare: cannot parse candidate %s\n", candidate_path);
+    return 1;
+  }
+
+  int regressions = 0;
+  std::printf("%-28s %14s %14s %9s  %s\n", "metric", "baseline", "candidate", "delta", "verdict");
+  for (const auto& [name, base] : baseline) {
+    const auto it = candidate.find(name);
+    if (it == candidate.end()) {
+      std::printf("%-28s %14.2f %14s %9s  MISSING\n", name.c_str(), base, "-", "-");
+      ++regressions;
+      continue;
+    }
+    const double cand = it->second;
+    const double delta = base != 0.0 ? (cand - base) / base : 0.0;
+    const Direction dir = direction_of(name);
+    const double tol = tolerance_of(name, default_tolerance);
+    bool regressed = false;
+    if (dir == Direction::HigherBetter) {
+      regressed = cand < base * (1.0 - tol);
+    } else if (dir == Direction::LowerBetter) {
+      regressed = cand > base * (1.0 + tol);
+    }
+    std::printf("%-28s %14.2f %14.2f %+8.1f%%  %s\n", name.c_str(), base, cand, delta * 100.0,
+                regressed          ? "REGRESSED"
+                : dir == Direction::Informational ? "info"
+                                                  : "ok");
+    if (regressed) ++regressions;
+  }
+  for (const auto& [name, cand] : candidate) {
+    if (!baseline.contains(name)) {
+      std::printf("%-28s %14s %14.2f %9s  new\n", name.c_str(), "-", cand, "-");
+    }
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "perf_compare: %d metric(s) regressed beyond tolerance\n", regressions);
+    return 1;
+  }
+  std::printf("perf_compare: all metrics within tolerance\n");
+  return 0;
+}

@@ -98,8 +98,10 @@ ChaosGeneratorConfig default_generator_config(sim::SimTime horizon) {
   ChaosGeneratorConfig config;
   config.horizon = horizon;
   // Every error-guarded dependency the platform registers today.
-  config.error_points = {"sms.carrier.send", "detect.sweep.run", "otp.deliver",
-                         "fp.store.record", "app.policy.evaluate"};
+  // "detect.batch.run" demotes detection runs to the scalar adapter path —
+  // an execution-mode fault with byte-identical verdicts by contract.
+  config.error_points = {"sms.carrier.send",  "detect.sweep.run",  "otp.deliver",
+                         "fp.store.record",   "app.policy.evaluate", "detect.batch.run"};
   // Latency-capable sites: the request path charges it into the admission
   // model; the gateway charges it against the caller's deadline budget.
   config.latency_points = {"app.request.latency", "sms.carrier.send"};

@@ -1,0 +1,19 @@
+#include "core/detect/detector.hpp"
+
+#include <cassert>
+
+namespace fraudsim::detect {
+
+void Detector::score_batch(std::span<const RequestView> views, std::span<BatchScore> scores,
+                           AlertSink& alerts) {
+  assert(views.size() == scores.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const std::size_t before = alerts.alerts().size();
+    evaluate(views[i], alerts);
+    scores[i].sessions_scored =
+        static_cast<std::uint64_t>(views[i].sessions_for(cost()).size());
+    scores[i].alerts = static_cast<std::uint64_t>(alerts.alerts().size() - before);
+  }
+}
+
+}  // namespace fraudsim::detect

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/detect/alert.hpp"
@@ -50,6 +51,15 @@ struct RequestView {
   }
 };
 
+// Per-epoch outcome of a batched evaluation: how many sessions the family
+// actually analysed in that epoch's view and how many alerts it emitted for
+// it. The base-class adapter fills this from the scalar path; a vectorized
+// override must report the same numbers.
+struct BatchScore {
+  std::uint64_t sessions_scored = 0;
+  std::uint64_t alerts = 0;
+};
+
 class Detector {
  public:
   virtual ~Detector() = default;
@@ -64,6 +74,17 @@ class Detector {
   // and records the family as skipped — one faulting family never takes the
   // run down.
   virtual void evaluate(const RequestView& view, AlertSink& alerts) = 0;
+
+  // Batched entry point: scores every epoch view in one call, filling one
+  // BatchScore per view. The base implementation is an adapter that loops
+  // `evaluate` over the views, so an existing scalar detector works
+  // unmodified; hot families override it with a vectorized pass that shares
+  // work across epochs. Contract: alert bytes and order must be identical to
+  // the adapter's (evaluate on views[0], then views[1], ...) — the pipeline's
+  // scalar mode IS the adapter, and the two modes are diffed byte-for-byte.
+  // `scores.size()` must equal `views.size()`.
+  virtual void score_batch(std::span<const RequestView> views, std::span<BatchScore> scores,
+                           AlertSink& alerts);
 };
 
 }  // namespace fraudsim::detect

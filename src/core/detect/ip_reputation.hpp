@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "core/detect/alert.hpp"
 #include "net/geo.hpp"
@@ -32,6 +34,13 @@ class IpReputationDetector {
 
   // Emits one alert per offending session.
   void analyze(const std::vector<web::Session>& sessions, AlertSink& sink) const;
+
+  // Batched multi-epoch analysis: the datacenter classification of an
+  // address is epoch-independent, so one geo lookup per distinct address
+  // serves the whole batch; the shared-address count stays per-epoch. Alert
+  // bytes and order are identical to calling analyze once per set in order.
+  void analyze_many(std::span<const std::vector<web::Session>* const> session_sets,
+                    AlertSink& sink, std::vector<std::size_t>* alerts_per_set = nullptr) const;
 
   [[nodiscard]] bool is_datacenter(net::IpV4 ip) const;
 

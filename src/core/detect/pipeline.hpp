@@ -3,8 +3,12 @@
 // truth. This is the batch "SOC view" benches and examples use.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "app/actors.hpp"
@@ -19,6 +23,7 @@
 #include "core/detect/navigation.hpp"
 #include "core/detect/nip_anomaly.hpp"
 #include "core/detect/sms_anomaly.hpp"
+#include "core/obs/metrics.hpp"
 #include "core/overload/brownout.hpp"
 #include "core/overload/overload.hpp"
 #include "web/session.hpp"
@@ -45,6 +50,15 @@ struct PipelineConfig {
   // `analysis_cost_expensive`.
   sim::SimDuration analysis_cost_cheap = 1;
   sim::SimDuration analysis_cost_expensive = 5;
+  // Batched evaluation epochs. 0 (the default) evaluates the whole [from,to)
+  // window as ONE epoch — verdicts identical to the pre-batching pipeline.
+  // A positive duration slices the window into bounded epoch batches (at
+  // most `max_batch_epochs`; wider slices if needed) and every detector
+  // scores all epochs through one score_batch call. Window statistics are
+  // then per-epoch, so this is an opt-in analysis granularity, not a pure
+  // execution detail.
+  sim::SimDuration batch_epoch = 0;
+  std::size_t max_batch_epochs = 16;
 };
 
 struct DetectorReport {
@@ -71,6 +85,40 @@ struct PipelineResult {
 
   [[nodiscard]] const DetectorReport* report_for(const std::string& detector) const;
   [[nodiscard]] bool skipped_family(const std::string& family) const;
+};
+
+// Batch-accounting totals a pipeline has recorded into its bound metrics
+// registry. Mode-independent by construction: the scalar (FRAUDSIM_DETECT_BATCH=0)
+// and batched paths tick the identical values, so metric exports diff clean
+// across modes. Conservation law (checked by the "detect-batch-conservation"
+// platform invariant): sessions_in == sessions_scored + sessions_skipped.
+struct PipelineStats {
+  std::uint64_t runs = 0;              // pipeline run() calls
+  std::uint64_t epochs = 0;            // epoch views evaluated across runs
+  std::uint64_t sessions_in = 0;       // per-family session-views offered
+  std::uint64_t sessions_scored = 0;   // ... actually analysed
+  std::uint64_t sessions_skipped = 0;  // ... skipped (budget/fault/exception)
+  std::uint64_t batch_fallbacks = 0;   // runs forced onto the scalar adapter
+};
+
+// Typed read-only accessor over the pipeline counters in a MetricsRegistry.
+// This is the one sanctioned way to read pipeline stats — there is no
+// struct-copy stats path inside the pipeline anymore.
+class PipelineView {
+ public:
+  PipelineView() = default;
+  explicit PipelineView(const obs::MetricsRegistry* metrics) : metrics_(metrics) {}
+
+  [[nodiscard]] PipelineStats stats() const;
+  [[nodiscard]] std::uint64_t family_runs(std::string_view family) const;
+  [[nodiscard]] std::uint64_t family_skips(std::string_view family) const;
+  [[nodiscard]] std::uint64_t family_alerts(std::string_view family) const;
+  // Every "detect.<family>.skipped" counter, in name order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> skips_by_family() const;
+  [[nodiscard]] bool bound() const { return metrics_ != nullptr; }
+
+ private:
+  const obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 class DetectionPipeline {
@@ -122,9 +170,27 @@ class DetectionPipeline {
 
   // Attach the platform's observability context (non-owning; nullptr
   // detaches). When bound, every run records per-family counters
-  // ("detect.<family>.{runs,skipped,alerts}") in the registry and one
-  // "detect.pipeline" trace with a child span per detector family.
-  void bind_obs(obs::Observability* obs) { obs_ = obs; }
+  // ("detect.<family>.{runs,skipped,alerts}") and the mode-independent batch
+  // counters ("detect.batch.*") in the registry, and one "detect.pipeline"
+  // trace with a child span per detector family.
+  void bind_obs(obs::Observability* obs) {
+    obs_ = obs;
+    family_handles_.clear();
+    batch_handles_ = BatchHandles{};
+  }
+
+  // Batched vs scalar execution. Batched (the default) evaluates every
+  // detector through its score_batch entry point; scalar loops the base-class
+  // adapter per epoch view — the reference path the batched one is diffed
+  // against. FRAUDSIM_DETECT_BATCH=0 in the environment flips the
+  // construction-time default. Verdicts, artifacts, and metrics are
+  // byte-identical either way.
+  void set_batch_mode(bool batched) { batch_mode_ = batched; }
+  [[nodiscard]] bool batch_mode() const { return batch_mode_; }
+
+  // Typed stats access over the bound registry (unbound pipelines read zeros).
+  [[nodiscard]] PipelineView view() const;
+  [[nodiscard]] PipelineStats stats() const { return view().stats(); }
 
   // The detector families a run() would execute right now, in execution
   // order, honouring what has been fitted/trained/enabled. Each element is a
@@ -135,6 +201,26 @@ class DetectionPipeline {
   [[nodiscard]] const BehaviorClassifier& classifier() const { return classifier_; }
 
  private:
+  // Pre-resolved per-family metric handles, registered on first use and
+  // reused across runs — the hot loop never builds a metric name string.
+  struct FamilyHandles {
+    obs::Counter runs;
+    obs::Counter skipped;
+    obs::Counter alerts;
+    std::string profile_phase;  // "detect.<family>"
+  };
+  struct BatchHandles {
+    obs::Counter runs;
+    obs::Counter epochs;
+    obs::Counter sessions_in;
+    obs::Counter sessions_scored;
+    obs::Counter sessions_skipped;
+    obs::Counter fallbacks;
+    bool bound = false;
+  };
+  FamilyHandles& family_handles(const char* family) const;
+  const BatchHandles& batch_handles() const;
+
   PipelineConfig config_;
   NipAnomalyDetector nip_;
   BehaviorClassifier classifier_;
@@ -142,6 +228,9 @@ class DetectionPipeline {
   const net::GeoDb* geo_ = nullptr;
   const overload::BrownoutController* brownout_ = nullptr;
   obs::Observability* obs_ = nullptr;
+  bool batch_mode_ = true;  // constructor applies FRAUDSIM_DETECT_BATCH
+  mutable std::map<std::string, FamilyHandles, std::less<>> family_handles_;
+  mutable BatchHandles batch_handles_;
 };
 
 }  // namespace fraudsim::detect

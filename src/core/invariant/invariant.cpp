@@ -228,6 +228,24 @@ void register_platform_invariants(InvariantRegistry& registry, const app::Applic
     }
     return std::nullopt;
   });
+
+  // Detection-batch conservation: every session-view a pipeline run offered
+  // to a detector family was either scored or recorded as skipped — the
+  // batched execution path cannot silently drop (or double-count) work.
+  // Vacuously true while no metrics-bound pipeline has run. The counters are
+  // mode-independent, so this holds identically under FRAUDSIM_DETECT_BATCH=0.
+  registry.add("detect-batch-conservation", [&app](sim::SimTime) -> std::optional<std::string> {
+    const auto& metrics = app.metrics();
+    const std::uint64_t in = metrics.counter_value("detect.batch.sessions_in");
+    const std::uint64_t scored = metrics.counter_value("detect.batch.sessions_scored");
+    const std::uint64_t skipped = metrics.counter_value("detect.batch.sessions_skipped");
+    if (in != scored + skipped) {
+      return "detect.batch.sessions_in (" + std::to_string(in) +
+             ") != sessions_scored (" + std::to_string(scored) + ") + sessions_skipped (" +
+             std::to_string(skipped) + ")";
+    }
+    return std::nullopt;
+  });
 }
 
 }  // namespace fraudsim::invariant

@@ -1,12 +1,14 @@
 #include "core/mitigate/rate_limit.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace fraudsim::mitigate {
 
-SlidingWindowRateLimiter::SlidingWindowRateLimiter(std::uint64_t limit, sim::SimDuration window)
-    : limit_(limit), window_(window) {}
+SlidingWindowRateLimiter::SlidingWindowRateLimiter(std::uint64_t limit, sim::SimDuration window,
+                                                   KeyStore store)
+    : limit_(limit), window_(window), store_(store) {}
 
 void SlidingWindowRateLimiter::prune(sim::SimTime now, std::deque<sim::SimTime>& q) const {
   while (!q.empty() && q.front() <= now - window_) q.pop_front();
@@ -15,24 +17,48 @@ void SlidingWindowRateLimiter::prune(sim::SimTime now, std::deque<sim::SimTime>&
 void SlidingWindowRateLimiter::evict_stale(sim::SimTime now) {
   if (now - last_sweep_ < window_) return;
   last_sweep_ = now;
-  for (auto it = events_.begin(); it != events_.end();) {
-    // A key is stale when its newest event has aged out of the window.
-    if (it->second.empty() || it->second.back() <= now - window_) {
-      it = events_.erase(it);
-    } else {
-      ++it;
+  // A key is stale when its newest event has aged out of the window.
+  if (store_ == KeyStore::Interned) {
+    for (util::InternTable::Id id = 1; id <= windows_.size(); ++id) {
+      if (!keys_.contains(id)) continue;
+      auto& q = windows_[id - 1];
+      if (q.empty() || q.back() <= now - window_) {
+        q.clear();
+        keys_.erase(id);
+      }
+    }
+  } else {
+    for (auto it = events_.begin(); it != events_.end();) {
+      if (it->second.empty() || it->second.back() <= now - window_) {
+        it = events_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
-bool SlidingWindowRateLimiter::allow(sim::SimTime now, const std::string& key) {
+std::deque<sim::SimTime>& SlidingWindowRateLimiter::window_for(std::string_view key) {
+  if (store_ == KeyStore::Interned) {
+    const util::InternTable::Id id = keys_.intern(key);
+    if (windows_.size() < id) windows_.resize(id);
+    return windows_[id - 1];
+  }
+  auto it = events_.find(key);
+  if (it == events_.end()) {
+    it = events_.emplace(std::string(key), std::deque<sim::SimTime>{}).first;
+  }
+  return it->second;
+}
+
+bool SlidingWindowRateLimiter::allow(sim::SimTime now, std::string_view key) {
   return allow(now, key, limit_);
 }
 
-bool SlidingWindowRateLimiter::allow(sim::SimTime now, const std::string& key,
+bool SlidingWindowRateLimiter::allow(sim::SimTime now, std::string_view key,
                                      std::uint64_t effective_limit) {
   evict_stale(now);
-  auto& q = events_[key];
+  auto& q = window_for(key);
   prune(now, q);
   if (q.size() >= effective_limit) {
     if (denials_counter_.bound()) {
@@ -46,7 +72,18 @@ bool SlidingWindowRateLimiter::allow(sim::SimTime now, const std::string& key,
   return true;
 }
 
-std::uint64_t SlidingWindowRateLimiter::current(sim::SimTime now, const std::string& key) {
+std::uint64_t SlidingWindowRateLimiter::current(sim::SimTime now, std::string_view key) {
+  if (store_ == KeyStore::Interned) {
+    const util::InternTable::Id id = keys_.find(key);
+    if (id == 0) return 0;
+    auto& q = windows_[id - 1];
+    prune(now, q);
+    if (q.empty()) {
+      keys_.erase(id);
+      return 0;
+    }
+    return q.size();
+  }
   const auto it = events_.find(key);
   if (it == events_.end()) return 0;
   prune(now, it->second);
@@ -59,12 +96,19 @@ std::uint64_t SlidingWindowRateLimiter::current(sim::SimTime now, const std::str
 
 std::uint64_t SlidingWindowRateLimiter::max_in_window(sim::SimTime now) const {
   std::uint64_t max = 0;
-  for (const auto& [key, q] : events_) {
+  const auto count_live = [&](const std::deque<sim::SimTime>& q) {
     std::uint64_t live = 0;
     for (sim::SimTime t : q) {
       if (t > now - window_) ++live;
     }
     max = std::max(max, live);
+  };
+  if (store_ == KeyStore::Interned) {
+    for (util::InternTable::Id id = 1; id <= windows_.size(); ++id) {
+      if (keys_.contains(id)) count_live(windows_[id - 1]);
+    }
+  } else {
+    for (const auto& [key, q] : events_) count_live(q);
   }
   return max;
 }
@@ -72,22 +116,28 @@ std::uint64_t SlidingWindowRateLimiter::max_in_window(sim::SimTime now) const {
 void SlidingWindowRateLimiter::checkpoint(util::ByteWriter& out) const {
   out.u64(local_denials_);
   out.i64(last_sweep_);
-  // events_ is an unordered_map: its iteration order depends on the standard
-  // library and on container history (a restore replays insertions in
-  // checkpoint order, not the original arrival order). Write keys sorted so
-  // checkpoint frames are byte-stable across implementations and across a
-  // restore -> re-checkpoint round trip.
-  std::vector<const std::string*> keys;
-  keys.reserve(events_.size());
-  for (const auto& [key, q] : events_) keys.push_back(&key);
-  std::sort(keys.begin(), keys.end(),
-            [](const std::string* a, const std::string* b) { return *a < *b; });
-  out.u64(events_.size());
-  for (const std::string* key : keys) {
-    const auto& q = events_.at(*key);
+  // The active store is an unordered_map: its iteration order depends on the
+  // standard library and on container history (a restore replays insertions
+  // in checkpoint order, not the original arrival order). Write keys sorted
+  // by string so checkpoint frames are byte-stable across implementations,
+  // across a restore -> re-checkpoint round trip, and across key stores.
+  std::vector<std::pair<const std::string*, const std::deque<sim::SimTime>*>> items;
+  if (store_ == KeyStore::Interned) {
+    items.reserve(keys_.size());
+    for (util::InternTable::Id id = 1; id <= windows_.size(); ++id) {
+      if (keys_.contains(id)) items.emplace_back(&keys_.str(id), &windows_[id - 1]);
+    }
+  } else {
+    items.reserve(events_.size());
+    for (const auto& [key, q] : events_) items.emplace_back(&key, &q);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  out.u64(items.size());
+  for (const auto& [key, q] : items) {
     out.str(*key);
-    out.u64(q.size());
-    for (sim::SimTime t : q) out.i64(t);
+    out.u64(q->size());
+    for (sim::SimTime t : *q) out.i64(t);
   }
 }
 
@@ -95,10 +145,10 @@ void SlidingWindowRateLimiter::restore(util::ByteReader& in) {
   local_denials_ = in.u64();
   last_sweep_ = in.i64();
   const auto n = in.u64();
-  events_.clear();
+  clear();
   for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
     const std::string key = in.str();
-    auto& q = events_[key];
+    auto& q = window_for(key);
     const auto events = in.u64();
     for (std::uint64_t e = 0; e < events && in.ok(); ++e) q.push_back(in.i64());
   }

@@ -8,38 +8,54 @@
 // the window carries no state worth keeping, so an amortised sweep (at most
 // once per window) erases such keys. Long-running scenarios with rotating
 // IPs/sessions therefore hold O(active keys), not O(all keys ever seen).
+//
+// Two key stores back the window map, selectable per limiter:
+//   * Interned (default): keys are interned to dense u32 ids and windows live
+//     in an integer-keyed map — steady-state admits hash the key string once
+//     and do integer work from there. Stale-key eviction releases the intern
+//     id, so the table stays bounded by live keys.
+//   * Legacy: the original string-keyed map. Kept so the perf harness can
+//     attribute the interning win, and as the reference for equivalence tests.
+// Decisions, denial tallies and checkpoint bytes are identical in both modes.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "core/obs/metrics.hpp"
 #include "sim/time.hpp"
+#include "util/intern.hpp"
 
 namespace fraudsim::mitigate {
 
 class SlidingWindowRateLimiter {
  public:
-  SlidingWindowRateLimiter(std::uint64_t limit, sim::SimDuration window);
+  enum class KeyStore : std::uint8_t { Legacy, Interned };
+
+  SlidingWindowRateLimiter(std::uint64_t limit, sim::SimDuration window,
+                           KeyStore store = KeyStore::Interned);
 
   // Records the event and returns true if it is within the limit; false if
   // the event exceeds it (denied events are not recorded, so a client cannot
   // extend its own penalty by hammering).
-  bool allow(sim::SimTime now, const std::string& key);
+  bool allow(sim::SimTime now, std::string_view key);
 
   // Same, but judged against `effective_limit` instead of the configured
   // limit (brownout tightens limits transiently without rebuilding limiter
   // state; the window history is shared either way).
-  bool allow(sim::SimTime now, const std::string& key, std::uint64_t effective_limit);
+  bool allow(sim::SimTime now, std::string_view key, std::uint64_t effective_limit);
 
   // Count currently in the window for the key (after pruning). Does not
   // create state for unseen keys.
-  [[nodiscard]] std::uint64_t current(sim::SimTime now, const std::string& key);
+  [[nodiscard]] std::uint64_t current(sim::SimTime now, std::string_view key);
 
   [[nodiscard]] std::uint64_t limit() const { return limit_; }
   [[nodiscard]] sim::SimDuration window() const { return window_; }
+  [[nodiscard]] KeyStore key_store() const { return store_; }
   [[nodiscard]] std::uint64_t denials() const {
     return denials_counter_.bound() ? denials_counter_.value() : local_denials_;
   }
@@ -56,7 +72,9 @@ class SlidingWindowRateLimiter {
 
   // Number of keys currently holding state (bounded by the number of keys
   // active within the last ~window, not by lifetime distinct keys).
-  [[nodiscard]] std::size_t key_count() const { return events_.size(); }
+  [[nodiscard]] std::size_t key_count() const {
+    return store_ == KeyStore::Interned ? keys_.size() : events_.size();
+  }
 
   // Largest in-window event count across all live keys at `now`, computed
   // without mutating limiter state (events older than now - window are
@@ -65,24 +83,55 @@ class SlidingWindowRateLimiter {
   // tightens effective limits.
   [[nodiscard]] std::uint64_t max_in_window(sim::SimTime now) const;
 
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    windows_.clear();
+    keys_.clear();
+  }
 
   // Checkpoint support: window history per key, denial tally, sweep clock.
-  // The denial tally is always serialised as a plain count; restore adds it
-  // to whichever store (local or bound counter) is active, assuming the
-  // bound counter cell was reset/restored alongside (registry restore).
+  // The frame lists keys sorted by string regardless of key store, so
+  // checkpoints taken in Legacy and Interned mode are byte-identical and
+  // restore works across modes. The denial tally is always serialised as a
+  // plain count; restore adds it to whichever store (local or bound counter)
+  // is active, assuming the bound counter cell was reset/restored alongside
+  // (registry restore).
   void checkpoint(util::ByteWriter& out) const;
   void restore(util::ByteReader& in);
 
  private:
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept { return a == b; }
+  };
+
+  // The window deque for `key` in the active store, created if absent.
+  [[nodiscard]] std::deque<sim::SimTime>& window_for(std::string_view key);
   void prune(sim::SimTime now, std::deque<sim::SimTime>& q) const;
   // Drops every key with no event newer than now - window. Amortised: runs at
-  // most once per window span.
+  // most once per window span. Interned mode also releases the intern id so
+  // the id space is bounded by live keys.
   void evict_stale(sim::SimTime now);
 
   std::uint64_t limit_;
   sim::SimDuration window_;
-  std::unordered_map<std::string, std::deque<sim::SimTime>> events_;
+  KeyStore store_;
+  // Legacy store: string-keyed windows (heterogeneous lookup, no temporary
+  // std::string on probe).
+  std::unordered_map<std::string, std::deque<sim::SimTime>, KeyHash, KeyEq> events_;
+  // Interned store: key strings live once in keys_; windows are a dense
+  // vector indexed by id-1, so after the single intern probe every window
+  // access is an array index (and sweeps walk contiguous memory). Id
+  // recycling reuses slots; erase paths clear the slot's deque so a recycled
+  // id never inherits stale events.
+  util::InternTable keys_;
+  std::vector<std::deque<sim::SimTime>> windows_;
   // Denial tally: local until bind_denials() publishes it to a registry.
   std::uint64_t local_denials_ = 0;
   obs::Counter denials_counter_;

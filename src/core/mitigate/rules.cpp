@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace fraudsim::mitigate {
 
-RuleEngine::RuleEngine(const sim::Simulation& sim) : sim_(sim) {}
+RuleEngine::RuleEngine(const sim::Simulation& sim, AllocationMode mode)
+    : sim_(sim), mode_(mode) {}
 
 void RuleEngine::set_blocklist_action(app::PolicyAction action) { blocklist_action_ = action; }
 
@@ -27,7 +29,12 @@ void RuleEngine::set_challenge_mode(ChallengeMode mode) { challenge_mode_ = mode
 
 void RuleEngine::add_rate_limit(RateLimitSpec spec) {
   NamedLimiter named;
-  named.limiter = std::make_unique<SlidingWindowRateLimiter>(spec.limit, spec.window);
+  // Only Full mode interns limiter keys; Legacy and Arena share the
+  // string-keyed store so the perf ladder isolates each optimisation.
+  const auto store = mode_ == AllocationMode::Full
+                         ? SlidingWindowRateLimiter::KeyStore::Interned
+                         : SlidingWindowRateLimiter::KeyStore::Legacy;
+  named.limiter = std::make_unique<SlidingWindowRateLimiter>(spec.limit, spec.window, store);
   named.spec = std::move(spec);
   if (metrics_ != nullptr) {
     named.limiter->bind_denials(
@@ -76,6 +83,33 @@ std::string RuleEngine::rate_key(const RateLimitSpec& spec, const web::HttpReque
   return "*";
 }
 
+std::string_view RuleEngine::arena_rate_key(const RateLimitSpec& spec,
+                                            const web::HttpRequest& request) {
+  switch (spec.key) {
+    case RateKey::Global:
+      return "*";
+    case RateKey::ByIp: {
+      // Same dotted-quad rendering as net::IpV4::str(), minus the heap.
+      char buf[20];
+      const std::uint32_t v = request.ip.value();
+      const int len = std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v >> 24) & 0xFF,
+                                    (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF);
+      return arena_.copy(std::string_view(buf, static_cast<std::size_t>(len)));
+    }
+    case RateKey::BySession:
+      return arena_.format_u64(request.session.value());
+    case RateKey::ByFingerprint:
+      return arena_.format_u64(request.fp_hash.value());
+    case RateKey::ByBookingRef:
+      // Requests without a booking reference fall back to the session key so
+      // they cannot dodge the limit by omitting the field. A present ref is
+      // request-owned storage — view it directly, no copy at all.
+      if (request.booking_ref) return *request.booking_ref;
+      return arena_.concat("s:", arena_.format_u64(request.session.value()));
+  }
+  return "*";
+}
+
 bool RuleEngine::looks_suspicious(const app::ClientContext& ctx) const {
   if (ctx.fingerprint.webdriver_flag || ctx.fingerprint.headless_hint) return true;
   return consistency_.inconsistency_score(ctx.fingerprint) >= 0.3;
@@ -83,6 +117,10 @@ bool RuleEngine::looks_suspicious(const app::ClientContext& ctx) const {
 
 app::PolicyDecision RuleEngine::evaluate(const web::HttpRequest& request,
                                          const app::ClientContext& ctx) {
+  // Per-request scope for arena-backed rate keys: every view handed out below
+  // dies with this call.
+  if (mode_ != AllocationMode::Legacy) arena_.reset();
+
   // 1. IP blocking.
   if (ip_blocked(request.ip)) {
     return app::PolicyDecision{app::PolicyAction::Block, "ip-block", util::ErrorCode::kRejected};
@@ -130,7 +168,11 @@ app::PolicyDecision RuleEngine::evaluate(const web::HttpRequest& request,
           1, static_cast<std::uint64_t>(
                  std::ceil(static_cast<double>(named.spec.limit) * limit_scale)));
     }
-    if (!named.limiter->allow(sim_.now(), rate_key(named.spec, request), effective)) {
+    const bool allowed =
+        mode_ == AllocationMode::Legacy
+            ? named.limiter->allow(sim_.now(), rate_key(named.spec, request), effective)
+            : named.limiter->allow(sim_.now(), arena_rate_key(named.spec, request), effective);
+    if (!allowed) {
       return app::PolicyDecision{app::PolicyAction::RateLimited, named.spec.name,
                                  util::ErrorCode::kRateLimited};
     }

@@ -50,7 +50,18 @@ double histogram_percentile(const detail::HistogramCell& hist, double p) {
     if (cumulative + c >= target) {
       const double lower = b == 0 ? hist.min : hist.bounds[b - 1];
       const double upper = b < hist.bounds.size() ? hist.bounds[b] : hist.max;
-      const double frac = c > 0.0 ? std::clamp((target - cumulative) / c, 0.0, 1.0) : 0.0;
+      if (c == 1.0) {
+        // One sample in the bucket: every percentile that lands here is that
+        // sample, so there is nothing to interpolate. Its exact value is
+        // known when the bucket holds the distribution's min (first
+        // non-empty) or max (last non-empty); otherwise the bucket midpoint
+        // is the stable representative. Interpolating by p here used to
+        // report different p50/p90/p99 out of a single observation.
+        if (cumulative == 0.0) return hist.min;
+        if (cumulative + c >= static_cast<double>(hist.count)) return hist.max;
+        return std::clamp(lower + 0.5 * (upper - lower), hist.min, hist.max);
+      }
+      const double frac = std::clamp((target - cumulative) / c, 0.0, 1.0);
       const double v = lower + frac * (upper - lower);
       return std::clamp(v, hist.min, hist.max);
     }

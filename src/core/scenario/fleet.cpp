@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/bench/options.hpp"
 #include "core/fault/fault.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -133,10 +134,8 @@ void FleetReport::write_csv(std::ostream& out) const {
 
 unsigned resolve_fleet_threads(unsigned requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("FRAUDSIM_FLEET_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<unsigned>(parsed);
-  }
+  const auto env = static_cast<unsigned>(bench::Options::env_u64("FRAUDSIM_FLEET_THREADS", 0));
+  if (env > 0) return env;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1u : hw;
 }

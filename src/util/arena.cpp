@@ -1,0 +1,77 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+namespace fraudsim::util {
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 64)) {}
+
+Arena::Chunk& Arena::grow(std::size_t min_bytes) {
+  // Reuse a retained chunk from a previous reset before hitting the heap.
+  for (std::size_t i = active_ + (chunks_.empty() ? 0 : 1); i < chunks_.size(); ++i) {
+    if (chunks_[i].size - chunks_[i].cursor >= min_bytes) {
+      active_ = i;
+      return chunks_[i];
+    }
+  }
+  Chunk chunk;
+  chunk.size = std::max(chunk_bytes_, min_bytes);
+  chunk.data = std::make_unique<std::byte[]>(chunk.size);
+  ++stats_.chunk_allocs;
+  chunks_.push_back(std::move(chunk));
+  active_ = chunks_.size() - 1;
+  return chunks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  Chunk* chunk = chunks_.empty() ? &grow(bytes + align) : &chunks_[active_];
+  auto aligned_cursor = [&](const Chunk& c) {
+    const auto base = reinterpret_cast<std::uintptr_t>(c.data.get()) + c.cursor;
+    const std::uintptr_t aligned = (base + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    return c.cursor + static_cast<std::size_t>(aligned - base);
+  };
+  std::size_t cursor = aligned_cursor(*chunk);
+  if (cursor + bytes > chunk->size) {
+    chunk = &grow(bytes + align);
+    cursor = aligned_cursor(*chunk);
+  }
+  void* out = chunk->data.get() + cursor;
+  used_ += (cursor + bytes) - chunk->cursor;
+  chunk->cursor = cursor + bytes;
+  ++stats_.allocations;
+  stats_.bytes += bytes;
+  stats_.high_water = std::max(stats_.high_water, used_);
+  return out;
+}
+
+std::string_view Arena::copy(std::string_view s) {
+  if (s.empty()) return {};
+  char* out = static_cast<char*>(allocate(s.size(), 1));
+  std::memcpy(out, s.data(), s.size());
+  return {out, s.size()};
+}
+
+std::string_view Arena::format_u64(std::uint64_t v) {
+  char buf[20];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return copy({buf, static_cast<std::size_t>(res.ptr - buf)});
+}
+
+std::string_view Arena::concat(std::string_view a, std::string_view b) {
+  char* out = static_cast<char*>(allocate(a.size() + b.size(), 1));
+  std::memcpy(out, a.data(), a.size());
+  std::memcpy(out + a.size(), b.data(), b.size());
+  return {out, a.size() + b.size()};
+}
+
+void Arena::reset() {
+  for (auto& chunk : chunks_) chunk.cursor = 0;
+  active_ = 0;
+  used_ = 0;
+  ++stats_.resets;
+}
+
+}  // namespace fraudsim::util

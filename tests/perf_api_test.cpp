@@ -1,0 +1,477 @@
+// Hot-path speed campaign: the contracts behind the batched detection API,
+// the arena/interned admit path, and the perf gatekeeper's probes.
+//
+//   * batched score_batch == scalar adapter, byte-for-byte, across seeds,
+//     epoch configs, and the detect.batch.run fault fallback
+//   * util::Arena reset/reuse semantics and allocation accounting
+//   * util::InternTable id recycling and exact-id checkpoint/restore
+//   * SlidingWindowRateLimiter: Legacy and Interned key stores make identical
+//     decisions and identical checkpoint bytes
+//   * RuleEngine: Legacy/Arena/Full allocation modes decide identically
+//   * histogram_percentile: single-sample buckets report one stable value
+//   * PipelineView: typed stats hold the batch conservation law
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/scraper.hpp"
+#include "core/detect/detector.hpp"
+#include "core/detect/pipeline.hpp"
+#include "core/fault/fault.hpp"
+#include "core/mitigate/rate_limit.hpp"
+#include "core/mitigate/rules.hpp"
+#include "core/obs/metrics.hpp"
+#include "core/scenario/env.hpp"
+#include "util/arena.hpp"
+#include "util/archive.hpp"
+#include "util/intern.hpp"
+#include "util/stats.hpp"
+
+using namespace fraudsim;
+
+namespace {
+
+// Renders every alert field into one diffable string — the byte-identity
+// oracle for batched-vs-scalar comparisons.
+std::string render_alerts(const std::vector<detect::Alert>& alerts) {
+  std::ostringstream out;
+  for (const auto& a : alerts) {
+    out << a.time << '|' << a.detector << '|' << detect::to_string(a.severity) << '|'
+        << a.explanation;
+    if (a.fingerprint) out << "|fp=" << a.fingerprint->value();
+    if (a.ip) out << "|ip=" << a.ip->str();
+    if (a.session) out << "|s=" << a.session->value();
+    if (a.pnr) out << "|pnr=" << *a.pnr;
+    if (a.actor) out << "|actor=" << a.actor->value();
+    out << '\n';
+  }
+  return out.str();
+}
+
+// A platform with mixed legit + scraper traffic, so identity comparisons have
+// real alerts to diff (pure legit traffic alerts on nothing — vacuously
+// "identical"). Env is constructed in place; it is not movable.
+struct AlertWorld {
+  scenario::Env env;
+  std::unique_ptr<attack::ScraperBot> scraper;
+
+  AlertWorld(std::uint64_t seed, sim::SimTime horizon) : env(make_config(seed)) {
+    env.add_flights("FS", 4, 150, sim::days(5));
+    attack::ScraperConfig config;
+    config.sessions = 3;
+    config.session_gap = sim::minutes(20);
+    scraper = std::make_unique<attack::ScraperBot>(env.app, env.actors, env.datacenter,
+                                                   env.population, config,
+                                                   env.rng.fork("scraper"));
+    env.start_background(horizon);
+    env.sim.schedule_at(sim::minutes(10), [this] { scraper->start(); });
+    env.run_until(horizon);
+  }
+
+  static scenario::EnvConfig make_config(std::uint64_t seed) {
+    scenario::EnvConfig config;
+    config.seed = seed;
+    return config;
+  }
+};
+
+std::string checkpoint_bytes(const mitigate::SlidingWindowRateLimiter& limiter) {
+  util::ByteWriter out;
+  limiter.checkpoint(out);
+  return out.bytes();
+}
+
+// --- Arena ------------------------------------------------------------------
+
+TEST(Arena, CopiesFormatsAndConcatenates) {
+  util::Arena arena(128);
+  EXPECT_EQ(arena.copy("hello"), "hello");
+  EXPECT_EQ(arena.format_u64(0), "0");
+  EXPECT_EQ(arena.format_u64(18446744073709551615ull), "18446744073709551615");
+  EXPECT_EQ(arena.concat("s:", arena.format_u64(42)), "s:42");
+  EXPECT_EQ(arena.stats().resets, 0u);
+  EXPECT_GT(arena.stats().allocations, 0u);
+}
+
+TEST(Arena, ResetReusesChunksWithoutHeapTraffic) {
+  util::Arena arena(256);
+  for (int warm = 0; warm < 4; ++warm) {
+    for (int i = 0; i < 10; ++i) (void)arena.copy("warmup-key-material");
+    arena.reset();
+  }
+  const std::uint64_t chunks_after_warmup = arena.stats().chunk_allocs;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 10; ++i) (void)arena.copy("steady-state-key");
+    arena.reset();
+  }
+  // Steady state: the warmed-up arena serves every round from retained chunks.
+  EXPECT_EQ(arena.stats().chunk_allocs, chunks_after_warmup);
+  EXPECT_EQ(arena.stats().resets, 104u);
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(Arena, OversizedAllocationGetsDedicatedChunk) {
+  util::Arena arena(64);
+  const std::string big(1000, 'x');
+  EXPECT_EQ(arena.copy(big), big);
+  EXPECT_GE(arena.stats().high_water, 1000u);
+}
+
+// --- InternTable ------------------------------------------------------------
+
+TEST(InternTable, InternsFindsAndRecyclesIds) {
+  util::InternTable table;
+  const auto a = table.intern("alpha");
+  const auto b = table.intern("beta");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.intern("alpha"), a);  // idempotent
+  EXPECT_EQ(table.find("beta"), b);
+  EXPECT_EQ(table.find("gamma"), 0u);
+  EXPECT_EQ(table.str(a), "alpha");
+  table.erase(a);
+  EXPECT_EQ(table.find("alpha"), 0u);
+  EXPECT_FALSE(table.contains(a));
+  // LIFO recycling: the freed id is handed to the next new string.
+  EXPECT_EQ(table.intern("gamma"), a);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.capacity(), 2u);
+}
+
+TEST(InternTable, CheckpointRestoresExactIdAssignment) {
+  util::InternTable table;
+  const auto a = table.intern("alpha");
+  const auto b = table.intern("beta");
+  const auto c = table.intern("gamma");
+  table.erase(b);
+
+  util::ByteWriter out;
+  table.checkpoint(out);
+  const std::string frame = out.bytes();
+
+  util::InternTable restored;
+  util::ByteReader in(frame);
+  restored.restore(in);
+  EXPECT_EQ(restored.find("alpha"), a);
+  EXPECT_EQ(restored.find("gamma"), c);
+  EXPECT_EQ(restored.find("beta"), 0u);
+  // The free list came across too: the next intern reuses b's id, exactly as
+  // the original table would have.
+  EXPECT_EQ(restored.intern("delta"), b);
+  EXPECT_EQ(table.intern("delta"), b);
+
+  // restore -> re-checkpoint is byte-stable.
+  util::InternTable round;
+  util::ByteReader in2(frame);
+  round.restore(in2);
+  util::ByteWriter out2;
+  round.checkpoint(out2);
+  EXPECT_EQ(out2.bytes(), frame);
+}
+
+// --- Rate limiter key stores ------------------------------------------------
+
+TEST(RateLimiterStores, LegacyAndInternedDecideIdentically) {
+  using Limiter = mitigate::SlidingWindowRateLimiter;
+  Limiter legacy(3, sim::kHour, Limiter::KeyStore::Legacy);
+  Limiter interned(3, sim::kHour, Limiter::KeyStore::Interned);
+  ASSERT_EQ(interned.key_store(), Limiter::KeyStore::Interned);
+
+  // Deterministic churny stream: rotating keys, time marching through many
+  // sweep periods, enough per-key pressure to deny.
+  sim::SimTime now = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now += sim::seconds(40);
+    const std::string key = "k-" + std::to_string((i * 7) % 12);
+    const bool a = legacy.allow(now, key);
+    const bool b = interned.allow(now, key);
+    ASSERT_EQ(a, b) << "decision diverged at step " << i;
+  }
+  EXPECT_GT(legacy.denials(), 0u);
+  EXPECT_EQ(legacy.denials(), interned.denials());
+  EXPECT_EQ(legacy.key_count(), interned.key_count());
+  EXPECT_EQ(legacy.max_in_window(now), interned.max_in_window(now));
+  for (int k = 0; k < 12; ++k) {
+    const std::string key = "k-" + std::to_string(k);
+    ASSERT_EQ(legacy.current(now, key), interned.current(now, key)) << key;
+  }
+  EXPECT_EQ(checkpoint_bytes(legacy), checkpoint_bytes(interned));
+}
+
+TEST(RateLimiterStores, CheckpointRestoresAcrossStores) {
+  using Limiter = mitigate::SlidingWindowRateLimiter;
+  Limiter interned(5, sim::kHour, Limiter::KeyStore::Interned);
+  sim::SimTime now = 0;
+  for (int i = 0; i < 400; ++i) {
+    now += sim::seconds(90);
+    (void)interned.allow(now, "key-" + std::to_string(i % 23));
+  }
+  const std::string frame = checkpoint_bytes(interned);
+
+  // An interned frame restores into a legacy limiter (and vice versa): the
+  // format carries key strings, never ids.
+  Limiter legacy(5, sim::kHour, Limiter::KeyStore::Legacy);
+  util::ByteReader in(frame);
+  legacy.restore(in);
+  EXPECT_EQ(checkpoint_bytes(legacy), frame);
+  EXPECT_EQ(legacy.key_count(), interned.key_count());
+
+  // Both continuations decide identically after the restore.
+  for (int i = 0; i < 200; ++i) {
+    now += sim::seconds(45);
+    const std::string key = "key-" + std::to_string(i % 23);
+    ASSERT_EQ(legacy.allow(now, key), interned.allow(now, key));
+  }
+  EXPECT_EQ(legacy.denials(), interned.denials());
+}
+
+TEST(RateLimiterStores, StaleEvictionBoundsInternedKeys) {
+  using Limiter = mitigate::SlidingWindowRateLimiter;
+  Limiter limiter(10, sim::kMinute, Limiter::KeyStore::Interned);
+  sim::SimTime now = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    now += sim::seconds(2);
+    (void)limiter.allow(now, "rotating-" + std::to_string(i));
+  }
+  // Only keys from the last ~window survive the amortised sweep; lifetime
+  // distinct keys (10k) must not accumulate.
+  EXPECT_LE(limiter.key_count(), 100u);
+}
+
+// --- RuleEngine allocation modes --------------------------------------------
+
+TEST(RuleEngineModes, AllThreeModesDecideIdentically) {
+  sim::Simulation sim;
+  const auto configure = [](mitigate::RuleEngine& engine) {
+    engine.add_rate_limit({"global", std::nullopt, mitigate::RateKey::Global, 4000, sim::kHour});
+    engine.add_rate_limit({"ip", std::nullopt, mitigate::RateKey::ByIp, 40, sim::kHour});
+    engine.add_rate_limit(
+        {"session", std::nullopt, mitigate::RateKey::BySession, 25, sim::kHour});
+    engine.add_rate_limit({"fp", std::nullopt, mitigate::RateKey::ByFingerprint, 60, sim::kHour});
+    engine.add_rate_limit({"booking", web::Endpoint::BoardingPassSms,
+                           mitigate::RateKey::ByBookingRef, 3, sim::kDay});
+  };
+  mitigate::RuleEngine legacy(sim, mitigate::AllocationMode::Legacy);
+  mitigate::RuleEngine arena(sim, mitigate::AllocationMode::Arena);
+  mitigate::RuleEngine full(sim, mitigate::AllocationMode::Full);
+  ASSERT_EQ(full.allocation_mode(), mitigate::AllocationMode::Full);
+  configure(legacy);
+  configure(arena);
+  configure(full);
+
+  app::ClientContext ctx;
+  for (int i = 0; i < 3000; ++i) {
+    web::HttpRequest request;
+    request.ip = net::IpV4{0x0A000000u + static_cast<std::uint32_t>(i % 7)};
+    request.session = web::SessionId{static_cast<std::uint64_t>(i % 11) + 1};
+    // Full-width hash values: decimal renderings exceed SSO, the case the
+    // arena path exists for.
+    request.fp_hash = fp::FpHash{0xF000000000000000ull + static_cast<std::uint64_t>(i % 5)};
+    request.endpoint =
+        i % 3 == 0 ? web::Endpoint::BoardingPassSms : web::Endpoint::SearchFlights;
+    if (i % 4 == 0) request.booking_ref = "PNR" + std::to_string(i % 9);
+    ctx.ip = request.ip;
+    ctx.session = request.session;
+
+    const auto a = legacy.evaluate(request, ctx);
+    const auto b = arena.evaluate(request, ctx);
+    const auto c = full.evaluate(request, ctx);
+    ASSERT_EQ(a.action, b.action) << "legacy vs arena at " << i;
+    ASSERT_EQ(a.action, c.action) << "legacy vs full at " << i;
+    ASSERT_EQ(a.rule, b.rule) << i;
+    ASSERT_EQ(a.rule, c.rule) << i;
+  }
+  // Arena mode never touched the heap-string path and Full interned its keys,
+  // yet all three serialise to the same bytes.
+  util::ByteWriter wa;
+  util::ByteWriter wb;
+  util::ByteWriter wc;
+  legacy.checkpoint(wa);
+  arena.checkpoint(wb);
+  full.checkpoint(wc);
+  EXPECT_EQ(wa.bytes(), wb.bytes());
+  EXPECT_EQ(wa.bytes(), wc.bytes());
+  EXPECT_GT(full.key_arena().stats().allocations, 0u);
+  EXPECT_EQ(legacy.key_arena().stats().allocations, 0u);
+}
+
+// --- Batched detector API ---------------------------------------------------
+
+// Scalar-only detector: exercises the base-class adapter.
+class CountingDetector final : public detect::Detector {
+ public:
+  [[nodiscard]] const char* name() const override { return "test.counting"; }
+  [[nodiscard]] const char* fault_point() const override { return "detect.test.run"; }
+  [[nodiscard]] detect::DetectorCost cost() const override {
+    return detect::DetectorCost::Cheap;
+  }
+  void evaluate(const detect::RequestView& view, detect::AlertSink& alerts) override {
+    ++calls;
+    detect::Alert alert;
+    alert.time = view.to;
+    alert.detector = name();
+    alert.explanation = "window@" + std::to_string(view.from);
+    alerts.emit(alert);
+    if (view.sessions.size() > 1) {
+      alert.explanation += "+extra";
+      alerts.emit(alert);
+    }
+  }
+  int calls = 0;
+};
+
+TEST(BatchedDetectorApi, AdapterLoopsEvaluateInViewOrder) {
+  scenario::EnvConfig config;
+  config.seed = 1;
+  scenario::Env env(config);
+
+  const std::vector<web::Session> empty;
+  const std::vector<web::Session> two(2);
+  std::vector<detect::RequestView> views;
+  views.push_back({env.app, 0, 100, empty, empty, 1});
+  views.push_back({env.app, 100, 200, two, two, 1});
+  views.push_back({env.app, 200, 300, empty, empty, 1});
+
+  CountingDetector detector;
+  detect::AlertSink sink;
+  std::vector<detect::BatchScore> scores(views.size());
+  detector.score_batch(views, scores, sink);
+
+  EXPECT_EQ(detector.calls, 3);
+  ASSERT_EQ(sink.count(), 4u);  // one per view + the extra for the 2-session view
+  EXPECT_EQ(sink.alerts()[0].explanation, "window@0");
+  EXPECT_EQ(sink.alerts()[1].explanation, "window@100");
+  EXPECT_EQ(sink.alerts()[2].explanation, "window@100+extra");
+  EXPECT_EQ(sink.alerts()[3].explanation, "window@200");
+  EXPECT_EQ(scores[0].sessions_scored, 0u);
+  EXPECT_EQ(scores[1].sessions_scored, 2u);
+  EXPECT_EQ(scores[0].alerts, 1u);
+  EXPECT_EQ(scores[1].alerts, 2u);
+  EXPECT_EQ(scores[2].alerts, 1u);
+}
+
+class PipelineIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FaultRegistry::global().reset(); }
+  void TearDown() override { fault::FaultRegistry::global().reset(); }
+
+  // Runs the pipeline over the env's full window in the given mode and
+  // returns the rendered alert bytes.
+  static std::string run_alerts(scenario::Env& env, sim::SimTime horizon, bool batched,
+                                detect::PipelineConfig config = {}) {
+    detect::DetectionPipeline pipeline(config);
+    pipeline.set_batch_mode(batched);
+    pipeline.enable_ip_reputation(env.geo);
+    const auto result = pipeline.run(env.app, env.actors, 0, horizon);
+    return render_alerts(result.alerts.alerts());
+  }
+};
+
+TEST_F(PipelineIdentityTest, BatchedMatchesScalarAcrossSeeds) {
+  for (const std::uint64_t seed : {3ull, 9ull}) {
+    AlertWorld world(seed, sim::hours(2));
+    const std::string batched = run_alerts(world.env, sim::hours(2), true);
+    const std::string scalar = run_alerts(world.env, sim::hours(2), false);
+    EXPECT_FALSE(batched.empty()) << "seed " << seed << ": no alerts — vacuous comparison";
+    EXPECT_EQ(batched, scalar) << "seed " << seed;
+  }
+}
+
+TEST_F(PipelineIdentityTest, BatchedMatchesScalarWithEpochSlicing) {
+  AlertWorld world(5, sim::hours(3));
+  detect::PipelineConfig sliced;
+  sliced.batch_epoch = sim::hours(1);
+  sliced.max_batch_epochs = 4;
+  const std::string batched = run_alerts(world.env, sim::hours(3), true, sliced);
+  const std::string scalar = run_alerts(world.env, sim::hours(3), false, sliced);
+  EXPECT_FALSE(batched.empty()) << "no alerts — vacuous comparison";
+  EXPECT_EQ(batched, scalar);
+}
+
+TEST_F(PipelineIdentityTest, BatchFaultFallsBackToScalarIdentically) {
+  AlertWorld world(7, sim::hours(2));
+  scenario::Env& env = world.env;
+  const std::string reference = run_alerts(env, sim::hours(2), false);
+
+  // Arm the batch fault: every batched run demotes to the scalar adapter.
+  fault::FaultRegistry::global().arm("detect.batch.run",
+                                     fault::FaultScenario::every_nth(1));
+  detect::DetectionPipeline pipeline;
+  pipeline.bind_obs(&env.app.obs());
+  pipeline.set_batch_mode(true);
+  pipeline.enable_ip_reputation(env.geo);
+  const auto result = pipeline.run(env.app, env.actors, 0, sim::hours(2));
+  EXPECT_EQ(render_alerts(result.alerts.alerts()), reference);
+  EXPECT_GE(pipeline.view().stats().batch_fallbacks, 1u);
+}
+
+TEST_F(PipelineIdentityTest, PipelineViewHoldsBatchConservation) {
+  AlertWorld world(11, sim::hours(2));
+  scenario::Env& env = world.env;
+  detect::DetectionPipeline pipeline;
+  pipeline.bind_obs(&env.app.obs());
+  pipeline.enable_ip_reputation(env.geo);
+  (void)pipeline.run(env.app, env.actors, 0, sim::hours(2));
+
+  const detect::PipelineView view = pipeline.view();
+  ASSERT_TRUE(view.bound());
+  const detect::PipelineStats stats = view.stats();
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_GE(stats.epochs, 1u);
+  EXPECT_GT(stats.sessions_in, 0u);
+  EXPECT_EQ(stats.sessions_in, stats.sessions_scored + stats.sessions_skipped);
+  EXPECT_GT(view.family_runs("ip.reputation"), 0u);
+  EXPECT_EQ(view.family_skips("ip.reputation"), 0u);
+  // Every family the run touched exposes a (possibly zero) skip counter.
+  EXPECT_FALSE(view.skips_by_family().empty());
+}
+
+// --- Percentile fix ---------------------------------------------------------
+
+TEST(HistogramPercentile, SingleSampleBucketIsStableAcrossP) {
+  obs::MetricsRegistry registry;
+  auto h = registry.histogram("latency", {10.0, 20.0, 30.0});
+  h.observe(14.0);  // lone sample, mid bucket (10, 20]
+  // One observation: every percentile is that observation, and the first
+  // non-empty bucket holds the min, so the answer is exact.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 14.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.90), 14.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 14.0);
+}
+
+TEST(HistogramPercentile, SingleSampleTailBucketReportsMax) {
+  obs::MetricsRegistry registry;
+  auto h = registry.histogram("latency", {10.0, 20.0, 30.0});
+  for (int i = 0; i < 99; ++i) h.observe(5.0);
+  h.observe(27.0);  // one straggler in (20, 30]
+  // The straggler is the distribution max; p99.5 lands in its bucket and must
+  // report 27 exactly, not a p-dependent point between 20 and 27.
+  EXPECT_DOUBLE_EQ(h.percentile(0.995), 27.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 27.0);
+}
+
+TEST(HistogramPercentile, MultiSampleInterpolationStillMonotone) {
+  obs::MetricsRegistry registry;
+  auto h = registry.histogram("latency", {10.0, 20.0, 30.0});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i % 28) + 1.0);
+  double last = 0.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 28.0);
+}
+
+TEST(HistogramPercentile, UtilPercentileAgreesOnExactValues) {
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(util::percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(util::percentile(values, 0.5), 2.5);
+}
+
+}  // namespace
