@@ -17,6 +17,8 @@ const char* to_string(ActorKind k) {
       return "sms-pump-bot";
     case ActorKind::Scraper:
       return "scraper";
+    case ActorKind::RingBot:
+      return "ring-bot";
   }
   return "?";
 }
@@ -28,6 +30,7 @@ bool is_automated(ActorKind k) {
     case ActorKind::SeatSpinBot:
     case ActorKind::SmsPumpBot:
     case ActorKind::Scraper:
+    case ActorKind::RingBot:
       return true;
     default:
       return false;

@@ -19,6 +19,7 @@ enum class ActorKind : std::uint8_t {
   ManualSpinner,  // human attacker, no automation artifacts
   SmsPumpBot,
   Scraper,
+  RingBot,  // member of a coordinated ring; individually under every threshold
 };
 
 [[nodiscard]] const char* to_string(ActorKind k);

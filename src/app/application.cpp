@@ -541,43 +541,52 @@ CallStatus Application::request_boarding_email_impl(const ClientContext& ctx,
 }
 
 // Public facade: serve via the impl, then report the completed call to the
-// attached journal. Sim time cannot advance inside a call (single-threaded,
-// no nested events), so now() is both the request and the journal timestamp.
+// attached observers — the journal (record/replay) first, then the tap (the
+// entity graph's inline ingest). Sim time cannot advance inside a call
+// (single-threaded, no nested events), so now() is both the request and the
+// observer timestamp.
 CallStatus Application::browse(const ClientContext& ctx, web::Endpoint endpoint,
                                web::HttpMethod method) {
   const auto result = browse_impl(ctx, endpoint, method);
   if (journal_ != nullptr) journal_->on_browse(sim_.now(), ctx, endpoint, method, result);
+  if (tap_ != nullptr) tap_->on_browse(sim_.now(), ctx, endpoint, method, result);
   return result;
 }
 
 HoldResult Application::hold(const ClientContext& ctx, airline::FlightId flight,
                              std::vector<airline::Passenger> passengers) {
-  if (journal_ == nullptr) return hold_impl(ctx, flight, std::move(passengers));
-  // The impl consumes the passenger list; keep a copy for the journal.
+  if (journal_ == nullptr && tap_ == nullptr) return hold_impl(ctx, flight, std::move(passengers));
+  // The impl consumes the passenger list; keep a copy for the observers.
   const std::vector<airline::Passenger> recorded = passengers;
   const auto result = hold_impl(ctx, flight, std::move(passengers));
-  journal_->on_hold(sim_.now(), ctx, flight, recorded, result);
+  if (journal_ != nullptr) journal_->on_hold(sim_.now(), ctx, flight, recorded, result);
+  if (tap_ != nullptr) tap_->on_hold(sim_.now(), ctx, flight, recorded, result);
   return result;
 }
 
 util::Money Application::quote_fare(const ClientContext& ctx, airline::FlightId flight_id) {
   const auto result = quote_fare_impl(ctx, flight_id);
   if (journal_ != nullptr) journal_->on_quote_fare(sim_.now(), ctx, flight_id, result);
+  if (tap_ != nullptr) tap_->on_quote_fare(sim_.now(), ctx, flight_id, result);
   return result;
 }
 
 CallStatus Application::pay(const ClientContext& ctx, const std::string& pnr) {
   const auto result = pay_impl(ctx, pnr);
   if (journal_ != nullptr) journal_->on_pay(sim_.now(), ctx, pnr, result);
+  if (tap_ != nullptr) tap_->on_pay(sim_.now(), ctx, pnr, result);
   return result;
 }
 
 OtpResult Application::request_otp(const ClientContext& ctx, const std::string& account,
                                    sms::PhoneNumber number) {
-  if (journal_ == nullptr) return request_otp_impl(ctx, account, std::move(number));
+  if (journal_ == nullptr && tap_ == nullptr) {
+    return request_otp_impl(ctx, account, std::move(number));
+  }
   const sms::PhoneNumber recorded = number;
   const auto result = request_otp_impl(ctx, account, std::move(number));
-  journal_->on_request_otp(sim_.now(), ctx, account, recorded, result);
+  if (journal_ != nullptr) journal_->on_request_otp(sim_.now(), ctx, account, recorded, result);
+  if (tap_ != nullptr) tap_->on_request_otp(sim_.now(), ctx, account, recorded, result);
   return result;
 }
 
@@ -585,6 +594,7 @@ bool Application::verify_otp(const ClientContext& ctx, const std::string& accoun
                              const std::string& code) {
   const bool result = verify_otp_impl(ctx, account, code);
   if (journal_ != nullptr) journal_->on_verify_otp(sim_.now(), ctx, account, code, result);
+  if (tap_ != nullptr) tap_->on_verify_otp(sim_.now(), ctx, account, code, result);
   return result;
 }
 
@@ -592,22 +602,27 @@ Application::BookingView Application::retrieve_booking(const ClientContext& ctx,
                                                        const std::string& pnr) {
   const auto result = retrieve_booking_impl(ctx, pnr);
   if (journal_ != nullptr) journal_->on_retrieve_booking(sim_.now(), ctx, pnr, result);
+  if (tap_ != nullptr) tap_->on_retrieve_booking(sim_.now(), ctx, pnr, result);
   return result;
 }
 
 BoardingSmsResult Application::request_boarding_sms(const ClientContext& ctx,
                                                     const std::string& pnr,
                                                     sms::PhoneNumber number) {
-  if (journal_ == nullptr) return request_boarding_sms_impl(ctx, pnr, std::move(number));
+  if (journal_ == nullptr && tap_ == nullptr) {
+    return request_boarding_sms_impl(ctx, pnr, std::move(number));
+  }
   const sms::PhoneNumber recorded = number;
   const auto result = request_boarding_sms_impl(ctx, pnr, std::move(number));
-  journal_->on_boarding_sms(sim_.now(), ctx, pnr, recorded, result);
+  if (journal_ != nullptr) journal_->on_boarding_sms(sim_.now(), ctx, pnr, recorded, result);
+  if (tap_ != nullptr) tap_->on_boarding_sms(sim_.now(), ctx, pnr, recorded, result);
   return result;
 }
 
 CallStatus Application::request_boarding_email(const ClientContext& ctx, const std::string& pnr) {
   const auto result = request_boarding_email_impl(ctx, pnr);
   if (journal_ != nullptr) journal_->on_boarding_email(sim_.now(), ctx, pnr, result);
+  if (tap_ != nullptr) tap_->on_boarding_email(sim_.now(), ctx, pnr, result);
   return result;
 }
 

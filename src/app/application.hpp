@@ -136,6 +136,12 @@ class Application {
   // each facade call completes; with none attached the call paths are
   // byte-identical to a build without journaling.
   void set_journal(CallJournal* journal) { journal_ = journal; }
+  // Attach a second, read-only observer on the same hook interface (the
+  // entity graph's inline ingest). Fires after the journal for every
+  // completed call, in live AND replayed runs — replay re-invokes the facade,
+  // so a tap attached on both sides sees the identical stream. Non-owning;
+  // nullptr detaches.
+  void set_tap(CallJournal* tap) { tap_ = tap; }
 
   // --- State checkpoints -----------------------------------------------------
   // Serialises all run state the platform owns (web log, fingerprint store,
@@ -264,6 +270,7 @@ class Application {
   airline::FareEngine fares_;
   IngressPolicy* policy_ = nullptr;
   CallJournal* journal_ = nullptr;
+  CallJournal* tap_ = nullptr;
   AllowAllPolicy allow_all_;
   fault::FaultPoint& policy_fault_;
   // "app.request.latency": kLatency scenarios charge extra sim-time against

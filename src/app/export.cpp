@@ -53,18 +53,26 @@ void write_csv_row(std::ostream& out, const std::vector<std::string>& fields) {
   out << '\n';
 }
 
-util::Status export_weblog_csv(std::ostream& out, std::span<const web::HttpRequest> requests) {
-  write_csv_row(out, {"time_ms", "endpoint", "method", "status", "ip", "session", "fp_hash",
-                      "flight", "booking_ref", "nip", "trace_id"});
+util::Status export_weblog_csv(std::ostream& out, std::span<const web::HttpRequest> requests,
+                               const ComponentLookup& component) {
+  std::vector<std::string> header = {"time_ms", "endpoint", "method", "status", "ip", "session",
+                                     "fp_hash", "flight", "booking_ref", "nip", "trace_id"};
+  if (component) header.push_back("component_id");
+  write_csv_row(out, header);
   std::size_t row = 0;
   for (const auto& r : requests) {
-    write_csv_row(out, {std::to_string(r.time), web::endpoint_path(r.endpoint),
-                        web::to_string(r.method), std::to_string(r.status_code), r.ip.str(),
-                        r.session.str(), r.fp_hash.str(),
-                        r.flight_id ? std::to_string(*r.flight_id) : "",
-                        r.booking_ref.value_or(""),
-                        r.nip ? std::to_string(*r.nip) : "",
-                        r.trace_id != 0 ? std::to_string(r.trace_id) : ""});
+    std::vector<std::string> fields = {std::to_string(r.time), web::endpoint_path(r.endpoint),
+                                       web::to_string(r.method), std::to_string(r.status_code),
+                                       r.ip.str(), r.session.str(), r.fp_hash.str(),
+                                       r.flight_id ? std::to_string(*r.flight_id) : "",
+                                       r.booking_ref.value_or(""),
+                                       r.nip ? std::to_string(*r.nip) : "",
+                                       r.trace_id != 0 ? std::to_string(r.trace_id) : ""};
+    if (component) {
+      const std::uint64_t cid = component(r);
+      fields.push_back(cid != 0 ? std::to_string(cid) : "");
+    }
+    write_csv_row(out, fields);
     if (auto s = row_status(out, "export_weblog_csv", row++); !s.is_ok()) return s;
   }
   return finish_status(out, "export_weblog_csv");

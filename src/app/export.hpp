@@ -7,6 +7,7 @@
 // silently — a truncated CSV that looks complete is worse than an error.
 #pragma once
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -28,8 +29,16 @@ void write_csv_row(std::ostream& out, const std::vector<std::string>& fields);
 // Web log: time_ms,endpoint,method,status,ip,session,fp_hash,flight,booking_ref,nip,trace_id
 // (trace_id joins rows against the trace recorder's span stream; blank when
 // the request's trace was not sampled).
+//
+// With a `component` lookup supplied (the entity graph's component of the
+// request's session; 0 = none), the export grows a trailing "component_id"
+// column so analysts can pivot the log by suspected ring. Without one —
+// the graph detector disabled — header and rows are byte-identical to the
+// plain export.
+using ComponentLookup = std::function<std::uint64_t(const web::HttpRequest&)>;
 [[nodiscard]] util::Status export_weblog_csv(std::ostream& out,
-                                             std::span<const web::HttpRequest> requests);
+                                             std::span<const web::HttpRequest> requests,
+                                             const ComponentLookup& component = nullptr);
 
 // Reservations: pnr,flight,nip,state,created_ms,hold_expiry_ms,lead_name,source_ip,fp_hash
 [[nodiscard]] util::Status export_reservations_csv(

@@ -35,6 +35,10 @@ struct ClientContext {
   // deployed). Bots synthesise or replay these; the biometric detector tells
   // the difference.
   std::optional<biometrics::TrajectoryFeatures> pointer_biometrics;
+  // Tokenized payment instrument presented by the client (empty = none yet).
+  // Policies must not read it raw; the entity graph links sessions that
+  // re-use one token — the strongest structural tie a ring exposes.
+  std::string payment_token;
 };
 
 enum class PolicyAction : std::uint8_t {

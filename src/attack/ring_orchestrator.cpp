@@ -1,0 +1,237 @@
+#include "attack/ring_orchestrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace fraudsim::attack {
+
+RingOrchestrator::RingOrchestrator(app::Application& application, app::ActorRegistry& actors,
+                                   net::ProxyPool& proxies,
+                                   const fp::PopulationModel& population, RingConfig config,
+                                   sim::Rng rng)
+    : app_(application),
+      proxies_(proxies),
+      config_(config),
+      rng_(std::move(rng)),
+      identities_(IdentityGenConfig{IdentityRegime::PlausibleRandom, 6, 0.0, 8},
+                  rng_.fork("identities")) {
+  // The scarce pools are drawn once, up front: the ring buys a small stock of
+  // spoofed fingerprints and tokenized cards, then rotates through them for
+  // the whole campaign. Exits come from the residential pool on demand.
+  auto pool_rng = rng_.fork("pools");
+  fingerprints_.reserve(static_cast<std::size_t>(config_.shared_fingerprints));
+  for (int i = 0; i < config_.shared_fingerprints; ++i) {
+    fingerprints_.push_back(population.sample_spoofed(pool_rng, fp::SpoofOptions{}));
+  }
+  tokens_.reserve(static_cast<std::size_t>(config_.shared_payment_tokens));
+  for (int i = 0; i < config_.shared_payment_tokens; ++i) {
+    tokens_.push_back("tok-" + pool_rng.random_digits(12));
+  }
+  // The campaign operates out of one country: exits and the phone pool agree.
+  country_ = proxies_.exit(pool_rng, std::nullopt).country;
+  sms::NumberGenerator numbers(rng_.fork("numbers"));
+  numbers_ = numbers.build_pool(country_, 32);
+
+  members_.reserve(static_cast<std::size_t>(config_.members));
+  member_rngs_.reserve(static_cast<std::size_t>(config_.members));
+  state_.resize(static_cast<std::size_t>(config_.members));
+  for (int i = 0; i < config_.members; ++i) {
+    members_.push_back(actors.register_actor(app::ActorKind::RingBot));
+    member_rngs_.push_back(rng_.fork("member-" + std::to_string(i)));
+  }
+}
+
+void RingOrchestrator::start(sim::SimTime horizon) {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    // Per-member start jitter: the ring never thunders in at one instant.
+    const auto jitter = static_cast<sim::SimDuration>(
+        member_rngs_[i].exponential(static_cast<double>(config_.mean_action_gap)));
+    const sim::SimTime at = config_.start + jitter;
+    if (at >= stop_time(horizon)) continue;
+    app_.simulation().schedule_at(at, [this, i, horizon] { act(i, horizon); });
+  }
+}
+
+sim::SimTime RingOrchestrator::stop_time(sim::SimTime horizon) const {
+  return config_.stop > 0 ? std::min(config_.stop, horizon) : horizon;
+}
+
+sim::SimDuration RingOrchestrator::think(sim::Rng& rng) {
+  // Human-scale think time between funnel steps, same shape as the legit
+  // generator's (lognormal around ~20 s).
+  const double seconds = std::clamp(rng.lognormal(3.0, 0.6), 3.0, 240.0);
+  return static_cast<sim::SimDuration>(seconds * sim::kSecond);
+}
+
+void RingOrchestrator::roll_session(std::size_t member, sim::SimTime now) {
+  const auto epoch = static_cast<std::uint64_t>(
+      config_.rotate_every > 0 ? now / config_.rotate_every : 0);
+  MemberState& st = state_[member];
+  if (st.epoch != epoch) {
+    st.epoch = epoch;
+    bump_session(member);
+  }
+}
+
+void RingOrchestrator::bump_session(std::size_t member) {
+  MemberState& st = state_[member];
+  ++st.serial;
+  st.fresh = true;
+  st.searched = false;
+  if (--st.exit_sessions_left <= 0) {
+    st.exit = proxies_.exit(member_rngs_[member], country_).ip;
+    st.exit_sessions_left = std::max(1, config_.sessions_per_exit);
+  }
+}
+
+app::ClientContext RingOrchestrator::context(std::size_t member) const {
+  const MemberState& st = state_[member];
+  app::ClientContext ctx;
+  ctx.actor = members_[member];
+  ctx.session = web::SessionId{kSessionBand + (static_cast<std::uint64_t>(member) << 16) +
+                               (st.serial & 0xFFFFull)};
+  ctx.fingerprint = fingerprints_[(member + st.epoch) % fingerprints_.size()];
+  ctx.ip = st.exit;
+  // No payment token on page views: it is only presented at payment time.
+  return ctx;
+}
+
+void RingOrchestrator::note(app::CallStatus status) {
+  ++stats_.requests;
+  if (status == app::CallStatus::Blocked || status == app::CallStatus::Challenged ||
+      status == app::CallStatus::RateLimited || status == app::CallStatus::Overloaded) {
+    ++stats_.denied;
+  }
+}
+
+void RingOrchestrator::schedule_next(std::size_t member, sim::SimTime horizon) {
+  const sim::SimTime now = app_.simulation().now();
+  const auto gap = std::max<sim::SimDuration>(
+      sim::seconds(5),
+      static_cast<sim::SimDuration>(
+          member_rngs_[member].exponential(static_cast<double>(config_.mean_action_gap))));
+  if (now + gap < stop_time(horizon)) {
+    app_.simulation().schedule_in(gap, [this, member, horizon] { act(member, horizon); });
+  }
+}
+
+void RingOrchestrator::end_session_and_continue(std::size_t member, sim::SimTime horizon) {
+  bump_session(member);
+  schedule_next(member, horizon);
+}
+
+void RingOrchestrator::act(std::size_t member, sim::SimTime horizon) {
+  const sim::SimTime now = app_.simulation().now();
+  if (now >= stop_time(horizon)) return;
+  sim::Rng& rng = member_rngs_[member];
+  ++stats_.actions;
+  roll_session(member, now);
+  MemberState& st = state_[member];
+  const auto ctx = context(member);
+
+  // Every session opens on the home page, like every legitimate journey.
+  if (st.fresh) {
+    st.fresh = false;
+    note(app_.browse(ctx, web::Endpoint::Home));
+    schedule_next(member, horizon);
+    return;
+  }
+
+  // The first page after Home is always a flight search: legitimate journeys
+  // overwhelmingly open Home -> Search, and a Details-first session is exactly
+  // the shape the navigation model's clean threshold penalizes.
+  if (!st.searched) {
+    st.searched = true;
+    note(app_.browse(ctx, web::Endpoint::SearchFlights));
+    schedule_next(member, horizon);
+    return;
+  }
+
+  if (!app_.inventory().flights().empty() && rng.bernoulli(config_.p_hold)) {
+    // Booking funnel: Details -> SeatMap -> Hold, each a think apart. The
+    // member goes quiet until the funnel resolves (one journey at a time).
+    note(app_.browse(ctx, web::Endpoint::FlightDetails));
+    app_.simulation().schedule_in(
+        think(rng), [this, member, ctx, horizon] { funnel_seatmap(member, ctx, horizon); });
+    return;
+  }
+
+  note(app_.browse(ctx, rng.bernoulli(0.6) ? web::Endpoint::SearchFlights
+                                           : web::Endpoint::FlightDetails));
+  schedule_next(member, horizon);
+}
+
+void RingOrchestrator::funnel_seatmap(std::size_t member, app::ClientContext ctx,
+                                      sim::SimTime horizon) {
+  if (app_.simulation().now() >= stop_time(horizon)) return;
+  note(app_.browse(ctx, web::Endpoint::SeatMap));
+  app_.simulation().schedule_in(
+      think(member_rngs_[member]),
+      [this, member, ctx, horizon] { funnel_hold(member, ctx, horizon); });
+}
+
+void RingOrchestrator::funnel_hold(std::size_t member, app::ClientContext ctx,
+                                   sim::SimTime horizon) {
+  if (app_.simulation().now() >= stop_time(horizon)) return;
+  sim::Rng& rng = member_rngs_[member];
+  const int nip = static_cast<int>(
+      rng.uniform_int(config_.party_min, std::max(config_.party_min, config_.party_max)));
+  // Like a real customer, only book flights with room for the party.
+  std::vector<airline::FlightId> candidates;
+  for (const auto f : app_.inventory().flights()) {
+    if (app_.inventory().available_seats(f) >= nip) candidates.push_back(f);
+  }
+  if (candidates.empty()) {
+    end_session_and_continue(member, horizon);
+    return;
+  }
+  const auto flight = candidates[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  ++stats_.holds_attempted;
+  const auto hold = app_.hold(ctx, flight, identities_.make_party(nip));
+  note(hold.status);
+  if (hold.status == app::CallStatus::Ok) {
+    ++stats_.holds_ok;
+    if (rng.bernoulli(config_.p_pay)) {
+      app_.simulation().schedule_in(think(rng), [this, member, ctx, pnr = hold.pnr, horizon] {
+        funnel_pay(member, ctx, pnr, horizon);
+      });
+      return;
+    }
+  }
+  end_session_and_continue(member, horizon);
+}
+
+void RingOrchestrator::funnel_pay(std::size_t member, app::ClientContext ctx, std::string pnr,
+                                  sim::SimTime horizon) {
+  if (app_.simulation().now() >= stop_time(horizon)) return;
+  sim::Rng& rng = member_rngs_[member];
+  ctx.payment_token = tokens_[member % tokens_.size()];
+  const auto pay = app_.pay(ctx, pnr);
+  note(pay);
+  if (pay == app::CallStatus::Ok) {
+    ++stats_.pays_ok;
+    if (rng.bernoulli(config_.p_sms)) {
+      app_.simulation().schedule_in(
+          think(rng), [this, member, ctx, pnr = std::move(pnr), horizon] {
+            funnel_sms(member, ctx, pnr, horizon);
+          });
+      return;
+    }
+  }
+  end_session_and_continue(member, horizon);
+}
+
+void RingOrchestrator::funnel_sms(std::size_t member, app::ClientContext ctx, std::string pnr,
+                                  sim::SimTime horizon) {
+  if (app_.simulation().now() >= stop_time(horizon)) return;
+  sim::Rng& rng = member_rngs_[member];
+  const auto& number = numbers_[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(numbers_.size()) - 1))];
+  note(app_.request_boarding_sms(ctx, pnr, number).status);
+  ++stats_.sms_requested;
+  end_session_and_continue(member, horizon);
+}
+
+}  // namespace fraudsim::attack

@@ -1,0 +1,148 @@
+// Organized abuse ring: N coordinated accounts sharing scarce
+// infrastructure, each individually under every per-entity threshold.
+//
+// The campaign shape the paper's case studies converge on once per-entity
+// controls (NiP caps, rate limits, SMS quotas, IP reputation, navigation
+// modelling) are deployed: split the activity across enough accounts and
+// sessions that no single entity crosses any band — but keep the operation
+// economical by re-using the assets that are expensive to multiply: a small
+// pool of spoofed device fingerprints and a handful of tokenized payment
+// instruments. Residential exits are cheap, so those rotate fast instead.
+// Per-entity detectors see hundreds of quiet, human-shaped sessions; the
+// entity graph (core/detect/graph) sees one component tied together by the
+// shared fingerprints and tokens, with an amplified aggregate.
+//
+// Evasion, by construction:
+//   * every member registers its own ActorKind::RingBot ground-truth actor;
+//   * actions pace with exponential gaps far under the volume thresholds,
+//     and every funnel step is separated by human-scale think time;
+//   * sessions follow the legitimate navigation funnel (Home -> browse ->
+//     FlightDetails -> SeatMap -> Hold -> Payment), never the API-style
+//     shortcuts the navigation model flags;
+//   * the session cookie burns after every booking funnel and on the epoch
+//     cadence; each residential exit serves at most `sessions_per_exit`
+//     sessions, under IP-reputation's address-reuse bar;
+//   * parties are small (1-2) with plausible-random identities; no pointer
+//     biometrics are ever attached (absence is silent to the detector);
+//   * the shared payment token is only presented at payment time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "attack/bot_base.hpp"
+#include "attack/identity_gen.hpp"
+#include "net/proxy.hpp"
+#include "sms/number.hpp"
+
+namespace fraudsim::attack {
+
+struct RingConfig {
+  int members = 16;
+  // The scarce shared pools — the structural tie the entity graph links on.
+  // The smaller they are, the stronger the sharing factor the graph detector
+  // sees (sessions per distinct fingerprint / payment token).
+  int shared_fingerprints = 4;
+  int shared_payment_tokens = 3;
+  // Residential exits are cheap: each drawn exit serves at most this many
+  // sessions before the member rotates to a fresh one, staying under the
+  // IP-reputation address-reuse bar.
+  int sessions_per_exit = 2;
+  // Epoch cadence: every epoch each member burns its cookie and the
+  // fingerprint assignments shift by one so members cycle the shared pool.
+  sim::SimDuration rotate_every = sim::hours(1);
+  // Pacing. Mean gap between one member's page views — far under the volume
+  // thresholds (max_requests_per_minute, min interarrival) by construction.
+  sim::SimDuration mean_action_gap = sim::minutes(6);
+  sim::SimTime start = sim::hours(1);
+  sim::SimTime stop = 0;  // 0 = run until the horizon passed to start()
+  // Per-action behaviour: one page view per action; with p_hold the member
+  // enters a booking funnel (Details -> SeatMap -> Hold) instead, paying a
+  // successful hold with p_pay and requesting boarding SMS with p_sms.
+  double p_hold = 0.25;
+  int party_min = 1;
+  int party_max = 2;
+  double p_pay = 0.15;
+  double p_sms = 0.25;
+};
+
+struct RingStats {
+  std::uint64_t actions = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t holds_attempted = 0;
+  std::uint64_t holds_ok = 0;
+  std::uint64_t pays_ok = 0;
+  std::uint64_t sms_requested = 0;
+  std::uint64_t denied = 0;  // blocked / challenged / rate limited / shed
+};
+
+class RingOrchestrator {
+ public:
+  RingOrchestrator(app::Application& application, app::ActorRegistry& actors,
+                   net::ProxyPool& proxies, const fp::PopulationModel& population,
+                   RingConfig config, sim::Rng rng);
+
+  // Schedules every member's first action (config.start + per-member jitter).
+  void start(sim::SimTime horizon);
+
+  [[nodiscard]] const RingStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<web::ActorId>& members() const { return members_; }
+  [[nodiscard]] const std::vector<std::string>& payment_tokens() const { return tokens_; }
+
+  // Session-id band: high bit pattern distinct from the legit generator's
+  // ids and the seat-spin script's 0x0100... band.
+  static constexpr std::uint64_t kSessionBand = 0x0200'0000'0000'0000ull;
+
+ private:
+  // Per-member session state: the current cookie serial, whether the next
+  // page view opens the session (Home first, like every legit journey), and
+  // the residential exit with its remaining session budget.
+  struct MemberState {
+    std::uint64_t epoch = std::numeric_limits<std::uint64_t>::max();
+    std::uint32_t serial = 0;
+    bool fresh = true;
+    bool searched = false;  // session has hit SearchFlights (Home -> Search
+                            // first, like every legitimate journey)
+    net::IpV4 exit{};
+    int exit_sessions_left = 0;
+  };
+
+  void act(std::size_t member, sim::SimTime horizon);
+  void funnel_seatmap(std::size_t member, app::ClientContext ctx, sim::SimTime horizon);
+  void funnel_hold(std::size_t member, app::ClientContext ctx, sim::SimTime horizon);
+  void funnel_pay(std::size_t member, app::ClientContext ctx, std::string pnr,
+                  sim::SimTime horizon);
+  void funnel_sms(std::size_t member, app::ClientContext ctx, std::string pnr,
+                  sim::SimTime horizon);
+
+  // Epoch rollover check (act time): a new epoch burns the cookie.
+  void roll_session(std::size_t member, sim::SimTime now);
+  // Burn the cookie: next page view is fresh; rotate the exit when spent.
+  void bump_session(std::size_t member);
+  void end_session_and_continue(std::size_t member, sim::SimTime horizon);
+  void schedule_next(std::size_t member, sim::SimTime horizon);
+
+  [[nodiscard]] app::ClientContext context(std::size_t member) const;
+  [[nodiscard]] sim::SimTime stop_time(sim::SimTime horizon) const;
+  [[nodiscard]] sim::SimDuration think(sim::Rng& rng);
+  void note(app::CallStatus status);
+
+  app::Application& app_;
+  net::ProxyPool& proxies_;
+  RingConfig config_;
+  sim::Rng rng_;
+  IdentityGenerator identities_;
+  net::CountryCode country_{};
+  std::vector<web::ActorId> members_;
+  std::vector<sim::Rng> member_rngs_;
+  std::vector<MemberState> state_;
+  // The scarce shared pools (fixed for the campaign; assignments rotate).
+  std::vector<fp::Fingerprint> fingerprints_;
+  std::vector<std::string> tokens_;
+  std::vector<sms::PhoneNumber> numbers_;
+  RingStats stats_;
+};
+
+}  // namespace fraudsim::attack

@@ -100,8 +100,11 @@ ChaosGeneratorConfig default_generator_config(sim::SimTime horizon) {
   // Every error-guarded dependency the platform registers today.
   // "detect.batch.run" demotes detection runs to the scalar adapter path —
   // an execution-mode fault with byte-identical verdicts by contract.
+  // "graph.ingest" drops events at the entity graph's admit-path tap — the
+  // graph invariants must hold (and replay stay clean) through the outage.
   config.error_points = {"sms.carrier.send",  "detect.sweep.run",  "otp.deliver",
-                         "fp.store.record",   "app.policy.evaluate", "detect.batch.run"};
+                         "fp.store.record",   "app.policy.evaluate", "detect.batch.run",
+                         "graph.ingest"};
   // Latency-capable sites: the request path charges it into the admission
   // model; the gateway charges it against the caller's deadline budget.
   config.latency_points = {"app.request.latency", "sms.carrier.send"};

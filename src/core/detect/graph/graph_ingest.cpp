@@ -1,0 +1,108 @@
+#include "core/detect/graph/graph_ingest.hpp"
+
+#include <algorithm>
+
+namespace fraudsim::detect::graph {
+
+EntityGraph::NodeId GraphIngest::touch_context(sim::SimTime now, const app::ClientContext& ctx) {
+  const auto session = graph_.touch(now, NodeType::Session, ctx.session.str());
+  const auto fingerprint =
+      graph_.touch(now, NodeType::Fingerprint, ctx.fingerprint.hash().str());
+  const auto ip = graph_.touch(now, NodeType::Ip, std::to_string(ctx.ip.value()));
+  const auto asn = graph_.touch(now, NodeType::Asn, std::to_string(ctx.ip.value() >> 16));
+  graph_.connect(now, session, fingerprint);
+  graph_.connect(now, session, ip);
+  graph_.connect(now, ip, asn);
+  if (!ctx.payment_token.empty()) {
+    const auto token = graph_.touch(now, NodeType::PaymentToken, ctx.payment_token);
+    graph_.connect(now, session, token);
+  }
+  return session;
+}
+
+void GraphIngest::link_booking(sim::SimTime now, EntityGraph::NodeId session,
+                               const std::string& pnr) {
+  if (pnr.empty()) return;
+  const auto booking = graph_.touch(now, NodeType::Booking, pnr);
+  graph_.connect(now, session, booking);
+}
+
+void GraphIngest::on_browse(sim::SimTime time, const app::ClientContext& ctx, web::Endpoint,
+                            web::HttpMethod, app::CallStatus) {
+  if (!graph_.begin_event(time)) return;
+  const auto session = touch_context(time, ctx);
+  graph_.add_signal(time, session, Signal::Requests, 1.0);
+}
+
+void GraphIngest::on_hold(sim::SimTime time, const app::ClientContext& ctx, airline::FlightId,
+                          const std::vector<airline::Passenger>& passengers,
+                          const app::HoldResult& result) {
+  if (!graph_.begin_event(time)) return;
+  const auto session = touch_context(time, ctx);
+  if (!passengers.empty()) {
+    const auto name =
+        graph_.touch(time, NodeType::NamePattern, passengers.front().name_key());
+    graph_.connect(time, session, name);
+  }
+  if (result.status == app::CallStatus::Ok) link_booking(time, session, result.pnr);
+  graph_.add_signal(time, session, Signal::Holds,
+                    static_cast<double>(std::max<std::size_t>(1, passengers.size())));
+}
+
+void GraphIngest::on_quote_fare(sim::SimTime time, const app::ClientContext& ctx,
+                                airline::FlightId, util::Money) {
+  if (!graph_.begin_event(time)) return;
+  const auto session = touch_context(time, ctx);
+  graph_.add_signal(time, session, Signal::Requests, 1.0);
+}
+
+void GraphIngest::on_pay(sim::SimTime time, const app::ClientContext& ctx,
+                         const std::string& pnr, app::CallStatus) {
+  if (!graph_.begin_event(time)) return;
+  const auto session = touch_context(time, ctx);
+  link_booking(time, session, pnr);
+  graph_.add_signal(time, session, Signal::Pays, 1.0);
+}
+
+void GraphIngest::on_request_otp(sim::SimTime time, const app::ClientContext& ctx,
+                                 const std::string&, const sms::PhoneNumber&,
+                                 const app::OtpResult&) {
+  if (!graph_.begin_event(time)) return;
+  const auto session = touch_context(time, ctx);
+  graph_.add_signal(time, session, Signal::Sms, 1.0);
+}
+
+void GraphIngest::on_verify_otp(sim::SimTime time, const app::ClientContext& ctx,
+                                const std::string&, const std::string&, bool) {
+  if (!graph_.begin_event(time)) return;
+  const auto session = touch_context(time, ctx);
+  graph_.add_signal(time, session, Signal::Requests, 1.0);
+}
+
+void GraphIngest::on_retrieve_booking(sim::SimTime time, const app::ClientContext& ctx,
+                                      const std::string& pnr,
+                                      const app::Application::BookingView&) {
+  if (!graph_.begin_event(time)) return;
+  const auto session = touch_context(time, ctx);
+  link_booking(time, session, pnr);
+  graph_.add_signal(time, session, Signal::Requests, 1.0);
+}
+
+void GraphIngest::on_boarding_sms(sim::SimTime time, const app::ClientContext& ctx,
+                                  const std::string& pnr, const sms::PhoneNumber&,
+                                  const app::BoardingSmsResult&) {
+  if (!graph_.begin_event(time)) return;
+  const auto session = touch_context(time, ctx);
+  link_booking(time, session, pnr);
+  graph_.add_signal(time, session, Signal::Sms, 1.0);
+}
+
+void GraphIngest::on_boarding_email(sim::SimTime time, const app::ClientContext& ctx,
+                                    const std::string& pnr, app::CallStatus) {
+  if (!graph_.begin_event(time)) return;
+  const auto session = touch_context(time, ctx);
+  link_booking(time, session, pnr);
+  graph_.add_signal(time, session, Signal::Requests, 1.0);
+}
+
+}  // namespace fraudsim::detect::graph

@@ -1,0 +1,67 @@
+// Admit-path feed for the entity graph.
+//
+// GraphIngest implements the app::CallJournal observer interface and is
+// attached as the application's tap (Application::set_tap), so every
+// completed facade call — browse, hold, pay, OTP, boarding SMS — streams into
+// the EntityGraph inline, in both live and replayed runs. Hooks observe
+// completed calls and never mutate platform state; with no tap attached the
+// admit path is byte-identical to a build without the subsystem.
+//
+// Mapping (one begin_event per hook, so graph event counts reconcile against
+// the application's request counter):
+//   * every call        -> session node + edges to its fingerprint, exit IP,
+//                          the IP's /16 (ASN proxy) and, when the client
+//                          presents one, its payment token
+//   * hold              -> lead-passenger name-pattern node + booking node
+//                          (on success) + Holds signal weighted by party size
+//   * pay               -> booking link + Pays signal
+//   * OTP / boarding SMS-> Sms signal (+ booking link for boarding SMS)
+//   * everything else   -> Requests signal
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/journal.hpp"
+#include "core/detect/graph/entity_graph.hpp"
+
+namespace fraudsim::detect::graph {
+
+class GraphIngest final : public app::CallJournal {
+ public:
+  explicit GraphIngest(EntityGraph& graph) : graph_(graph) {}
+
+  void on_browse(sim::SimTime time, const app::ClientContext& ctx, web::Endpoint endpoint,
+                 web::HttpMethod method, app::CallStatus result) override;
+  void on_hold(sim::SimTime time, const app::ClientContext& ctx, airline::FlightId flight,
+               const std::vector<airline::Passenger>& passengers,
+               const app::HoldResult& result) override;
+  void on_quote_fare(sim::SimTime time, const app::ClientContext& ctx, airline::FlightId flight,
+                     util::Money result) override;
+  void on_pay(sim::SimTime time, const app::ClientContext& ctx, const std::string& pnr,
+              app::CallStatus result) override;
+  void on_request_otp(sim::SimTime time, const app::ClientContext& ctx,
+                      const std::string& account, const sms::PhoneNumber& number,
+                      const app::OtpResult& result) override;
+  void on_verify_otp(sim::SimTime time, const app::ClientContext& ctx,
+                     const std::string& account, const std::string& code, bool result) override;
+  void on_retrieve_booking(sim::SimTime time, const app::ClientContext& ctx,
+                           const std::string& pnr,
+                           const app::Application::BookingView& result) override;
+  void on_boarding_sms(sim::SimTime time, const app::ClientContext& ctx, const std::string& pnr,
+                       const sms::PhoneNumber& number,
+                       const app::BoardingSmsResult& result) override;
+  void on_boarding_email(sim::SimTime time, const app::ClientContext& ctx,
+                         const std::string& pnr, app::CallStatus result) override;
+
+  [[nodiscard]] const EntityGraph& graph() const { return graph_; }
+
+ private:
+  // Session node + infrastructure edges for the calling client.
+  EntityGraph::NodeId touch_context(sim::SimTime now, const app::ClientContext& ctx);
+  void link_booking(sim::SimTime now, EntityGraph::NodeId session, const std::string& pnr);
+
+  EntityGraph& graph_;
+};
+
+}  // namespace fraudsim::detect::graph

@@ -376,6 +376,14 @@ std::vector<std::unique_ptr<Detector>> DetectionPipeline::build_detectors() cons
           scores[i] = {views[i].sessions.size(), counts[i]};
         }
       });
+
+  // Structural (component-level) ring amplification over the entity graph.
+  // The only family implemented as a dedicated Detector subclass: it owns
+  // graph-wide state sharing across epochs that the FunctionDetector lambda
+  // shape cannot express.
+  if (graph_ != nullptr) {
+    detectors.push_back(std::make_unique<graph::GraphDetector>(*graph_, config_.graph));
+  }
   return detectors;
 }
 

@@ -17,6 +17,7 @@
 #include "core/detect/behavior.hpp"
 #include "core/detect/detector.hpp"
 #include "core/detect/fingerprint_detect.hpp"
+#include "core/detect/graph/graph_detector.hpp"
 #include "core/detect/ip_reputation.hpp"
 #include "core/detect/labels.hpp"
 #include "core/detect/name_patterns.hpp"
@@ -43,6 +44,8 @@ struct PipelineConfig {
   bool biometrics_enabled = true;
   biometrics::BiometricThresholds biometric_thresholds;
   IpReputationConfig ip_reputation;
+  // Component-level ring amplification (active once enable_graph is called).
+  graph::GraphDetectorConfig graph;
   // Modeled batch-analysis cost per session, charged against the optional
   // analysis deadline budget passed to run(): cheap families advance the
   // modeled analysis clock by `analysis_cost_cheap` ms per session, the
@@ -135,6 +138,11 @@ class DetectionPipeline {
   // called — the detector needs the address plan to classify origins).
   void enable_ip_reputation(const net::GeoDb& geo) { geo_ = &geo; }
 
+  // Enable the component-level ring detector over the platform's entity
+  // graph (off until called — the graph is fed inline on the admit path via
+  // Application::set_tap, so the pipeline only reads it). Non-owning.
+  void enable_graph(const graph::EntityGraph& graph) { graph_ = &graph; }
+
   // Optionally train the supervised behaviour classifier on labelled history.
   // The default labelling (every automated actor = 1) is an *oracle* upper
   // bound; real deployments only have labels from past incidents — pass a
@@ -226,6 +234,7 @@ class DetectionPipeline {
   BehaviorClassifier classifier_;
   NavigationModel navigation_;
   const net::GeoDb* geo_ = nullptr;
+  const graph::EntityGraph* graph_ = nullptr;
   const overload::BrownoutController* brownout_ = nullptr;
   obs::Observability* obs_ = nullptr;
   bool batch_mode_ = true;  // constructor applies FRAUDSIM_DETECT_BATCH

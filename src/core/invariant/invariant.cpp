@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "app/application.hpp"
+#include "core/detect/graph/entity_graph.hpp"
 #include "core/mitigate/rules.hpp"
 
 namespace fraudsim::invariant {
@@ -246,6 +247,86 @@ void register_platform_invariants(InvariantRegistry& registry, const app::Applic
     }
     return std::nullopt;
   });
+}
+
+void register_graph_invariants(InvariantRegistry& registry,
+                               const detect::graph::EntityGraph& graph,
+                               const app::Application* app) {
+  // Memory bounds: the caps are enforced at insert time, so exceeding one
+  // means eviction is broken — the graph would grow without bound in
+  // production.
+  registry.add("graph-bounds", [&graph](sim::SimTime) -> std::optional<std::string> {
+    const auto& config = graph.config();
+    if (graph.node_count() > config.max_nodes) {
+      return "live nodes (" + std::to_string(graph.node_count()) + ") exceed max_nodes (" +
+             std::to_string(config.max_nodes) + ")";
+    }
+    if (graph.edge_count() > config.max_edges) {
+      return "live edges (" + std::to_string(graph.edge_count()) + ") exceed max_edges (" +
+             std::to_string(config.max_edges) + ")";
+    }
+    if (const std::size_t biggest = graph.max_component_size(); biggest > config.component_cap) {
+      return "a component holds " + std::to_string(biggest) + " nodes, component_cap " +
+             std::to_string(config.component_cap);
+    }
+    return std::nullopt;
+  });
+
+  // Conservation: live counts must equal created - evicted, for nodes and for
+  // edges — a leak (or a double free) in eviction shows up here long before
+  // it corrupts a checkpoint.
+  registry.add("graph-conservation", [&graph](sim::SimTime) -> std::optional<std::string> {
+    const auto& s = graph.stats();
+    if (graph.node_count() != s.nodes_created - s.nodes_evicted) {
+      return "live nodes (" + std::to_string(graph.node_count()) + ") != created (" +
+             std::to_string(s.nodes_created) + ") - evicted (" +
+             std::to_string(s.nodes_evicted) + ")";
+    }
+    if (graph.edge_count() != s.edges_created - s.edges_evicted) {
+      return "live edges (" + std::to_string(graph.edge_count()) + ") != created (" +
+             std::to_string(s.edges_created) + ") - evicted (" +
+             std::to_string(s.edges_evicted) + ")";
+    }
+    return std::nullopt;
+  });
+
+  // Intern alignment: every live node id round-trips through the intern
+  // table. A restored graph whose id assignment drifted would break this for
+  // the first key interned after the restore.
+  registry.add("graph-intern-alignment", [&graph](sim::SimTime) -> std::optional<std::string> {
+    const auto& intern = graph.interner();
+    if (intern.size() != graph.node_count()) {
+      return "intern table holds " + std::to_string(intern.size()) + " keys for " +
+             std::to_string(graph.node_count()) + " live nodes";
+    }
+    for (std::uint32_t id = 1; id <= intern.capacity(); ++id) {
+      if (!intern.contains(id)) continue;
+      if (intern.find(intern.str(id)) != id) {
+        return "intern id " + std::to_string(id) + " does not round-trip through its key";
+      }
+      if (!graph.alive(id)) {
+        return "intern id " + std::to_string(id) + " is live in the table but has no node";
+      }
+    }
+    return std::nullopt;
+  });
+
+  // Event reconciliation (tap attached from the run's first request): every
+  // facade call the application admitted was offered to the graph exactly
+  // once — drops beyond the injected "graph.ingest" outages mean the tap
+  // missed traffic the detectors downstream assume it saw.
+  if (app != nullptr) {
+    registry.add("graph-event-reconciliation",
+                 [&graph, app](sim::SimTime) -> std::optional<std::string> {
+                   const std::uint64_t seen = graph.stats().events_seen;
+                   const std::uint64_t requests = app->stats().requests;
+                   if (seen != requests) {
+                     return "graph saw " + std::to_string(seen) + " events for " +
+                            std::to_string(requests) + " application requests";
+                   }
+                   return std::nullopt;
+                 });
+  }
 }
 
 }  // namespace fraudsim::invariant

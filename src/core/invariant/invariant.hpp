@@ -40,6 +40,9 @@
 namespace fraudsim::app {
 class Application;
 }
+namespace fraudsim::detect::graph {
+class EntityGraph;
+}
 namespace fraudsim::mitigate {
 class RuleEngine;
 }
@@ -117,5 +120,22 @@ struct PlatformInvariantOptions {
 void register_platform_invariants(InvariantRegistry& registry, const app::Application& app,
                                   const mitigate::RuleEngine* rules = nullptr,
                                   PlatformInvariantOptions options = {});
+
+// Entity-graph safety conditions (core/detect/graph), registered only when
+// the subsystem is enabled:
+//   * graph-bounds          — live nodes/edges never exceed the configured
+//                             caps and no component outgrows component_cap;
+//   * graph-conservation    — live counts equal created - evicted for nodes
+//                             and for edges (nothing leaks, nothing double
+//                             frees);
+//   * graph-intern-alignment— every live node id round-trips through the
+//                             intern table (find(str(id)) == id), so intern
+//                             ids stay stable across checkpoint/restore.
+// With `app` non-null (a tap attached from the first request of the run),
+// also checks event reconciliation: events offered to the graph equal the
+// application's admitted-request counter.
+void register_graph_invariants(InvariantRegistry& registry,
+                               const detect::graph::EntityGraph& graph,
+                               const app::Application* app = nullptr);
 
 }  // namespace fraudsim::invariant

@@ -30,7 +30,8 @@
 namespace fraudsim::journal {
 
 inline constexpr char kMagic[4] = {'F', 'S', 'J', '1'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: ClientContext frames carry the payment token (entity-graph linking).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 enum class RecordKind : std::uint8_t {
   Header = 1,

@@ -38,6 +38,7 @@ void encode_context(util::ByteWriter& out, const app::ClientContext& ctx) {
     out.f64(f.duration_ms);
     out.u64(f.digest);
   }
+  out.str(ctx.payment_token);
 }
 
 app::ClientContext decode_context(util::ByteReader& in) {
@@ -60,6 +61,7 @@ app::ClientContext decode_context(util::ByteReader& in) {
     f.digest = in.u64();
     ctx.pointer_biometrics = f;
   }
+  ctx.payment_token = in.str();
   return ctx;
 }
 

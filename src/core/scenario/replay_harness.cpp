@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "app/export.hpp"
+#include "core/detect/graph/graph_ingest.hpp"
 #include "core/detect/pipeline.hpp"
 #include "core/fault/crash.hpp"
 #include "core/fault/fault.hpp"
@@ -29,6 +30,11 @@ struct Platform {
   // Flash-crowd surge generators (live modes only; owned here so their
   // scheduled arrivals stay valid for the whole run).
   std::vector<std::unique_ptr<workload::LegitTraffic>> surges;
+  // Entity graph + its admit-path tap (config.graph.enabled only). Attached
+  // in EVERY mode — record, replay, rescore, baseline — so the graph grows
+  // from the identical facade-event stream live and during a journal walk.
+  std::unique_ptr<detect::graph::EntityGraph> graph;
+  std::unique_ptr<detect::graph::GraphIngest> graph_ingest;
 };
 
 Platform build_platform(const RecordedScenarioConfig& config,
@@ -48,6 +54,11 @@ Platform build_platform(const RecordedScenarioConfig& config,
                                                                   controller_config);
   if (candidate != nullptr && candidate->configure_engine) {
     candidate->configure_engine(p.env->engine);
+  }
+  if (config.graph.enabled) {
+    p.graph = std::make_unique<detect::graph::EntityGraph>(config.graph.graph);
+    p.graph_ingest = std::make_unique<detect::graph::GraphIngest>(*p.graph);
+    p.env->app.set_tap(p.graph_ingest.get());
   }
   return p;
 }
@@ -186,32 +197,35 @@ void schedule_mitigation(Env& env, mitigate::MitigationController& controller,
 // The fault registry rides along so armed chaos schedules (and their EveryNth
 // / OnNth / Burst cursors) survive a checkpoint-anchored restore exactly like
 // every other piece of platform state.
-std::string checkpoint_state(Env& env, mitigate::MitigationController& controller) {
+std::string checkpoint_state(Platform& p) {
   util::ByteWriter state;
+  Env& env = *p.env;
   env.actors.checkpoint(state);
   env.app.checkpoint(state);
   env.engine.checkpoint(state);
-  controller.checkpoint(state);
+  p.controller->checkpoint(state);
   fault::FaultRegistry::global().checkpoint(state);
+  // Graph state rides last, and ONLY when the subsystem is enabled: the
+  // default-off blob layout stays byte-identical to pre-graph journals.
+  if (p.graph != nullptr) p.graph->checkpoint(state);
   return state.take();
 }
 
 // `on_checkpoint` (optional) runs after the blob is journalled — the hook
 // record_run_dir uses to duplicate each checkpoint as an atomic sidecar.
-void schedule_checkpoint_loop(Env& env, mitigate::MitigationController& controller,
-                              const RecordedScenarioConfig& config,
+void schedule_checkpoint_loop(Platform& p, const RecordedScenarioConfig& config,
                               journal::RecordingJournal& recording,
                               const std::function<void(sim::SimTime, const std::string&)>&
                                   on_checkpoint = nullptr) {
+  Env& env = *p.env;
   if (config.checkpoint_every <= 0) return;
   if (env.sim.now() + config.checkpoint_every > config.horizon) return;
   env.sim.schedule_in(config.checkpoint_every,
-                      [&env, &controller, &config, &recording, on_checkpoint] {
-                        const std::string blob = checkpoint_state(env, controller);
+                      [&p, &env, &config, &recording, on_checkpoint] {
+                        const std::string blob = checkpoint_state(p);
                         recording.checkpoint_blob(env.sim.now(), blob);
                         if (on_checkpoint) on_checkpoint(env.sim.now(), blob);
-                        schedule_checkpoint_loop(env, controller, config, recording,
-                                                 on_checkpoint);
+                        schedule_checkpoint_loop(p, config, recording, on_checkpoint);
                       });
 }
 
@@ -224,13 +238,38 @@ RunArtifacts make_artifacts(Platform& p, const RecordedScenarioConfig& config) {
   std::ostringstream metrics;
   artifacts.metrics.write_csv(metrics);
   artifacts.metrics_csv = metrics.str();
+
+  // Graph-off artifacts must stay byte-identical to a build without the
+  // subsystem: no component column, no SOC section, default pipeline.
   std::ostringstream weblog;
-  (void)app::export_weblog_csv(weblog, p.env->app.weblog().all());
+  if (p.graph != nullptr) {
+    const detect::graph::EntityGraph& graph = *p.graph;
+    (void)app::export_weblog_csv(weblog, p.env->app.weblog().all(),
+                                 [&graph](const web::HttpRequest& r) -> std::uint64_t {
+                                   const auto id = graph.find(
+                                       detect::graph::NodeType::Session, r.session.str());
+                                   return id == 0 ? 0 : graph.component_of(id);
+                                 });
+  } else {
+    (void)app::export_weblog_csv(weblog, p.env->app.weblog().all());
+  }
   artifacts.weblog_csv = weblog.str();
-  detect::DetectionPipeline pipeline;  // default config, untrained: deterministic
+
+  detect::PipelineConfig pipeline_config;  // defaults, untrained: deterministic
+  pipeline_config.graph = config.graph.detector;
+  detect::DetectionPipeline pipeline(pipeline_config);
+  std::unique_ptr<detect::graph::GraphDetector> graph_view;
+  if (p.graph != nullptr) {
+    pipeline.enable_graph(*p.graph);
+    // A second instance over the same graph + config scores components
+    // identically to the pipeline's own detector; the report only reads it.
+    graph_view = std::make_unique<detect::graph::GraphDetector>(*p.graph,
+                                                                config.graph.detector);
+  }
   const auto detection = pipeline.run(p.env->app, p.env->actors, 0, config.horizon);
   artifacts.soc_report = render_soc_report(SocReportInputs{
-      p.env->app, p.env->actors, detection, 0, config.horizon, p.controller->actions()});
+      p.env->app, p.env->actors, detection, 0, config.horizon, p.controller->actions(),
+      graph_view.get()});
   return artifacts;
 }
 
@@ -242,6 +281,11 @@ void begin_live_invariants(Platform& p, const RecordedScenarioConfig& config) {
   if (config.invariants == nullptr) return;
   config.invariants->reset();
   invariant::register_platform_invariants(*config.invariants, p.env->app, &p.env->engine);
+  if (p.graph != nullptr) {
+    // The tap is attached before any traffic starts, so full event
+    // reconciliation against the application's request counter applies.
+    invariant::register_graph_invariants(*config.invariants, *p.graph, &p.env->app);
+  }
 }
 
 // Epoch barriers: at a fixed cadence the (optional) test hook runs, then every
@@ -497,6 +541,26 @@ std::uint64_t config_digest(const RecordedScenarioConfig& config) {
       w.f64(o.brownout.hold_ttl_scale[i]);
     }
   }
+  // Entity-graph posture: same convention as overload — appended only when
+  // enabled, so every pre-graph journal keeps its digest.
+  if (config.graph.enabled) {
+    const auto& g = config.graph;
+    w.boolean(g.enabled);
+    w.u64(g.graph.max_nodes);
+    w.u64(g.graph.max_edges);
+    w.u64(g.graph.component_cap);
+    w.i64(g.graph.node_ttl);
+    w.i64(g.graph.edge_ttl);
+    w.i64(g.graph.maintenance_every);
+    w.i64(g.graph.signal_half_life);
+    w.u64(g.detector.min_sessions);
+    w.f64(g.detector.min_sharing);
+    w.f64(g.detector.signal_threshold);
+    w.f64(g.detector.weight_requests);
+    w.f64(g.detector.weight_holds);
+    w.f64(g.detector.weight_sms);
+    w.f64(g.detector.weight_pays);
+  }
   return util::crc32(w.bytes());
 }
 
@@ -530,7 +594,7 @@ util::Result<RunArtifacts> record_run(const RecordedScenarioConfig& config,
 
   std::unique_ptr<SeatSpinScript> attacker;
   start_traffic(p, config, attacker, &recording);
-  schedule_checkpoint_loop(env, *p.controller, config, recording);
+  schedule_checkpoint_loop(p, config, recording);
   env.run_until(config.horizon);
 
   env.app.set_journal(nullptr);
@@ -599,7 +663,7 @@ util::Result<RunArtifacts> record_run_dir(const RecordedScenarioConfig& config,
 
     std::unique_ptr<SeatSpinScript> attacker;
     start_traffic(p, config, attacker, &recording);
-    schedule_checkpoint_loop(env, *p.controller, config, recording, write_sidecar);
+    schedule_checkpoint_loop(p, config, recording, write_sidecar);
     env.run_until(config.horizon);
 
     env.app.set_journal(nullptr);
@@ -797,6 +861,7 @@ util::Result<RunArtifacts> replay_run(const RecordedScenarioConfig& config,
       env.engine.restore(state);
       p.controller->restore(state);
       fault::FaultRegistry::global().restore(state);
+      if (p.graph != nullptr) p.graph->restore(state);
       if (!state.ok()) {
         return R::fail(util::ErrorCode::kJournalCorrupt, "replay: checkpoint blob truncated");
       }

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "core/detect/graph/entity_graph.hpp"
+#include "core/detect/graph/graph_detector.hpp"
 #include "core/invariant/invariant.hpp"
 #include "core/journal/journal.hpp"
 #include "core/mitigate/controller.hpp"
@@ -71,6 +73,19 @@ struct RecordedScenarioConfig {
   // shape). Digested only when enabled, so every pre-overload journal keeps
   // its digest.
   overload::OverloadConfig overload;
+
+  // Incremental entity graph (off by default, the historical shape). When
+  // enabled, every mode — record, replay, rescore, baseline — attaches a
+  // GraphIngest tap to the application facade, so the graph is grown from the
+  // identical event stream live and during replay; its state rides in every
+  // checkpoint blob and the GraphDetector joins the detection pipeline.
+  // Digested only when enabled, like the overload posture above.
+  struct GraphSettings {
+    bool enabled = false;
+    detect::graph::GraphConfig graph;
+    detect::graph::GraphDetectorConfig detector;
+  };
+  GraphSettings graph;
 
   // Extra flash-crowd phases of legitimate demand layered over the baseline
   // generator (chaos schedules use these to push the platform into brownout

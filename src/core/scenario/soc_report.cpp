@@ -1,5 +1,6 @@
 #include "core/scenario/soc_report.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
@@ -88,6 +89,32 @@ std::string render_soc_report(const SocReportInputs& inputs) {
       skipped.add_row({s.family, s.reason});
     }
     out << skipped.render() << "\n";
+  }
+
+  // --- Top suspicious components --------------------------------------------------
+  // Rendered only with the entity graph attached; ordered by amplification
+  // score (desc), canonical id breaking ties, capped at 10 rows.
+  if (inputs.graph != nullptr) {
+    auto verdicts = inputs.graph->scored_components(inputs.to);
+    std::stable_sort(verdicts.begin(), verdicts.end(),
+                     [](const auto& a, const auto& b) { return a.score > b.score; });
+    util::AsciiTable components(
+        {"Component", "size", "sessions", "fps", "ips", "tokens", "score", "flagged"});
+    std::size_t shown = 0;
+    for (const auto& v : verdicts) {
+      if (v.score <= 0.0 && !v.flagged) continue;
+      if (shown++ >= 10) break;
+      components.add_row({std::to_string(v.summary.id), util::format_count(v.summary.size),
+                          util::format_count(v.summary.sessions),
+                          util::format_count(v.summary.fingerprints),
+                          util::format_count(v.summary.ips),
+                          util::format_count(v.summary.tokens),
+                          util::format_double(v.score, 1), v.flagged ? "RING" : ""});
+    }
+    out << "Top suspicious components (" << verdicts.size() << " total, "
+        << inputs.graph->graph().node_count() << " nodes/"
+        << inputs.graph->graph().edge_count() << " edges live):\n";
+    out << components.render() << "\n";
   }
 
   // --- Platform metrics ----------------------------------------------------------

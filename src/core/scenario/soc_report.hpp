@@ -10,6 +10,7 @@
 
 #include "app/actors.hpp"
 #include "app/application.hpp"
+#include "core/detect/graph/graph_detector.hpp"
 #include "core/detect/pipeline.hpp"
 #include "core/mitigate/controller.hpp"
 
@@ -23,6 +24,10 @@ struct SocReportInputs {
   sim::SimTime to = 0;
   // Optional enforcement history (empty = no controller ran).
   std::vector<mitigate::EnforcementAction> actions;
+  // Optional entity-graph view: when set, the report grows a "Top suspicious
+  // components" section. nullptr (the graph detector disabled) keeps the
+  // report byte-identical to a build without the subsystem.
+  const detect::graph::GraphDetector* graph = nullptr;
 };
 
 [[nodiscard]] std::string render_soc_report(const SocReportInputs& inputs);

@@ -1,16 +1,26 @@
 // String interning: map free-form byte strings to dense 32-bit ids.
 //
-// The rate limiter keys its sliding windows by client-derived strings (exit
-// IP, session id, booking reference). Interning turns every steady-state key
-// operation into integer work: the string is hashed once to find its id, and
-// all per-key state lives in integer-keyed containers with cheap equality,
-// cheap rehashing, and no per-node string storage.
+// A shared utility with two platform consumers today:
+//   * the rate limiter keys its sliding windows by client-derived strings
+//     (exit IP, session id, booking reference);
+//   * the entity graph (core/detect/graph) interns every typed node key and
+//     uses the dense ids directly as graph node ids.
+// Interning turns every steady-state key operation into integer work: the
+// string is hashed once to find its id, and all per-key state lives in
+// integer-keyed containers with cheap equality, cheap rehashing, and no
+// per-node string storage.
 //
-// Ids are recycled through a free list so erase() (the limiter's stale-key
-// eviction) keeps the table bounded by *live* keys, not lifetime distinct
-// keys. checkpoint()/restore() reproduce the exact id assignment — including
-// the free list — so interned ids are stable across a save/restore cycle and
-// checkpoint bytes are stable across a restore → re-checkpoint round trip.
+// Guarantees callers may rely on (and tests pin):
+//   * Ids are dense, assigned 1, 2, 3, ... in first-sighting order; 0 is
+//     reserved for "not interned".
+//   * Ids are recycled LIFO through a free list, so erase() (stale-key
+//     eviction) keeps the table bounded by *live* keys, not lifetime
+//     distinct keys, and re-interning after an erase reuses the most
+//     recently freed id first.
+//   * checkpoint()/restore() reproduce the EXACT id assignment — including
+//     the free list order — so interned ids are stable across a
+//     save/restore cycle and checkpoint bytes are stable across a
+//     restore → re-checkpoint round trip.
 #pragma once
 
 #include <cstdint>

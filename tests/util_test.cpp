@@ -7,6 +7,7 @@
 
 #include "util/hash.hpp"
 #include "util/ids.hpp"
+#include "util/intern.hpp"
 #include "util/money.hpp"
 #include "util/result.hpp"
 #include "util/stats.hpp"
@@ -39,6 +40,32 @@ TEST(StrongId, GeneratorIsMonotonicFromOne) {
   EXPECT_EQ(gen.next().value(), 1u);
   EXPECT_EQ(gen.next().value(), 2u);
   EXPECT_EQ(gen.issued(), 2u);
+}
+
+// --- InternTable ------------------------------------------------------------
+// (Core recycling + checkpoint contracts are pinned in perf_api_test; this
+// pins the multi-erase free-list ORDER the entity graph's eviction relies on.)
+
+TEST(InternTable, MultiEraseRecyclesStrictlyLifo) {
+  InternTable table;
+  const auto a = table.intern("a");
+  const auto b = table.intern("b");
+  const auto c = table.intern("c");
+  table.erase(a);
+  table.erase(c);
+  table.erase(b);
+  // Freed a, c, b — reissued b, c, a. Capacity (high-water ids) is unchanged:
+  // churn does not grow the table.
+  EXPECT_EQ(table.intern("x"), b);
+  EXPECT_EQ(table.intern("y"), c);
+  EXPECT_EQ(table.intern("z"), a);
+  EXPECT_EQ(table.capacity(), 3u);
+  // Double-erase and erase(0) are harmless no-ops.
+  table.erase(0);
+  const auto x = table.find("x");
+  table.erase(x);
+  table.erase(x);
+  EXPECT_EQ(table.size(), 2u);
 }
 
 TEST(StrongId, HashableInUnorderedContainers) {
