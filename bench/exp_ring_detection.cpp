@@ -44,6 +44,7 @@
 #include "core/detect/pipeline.hpp"
 #include "core/scenario/env.hpp"
 #include "fingerprint/population.hpp"
+#include "util/format.hpp"
 #include "util/table.hpp"
 
 using namespace fraudsim;
@@ -318,9 +319,7 @@ int run_gate(const bench::Options& options) {
   }
   out << "{\n  \"schema\": \"fraudsim.bench.detect_graph.v1\",\n  \"metrics\": {\n";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", metrics[i].second);
-    out << "    \"" << metrics[i].first << "\": " << buf
+    out << "    \"" << metrics[i].first << "\": " << util::format_general(metrics[i].second, 6)
         << (i + 1 < metrics.size() ? ",\n" : "\n");
   }
   out << "  },\n  \"meta\": {\n    \"smoke\": " << (smoke ? 1 : 0) << ",\n    \"reps\": " << reps

@@ -46,6 +46,7 @@
 #include "core/scenario/fleet.hpp"
 #include "core/scenario/replay_harness.hpp"
 #include "fingerprint/population.hpp"
+#include "util/format.hpp"
 #include "util/strings.hpp"
 #include "web/features.hpp"
 #include "web/session.hpp"
@@ -428,9 +429,7 @@ int run_gate(const bench::Options& options) {
   }
   out << "{\n  \"schema\": \"fraudsim.bench.core.v1\",\n  \"metrics\": {\n";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", metrics[i].second);
-    out << "    \"" << metrics[i].first << "\": " << buf
+    out << "    \"" << metrics[i].first << "\": " << util::format_general(metrics[i].second, 6)
         << (i + 1 < metrics.size() ? ",\n" : "\n");
   }
   out << "  },\n  \"meta\": {\n    \"smoke\": " << (smoke ? 1 : 0) << ",\n    \"reps\": " << reps

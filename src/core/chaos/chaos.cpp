@@ -1,12 +1,12 @@
 #include "core/chaos/chaos.hpp"
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "core/fault/crash.hpp"
 #include "core/recover/atomic_file.hpp"
 #include "sim/rng.hpp"
+#include "util/format.hpp"
 #include "util/hash.hpp"
 
 namespace fraudsim::chaos {
@@ -15,11 +15,7 @@ namespace {
 
 constexpr char kReproMagic[4] = {'F', 'S', 'C', '1'};
 
-std::string fmt_intensity(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.2f", v);
-  return buf;
-}
+std::string fmt_intensity(double v) { return util::format_fixed(v, 2); }
 
 }  // namespace
 
@@ -102,9 +98,12 @@ ChaosGeneratorConfig default_generator_config(sim::SimTime horizon) {
   // an execution-mode fault with byte-identical verdicts by contract.
   // "graph.ingest" drops events at the entity graph's admit-path tap — the
   // graph invariants must hold (and replay stay clean) through the outage.
+  // "shard.exchange" injects transient barrier-exchange failures into the
+  // sharded engine — charged as retries, never losses, so shard-conservation
+  // must hold through it.
   config.error_points = {"sms.carrier.send",  "detect.sweep.run",  "otp.deliver",
                          "fp.store.record",   "app.policy.evaluate", "detect.batch.run",
-                         "graph.ingest"};
+                         "graph.ingest",      "shard.exchange"};
   // Latency-capable sites: the request path charges it into the admission
   // model; the gateway charges it against the caller's deadline budget.
   config.latency_points = {"app.request.latency", "sms.carrier.send"};

@@ -127,6 +127,31 @@ void EntityGraph::add_signal(sim::SimTime now, NodeId node, Signal signal, doubl
   n.signals_updated = now;
 }
 
+std::string_view EntityGraph::key_of(NodeId id) const {
+  if (!alive(id)) return {};
+  // Composed key is "<type-prefix>:<raw key>"; strip the two-byte prefix.
+  const std::string& composed = intern_.str(id);
+  return std::string_view(composed).substr(2);
+}
+
+void EntityGraph::merge_from(const EntityGraph& other, sim::SimTime now) {
+  // Nodes in `other`'s intern-id order — deterministic, and gives stable
+  // intern-id assignment in the merged graph for a fixed merge sequence.
+  std::vector<NodeId> remap(other.nodes_.size(), 0);
+  other.for_each_node([&](NodeId id, const GraphNode& n) {
+    const NodeId mine = touch(now, n.type, other.key_of(id));
+    remap[id] = mine;
+    const double factor = decay_factor(now - n.signals_updated, other.config_.signal_half_life);
+    for (std::size_t k = 0; k < kSignalCount; ++k) {
+      const double mass = n.signals[k] * factor;
+      if (mass > 0.0) add_signal(now, mine, static_cast<Signal>(k), mass);
+    }
+  });
+  other.for_each_edge([&](NodeId a, NodeId b, sim::SimTime) {
+    connect(now, remap[a], remap[b]);
+  });
+}
+
 void EntityGraph::maintain(sim::SimTime now) {
   ++stats_.maintenance_runs;
   // Edges first: an aged edge disappears even when both endpoints stay warm.

@@ -170,6 +170,32 @@ class EntityGraph {
   // Largest component size in the current partition (invariant support).
   [[nodiscard]] std::size_t max_component_size() const;
 
+  // --- Shard merge ----------------------------------------------------------
+  // Deterministic iteration: live nodes in intern-id order, edges in key
+  // order — the orders the checkpoint serialization already relies on.
+  template <typename Fn>
+  void for_each_node(Fn&& fn) const {
+    for (NodeId id = 1; id < nodes_.size(); ++id) {
+      if (nodes_[id].has_value()) fn(id, *nodes_[id]);
+    }
+  }
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (const auto& [key, last_seen] : edges_) fn(key.first, key.second, last_seen);
+  }
+
+  // Raw (un-prefixed) key of a live node; empty for dead ids.
+  [[nodiscard]] std::string_view key_of(NodeId id) const;
+
+  // Folds `other`'s live nodes, edges and decayed signal mass into this
+  // graph at time `now`. Sharded runs keep one graph per shard (each ingests
+  // only its shard's events, so ingest order is deterministic regardless of
+  // worker threads) and merge them at epoch barriers; the merged graph's
+  // canonical partition is a pure function of the resulting edge set, so the
+  // merge order of shards cannot change the components — only intern-id
+  // labels, which the canonical (smallest-member) component ids absorb.
+  void merge_from(const EntityGraph& other, sim::SimTime now);
+
   // --- Checkpoint -----------------------------------------------------------
   // Byte-stable: intern table, then live nodes in id order, then edges in
   // key order, then counters. restore() reproduces the exact state (and the

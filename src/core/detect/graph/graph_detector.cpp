@@ -2,19 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <unordered_map>
+
+#include "util/format.hpp"
 
 namespace fraudsim::detect::graph {
 
 namespace {
 
 // Locale-independent fixed formatting for alert explanations (determinism).
-std::string fixed2(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.2f", v);
-  return buf;
-}
+std::string fixed2(double v) { return util::format_fixed(v, 2); }
 
 }  // namespace
 

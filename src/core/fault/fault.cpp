@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "util/format.hpp"
+
 namespace fraudsim::fault {
 
 const char* to_string(FaultKind k) {
@@ -123,10 +125,10 @@ std::string FaultScenario::describe() const {
   if (fault == FaultKind::kLatency) {
     FaultScenario pattern = *this;
     pattern.fault = FaultKind::kError;
-    std::snprintf(buf, sizeof(buf), "+%.1fs latency, %s",
-                  static_cast<double>(latency) / static_cast<double>(sim::kSecond),
-                  pattern.describe().c_str());
-    return buf;
+    return "+" +
+           util::format_fixed(static_cast<double>(latency) / static_cast<double>(sim::kSecond),
+                              1) +
+           "s latency, " + pattern.describe();
   }
   switch (kind) {
     case ScenarioKind::Never:
@@ -134,9 +136,7 @@ std::string FaultScenario::describe() const {
     case ScenarioKind::Always:
       return "always";
     case ScenarioKind::Probabilistic:
-      std::snprintf(buf, sizeof(buf), "p=%.3f seed=%llu", probability,
-                    static_cast<unsigned long long>(seed));
-      return buf;
+      return "p=" + util::format_fixed(probability, 3) + " seed=" + std::to_string(seed);
     case ScenarioKind::EveryNth:
       std::snprintf(buf, sizeof(buf), "every %llu-th hit", static_cast<unsigned long long>(nth));
       return buf;
@@ -148,9 +148,8 @@ std::string FaultScenario::describe() const {
     case ScenarioKind::Window:
       return "down " + sim::format_time(from) + " .. " + sim::format_time(to);
     case ScenarioKind::Burst:
-      std::snprintf(buf, sizeof(buf), "down %.1fh every %.1fh from %s", sim::to_hours(duration),
-                    sim::to_hours(period), sim::format_time(from).c_str());
-      return buf;
+      return "down " + util::format_fixed(sim::to_hours(duration), 1) + "h every " +
+             util::format_fixed(sim::to_hours(period), 1) + "h from " + sim::format_time(from);
   }
   return "?";
 }

@@ -8,6 +8,7 @@
 #include "app/application.hpp"
 #include "core/detect/graph/entity_graph.hpp"
 #include "core/mitigate/rules.hpp"
+#include "sim/sharded_simulation.hpp"
 
 namespace fraudsim::invariant {
 
@@ -327,6 +328,40 @@ void register_graph_invariants(InvariantRegistry& registry,
                    return std::nullopt;
                  });
   }
+}
+
+void register_shard_invariants(InvariantRegistry& registry,
+                               const sim::ShardedSimulation& engine) {
+  // Conservation: every message a shard queued was either delivered at a
+  // barrier or is still waiting in an outbox — nothing lost (sent exceeds
+  // the rest) and nothing duplicated (delivered exceeds sent). An injected
+  // shard.exchange fault only charges retries, so this must hold through
+  // chaos campaigns too.
+  registry.add("shard-conservation", [&engine](sim::SimTime) -> std::optional<std::string> {
+    const std::uint64_t sent = engine.messages_sent();
+    const std::uint64_t delivered = engine.messages_delivered();
+    const std::uint64_t in_flight = engine.messages_in_flight();
+    if (sent != delivered + in_flight) {
+      return "messages sent (" + std::to_string(sent) + ") != delivered (" +
+             std::to_string(delivered) + ") + in-flight (" + std::to_string(in_flight) + ")" +
+             (delivered + in_flight > sent ? " — duplicated" : " — lost");
+    }
+    return std::nullopt;
+  });
+  // Barrier alignment: when a check runs (always at a barrier), every shard
+  // clock must sit exactly at that barrier — a shard ahead raced past an
+  // epoch boundary, a shard behind stalled mid-epoch.
+  registry.add("shard-clock-alignment",
+               [&engine](sim::SimTime now) -> std::optional<std::string> {
+                 for (std::uint32_t k = 0; k < engine.shards(); ++k) {
+                   const sim::SimTime at = engine.shard(k).now();
+                   if (at != now) {
+                     return "shard " + std::to_string(k) + " clock at " + std::to_string(at) +
+                            ", barrier at " + std::to_string(now);
+                   }
+                 }
+                 return std::nullopt;
+               });
 }
 
 }  // namespace fraudsim::invariant

@@ -46,6 +46,9 @@ class EntityGraph;
 namespace fraudsim::mitigate {
 class RuleEngine;
 }
+namespace fraudsim::sim {
+class ShardedSimulation;
+}
 
 namespace fraudsim::invariant {
 
@@ -137,5 +140,17 @@ void register_platform_invariants(InvariantRegistry& registry, const app::Applic
 void register_graph_invariants(InvariantRegistry& registry,
                                const detect::graph::EntityGraph& graph,
                                const app::Application* app = nullptr);
+
+// Sharded-engine safety conditions (sim::ShardedSimulation), checked at
+// epoch barriers:
+//   * shard-conservation   — no cross-shard message is lost or duplicated:
+//                            sent == delivered + in-flight at every barrier
+//                            (a barrier ends quiescent, so in-flight is zero
+//                            there and the identity collapses to
+//                            sent == delivered);
+//   * shard-clock-alignment— every shard clock equals the barrier time the
+//                            check runs at (no shard raced past or stalled
+//                            behind an epoch boundary).
+void register_shard_invariants(InvariantRegistry& registry, const sim::ShardedSimulation& engine);
 
 }  // namespace fraudsim::invariant

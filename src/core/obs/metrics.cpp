@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <limits>
 
+#include "util/format.hpp"
 #include "util/table.hpp"
 
 namespace fraudsim::obs {
@@ -177,13 +177,9 @@ namespace {
 std::string format_double(double v) {
   if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
   if (v == std::floor(v) && std::abs(v) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-    return buf;
+    return std::to_string(static_cast<long long>(v));
   }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
+  return util::format_general(v, 6);
 }
 
 std::string json_escape(const std::string& s) {
@@ -291,9 +287,11 @@ std::string MetricsSnapshot::render_table(const std::string& title) const {
 void MetricsSnapshot::write_csv(std::ostream& out) const {
   out << "name,kind,count,value,p50,p90,p99\n";
   for (const auto& r : rows) {
-    out << r.name << ',' << to_string(r.kind) << ',' << r.count << ',' << format_double(r.value)
-        << ',' << format_double(r.p50) << ',' << format_double(r.p90) << ','
-        << format_double(r.p99) << '\n';
+    // std::to_string for the count: streaming the raw integer would pick up
+    // thousands separators from a grouping-imbued stream.
+    out << r.name << ',' << to_string(r.kind) << ',' << std::to_string(r.count) << ','
+        << format_double(r.value) << ',' << format_double(r.p50) << ','
+        << format_double(r.p90) << ',' << format_double(r.p99) << '\n';
   }
 }
 

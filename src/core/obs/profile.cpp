@@ -1,10 +1,10 @@
 #include "core/obs/profile.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "util/format.hpp"
 #include "util/table.hpp"
 
 namespace fraudsim::obs {
@@ -49,21 +49,18 @@ std::string Profiler::report() const {
   for (const PhaseTotals& p : rows) grand_total += p.total_ns;
 
   util::AsciiTable table({"phase", "calls", "total ms", "mean us", "share %"});
-  char buf[64];
   for (const PhaseTotals& p : rows) {
     std::vector<std::string> row;
     row.push_back(p.name);
     row.push_back(std::to_string(p.calls));
-    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(p.total_ns) / 1e6);
-    row.emplace_back(buf);
-    std::snprintf(buf, sizeof(buf), "%.2f",
-                  static_cast<double>(p.total_ns) / 1e3 / static_cast<double>(p.calls));
-    row.emplace_back(buf);
-    std::snprintf(buf, sizeof(buf), "%.1f",
-                  grand_total > 0
-                      ? 100.0 * static_cast<double>(p.total_ns) / static_cast<double>(grand_total)
-                      : 0.0);
-    row.emplace_back(buf);
+    row.push_back(util::format_fixed(static_cast<double>(p.total_ns) / 1e6, 3));
+    row.push_back(util::format_fixed(
+        static_cast<double>(p.total_ns) / 1e3 / static_cast<double>(p.calls), 2));
+    row.push_back(util::format_fixed(
+        grand_total > 0
+            ? 100.0 * static_cast<double>(p.total_ns) / static_cast<double>(grand_total)
+            : 0.0,
+        1));
     table.add_row(row);
   }
   return table.render();

@@ -1,7 +1,6 @@
 #include "core/scenario/fleet.hpp"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <thread>
@@ -9,6 +8,7 @@
 
 #include "core/bench/options.hpp"
 #include "core/fault/fault.hpp"
+#include "util/format.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -19,11 +19,7 @@ namespace {
 // Fixed-precision rendering so tables and CSVs are byte-stable: %g would
 // flip representation across magnitudes, and locale-dependent formatting is
 // out of the question for diffable artifacts.
-std::string fmt(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.4f", v);
-  return buf;
-}
+std::string fmt(double v) { return util::format_fixed(v, 4); }
 
 }  // namespace
 

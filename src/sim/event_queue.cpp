@@ -1,14 +1,25 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace fraudsim::sim {
 
 EventId EventQueue::schedule(SimTime at, EventFn fn) {
   const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(fn)});
+  heap_.push_back(Entry{at, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_.insert(id);
   return id;
+}
+
+void EventQueue::restore_entry(SimTime at, EventId id, EventFn fn) {
+  assert(!pending_.contains(id));
+  heap_.push_back(Entry{at, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  if (id >= next_id_) next_id_ = id + 1;
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -19,7 +30,27 @@ bool EventQueue::cancel(EventId id) {
   if (it == pending_.end()) return false;
   pending_.erase(it);
   cancelled_.insert(id);
+  // Bound the dead mass: without this, a long-horizon entry cancelled early
+  // (hold-TTL sweep, retry timer behind an open breaker) pins its heap slot
+  // and its `cancelled_` slot until it surfaces at the top — unbounded memory
+  // over a 100M-event run. Rebuilding once dead entries exceed half the heap
+  // keeps total slots <= 2x live entries, amortised O(1) per cancel.
+  if (cancelled_.size() * 2 > heap_.size()) compact();
   return true;
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return cancelled_.contains(e.id); });
+  cancelled_.clear();
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventQueue::drain_cancelled_top() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
 }
 
 bool EventQueue::empty() const { return pending_.empty(); }
@@ -28,31 +59,22 @@ std::size_t EventQueue::pending() const { return pending_.size(); }
 
 SimTime EventQueue::next_time() const {
   assert(!empty());
-  // Skip over cancelled entries without mutating: we cannot, so callers get
-  // the top time which may belong to a cancelled entry; pop() resolves this.
-  // To keep next_time() accurate we drain cancelled tops here via const_cast
-  // — logically const (observable state unchanged for live events).
+  // Drain cancelled tops via const_cast — logically const (observable state
+  // for live events is unchanged), and pop() would resolve them anyway.
   auto& self = const_cast<EventQueue&>(*this);
-  while (!self.heap_.empty() && self.cancelled_.contains(self.heap_.top().id)) {
-    self.cancelled_.erase(self.heap_.top().id);
-    self.heap_.pop();
-  }
+  self.drain_cancelled_top();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   assert(!empty());
-  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
-  }
+  drain_cancelled_top();
   assert(!heap_.empty());
-  // priority_queue::top() is const&; move out via const_cast before pop. The
-  // entry is removed immediately after, so the mutation is safe.
-  Entry& top = const_cast<Entry&>(heap_.top());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry& top = heap_.back();
   Fired fired{top.time, top.id, std::move(top.fn)};
-  heap_.pop();
+  heap_.pop_back();
   pending_.erase(fired.id);
   return fired;
 }

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -37,6 +36,22 @@ class EventQueue {
   };
   Fired pop();
 
+  // --- Checkpoint support ----------------------------------------------------
+  // Pending entries are workload data (closures are not serialisable), so
+  // checkpoint owners persist their own descriptors and re-register them on
+  // restore under their ORIGINAL ids — preserving the FIFO tiebreak order a
+  // continuous run would have used — then restore the id counter so future
+  // handles continue the exact sequence. Pre: `id` is not already pending.
+  void restore_entry(SimTime at, EventId id, EventFn fn);
+  [[nodiscard]] EventId next_id() const { return next_id_; }
+  void set_next_id(EventId id) { next_id_ = id; }
+
+  // --- Introspection (compaction regression tests) --------------------------
+  // Heap slots currently held, live + dead. Bounded by live + cancelled: the
+  // queue compacts away dead entries before they can exceed half the heap.
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+  [[nodiscard]] std::size_t cancelled_count() const { return cancelled_.size(); }
+
  private:
   struct Entry {
     SimTime time;
@@ -50,13 +65,22 @@ class EventQueue {
     }
   };
 
+  // Drops every cancelled entry and rebuilds the heap. (time, id) is a total
+  // order, so pop order — and therefore observable behaviour — is unchanged.
+  void compact();
+  // Cancelled entries are reclaimed lazily when they surface at the heap top;
+  // compact() bounds the dead mass so a long-horizon timer cancelled early
+  // cannot pin its slot for the rest of the run.
+  void drain_cancelled_top();
+
   // Per-id liveness: an id is in `pending_` from schedule() until it either
   // fires or is cancelled. cancel() consults it, so cancelling an
   // already-fired (or already-cancelled) id is a clean no-op — the id can
   // never leak into `cancelled_` or skew the live count. Cancelled entries
-  // stay in the heap and are lazily drained in pop()/next_time() via
-  // `cancelled_`.
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // stay in the heap until they surface at the top or a compaction sweep
+  // rebuilds the heap without them (triggered when dead entries outnumber
+  // half the heap).
+  std::vector<Entry> heap_;  // binary heap ordered by Later (std::*_heap)
   std::unordered_set<EventId> pending_;
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;

@@ -1,6 +1,8 @@
 #include "sim/rng.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <locale>
 #include <sstream>
 
 #include "util/hash.hpp"
@@ -51,16 +53,26 @@ std::int64_t Rng::poisson(double mean) {
 }
 
 std::size_t Rng::weighted_index(std::span<const double> weights) {
+  // Non-finite weights are treated as zero. A NaN would otherwise poison the
+  // running total (std::max(NaN, 0.0) is NaN), dodge the `total <= 0.0` guard
+  // and hand NaN bounds to uniform_real_distribution — undefined behaviour.
+  // An inf weight would make `total` inf and the walk below meaningless.
+  const auto eligible = [](double w) { return std::isfinite(w) && w > 0.0; };
   double total = 0.0;
-  for (double w : weights) total += std::max(w, 0.0);
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (!eligible(weights[i])) continue;
+    total += weights[i];
+    last = i;
+  }
   if (total <= 0.0) return 0;
   double r = uniform(0.0, total);
   for (std::size_t i = 0; i < weights.size(); ++i) {
-    const double w = std::max(weights[i], 0.0);
-    if (r < w) return i;
-    r -= w;
+    if (!eligible(weights[i])) continue;
+    if (r < weights[i]) return i;
+    r -= weights[i];
   }
-  return weights.size() - 1;
+  return last;  // floating-point slack: land on the last eligible weight
 }
 
 std::string Rng::random_lowercase(std::size_t length) {
@@ -73,7 +85,12 @@ std::string Rng::random_lowercase(std::size_t length) {
 
 void Rng::checkpoint(util::ByteWriter& out) const {
   out.u64(seed_);
+  // mt19937_64's textual state is a space-separated integer list. Imbue the
+  // classic locale explicitly: under a grouping global locale the integers
+  // would be written as "4.294.967.295", corrupting the checkpoint bytes and
+  // making restore() on a plain-"C" host fail to parse.
   std::ostringstream state;
+  state.imbue(std::locale::classic());
   state << engine_;
   out.str(state.str());
 }
@@ -81,6 +98,7 @@ void Rng::checkpoint(util::ByteWriter& out) const {
 void Rng::restore(util::ByteReader& in) {
   seed_ = in.u64();
   std::istringstream state(in.str());
+  state.imbue(std::locale::classic());
   state >> engine_;
 }
 

@@ -26,6 +26,17 @@ void Simulation::run_until(SimTime end) {
   if (!stopped_) now_ = std::max(now_, end);
 }
 
+void Simulation::run_before(SimTime end) {
+  const obs::ScopedTimer timer(obs::Profiler::instance().phase("sim.event_loop"));
+  while (!stopped_ && !queue_.empty() && queue_.next_time() < end) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    ++fired_;
+    fired.fn();
+  }
+  if (!stopped_) now_ = std::max(now_, end);
+}
+
 void Simulation::run_all(std::uint64_t max_events) {
   const obs::ScopedTimer timer(obs::Profiler::instance().phase("sim.event_loop"));
   std::uint64_t n = 0;

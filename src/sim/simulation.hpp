@@ -28,6 +28,12 @@ class Simulation {
 
   // Runs events with time <= end, then advances the clock to `end`.
   void run_until(SimTime end);
+  // Runs events with time < end (strictly), then advances the clock to `end`.
+  // This is the epoch-drain primitive: a sharded run drains each epoch
+  // [start, barrier) exclusively of the barrier instant, so work scheduled AT
+  // the barrier — message deliveries, merged-graph sweeps — fires in the next
+  // epoch in exchange order, identically in serial and sharded execution.
+  void run_before(SimTime end);
   // Runs until the queue is empty (use only for naturally-terminating
   // scenarios; a periodic event makes this loop forever up to max_events).
   void run_all(std::uint64_t max_events = 100'000'000);
@@ -40,6 +46,16 @@ class Simulation {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.pending(); }
   [[nodiscard]] std::uint64_t fired_events() const { return fired_; }
+  // Checkpoint-restore hook: reinstates the lifetime fired-event counter so a
+  // resumed run's accounting matches the uninterrupted run's.
+  void restore_fired(std::uint64_t fired) { fired_ = fired; }
+
+  // Direct queue access for checkpoint owners: restoring a shard re-registers
+  // event descriptors under their original ids (EventQueue::restore_entry)
+  // and continues the id sequence, so a resumed run is byte-identical to an
+  // uninterrupted one.
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
  private:
   EventQueue queue_;

@@ -40,12 +40,27 @@ constexpr SimDuration kWeek = 7 * kDay;
   return static_cast<double>(d) / static_cast<double>(kDay);
 }
 
-// Day index (0-based) of a timestamp within the scenario.
-[[nodiscard]] constexpr std::int64_t day_of(SimTime t) { return t / kDay; }
-// Hour of day in [0, 24).
-[[nodiscard]] constexpr std::int64_t hour_of_day(SimTime t) { return (t % kDay) / kHour; }
-// Week index (0-based).
-[[nodiscard]] constexpr std::int64_t week_of(SimTime t) { return t / kWeek; }
+// Floor division / modulo: C++ `/` and `%` truncate toward zero, so a
+// negative timestamp (pre-warm phase, subtraction underflow) would map t=-1
+// into day 0 with hour -1, silently merging quota buckets across the epoch
+// boundary. Floor semantics keep buckets half-open and contiguous: day -1 is
+// [-kDay, 0), and hour_of_day stays in [0, 24) for every input.
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  const std::int64_t q = a / b;
+  return (a % b != 0 && (a < 0) != (b < 0)) ? q - 1 : q;
+}
+[[nodiscard]] constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t b) {
+  return a - floor_div(a, b) * b;
+}
+
+// Day index (0-based; negative before the scenario epoch) of a timestamp.
+[[nodiscard]] constexpr std::int64_t day_of(SimTime t) { return floor_div(t, kDay); }
+// Hour of day in [0, 24) — for any input, including negative timestamps.
+[[nodiscard]] constexpr std::int64_t hour_of_day(SimTime t) {
+  return floor_mod(t, kDay) / kHour;
+}
+// Week index (0-based; negative before the scenario epoch).
+[[nodiscard]] constexpr std::int64_t week_of(SimTime t) { return floor_div(t, kWeek); }
 
 // "d3 07:15:30.250" human-readable rendering.
 [[nodiscard]] inline std::string format_time(SimTime t) {

@@ -1,0 +1,33 @@
+#include "util/format.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+
+namespace fraudsim::util {
+namespace {
+
+std::string format_with(double value, int precision, std::chars_format fmt) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value < 0.0 ? "-inf" : "inf";
+  // Worst case for %f: ~309 digits before the point, plus the fraction.
+  char buf[384 + 64];
+  if (precision < 0) precision = 0;
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value, fmt, precision);
+  assert(res.ec == std::errc{});
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string format_fixed(double value, int precision) {
+  return format_with(value, precision, std::chars_format::fixed);
+}
+
+std::string format_general(double value, int precision) {
+  // printf treats %.0g as %.1g; to_chars requires precision >= 1 to match.
+  return format_with(value, precision < 1 ? 1 : precision,
+                     std::chars_format::general);
+}
+
+}  // namespace fraudsim::util

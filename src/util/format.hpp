@@ -1,0 +1,22 @@
+// Locale-independent number formatting.
+//
+// Artifact and checkpoint bytes are part of the determinism contract: two
+// hosts running the same seed must emit identical files. snprintf("%.4f")
+// honours the global C locale (a grouping locale turns "1234.5" into
+// "1.234,5"), which silently breaks the byte-identity oracle. These helpers
+// are built on std::to_chars, which is specified to format exactly as
+// printf would in the "C" locale — no locale lookup, no allocation surprises.
+#pragma once
+
+#include <string>
+
+namespace fraudsim::util {
+
+// Equivalent to printf("%.*f", precision, value) in the "C" locale.
+// Non-finite values render as "nan"/"inf"/"-inf".
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+// Equivalent to printf("%.*g", precision, value) in the "C" locale.
+[[nodiscard]] std::string format_general(double value, int precision);
+
+}  // namespace fraudsim::util

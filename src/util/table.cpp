@@ -4,8 +4,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdint>
-#include <cstdio>
 #include <sstream>
+
+#include "util/format.hpp"
 
 namespace fraudsim::util {
 
@@ -72,11 +73,7 @@ std::string AsciiTable::render() const {
   return out.str();
 }
 
-std::string format_double(double v, int decimals) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
-  return std::string(buf);
-}
+std::string format_double(double v, int decimals) { return format_fixed(v, decimals); }
 
 std::string format_percent(double fraction, int decimals) {
   return format_double(fraction * 100.0, decimals) + "%";

@@ -1,0 +1,160 @@
+// Locale-independence regression suite.
+//
+// The determinism contract says artifact and checkpoint bytes are a pure
+// function of (seed, config) — the host's global locale must not leak in.
+// These tests install a grouping locale (thousands separator '.', decimal
+// comma, groups of three — the classic European formatting that shook out
+// the original bugs) via a custom numpunct facet, so they run everywhere
+// without depending on named locales being compiled into the image.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <locale>
+#include <sstream>
+#include <string>
+
+#include "core/obs/metrics.hpp"
+#include "sim/rng.hpp"
+#include "util/archive.hpp"
+#include "util/format.hpp"
+
+namespace fraudsim {
+namespace {
+
+// A numpunct facet with aggressive grouping: 1234567.5 streams as
+// "1.234.567,5". Installed globally so freshly-constructed streams pick it
+// up — exactly how a host locale infects library code.
+class GroupingPunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+// RAII: swap in the grouping global locale, restore the previous one on exit
+// so a failing test cannot poison the rest of the suite.
+class ScopedGroupingLocale {
+ public:
+  ScopedGroupingLocale()
+      : previous_(std::locale::global(
+            std::locale(std::locale::classic(), new GroupingPunct))) {}
+  ~ScopedGroupingLocale() { std::locale::global(previous_); }
+
+ private:
+  std::locale previous_;
+};
+
+TEST(Locale, GroupingFacetActuallyBites) {
+  const ScopedGroupingLocale guard;
+  std::ostringstream os;  // inherits the poisoned global locale
+  os << 1234567;
+  EXPECT_EQ(os.str(), "1.234.567");  // sanity: the hazard is real
+}
+
+TEST(Format, FixedMatchesPrintfInClassicLocale) {
+  // The test binary runs under the default "C" locale here, so snprintf is
+  // the reference implementation format_fixed must reproduce.
+  const double values[] = {0.0,     -0.0,   1.5,      -1.5,     1234567.890625,
+                           0.00015, -7.25e8, 3.141592, 1e15,    -42.0};
+  for (double v : values) {
+    for (int prec : {0, 1, 2, 4, 6}) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+      EXPECT_EQ(util::format_fixed(v, prec), buf) << "v=" << v << " prec=" << prec;
+    }
+  }
+}
+
+TEST(Format, GeneralMatchesPrintfInClassicLocale) {
+  const double values[] = {0.0, 1.5, 1234567.890625, 0.00015, -7.25e8, 3.141592, 123456789.0};
+  for (double v : values) {
+    for (int prec : {1, 3, 6, 10}) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+      EXPECT_EQ(util::format_general(v, prec), buf) << "v=" << v << " prec=" << prec;
+    }
+  }
+}
+
+TEST(Format, NonFiniteRendering) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(util::format_fixed(nan, 2), "nan");
+  EXPECT_EQ(util::format_fixed(inf, 2), "inf");
+  EXPECT_EQ(util::format_fixed(-inf, 2), "-inf");
+  EXPECT_EQ(util::format_general(nan, 6), "nan");
+}
+
+TEST(Format, OutputIdenticalUnderGroupingLocale) {
+  const std::string classic_fixed = util::format_fixed(1234567.890625, 4);
+  const std::string classic_general = util::format_general(1234567.890625, 6);
+  const ScopedGroupingLocale guard;
+  EXPECT_EQ(util::format_fixed(1234567.890625, 4), classic_fixed);
+  EXPECT_EQ(util::format_general(1234567.890625, 6), classic_general);
+  EXPECT_EQ(classic_fixed, "1234567.8906");  // no separators, '.' decimal point
+}
+
+// Regression: Rng::checkpoint streams mt19937_64 through an ostringstream.
+// Un-imbued, a grouping locale writes the engine words as "4.294.967.295",
+// corrupting the checkpoint; restore on a plain-"C" host then fails to
+// parse. Checkpoint bytes must be identical under any global locale, and a
+// grouping-locale restore must continue the exact draw sequence.
+TEST(Locale, RngCheckpointBytesAreLocaleIndependent) {
+  sim::Rng rng(20260808);
+  for (int i = 0; i < 50; ++i) rng.uniform();  // advance off the seed state
+
+  util::ByteWriter classic_bytes;
+  rng.checkpoint(classic_bytes);
+
+  util::ByteWriter grouped_bytes;
+  {
+    const ScopedGroupingLocale guard;
+    rng.checkpoint(grouped_bytes);
+  }
+  ASSERT_EQ(classic_bytes.bytes(), grouped_bytes.bytes());
+}
+
+TEST(Locale, RngRestoreUnderGroupingLocaleContinuesDrawSequence) {
+  sim::Rng rng(77);
+  for (int i = 0; i < 10; ++i) rng.uniform();
+  util::ByteWriter bytes;
+  rng.checkpoint(bytes);
+
+  sim::Rng restored(0);
+  {
+    const ScopedGroupingLocale guard;
+    util::ByteReader in(bytes.bytes());
+    restored.restore(in);
+    EXPECT_TRUE(in.ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_int(0, 1'000'000), restored.uniform_int(0, 1'000'000));
+  }
+}
+
+// Regression: artifact CSVs are diffed byte-for-byte by the fleet oracle and
+// CI determinism jobs; a grouping locale must not reformat them.
+TEST(Locale, MetricsCsvBytesAreLocaleIndependent) {
+  obs::MetricsRegistry registry;
+  auto requests = registry.counter("requests.total");
+  auto load = registry.gauge("load.fraction");
+  auto latency = registry.histogram("latency.ms", {1.0, 10.0, 100.0});
+  requests.inc(1'234'567);
+  load.set(1234567.890625);
+  for (int i = 0; i < 100; ++i) latency.observe(0.5 + 3.25 * i);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  std::ostringstream classic_csv;
+  snap.write_csv(classic_csv);
+  ASSERT_NE(classic_csv.str().find("1234567"), std::string::npos);
+
+  const ScopedGroupingLocale guard;
+  std::ostringstream grouped_csv;  // freshly constructed → grouping locale
+  snap.write_csv(grouped_csv);
+  EXPECT_EQ(classic_csv.str(), grouped_csv.str());
+}
+
+}  // namespace
+}  // namespace fraudsim

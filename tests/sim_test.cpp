@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -33,6 +34,33 @@ TEST(Time, CalendarHelpers) {
 TEST(Time, Formatting) {
   EXPECT_EQ(format_time(0), "d0 00:00:00");
   EXPECT_EQ(format_time(kDay + kHour + kMinute + kSecond), "d1 01:01:01");
+}
+
+// Regression: truncating `/` and `%` mapped t=-1 into day 0 with hour -1,
+// silently merging the pre-epoch quota bucket with day 0's. Floor semantics
+// keep every bucket half-open: day -1 is exactly [-kDay, 0).
+TEST(Time, CalendarHelpersFloorAtNegativeTimes) {
+  EXPECT_EQ(day_of(-1), -1);
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(kDay - 1), 0);
+  EXPECT_EQ(day_of(-kDay), -1);
+  EXPECT_EQ(day_of(-kDay - 1), -2);
+
+  EXPECT_EQ(hour_of_day(-1), 23);
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(kDay - 1), 23);
+  EXPECT_EQ(hour_of_day(-kDay), 0);
+  EXPECT_EQ(hour_of_day(-kHour), 23);
+
+  EXPECT_EQ(week_of(-1), -1);
+  EXPECT_EQ(week_of(0), 0);
+  EXPECT_EQ(week_of(kWeek - 1), 0);
+  EXPECT_EQ(week_of(-kWeek), -1);
+
+  static_assert(floor_div(-1, kDay) == -1);
+  static_assert(floor_mod(-1, kDay) == kDay - 1);
+  static_assert(floor_div(kDay, kDay) == 1);
+  static_assert(floor_mod(kDay, kDay) == 0);
 }
 
 // --- Rng ---------------------------------------------------------------------
@@ -123,6 +151,42 @@ TEST(Rng, WeightedIndexDistribution) {
 TEST(Rng, WeightedIndexAllZeroReturnsZero) {
   Rng rng(29);
   const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights), 0u);
+}
+
+// Regression: a NaN weight used to poison the running total (std::max(NaN,
+// 0.0) is NaN), dodge the `total <= 0` guard and hand NaN bounds to
+// uniform_real_distribution — undefined behaviour. Non-finite weights are
+// now treated as zero in both passes.
+TEST(Rng, WeightedIndexIgnoresNaNWeights) {
+  Rng rng(37);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> weights = {nan, 10.0, nan};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexIgnoresInfiniteWeights) {
+  Rng rng(41);
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> weights = {inf, 1.0, 3.0, -inf};
+  int twos = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t idx = rng.weighted_index(weights);
+    EXPECT_TRUE(idx == 1 || idx == 2);
+    if (idx == 2) ++twos;
+  }
+  // With inf treated as zero, the finite weights keep their 1:3 split.
+  EXPECT_NEAR(static_cast<double>(twos) / n, 0.75, 0.03);
+}
+
+TEST(Rng, WeightedIndexAllNonFiniteReturnsZero) {
+  Rng rng(43);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> weights = {nan, inf, -inf, nan};
   EXPECT_EQ(rng.weighted_index(weights), 0u);
 }
 
@@ -274,6 +338,86 @@ TEST(EventQueue, CancelThenDrainDeliversExactlyTheLiveEvents) {
   while (!q.empty()) q.pop().fn();
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 4, 5, 6, 8, 9}));
   EXPECT_EQ(q.pending(), 0u);
+}
+
+// Regression: cancelled entries must not accumulate. Before compaction, a
+// long-horizon timer cancelled early (hold-TTL sweep, retry timer behind an
+// open breaker) pinned its heap entry — and its cancelled-set slot — until it
+// surfaced at the heap top; over a 100M-event run the dead mass was
+// unbounded. The queue now rebuilds once dead entries exceed half the heap,
+// so total slots stay within 2x the live count through any churn pattern.
+TEST(EventQueue, ScheduleCancelChurnKeepsHeapBounded) {
+  EventQueue q;
+  // A few live anchors that are never cancelled.
+  for (int i = 0; i < 8; ++i) q.schedule(1'000'000 + i, [] {});
+  std::size_t max_heap = 0;
+  std::size_t max_cancelled = 0;
+  for (int round = 0; round < 100'000; ++round) {
+    // Long-horizon timer, cancelled immediately — the leak pattern: it never
+    // reaches the heap top on its own.
+    const auto id = q.schedule(2'000'000 + round, [] {});
+    ASSERT_TRUE(q.cancel(id));
+    max_heap = std::max(max_heap, q.heap_size());
+    max_cancelled = std::max(max_cancelled, q.cancelled_count());
+  }
+  EXPECT_EQ(q.pending(), 8u);
+  // Dead entries never exceed half the heap, so the heap never exceeds
+  // 2x live + O(1); without compaction max_heap would be ~100'008.
+  EXPECT_LE(max_heap, 2 * 8 + 2);
+  EXPECT_LE(max_cancelled, max_heap / 2 + 1);
+  EXPECT_LE(q.heap_size(), 2 * 8 + 2);
+  // The queue still behaves: anchors drain in order, nothing cancelled fires.
+  std::size_t drained = 0;
+  while (!q.empty()) {
+    EXPECT_GE(q.pop().time, 1'000'000);
+    ++drained;
+  }
+  EXPECT_EQ(drained, 8u);
+}
+
+// Compaction must preserve FIFO order among equal timestamps: entries keep
+// their original ids through the rebuild, and (time, id) is a total order.
+TEST(EventQueue, CompactionPreservesFifoOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 32; ++i) {
+    q.schedule(500, [&fired, i] { fired.push_back(i); });
+    doomed.push_back(q.schedule(400 + i, [&fired] { fired.push_back(-1); }));
+  }
+  // Cancel every other entry — more than half the heap dies, forcing at
+  // least one rebuild mid-churn.
+  for (const auto id : doomed) ASSERT_TRUE(q.cancel(id));
+  while (!q.empty()) q.pop().fn();
+  std::vector<int> expected(32);
+  for (int i = 0; i < 32; ++i) expected[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(fired, expected);
+}
+
+// Checkpoint support: re-registering entries under their original ids after a
+// restore reproduces the exact FIFO order — and the id counter continues the
+// original sequence.
+TEST(EventQueue, RestoreEntryReproducesOrderAndIdSequence) {
+  EventQueue original;
+  std::vector<int> fired;
+  for (int i = 0; i < 6; ++i) {
+    original.schedule(100, [&fired, i] { fired.push_back(i); });
+  }
+  const EventId next = original.next_id();
+
+  // Rebuild in scrambled order, as a restore iterating workload state might.
+  EventQueue restored;
+  for (int i : {3, 0, 5, 2, 4, 1}) {
+    restored.restore_entry(100, static_cast<EventId>(i + 1),
+                           [&fired, i] { fired.push_back(i); });
+  }
+  restored.set_next_id(next);
+  EXPECT_EQ(restored.next_id(), next);
+  EXPECT_EQ(restored.pending(), 6u);
+  while (!restored.empty()) restored.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  // Fresh handles continue where the original left off.
+  EXPECT_EQ(restored.schedule(200, [] {}), next);
 }
 
 // --- Simulation ------------------------------------------------------------------
